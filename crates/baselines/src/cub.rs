@@ -1,0 +1,172 @@
+//! The CUB-like hand-written baseline (§IV-A compares against CUB
+//! 1.8.0's `DeviceReduce`).
+//!
+//! Strategy, mirroring CUB:
+//!
+//! * two passes: a grid of persistent blocks produces one partial
+//!   each, a single-block kernel folds the partials;
+//! * **vectorized (`v4`) loads** in the first pass — the bandwidth
+//!   optimization the paper identifies as the reason CUB wins on
+//!   large arrays (§IV-C1);
+//! * warp-shuffle tree reductions inside the blocks;
+//! * a fixed host-side cost per call for the temp-storage
+//!   query/allocate/free workflow of the `DeviceReduce` API — the
+//!   reason CUB "does not apply special optimizations for small
+//!   arrays" and loses badly there (§IV-C1).
+
+use gpu_sim::asm::assemble;
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::isa::Ty;
+use gpu_sim::{ArchConfig, Arg, Device, DevicePtr, Kernel, LaunchDims, SimError, TimingOptions};
+
+/// Assembled CUB-like reduction.
+#[derive(Debug, Clone)]
+pub struct CubReduce {
+    partial: Kernel,
+    final_: Kernel,
+    /// Threads per block for the first pass.
+    pub block_size: u32,
+    /// Maximum grid size (persistent blocks + grid-stride loop).
+    pub max_grid: u32,
+}
+
+/// Host-side fixed cost (ns) of the `DeviceReduce` call sequence
+/// (temp-storage size query, allocation, free, stream sync) on each
+/// architecture. Calibrated so the small-array and medium-array
+/// speedups of Figs. 7–10 hold; see EXPERIMENTS.md.
+pub fn cub_host_overhead_ns(arch: &ArchConfig) -> f64 {
+    match arch.id.as_str() {
+        "kepler" => 21_000.0,
+        "maxwell" => 19_000.0,
+        "pascal" => 18_000.0,
+        _ => 18_000.0,
+    }
+}
+
+impl CubReduce {
+    /// Assemble the kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled assembly fails to assemble (a bug,
+    /// covered by tests).
+    pub fn new() -> Self {
+        CubReduce {
+            partial: assemble(include_str!("../kernels/cub_partial.vir"))
+                .expect("cub_partial.vir must assemble"),
+            final_: assemble(include_str!("../kernels/reduce_final.vir"))
+                .expect("reduce_final.vir must assemble"),
+            block_size: 256,
+            max_grid: 1024,
+        }
+    }
+
+    /// Grid size for `n` elements.
+    pub fn grid_for(&self, n: u64) -> u32 {
+        let chunks = n / 4;
+        let blocks = chunks.div_ceil(u64::from(self.block_size)).max(1);
+        blocks.min(u64::from(self.max_grid)) as u32
+    }
+
+    /// Run the full `DeviceReduce`-style reduction of `n` `f32`
+    /// elements at `input`. Returns the reduced value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run(
+        &self,
+        dev: &mut Device,
+        input: DevicePtr,
+        n: u64,
+        selection: BlockSelection,
+    ) -> Result<f32, SimError> {
+        // The DeviceReduce temp-storage workflow.
+        dev.host_overhead(cub_host_overhead_ns(dev.arch()));
+        let grid = self.grid_for(n);
+        let partials = dev.alloc_f32(u64::from(grid))?;
+        let out = dev.alloc_f32(1)?;
+        let nchunks = (n / 4) as u32;
+        dev.launch(
+            &self.partial,
+            LaunchDims::new(grid, self.block_size),
+            &[input.arg(), partials.arg(), Arg::U32(n as u32), Arg::U32(nchunks)],
+            selection,
+            TimingOptions::default(),
+        )?;
+        dev.launch(
+            &self.final_,
+            LaunchDims::new(1, 256),
+            &[partials.arg(), out.arg(), Arg::U32(grid)],
+            BlockSelection::All,
+            TimingOptions::default(),
+        )?;
+        Ok(f32::from_bits(dev.read_scalar(Ty::F32, out)? as u32))
+    }
+}
+
+impl Default for CubReduce {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_n(n: u64) -> f32 {
+        let cub = CubReduce::new();
+        let mut dev = Device::new(ArchConfig::pascal_p100());
+        let input = dev.alloc_f32(n).unwrap();
+        let data: Vec<f32> = (0..n).map(|i| ((i % 11) as f32) - 2.0).collect();
+        dev.upload_f32(input, &data).unwrap();
+        cub.run(&mut dev, input, n, BlockSelection::All).unwrap()
+    }
+
+    fn expected(n: u64) -> f32 {
+        (0..n).map(|i| ((i % 11) as f32) - 2.0).sum()
+    }
+
+    #[test]
+    fn reduces_correctly_various_sizes() {
+        for n in [1u64, 3, 4, 64, 100, 1000, 4096, 100_000] {
+            assert_eq!(run_n(n), expected(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn uses_vectorized_loads() {
+        let cub = CubReduce::new();
+        let mut dev = Device::new(ArchConfig::kepler_k40c());
+        let n = 1 << 16;
+        let input = dev.alloc_f32(n).unwrap();
+        dev.upload_f32(input, &vec![1.0; n as usize]).unwrap();
+        cub.run(&mut dev, input, n, BlockSelection::All).unwrap();
+        let first = &dev.launches()[0];
+        assert!(first.stats.vector_load_fraction() > 0.95, "CUB loads must be vectorized");
+    }
+
+    #[test]
+    fn fixed_overhead_dominates_small_arrays() {
+        let cub = CubReduce::new();
+        let mut dev = Device::new(ArchConfig::maxwell_gtx980());
+        let input = dev.alloc_f32(64).unwrap();
+        dev.upload_f32(input, &vec![1.0; 64]).unwrap();
+        dev.reset_clock();
+        cub.run(&mut dev, input, 64, BlockSelection::All).unwrap();
+        let total = dev.elapsed_ns();
+        assert!(total > cub_host_overhead_ns(dev.arch()));
+        assert!(
+            total > 2.0 * dev.arch().launch_overhead_ns,
+            "two kernel launches plus host overhead"
+        );
+    }
+
+    #[test]
+    fn grid_is_capped() {
+        let cub = CubReduce::new();
+        assert_eq!(cub.grid_for(1 << 28), cub.max_grid);
+        assert_eq!(cub.grid_for(64), 1);
+    }
+}

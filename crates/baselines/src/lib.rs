@@ -1,0 +1,18 @@
+//! # gpu-baselines — hand-written baseline reductions
+//!
+//! The two GPU baselines the paper compares against (§IV-A), written
+//! in VIR assembly ([`gpu_sim::asm`]) the way the originals are
+//! hand-written CUDA:
+//!
+//! * [`cub`] — NVIDIA CUB 1.8.0-style `DeviceReduce`: two passes,
+//!   vectorized loads, warp-shuffle trees, fixed host-side
+//!   temp-storage cost;
+//! * [`kokkos`] — Kokkos-style staged multi-kernel `parallel_reduce`
+//!   whose main kernel is compute-bound (§IV-C2).
+#![warn(missing_docs)]
+
+pub mod cub;
+pub mod kokkos;
+
+pub use cub::{cub_host_overhead_ns, CubReduce};
+pub use kokkos::{kokkos_host_overhead_ns, kokkos_pipeline_efficiency, KokkosReduce};

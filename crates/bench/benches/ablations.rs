@@ -1,0 +1,103 @@
+//! Ablation benches for the design choices DESIGN.md calls out
+//! (modelled times via `iter_custom`, as in `paper_figures.rs`):
+//!
+//! * **warp shuffles** (§III-C): version (l) `V` vs (m) `Vs`;
+//! * **shared-atomic microarchitecture** (§II-A2): version (n) `VA1`
+//!   across the three generations;
+//! * **thread coarsening** (§IV-C2): version (a) coarsening sweep;
+//! * **vectorized loads** (§IV-C1): CUB vs the best scalar Tangram
+//!   version at a large size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::ArchConfig;
+use tangram::tangram_codegen::{synthesize, Tuning};
+use tangram::tangram_passes::planner;
+use tangram::tuner::BenchContext;
+use tangram_bench::measure_cub;
+
+fn modelled(c: &mut Criterion, group: &str, id: String, ns: f64) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(200));
+    g.bench_function(id, |b| {
+        b.iter_custom(|iters| Duration::from_secs_f64(ns * 1e-9 * iters as f64))
+    });
+    g.finish();
+}
+
+/// Shuffle vs shared-memory tree exchange at 256K elements.
+fn ablation_shuffle(c: &mut Criterion) {
+    let n = 262_144;
+    for arch in ArchConfig::paper_archs() {
+        let mut ctx = BenchContext::new(&arch, n).unwrap();
+        for (name, label) in [("tree", 'l'), ("shuffle", 'm')] {
+            let sv = synthesize(
+                planner::fig6_by_label(label).unwrap(),
+                Tuning { block_size: 256, coarsen: 1 },
+            )
+            .unwrap();
+            let ns = ctx.measure(&sv).unwrap();
+            modelled(c, "ablation-shuffle", format!("{}/{name}", arch.id), ns);
+        }
+    }
+}
+
+/// The same all-threads-atomic codelet across generations: the
+/// Kepler software lock vs native units.
+fn ablation_shared_atomics(c: &mut Criterion) {
+    let n = 262_144;
+    for arch in ArchConfig::paper_archs() {
+        let mut ctx = BenchContext::new(&arch, n).unwrap();
+        let sv = synthesize(
+            planner::fig6_by_label('n').unwrap(),
+            Tuning { block_size: 256, coarsen: 1 },
+        )
+        .unwrap();
+        let ns = ctx.measure(&sv).unwrap();
+        modelled(c, "ablation-shared-atomics", format!("va1/{}", arch.id), ns);
+    }
+}
+
+/// Thread-coarsening sweep on the strided compound version (a).
+fn ablation_coarsening(c: &mut Criterion) {
+    let arch = ArchConfig::maxwell_gtx980();
+    let n = 16 << 20;
+    let mut ctx = BenchContext::new(&arch, n).unwrap();
+    for coarsen in [1u32, 2, 4, 8, 16] {
+        let sv = synthesize(
+            planner::fig6_by_label('a').unwrap(),
+            Tuning { block_size: 256, coarsen },
+        )
+        .unwrap();
+        let ns = ctx.measure(&sv).unwrap();
+        modelled(c, "ablation-coarsening", format!("c{coarsen}"), ns);
+    }
+}
+
+/// Vectorized (CUB) vs scalar (Tangram) streaming at 64M elements.
+fn ablation_vector_loads(c: &mut Criterion) {
+    let arch = ArchConfig::kepler_k40c();
+    let n = 64 << 20;
+    let cub_ns = measure_cub(&arch, n).unwrap();
+    modelled(c, "ablation-vector-loads", "cub-v4".into(), cub_ns);
+    let mut ctx = BenchContext::new(&arch, n).unwrap();
+    let sv = synthesize(
+        planner::fig6_by_label('b').unwrap(),
+        Tuning { block_size: 64, coarsen: 16 },
+    )
+    .unwrap();
+    let ns = ctx.measure(&sv).unwrap();
+    modelled(c, "ablation-vector-loads", "tangram-scalar".into(), ns);
+}
+
+criterion_group! {
+    name = ablations;
+    // Deterministic modelled durations: no plots (zero variance).
+    config = Criterion::default().without_plots();
+    targets = ablation_shuffle, ablation_shared_atomics, ablation_coarsening,
+        ablation_vector_loads
+}
+criterion_main!(ablations);

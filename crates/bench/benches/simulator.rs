@@ -1,0 +1,57 @@
+//! Host-side throughput of the SIMT interpreter itself (real wall
+//! time, not modelled time): how fast the substrate executes the
+//! synthesized kernels and the hand-written baselines.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_baselines::CubReduce;
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device};
+use tangram::tangram_codegen::{synthesize, Tuning};
+use tangram::tangram_passes::planner;
+use tangram::{run_reduction, upload};
+
+fn interpreter_throughput(c: &mut Criterion) {
+    let n: u64 = 65_536;
+    let data: Vec<f32> = (0..n).map(|i| (i % 5) as f32).collect();
+    let arch = ArchConfig::maxwell_gtx980();
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for label in ['m', 'n', 'p'] {
+        let sv = synthesize(planner::fig6_by_label(label).unwrap(), Tuning::default()).unwrap();
+        group.bench_function(format!("fig6-{label}/64K"), |b| {
+            b.iter(|| {
+                let mut dev = Device::new(arch.clone());
+                let input = upload(&mut dev, &data).unwrap();
+                run_reduction(&mut dev, &sv, input, n, BlockSelection::All).unwrap()
+            })
+        });
+    }
+    let cub = CubReduce::new();
+    group.bench_function("cub/64K", |b| {
+        b.iter(|| {
+            let mut dev = Device::new(arch.clone());
+            let input = upload(&mut dev, &data).unwrap();
+            cub.run(&mut dev, input, n, BlockSelection::All).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn synthesis_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group.bench_function("synthesize-fig6p", |b| {
+        b.iter(|| synthesize(planner::fig6_by_label('p').unwrap(), Tuning::default()).unwrap())
+    });
+    group.bench_function("enumerate-pruned", |b| b.iter(planner::enumerate_pruned));
+    group.finish();
+}
+
+criterion_group! {
+    name = simulator;
+    config = Criterion::default().without_plots();
+    targets = interpreter_throughput, synthesis_cost
+}
+criterion_main!(simulator);

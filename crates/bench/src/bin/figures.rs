@@ -1,0 +1,177 @@
+//! Figure/table regeneration CLI.
+//!
+//! ```text
+//! figures table-search-space      # §IV-B counts
+//! figures fig6                    # the 16 versions and their composition
+//! figures fig7 [--max-size N]     # best-version speedups, 3 architectures
+//! figures fig8|fig9|fig10 [...]   # per-architecture detail
+//! figures all [--max-size N] [--json PATH]
+//! ```
+
+use std::fmt::Write as _;
+
+use gpu_sim::ArchConfig;
+use tangram::paper_sizes;
+use tangram_bench::{arch_series, geomean_speedup, max_speedup, ArchSeries};
+use tangram_passes::planner;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let max_size: u64 = flag_value(&args, "--max-size").unwrap_or(256 << 20);
+    let json_path = flag_str(&args, "--json");
+
+    let sizes: Vec<u64> = paper_sizes().into_iter().filter(|&n| n <= max_size).collect();
+    match cmd {
+        "table-search-space" => print_search_space(),
+        "fig6" => print_fig6(),
+        "fig7" => {
+            let all = run_all(&sizes);
+            print_fig7(&all);
+            maybe_write_json(&all, json_path.as_deref());
+        }
+        "fig8" | "fig9" | "fig10" => {
+            let arch = match cmd {
+                "fig8" => ArchConfig::kepler_k40c(),
+                "fig9" => ArchConfig::maxwell_gtx980(),
+                _ => ArchConfig::pascal_p100(),
+            };
+            let series = arch_series(&arch, &sizes).expect("figure sweep failed");
+            print_detail(cmd, &arch, &series);
+            maybe_write_json(std::slice::from_ref(&series), json_path.as_deref());
+        }
+        "all" => {
+            print_search_space();
+            println!();
+            print_fig6();
+            println!();
+            let all = run_all(&sizes);
+            print_fig7(&all);
+            println!();
+            let names = ["fig8", "fig9", "fig10"];
+            for (series, (arch, name)) in
+                all.iter().zip(ArchConfig::paper_archs().into_iter().zip(names))
+            {
+                print_detail(name, &arch, series);
+                println!();
+            }
+            maybe_write_json(&all, json_path.as_deref());
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            eprintln!("usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|all] [--max-size N] [--json PATH]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    flag_str(args, flag)?.parse().ok()
+}
+
+fn flag_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn run_all(sizes: &[u64]) -> Vec<ArchSeries> {
+    ArchConfig::paper_archs()
+        .iter()
+        .map(|arch| {
+            eprintln!("[figures] sweeping {} ...", arch.name);
+            arch_series(arch, sizes).expect("figure sweep failed")
+        })
+        .collect()
+}
+
+fn maybe_write_json(series: &[ArchSeries], path: Option<&str>) {
+    if let Some(path) = path {
+        let json = serde_json::to_string_pretty(series).expect("serialize series");
+        std::fs::write(path, json).expect("write json");
+        eprintln!("[figures] wrote {path}");
+    }
+}
+
+// ---- §IV-B table -----------------------------------------------------------
+
+fn print_search_space() {
+    let r = planner::search_space_report();
+    println!("== Search space (paper §IV-B) ==");
+    println!("{:<42}{:>10}{:>10}", "category", "ours", "paper");
+    let rows = [
+        ("original Tangram versions", r.original, r.paper.0),
+        ("total after extensions", r.total, r.paper.1),
+        ("new: global atomics only", r.global_atomic_only, r.paper.2),
+        ("new: shared-memory atomics", r.shared_atomic, r.paper.3),
+        ("new: warp shuffles", r.shuffle, r.paper.4),
+        ("after pruning (single-kernel)", r.pruned, r.paper.5),
+    ];
+    for (name, ours, paper) in rows {
+        println!("{name:<42}{ours:>10}{paper:>10}");
+    }
+    println!("(the intermediate totals differ because the paper's enumeration");
+    println!(" internals are unspecified; the checkable counts 10/30/16 match — see DESIGN.md)");
+}
+
+// ---- Fig. 6 ---------------------------------------------------------------
+
+fn print_fig6() {
+    println!("== Fig. 6: the 16 DT,A-grid code versions ==");
+    let best = planner::fig6_best();
+    for (label, v) in planner::fig6_versions() {
+        let star = if best.contains(&label) { " *" } else { "" };
+        println!("  ({label})  {v}{star}");
+    }
+    println!("  (* = one of the 8 best-performing versions)");
+}
+
+// ---- Fig. 7 ---------------------------------------------------------------
+
+fn print_fig7(all: &[ArchSeries]) {
+    println!("== Fig. 7: speedup of best Tangram version over CUB ==");
+    let mut header = format!("{:>12}", "n");
+    for s in all {
+        let _ = write!(header, "{:>12}", s.arch);
+    }
+    let _ = write!(header, "{:>12}", "OpenMP");
+    println!("{header}  (OpenMP vs CUB on pascal)");
+    let pascal = all.last().expect("three architectures");
+    for (i, p) in pascal.points.iter().enumerate() {
+        let mut row = format!("{:>12}", p.n);
+        for s in all {
+            let _ = write!(row, "{:>12.2}", s.points[i].tangram_speedup());
+        }
+        let _ = write!(row, "{:>12.2}", p.openmp_speedup());
+        println!("{row}");
+    }
+    for s in all {
+        println!(
+            "  {}: average speedup {:.2}x, max {:.2}x",
+            s.arch,
+            geomean_speedup(&s.points),
+            max_speedup(&s.points)
+        );
+    }
+}
+
+// ---- Figs. 8/9/10 ----------------------------------------------------------
+
+fn print_detail(name: &str, arch: &ArchConfig, series: &ArchSeries) {
+    println!("== {}: detail on {} ==", name, arch.name);
+    println!(
+        "{:>12} {:>8} {:>22} {:>10} {:>10} {:>10}",
+        "n", "best", "version (B,C)", "vs CUB", "Kokkos", "OpenMP"
+    );
+    for p in &series.points {
+        let label = p.fig6_label.map(|c| format!("({c})")).unwrap_or_else(|| "-".into());
+        println!(
+            "{:>12} {:>8} {:>17} {:>4} {:>10.2} {:>10.2} {:>10.2}",
+            p.n,
+            label,
+            p.version,
+            format!("{},{}", p.tuning.0, p.tuning.1),
+            p.tangram_speedup(),
+            p.kokkos_speedup(),
+            p.openmp_speedup()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! # tangram-bench — the figure/table regeneration harness
+//!
+//! Produces the data behind every evaluation artifact of the paper
+//! (§IV): the search-space table (§IV-B), the Fig. 6 composition, and
+//! the speedup-over-CUB series of Figs. 7–10.
+//!
+//! All times are modelled nanoseconds from the `gpu-sim` cost models —
+//! deterministic and hardware-independent. Large arrays are measured
+//! with sampled block execution (see `gpu_sim::exec::BlockSelection`);
+//! correctness of every version is established separately by the test
+//! suite at exact sizes.
+
+#![warn(missing_docs)]
+
+use cpu_ref::OpenMpModel;
+use gpu_baselines::{CubReduce, KokkosReduce};
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device, SimError};
+use serde::{Deserialize, Serialize};
+use tangram::select::{select_best, SelectionRow};
+
+/// One point of a Fig. 7–10 series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigurePoint {
+    /// Array size (32-bit elements).
+    pub n: u64,
+    /// Best Tangram version's modelled time (ns).
+    pub tangram_ns: f64,
+    /// The winning version (display string).
+    pub version: String,
+    /// Fig. 6 label of the winner, when applicable.
+    pub fig6_label: Option<char>,
+    /// Winning tuning (block size, coarsening).
+    pub tuning: (u32, u32),
+    /// CUB baseline time (ns).
+    pub cub_ns: f64,
+    /// Kokkos baseline time (ns).
+    pub kokkos_ns: f64,
+    /// OpenMP (POWER8 model) time (ns).
+    pub openmp_ns: f64,
+}
+
+impl FigurePoint {
+    /// Speedup of the best Tangram version over CUB (the figures'
+    /// y-axis; >1 = Tangram faster).
+    pub fn tangram_speedup(&self) -> f64 {
+        self.cub_ns / self.tangram_ns
+    }
+
+    /// Speedup of Kokkos over CUB.
+    pub fn kokkos_speedup(&self) -> f64 {
+        self.cub_ns / self.kokkos_ns
+    }
+
+    /// Speedup of OpenMP over CUB.
+    pub fn openmp_speedup(&self) -> f64 {
+        self.cub_ns / self.openmp_ns
+    }
+}
+
+/// A complete per-architecture series (Figs. 8/9/10; Fig. 7 combines
+/// the Tangram series of all three).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArchSeries {
+    /// Architecture identifier (`kepler`/`maxwell`/`pascal`).
+    pub arch: String,
+    /// Points, one per array size.
+    pub points: Vec<FigurePoint>,
+}
+
+/// Measure the CUB baseline at size `n` (modelled ns).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_cub(arch: &ArchConfig, n: u64) -> Result<f64, SimError> {
+    let cub = CubReduce::new();
+    let mut dev = Device::new(arch.clone());
+    let input = dev.alloc_f32(n)?;
+    let selection = selection_for(cub.grid_for(n));
+    dev.reset_clock();
+    cub.run(&mut dev, input, n, selection)?;
+    Ok(dev.elapsed_ns())
+}
+
+/// Measure the Kokkos baseline at size `n` (modelled ns).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure_kokkos(arch: &ArchConfig, n: u64) -> Result<f64, SimError> {
+    let kokkos = KokkosReduce::new();
+    let mut dev = Device::new(arch.clone());
+    let input = dev.alloc_f32(n)?;
+    let selection = selection_for((n / 1024).max(1).min(2048) as u32);
+    dev.reset_clock();
+    kokkos.run(&mut dev, input, n, selection)?;
+    Ok(dev.elapsed_ns())
+}
+
+fn selection_for(grid: u32) -> BlockSelection {
+    if grid > 64 {
+        BlockSelection::Sample { max_blocks: 6 }
+    } else {
+        BlockSelection::All
+    }
+}
+
+/// Produce the figure series for one architecture over `sizes`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn arch_series(arch: &ArchConfig, sizes: &[u64]) -> Result<ArchSeries, SimError> {
+    let openmp = OpenMpModel::power8_minsky();
+    let mut points = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let (_tuned, row): (_, SelectionRow) = select_best(arch, n)?;
+        let cub_ns = measure_cub(arch, n)?;
+        let kokkos_ns = measure_kokkos(arch, n)?;
+        points.push(FigurePoint {
+            n,
+            tangram_ns: row.time_ns,
+            version: row.version.to_string(),
+            fig6_label: row.fig6_label,
+            tuning: (row.block_size, row.coarsen),
+            cub_ns,
+            kokkos_ns,
+            openmp_ns: openmp.time_ns(n),
+        });
+    }
+    Ok(ArchSeries { arch: arch.id.clone(), points })
+}
+
+/// Geometric mean of the Tangram-over-CUB speedups in a series
+/// (the paper's "2× on average").
+pub fn geomean_speedup(points: &[FigurePoint]) -> f64 {
+    if points.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = points.iter().map(|p| p.tangram_speedup().ln()).sum();
+    (log_sum / points.len() as f64).exp()
+}
+
+/// Maximum Tangram-over-CUB speedup (the paper's "up to 7.8×").
+pub fn max_speedup(points: &[FigurePoint]) -> f64 {
+    points.iter().map(FigurePoint::tangram_speedup).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_measure_positively() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let cub = measure_cub(&arch, 4096).unwrap();
+        let kokkos = measure_kokkos(&arch, 4096).unwrap();
+        assert!(cub > 0.0 && kokkos > 0.0);
+        // CUB pays two launches plus host overhead at tiny sizes.
+        assert!(cub > 2.0 * arch.launch_overhead_ns);
+    }
+
+    #[test]
+    fn geomean_of_unit_speedups_is_one() {
+        let p = |s: f64| FigurePoint {
+            n: 1,
+            tangram_ns: 1.0 / s,
+            version: String::new(),
+            fig6_label: None,
+            tuning: (0, 0),
+            cub_ns: 1.0,
+            kokkos_ns: 1.0,
+            openmp_ns: 1.0,
+        };
+        let pts = vec![p(2.0), p(0.5)];
+        assert!((geomean_speedup(&pts) - 1.0).abs() < 1e-12);
+        assert!((max_speedup(&pts) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! Code-generation errors.
+
+use std::fmt;
+
+/// Errors produced while lowering codelets or synthesizing versions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// A language construct outside the supported lowering subset.
+    Unsupported(String),
+    /// An undeclared variable was referenced.
+    UnknownVar(String),
+    /// The codelet violates a structural assumption (e.g. `return`
+    /// not in tail position).
+    Malformed(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            CodegenError::UnknownVar(v) => write!(f, "reference to undeclared variable `{v}`"),
+            CodegenError::Malformed(why) => write!(f, "malformed codelet: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(CodegenError::UnknownVar("x".into()).to_string().contains("`x`"));
+        assert!(CodegenError::Unsupported("casts".into()).to_string().contains("casts"));
+    }
+}

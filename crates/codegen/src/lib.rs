@@ -1,0 +1,25 @@
+//! # tangram-codegen — code generation backends
+//!
+//! Turns planner [`tangram_passes::planner::CodeVersion`]s and
+//! pass-transformed codelet ASTs into executable artifacts:
+//!
+//! * [`lower`] — the AST→VIR compiler for cooperative codelets
+//!   (`Vector` methods map to their CUDA equivalents per Fig. 2,
+//!   barriers are inserted after shared-memory writes as in
+//!   Listing 3, guarded loads lower to branches);
+//! * [`vir`] — full-version synthesis: grid/block distribution
+//!   scaffolding (Listings 1–2 structure), thread coarsening,
+//!   per-thread-partial reducers, global/shared atomic accumulation,
+//!   and the second kernel of two-kernel versions;
+//! * [`cuda`] — CUDA C source text reproducing the paper's
+//!   Listings 1–4 (golden-tested).
+#![warn(missing_docs)]
+
+pub mod cuda;
+pub mod error;
+pub mod lower;
+pub mod vir;
+
+pub use cuda::{coop_kernel_cuda, version_cuda};
+pub use error::CodegenError;
+pub use vir::{synthesize, LaunchPlan, SynthesizedVersion, Tuning};

@@ -1,0 +1,992 @@
+//! Lowering of (lowered) cooperative codelets to VIR.
+//!
+//! This is the block-level half of Tangram's code generation: a
+//! cooperative codelet — after the §III-B shared-atomic lowering and
+//! (optionally) the §III-C shuffle rewrite — is compiled into the body
+//! of a VIR kernel. The `Vector` primitive's member functions map to
+//! their CUDA equivalents (Fig. 2), the input container binds to
+//! either a global-memory tile or a shared-memory staging array, and
+//! barriers are inserted after shared-memory writes exactly as
+//! Tangram's emitted CUDA does (Listing 3).
+
+use std::collections::HashMap;
+
+use gpu_sim::isa::{
+    Address, AtomOp, BinOp as VOp, CmpOp, Operand, PredId, RegId, Scope, ShflMode, Space, Sreg,
+    Ty as VTy,
+};
+use gpu_sim::kernel::KernelBuilder;
+use tangram_ir::ast::{BinOp, DeclTy, Expr, Stmt, UnOp};
+use tangram_ir::ty::{AtomicKind, ScalarTy};
+use tangram_ir::Codelet;
+
+use crate::error::CodegenError;
+
+/// Where the codelet's input container lives.
+#[derive(Debug, Clone, Copy)]
+pub enum InputBinding {
+    /// A tile of global memory. `base` holds the *byte address* of
+    /// element 0 of the container; `stride_elems` is the element
+    /// stride between consecutive container indices (1 for tiled
+    /// distribution, the grid size for strided distribution).
+    Global {
+        /// Register with the byte address of element 0.
+        base: RegId,
+        /// Register with the element stride (u32).
+        stride_elems: RegId,
+    },
+    /// A shared-memory staging array starting at a byte offset held in
+    /// `base` (always densely packed).
+    Shared {
+        /// Register with the byte offset of element 0.
+        base: RegId,
+    },
+}
+
+/// Lowering context for one cooperative codelet instantiation.
+pub struct CoopLowerer<'b> {
+    b: &'b mut KernelBuilder,
+    /// Element type of the reduction (F32 in the evaluation).
+    elem: VTy,
+    /// The input container binding.
+    input: InputBinding,
+    /// Register holding the container length in elements (u32) —
+    /// `in.Size()`.
+    len: RegId,
+    /// Input container parameter name (the codelet's first parameter).
+    input_name: String,
+    /// Scalar locals.
+    vars: HashMap<String, (RegId, VTy)>,
+    /// Declared `Vector` primitive names.
+    vectors: Vec<String>,
+    /// Shared arrays: name → (byte-offset register, element type,
+    /// atomic qualifier).
+    shared_arrays: HashMap<String, (RegId, VTy, Option<AtomicKind>)>,
+    /// Shared scalars: name → (byte-offset register, element type,
+    /// atomic qualifier).
+    shared_scalars: HashMap<String, (RegId, VTy, Option<AtomicKind>)>,
+    /// Whether the kernel's block may hold more than one warp (emit
+    /// barriers after shared writes).
+    multi_warp: bool,
+    /// The atomic scope used for shared-memory atomics.
+    cta_scope: Scope,
+    /// Identity element used to pre-fill shared accumulators (0 for
+    /// sum; ±∞ for min/max — see `tangram_passes::specialize`).
+    identity: f64,
+}
+
+fn scalar_vty(s: ScalarTy) -> VTy {
+    match s {
+        ScalarTy::Int => VTy::U32, // indices are non-negative; unify
+        ScalarTy::Unsigned => VTy::U32,
+        ScalarTy::Float => VTy::F32,
+        ScalarTy::Double => VTy::F64,
+        ScalarTy::Bool => VTy::U32,
+    }
+}
+
+impl<'b> CoopLowerer<'b> {
+    /// Create a lowerer. `len` must hold `in.Size()` (the number of
+    /// elements this instantiation reduces) as a `u32`.
+    pub fn new(
+        b: &'b mut KernelBuilder,
+        elem: VTy,
+        input: InputBinding,
+        len: RegId,
+        multi_warp: bool,
+    ) -> Self {
+        CoopLowerer {
+            b,
+            elem,
+            input,
+            len,
+            input_name: String::new(),
+            vars: HashMap::new(),
+            vectors: Vec::new(),
+            shared_arrays: HashMap::new(),
+            shared_scalars: HashMap::new(),
+            multi_warp,
+            cta_scope: Scope::Cta,
+            identity: 0.0,
+        }
+    }
+
+    /// Set the reduction identity element (pre-fill value for shared
+    /// accumulators). Defaults to 0 (sum).
+    pub fn with_identity(mut self, identity: f64) -> Self {
+        self.identity = identity;
+        self
+    }
+
+    /// Lower the whole codelet body; returns the register holding the
+    /// per-thread return value (meaningful on thread 0 for coop
+    /// codelets).
+    ///
+    /// # Errors
+    ///
+    /// [`CodegenError`] on constructs outside the supported subset.
+    pub fn lower_codelet(mut self, codelet: &Codelet) -> Result<RegId, CodegenError> {
+        let param = codelet
+            .params
+            .first()
+            .ok_or_else(|| CodegenError::Malformed("codelet needs an input parameter".into()))?;
+        self.input_name = param.name.clone();
+        let n = codelet.body.len();
+        if n == 0 {
+            return Err(CodegenError::Malformed("empty codelet body".into()));
+        }
+        let Some(Stmt::Return(ret)) = codelet.body.0.last() else {
+            return Err(CodegenError::Malformed("codelet must end with `return`".into()));
+        };
+        for s in &codelet.body.0[..n - 1] {
+            self.lower_stmt(s)?;
+        }
+        let out = self.b.reg();
+        let ret = ret.clone();
+        self.lower_expr_into(&ret, out, self.elem)?;
+        Ok(out)
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CodegenError> {
+        match s {
+            Stmt::Decl { quals, ty, name, init, .. } => match ty {
+                DeclTy::Vector => {
+                    self.vectors.push(name.clone());
+                    Ok(())
+                }
+                DeclTy::Sequence | DeclTy::Map => Err(CodegenError::Unsupported(format!(
+                    "primitive `{name}` inside a cooperative codelet"
+                ))),
+                DeclTy::Scalar(st) if quals.shared => {
+                    // Shared scalar (possibly atomic): allocate 8
+                    // bytes, zero-initialize from thread 0.
+                    let off = self.b.smem_alloc(8);
+                    let r = self.b.reg();
+                    self.b.mov(VTy::U64, r, Operand::ImmI(off as i64));
+                    self.shared_scalars.insert(name.clone(), (r, scalar_vty(*st), quals.atomic));
+                    self.init_shared_scalar(r, scalar_vty(*st))?;
+                    Ok(())
+                }
+                DeclTy::Scalar(st) => {
+                    let vty = scalar_vty(*st);
+                    let r = self.b.reg();
+                    if let Some(e) = init {
+                        self.lower_expr_into(e, r, vty)?;
+                    } else {
+                        self.b.mov(vty, r, Operand::ImmI(0));
+                    }
+                    self.vars.insert(name.clone(), (r, vty));
+                    Ok(())
+                }
+                DeclTy::Array { elem, size } => {
+                    if !quals.shared {
+                        return Err(CodegenError::Unsupported(format!(
+                            "non-shared local array `{name}`"
+                        )));
+                    }
+                    let vty = scalar_vty(*elem);
+                    let off_reg = self.b.reg();
+                    match size.as_deref() {
+                        Some(sz) if self.is_static_size(sz) => {
+                            let elems = self.eval_static(sz)?;
+                            let off = self.b.smem_alloc(elems as u64 * vty.size());
+                            self.b.mov(VTy::U64, off_reg, Operand::ImmI(off as i64));
+                        }
+                        _ => {
+                            // Dynamically-sized (`in.Size()` etc.):
+                            // the `extern __shared__` region of
+                            // Listing 3, sized at launch.
+                            let off = self.b.smem_dynamic();
+                            self.b.mov(VTy::U64, off_reg, Operand::ImmI(off as i64));
+                        }
+                    }
+                    self.shared_arrays.insert(name.clone(), (off_reg, vty, quals.atomic));
+                    if self.identity != 0.0 {
+                        // Shared memory starts zeroed; non-sum
+                        // reductions need the identity element in any
+                        // slot a guard may over-read.
+                        let elems = match size.as_deref() {
+                            Some(sz) if self.is_static_size(sz) => {
+                                let n = self.eval_static(sz)?;
+                                let r = self.b.reg();
+                                self.b.mov(VTy::U32, r, Operand::ImmI(n));
+                                r
+                            }
+                            _ => self.len,
+                        };
+                        self.prefill_shared(off_reg, vty, elems);
+                    }
+                    Ok(())
+                }
+            },
+            Stmt::Assign { target, value } => {
+                self.lower_store(target, value)?;
+                self.maybe_bar_after_shared_write(target);
+                Ok(())
+            }
+            Stmt::CompoundAssign { op, target, value } => {
+                // target = target op value
+                let combined = Expr::bin((*op).into_ir(), target.clone(), value.clone());
+                self.lower_store(target, &combined)?;
+                self.maybe_bar_after_shared_write(target);
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.lower_effect(e)?;
+                // Listing 3 line 28: a barrier follows the shared
+                // atomic so readers observe the accumulated value.
+                if self.multi_warp {
+                    self.b.bar();
+                }
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.lower_stmt(init)?;
+                let top = self.b.label();
+                let done = self.b.label();
+                self.b.place(top);
+                let p = self.lower_cond(cond)?;
+                self.b.bra_if(p, false, done);
+                for s in body {
+                    self.lower_stmt(s)?;
+                }
+                self.lower_stmt(step)?;
+                self.b.bra(top);
+                self.b.place(done);
+                Ok(())
+            }
+            Stmt::If { cond, then_b, else_b } => {
+                let p = self.lower_cond(cond)?;
+                let else_l = self.b.label();
+                self.b.bra_if(p, false, else_l);
+                for s in then_b {
+                    self.lower_stmt(s)?;
+                }
+                match else_b {
+                    Some(eb) => {
+                        let join = self.b.label();
+                        self.b.bra(join);
+                        self.b.place(else_l);
+                        for s in eb {
+                            self.lower_stmt(s)?;
+                        }
+                        self.b.place(join);
+                    }
+                    None => self.b.place(else_l),
+                }
+                Ok(())
+            }
+            Stmt::Return(_) => {
+                Err(CodegenError::Malformed("`return` only supported in tail position".into()))
+            }
+        }
+    }
+
+    /// Thread 0 zero-initializes a shared scalar, then a barrier
+    /// (Listing 3 lines 6–8).
+    fn init_shared_scalar(&mut self, off_reg: RegId, vty: VTy) -> Result<(), CodegenError> {
+        let p = self.b.pred();
+        self.b.setp(CmpOp::Eq, VTy::U32, p, Operand::Sreg(Sreg::TidX), Operand::ImmI(0));
+        let skip = self.b.label();
+        self.b.bra_if(p, false, skip);
+        let zero = self.b.reg();
+        self.b.mov(vty, zero, Operand::ImmF(self.identity));
+        self.b.st(Space::Shared, vty, zero, Address::reg(off_reg));
+        self.b.place(skip);
+        if self.multi_warp {
+            self.b.bar();
+        }
+        Ok(())
+    }
+
+    fn maybe_bar_after_shared_write(&mut self, target: &Expr) {
+        if !self.multi_warp {
+            return;
+        }
+        if let Some((name, _)) = target.as_var_index() {
+            if self.shared_arrays.contains_key(name) {
+                self.b.bar();
+            }
+        } else if let Expr::Var(v) = target {
+            if self.shared_scalars.contains_key(v) {
+                self.b.bar();
+            }
+        }
+    }
+
+    /// Lower a store to a scalar local, shared scalar or shared array
+    /// element.
+    fn lower_store(&mut self, target: &Expr, value: &Expr) -> Result<(), CodegenError> {
+        match target {
+            Expr::Var(name) => {
+                if let Some(&(reg, vty)) = self.vars.get(name) {
+                    return self.lower_expr_into(value, reg, vty);
+                }
+                if let Some(&(off, vty, _)) = self.shared_scalars.get(name) {
+                    let v = self.b.reg();
+                    self.lower_expr_into(value, v, vty)?;
+                    self.b.st(Space::Shared, vty, v, Address::reg(off));
+                    return Ok(());
+                }
+                Err(CodegenError::UnknownVar(name.clone()))
+            }
+            Expr::Index { base, index } => {
+                let Expr::Var(name) = base.as_ref() else {
+                    return Err(CodegenError::Unsupported("computed array base".into()));
+                };
+                let &(off, vty, _) = self
+                    .shared_arrays
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownVar(name.clone()))?;
+                let v = self.b.reg();
+                self.lower_expr_into(value, v, vty)?;
+                let addr = self.shared_elem_addr(off, index, vty)?;
+                self.b.st(Space::Shared, vty, v, Address::reg(addr));
+                Ok(())
+            }
+            other => Err(CodegenError::Unsupported(format!("store target {other:?}"))),
+        }
+    }
+
+    /// Lower an expression statement: atomic intrinsic calls.
+    fn lower_effect(&mut self, e: &Expr) -> Result<(), CodegenError> {
+        if let Expr::Call { callee, args } = e {
+            if let Some(kind) = callee.strip_prefix("atomic").and_then(AtomicKind::from_suffix) {
+                if args.len() != 2 {
+                    return Err(CodegenError::Malformed(format!("{callee} needs 2 arguments")));
+                }
+                return self.lower_shared_atomic(kind, &args[0], &args[1]);
+            }
+        }
+        Err(CodegenError::Unsupported(format!("effect expression {e:?}")))
+    }
+
+    fn lower_shared_atomic(
+        &mut self,
+        kind: AtomicKind,
+        target: &Expr,
+        value: &Expr,
+    ) -> Result<(), CodegenError> {
+        let (addr, vty) = match target {
+            Expr::Var(name) => {
+                let &(off, vty, _) = self
+                    .shared_scalars
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownVar(name.clone()))?;
+                (off, vty)
+            }
+            Expr::Index { base, index } => {
+                let Expr::Var(name) = base.as_ref() else {
+                    return Err(CodegenError::Unsupported("computed array base".into()));
+                };
+                let &(off, vty, _) = self
+                    .shared_arrays
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownVar(name.clone()))?;
+                (self.shared_elem_addr(off, index, vty)?, vty)
+            }
+            other => return Err(CodegenError::Unsupported(format!("atomic target {other:?}"))),
+        };
+        let v = self.b.reg();
+        self.lower_expr_into(value, v, vty)?;
+        let op = match kind {
+            AtomicKind::Add => AtomOp::Add,
+            AtomicKind::Sub => AtomOp::Sub,
+            AtomicKind::Max => AtomOp::Max,
+            AtomicKind::Min => AtomOp::Min,
+        };
+        self.b.red(Space::Shared, self.cta_scope, op, vty, Address::reg(addr), Operand::Reg(v));
+        Ok(())
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    /// Evaluate a boolean condition into a predicate register.
+    fn lower_cond(&mut self, e: &Expr) -> Result<PredId, CodegenError> {
+        match e {
+            Expr::Binary { op, lhs, rhs } if op.is_boolean() => match op {
+                BinOp::And | BinOp::Or => {
+                    let pl = self.lower_cond(lhs)?;
+                    let pr = self.lower_cond(rhs)?;
+                    let p = self.b.pred();
+                    let vop = if *op == BinOp::And { VOp::And } else { VOp::Or };
+                    self.b.push(gpu_sim::isa::Instr::Plop { op: vop, dst: p, a: pl, b: pr });
+                    Ok(p)
+                }
+                _ => {
+                    // Comparisons: operand type from the operands.
+                    let vty = self.infer_ty(lhs).or_else(|| self.infer_ty(rhs)).unwrap_or(VTy::U32);
+                    let a = self.b.reg();
+                    self.lower_expr_into(lhs, a, vty)?;
+                    let breg = self.b.reg();
+                    self.lower_expr_into(rhs, breg, vty)?;
+                    let p = self.b.pred();
+                    let cmp = match op {
+                        BinOp::Lt => CmpOp::Lt,
+                        BinOp::Le => CmpOp::Le,
+                        BinOp::Gt => CmpOp::Gt,
+                        BinOp::Ge => CmpOp::Ge,
+                        BinOp::Eq => CmpOp::Eq,
+                        BinOp::Ne => CmpOp::Ne,
+                        _ => unreachable!(),
+                    };
+                    self.b.setp(cmp, vty, p, Operand::Reg(a), Operand::Reg(breg));
+                    Ok(p)
+                }
+            },
+            Expr::Unary { op: UnOp::Not, expr } => {
+                // !(x) via comparing the condition to false is awkward;
+                // evaluate inner condition and branch on the inverse at
+                // the use site instead. Here: materialize 0/1.
+                let inner = self.lower_cond(expr)?;
+                let r = self.b.reg();
+                self.b.selp(VTy::U32, r, Operand::ImmI(0), Operand::ImmI(1), inner);
+                let p = self.b.pred();
+                self.b.setp(CmpOp::Ne, VTy::U32, p, Operand::Reg(r), Operand::ImmI(0));
+                Ok(p)
+            }
+            other => {
+                // Non-comparison used as a condition: != 0.
+                let vty = self.infer_ty(other).unwrap_or(VTy::U32);
+                let r = self.b.reg();
+                self.lower_expr_into(other, r, vty)?;
+                let p = self.b.pred();
+                self.b.setp(CmpOp::Ne, vty, p, Operand::Reg(r), Operand::ImmI(0));
+                Ok(p)
+            }
+        }
+    }
+
+    /// Best-effort type inference for an expression (element type for
+    /// container reads and float locals, `U32` for everything else).
+    fn infer_ty(&self, e: &Expr) -> Option<VTy> {
+        match e {
+            Expr::Var(v) => self
+                .vars
+                .get(v)
+                .map(|&(_, t)| t)
+                .or_else(|| self.shared_scalars.get(v).map(|&(_, t, _)| t)),
+            Expr::Int(_) => None,
+            Expr::Float(_) => Some(self.elem),
+            Expr::Index { base, .. } => match base.as_ref() {
+                Expr::Var(v) if *v == self.input_name => Some(self.elem),
+                Expr::Var(v) => self.shared_arrays.get(v).map(|&(_, t, _)| t),
+                _ => None,
+            },
+            Expr::Binary { lhs, rhs, op } if !op.is_boolean() => {
+                self.infer_ty(lhs).or_else(|| self.infer_ty(rhs))
+            }
+            Expr::Ternary { then_e, else_e, .. } => {
+                self.infer_ty(then_e).or_else(|| self.infer_ty(else_e))
+            }
+            Expr::Call { callee, .. } if callee.starts_with("__shfl") => Some(self.elem),
+            Expr::Call { callee, args } if callee == "max" || callee == "min" => {
+                args.iter().find_map(|a| self.infer_ty(a))
+            }
+            Expr::Method { .. } => Some(VTy::U32),
+            _ => None,
+        }
+    }
+
+    /// Whether an expression contains a memory access (needs branch
+    /// lowering inside ternaries instead of `selp`).
+    fn has_memory(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Index { .. } => true,
+            Expr::Var(v) => self.shared_scalars.contains_key(v),
+            Expr::Binary { lhs, rhs, .. } => self.has_memory(lhs) || self.has_memory(rhs),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => self.has_memory(expr),
+            Expr::Ternary { cond, then_e, else_e } => {
+                self.has_memory(cond) || self.has_memory(then_e) || self.has_memory(else_e)
+            }
+            Expr::Call { args, .. } => args.iter().any(|a| self.has_memory(a)),
+            Expr::Method { .. } | Expr::Int(_) | Expr::Float(_) => false,
+        }
+    }
+
+    /// Evaluate `e` as type `vty` into register `dst`.
+    fn lower_expr_into(&mut self, e: &Expr, dst: RegId, vty: VTy) -> Result<(), CodegenError> {
+        match e {
+            Expr::Int(v) => {
+                self.b.mov(vty, dst, Operand::ImmI(*v));
+                Ok(())
+            }
+            Expr::Float(v) => {
+                self.b.mov(vty, dst, Operand::ImmF(*v));
+                Ok(())
+            }
+            Expr::Var(name) => {
+                if let Some(&(reg, src_ty)) = self.vars.get(name) {
+                    self.emit_coerced_mov(dst, Operand::Reg(reg), src_ty, vty);
+                    return Ok(());
+                }
+                if let Some(&(off, sty, _)) = self.shared_scalars.get(name) {
+                    let tmp = self.b.reg();
+                    self.b.ld(Space::Shared, sty, tmp, Address::reg(off));
+                    self.emit_coerced_mov(dst, Operand::Reg(tmp), sty, vty);
+                    return Ok(());
+                }
+                Err(CodegenError::UnknownVar(name.clone()))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                if op.is_boolean() {
+                    let p = self.lower_cond(e)?;
+                    self.b.selp(vty, dst, Operand::ImmI(1), Operand::ImmI(0), p);
+                    return Ok(());
+                }
+                let a = self.b.reg();
+                self.lower_expr_into(lhs, a, vty)?;
+                let c = self.b.reg();
+                self.lower_expr_into(rhs, c, vty)?;
+                let vop = match op {
+                    BinOp::Add => VOp::Add,
+                    BinOp::Sub => VOp::Sub,
+                    BinOp::Mul => VOp::Mul,
+                    BinOp::Div => VOp::Div,
+                    BinOp::Rem => VOp::Rem,
+                    BinOp::BitAnd => VOp::And,
+                    BinOp::BitOr => VOp::Or,
+                    BinOp::BitXor => VOp::Xor,
+                    BinOp::Shl => VOp::Shl,
+                    BinOp::Shr => VOp::Shr,
+                    _ => unreachable!("boolean handled above"),
+                };
+                self.b.bin(vop, vty, dst, Operand::Reg(a), Operand::Reg(c));
+                Ok(())
+            }
+            Expr::Unary { op, expr } => {
+                let a = self.b.reg();
+                self.lower_expr_into(expr, a, vty)?;
+                match op {
+                    UnOp::Neg => self.b.un(gpu_sim::isa::UnOp::Neg, vty, dst, Operand::Reg(a)),
+                    UnOp::Not => {
+                        let p = self.b.pred();
+                        self.b.setp(CmpOp::Eq, vty, p, Operand::Reg(a), Operand::ImmI(0));
+                        self.b.selp(vty, dst, Operand::ImmI(1), Operand::ImmI(0), p);
+                    }
+                }
+                Ok(())
+            }
+            Expr::Ternary { cond, then_e, else_e } => {
+                if self.has_memory(then_e) || self.has_memory(else_e) {
+                    // Branch lowering: the memory access must only
+                    // happen on the taken side (guarded loads).
+                    let p = self.lower_cond(cond)?;
+                    let else_l = self.b.label();
+                    let join = self.b.label();
+                    self.b.bra_if(p, false, else_l);
+                    self.lower_expr_into(then_e, dst, vty)?;
+                    self.b.bra(join);
+                    self.b.place(else_l);
+                    self.lower_expr_into(else_e, dst, vty)?;
+                    self.b.place(join);
+                } else {
+                    let p = self.lower_cond(cond)?;
+                    let a = self.b.reg();
+                    self.lower_expr_into(then_e, a, vty)?;
+                    let c = self.b.reg();
+                    self.lower_expr_into(else_e, c, vty)?;
+                    self.b.selp(vty, dst, Operand::Reg(a), Operand::Reg(c), p);
+                }
+                Ok(())
+            }
+            Expr::Index { base, index } => {
+                let Expr::Var(name) = base.as_ref() else {
+                    return Err(CodegenError::Unsupported("computed array base".into()));
+                };
+                if *name == self.input_name {
+                    let addr = self.input_elem_addr(index)?;
+                    let (space, _) = match self.input {
+                        InputBinding::Global { .. } => (Space::Global, ()),
+                        InputBinding::Shared { .. } => (Space::Shared, ()),
+                    };
+                    let tmp = self.b.reg();
+                    self.b.ld(space, self.elem, tmp, Address::reg(addr));
+                    self.emit_coerced_mov(dst, Operand::Reg(tmp), self.elem, vty);
+                    return Ok(());
+                }
+                let &(off, sty, _) = self
+                    .shared_arrays
+                    .get(name)
+                    .ok_or_else(|| CodegenError::UnknownVar(name.clone()))?;
+                let addr = self.shared_elem_addr(off, index, sty)?;
+                let tmp = self.b.reg();
+                self.b.ld(Space::Shared, sty, tmp, Address::reg(addr));
+                self.emit_coerced_mov(dst, Operand::Reg(tmp), sty, vty);
+                Ok(())
+            }
+            Expr::Method { .. } => {
+                let v = self.lower_method(e)?;
+                self.emit_coerced_mov(dst, v, VTy::U32, vty);
+                Ok(())
+            }
+            Expr::Call { callee, args } => {
+                if let Some(mode) = shfl_mode(callee) {
+                    if args.len() != 3 {
+                        return Err(CodegenError::Malformed(format!("{callee} needs 3 args")));
+                    }
+                    let src = self.b.reg();
+                    self.lower_expr_into(&args[0], src, self.elem)?;
+                    let lane = self.b.reg();
+                    self.lower_expr_into(&args[1], lane, VTy::U32)?;
+                    let width = match &args[2] {
+                        Expr::Int(w) => *w as u32,
+                        _ => 32,
+                    };
+                    self.b.shfl(mode, self.elem, dst, Operand::Reg(src), Operand::Reg(lane), width);
+                    return Ok(());
+                }
+                if (callee == "max" || callee == "min") && args.len() == 2 {
+                    let a = self.b.reg();
+                    self.lower_expr_into(&args[0], a, vty)?;
+                    let c = self.b.reg();
+                    self.lower_expr_into(&args[1], c, vty)?;
+                    let op = if callee == "max" { VOp::Max } else { VOp::Min };
+                    self.b.bin(op, vty, dst, Operand::Reg(a), Operand::Reg(c));
+                    return Ok(());
+                }
+                Err(CodegenError::Unsupported(format!("call to `{callee}`")))
+            }
+            Expr::Cast { ty, expr } => {
+                let target = scalar_vty(*ty);
+                let tmp = self.b.reg();
+                let src_ty = self.infer_ty(expr).unwrap_or(VTy::U32);
+                self.lower_expr_into(expr, tmp, src_ty)?;
+                let casted = self.b.reg();
+                self.b.cvt(src_ty, target, casted, Operand::Reg(tmp));
+                self.emit_coerced_mov(dst, Operand::Reg(casted), target, vty);
+                Ok(())
+            }
+        }
+    }
+
+    /// Strided pre-fill of a shared array with the identity element,
+    /// followed by a barrier.
+    fn prefill_shared(&mut self, off_reg: RegId, vty: VTy, elems: RegId) {
+        let idx = self.b.reg();
+        self.b.mov(VTy::U32, idx, Operand::Sreg(Sreg::TidX));
+        let ident = self.b.reg();
+        self.b.mov(vty, ident, Operand::ImmF(self.identity));
+        let top = self.b.label();
+        let done = self.b.label();
+        self.b.place(top);
+        let p = self.b.pred();
+        self.b.setp(CmpOp::Ge, VTy::U32, p, Operand::Reg(idx), Operand::Reg(elems));
+        self.b.bra_if(p, true, done);
+        let addr = self.b.reg();
+        self.b.cvt(VTy::U32, VTy::U64, addr, Operand::Reg(idx));
+        self.b.bin(VOp::Mul, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(vty.size() as i64));
+        self.b.bin(VOp::Add, VTy::U64, addr, Operand::Reg(addr), Operand::Reg(off_reg));
+        self.b.st(Space::Shared, vty, ident, Address::reg(addr));
+        self.b.bin(VOp::Add, VTy::U32, idx, Operand::Reg(idx), Operand::Sreg(Sreg::NtidX));
+        self.b.bra(top);
+        self.b.place(done);
+        if self.multi_warp {
+            self.b.bar();
+        }
+    }
+
+    /// Move with an int↔float conversion when the types disagree.
+    fn emit_coerced_mov(&mut self, dst: RegId, src: Operand, from: VTy, to: VTy) {
+        if from == to || (from.size() == to.size() && from.is_float() == to.is_float()) {
+            self.b.mov(to, dst, src);
+        } else {
+            self.b.cvt(from, to, dst, src);
+        }
+    }
+
+    /// `Vector` / container member functions (Fig. 2).
+    fn lower_method(&mut self, e: &Expr) -> Result<Operand, CodegenError> {
+        let Some((recv, method, _)) = e.as_var_method() else {
+            return Err(CodegenError::Unsupported(format!("method expression {e:?}")));
+        };
+        if self.vectors.iter().any(|v| v == recv) {
+            return Ok(match method {
+                "ThreadId" => Operand::Sreg(Sreg::TidX),
+                "LaneId" => Operand::Sreg(Sreg::LaneId),
+                "VectorId" => Operand::Sreg(Sreg::WarpId),
+                "Size" => Operand::Sreg(Sreg::WarpSize),
+                "MaxSize" => Operand::ImmI(32),
+                other => {
+                    return Err(CodegenError::Unsupported(format!("Vector::{other}()")))
+                }
+            });
+        }
+        if recv == self.input_name {
+            return match method {
+                "Size" => Ok(Operand::Reg(self.len)),
+                "Stride" => match self.input {
+                    InputBinding::Global { stride_elems, .. } => Ok(Operand::Reg(stride_elems)),
+                    InputBinding::Shared { .. } => Ok(Operand::ImmI(1)),
+                },
+                other => Err(CodegenError::Unsupported(format!("Array::{other}()"))),
+            };
+        }
+        Err(CodegenError::UnknownVar(recv.to_string()))
+    }
+
+    /// Byte address of `in[index]` under the input binding.
+    fn input_elem_addr(&mut self, index: &Expr) -> Result<RegId, CodegenError> {
+        let idx = self.b.reg();
+        self.lower_expr_into(index, idx, VTy::U32)?;
+        let addr = self.b.reg();
+        match self.input {
+            InputBinding::Global { base, stride_elems } => {
+                // byte_addr = base + (idx * stride) * elem_size
+                let scaled = self.b.reg();
+                self.b.bin(VOp::Mul, VTy::U32, scaled, Operand::Reg(idx), Operand::Reg(stride_elems));
+                self.b.cvt(VTy::U32, VTy::U64, addr, Operand::Reg(scaled));
+                self.b.bin(VOp::Mul, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(self.elem.size() as i64));
+                self.b.bin(VOp::Add, VTy::U64, addr, Operand::Reg(addr), Operand::Reg(base));
+            }
+            InputBinding::Shared { base } => {
+                self.b.cvt(VTy::U32, VTy::U64, addr, Operand::Reg(idx));
+                self.b.bin(VOp::Mul, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(self.elem.size() as i64));
+                self.b.bin(VOp::Add, VTy::U64, addr, Operand::Reg(addr), Operand::Reg(base));
+            }
+        }
+        Ok(addr)
+    }
+
+    /// Byte offset of `arr[index]` in shared memory.
+    fn shared_elem_addr(
+        &mut self,
+        off_reg: RegId,
+        index: &Expr,
+        vty: VTy,
+    ) -> Result<RegId, CodegenError> {
+        let idx = self.b.reg();
+        self.lower_expr_into(index, idx, VTy::U32)?;
+        let addr = self.b.reg();
+        self.b.cvt(VTy::U32, VTy::U64, addr, Operand::Reg(idx));
+        self.b.bin(VOp::Mul, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(vty.size() as i64));
+        self.b.bin(VOp::Add, VTy::U64, addr, Operand::Reg(addr), Operand::Reg(off_reg));
+        Ok(addr)
+    }
+
+    /// Whether an array-size expression is compile-time static (only
+    /// literals and `Vector::MaxSize()`).
+    fn is_static_size(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Int(_) => true,
+            Expr::Binary { lhs, rhs, .. } => self.is_static_size(lhs) && self.is_static_size(rhs),
+            Expr::Method { .. } => {
+                matches!(e.as_var_method(), Some((recv, "MaxSize", _))
+                    if self.vectors.iter().any(|v| v == recv))
+            }
+            _ => false,
+        }
+    }
+
+    fn eval_static(&self, e: &Expr) -> Result<i64, CodegenError> {
+        match e {
+            Expr::Int(v) => Ok(*v),
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval_static(lhs)?;
+                let b = self.eval_static(rhs)?;
+                Ok(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b.max(1),
+                    _ => {
+                        return Err(CodegenError::Unsupported(
+                            "operator in static size expression".into(),
+                        ))
+                    }
+                })
+            }
+            Expr::Method { .. } => Ok(32), // MaxSize() (checked by is_static_size)
+            _ => Err(CodegenError::Unsupported("non-static size expression".into())),
+        }
+    }
+}
+
+/// Extension: map IR compound-assign operators onto themselves (the
+/// IR `BinOp` is reused directly).
+trait IntoIr {
+    fn into_ir(self) -> BinOp;
+}
+
+impl IntoIr for BinOp {
+    fn into_ir(self) -> BinOp {
+        self
+    }
+}
+
+fn shfl_mode(callee: &str) -> Option<ShflMode> {
+    Some(match callee {
+        "__shfl_down" => ShflMode::Down,
+        "__shfl_up" => ShflMode::Up,
+        "__shfl_xor" => ShflMode::Bfly,
+        "__shfl" => ShflMode::Idx,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::exec::{run_kernel, Arg, BlockSelection, LaunchDims};
+    use gpu_sim::memory::LinearMemory;
+    use gpu_sim::ArchConfig;
+    use tangram_passes::corpus;
+    use tangram_passes::lower_shared_atomics;
+    use tangram_passes::{Pass, ShufflePass};
+
+    /// Wrap a coop codelet into a single-block kernel:
+    /// p0 = input ptr, p1 = output ptr, p2 = n. Thread 0 stores the
+    /// returned value.
+    fn build_single_block_kernel(codelet: &Codelet, block: u32) -> gpu_sim::Kernel {
+        let mut b = KernelBuilder::new("coop_test");
+        let p_in = b.param_ptr();
+        let p_out = b.param_ptr();
+        let p_n = b.param_scalar(VTy::U32);
+        let base = b.reg();
+        b.mov(VTy::U64, base, Operand::Param(p_in));
+        let stride = b.reg();
+        b.mov(VTy::U32, stride, Operand::ImmI(1));
+        let len = b.reg();
+        b.mov(VTy::U32, len, Operand::Param(p_n));
+        let lower = CoopLowerer::new(
+            &mut b,
+            VTy::F32,
+            InputBinding::Global { base, stride_elems: stride },
+            len,
+            block > 32,
+        );
+        let val = lower.lower_codelet(codelet).unwrap();
+        // thread 0 stores
+        let p = b.pred();
+        b.setp(CmpOp::Eq, VTy::U32, p, Operand::Sreg(Sreg::TidX), Operand::ImmI(0));
+        let skip = b.label();
+        b.bra_if(p, false, skip);
+        b.st(Space::Global, VTy::F32, val, Address::new(Operand::Param(p_out), 0));
+        b.place(skip);
+        b.exit();
+        b.finish().unwrap()
+    }
+
+    fn run_coop(codelet: &Codelet, n: u32, block: u32) -> (f32, gpu_sim::LaunchStats) {
+        let k = build_single_block_kernel(codelet, block);
+        let mut mem = LinearMemory::new(u64::from(n) * 4 + 256, "global");
+        for i in 0..n {
+            mem.write(VTy::F32, u64::from(i) * 4, u64::from((i as f32 + 1.0).to_bits()))
+                .unwrap();
+        }
+        let out_addr = u64::from(n) * 4;
+        let dims = LaunchDims::new(1, block).with_dynamic_smem(u64::from(block) * 4);
+        let got = run_kernel(
+            &k,
+            &ArchConfig::maxwell_gtx980(),
+            dims,
+            &[Arg::Ptr(0), Arg::Ptr(out_addr), Arg::U32(n)],
+            &mut mem,
+            BlockSelection::All,
+        )
+        .unwrap();
+        (f32::from_bits(mem.read(VTy::F32, out_addr).unwrap() as u32), got.stats)
+    }
+
+    fn expected(n: u32) -> f32 {
+        (n * (n + 1) / 2) as f32
+    }
+
+    #[test]
+    fn fig1c_reduces_one_warp() {
+        let c = corpus::parse_canonical(corpus::FIG1C, "float");
+        let (got, _) = run_coop(&c, 32, 32);
+        assert_eq!(got, expected(32));
+    }
+
+    #[test]
+    fn fig1c_reduces_multi_warp_block() {
+        let c = corpus::parse_canonical(corpus::FIG1C, "float");
+        let (got, stats) = run_coop(&c, 256, 256);
+        assert_eq!(got, expected(256));
+        assert!(stats.barriers > 0, "multi-warp blocks need barriers");
+        assert_eq!(stats.shared_atomics, 0);
+    }
+
+    #[test]
+    fn fig1c_partial_block() {
+        // n smaller than the block: guards must hold.
+        let c = corpus::parse_canonical(corpus::FIG1C, "float");
+        let (got, _) = run_coop(&c, 100, 128);
+        assert_eq!(got, expected(100));
+    }
+
+    #[test]
+    fn fig3a_atomic_accumulator() {
+        let c = corpus::parse_canonical(corpus::FIG3A, "float");
+        let (lowered, n) = lower_shared_atomics(&c);
+        assert_eq!(n, 1);
+        let (got, stats) = run_coop(&lowered, 128, 128);
+        assert_eq!(got, expected(128));
+        assert_eq!(stats.shared_atomics, 128, "every thread updates atomically");
+    }
+
+    #[test]
+    fn fig3b_tree_then_atomic() {
+        let c = corpus::parse_canonical(corpus::FIG3B, "float");
+        let (lowered, n) = lower_shared_atomics(&c);
+        assert_eq!(n, 1);
+        let (got, stats) = run_coop(&lowered, 256, 256);
+        assert_eq!(got, expected(256));
+        // Only the first lane of each of the 8 warps updates.
+        assert_eq!(stats.shared_atomics, 8);
+    }
+
+    #[test]
+    fn fig1c_shuffled_uses_no_dynamic_smem_and_shfl() {
+        let c = corpus::parse_canonical(corpus::FIG1C, "float");
+        let vs = ShufflePass.run(&c);
+        let shuffled = &vs[0].codelet;
+        let k = build_single_block_kernel(shuffled, 256);
+        assert!(!k.dynamic_smem, "tmp staging array must be disabled");
+        let (got, stats) = run_coop(shuffled, 256, 256);
+        assert_eq!(got, expected(256));
+        assert!(stats.class(gpu_sim::isa::InstrClass::Shfl) > 0);
+    }
+
+    #[test]
+    fn fig3b_shuffled_still_correct() {
+        let c = corpus::parse_canonical(corpus::FIG3B, "float");
+        let (lowered, _) = lower_shared_atomics(&c);
+        let vs = ShufflePass.run(&lowered);
+        assert_eq!(vs.len(), 1);
+        let (got, stats) = run_coop(&vs[0].codelet, 192, 192);
+        assert_eq!(got, expected(192));
+        assert!(stats.class(gpu_sim::isa::InstrClass::Shfl) > 0);
+        assert_eq!(stats.shared_atomics, 6);
+    }
+
+    #[test]
+    fn return_not_in_tail_is_rejected() {
+        let src = r#"
+            __codelet __coop
+            float sum(const Array<1,float> in) {
+                Vector vthread();
+                if (vthread.ThreadId() == 0) {
+                    return 1;
+                }
+                return 0;
+            }
+        "#;
+        let c = tangram_lang::parse_codelets(src).unwrap().remove(0);
+        let mut b = KernelBuilder::new("bad");
+        let base = b.reg();
+        let stride = b.reg();
+        let len = b.reg();
+        let lower = CoopLowerer::new(
+            &mut b,
+            VTy::F32,
+            InputBinding::Global { base, stride_elems: stride },
+            len,
+            false,
+        );
+        assert!(lower.lower_codelet(&c).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! The user-facing reduction API.
+//!
+//! `Reducer` is what a library client of the extended Tangram would
+//! use: it owns an architecture, lazily selects and tunes the best
+//! synthesized code version for each array-size bucket (the paper's
+//! per-size winners, §IV-C), and runs reductions exactly.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device, SimError};
+use tangram_codegen::CodegenError;
+use tangram_passes::planner::CodeVersion;
+
+use tangram_codegen::vir::synthesize_op;
+use tangram_passes::specialize::ReduceOp;
+
+use crate::runner::{run_reduction, upload};
+use crate::select::{fig6_label_of, select_best};
+use crate::tuner::TunedVersion;
+
+/// Errors surfaced by the high-level API.
+#[derive(Debug)]
+pub enum TangramError {
+    /// Simulator-level failure.
+    Sim(SimError),
+    /// Code-generation failure.
+    Codegen(CodegenError),
+    /// Input too large for the 32-bit size convention of the kernels.
+    TooLarge(u64),
+}
+
+impl fmt::Display for TangramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TangramError::Sim(e) => write!(f, "simulator error: {e}"),
+            TangramError::Codegen(e) => write!(f, "codegen error: {e}"),
+            TangramError::TooLarge(n) => write!(f, "input of {n} elements exceeds 2^31"),
+        }
+    }
+}
+
+impl std::error::Error for TangramError {}
+
+impl From<SimError> for TangramError {
+    fn from(e: SimError) -> Self {
+        TangramError::Sim(e)
+    }
+}
+
+impl From<CodegenError> for TangramError {
+    fn from(e: CodegenError) -> Self {
+        TangramError::Codegen(e)
+    }
+}
+
+/// Result of a reduction, including what code ran.
+#[derive(Debug, Clone)]
+pub struct SumResult {
+    /// The reduction operator that was computed.
+    pub op: ReduceOp,
+    /// The reduced value.
+    pub value: f32,
+    /// The code version that ran.
+    pub version: CodeVersion,
+    /// Its Fig. 6 label, when applicable.
+    pub fig6_label: Option<char>,
+    /// Tuned block size.
+    pub block_size: u32,
+    /// Tuned coarsening factor.
+    pub coarsen: u32,
+    /// Modelled execution time (ns) of this reduction.
+    pub time_ns: f64,
+}
+
+/// A performance-portable reducer for one GPU architecture.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::ArchConfig;
+/// use tangram::Reducer;
+///
+/// # fn main() -> Result<(), tangram::TangramError> {
+/// let mut reducer = Reducer::new(ArchConfig::maxwell_gtx980());
+/// let data: Vec<f32> = (1..=1000).map(|i| i as f32).collect();
+/// let result = reducer.sum(&data)?;
+/// assert_eq!(result.value, 500_500.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Reducer {
+    arch: ArchConfig,
+    cache: HashMap<u32, TunedVersion>,
+}
+
+impl Reducer {
+    /// Create a reducer targeting `arch`.
+    pub fn new(arch: ArchConfig) -> Self {
+        Reducer { arch, cache: HashMap::new() }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Size bucket used for the selection cache (winners change with
+    /// order of magnitude, not per element).
+    fn bucket(n: u64) -> u32 {
+        64 - n.max(1).leading_zeros()
+    }
+
+    /// Reduce `data` to its sum with the best synthesized version for
+    /// this architecture and size.
+    ///
+    /// # Errors
+    ///
+    /// [`TangramError`] on simulator failures or inputs above 2³¹
+    /// elements.
+    pub fn sum(&mut self, data: &[f32]) -> Result<SumResult, TangramError> {
+        self.reduce(data, ReduceOp::Sum)
+    }
+
+    /// Reduce `data` to its maximum (the `atomicMax` API family,
+    /// §III-A).
+    ///
+    /// # Errors
+    ///
+    /// See [`Reducer::sum`].
+    pub fn max(&mut self, data: &[f32]) -> Result<SumResult, TangramError> {
+        self.reduce(data, ReduceOp::Max)
+    }
+
+    /// Reduce `data` to its minimum (the `atomicMin` API family,
+    /// §III-A).
+    ///
+    /// # Errors
+    ///
+    /// See [`Reducer::sum`].
+    pub fn min(&mut self, data: &[f32]) -> Result<SumResult, TangramError> {
+        self.reduce(data, ReduceOp::Min)
+    }
+
+    /// Reduce `data` under an arbitrary operator. Version selection is
+    /// shared across operators (the fold changes, not the schedule);
+    /// the kernels are re-synthesized with the operator's folds,
+    /// atomics and identity element.
+    ///
+    /// # Errors
+    ///
+    /// [`TangramError`] on simulator failures or inputs above 2³¹
+    /// elements.
+    pub fn reduce(&mut self, data: &[f32], op: ReduceOp) -> Result<SumResult, TangramError> {
+        let n = data.len() as u64;
+        if n >= (1 << 31) {
+            return Err(TangramError::TooLarge(n));
+        }
+        if n == 0 {
+            return Ok(SumResult {
+                op,
+                value: op.identity_f32(),
+                version: tangram_passes::planner::fig6_versions()[0].1,
+                fig6_label: None,
+                block_size: 0,
+                coarsen: 0,
+                time_ns: 0.0,
+            });
+        }
+        let bucket = Self::bucket(n);
+        if !self.cache.contains_key(&bucket) {
+            let (tuned, _row) = select_best(&self.arch, n)?;
+            self.cache.insert(bucket, tuned);
+        }
+        let tuned = &self.cache[&bucket];
+        let sv = if op == ReduceOp::Sum {
+            tuned.synthesized.clone()
+        } else {
+            synthesize_op(tuned.synthesized.version, tuned.synthesized.tuning, op)?
+        };
+        let mut dev = Device::new(self.arch.clone());
+        let input = upload(&mut dev, data)?;
+        dev.reset_clock();
+        let value = run_reduction(&mut dev, &sv, input, n, BlockSelection::All)?;
+        Ok(SumResult {
+            op,
+            value,
+            version: sv.version,
+            fig6_label: fig6_label_of(sv.version),
+            block_size: sv.tuning.block_size,
+            coarsen: sv.tuning.coarsen,
+            time_ns: dev.elapsed_ns(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_correctly_and_caches_selection() {
+        let mut r = Reducer::new(ArchConfig::pascal_p100());
+        let data: Vec<f32> = (0..5000).map(|i| ((i % 10) as f32) - 2.0).collect();
+        let expect: f32 = data.iter().sum();
+        let first = r.sum(&data).unwrap();
+        assert_eq!(first.value, expect);
+        // Second call in the same bucket reuses the cached selection.
+        let second = r.sum(&data).unwrap();
+        assert_eq!(second.version, first.version);
+        assert_eq!(r.cache.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_sums_to_zero() {
+        let mut r = Reducer::new(ArchConfig::kepler_k40c());
+        assert_eq!(r.sum(&[]).unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn winner_is_reported_with_label() {
+        let mut r = Reducer::new(ArchConfig::maxwell_gtx980());
+        let data = vec![1.0f32; 4096];
+        let res = r.sum(&data).unwrap();
+        assert_eq!(res.value, 4096.0);
+        assert!(res.fig6_label.is_some(), "winners come from the Fig. 6 set");
+        assert!(res.time_ns > 0.0);
+    }
+}

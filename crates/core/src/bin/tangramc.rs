@@ -1,0 +1,209 @@
+//! `tangramc` — command-line driver for the extended Tangram
+//! compiler.
+//!
+//! ```text
+//! tangramc check  <file.tg>             # parse + semantic check
+//! tangramc emit   <file.tg> [--cuda]    # run the Fig. 5 passes, print variants
+//! tangramc corpus [--elem float]        # dump the canonical paper corpus
+//! tangramc versions                     # list the 30 pruned code versions
+//! tangramc cuda   <fig6-label> [--op max] [--block N] [--coarsen N]
+//! ```
+//!
+//! Exit codes: 0 success, 1 semantic/parse errors, 2 usage.
+
+use std::process::ExitCode;
+
+use tangram::tangram_codegen::{version_cuda, Tuning};
+use tangram::tangram_codegen::vir::synthesize_op;
+use tangram::tangram_ir::print::codelet_to_string;
+use tangram::tangram_passes::planner;
+use tangram::tangram_passes::semck::{check_codelet, Severity};
+use tangram::tangram_passes::{corpus, generate_variants, AtomicGlobalPass, Pass, ShufflePass};
+use tangram::ReduceOp;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("emit") => cmd_emit(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("versions") => cmd_versions(),
+        Some("cuda") => cmd_cuda(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: tangramc <check|emit|corpus|versions|cuda> [args]\n\
+                 \x20 check  <file.tg>                  parse + semantic check\n\
+                 \x20 emit   <file.tg> [--cuda]         run passes, print variants\n\
+                 \x20 corpus [--elem TYPE]              dump the canonical corpus\n\
+                 \x20 versions                          list the pruned code versions\n\
+                 \x20 cuda   <a..p> [--op sum|max|min] [--block N] [--coarsen N]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Vec<tangram::tangram_ir::Codelet>, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    tangram::tangram_lang::parse_codelets(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("check: missing input file");
+        return ExitCode::from(2);
+    };
+    let codelets = match load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut errors = 0;
+    for c in &codelets {
+        let diags = check_codelet(c);
+        for d in &diags {
+            println!("{}: {d}", c.id());
+            if d.severity == Severity::Error {
+                errors += 1;
+            }
+        }
+    }
+    println!(
+        "{}: {} codelet(s), {} error(s)",
+        path,
+        codelets.len(),
+        errors
+    );
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_emit(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("emit: missing input file");
+        return ExitCode::from(2);
+    };
+    let emit_cuda = args.iter().any(|a| a == "--cuda");
+    let codelets = match load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(1);
+        }
+    };
+    // Semantic gate.
+    for c in &codelets {
+        let errors: Vec<_> = check_codelet(c)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        if !errors.is_empty() {
+            for d in errors {
+                eprintln!("{}: {d}", c.id());
+            }
+            return ExitCode::from(1);
+        }
+    }
+    // The Fig. 5 variant-driver loop.
+    let seeds: Vec<_> =
+        codelets.iter().map(|c| tangram::tangram_passes::lower_shared_atomics(c).0).collect();
+    let passes: [&dyn Pass; 2] = [&AtomicGlobalPass, &ShufflePass];
+    let variants = generate_variants(&seeds, &passes);
+    println!("== {} seed codelet(s), {} total variant(s) ==", seeds.len(), variants.len());
+    for v in &variants {
+        println!("\n// ---- {} ----", v.id());
+        print!("{}", codelet_to_string(&v.codelet));
+        if emit_cuda && v.codelet.kind() == tangram::tangram_ir::CodeletKind::Cooperative {
+            match tangram::tangram_codegen::coop_kernel_cuda(
+                &v.codelet,
+                tangram::tangram_codegen::cuda::CudaInputMap::default(),
+            ) {
+                Ok(cuda) => println!("\n// generated CUDA:\n{cuda}"),
+                Err(e) => println!("\n// (no CUDA kernel: {e})"),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_corpus(args: &[String]) -> ExitCode {
+    let elem = flag(args, "--elem").unwrap_or_else(|| "float".into());
+    for src in [
+        corpus::FIG1A,
+        corpus::FIG1B_TILED,
+        corpus::FIG1B_STRIDED,
+        corpus::FIG1C,
+        corpus::FIG3A,
+        corpus::FIG3B,
+    ] {
+        let c = corpus::parse_canonical(src, &elem);
+        println!("// ---- {} ----", c.id());
+        println!("{}", codelet_to_string(&c));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_versions() -> ExitCode {
+    println!("== 30 pruned code versions (§IV-B) ==");
+    for v in planner::enumerate_pruned() {
+        let label = planner::fig6_versions()
+            .into_iter()
+            .find(|(_, fv)| *fv == v)
+            .map(|(l, _)| format!("({l})"))
+            .unwrap_or_else(|| "   ".into());
+        println!("  {label:>4}  {v}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_cuda(args: &[String]) -> ExitCode {
+    let Some(label) = args.first().and_then(|s| s.chars().next()) else {
+        eprintln!("cuda: missing Fig. 6 label (a..p)");
+        return ExitCode::from(2);
+    };
+    let Some(version) = planner::fig6_by_label(label) else {
+        eprintln!("cuda: unknown Fig. 6 label `{label}`");
+        return ExitCode::from(2);
+    };
+    let op = match flag(args, "--op").as_deref() {
+        None | Some("sum") => ReduceOp::Sum,
+        Some("max") => ReduceOp::Max,
+        Some("min") => ReduceOp::Min,
+        Some(other) => {
+            eprintln!("cuda: unknown op `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+    let tuning = Tuning {
+        block_size: flag(args, "--block").and_then(|v| v.parse().ok()).unwrap_or(256),
+        coarsen: flag(args, "--coarsen").and_then(|v| v.parse().ok()).unwrap_or(4),
+    };
+    match version_cuda(version, tuning) {
+        Ok(src) => println!("{src}"),
+        Err(e) => {
+            eprintln!("cuda: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    // Also show the executable VIR form.
+    match synthesize_op(version, tuning, op) {
+        Ok(sv) => {
+            println!("// ---- VIR (simulator ISA) ----");
+            println!("{}", sv.main);
+        }
+        Err(e) => {
+            eprintln!("cuda: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}

@@ -1,0 +1,212 @@
+//! Dynamic kernel selection at runtime.
+//!
+//! Tangram finds the best-performing code "by using heuristics or
+//! dynamic kernel selection at runtime" (§III, citing DySel \[33\]).
+//! [`crate::select`] is the exhaustive offline sweep; this module is
+//! the lightweight DySel-style alternative: on first use for a size
+//! class, it *micro-profiles* a short candidate list — the eight
+//! best-performing Fig. 6 versions — on a bounded sample of the real
+//! input, commits to the winner, and serves subsequent reductions of
+//! that size class without further profiling.
+
+use std::collections::HashMap;
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device, DevicePtr, SimError};
+use tangram_codegen::{synthesize, SynthesizedVersion, Tuning};
+use tangram_passes::planner::{self, CodeVersion};
+
+use crate::runner::run_reduction;
+
+/// Upper bound on the elements used for a profiling run.
+const PROFILE_SAMPLE: u64 = 65_536;
+
+/// A profiled candidate.
+#[derive(Debug, Clone)]
+struct Candidate {
+    version: CodeVersion,
+    tuning: Tuning,
+}
+
+/// Outcome of a dynamic selection for one size class.
+#[derive(Debug, Clone)]
+pub struct DynChoice {
+    /// The synthesized winner.
+    pub synthesized: SynthesizedVersion,
+    /// Modelled profile time of the winner on the sample (ns).
+    pub profile_ns: f64,
+    /// How many candidates were profiled.
+    pub profiled: usize,
+}
+
+/// DySel-style runtime selector.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{ArchConfig, Device};
+/// use tangram::dynsel::DynamicSelector;
+/// use tangram::upload;
+///
+/// # fn main() -> Result<(), gpu_sim::SimError> {
+/// let mut sel = DynamicSelector::new(ArchConfig::maxwell_gtx980());
+/// let mut dev = Device::new(ArchConfig::maxwell_gtx980());
+/// let data: Vec<f32> = (0..10_000).map(|i| (i % 3) as f32).collect();
+/// let input = upload(&mut dev, &data)?;
+/// let (value, choice) = sel.reduce(&mut dev, input, data.len() as u64)?;
+/// assert_eq!(value, data.iter().sum::<f32>());
+/// assert!(choice.profiled >= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DynamicSelector {
+    arch: ArchConfig,
+    table: HashMap<u32, DynChoice>,
+}
+
+impl DynamicSelector {
+    /// Create a selector for `arch`.
+    pub fn new(arch: ArchConfig) -> Self {
+        DynamicSelector { arch, table: HashMap::new() }
+    }
+
+    /// The candidate list: the paper's eight best-performing Fig. 6
+    /// versions, each at two representative tunings.
+    fn candidates() -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for label in planner::fig6_best() {
+            let version = planner::fig6_by_label(label).expect("fig6 label");
+            for tuning in [
+                Tuning { block_size: 32, coarsen: 8 },
+                Tuning { block_size: 256, coarsen: 4 },
+            ] {
+                out.push(Candidate { version, tuning });
+            }
+        }
+        out
+    }
+
+    fn bucket(n: u64) -> u32 {
+        64 - n.max(1).leading_zeros()
+    }
+
+    /// Reduce `n` elements at `input` on `dev`, profiling candidates
+    /// on the first reduction of each size class.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn reduce(
+        &mut self,
+        dev: &mut Device,
+        input: DevicePtr,
+        n: u64,
+    ) -> Result<(f32, &DynChoice), SimError> {
+        if dev.arch().id != self.arch.id {
+            return Err(SimError::InvalidLaunch(format!(
+                "selector targets {} but the device is {}",
+                self.arch.id,
+                dev.arch().id
+            )));
+        }
+        let bucket = Self::bucket(n);
+        if !self.table.contains_key(&bucket) {
+            let choice = self.profile(dev, input, n)?;
+            self.table.insert(bucket, choice);
+        }
+        let choice = &self.table[&bucket];
+        dev.reset_clock();
+        let value = run_reduction(dev, &choice.synthesized, input, n, BlockSelection::All)?;
+        Ok((value, choice))
+    }
+
+    /// Micro-profile the candidates on a bounded prefix of the input.
+    fn profile(&self, dev: &mut Device, input: DevicePtr, n: u64) -> Result<DynChoice, SimError> {
+        let sample = n.min(PROFILE_SAMPLE);
+        let mut best: Option<DynChoice> = None;
+        let mut profiled = 0;
+        for cand in Self::candidates() {
+            let Ok(sv) = synthesize(cand.version, cand.tuning) else { continue };
+            dev.reset_clock();
+            match run_reduction(dev, &sv, input, sample, BlockSelection::All) {
+                Ok(_) => {
+                    profiled += 1;
+                    let t = dev.elapsed_ns();
+                    if best.as_ref().is_none_or(|b| t < b.profile_ns) {
+                        best = Some(DynChoice { synthesized: sv, profile_ns: t, profiled: 0 });
+                    }
+                }
+                Err(SimError::InvalidLaunch(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut choice =
+            best.ok_or_else(|| SimError::InvalidLaunch("no feasible candidate".into()))?;
+        choice.profiled = profiled;
+        Ok(choice)
+    }
+
+    /// The committed winners so far: `(size-class exponent, version)`.
+    pub fn committed(&self) -> Vec<(u32, CodeVersion)> {
+        let mut v: Vec<_> =
+            self.table.iter().map(|(b, c)| (*b, c.synthesized.version)).collect();
+        v.sort_by_key(|(b, _)| *b);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upload;
+
+    #[test]
+    fn profiles_once_per_bucket_and_is_correct() {
+        let arch = ArchConfig::pascal_p100();
+        let mut sel = DynamicSelector::new(arch.clone());
+        let mut dev = Device::new(arch);
+        let data: Vec<f32> = (0..30_000).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let expect: f32 = data.iter().sum();
+        let input = upload(&mut dev, &data).unwrap();
+        let (v1, c1) = sel.reduce(&mut dev, input, data.len() as u64).unwrap();
+        assert_eq!(v1, expect);
+        assert!(c1.profiled >= 8, "profiled {}", c1.profiled);
+        let first_version = c1.synthesized.version;
+        // Second call: same bucket, no re-profiling (committed table
+        // stays a single entry with the same winner).
+        let (v2, _) = sel.reduce(&mut dev, input, data.len() as u64).unwrap();
+        assert_eq!(v2, expect);
+        assert_eq!(sel.committed().len(), 1);
+        assert_eq!(sel.committed()[0].1, first_version);
+    }
+
+    #[test]
+    fn winners_come_from_the_best_eight() {
+        let arch = ArchConfig::kepler_k40c();
+        let mut sel = DynamicSelector::new(arch.clone());
+        let mut dev = Device::new(arch);
+        let data = vec![2.0f32; 2048];
+        let input = upload(&mut dev, &data).unwrap();
+        let (_, choice) = sel.reduce(&mut dev, input, 2048).unwrap();
+        let best: Vec<CodeVersion> = planner::fig6_best()
+            .into_iter()
+            .map(|l| planner::fig6_by_label(l).unwrap())
+            .collect();
+        assert!(best.contains(&choice.synthesized.version));
+    }
+
+    #[test]
+    fn distinct_buckets_profile_separately() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let mut sel = DynamicSelector::new(arch.clone());
+        let mut dev = Device::new(arch);
+        let small = vec![1.0f32; 256];
+        let large = vec![1.0f32; 1 << 20];
+        let p_small = upload(&mut dev, &small).unwrap();
+        let p_large = upload(&mut dev, &large).unwrap();
+        sel.reduce(&mut dev, p_small, 256).unwrap();
+        sel.reduce(&mut dev, p_large, 1 << 20).unwrap();
+        assert_eq!(sel.committed().len(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! # tangram — performance-portable GPU reduction via automatic
+//! generation of warp-level primitives and atomic instructions
+//!
+//! This crate is the top of the reproduction of *"Automatic Generation
+//! of Warp-Level Primitives and Atomic Instructions for Fast and
+//! Portable Parallel Reduction on GPUs"* (CGO 2019). It ties the
+//! pieces together:
+//!
+//! * the codelet language and AST (`tangram-ir`, `tangram-lang`);
+//! * the paper's AST passes and the §IV-B planner (`tangram-passes`);
+//! * code generation to CUDA text and to the simulator ISA
+//!   (`tangram-codegen`);
+//! * the SIMT simulator with Kepler/Maxwell/Pascal cost models
+//!   (`gpu-sim`);
+//! * baselines (`gpu-baselines`, `cpu-ref`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gpu_sim::ArchConfig;
+//! use tangram::Reducer;
+//!
+//! # fn main() -> Result<(), tangram::TangramError> {
+//! let mut reducer = Reducer::new(ArchConfig::pascal_p100());
+//! let data: Vec<f32> = (1..=4096).map(|i| (i % 7) as f32).collect();
+//! let result = reducer.sum(&data)?;
+//! println!("sum = {} via version {} (Fig.6 {:?})",
+//!          result.value, result.version, result.fig6_label);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Layers
+//!
+//! | module | role |
+//! |--------|------|
+//! | [`api`] | user-facing [`Reducer`] with per-size version selection |
+//! | [`pipeline`] | the Fig. 5 pre-processing pipeline, inspectable |
+//! | [`tuner`] | `__tunable` parameter sweeps (§IV-C) |
+//! | [`select`] | best-version selection across the pruned space |
+//! | [`dynsel`] | DySel-style runtime selection (micro-profiling) |
+//! | [`runner`] | executing synthesized versions on the device |
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod dynsel;
+pub mod pipeline;
+pub mod runner;
+pub mod select;
+pub mod tuner;
+
+pub use api::{Reducer, SumResult, TangramError};
+pub use tangram_passes::specialize::ReduceOp;
+pub use pipeline::{run_pipeline, PipelineReport};
+pub use runner::{run_reduction, upload};
+pub use select::{paper_sizes, select_best, selection_table, SelectionRow};
+pub use tuner::{measure, tune, TunedVersion};
+
+// Re-export the component crates for downstream users and examples.
+pub use cpu_ref;
+pub use gpu_baselines;
+pub use gpu_sim;
+pub use tangram_codegen;
+pub use tangram_ir;
+pub use tangram_lang;
+pub use tangram_passes;

@@ -1,0 +1,114 @@
+//! Executing synthesized versions on the simulated device.
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::isa::Ty;
+use gpu_sim::{Arg, Device, DevicePtr, LaunchDims, SimError, TimingOptions};
+use tangram_codegen::SynthesizedVersion;
+
+/// Run a synthesized reduction over `n` `f32` elements at `input`.
+///
+/// Allocates the output (and, for two-kernel versions, the partials
+/// buffer), launches the kernel(s), and returns the reduced value.
+/// With a sampling [`BlockSelection`] the returned *value* is not
+/// meaningful (only some blocks execute) but the device clock and
+/// launch statistics are — that mode exists for the figure harness at
+/// the paper's largest array sizes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_reduction(
+    dev: &mut Device,
+    sv: &SynthesizedVersion,
+    input: DevicePtr,
+    n: u64,
+    selection: BlockSelection,
+) -> Result<f32, SimError> {
+    let plan = sv.plan(n);
+    let dims = LaunchDims::new(plan.grid, plan.block).with_dynamic_smem(plan.dynamic_smem);
+    if sv.version.grid.atomic {
+        let out = dev.alloc_f32(1)?;
+        // The global accumulator starts at the operator's identity
+        // (0 for sum, ±∞ for min/max).
+        dev.write_scalar(Ty::F32, out, u64::from(sv.op.identity_f32().to_bits()))?;
+        dev.launch(
+            &sv.main,
+            dims,
+            &[input.arg(), out.arg(), Arg::U32(n as u32), Arg::U32(plan.tile)],
+            selection,
+            TimingOptions::default(),
+        )?;
+        Ok(f32::from_bits(dev.read_scalar(Ty::F32, out)? as u32))
+    } else {
+        let partials = dev.alloc_f32(u64::from(plan.grid))?;
+        let out = dev.alloc_f32(1)?;
+        dev.launch(
+            &sv.main,
+            dims,
+            &[input.arg(), partials.arg(), Arg::U32(n as u32), Arg::U32(plan.tile)],
+            selection,
+            TimingOptions::default(),
+        )?;
+        let second = sv
+            .second
+            .as_ref()
+            .expect("non-atomic versions carry a second kernel");
+        dev.launch(
+            second,
+            LaunchDims::new(1, 256),
+            &[partials.arg(), out.arg(), Arg::U32(plan.grid)],
+            BlockSelection::All,
+            TimingOptions::default(),
+        )?;
+        Ok(f32::from_bits(dev.read_scalar(Ty::F32, out)? as u32))
+    }
+}
+
+/// Upload `data` to a fresh allocation on `dev`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn upload(dev: &mut Device, data: &[f32]) -> Result<DevicePtr, SimError> {
+    let ptr = dev.alloc_f32(data.len() as u64)?;
+    dev.upload_f32(ptr, data)?;
+    Ok(ptr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::ArchConfig;
+    use tangram_codegen::{synthesize, Tuning};
+    use tangram_passes::planner;
+
+    #[test]
+    fn atomic_and_two_kernel_paths_agree() {
+        let n = 8192u64;
+        let data: Vec<f32> = (0..n).map(|i| ((i % 9) as f32) - 1.0).collect();
+        let expect: f32 = data.iter().sum();
+        let atomic = synthesize(planner::fig6_by_label('p').unwrap(), Tuning::default()).unwrap();
+        let two = synthesize(
+            planner::enumerate_original()[0],
+            Tuning::default(),
+        )
+        .unwrap();
+        for sv in [&atomic, &two] {
+            let mut dev = Device::new(ArchConfig::pascal_p100());
+            let input = upload(&mut dev, &data).unwrap();
+            let got = run_reduction(&mut dev, sv, input, n, BlockSelection::All).unwrap();
+            assert_eq!(got, expect, "{}", sv.id());
+        }
+    }
+
+    #[test]
+    fn clock_advances_per_kernel() {
+        let sv = synthesize(planner::fig6_by_label('n').unwrap(), Tuning::default()).unwrap();
+        let mut dev = Device::new(ArchConfig::kepler_k40c());
+        let input = upload(&mut dev, &vec![1.0; 1024]).unwrap();
+        dev.reset_clock();
+        run_reduction(&mut dev, &sv, input, 1024, BlockSelection::All).unwrap();
+        assert!(dev.elapsed_ns() >= dev.arch().launch_overhead_ns);
+        assert_eq!(dev.launches().len(), 1, "atomic versions are single-kernel");
+    }
+}

@@ -1,0 +1,124 @@
+//! Best-version selection across the pruned search space — what the
+//! paper's evaluation does per architecture and array size (§IV-C
+//! reports, for each size, the Fig. 6 version with the highest
+//! performance).
+
+use gpu_sim::{ArchConfig, SimError};
+use serde::{Deserialize, Serialize};
+use tangram_passes::planner::{self, CodeVersion};
+
+use crate::tuner::{tune_in, BenchContext, TunedVersion};
+
+/// One row of a selection sweep: the winning version for a size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionRow {
+    /// Array size (elements).
+    pub n: u64,
+    /// Winning version.
+    pub version: CodeVersion,
+    /// Fig. 6 label of the winner, when it is one of the 16.
+    pub fig6_label: Option<char>,
+    /// Winning block size.
+    pub block_size: u32,
+    /// Winning coarsening factor.
+    pub coarsen: u32,
+    /// Modelled time (ns).
+    pub time_ns: f64,
+}
+
+/// Find the fastest pruned version for `n` elements on `arch`,
+/// tuning each candidate.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn select_best(arch: &ArchConfig, n: u64) -> Result<(TunedVersion, SelectionRow), SimError> {
+    select_best_of(arch, n, &planner::enumerate_pruned())
+}
+
+/// Find the fastest among `candidates` for `n` elements on `arch`.
+///
+/// # Errors
+///
+/// Propagates simulator errors; errors from infeasible candidates are
+/// skipped.
+pub fn select_best_of(
+    arch: &ArchConfig,
+    n: u64,
+    candidates: &[CodeVersion],
+) -> Result<(TunedVersion, SelectionRow), SimError> {
+    let mut ctx = BenchContext::new(arch, n)?;
+    let mut best: Option<(TunedVersion, CodeVersion)> = None;
+    for &v in candidates {
+        match tune_in(&mut ctx, v) {
+            Ok(t) => {
+                if best.as_ref().is_none_or(|(b, _)| t.time_ns < b.time_ns) {
+                    best = Some((t, v));
+                }
+            }
+            Err(SimError::InvalidLaunch(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let (tuned, version) =
+        best.ok_or_else(|| SimError::InvalidLaunch("no feasible version".into()))?;
+    let row = SelectionRow {
+        n,
+        version,
+        fig6_label: fig6_label_of(version),
+        block_size: tuned.synthesized.tuning.block_size,
+        coarsen: tuned.synthesized.tuning.coarsen,
+        time_ns: tuned.time_ns,
+    };
+    Ok((tuned, row))
+}
+
+/// The Fig. 6 letter of a version, when it is one of the 16.
+pub fn fig6_label_of(version: CodeVersion) -> Option<char> {
+    planner::fig6_versions().into_iter().find(|(_, v)| *v == version).map(|(l, _)| l)
+}
+
+/// The array sizes of the paper's figures (64 … 256M, ×4 steps).
+pub fn paper_sizes() -> Vec<u64> {
+    (0..12).map(|i| 64u64 << (2 * i)).collect()
+}
+
+/// Sweep the selection over the paper's sizes.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn selection_table(arch: &ArchConfig, sizes: &[u64]) -> Result<Vec<SelectionRow>, SimError> {
+    sizes.iter().map(|&n| select_best(arch, n).map(|(_, row)| row)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_figure_axis() {
+        let s = paper_sizes();
+        assert_eq!(s.first(), Some(&64));
+        assert_eq!(s.last(), Some(&268_435_456));
+        assert_eq!(s.len(), 12);
+        assert!(s.contains(&1_048_576));
+    }
+
+    #[test]
+    fn fig6_label_lookup() {
+        let (l, v) = planner::fig6_versions()[0];
+        assert_eq!(fig6_label_of(v), Some(l));
+        // A two-kernel version has no Fig. 6 label.
+        let orig = planner::enumerate_original()[0];
+        assert_eq!(fig6_label_of(orig), None);
+    }
+
+    #[test]
+    fn selection_returns_a_pruned_winner() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let (_tuned, row) = select_best(&arch, 16_384).unwrap();
+        assert!(planner::enumerate_pruned().contains(&row.version));
+        assert!(row.time_ns > 0.0);
+    }
+}

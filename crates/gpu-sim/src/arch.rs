@@ -1,0 +1,298 @@
+//! Architecture descriptions and cost-model parameters for the three
+//! GPU generations the paper evaluates (§IV-A): Kepler K40c, Maxwell
+//! GTX980 and Pascal P100 — plus the knobs that encode each
+//! generation's atomic-instruction microarchitecture (§II-A2).
+
+use serde::{Deserialize, Serialize};
+
+/// How shared-memory atomics are implemented by the architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SharedAtomicImpl {
+    /// Pre-Maxwell: a software lock-update-unlock loop with branches;
+    /// expensive under contention and a source of branch divergence
+    /// (Gómez-Luna et al., modelled per §II-A2 / §IV-C2).
+    SoftwareLock {
+        /// Cycles for an uncontended lock-update-unlock sequence.
+        base_cycles: u64,
+        /// Extra cycles per additional same-bank conflicting lane
+        /// (each conflicting lane retries the lock loop).
+        per_conflict_cycles: u64,
+    },
+    /// Maxwell and later: native shared-memory atomic units.
+    Native {
+        /// Cycles for an uncontended shared atomic.
+        base_cycles: u64,
+        /// Extra cycles per additional conflicting lane (hardware
+        /// serializes same-address updates).
+        per_conflict_cycles: u64,
+    },
+}
+
+impl SharedAtomicImpl {
+    /// Issue-cycle cost of one warp-level shared atomic with the given
+    /// worst per-address conflict degree.
+    pub fn warp_cost(&self, conflict_degree: u64) -> u64 {
+        let extra = conflict_degree.saturating_sub(1);
+        match *self {
+            SharedAtomicImpl::SoftwareLock { base_cycles, per_conflict_cycles } => {
+                base_cycles + extra * per_conflict_cycles
+            }
+            SharedAtomicImpl::Native { base_cycles, per_conflict_cycles } => {
+                base_cycles + extra * per_conflict_cycles
+            }
+        }
+    }
+
+    /// Whether the implementation is the pre-Maxwell software lock.
+    pub fn is_software(&self) -> bool {
+        matches!(self, SharedAtomicImpl::SoftwareLock { .. })
+    }
+}
+
+/// A GPU architecture: resource limits plus timing parameters.
+///
+/// Resource limits drive the occupancy model; timing parameters drive
+/// the analytic performance model in [`crate::timing`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Marketing name, e.g. `"Kepler K40c"`.
+    pub name: String,
+    /// Short identifier used in reports, e.g. `"kepler"`.
+    pub id: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Warp width (32 on all modelled parts).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: u64,
+    /// Maximum shared memory per block in bytes.
+    pub smem_per_block: u64,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub dram_bw_gbps: f64,
+    /// Fraction of peak bandwidth achieved by coalesced *scalar*
+    /// (1-element) accesses. CUB's vectorized loads achieve
+    /// [`ArchConfig::bw_eff_vector`] instead — the §IV-C1 gap.
+    pub bw_eff_scalar: f64,
+    /// Fraction of peak bandwidth achieved by 128-bit vector accesses.
+    pub bw_eff_vector: f64,
+    /// DRAM round-trip latency in nanoseconds (exposed once on a
+    /// launch's critical path).
+    pub mem_latency_ns: f64,
+    /// Kernel-launch overhead in nanoseconds (driver + hardware);
+    /// dominates tiny-array timings and penalizes two-kernel versions.
+    pub launch_overhead_ns: f64,
+    /// Warp instructions issued per cycle per SM.
+    pub issue_width: f64,
+    /// Resident warps per SM needed to fully hide pipeline/memory
+    /// latency; below this, throughput degrades proportionally.
+    pub hide_warps: f64,
+    /// Minimum throughput fraction at single-warp occupancy.
+    pub min_hide: f64,
+    /// Shared-memory atomic implementation.
+    pub shared_atomic: SharedAtomicImpl,
+    /// Sustained same-address global atomic rate in ops/ns (the L2
+    /// atomic units; improved from Fermi→Kepler, §II-A2).
+    pub global_atomic_chain_rate: f64,
+    /// Aggregate global atomic throughput in ops/ns across addresses.
+    pub global_atomic_rate: f64,
+    /// Whether scoped atomics (`_block`/`_system`) exist (Pascal+).
+    /// On earlier parts a `cta`-scope request executes as `gpu` scope.
+    pub has_scoped_atomics: bool,
+    /// Cost multiplier for block-scope atomics relative to device
+    /// scope when scopes are supported (< 1.0: cheaper).
+    pub cta_scope_discount: f64,
+    /// Registers the interpreter assumes per thread when the kernel
+    /// metadata does not say otherwise (occupancy model).
+    pub default_regs_per_thread: u32,
+}
+
+impl ArchConfig {
+    /// NVIDIA Tesla K40c (Kepler GK110B, SM 3.5).
+    pub fn kepler_k40c() -> Self {
+        ArchConfig {
+            name: "Kepler K40c".into(),
+            id: "kepler".into(),
+            sm_count: 15,
+            clock_ghz: 0.745,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            max_threads_per_block: 1024,
+            smem_per_sm: 48 * 1024,
+            smem_per_block: 48 * 1024,
+            regs_per_sm: 65_536,
+            dram_bw_gbps: 288.0,
+            bw_eff_scalar: 0.66,
+            bw_eff_vector: 0.93,
+            mem_latency_ns: 600.0,
+            launch_overhead_ns: 6_500.0,
+            issue_width: 4.0,
+            hide_warps: 24.0,
+            min_hide: 0.10,
+            // Software lock-update-unlock: expensive and divergent.
+            shared_atomic: SharedAtomicImpl::SoftwareLock {
+                base_cycles: 48,
+                per_conflict_cycles: 96,
+            },
+            global_atomic_chain_rate: 0.70,
+            global_atomic_rate: 8.0,
+            has_scoped_atomics: false,
+            cta_scope_discount: 1.0,
+            default_regs_per_thread: 32,
+        }
+    }
+
+    /// NVIDIA GeForce GTX 980 (Maxwell GM204, SM 5.2).
+    pub fn maxwell_gtx980() -> Self {
+        ArchConfig {
+            name: "Maxwell GTX980".into(),
+            id: "maxwell".into(),
+            sm_count: 16,
+            clock_ghz: 1.126,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            smem_per_sm: 96 * 1024,
+            smem_per_block: 48 * 1024,
+            regs_per_sm: 65_536,
+            dram_bw_gbps: 224.0,
+            bw_eff_scalar: 0.875,
+            bw_eff_vector: 0.94,
+            mem_latency_ns: 450.0,
+            launch_overhead_ns: 5_200.0,
+            issue_width: 4.0,
+            hide_warps: 20.0,
+            min_hide: 0.12,
+            // Native microarchitectural support (§II-A2).
+            shared_atomic: SharedAtomicImpl::Native { base_cycles: 4, per_conflict_cycles: 1 },
+            global_atomic_chain_rate: 1.2,
+            global_atomic_rate: 16.0,
+            has_scoped_atomics: false,
+            cta_scope_discount: 1.0,
+            default_regs_per_thread: 32,
+        }
+    }
+
+    /// NVIDIA Tesla P100 (Pascal GP100, SM 6.0).
+    pub fn pascal_p100() -> Self {
+        ArchConfig {
+            name: "Pascal P100".into(),
+            id: "pascal".into(),
+            sm_count: 56,
+            clock_ghz: 1.328,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            max_threads_per_block: 1024,
+            smem_per_sm: 64 * 1024,
+            smem_per_block: 48 * 1024,
+            regs_per_sm: 65_536,
+            dram_bw_gbps: 732.0,
+            bw_eff_scalar: 0.75,
+            bw_eff_vector: 0.95,
+            mem_latency_ns: 380.0,
+            launch_overhead_ns: 2_800.0,
+            issue_width: 4.0,
+            hide_warps: 20.0,
+            min_hide: 0.12,
+            shared_atomic: SharedAtomicImpl::Native { base_cycles: 3, per_conflict_cycles: 1 },
+            global_atomic_chain_rate: 2.0,
+            global_atomic_rate: 32.0,
+            has_scoped_atomics: true,
+            cta_scope_discount: 0.6,
+            default_regs_per_thread: 32,
+        }
+    }
+
+    /// All three paper architectures, in paper order.
+    pub fn paper_archs() -> Vec<ArchConfig> {
+        vec![Self::kepler_k40c(), Self::maxwell_gtx980(), Self::pascal_p100()]
+    }
+
+    /// Cycles per nanosecond.
+    pub fn cycles_per_ns(&self) -> f64 {
+        self.clock_ghz
+    }
+
+    /// Resident blocks per SM for a kernel using `threads_per_block`
+    /// threads, `smem` bytes of shared memory and `regs_per_thread`
+    /// registers (the occupancy calculation; higher occupancy from
+    /// smaller shared-memory footprints is exactly the benefit the
+    /// paper attributes to shuffle/atomic variants, §III-B/§III-C).
+    pub fn blocks_per_sm(&self, threads_per_block: u32, smem: u64, regs_per_thread: u32) -> u32 {
+        if threads_per_block == 0 {
+            return 0;
+        }
+        let by_blocks = self.max_blocks_per_sm;
+        let by_threads = self.max_threads_per_sm / threads_per_block;
+        let by_smem = if smem == 0 {
+            u32::MAX
+        } else {
+            (self.smem_per_sm / smem).min(u32::MAX as u64) as u32
+        };
+        let regs_per_block = u64::from(regs_per_thread.max(16)) * u64::from(threads_per_block);
+        let by_regs = (self.regs_per_sm / regs_per_block).min(u32::MAX as u64) as u32;
+        by_blocks.min(by_threads).min(by_smem).min(by_regs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_atomic_models() {
+        let k = ArchConfig::kepler_k40c();
+        let m = ArchConfig::maxwell_gtx980();
+        let p = ArchConfig::pascal_p100();
+        assert!(k.shared_atomic.is_software());
+        assert!(!m.shared_atomic.is_software());
+        assert!(p.has_scoped_atomics);
+        assert!(!k.has_scoped_atomics);
+    }
+
+    #[test]
+    fn software_lock_much_more_expensive_under_contention() {
+        let k = ArchConfig::kepler_k40c().shared_atomic;
+        let m = ArchConfig::maxwell_gtx980().shared_atomic;
+        // A fully-conflicting warp (32 lanes, same address).
+        assert!(k.warp_cost(32) > 10 * m.warp_cost(32));
+        // Uncontended is also cheaper on Maxwell.
+        assert!(k.warp_cost(1) > m.warp_cost(1));
+    }
+
+    #[test]
+    fn occupancy_limited_by_smem() {
+        let m = ArchConfig::maxwell_gtx980();
+        // 96 KiB/SM with 24 KiB blocks → 4 blocks/SM.
+        assert_eq!(m.blocks_per_sm(128, 24 * 1024, 32), 4);
+        // No shared memory → limited by threads (2048/128 = 16).
+        assert_eq!(m.blocks_per_sm(128, 0, 32), 16);
+    }
+
+    #[test]
+    fn occupancy_limited_by_threads_and_blocks() {
+        let k = ArchConfig::kepler_k40c();
+        assert_eq!(k.blocks_per_sm(1024, 0, 32), 2);
+        assert_eq!(k.blocks_per_sm(64, 0, 32), 16); // block limit
+    }
+
+    #[test]
+    fn paper_archs_order() {
+        let a = ArchConfig::paper_archs();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].id, "kepler");
+        assert_eq!(a[2].id, "pascal");
+    }
+}

@@ -1,0 +1,691 @@
+//! A small text assembler for VIR.
+//!
+//! The hand-written baseline kernels (the CUB-like and Kokkos-like
+//! reductions) are written in this format, mirroring how the paper's
+//! baselines are hand-written CUDA/PTX rather than synthesized.
+//!
+//! # Syntax
+//!
+//! ```text
+//! .kernel block_reduce
+//! .param ptr          ; %p0 — input
+//! .param ptr          ; %p1 — output
+//! .param u32          ; %p2 — n
+//! .smem 128           ; static shared memory bytes
+//! .dsmem              ; uses dynamic shared memory
+//!
+//! entry:
+//!   mov.u32   %r0, %tid.x;
+//!   mad.u32   %r1, %ctaid.x, %ntid.x, %r0;
+//!   setp.lt.u32 %pr0, %r1, %p2;
+//!   @!%pr0 bra done;
+//!   ld.global.f32 %r2, [%r3+4];
+//!   ld.global.v4.f32 %r4, [%r3];
+//!   st.shared.f32 [%r5], %r2;
+//!   atom.global.gpu.add.f32 %r6, [%p1], %r2;
+//!   red.shared.cta.add.f32 [%r5], %r2;
+//!   shfl.down.f32 %r7, %r2, 16, 32;
+//!   bar.sync;
+//! done:
+//!   exit;
+//! ```
+//!
+//! Comments run from `;` or `//` to end of line (so the trailing `;`
+//! terminator on instructions is simply ignored). Registers are
+//! written `%rN` / `%prN`; parameters `%pN`; special registers by
+//! their PTX names (`%tid.x`, `%ctaid.x`, `%ntid.x`, `%nctaid.x`,
+//! `%laneid`, `%warpid`, `%warpsize`).
+
+use std::collections::HashMap;
+
+use crate::error::SimError;
+use crate::isa::{
+    Address, AtomOp, BinOp, CmpOp, Instr, Operand, Scope, ShflMode, Space, Sreg, Ty, UnOp,
+    VecWidth,
+};
+use crate::kernel::{Kernel, ParamKind};
+
+/// Assemble VIR source text into a [`Kernel`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Asm`] with a 1-based line number on any parse
+/// error, and kernel-validation errors from [`Kernel::validate`].
+pub fn assemble(src: &str) -> Result<Kernel, SimError> {
+    Assembler::new().assemble(src)
+}
+
+struct Assembler {
+    name: String,
+    params: Vec<ParamKind>,
+    static_smem: u64,
+    dynamic_smem: bool,
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    /// (instruction index, label name, line)
+    fixups: Vec<(usize, String, usize)>,
+    max_reg: i32,
+    max_pred: i32,
+}
+
+fn err(line: usize, reason: impl Into<String>) -> SimError {
+    SimError::Asm { line, reason: reason.into() }
+}
+
+impl Assembler {
+    fn new() -> Self {
+        Assembler {
+            name: "anonymous".into(),
+            params: Vec::new(),
+            static_smem: 0,
+            dynamic_smem: false,
+            instrs: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            max_reg: -1,
+            max_pred: -1,
+        }
+    }
+
+    fn assemble(mut self, src: &str) -> Result<Kernel, SimError> {
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('.') {
+                self.directive(rest, lineno)?;
+                continue;
+            }
+            // Possibly several `label:` prefixes before an instruction.
+            let mut rest = line;
+            loop {
+                if let Some(colon) = rest.find(':') {
+                    let (head, tail) = rest.split_at(colon);
+                    let head_t = head.trim();
+                    if !head_t.is_empty()
+                        && head_t.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    {
+                        if self.labels.insert(head_t.to_string(), self.instrs.len()).is_some() {
+                            return Err(err(lineno, format!("duplicate label `{head_t}`")));
+                        }
+                        rest = tail[1..].trim();
+                        continue;
+                    }
+                }
+                break;
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            self.instruction(rest, lineno)?;
+        }
+        for (pc, label, line) in &self.fixups {
+            let Some(&target) = self.labels.get(label) else {
+                return Err(err(*line, format!("undefined label `{label}`")));
+            };
+            if let Instr::Bra { target: t, .. } = &mut self.instrs[*pc] {
+                *t = target;
+            }
+        }
+        let kernel = Kernel {
+            name: self.name,
+            instrs: self.instrs,
+            params: self.params,
+            static_smem: self.static_smem,
+            dynamic_smem: self.dynamic_smem,
+            num_regs: (self.max_reg + 1) as u16,
+            num_preds: (self.max_pred + 1) as u16,
+        };
+        kernel.validate()?;
+        Ok(kernel)
+    }
+
+    fn directive(&mut self, rest: &str, line: usize) -> Result<(), SimError> {
+        let mut it = rest.split_whitespace();
+        match it.next() {
+            Some("kernel") => {
+                self.name = it.next().ok_or_else(|| err(line, ".kernel needs a name"))?.into();
+            }
+            Some("param") => {
+                let kind = match it.next() {
+                    Some("ptr") => ParamKind::Ptr,
+                    Some(t) => ParamKind::Scalar(parse_ty(t, line)?),
+                    None => return Err(err(line, ".param needs a kind")),
+                };
+                self.params.push(kind);
+            }
+            Some("smem") => {
+                let n = it.next().ok_or_else(|| err(line, ".smem needs a byte count"))?;
+                self.static_smem =
+                    n.parse().map_err(|_| err(line, format!("bad .smem size `{n}`")))?;
+            }
+            Some("dsmem") => self.dynamic_smem = true,
+            Some(other) => return Err(err(line, format!("unknown directive `.{other}`"))),
+            None => return Err(err(line, "empty directive")),
+        }
+        Ok(())
+    }
+
+    fn instruction(&mut self, text: &str, line: usize) -> Result<(), SimError> {
+        let text = text.trim();
+        // Predicated branch: `@%pr0 bra label` / `@!%pr0 bra label`.
+        if let Some(rest) = text.strip_prefix('@') {
+            let (neg, rest) = match rest.strip_prefix('!') {
+                Some(r) => (true, r),
+                None => (false, rest),
+            };
+            let mut parts = rest.split_whitespace();
+            let preg = parts.next().ok_or_else(|| err(line, "predicated branch needs %pr"))?;
+            let p = parse_pred(preg, line)?;
+            self.max_pred = self.max_pred.max(i32::from(p));
+            match parts.next() {
+                Some("bra") => {}
+                _ => return Err(err(line, "only `bra` may be predicated")),
+            }
+            let label = parts.next().ok_or_else(|| err(line, "bra needs a target"))?;
+            self.fixups.push((self.instrs.len(), label.to_string(), line));
+            self.instrs.push(Instr::Bra { pred: Some((p, !neg)), target: usize::MAX });
+            return Ok(());
+        }
+
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let dots: Vec<&str> = mnemonic.split('.').collect();
+        let ops = split_operands(rest);
+
+        match dots[0] {
+            "mov" => {
+                let ty = one_ty(&dots, line)?;
+                let dst = parse_reg(get(&ops, 0, line)?, line)?;
+                let src = parse_operand(get(&ops, 1, line)?, line)?;
+                self.instrs.push(Instr::Mov { ty, dst, src });
+            }
+            "neg" | "not" => {
+                let op = if dots[0] == "neg" { UnOp::Neg } else { UnOp::Not };
+                let ty = one_ty(&dots, line)?;
+                let dst = parse_reg(get(&ops, 0, line)?, line)?;
+                let src = parse_operand(get(&ops, 1, line)?, line)?;
+                self.instrs.push(Instr::Un { op, ty, dst, src });
+            }
+            "add" | "sub" | "mul" | "div" | "rem" | "min" | "max" | "and" | "or" | "xor"
+            | "shl" | "shr" => {
+                let op = parse_binop(dots[0]).unwrap();
+                if dots.get(1) == Some(&"pred") {
+                    // Predicate logic: `and.pred %pr0, %pr1, %pr2`.
+                    let dst = parse_pred(get(&ops, 0, line)?, line)?;
+                    let pa = parse_pred(get(&ops, 1, line)?, line)?;
+                    let pb = parse_pred(get(&ops, 2, line)?, line)?;
+                    self.max_pred =
+                        self.max_pred.max(i32::from(dst)).max(i32::from(pa)).max(i32::from(pb));
+                    self.instrs.push(Instr::Plop { op, dst, a: pa, b: pb });
+                    return Ok(());
+                }
+                let ty = one_ty(&dots, line)?;
+                let dst = parse_reg(get(&ops, 0, line)?, line)?;
+                let a = parse_operand(get(&ops, 1, line)?, line)?;
+                let b = parse_operand(get(&ops, 2, line)?, line)?;
+                self.instrs.push(Instr::Bin { op, ty, dst, a, b });
+            }
+            "mad" => {
+                let ty = one_ty(&dots, line)?;
+                let dst = parse_reg(get(&ops, 0, line)?, line)?;
+                let a = parse_operand(get(&ops, 1, line)?, line)?;
+                let b = parse_operand(get(&ops, 2, line)?, line)?;
+                let c = parse_operand(get(&ops, 3, line)?, line)?;
+                self.instrs.push(Instr::Mad { ty, dst, a, b, c });
+            }
+            "cvt" => {
+                if dots.len() != 3 {
+                    return Err(err(line, "cvt needs cvt.<to>.<from>"));
+                }
+                let to = parse_ty(dots[1], line)?;
+                let from = parse_ty(dots[2], line)?;
+                let dst = parse_reg(get(&ops, 0, line)?, line)?;
+                let src = parse_operand(get(&ops, 1, line)?, line)?;
+                self.instrs.push(Instr::Cvt { from, to, dst, src });
+            }
+            "setp" => {
+                if dots.len() != 3 {
+                    return Err(err(line, "setp needs setp.<cmp>.<ty>"));
+                }
+                let cmp = parse_cmp(dots[1], line)?;
+                let ty = parse_ty(dots[2], line)?;
+                let dst = parse_pred(get(&ops, 0, line)?, line)?;
+                let a = parse_operand(get(&ops, 1, line)?, line)?;
+                let b = parse_operand(get(&ops, 2, line)?, line)?;
+                self.max_pred = self.max_pred.max(i32::from(dst));
+                self.instrs.push(Instr::Setp { op: cmp, ty, dst, a, b });
+            }
+            "selp" => {
+                let ty = one_ty(&dots, line)?;
+                let dst = parse_reg(get(&ops, 0, line)?, line)?;
+                let a = parse_operand(get(&ops, 1, line)?, line)?;
+                let b = parse_operand(get(&ops, 2, line)?, line)?;
+                let p = parse_pred(get(&ops, 3, line)?, line)?;
+                self.max_pred = self.max_pred.max(i32::from(p));
+                self.instrs.push(Instr::Selp { ty, dst, a, b, pred: p });
+            }
+            "ld" | "st" => {
+                let space = parse_space(dots.get(1).copied().unwrap_or(""), line)?;
+                let (width, ty_idx) = match dots.get(2) {
+                    Some(&"v2") => (VecWidth::V2, 3),
+                    Some(&"v4") => (VecWidth::V4, 3),
+                    _ => (VecWidth::V1, 2),
+                };
+                let ty = parse_ty(
+                    dots.get(ty_idx).copied().ok_or_else(|| err(line, "missing type"))?,
+                    line,
+                )?;
+                if dots[0] == "ld" {
+                    let dst = parse_reg(get(&ops, 0, line)?, line)?;
+                    let addr = parse_address(get(&ops, 1, line)?, line)?;
+                    self.instrs.push(Instr::Ld { space, ty, dst, addr, width });
+                } else {
+                    let addr = parse_address(get(&ops, 0, line)?, line)?;
+                    let src = parse_reg(get(&ops, 1, line)?, line)?;
+                    self.max_reg = self.max_reg.max(i32::from(src + u16::from(width.lanes()) - 1));
+                    self.instrs.push(Instr::St { space, ty, src, addr, width });
+                }
+            }
+            "atom" | "red" => {
+                if dots.len() != 5 {
+                    return Err(err(line, "atomics need <space>.<scope>.<op>.<ty>"));
+                }
+                let space = parse_space(dots[1], line)?;
+                let scope = parse_scope(dots[2], line)?;
+                let op = parse_atomop(dots[3], line)?;
+                let ty = parse_ty(dots[4], line)?;
+                if dots[0] == "atom" {
+                    let dst = parse_reg(get(&ops, 0, line)?, line)?;
+                    let addr = parse_address(get(&ops, 1, line)?, line)?;
+                    let src = parse_operand(get(&ops, 2, line)?, line)?;
+                    let cmp = match ops.get(3) {
+                        Some(c) => Some(parse_operand(c, line)?),
+                        None => None,
+                    };
+                    if op == AtomOp::Cas && cmp.is_none() {
+                        return Err(err(line, "atom.cas needs a compare operand"));
+                    }
+                    self.instrs
+                        .push(Instr::Atom { space, scope, op, ty, dst: Some(dst), addr, src, cmp });
+                } else {
+                    let addr = parse_address(get(&ops, 0, line)?, line)?;
+                    let src = parse_operand(get(&ops, 1, line)?, line)?;
+                    self.instrs
+                        .push(Instr::Atom { space, scope, op, ty, dst: None, addr, src, cmp: None });
+                }
+            }
+            "shfl" => {
+                if dots.len() != 3 {
+                    return Err(err(line, "shfl needs shfl.<mode>.<ty>"));
+                }
+                let mode = match dots[1] {
+                    "up" => ShflMode::Up,
+                    "down" => ShflMode::Down,
+                    "bfly" => ShflMode::Bfly,
+                    "idx" => ShflMode::Idx,
+                    other => return Err(err(line, format!("unknown shfl mode `{other}`"))),
+                };
+                let ty = parse_ty(dots[2], line)?;
+                let dst = parse_reg(get(&ops, 0, line)?, line)?;
+                let src = parse_operand(get(&ops, 1, line)?, line)?;
+                let lane = parse_operand(get(&ops, 2, line)?, line)?;
+                let width: u32 = get(&ops, 3, line)?
+                    .parse()
+                    .map_err(|_| err(line, "shfl width must be an integer"))?;
+                self.instrs.push(Instr::Shfl { mode, ty, dst, src, lane, width, pred_out: None });
+            }
+            "bar" => self.instrs.push(Instr::Bar),
+            "bra" => {
+                let label = get(&ops, 0, line)?;
+                self.fixups.push((self.instrs.len(), label.to_string(), line));
+                self.instrs.push(Instr::Bra { pred: None, target: usize::MAX });
+            }
+            "exit" => self.instrs.push(Instr::Exit),
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+        // Infer the register file size from everything the pushed
+        // instruction touches.
+        if let Some(last) = self.instrs.last() {
+            for r in last.used_regs().into_iter().chain(last.defined_regs()) {
+                self.max_reg = self.max_reg.max(i32::from(r));
+            }
+            for p in last.used_preds() {
+                self.max_pred = self.max_pred.max(i32::from(p));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let semi = line.find(';');
+    let slashes = line.find("//");
+    match (semi, slashes) {
+        (Some(a), Some(b)) => &line[..a.min(b)],
+        (Some(a), None) => &line[..a],
+        (None, Some(b)) => &line[..b],
+        (None, None) => line,
+    }
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    // Split on commas not inside brackets.
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn get<'a>(ops: &'a [String], i: usize, line: usize) -> Result<&'a str, SimError> {
+    ops.get(i).map(|s| s.as_str()).ok_or_else(|| err(line, format!("missing operand {i}")))
+}
+
+fn parse_ty(s: &str, line: usize) -> Result<Ty, SimError> {
+    match s {
+        "s32" | "i32" => Ok(Ty::I32),
+        "u32" | "b32" => Ok(Ty::U32),
+        "s64" | "i64" => Ok(Ty::I64),
+        "u64" | "b64" => Ok(Ty::U64),
+        "f32" => Ok(Ty::F32),
+        "f64" => Ok(Ty::F64),
+        other => Err(err(line, format!("unknown type `{other}`"))),
+    }
+}
+
+fn one_ty(dots: &[&str], line: usize) -> Result<Ty, SimError> {
+    if dots.len() != 2 {
+        return Err(err(line, format!("`{}` needs exactly one type suffix", dots[0])));
+    }
+    parse_ty(dots[1], line)
+}
+
+fn parse_binop(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn parse_cmp(s: &str, line: usize) -> Result<CmpOp, SimError> {
+    Ok(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        other => return Err(err(line, format!("unknown comparison `{other}`"))),
+    })
+}
+
+fn parse_space(s: &str, line: usize) -> Result<Space, SimError> {
+    match s {
+        "global" => Ok(Space::Global),
+        "shared" => Ok(Space::Shared),
+        other => Err(err(line, format!("unknown space `{other}`"))),
+    }
+}
+
+fn parse_scope(s: &str, line: usize) -> Result<Scope, SimError> {
+    match s {
+        "cta" => Ok(Scope::Cta),
+        "gpu" => Ok(Scope::Gpu),
+        "sys" => Ok(Scope::Sys),
+        other => Err(err(line, format!("unknown scope `{other}`"))),
+    }
+}
+
+fn parse_atomop(s: &str, line: usize) -> Result<AtomOp, SimError> {
+    Ok(match s {
+        "add" => AtomOp::Add,
+        "sub" => AtomOp::Sub,
+        "min" => AtomOp::Min,
+        "max" => AtomOp::Max,
+        "and" => AtomOp::And,
+        "or" => AtomOp::Or,
+        "xor" => AtomOp::Xor,
+        "exch" => AtomOp::Exch,
+        "cas" => AtomOp::Cas,
+        other => return Err(err(line, format!("unknown atomic op `{other}`"))),
+    })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<u16, SimError> {
+    s.trim()
+        .strip_prefix("%r")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected register %rN, got `{s}`")))
+}
+
+fn parse_pred(s: &str, line: usize) -> Result<u16, SimError> {
+    s.trim()
+        .strip_prefix("%pr")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, format!("expected predicate %prN, got `{s}`")))
+}
+
+fn parse_address(s: &str, line: usize) -> Result<Address, SimError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [addr], got `{s}`")))?;
+    let (base_s, off) = match inner.rfind('+') {
+        Some(i) if i > 0 => {
+            let off: i64 =
+                inner[i + 1..].trim().parse().map_err(|_| err(line, "bad address offset"))?;
+            (&inner[..i], off)
+        }
+        _ => (inner, 0),
+    };
+    let base = parse_operand(base_s.trim(), line)?;
+    Ok(Address::new(base, off))
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, SimError> {
+    let s = s.trim();
+    if s.starts_with("%pr") {
+        return Err(err(line, format!("`{s}` cannot be used as a value operand")));
+    }
+    if let Some(n) = s.strip_prefix("%r") {
+        return n.parse().map(Operand::Reg).map_err(|_| err(line, format!("bad register `{s}`")));
+    }
+    match s {
+        "%tid.x" => return Ok(Operand::Sreg(Sreg::TidX)),
+        "%ctaid.x" => return Ok(Operand::Sreg(Sreg::CtaIdX)),
+        "%ntid.x" => return Ok(Operand::Sreg(Sreg::NtidX)),
+        "%nctaid.x" => return Ok(Operand::Sreg(Sreg::NctaIdX)),
+        "%laneid" => return Ok(Operand::Sreg(Sreg::LaneId)),
+        "%warpid" => return Ok(Operand::Sreg(Sreg::WarpId)),
+        "%warpsize" => return Ok(Operand::Sreg(Sreg::WarpSize)),
+        _ => {}
+    }
+    if let Some(n) = s.strip_prefix("%p") {
+        return n
+            .parse()
+            .map(Operand::Param)
+            .map_err(|_| err(line, format!("bad parameter `{s}`")));
+    }
+    if s.contains('.') {
+        if let Ok(f) = s.parse::<f64>() {
+            return Ok(Operand::ImmF(f));
+        }
+    }
+    if let Some(hex) = s.strip_prefix("0x") {
+        if let Ok(v) = i64::from_str_radix(hex, 16) {
+            return Ok(Operand::ImmI(v));
+        }
+    }
+    s.parse::<i64>().map(Operand::ImmI).map_err(|_| err(line, format!("cannot parse operand `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchConfig;
+    use crate::exec::{run_kernel, Arg, BlockSelection, LaunchDims};
+    use crate::memory::LinearMemory;
+
+    #[test]
+    fn assembles_and_runs_a_reduction() {
+        let src = r#"
+            .kernel warp_sum
+            .param ptr        // out
+            entry:
+              mov.u32  %r0, %tid.x
+              shfl.down.u32 %r1, %r0, 16, 32
+              add.u32  %r0, %r0, %r1
+              shfl.down.u32 %r1, %r0, 8, 32
+              add.u32  %r0, %r0, %r1
+              shfl.down.u32 %r1, %r0, 4, 32
+              add.u32  %r0, %r0, %r1
+              shfl.down.u32 %r1, %r0, 2, 32
+              add.u32  %r0, %r0, %r1
+              shfl.down.u32 %r1, %r0, 1, 32
+              add.u32  %r0, %r0, %r1
+              setp.eq.u32 %pr0, %tid.x, 0
+              @!%pr0 bra done
+              st.global.u32 [%p0], %r0
+            done:
+              exit
+        "#;
+        let k = assemble(src).unwrap();
+        assert_eq!(k.name, "warp_sum");
+        assert_eq!(k.params.len(), 1);
+        let mut mem = LinearMemory::new(4, "global");
+        run_kernel(
+            &k,
+            &ArchConfig::pascal_p100(),
+            LaunchDims::new(1, 32),
+            &[Arg::Ptr(0)],
+            &mut mem,
+            BlockSelection::All,
+        )
+        .unwrap();
+        assert_eq!(mem.read(Ty::U32, 0).unwrap(), (0..32).sum::<u64>());
+    }
+
+    #[test]
+    fn parses_directives_and_addresses() {
+        let src = r#"
+            .kernel k
+            .param ptr
+            .param u32
+            .smem 64
+            .dsmem
+              ld.shared.f32 %r0, [%r1+16]
+              st.global.v4.f32 [%p0], %r2
+              atom.global.gpu.add.f32 %r6, [%p0+8], %r0
+              red.shared.cta.max.s32 [%r1], 42
+              exit
+        "#;
+        let k = assemble(src).unwrap();
+        assert_eq!(k.static_smem, 64);
+        assert!(k.dynamic_smem);
+        assert_eq!(k.params, vec![ParamKind::Ptr, ParamKind::Scalar(Ty::U32)]);
+        match &k.instrs[0] {
+            Instr::Ld { addr, .. } => assert_eq!(addr.offset, 16),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &k.instrs[1] {
+            Instr::St { width, .. } => assert_eq!(*width, VecWidth::V4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Vector store widens the inferred register file (r2..r5, r6).
+        assert_eq!(k.num_regs, 7);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = ".kernel k\n  bogus.u32 %r0, %r1\n  exit";
+        match assemble(src) {
+            Err(SimError::Asm { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected asm error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let src = ".kernel k\n  bra nowhere\n  exit";
+        assert!(matches!(assemble(src), Err(SimError::Asm { line: 2, .. })));
+    }
+
+    #[test]
+    fn duplicate_label_is_reported() {
+        let src = ".kernel k\nfoo:\nfoo:\n  exit";
+        assert!(assemble(src).is_err());
+    }
+
+    #[test]
+    fn register_counts_inferred() {
+        let src = ".kernel k\n  mov.u32 %r7, 1\n  setp.eq.u32 %pr2, %r7, 1\n  exit";
+        let k = assemble(src).unwrap();
+        assert_eq!(k.num_regs, 8);
+        assert_eq!(k.num_preds, 3);
+    }
+
+    #[test]
+    fn float_and_hex_immediates() {
+        let src = ".kernel k\n  mov.f32 %r0, 1.5\n  mov.u32 %r1, 0xff\n  exit";
+        let k = assemble(src).unwrap();
+        match k.instrs[0] {
+            Instr::Mov { src: Operand::ImmF(f), .. } => assert_eq!(f, 1.5),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        match k.instrs[1] {
+            Instr::Mov { src: Operand::ImmI(v), .. } => assert_eq!(v, 255),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cas_requires_compare() {
+        let src = ".kernel k\n  atom.global.gpu.cas.u32 %r0, [%p0], %r1\n  exit";
+        assert!(assemble(src).is_err());
+    }
+
+    #[test]
+    fn semicolon_comments_are_stripped() {
+        let src = ".kernel k ; named k\n  mov.u32 %r0, 1 ; set r0\n  exit ; done";
+        let k = assemble(src).unwrap();
+        assert_eq!(k.instrs.len(), 2);
+    }
+}

@@ -1,0 +1,341 @@
+//! Control-flow analysis: basic blocks, postdominators and the
+//! reconvergence table used by the SIMT divergence stack.
+//!
+//! The interpreter reconverges divergent warps at the *immediate
+//! postdominator* (IPDOM) of the divergent branch, the scheme used by
+//! real SIMT hardware models. We build a CFG over the flat
+//! instruction stream, compute postdominators on the reverse graph
+//! with the classic iterative dataflow algorithm, and record for each
+//! conditional branch the instruction index at which its two paths
+//! are guaranteed to have rejoined.
+
+use crate::isa::Instr;
+use crate::kernel::Kernel;
+
+/// A basic block: a maximal straight-line range `[start, end)` of
+/// instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+}
+
+/// Control-flow graph plus the IPDOM-derived reconvergence table.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in instruction order.
+    pub blocks: Vec<Block>,
+    /// For each instruction index: the containing block id.
+    pub block_of: Vec<usize>,
+    /// For each *conditional branch* instruction index: the pc at
+    /// which its divergent paths reconverge (`usize::MAX` = never —
+    /// the paths only rejoin at thread exit).
+    reconv: Vec<usize>,
+}
+
+/// Virtual exit node id used during postdominator computation.
+const NONE: usize = usize::MAX;
+
+impl Cfg {
+    /// Build the CFG and reconvergence table for `kernel`.
+    pub fn build(kernel: &Kernel) -> Cfg {
+        let n = kernel.instrs.len();
+        // 1. Find block leaders.
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (pc, i) in kernel.instrs.iter().enumerate() {
+            match i {
+                Instr::Bra { target, .. } => {
+                    leader[*target] = true;
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Exit => {
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // 2. Materialize blocks.
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for pc in 0..n {
+            if pc > start && leader[pc] {
+                blocks.push(Block { start, end: pc, succs: Vec::new() });
+                start = pc;
+            }
+        }
+        if n > 0 {
+            blocks.push(Block { start, end: n, succs: Vec::new() });
+        }
+        for (id, b) in blocks.iter().enumerate() {
+            for pc in b.start..b.end {
+                block_of[pc] = id;
+            }
+        }
+        // 3. Successor edges.
+        let nb = blocks.len();
+        for id in 0..nb {
+            let (start_end, last) = (blocks[id].end, blocks[id].end - 1);
+            let mut succs = Vec::new();
+            match &kernel.instrs[last] {
+                Instr::Bra { pred, target } => {
+                    let t = block_of[*target];
+                    succs.push(t);
+                    if pred.is_some() && start_end < n {
+                        let ft = block_of[start_end];
+                        if ft != t {
+                            succs.push(ft);
+                        }
+                    }
+                }
+                Instr::Exit => {}
+                _ => {
+                    if start_end < n {
+                        succs.push(block_of[start_end]);
+                    }
+                }
+            }
+            blocks[id].succs = succs;
+        }
+        // 4. Immediate postdominators via iterative dataflow on the
+        //    reverse CFG, with a virtual exit node (id = nb) that every
+        //    `exit`-terminated block flows into.
+        let ipdom = compute_ipdom(&blocks, n, &kernel.instrs);
+        // 5. Reconvergence pc for each conditional branch = start of
+        //    the branch block's immediate postdominator block.
+        let mut reconv = vec![NONE; n];
+        for (pc, i) in kernel.instrs.iter().enumerate() {
+            if let Instr::Bra { pred: Some(_), .. } = i {
+                let b = block_of[pc];
+                let ip = ipdom[b];
+                reconv[pc] = if ip == nb || ip == NONE { NONE } else { blocks[ip].start };
+            }
+        }
+        Cfg { blocks, block_of, reconv }
+    }
+
+    /// Reconvergence pc for the conditional branch at `pc`, or `None`
+    /// when the paths only rejoin at thread exit.
+    pub fn reconvergence(&self, pc: usize) -> Option<usize> {
+        match self.reconv.get(pc) {
+            Some(&r) if r != NONE => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Compute immediate postdominators. Returns, for each block, the id
+/// of its immediate postdominator (`nb` = virtual exit, `NONE` =
+/// unreachable-from-exit).
+fn compute_ipdom(blocks: &[Block], n_instrs: usize, instrs: &[Instr]) -> Vec<usize> {
+    let nb = blocks.len();
+    let exit_node = nb;
+    // Predecessors in the reverse graph = successors in the CFG; we
+    // need, for each node, its CFG successors (which are its reverse-
+    // graph predecessors). Nodes ending in `exit` flow to exit_node.
+    let mut succs: Vec<Vec<usize>> = blocks.iter().map(|b| b.succs.clone()).collect();
+    for (id, b) in blocks.iter().enumerate() {
+        let last = b.end - 1;
+        if matches!(instrs[last], Instr::Exit) {
+            succs[id].push(exit_node);
+        } else if b.end >= n_instrs && succs[id].is_empty() {
+            succs[id].push(exit_node);
+        }
+    }
+    // Reverse postorder on the reverse CFG == postorder from exit on
+    // the forward CFG. Iterative dataflow (Cooper-Harvey-Kennedy).
+    // Order nodes by reverse DFS from exit over reverse edges.
+    let mut rev_edges: Vec<Vec<usize>> = vec![Vec::new(); nb + 1];
+    for (id, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            rev_edges[s].push(id);
+        }
+    }
+    // DFS from exit_node over rev_edges to get postorder.
+    let mut order = Vec::with_capacity(nb + 1);
+    let mut visited = vec![false; nb + 1];
+    let mut stack = vec![(exit_node, 0usize)];
+    visited[exit_node] = true;
+    while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+        if *idx < rev_edges[node].len() {
+            let next = rev_edges[node][*idx];
+            *idx += 1;
+            if !visited[next] {
+                visited[next] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            order.push(node);
+            stack.pop();
+        }
+    }
+    // `order` is postorder from exit; number nodes by it.
+    let mut po_num = vec![NONE; nb + 1];
+    for (i, &node) in order.iter().enumerate() {
+        po_num[node] = i;
+    }
+    let mut idom = vec![NONE; nb + 1];
+    idom[exit_node] = exit_node;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Process in reverse postorder (from exit outward).
+        for &node in order.iter().rev() {
+            if node == exit_node {
+                continue;
+            }
+            let mut new_idom = NONE;
+            for &s in &succs[node] {
+                if idom[s] != NONE {
+                    new_idom = if new_idom == NONE {
+                        s
+                    } else {
+                        intersect(new_idom, s, &idom, &po_num)
+                    };
+                }
+            }
+            if new_idom != NONE && idom[node] != new_idom {
+                idom[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom.truncate(nb);
+    idom
+}
+
+fn intersect(mut a: usize, mut b: usize, idom: &[usize], po_num: &[usize]) -> usize {
+    while a != b {
+        while po_num[a] < po_num[b] {
+            a = idom[a];
+        }
+        while po_num[b] < po_num[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BinOp, CmpOp, Operand, Ty};
+    use crate::kernel::KernelBuilder;
+
+    /// if/else diamond: reconvergence is the join block.
+    #[test]
+    fn diamond_reconverges_at_join() {
+        let mut b = KernelBuilder::new("diamond");
+        let r = b.reg();
+        let p = b.pred();
+        b.setp(CmpOp::Lt, Ty::U32, p, Operand::Sreg(crate::isa::Sreg::TidX), Operand::ImmI(16));
+        let else_l = b.label();
+        let join_l = b.label();
+        b.bra_if(p, false, else_l); // pc 1
+        b.mov(Ty::U32, r, Operand::ImmI(1)); // pc 2 (then)
+        b.bra(join_l); // pc 3
+        b.place(else_l);
+        b.mov(Ty::U32, r, Operand::ImmI(2)); // pc 4 (else)
+        b.place(join_l);
+        b.bin(BinOp::Add, Ty::U32, r, Operand::Reg(r), Operand::ImmI(1)); // pc 5
+        b.exit(); // pc 6
+        let k = b.finish().unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.reconvergence(1), Some(5));
+    }
+
+    /// Loop back-edge: the conditional back-branch reconverges at the
+    /// loop exit (fall-through).
+    #[test]
+    fn loop_reconverges_after_backedge() {
+        let mut b = KernelBuilder::new("loop");
+        let i = b.reg();
+        let p = b.pred();
+        b.mov(Ty::U32, i, Operand::ImmI(0)); // 0
+        let top = b.label();
+        b.place(top);
+        b.bin(BinOp::Add, Ty::U32, i, Operand::Reg(i), Operand::ImmI(1)); // 1
+        b.setp(CmpOp::Lt, Ty::U32, p, Operand::Reg(i), Operand::ImmI(10)); // 2
+        b.bra_if(p, true, top); // 3
+        b.exit(); // 4
+        let k = b.finish().unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.reconvergence(3), Some(4));
+    }
+
+    /// A guarded early-exit: paths rejoin only at exit → None.
+    #[test]
+    fn guarded_exit_never_reconverges() {
+        let mut b = KernelBuilder::new("guard");
+        let p = b.pred();
+        b.setp(CmpOp::Eq, Ty::U32, p, Operand::Sreg(crate::isa::Sreg::TidX), Operand::ImmI(0)); // 0
+        let done = b.label();
+        b.bra_if(p, false, done); // 1
+        b.exit(); // 2 (lane 0 exits early)
+        b.place(done);
+        b.exit(); // 3
+        let k = b.finish().unwrap();
+        let cfg = Cfg::build(&k);
+        // Both paths end in exit; reconvergence is the virtual exit →
+        // reported as None.
+        assert_eq!(cfg.reconvergence(1), None);
+    }
+
+    #[test]
+    fn straightline_single_block() {
+        let mut b = KernelBuilder::new("s");
+        let r = b.reg();
+        b.mov(Ty::U32, r, Operand::ImmI(0));
+        b.bin(BinOp::Add, Ty::U32, r, Operand::Reg(r), Operand::ImmI(1));
+        b.exit();
+        let k = b.finish().unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.block_of, vec![0, 0, 0]);
+    }
+
+    /// Nested diamonds reconverge at their own joins.
+    #[test]
+    fn nested_diamonds() {
+        let mut b = KernelBuilder::new("nested");
+        let r = b.reg();
+        let p0 = b.pred();
+        let p1 = b.pred();
+        let outer_else = b.label();
+        let outer_join = b.label();
+        let inner_else = b.label();
+        let inner_join = b.label();
+        b.setp(CmpOp::Lt, Ty::U32, p0, Operand::Sreg(crate::isa::Sreg::TidX), Operand::ImmI(16)); // 0
+        b.bra_if(p0, false, outer_else); // 1
+        // then: inner diamond
+        b.setp(CmpOp::Lt, Ty::U32, p1, Operand::Sreg(crate::isa::Sreg::TidX), Operand::ImmI(8)); // 2
+        b.bra_if(p1, false, inner_else); // 3
+        b.mov(Ty::U32, r, Operand::ImmI(1)); // 4
+        b.bra(inner_join); // 5
+        b.place(inner_else);
+        b.mov(Ty::U32, r, Operand::ImmI(2)); // 6
+        b.place(inner_join);
+        b.bin(BinOp::Add, Ty::U32, r, Operand::Reg(r), Operand::ImmI(10)); // 7
+        b.bra(outer_join); // 8
+        b.place(outer_else);
+        b.mov(Ty::U32, r, Operand::ImmI(3)); // 9
+        b.place(outer_join);
+        b.bin(BinOp::Add, Ty::U32, r, Operand::Reg(r), Operand::ImmI(100)); // 10
+        b.exit(); // 11
+        let k = b.finish().unwrap();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.reconvergence(3), Some(7), "inner join");
+        assert_eq!(cfg.reconvergence(1), Some(10), "outer join");
+    }
+}

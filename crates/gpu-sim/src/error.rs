@@ -1,0 +1,84 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A kernel failed structural validation.
+    InvalidKernel {
+        /// Kernel name.
+        kernel: String,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An out-of-bounds or misaligned memory access at runtime.
+    MemoryFault {
+        /// Memory space name (`"global"` / `"shared"`).
+        space: &'static str,
+        /// Faulting byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+        /// Capacity of the addressed space.
+        capacity: u64,
+    },
+    /// A launch was configured inconsistently (wrong parameter count,
+    /// zero-sized grid, shared memory over the per-block limit, …).
+    InvalidLaunch(String),
+    /// The interpreter exceeded its dynamic instruction budget — a
+    /// runaway loop guard, not a modelled limit.
+    Timeout {
+        /// Kernel name.
+        kernel: String,
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// An assembler diagnostic.
+    Asm {
+        /// 1-based source line of the error.
+        line: usize,
+        /// Description.
+        reason: String,
+    },
+}
+
+impl SimError {
+    pub(crate) fn invalid_kernel(kernel: &str, reason: impl Into<String>) -> Self {
+        SimError::InvalidKernel { kernel: kernel.to_string(), reason: reason.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidKernel { kernel, reason } => {
+                write!(f, "invalid kernel `{kernel}`: {reason}")
+            }
+            SimError::MemoryFault { space, addr, size, capacity } => write!(
+                f,
+                "{space} memory fault: {size}-byte access at {addr:#x} (capacity {capacity:#x})"
+            ),
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+            SimError::Timeout { kernel, budget } => {
+                write!(f, "kernel `{kernel}` exceeded the {budget}-instruction budget")
+            }
+            SimError::Asm { line, reason } => write!(f, "asm error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = SimError::MemoryFault { space: "global", addr: 64, size: 4, capacity: 32 };
+        assert!(e.to_string().contains("global memory fault"));
+        let e = SimError::invalid_kernel("k", "broken");
+        assert!(e.to_string().contains("`k`"));
+    }
+}

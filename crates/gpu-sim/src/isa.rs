@@ -1,0 +1,604 @@
+//! The VIR (Virtual ISA for Reduction) instruction set.
+//!
+//! VIR is a small, PTX-flavoured, register-based virtual ISA that the
+//! simulator executes warp-synchronously. It covers the instruction
+//! classes the paper's code variants exercise: integer/float
+//! arithmetic, predication, scalar and vector global/shared memory
+//! accesses, scoped atomic operations, warp shuffle exchanges,
+//! barriers, and (possibly divergent) branches.
+//!
+//! Instructions are stored in a flat `Vec<Instr>`; branch targets are
+//! resolved instruction indices (the assembler and the builder patch
+//! labels). Reconvergence points for divergent branches are computed
+//! from the control-flow graph (see [`crate::cfg`]), so arbitrary —
+//! not just structured — control flow executes correctly.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a general-purpose virtual register (per-thread, 64-bit raw).
+pub type RegId = u16;
+/// Index of a predicate register (per-thread, boolean).
+pub type PredId = u16;
+
+/// Scalar machine types. Values are stored bit-cast inside a `u64`
+/// register; the type on each instruction selects the interpretation,
+/// exactly as PTX does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// 32-bit signed integer.
+    I32,
+    /// 32-bit unsigned integer.
+    U32,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit unsigned integer (also the address type).
+    U64,
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+}
+
+impl Ty {
+    /// Size of a value of this type in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            Ty::I32 | Ty::U32 | Ty::F32 => 4,
+            Ty::I64 | Ty::U64 | Ty::F64 => 8,
+        }
+    }
+
+    /// Whether the type is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// Whether the type is a signed integer type.
+    pub fn is_signed(self) -> bool {
+        matches!(self, Ty::I32 | Ty::I64)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I32 => "s32",
+            Ty::U32 => "u32",
+            Ty::I64 => "s64",
+            Ty::U64 => "u64",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Special (read-only) registers, mirroring the CUDA built-ins the
+/// paper's `Vector` primitive maps onto (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sreg {
+    /// `threadIdx.x`
+    TidX,
+    /// `blockIdx.x`
+    CtaIdX,
+    /// `blockDim.x`
+    NtidX,
+    /// `gridDim.x`
+    NctaIdX,
+    /// `threadIdx.x % warpSize`
+    LaneId,
+    /// `threadIdx.x / warpSize`
+    WarpId,
+    /// The warp width (always 32).
+    WarpSize,
+}
+
+impl fmt::Display for Sreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sreg::TidX => "%tid.x",
+            Sreg::CtaIdX => "%ctaid.x",
+            Sreg::NtidX => "%ntid.x",
+            Sreg::NctaIdX => "%nctaid.x",
+            Sreg::LaneId => "%laneid",
+            Sreg::WarpId => "%warpid",
+            Sreg::WarpSize => "%warpsize",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(RegId),
+    /// An integer immediate (bit pattern used according to the
+    /// instruction type).
+    ImmI(i64),
+    /// A floating-point immediate.
+    ImmF(f64),
+    /// A special register.
+    Sreg(Sreg),
+    /// A kernel parameter slot (bound at launch).
+    Param(u16),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "%r{r}"),
+            Operand::ImmI(v) => write!(f, "{v}"),
+            Operand::ImmF(v) => write!(f, "{v:?}"),
+            Operand::Sreg(s) => write!(f, "{s}"),
+            Operand::Param(p) => write!(f, "%p{p}"),
+        }
+    }
+}
+
+/// Memory spaces addressable by loads, stores and atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Space {
+    /// Device (global) memory, byte-addressed across the whole device.
+    Global,
+    /// Per-block scratchpad (shared) memory, byte-addressed within the
+    /// block's allocation.
+    Shared,
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Space::Global => "global",
+            Space::Shared => "shared",
+        })
+    }
+}
+
+/// Atomic visibility scopes (Pascal introduced `_block`/`_system`
+/// variants; earlier architectures implicitly use device scope).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// Visibility within the issuing thread block (`atomicAdd_block`).
+    Cta,
+    /// Visibility within the device (the default CUDA scope).
+    Gpu,
+    /// Visibility across the system (`atomicAdd_system`).
+    Sys,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scope::Cta => "cta",
+            Scope::Gpu => "gpu",
+            Scope::Sys => "sys",
+        })
+    }
+}
+
+/// Binary arithmetic/logic operations.
+#[allow(missing_docs)] // variants are self-describing
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        })
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement (integer types only).
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+        })
+    }
+}
+
+/// Comparison operators for `setp`.
+#[allow(missing_docs)] // variants are self-describing
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        })
+    }
+}
+
+/// Atomic read-modify-write operations.
+#[allow(missing_docs)] // variants are self-describing
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomOp {
+    Add,
+    Sub,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    /// Atomic exchange.
+    Exch,
+    /// Compare-and-swap (uses the extra `cmp` operand).
+    Cas,
+}
+
+impl fmt::Display for AtomOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AtomOp::Add => "add",
+            AtomOp::Sub => "sub",
+            AtomOp::Min => "min",
+            AtomOp::Max => "max",
+            AtomOp::And => "and",
+            AtomOp::Or => "or",
+            AtomOp::Xor => "xor",
+            AtomOp::Exch => "exch",
+            AtomOp::Cas => "cas",
+        })
+    }
+}
+
+/// Warp shuffle modes (Kepler's `__shfl_*` family, §II-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShflMode {
+    /// `__shfl_up`: lane *i* reads lane *i − delta*.
+    Up,
+    /// `__shfl_down`: lane *i* reads lane *i + delta*.
+    Down,
+    /// `__shfl_xor`: lane *i* reads lane *i ^ mask* (butterfly).
+    Bfly,
+    /// `__shfl`: lane *i* reads the indexed lane.
+    Idx,
+}
+
+impl fmt::Display for ShflMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ShflMode::Up => "up",
+            ShflMode::Down => "down",
+            ShflMode::Bfly => "bfly",
+            ShflMode::Idx => "idx",
+        })
+    }
+}
+
+/// A memory address: `base + offset` in bytes. `base` is evaluated per
+/// thread, so strided and indexed accesses are expressed by computing
+/// the base in registers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Address {
+    /// Base byte address (global) or byte offset (shared).
+    pub base: Operand,
+    /// Constant byte displacement.
+    pub offset: i64,
+}
+
+impl Address {
+    /// An address formed from a register with no displacement.
+    pub fn reg(r: RegId) -> Self {
+        Address { base: Operand::Reg(r), offset: 0 }
+    }
+
+    /// An address formed from an operand with a byte displacement.
+    pub fn new(base: Operand, offset: i64) -> Self {
+        Address { base, offset }
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "[{}]", self.base)
+        } else {
+            write!(f, "[{}+{}]", self.base, self.offset)
+        }
+    }
+}
+
+/// Vector width of a load/store (matching CUDA `ld.global.v2/.v4`,
+/// which CUB uses for its bandwidth optimization, §IV-C1).
+#[allow(missing_docs)] // variants are self-describing
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VecWidth {
+    V1,
+    V2,
+    V4,
+}
+
+impl VecWidth {
+    /// Number of elements.
+    pub fn lanes(self) -> u16 {
+        match self {
+            VecWidth::V1 => 1,
+            VecWidth::V2 => 2,
+            VecWidth::V4 => 4,
+        }
+    }
+}
+
+/// A VIR instruction.
+///
+/// Destination registers come first, sources after, as in PTX.
+#[allow(missing_docs)] // operand fields follow the PTX convention documented per variant
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst = src`
+    Mov { ty: Ty, dst: RegId, src: Operand },
+    /// `dst = op src`
+    Un { op: UnOp, ty: Ty, dst: RegId, src: Operand },
+    /// `dst = a op b`
+    Bin { op: BinOp, ty: Ty, dst: RegId, a: Operand, b: Operand },
+    /// Fused multiply-add: `dst = a * b + c` (indexing workhorse).
+    Mad { ty: Ty, dst: RegId, a: Operand, b: Operand, c: Operand },
+    /// Convert `src` interpreted as `from` into `to`, store in `dst`.
+    Cvt { from: Ty, to: Ty, dst: RegId, src: Operand },
+    /// Set predicate: `dst = a cmp b`.
+    Setp { op: CmpOp, ty: Ty, dst: PredId, a: Operand, b: Operand },
+    /// Predicate logic: `dst = a op b` on predicate registers
+    /// (`op` restricted to And/Or/Xor).
+    Plop { op: BinOp, dst: PredId, a: PredId, b: PredId },
+    /// Select: `dst = pred ? a : b` (branch-free ternary).
+    Selp { ty: Ty, dst: RegId, a: Operand, b: Operand, pred: PredId },
+    /// Load `width` consecutive elements into consecutive registers
+    /// starting at `dst`.
+    Ld { space: Space, ty: Ty, dst: RegId, addr: Address, width: VecWidth },
+    /// Store `width` consecutive registers starting at `src`.
+    St { space: Space, ty: Ty, src: RegId, addr: Address, width: VecWidth },
+    /// Atomic read-modify-write. `dst`, when present, receives the old
+    /// value (PTX `atom`); when absent this is a reduction (`red`).
+    Atom {
+        space: Space,
+        scope: Scope,
+        op: AtomOp,
+        ty: Ty,
+        dst: Option<RegId>,
+        addr: Address,
+        src: Operand,
+        /// Comparison source for [`AtomOp::Cas`].
+        cmp: Option<Operand>,
+    },
+    /// Warp shuffle of the 32-bit (or 64-bit) register `src`.
+    Shfl {
+        mode: ShflMode,
+        ty: Ty,
+        dst: RegId,
+        src: Operand,
+        /// Delta / xor mask / source-lane operand.
+        lane: Operand,
+        /// Logical sub-warp width (a power of two ≤ 32).
+        width: u32,
+        /// Optional predicate set when the source lane was in range.
+        pred_out: Option<PredId>,
+    },
+    /// Block-wide barrier (`__syncthreads`).
+    Bar,
+    /// Branch to `target` (resolved instruction index). `pred` of
+    /// `(p, true)` means branch when `p` is set, `(p, false)` when
+    /// clear. `None` is an unconditional branch.
+    Bra { pred: Option<(PredId, bool)>, target: usize },
+    /// Terminate the thread.
+    Exit,
+}
+
+impl Instr {
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Instr::Bra { .. } | Instr::Exit)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Mov { ty, dst, src } => write!(f, "mov.{ty} %r{dst}, {src}"),
+            Instr::Un { op, ty, dst, src } => write!(f, "{op}.{ty} %r{dst}, {src}"),
+            Instr::Bin { op, ty, dst, a, b } => write!(f, "{op}.{ty} %r{dst}, {a}, {b}"),
+            Instr::Mad { ty, dst, a, b, c } => write!(f, "mad.{ty} %r{dst}, {a}, {b}, {c}"),
+            Instr::Cvt { from, to, dst, src } => write!(f, "cvt.{to}.{from} %r{dst}, {src}"),
+            Instr::Setp { op, ty, dst, a, b } => write!(f, "setp.{op}.{ty} %pr{dst}, {a}, {b}"),
+            Instr::Plop { op, dst, a, b } => write!(f, "{op}.pred %pr{dst}, %pr{a}, %pr{b}"),
+            Instr::Selp { ty, dst, a, b, pred } => {
+                write!(f, "selp.{ty} %r{dst}, {a}, {b}, %pr{pred}")
+            }
+            Instr::Ld { space, ty, dst, addr, width } => match width {
+                VecWidth::V1 => write!(f, "ld.{space}.{ty} %r{dst}, {addr}"),
+                w => write!(f, "ld.{space}.v{}.{ty} %r{dst}, {addr}", w.lanes()),
+            },
+            Instr::St { space, ty, src, addr, width } => match width {
+                VecWidth::V1 => write!(f, "st.{space}.{ty} {addr}, %r{src}"),
+                w => write!(f, "st.{space}.v{}.{ty} {addr}, %r{src}", w.lanes()),
+            },
+            Instr::Atom { space, scope, op, ty, dst, addr, src, cmp } => {
+                match dst {
+                    Some(d) => write!(f, "atom.{space}.{scope}.{op}.{ty} %r{d}, {addr}, {src}")?,
+                    None => write!(f, "red.{space}.{scope}.{op}.{ty} {addr}, {src}")?,
+                }
+                if let Some(c) = cmp {
+                    write!(f, ", {c}")?;
+                }
+                Ok(())
+            }
+            Instr::Shfl { mode, ty, dst, src, lane, width, pred_out } => {
+                write!(f, "shfl.{mode}.{ty} %r{dst}", )?;
+                if let Some(p) = pred_out {
+                    write!(f, "|%pr{p}")?;
+                }
+                write!(f, ", {src}, {lane}, {width}")
+            }
+            Instr::Bar => write!(f, "bar.sync 0"),
+            Instr::Bra { pred, target } => match pred {
+                None => write!(f, "bra L{target}"),
+                Some((p, true)) => write!(f, "@%pr{p} bra L{target}"),
+                Some((p, false)) => write!(f, "@!%pr{p} bra L{target}"),
+            },
+            Instr::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+/// Rough instruction classes used by the timing model.
+#[allow(missing_docs)] // variants are self-describing
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    Alu,
+    Fp,
+    LdGlobal,
+    StGlobal,
+    LdShared,
+    StShared,
+    AtomGlobal,
+    AtomShared,
+    Shfl,
+    Bar,
+    Branch,
+    Other,
+}
+
+impl Instr {
+    /// Classify the instruction for the cost model.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Bin { ty, .. } | Instr::Mad { ty, .. } | Instr::Un { ty, .. } => {
+                if ty.is_float() {
+                    InstrClass::Fp
+                } else {
+                    InstrClass::Alu
+                }
+            }
+            Instr::Mov { .. } | Instr::Cvt { .. } | Instr::Setp { .. } | Instr::Plop { .. }
+            | Instr::Selp { .. } => InstrClass::Alu,
+            Instr::Ld { space: Space::Global, .. } => InstrClass::LdGlobal,
+            Instr::St { space: Space::Global, .. } => InstrClass::StGlobal,
+            Instr::Ld { space: Space::Shared, .. } => InstrClass::LdShared,
+            Instr::St { space: Space::Shared, .. } => InstrClass::StShared,
+            Instr::Atom { space: Space::Global, .. } => InstrClass::AtomGlobal,
+            Instr::Atom { space: Space::Shared, .. } => InstrClass::AtomShared,
+            Instr::Shfl { .. } => InstrClass::Shfl,
+            Instr::Bar => InstrClass::Bar,
+            Instr::Bra { .. } => InstrClass::Branch,
+            Instr::Exit => InstrClass::Other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ty_sizes() {
+        assert_eq!(Ty::I32.size(), 4);
+        assert_eq!(Ty::U32.size(), 4);
+        assert_eq!(Ty::F32.size(), 4);
+        assert_eq!(Ty::I64.size(), 8);
+        assert_eq!(Ty::U64.size(), 8);
+        assert_eq!(Ty::F64.size(), 8);
+    }
+
+    #[test]
+    fn ty_predicates() {
+        assert!(Ty::F32.is_float());
+        assert!(!Ty::I32.is_float());
+        assert!(Ty::I64.is_signed());
+        assert!(!Ty::U64.is_signed());
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        let i = Instr::Bin {
+            op: BinOp::Add,
+            ty: Ty::F32,
+            dst: 3,
+            a: Operand::Reg(1),
+            b: Operand::ImmF(1.5),
+        };
+        assert_eq!(i.to_string(), "add.f32 %r3, %r1, 1.5");
+        let l = Instr::Ld {
+            space: Space::Global,
+            ty: Ty::F32,
+            dst: 2,
+            addr: Address::new(Operand::Reg(9), 4),
+            width: VecWidth::V4,
+        };
+        assert_eq!(l.to_string(), "ld.global.v4.f32 %r2, [%r9+4]");
+    }
+
+    #[test]
+    fn instr_classes() {
+        let a = Instr::Atom {
+            space: Space::Shared,
+            scope: Scope::Cta,
+            op: AtomOp::Add,
+            ty: Ty::F32,
+            dst: None,
+            addr: Address::reg(0),
+            src: Operand::Reg(1),
+            cmp: None,
+        };
+        assert_eq!(a.class(), InstrClass::AtomShared);
+        assert_eq!(Instr::Bar.class(), InstrClass::Bar);
+        assert!(Instr::Exit.is_control());
+        assert!(!Instr::Bar.is_control());
+    }
+
+    #[test]
+    fn vec_width_lanes() {
+        assert_eq!(VecWidth::V1.lanes(), 1);
+        assert_eq!(VecWidth::V2.lanes(), 2);
+        assert_eq!(VecWidth::V4.lanes(), 4);
+    }
+}

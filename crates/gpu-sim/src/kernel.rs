@@ -1,0 +1,600 @@
+//! Kernel container, parameter metadata and a programmatic builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::isa::{
+    Address, AtomOp, BinOp, CmpOp, Instr, Operand, PredId, RegId, Scope, ShflMode, Space,
+    Ty, UnOp, VecWidth,
+};
+
+/// Kind of a kernel parameter slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A device pointer (byte address into global memory).
+    Ptr,
+    /// A scalar value (bit pattern, interpreted by the instructions
+    /// that read it).
+    Scalar(Ty),
+}
+
+/// A compiled kernel: instructions with resolved branch targets plus
+/// the static resource footprint the occupancy model needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel name (diagnostics and reports).
+    pub name: String,
+    /// Flat instruction stream; branch targets are indices into it.
+    pub instrs: Vec<Instr>,
+    /// Parameter slots, in order.
+    pub params: Vec<ParamKind>,
+    /// Statically-declared shared memory, in bytes.
+    pub static_smem: u64,
+    /// Whether the kernel uses dynamically-sized shared memory
+    /// (`extern __shared__`, sized at launch as in Listing 3).
+    pub dynamic_smem: bool,
+    /// Number of general-purpose registers used per thread.
+    pub num_regs: u16,
+    /// Number of predicate registers used per thread.
+    pub num_preds: u16,
+}
+
+impl Kernel {
+    /// Validate structural invariants: branch targets in range,
+    /// register ids within the declared file, a terminating `exit`
+    /// reachable at the end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidKernel`] describing the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let n = self.instrs.len();
+        if n == 0 {
+            return Err(SimError::invalid_kernel(&self.name, "empty instruction stream"));
+        }
+        if !matches!(self.instrs[n - 1], Instr::Exit | Instr::Bra { .. }) {
+            return Err(SimError::invalid_kernel(
+                &self.name,
+                "last instruction must be exit or an unconditional branch",
+            ));
+        }
+        for (pc, i) in self.instrs.iter().enumerate() {
+            if let Instr::Bra { target, .. } = i {
+                if *target >= n {
+                    return Err(SimError::invalid_kernel(
+                        &self.name,
+                        format!("branch at {pc} targets out-of-range index {target}"),
+                    ));
+                }
+            }
+            let check_reg = |r: RegId| -> Result<(), SimError> {
+                if r >= self.num_regs {
+                    Err(SimError::invalid_kernel(
+                        &self.name,
+                        format!("instruction {pc} uses %r{r} >= declared {}", self.num_regs),
+                    ))
+                } else {
+                    Ok(())
+                }
+            };
+            for r in i.defined_regs().into_iter().chain(i.used_regs()) {
+                check_reg(r)?;
+            }
+            for p in i.used_preds() {
+                if p >= self.num_preds {
+                    return Err(SimError::invalid_kernel(
+                        &self.name,
+                        format!("instruction {pc} uses %pr{p} >= declared {}", self.num_preds),
+                    ));
+                }
+            }
+            for op in i.operands() {
+                if let Operand::Param(idx) = op {
+                    if idx as usize >= self.params.len() {
+                        return Err(SimError::invalid_kernel(
+                            &self.name,
+                            format!("instruction {pc} reads undeclared param %p{idx}"),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total shared memory for a launch with `dynamic` extra bytes.
+    pub fn smem_bytes(&self, dynamic: u64) -> u64 {
+        self.static_smem + if self.dynamic_smem { dynamic } else { 0 }
+    }
+}
+
+impl fmt::Display for Kernel {
+    /// Renders the kernel in the [`crate::asm`] text format; the
+    /// output re-assembles to an equivalent kernel (round-trip
+    /// covered by tests).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, ".kernel {}", self.name)?;
+        for p in &self.params {
+            match p {
+                ParamKind::Ptr => writeln!(f, ".param ptr")?,
+                ParamKind::Scalar(t) => writeln!(f, ".param {t}")?,
+            }
+        }
+        if self.static_smem > 0 {
+            writeln!(f, ".smem {}", self.static_smem)?;
+        }
+        if self.dynamic_smem {
+            writeln!(f, ".dsmem")?;
+        }
+        for (pc, i) in self.instrs.iter().enumerate() {
+            writeln!(f, "L{pc}: {i}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Instr {
+    /// Registers written by this instruction.
+    pub fn defined_regs(&self) -> Vec<RegId> {
+        match self {
+            Instr::Mov { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Mad { dst, .. }
+            | Instr::Cvt { dst, .. }
+            | Instr::Selp { dst, .. }
+            | Instr::Shfl { dst, .. } => vec![*dst],
+            Instr::Ld { dst, width, .. } => {
+                (0..width.lanes()).map(|k| dst + k).collect()
+            }
+            Instr::Atom { dst, .. } => dst.map(|d| vec![d]).unwrap_or_default(),
+            _ => vec![],
+        }
+    }
+
+    /// Registers read by this instruction (operand registers plus the
+    /// source registers of stores and vector stores).
+    pub fn used_regs(&self) -> Vec<RegId> {
+        let mut out = Vec::new();
+        for op in self.operands() {
+            if let Operand::Reg(r) = op {
+                out.push(r);
+            }
+        }
+        if let Instr::St { src, width, .. } = self {
+            out.extend((0..width.lanes()).map(|k| src + k));
+        }
+        out
+    }
+
+    /// Predicate registers read by this instruction.
+    pub fn used_preds(&self) -> Vec<PredId> {
+        let mut out = Vec::new();
+        match self {
+            Instr::Selp { pred, .. } => out.push(*pred),
+            Instr::Plop { a, b, .. } => {
+                out.push(*a);
+                out.push(*b);
+            }
+            Instr::Bra { pred: Some((p, _)), .. } => out.push(*p),
+            _ => {}
+        }
+        out
+    }
+
+    /// All value operands of this instruction (not including store
+    /// sources, which are plain registers, or address components,
+    /// which are included).
+    pub fn operands(&self) -> Vec<Operand> {
+        let mut out = Vec::new();
+        let addr = |a: &Address, out: &mut Vec<Operand>| out.push(a.base);
+        match self {
+            Instr::Mov { src, .. } | Instr::Un { src, .. } | Instr::Cvt { src, .. } => {
+                out.push(*src)
+            }
+            Instr::Bin { a, b, .. } | Instr::Setp { a, b, .. } => {
+                out.push(*a);
+                out.push(*b);
+            }
+            Instr::Mad { a, b, c, .. } => {
+                out.push(*a);
+                out.push(*b);
+                out.push(*c);
+            }
+            Instr::Selp { a, b, .. } => {
+                out.push(*a);
+                out.push(*b);
+            }
+            Instr::Ld { addr: ad, .. } => addr(ad, &mut out),
+            Instr::St { addr: ad, .. } => addr(ad, &mut out),
+            Instr::Atom { addr: ad, src, cmp, .. } => {
+                addr(ad, &mut out);
+                out.push(*src);
+                if let Some(c) = cmp {
+                    out.push(*c);
+                }
+            }
+            Instr::Shfl { src, lane, .. } => {
+                out.push(*src);
+                out.push(*lane);
+            }
+            Instr::Plop { .. } | Instr::Bar | Instr::Bra { .. } | Instr::Exit => {}
+        }
+        out
+    }
+}
+
+/// A forward-referencing label handle issued by [`KernelBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Programmatic kernel builder with label patching and automatic
+/// register accounting. Used by the code generator and by the
+/// hand-written baselines.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::kernel::KernelBuilder;
+/// use gpu_sim::isa::{BinOp, Operand, Sreg, Ty};
+///
+/// let mut b = KernelBuilder::new("triple");
+/// let t = b.reg();
+/// b.mov(Ty::U32, t, Operand::Sreg(Sreg::TidX));
+/// b.bin(BinOp::Mul, Ty::U32, t, Operand::Reg(t), Operand::ImmI(3));
+/// b.exit();
+/// let k = b.finish().unwrap();
+/// assert_eq!(k.name, "triple");
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    params: Vec<ParamKind>,
+    static_smem: u64,
+    dynamic_smem: bool,
+    next_reg: RegId,
+    next_pred: PredId,
+    labels: Vec<Option<usize>>,
+    pending: HashMap<usize, Label>,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            params: Vec::new(),
+            static_smem: 0,
+            dynamic_smem: false,
+            next_reg: 0,
+            next_pred: 0,
+            labels: Vec::new(),
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Declare the next parameter slot; returns its index.
+    pub fn param(&mut self, kind: ParamKind) -> u16 {
+        self.params.push(kind);
+        (self.params.len() - 1) as u16
+    }
+
+    /// Declare a pointer parameter.
+    pub fn param_ptr(&mut self) -> u16 {
+        self.param(ParamKind::Ptr)
+    }
+
+    /// Declare a scalar parameter of type `ty`.
+    pub fn param_scalar(&mut self, ty: Ty) -> u16 {
+        self.param(ParamKind::Scalar(ty))
+    }
+
+    /// Reserve `bytes` of statically-allocated shared memory; returns
+    /// the byte offset of the allocation.
+    pub fn smem_alloc(&mut self, bytes: u64) -> u64 {
+        // Keep 8-byte alignment so mixed-width arrays never straddle.
+        let off = (self.static_smem + 7) & !7;
+        self.static_smem = off + bytes;
+        off
+    }
+
+    /// Mark the kernel as using dynamically-sized shared memory,
+    /// starting after the static allocations; returns the byte offset
+    /// where the dynamic region begins.
+    pub fn smem_dynamic(&mut self) -> u64 {
+        self.dynamic_smem = true;
+        (self.static_smem + 7) & !7
+    }
+
+    /// Allocate a fresh general-purpose register.
+    pub fn reg(&mut self) -> RegId {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocate `n` consecutive registers (for vector loads); returns
+    /// the first.
+    pub fn reg_vec(&mut self, n: u16) -> RegId {
+        let r = self.next_reg;
+        self.next_reg += n;
+        r
+    }
+
+    /// Allocate a fresh predicate register.
+    pub fn pred(&mut self) -> PredId {
+        let p = self.next_pred;
+        self.next_pred += 1;
+        p
+    }
+
+    /// Create a label to be placed later with [`KernelBuilder::place`].
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Place `label` at the current instruction position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    /// Append a raw instruction.
+    pub fn push(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    // ---- convenience emitters -------------------------------------
+
+    /// Emit `mov`.
+    pub fn mov(&mut self, ty: Ty, dst: RegId, src: Operand) {
+        self.push(Instr::Mov { ty, dst, src });
+    }
+
+    /// Emit a binary operation.
+    pub fn bin(&mut self, op: BinOp, ty: Ty, dst: RegId, a: Operand, b: Operand) {
+        self.push(Instr::Bin { op, ty, dst, a, b });
+    }
+
+    /// Emit a unary operation.
+    pub fn un(&mut self, op: UnOp, ty: Ty, dst: RegId, src: Operand) {
+        self.push(Instr::Un { op, ty, dst, src });
+    }
+
+    /// Emit `mad` (`dst = a*b + c`).
+    pub fn mad(&mut self, ty: Ty, dst: RegId, a: Operand, b: Operand, c: Operand) {
+        self.push(Instr::Mad { ty, dst, a, b, c });
+    }
+
+    /// Emit `cvt`.
+    pub fn cvt(&mut self, from: Ty, to: Ty, dst: RegId, src: Operand) {
+        self.push(Instr::Cvt { from, to, dst, src });
+    }
+
+    /// Emit `setp`.
+    pub fn setp(&mut self, op: CmpOp, ty: Ty, dst: PredId, a: Operand, b: Operand) {
+        self.push(Instr::Setp { op, ty, dst, a, b });
+    }
+
+    /// Emit `selp`.
+    pub fn selp(&mut self, ty: Ty, dst: RegId, a: Operand, b: Operand, pred: PredId) {
+        self.push(Instr::Selp { ty, dst, a, b, pred });
+    }
+
+    /// Emit a scalar load.
+    pub fn ld(&mut self, space: Space, ty: Ty, dst: RegId, addr: Address) {
+        self.push(Instr::Ld { space, ty, dst, addr, width: VecWidth::V1 });
+    }
+
+    /// Emit a vector load into consecutive registers starting at `dst`.
+    pub fn ld_vec(&mut self, space: Space, ty: Ty, dst: RegId, addr: Address, width: VecWidth) {
+        self.push(Instr::Ld { space, ty, dst, addr, width });
+    }
+
+    /// Emit a scalar store.
+    pub fn st(&mut self, space: Space, ty: Ty, src: RegId, addr: Address) {
+        self.push(Instr::St { space, ty, src, addr, width: VecWidth::V1 });
+    }
+
+    /// Emit an atomic read-modify-write without a return value (`red`).
+    pub fn red(&mut self, space: Space, scope: Scope, op: AtomOp, ty: Ty, addr: Address, src: Operand) {
+        self.push(Instr::Atom { space, scope, op, ty, dst: None, addr, src, cmp: None });
+    }
+
+    /// Emit an atomic read-modify-write returning the old value.
+    #[allow(clippy::too_many_arguments)]
+    pub fn atom(
+        &mut self,
+        space: Space,
+        scope: Scope,
+        op: AtomOp,
+        ty: Ty,
+        dst: RegId,
+        addr: Address,
+        src: Operand,
+    ) {
+        self.push(Instr::Atom { space, scope, op, ty, dst: Some(dst), addr, src, cmp: None });
+    }
+
+    /// Emit a warp shuffle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn shfl(
+        &mut self,
+        mode: ShflMode,
+        ty: Ty,
+        dst: RegId,
+        src: Operand,
+        lane: Operand,
+        width: u32,
+    ) {
+        self.push(Instr::Shfl { mode, ty, dst, src, lane, width, pred_out: None });
+    }
+
+    /// Emit a barrier.
+    pub fn bar(&mut self) {
+        self.push(Instr::Bar);
+    }
+
+    /// Emit an unconditional branch to `label`.
+    pub fn bra(&mut self, label: Label) {
+        self.pending.insert(self.instrs.len(), label);
+        self.push(Instr::Bra { pred: None, target: usize::MAX });
+    }
+
+    /// Emit a branch taken when `p` has value `when`.
+    pub fn bra_if(&mut self, p: PredId, when: bool, label: Label) {
+        self.pending.insert(self.instrs.len(), label);
+        self.push(Instr::Bra { pred: Some((p, when)), target: usize::MAX });
+    }
+
+    /// Emit `exit`.
+    pub fn exit(&mut self) {
+        self.push(Instr::Exit);
+    }
+
+    /// Resolve labels and produce the validated [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidKernel`] when a label was never
+    /// placed or the kernel fails [`Kernel::validate`].
+    pub fn finish(mut self) -> Result<Kernel, SimError> {
+        for (pc, label) in &self.pending {
+            let Some(target) = self.labels[label.0] else {
+                return Err(SimError::invalid_kernel(
+                    &self.name,
+                    format!("label {} used at {} but never placed", label.0, pc),
+                ));
+            };
+            if let Instr::Bra { target: t, .. } = &mut self.instrs[*pc] {
+                *t = target;
+            }
+        }
+        let kernel = Kernel {
+            name: self.name,
+            instrs: self.instrs,
+            params: self.params,
+            static_smem: self.static_smem,
+            dynamic_smem: self.dynamic_smem,
+            num_regs: self.next_reg,
+            num_preds: self.next_pred,
+        };
+        kernel.validate()?;
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_labels() {
+        let mut b = KernelBuilder::new("loop");
+        let i = b.reg();
+        let p = b.pred();
+        b.mov(Ty::U32, i, Operand::ImmI(0));
+        let top = b.label();
+        b.place(top);
+        b.bin(BinOp::Add, Ty::U32, i, Operand::Reg(i), Operand::ImmI(1));
+        b.setp(CmpOp::Lt, Ty::U32, p, Operand::Reg(i), Operand::ImmI(10));
+        b.bra_if(p, true, top);
+        b.exit();
+        let k = b.finish().unwrap();
+        match k.instrs[3] {
+            Instr::Bra { target, .. } => assert_eq!(target, 1),
+            ref other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unplaced_label_is_error() {
+        let mut b = KernelBuilder::new("bad");
+        let l = b.label();
+        b.bra(l);
+        b.exit();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_oob_branch() {
+        let k = Kernel {
+            name: "k".into(),
+            instrs: vec![Instr::Bra { pred: None, target: 99 }, Instr::Exit],
+            params: vec![],
+            static_smem: 0,
+            dynamic_smem: false,
+            num_regs: 0,
+            num_preds: 0,
+        };
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_oob_register() {
+        let k = Kernel {
+            name: "k".into(),
+            instrs: vec![
+                Instr::Mov { ty: Ty::U32, dst: 5, src: Operand::ImmI(1) },
+                Instr::Exit,
+            ],
+            params: vec![],
+            static_smem: 0,
+            dynamic_smem: false,
+            num_regs: 1,
+            num_preds: 0,
+        };
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn validate_requires_terminator() {
+        let k = Kernel {
+            name: "k".into(),
+            instrs: vec![Instr::Bar],
+            params: vec![],
+            static_smem: 0,
+            dynamic_smem: false,
+            num_regs: 0,
+            num_preds: 0,
+        };
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn smem_alloc_aligns() {
+        let mut b = KernelBuilder::new("s");
+        let a = b.smem_alloc(5);
+        let c = b.smem_alloc(8);
+        assert_eq!(a, 0);
+        assert_eq!(c, 8);
+    }
+
+    #[test]
+    fn param_bounds_checked() {
+        let k = Kernel {
+            name: "k".into(),
+            instrs: vec![
+                Instr::Mov { ty: Ty::U64, dst: 0, src: Operand::Param(2) },
+                Instr::Exit,
+            ],
+            params: vec![ParamKind::Ptr],
+            static_smem: 0,
+            dynamic_smem: false,
+            num_regs: 1,
+            num_preds: 0,
+        };
+        assert!(k.validate().is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Memory system: global (device) memory, per-block shared memory,
+//! and the warp-level access analyses (coalescing, bank conflicts)
+//! the timing model consumes.
+
+use crate::error::SimError;
+use crate::isa::Ty;
+
+/// Width of a DRAM transaction segment in bytes (the 128-byte cache
+/// line coalescing granularity of the modelled architectures).
+pub const TRANSACTION_BYTES: u64 = 128;
+
+/// Number of shared-memory banks (32 × 4-byte banks on all three
+/// modelled generations).
+pub const SMEM_BANKS: u64 = 32;
+
+/// Byte-addressed linear memory with typed accessors and bounds
+/// checking. Used for both global memory and per-block shared memory.
+#[derive(Debug, Clone)]
+pub struct LinearMemory {
+    bytes: Vec<u8>,
+    space: &'static str,
+}
+
+impl LinearMemory {
+    /// Create a zero-initialized memory of `size` bytes labelled
+    /// `space` for diagnostics.
+    pub fn new(size: u64, space: &'static str) -> Self {
+        LinearMemory { bytes: vec![0u8; size as usize], space }
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Whether the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Grow to at least `size` bytes (new bytes zeroed).
+    pub fn grow(&mut self, size: u64) {
+        if size as usize > self.bytes.len() {
+            self.bytes.resize(size as usize, 0);
+        }
+    }
+
+    fn check(&self, addr: u64, size: u64) -> Result<(), SimError> {
+        if addr.checked_add(size).map(|end| end as usize <= self.bytes.len()) != Some(true) {
+            return Err(SimError::MemoryFault {
+                space: self.space,
+                addr,
+                size,
+                capacity: self.bytes.len() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Read a raw value of type `ty` at byte address `addr`, returned
+    /// bit-extended into a `u64` register image.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryFault`] on out-of-bounds access.
+    pub fn read(&self, ty: Ty, addr: u64) -> Result<u64, SimError> {
+        let size = ty.size();
+        self.check(addr, size)?;
+        let a = addr as usize;
+        Ok(match size {
+            4 => u64::from(u32::from_le_bytes(self.bytes[a..a + 4].try_into().unwrap())),
+            _ => u64::from_le_bytes(self.bytes[a..a + 8].try_into().unwrap()),
+        })
+    }
+
+    /// Write the low `ty.size()` bytes of `raw` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryFault`] on out-of-bounds access.
+    pub fn write(&mut self, ty: Ty, addr: u64, raw: u64) -> Result<(), SimError> {
+        let size = ty.size();
+        self.check(addr, size)?;
+        let a = addr as usize;
+        match size {
+            4 => self.bytes[a..a + 4].copy_from_slice(&(raw as u32).to_le_bytes()),
+            _ => self.bytes[a..a + 8].copy_from_slice(&raw.to_le_bytes()),
+        }
+        Ok(())
+    }
+
+    /// Copy a byte slice into memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryFault`] on out-of-bounds access.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), SimError> {
+        self.check(addr, data.len() as u64)?;
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copy `len` bytes out of memory starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MemoryFault`] on out-of-bounds access.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<Vec<u8>, SimError> {
+        self.check(addr, len)?;
+        Ok(self.bytes[addr as usize..(addr + len) as usize].to_vec())
+    }
+
+    /// Zero the whole memory (shared memory reuse between blocks).
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+}
+
+/// Number of 128-byte segments touched by a warp's set of per-lane
+/// byte accesses — the coalescing model. `accesses` holds
+/// `(address, size)` pairs for the *active* lanes.
+pub fn coalesced_transactions(accesses: &[(u64, u64)]) -> u64 {
+    let mut segs: Vec<u64> = accesses
+        .iter()
+        .flat_map(|&(addr, size)| {
+            let first = addr / TRANSACTION_BYTES;
+            let last = (addr + size.max(1) - 1) / TRANSACTION_BYTES;
+            first..=last
+        })
+        .collect();
+    segs.sort_unstable();
+    segs.dedup();
+    segs.len() as u64
+}
+
+/// Shared-memory bank-conflict degree for a warp access: the maximum
+/// number of *distinct* 4-byte words mapped to the same bank. Degree
+/// 1 means conflict-free; broadcasts (same word) do not conflict.
+pub fn bank_conflict_degree(addresses: &[u64]) -> u64 {
+    let mut per_bank: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
+    for &a in addresses {
+        let word = a / 4;
+        let bank = word % SMEM_BANKS;
+        let words = per_bank.entry(bank).or_default();
+        if !words.contains(&word) {
+            words.push(word);
+        }
+    }
+    per_bank.values().map(|w| w.len() as u64).max().unwrap_or(1).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = LinearMemory::new(64, "global");
+        m.write(Ty::F32, 8, f32::to_bits(1.25) as u64).unwrap();
+        let raw = m.read(Ty::F32, 8).unwrap();
+        assert_eq!(f32::from_bits(raw as u32), 1.25);
+        m.write(Ty::U64, 16, 0xdead_beef_cafe).unwrap();
+        assert_eq!(m.read(Ty::U64, 16).unwrap(), 0xdead_beef_cafe);
+    }
+
+    #[test]
+    fn oob_faults() {
+        let m = LinearMemory::new(8, "shared");
+        assert!(m.read(Ty::F32, 6).is_err());
+        assert!(m.read(Ty::F32, 4).is_ok());
+        let err = m.read(Ty::U64, 8).unwrap_err();
+        match err {
+            SimError::MemoryFault { space, .. } => assert_eq!(space, "shared"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grow_preserves_and_zeroes() {
+        let mut m = LinearMemory::new(4, "global");
+        m.write(Ty::U32, 0, 7).unwrap();
+        m.grow(16);
+        assert_eq!(m.read(Ty::U32, 0).unwrap(), 7);
+        assert_eq!(m.read(Ty::U32, 12).unwrap(), 0);
+    }
+
+    #[test]
+    fn fully_coalesced_is_one_transaction() {
+        // 32 lanes × 4B contiguous from a 128-aligned base = 1 segment.
+        let acc: Vec<(u64, u64)> = (0..32).map(|i| (i * 4, 4)).collect();
+        assert_eq!(coalesced_transactions(&acc), 1);
+    }
+
+    #[test]
+    fn strided_access_spreads_transactions() {
+        // 32 lanes × 4B with a 128-byte stride = 32 segments.
+        let acc: Vec<(u64, u64)> = (0..32).map(|i| (i * 128, 4)).collect();
+        assert_eq!(coalesced_transactions(&acc), 32);
+    }
+
+    #[test]
+    fn misaligned_contiguous_takes_two() {
+        let acc: Vec<(u64, u64)> = (0..32).map(|i| (64 + i * 4, 4)).collect();
+        assert_eq!(coalesced_transactions(&acc), 2);
+    }
+
+    #[test]
+    fn vector_loads_coalesce() {
+        // 32 lanes × 16B contiguous = 512B = 4 segments.
+        let acc: Vec<(u64, u64)> = (0..32).map(|i| (i * 16, 16)).collect();
+        assert_eq!(coalesced_transactions(&acc), 4);
+    }
+
+    #[test]
+    fn bank_conflicts() {
+        // Conflict-free: consecutive words.
+        let a: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(bank_conflict_degree(&a), 1);
+        // 2-way: stride of 2 words.
+        let b: Vec<u64> = (0..32).map(|i| i * 8).collect();
+        assert_eq!(bank_conflict_degree(&b), 2);
+        // Broadcast: all lanes read the same word — no conflict.
+        let c: Vec<u64> = (0..32).map(|_| 4).collect();
+        assert_eq!(bank_conflict_degree(&c), 1);
+        // 32-way: stride of 32 words.
+        let d: Vec<u64> = (0..32).map(|i| i * 32 * 4).collect();
+        assert_eq!(bank_conflict_degree(&d), 32);
+    }
+
+    #[test]
+    fn empty_access_is_free() {
+        assert_eq!(coalesced_transactions(&[]), 0);
+        assert_eq!(bank_conflict_degree(&[]), 1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests for the SIMT interpreter: arithmetic semantics
+//! against a host-side model, shuffle semantics against an explicit
+//! permutation, atomic linearizability, and sampled-vs-exact
+//! statistics consistency.
+
+use gpu_sim::exec::{run_kernel, Arg, BlockSelection, LaunchDims};
+use gpu_sim::isa::{Address, AtomOp, BinOp, CmpOp, Operand, Scope, ShflMode, Space, Sreg, Ty};
+use gpu_sim::kernel::KernelBuilder;
+use gpu_sim::memory::LinearMemory;
+use gpu_sim::ArchConfig;
+use proptest::prelude::*;
+
+fn arch() -> ArchConfig {
+    ArchConfig::maxwell_gtx980()
+}
+
+/// Evaluate `a op b` on the device for one thread; compare with host.
+fn device_bin_u32(op: BinOp, a: u32, b: u32) -> u32 {
+    let mut kb = KernelBuilder::new("bin");
+    let out = kb.param_ptr();
+    let ra = kb.reg();
+    let rb = kb.reg();
+    kb.mov(Ty::U32, ra, Operand::ImmI(i64::from(a)));
+    kb.mov(Ty::U32, rb, Operand::ImmI(i64::from(b)));
+    kb.bin(op, Ty::U32, ra, Operand::Reg(ra), Operand::Reg(rb));
+    kb.st(Space::Global, Ty::U32, ra, Address::new(Operand::Param(out), 0));
+    kb.exit();
+    let k = kb.finish().unwrap();
+    let mut mem = LinearMemory::new(4, "global");
+    run_kernel(&k, &arch(), LaunchDims::new(1, 1), &[Arg::Ptr(0)], &mut mem, BlockSelection::All)
+        .unwrap();
+    mem.read(Ty::U32, 0).unwrap() as u32
+}
+
+fn host_bin_u32(op: BinOp, a: u32, b: u32) -> u32 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a % b
+            }
+        }
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b & 63),
+        BinOp::Shr => a.wrapping_shr(b & 63),
+    }
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn u32_arithmetic_matches_host(op in binop_strategy(), a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(device_bin_u32(op, a, b), host_bin_u32(op, a, b));
+    }
+
+    /// shfl.down/up/bfly write exactly the host-modelled permutation.
+    #[test]
+    fn shuffle_matches_permutation(
+        mode in prop_oneof![Just(ShflMode::Down), Just(ShflMode::Up), Just(ShflMode::Bfly)],
+        delta in 0u32..32,
+        width_exp in 0u32..6, // 1..32
+    ) {
+        let width = 1u32 << width_exp;
+        let mut kb = KernelBuilder::new("shfl");
+        let out = kb.param_ptr();
+        let v = kb.reg();
+        let r = kb.reg();
+        let a = kb.reg();
+        kb.mov(Ty::U32, v, Operand::Sreg(Sreg::TidX));
+        kb.bin(BinOp::Mul, Ty::U32, v, Operand::Reg(v), Operand::ImmI(10));
+        kb.shfl(mode, Ty::U32, r, Operand::Reg(v), Operand::ImmI(i64::from(delta)), width);
+        kb.cvt(Ty::U32, Ty::U64, a, Operand::Sreg(Sreg::TidX));
+        kb.bin(BinOp::Mul, Ty::U64, a, Operand::Reg(a), Operand::ImmI(4));
+        kb.bin(BinOp::Add, Ty::U64, a, Operand::Reg(a), Operand::Param(out));
+        kb.st(Space::Global, Ty::U32, r, Address::reg(a));
+        kb.exit();
+        let k = kb.finish().unwrap();
+        let mut mem = LinearMemory::new(4 * 32, "global");
+        run_kernel(&k, &arch(), LaunchDims::new(1, 32), &[Arg::Ptr(0)], &mut mem, BlockSelection::All)
+            .unwrap();
+        for lane in 0u32..32 {
+            let seg = lane / width * width;
+            let pos = lane % width;
+            let src = match mode {
+                ShflMode::Down => {
+                    if pos + delta < width { seg + pos + delta } else { lane }
+                }
+                ShflMode::Up => {
+                    if pos >= delta { seg + pos - delta } else { lane }
+                }
+                ShflMode::Bfly => {
+                    let j = pos ^ delta;
+                    if j < width { seg + j } else { lane }
+                }
+                ShflMode::Idx => unreachable!(),
+            };
+            let got = mem.read(Ty::U32, u64::from(lane) * 4).unwrap() as u32;
+            prop_assert_eq!(got, src * 10, "lane {} mode {:?} d={} w={}", lane, mode, delta, width);
+        }
+    }
+
+    /// Atomic add from every thread is linearizable: the final value
+    /// is the exact sum regardless of grid/block shape.
+    #[test]
+    fn atomics_linearizable(grid in 1u32..8, warps in 1u32..8) {
+        let block = warps * 32;
+        let mut kb = KernelBuilder::new("atom");
+        let out = kb.param_ptr();
+        let g = kb.reg();
+        kb.mad(Ty::U32, g, Operand::Sreg(Sreg::CtaIdX), Operand::Sreg(Sreg::NtidX), Operand::Sreg(Sreg::TidX));
+        kb.red(Space::Global, Scope::Gpu, AtomOp::Add, Ty::U32, Address::new(Operand::Param(out), 0), Operand::Reg(g));
+        kb.exit();
+        let k = kb.finish().unwrap();
+        let mut mem = LinearMemory::new(4, "global");
+        run_kernel(&k, &arch(), LaunchDims::new(grid, block), &[Arg::Ptr(0)], &mut mem, BlockSelection::All)
+            .unwrap();
+        let total = u64::from(grid * block);
+        let expect = (total * (total - 1) / 2) as u32;
+        prop_assert_eq!(mem.read(Ty::U32, 0).unwrap() as u32, expect);
+    }
+
+    /// Sampled execution scales homogeneous-grid statistics to within
+    /// a few percent of the exact counts.
+    #[test]
+    fn sampled_stats_close_to_exact(grid in 32u32..200) {
+        let mut kb = KernelBuilder::new("work");
+        let out = kb.param_ptr();
+        let v = kb.reg();
+        let a = kb.reg();
+        kb.mov(Ty::U32, v, Operand::Sreg(Sreg::TidX));
+        for _ in 0..4 {
+            kb.bin(BinOp::Add, Ty::U32, v, Operand::Reg(v), Operand::ImmI(3));
+        }
+        kb.cvt(Ty::U32, Ty::U64, a, Operand::Sreg(Sreg::CtaIdX));
+        kb.bin(BinOp::Mul, Ty::U64, a, Operand::Reg(a), Operand::ImmI(4));
+        kb.bin(BinOp::Add, Ty::U64, a, Operand::Reg(a), Operand::Param(out));
+        let p = kb.pred();
+        kb.setp(CmpOp::Eq, Ty::U32, p, Operand::Sreg(Sreg::TidX), Operand::ImmI(0));
+        let skip = kb.label();
+        kb.bra_if(p, false, skip);
+        kb.st(Space::Global, Ty::U32, v, Address::reg(a));
+        kb.place(skip);
+        kb.exit();
+        let k = kb.finish().unwrap();
+        let dims = LaunchDims::new(grid, 64);
+        let mut m1 = LinearMemory::new(u64::from(grid) * 4, "global");
+        let exact = run_kernel(&k, &arch(), dims, &[Arg::Ptr(0)], &mut m1, BlockSelection::All).unwrap();
+        let mut m2 = LinearMemory::new(u64::from(grid) * 4, "global");
+        let sampled = run_kernel(&k, &arch(), dims, &[Arg::Ptr(0)], &mut m2, BlockSelection::Sample { max_blocks: 6 })
+            .unwrap();
+        let a = exact.stats.total_warp_instrs() as f64;
+        let b = sampled.stats.total_warp_instrs() as f64;
+        prop_assert!((a - b).abs() / a < 0.05, "exact {} sampled {}", a, b);
+    }
+}
+
+/// Display → assemble round trip over all synthesized kernels is
+/// covered in the workspace-level tests; here, a targeted case.
+#[test]
+fn display_assemble_round_trip() {
+    let mut kb = KernelBuilder::new("rt");
+    let p0 = kb.param_ptr();
+    let p1 = kb.param_scalar(Ty::U32);
+    kb.smem_alloc(64);
+    let v = kb.reg();
+    let p = kb.pred();
+    kb.mov(Ty::F32, v, Operand::ImmF(1.5));
+    kb.setp(CmpOp::Lt, Ty::U32, p, Operand::Param(p1), Operand::ImmI(7));
+    let l = kb.label();
+    kb.bra_if(p, false, l);
+    kb.st(Space::Global, Ty::F32, v, Address::new(Operand::Param(p0), 0));
+    kb.place(l);
+    kb.exit();
+    let k = kb.finish().unwrap();
+    let text = k.to_string();
+    let k2 = gpu_sim::asm::assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert_eq!(k.instrs, k2.instrs, "text:\n{text}");
+    assert_eq!(k.params, k2.params);
+    assert_eq!(k.static_smem, k2.static_smem);
+    assert_eq!(k.dynamic_smem, k2.dynamic_smem);
+}

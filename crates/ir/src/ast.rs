@@ -1,0 +1,376 @@
+//! Expressions and statements of the codelet language.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ty::{Qualifiers, ScalarTy};
+
+/// Binary operators.
+#[allow(missing_docs)] // operator variants are self-describing
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// Source token for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+
+    /// Whether this is a comparison/logical operator (result `bool`).
+    pub fn is_boolean(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+}
+
+impl UnOp {
+    /// Source token for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Variable reference.
+    Var(String),
+    /// `a op b`
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `op a`
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `cond ? then_e : else_e`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_e: Box<Expr>,
+        /// Value when false.
+        else_e: Box<Expr>,
+    },
+    /// `base[index]`
+    Index {
+        /// Indexed expression (array variable).
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Free function / spectrum / primitive call: `sum(x)`,
+    /// `partition(in, p, start, inc, end)`.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Method call: `vthread.LaneId()`, `in.Size()`, `map.atomicAdd()`.
+    Method {
+        /// Receiver expression (usually a variable).
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `(ty) expr` — cast.
+    Cast {
+        /// Target scalar type.
+        ty: ScalarTy,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v)
+    }
+
+    /// Build a binary expression.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Build a method call.
+    pub fn method(recv: Expr, method: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Method { recv: Box::new(recv), method: method.into(), args }
+    }
+
+    /// Build an index expression.
+    pub fn index(base: Expr, index: Expr) -> Expr {
+        Expr::Index { base: Box::new(base), index: Box::new(index) }
+    }
+
+    /// Build a call.
+    pub fn call(callee: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call { callee: callee.into(), args }
+    }
+
+    /// If this is a method call `recv.method(...)` with a plain
+    /// variable receiver, return `(recv_name, method, args)`.
+    pub fn as_var_method(&self) -> Option<(&str, &str, &[Expr])> {
+        match self {
+            Expr::Method { recv, method, args } => match recv.as_ref() {
+                Expr::Var(v) => Some((v.as_str(), method.as_str(), args.as_slice())),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// If this is `base[index]` with a plain variable base, return
+    /// `(name, index)`.
+    pub fn as_var_index(&self) -> Option<(&str, &Expr)> {
+        match self {
+            Expr::Index { base, index } => match base.as_ref() {
+                Expr::Var(v) => Some((v.as_str(), index)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// The declared type of a local variable (includes the Tangram
+/// primitives that are declared like types).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeclTy {
+    /// A scalar local.
+    Scalar(ScalarTy),
+    /// A (possibly shared) array with an optional size expression.
+    Array {
+        /// Element type.
+        elem: ScalarTy,
+        /// Size expression, e.g. `vthread.MaxSize()`; `None` for
+        /// unsized (extern) arrays.
+        size: Option<Box<Expr>>,
+    },
+    /// The `Vector` primitive (a collection of SIMD threads, Fig. 2).
+    Vector,
+    /// The `Map` primitive (data-parallel application, Fig. 1b).
+    Map,
+    /// The `Sequence` primitive (access-pattern descriptor, Fig. 1b).
+    Sequence,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// A declaration, possibly with qualifiers, constructor arguments
+    /// (primitives) or an initializer (scalars/arrays).
+    Decl {
+        /// Qualifiers (`__shared`, `__tunable`, `_atomicAdd`, …).
+        quals: Qualifiers,
+        /// Declared type.
+        ty: DeclTy,
+        /// Variable name.
+        name: String,
+        /// Constructor arguments for primitive declarations, e.g.
+        /// `Map map(sum, partition(...))` or `Sequence start(...)`.
+        ctor_args: Vec<Expr>,
+        /// Initializer for scalar declarations (`int accum = 0;`).
+        init: Option<Expr>,
+    },
+    /// `target = value;`
+    Assign {
+        /// Assignment target (variable or index expression).
+        target: Expr,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// `target op= value;`
+    CompoundAssign {
+        /// Arithmetic operator (`+` for `+=`).
+        op: BinOp,
+        /// Assignment target.
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// An expression evaluated for effect (`map.atomicAdd();`).
+    Expr(Expr),
+    /// `for (init; cond; step) body`
+    For {
+        /// Loop-variable declaration or assignment.
+        init: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+        /// Step statement (assign / compound assign).
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `if (cond) then_b [else else_b]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_b: Block,
+        /// Optional else branch.
+        else_b: Option<Block>,
+    },
+    /// `return expr;`
+    Return(Expr),
+}
+
+/// A brace-delimited statement sequence.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Block(pub Vec<Stmt>);
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Self {
+        Block(Vec::new())
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the block has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over statements.
+    pub fn iter(&self) -> std::slice::Iter<'_, Stmt> {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<Stmt> for Block {
+    fn from_iter<T: IntoIterator<Item = Stmt>>(iter: T) -> Self {
+        Block(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Block {
+    type Item = &'a Stmt;
+    type IntoIter = std::slice::Iter<'a, Stmt>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_helpers() {
+        let e = Expr::bin(BinOp::Add, Expr::var("a"), Expr::int(1));
+        match &e {
+            Expr::Binary { op: BinOp::Add, lhs, .. } => {
+                assert_eq!(**lhs, Expr::Var("a".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn as_var_method_matches() {
+        let e = Expr::method(Expr::var("vthread"), "LaneId", vec![]);
+        let (recv, m, args) = e.as_var_method().unwrap();
+        assert_eq!(recv, "vthread");
+        assert_eq!(m, "LaneId");
+        assert!(args.is_empty());
+        assert!(Expr::int(3).as_var_method().is_none());
+    }
+
+    #[test]
+    fn as_var_index_matches() {
+        let e = Expr::index(Expr::var("tmp"), Expr::var("i"));
+        let (name, idx) = e.as_var_index().unwrap();
+        assert_eq!(name, "tmp");
+        assert_eq!(*idx, Expr::Var("i".into()));
+    }
+
+    #[test]
+    fn binop_properties() {
+        assert!(BinOp::Lt.is_boolean());
+        assert!(!BinOp::Add.is_boolean());
+        assert_eq!(BinOp::Shr.symbol(), ">>");
+        assert_eq!(UnOp::Not.symbol(), "!");
+    }
+
+    #[test]
+    fn block_collects() {
+        let b: Block = vec![Stmt::Return(Expr::int(0))].into_iter().collect();
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

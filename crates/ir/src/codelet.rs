@@ -1,0 +1,217 @@
+//! Codelets and spectra — Tangram's composable building blocks
+//! (§II-B1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{Block, Expr, Stmt};
+use crate::ty::DslTy;
+use crate::visit::{walk_block, Visitor};
+
+/// A formal parameter of a codelet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: DslTy,
+    /// Whether declared `const`.
+    pub is_const: bool,
+}
+
+/// Classification of codelets (§II-B1, Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodeletKind {
+    /// Atomic autonomous: indivisible, single-thread computation
+    /// (Fig. 1a).
+    AtomicAutonomous,
+    /// Compound: decomposable into other codelets via `Map`/
+    /// `Partition` (Fig. 1b).
+    Compound,
+    /// Atomic cooperative: multiple threads coordinate via the
+    /// `Vector` primitive (Fig. 1c, Fig. 3).
+    Cooperative,
+}
+
+/// A codelet: one algorithmic implementation of a spectrum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Codelet {
+    /// Spectrum name this codelet implements (e.g. `sum`).
+    pub name: String,
+    /// Return type.
+    pub ret: DslTy,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Whether declared `__coop`.
+    pub is_coop: bool,
+    /// Optional `__tag(...)` distinguishing codelets of one spectrum
+    /// (Fig. 3 uses `shared_V1` / `shared_V2`).
+    pub tag: Option<String>,
+}
+
+impl Codelet {
+    /// Classify the codelet by inspecting its declarations: a
+    /// `Vector` declaration makes it cooperative, a `Map` declaration
+    /// makes it compound, otherwise it is atomic autonomous.
+    pub fn kind(&self) -> CodeletKind {
+        struct K {
+            has_vector: bool,
+            has_map: bool,
+        }
+        impl Visitor for K {
+            fn visit_stmt(&mut self, s: &Stmt) {
+                if let Stmt::Decl { ty, .. } = s {
+                    match ty {
+                        crate::ast::DeclTy::Vector => self.has_vector = true,
+                        crate::ast::DeclTy::Map => self.has_map = true,
+                        _ => {}
+                    }
+                }
+                crate::visit::walk_stmt(self, s);
+            }
+        }
+        let mut k = K { has_vector: false, has_map: false };
+        walk_block(&mut k, &self.body);
+        if k.has_vector || self.is_coop {
+            CodeletKind::Cooperative
+        } else if k.has_map {
+            CodeletKind::Compound
+        } else {
+            CodeletKind::AtomicAutonomous
+        }
+    }
+
+    /// A stable display identifier: `name` or `name@tag`.
+    pub fn id(&self) -> String {
+        match &self.tag {
+            Some(t) => format!("{}@{}", self.name, t),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Find every `Map` declaration in the body, returning
+    /// `(variable name, constructor args)` pairs.
+    pub fn map_decls(&self) -> Vec<(String, Vec<Expr>)> {
+        struct M(Vec<(String, Vec<Expr>)>);
+        impl Visitor for M {
+            fn visit_stmt(&mut self, s: &Stmt) {
+                if let Stmt::Decl { ty: crate::ast::DeclTy::Map, name, ctor_args, .. } = s {
+                    self.0.push((name.clone(), ctor_args.clone()));
+                }
+                crate::visit::walk_stmt(self, s);
+            }
+        }
+        let mut m = M(Vec::new());
+        walk_block(&mut m, &self.body);
+        m.0
+    }
+}
+
+/// A spectrum: a named computation with its interchangeable codelets
+/// (§II-B1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spectrum {
+    /// Spectrum name (e.g. `sum`).
+    pub name: String,
+    /// Implementing codelets.
+    pub codelets: Vec<Codelet>,
+}
+
+impl Spectrum {
+    /// A spectrum with no codelets yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        Spectrum { name: name.into(), codelets: Vec::new() }
+    }
+
+    /// Add a codelet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codelet's name differs from the spectrum's.
+    pub fn add(&mut self, codelet: Codelet) {
+        assert_eq!(codelet.name, self.name, "codelet implements a different spectrum");
+        self.codelets.push(codelet);
+    }
+
+    /// Look up a codelet by its `__tag`.
+    pub fn by_tag(&self, tag: &str) -> Option<&Codelet> {
+        self.codelets.iter().find(|c| c.tag.as_deref() == Some(tag))
+    }
+
+    /// Codelets of a given kind.
+    pub fn of_kind(&self, kind: CodeletKind) -> Vec<&Codelet> {
+        self.codelets.iter().filter(|c| c.kind() == kind).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DeclTy, Expr};
+    use crate::ty::{Qualifiers, ScalarTy};
+
+    fn decl(ty: DeclTy, name: &str) -> Stmt {
+        Stmt::Decl { quals: Qualifiers::none(), ty, name: name.into(), ctor_args: vec![], init: None }
+    }
+
+    fn base(body: Vec<Stmt>) -> Codelet {
+        Codelet {
+            name: "sum".into(),
+            ret: DslTy::Scalar(ScalarTy::Int),
+            params: vec![],
+            body: Block(body),
+            is_coop: false,
+            tag: None,
+        }
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(base(vec![]).kind(), CodeletKind::AtomicAutonomous);
+        assert_eq!(base(vec![decl(DeclTy::Vector, "vthread")]).kind(), CodeletKind::Cooperative);
+        assert_eq!(base(vec![decl(DeclTy::Map, "map")]).kind(), CodeletKind::Compound);
+    }
+
+    #[test]
+    fn map_decls_found_in_nested_blocks() {
+        let inner = Stmt::If {
+            cond: Expr::int(1),
+            then_b: Block(vec![decl(DeclTy::Map, "m2")]),
+            else_b: None,
+        };
+        let c = base(vec![decl(DeclTy::Map, "m1"), inner]);
+        let maps = c.map_decls();
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0].0, "m1");
+        assert_eq!(maps[1].0, "m2");
+    }
+
+    #[test]
+    fn spectrum_lookup() {
+        let mut s = Spectrum::new("sum");
+        let mut c = base(vec![]);
+        c.tag = Some("serial".into());
+        s.add(c);
+        assert!(s.by_tag("serial").is_some());
+        assert!(s.by_tag("other").is_none());
+        assert_eq!(s.of_kind(CodeletKind::AtomicAutonomous).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different spectrum")]
+    fn add_rejects_wrong_name() {
+        let mut s = Spectrum::new("sum");
+        let mut c = base(vec![]);
+        c.name = "prod".into();
+        s.add(c);
+    }
+
+    #[test]
+    fn id_includes_tag() {
+        let mut c = base(vec![]);
+        assert_eq!(c.id(), "sum");
+        c.tag = Some("shared_V1".into());
+        assert_eq!(c.id(), "sum@shared_V1");
+    }
+}

@@ -1,0 +1,45 @@
+//! # tangram-ir — AST for the Tangram codelet language
+//!
+//! The Tangram programming model (Chang et al.; the substrate of the
+//! CGO 2019 paper reproduced by this workspace) expresses
+//! architecture-neutral computations as *spectra* implemented by
+//! interchangeable *codelets* built from a handful of primitives:
+//! `Map`, `Partition`, `Sequence`, `Array` and `Vector` (§II-B1).
+//!
+//! This crate defines the abstract syntax tree for that language —
+//! including the extensions the paper introduces:
+//!
+//! * the `Map` atomic APIs (`map.atomicAdd()` …, §III-A),
+//! * the shared-memory atomic qualifiers (`__shared _atomicAdd` …,
+//!   §III-B),
+//!
+//! plus visitor/rewriter infrastructure ([`visit`]) used by the AST
+//! passes in `tangram-passes`, and a pretty-printer ([`mod@print`]) whose
+//! output round-trips through the `tangram-lang` parser.
+//!
+//! ## Example
+//!
+//! ```
+//! use tangram_ir::ast::{BinOp, Expr};
+//! use tangram_ir::print::expr_to_string;
+//!
+//! // vthread.ThreadId() + offset
+//! let e = Expr::bin(
+//!     BinOp::Add,
+//!     Expr::method(Expr::var("vthread"), "ThreadId", vec![]),
+//!     Expr::var("offset"),
+//! );
+//! assert_eq!(expr_to_string(&e), "vthread.ThreadId() + offset");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codelet;
+pub mod print;
+pub mod ty;
+pub mod visit;
+
+pub use ast::{BinOp, Block, DeclTy, Expr, Stmt, UnOp};
+pub use codelet::{Codelet, CodeletKind, Param, Spectrum};
+pub use ty::{AtomicKind, DslTy, Qualifiers, ScalarTy};

@@ -1,0 +1,347 @@
+//! Pretty-printer: renders the AST back to codelet-language source.
+//!
+//! The output parses back to an identical AST (`tangram-lang` has a
+//! round-trip property test over this printer).
+
+use std::fmt::Write as _;
+
+use crate::ast::{Block, DeclTy, Expr, Stmt};
+use crate::codelet::Codelet;
+
+
+/// Render an expression.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e);
+    s
+}
+
+/// Render a codelet as source text.
+pub fn codelet_to_string(c: &Codelet) -> String {
+    let mut out = String::new();
+    out.push_str("__codelet");
+    if c.is_coop {
+        out.push_str(" __coop");
+    }
+    if let Some(t) = &c.tag {
+        let _ = write!(out, " __tag({t})");
+    }
+    out.push('\n');
+    let _ = write!(out, "{} {}(", c.ret, c.name);
+    for (i, p) in c.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if p.is_const {
+            out.push_str("const ");
+        }
+        let _ = write!(out, "{} {}", p.ty, p.name);
+    }
+    out.push_str(") {\n");
+    write_block_body(&mut out, &c.body, 1);
+    out.push_str("}\n");
+    out
+}
+
+/// Render a single statement at the given indent level.
+pub fn stmt_to_string(s: &Stmt) -> String {
+    let mut out = String::new();
+    write_stmt(&mut out, s, 0);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_block_body(out: &mut String, b: &Block, level: usize) {
+    for s in b {
+        write_stmt(out, s, level);
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::Decl { quals, ty, name, ctor_args, init } => {
+            let _ = write!(out, "{quals}");
+            match ty {
+                DeclTy::Scalar(t) => {
+                    let _ = write!(out, "{t} {name}");
+                }
+                DeclTy::Array { elem, size } => {
+                    let _ = write!(out, "{elem} {name}[");
+                    if let Some(sz) = size {
+                        write_expr(out, sz);
+                    }
+                    out.push(']');
+                }
+                DeclTy::Vector => {
+                    let _ = write!(out, "Vector {name}(");
+                    write_args(out, ctor_args);
+                    out.push(')');
+                }
+                DeclTy::Map => {
+                    let _ = write!(out, "Map {name}(");
+                    write_args(out, ctor_args);
+                    out.push(')');
+                }
+                DeclTy::Sequence => {
+                    let _ = write!(out, "Sequence {name}(");
+                    write_args(out, ctor_args);
+                    out.push(')');
+                }
+            }
+            if let Some(i) = init {
+                out.push_str(" = ");
+                write_expr(out, i);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, value } => {
+            write_expr(out, target);
+            out.push_str(" = ");
+            write_expr(out, value);
+            out.push_str(";\n");
+        }
+        Stmt::CompoundAssign { op, target, value } => {
+            write_expr(out, target);
+            let _ = write!(out, " {}= ", op.symbol());
+            write_expr(out, value);
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            write_expr(out, e);
+            out.push_str(";\n");
+        }
+        Stmt::For { init, cond, step, body } => {
+            out.push_str("for (");
+            // Inline the init/step statements without ; + newline.
+            let mut init_s = String::new();
+            write_stmt(&mut init_s, init, 0);
+            out.push_str(init_s.trim_end_matches('\n').trim_end_matches(';'));
+            out.push_str("; ");
+            write_expr(out, cond);
+            out.push_str("; ");
+            let mut step_s = String::new();
+            write_stmt(&mut step_s, step, 0);
+            out.push_str(step_s.trim_end_matches('\n').trim_end_matches(';'));
+            out.push_str(") {\n");
+            write_block_body(out, body, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::If { cond, then_b, else_b } => {
+            out.push_str("if (");
+            write_expr(out, cond);
+            out.push_str(") {\n");
+            write_block_body(out, then_b, level + 1);
+            indent(out, level);
+            out.push('}');
+            if let Some(e) = else_b {
+                out.push_str(" else {\n");
+                write_block_body(out, e, level + 1);
+                indent(out, level);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::Return(e) => {
+            out.push_str("return ");
+            write_expr(out, e);
+            out.push_str(";\n");
+        }
+    }
+}
+
+fn write_args(out: &mut String, args: &[Expr]) {
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_expr(out, a);
+    }
+}
+
+fn needs_parens(e: &Expr) -> bool {
+    // Ternaries print their own surrounding parentheses.
+    matches!(e, Expr::Binary { .. } | Expr::Unary { .. } | Expr::Cast { .. })
+}
+
+fn write_operand(out: &mut String, e: &Expr) {
+    if needs_parens(e) {
+        out.push('(');
+        write_expr(out, e);
+        out.push(')');
+    } else {
+        write_expr(out, e);
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::Var(n) => out.push_str(n),
+        Expr::Binary { op, lhs, rhs } => {
+            write_operand(out, lhs);
+            let _ = write!(out, " {} ", op.symbol());
+            write_operand(out, rhs);
+        }
+        Expr::Unary { op, expr } => {
+            out.push_str(op.symbol());
+            write_operand(out, expr);
+        }
+        Expr::Ternary { cond, then_e, else_e } => {
+            out.push('(');
+            write_operand(out, cond);
+            out.push_str(" ? ");
+            write_operand(out, then_e);
+            out.push_str(" : ");
+            write_operand(out, else_e);
+            out.push(')');
+        }
+        Expr::Index { base, index } => {
+            write_operand(out, base);
+            out.push('[');
+            write_expr(out, index);
+            out.push(']');
+        }
+        Expr::Call { callee, args } => {
+            out.push_str(callee);
+            out.push('(');
+            write_args(out, args);
+            out.push(')');
+        }
+        Expr::Method { recv, method, args } => {
+            write_operand(out, recv);
+            out.push('.');
+            out.push_str(method);
+            out.push('(');
+            write_args(out, args);
+            out.push(')');
+        }
+        Expr::Cast { ty, expr } => {
+            let _ = write!(out, "({ty})");
+            write_operand(out, expr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+    use crate::codelet::Param;
+    use crate::ty::{AtomicKind, DslTy, Qualifiers, ScalarTy};
+
+    #[test]
+    fn prints_expressions() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::var("val"),
+            Expr::Ternary {
+                cond: Box::new(Expr::bin(
+                    BinOp::Lt,
+                    Expr::method(Expr::var("vt"), "LaneId", vec![]),
+                    Expr::var("n"),
+                )),
+                then_e: Box::new(Expr::index(Expr::var("tmp"), Expr::var("i"))),
+                else_e: Box::new(Expr::int(0)),
+            },
+        );
+        assert_eq!(
+            expr_to_string(&e),
+            "val + ((vt.LaneId() < n) ? tmp[i] : 0)"
+        );
+    }
+
+    #[test]
+    fn prints_for_loop() {
+        let s = Stmt::For {
+            init: Box::new(Stmt::Decl {
+                quals: Qualifiers::none(),
+                ty: DeclTy::Scalar(ScalarTy::Int),
+                name: "offset".into(),
+                ctor_args: vec![],
+                init: Some(Expr::bin(
+                    BinOp::Div,
+                    Expr::method(Expr::var("vthread"), "MaxSize", vec![]),
+                    Expr::int(2),
+                )),
+            }),
+            cond: Expr::bin(BinOp::Gt, Expr::var("offset"), Expr::int(0)),
+            step: Box::new(Stmt::CompoundAssign {
+                op: BinOp::Div,
+                target: Expr::var("offset"),
+                value: Expr::int(2),
+            }),
+            body: Block(vec![Stmt::CompoundAssign {
+                op: BinOp::Add,
+                target: Expr::var("val"),
+                value: Expr::int(1),
+            }]),
+        };
+        let printed = stmt_to_string(&s);
+        assert!(printed.starts_with(
+            "for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {"
+        ));
+        assert!(printed.contains("val += 1;"));
+    }
+
+    #[test]
+    fn prints_codelet_header_and_quals() {
+        let c = Codelet {
+            name: "sum".into(),
+            ret: DslTy::Scalar(ScalarTy::Int),
+            params: vec![Param {
+                name: "in".into(),
+                ty: DslTy::Array { dims: 1, elem: ScalarTy::Int },
+                is_const: true,
+            }],
+            body: Block(vec![Stmt::Decl {
+                quals: Qualifiers::shared_atomic(AtomicKind::Add),
+                ty: DeclTy::Scalar(ScalarTy::Int),
+                name: "partial".into(),
+                ctor_args: vec![],
+                init: None,
+            }]),
+            is_coop: true,
+            tag: Some("shared_V1".into()),
+        };
+        let src = codelet_to_string(&c);
+        assert!(src.contains("__codelet __coop __tag(shared_V1)"));
+        assert!(src.contains("int sum(const Array<1,int> in) {"));
+        assert!(src.contains("__shared _atomicAdd int partial;"));
+    }
+
+    #[test]
+    fn prints_primitive_decls() {
+        let v = Stmt::Decl {
+            quals: Qualifiers::none(),
+            ty: DeclTy::Vector,
+            name: "vthread".into(),
+            ctor_args: vec![],
+            init: None,
+        };
+        assert_eq!(stmt_to_string(&v), "Vector vthread();\n");
+        let m = Stmt::Decl {
+            quals: Qualifiers::none(),
+            ty: DeclTy::Map,
+            name: "map".into(),
+            ctor_args: vec![Expr::var("sum"), Expr::call("partition", vec![Expr::var("in")])],
+            init: None,
+        };
+        assert_eq!(stmt_to_string(&m), "Map map(sum, partition(in));\n");
+    }
+}

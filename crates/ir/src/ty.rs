@@ -1,0 +1,189 @@
+//! Types and qualifiers of the Tangram codelet language.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Scalar element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarTy {
+    /// `int`
+    Int,
+    /// `unsigned`
+    Unsigned,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `bool`
+    Bool,
+}
+
+impl fmt::Display for ScalarTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScalarTy::Int => "int",
+            ScalarTy::Unsigned => "unsigned",
+            ScalarTy::Float => "float",
+            ScalarTy::Double => "double",
+            ScalarTy::Bool => "bool",
+        })
+    }
+}
+
+/// A type as written in codelet signatures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DslTy {
+    /// A scalar type.
+    Scalar(ScalarTy),
+    /// `Array<DIMS, ELEM>` — Tangram's data container primitive.
+    Array {
+        /// Number of dimensions (the paper uses 1-D arrays).
+        dims: u8,
+        /// Element type.
+        elem: ScalarTy,
+    },
+    /// `void`
+    Void,
+}
+
+impl fmt::Display for DslTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslTy::Scalar(s) => write!(f, "{s}"),
+            DslTy::Array { dims, elem } => write!(f, "Array<{dims},{elem}>"),
+            DslTy::Void => write!(f, "void"),
+        }
+    }
+}
+
+/// The atomic-operation kinds exposed by the paper's new APIs and
+/// qualifiers (§III-A: `Map::atomicAdd()` …; §III-B: `_atomicAdd` …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomicKind {
+    /// `atomicAdd`
+    Add,
+    /// `atomicSub`
+    Sub,
+    /// `atomicMax`
+    Max,
+    /// `atomicMin`
+    Min,
+}
+
+impl AtomicKind {
+    /// The API/qualifier suffix (`Add` in `atomicAdd` / `_atomicAdd`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            AtomicKind::Add => "Add",
+            AtomicKind::Sub => "Sub",
+            AtomicKind::Max => "Max",
+            AtomicKind::Min => "Min",
+        }
+    }
+
+    /// Parse from the suffix.
+    pub fn from_suffix(s: &str) -> Option<Self> {
+        Some(match s {
+            "Add" => AtomicKind::Add,
+            "Sub" => AtomicKind::Sub,
+            "Max" => AtomicKind::Max,
+            "Min" => AtomicKind::Min,
+            _ => return None,
+        })
+    }
+
+    /// The CUDA intrinsic name (`atomicAdd`, …).
+    pub fn cuda_name(self) -> String {
+        format!("atomic{}", self.suffix())
+    }
+}
+
+impl fmt::Display for AtomicKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_atomic{}", self.suffix())
+    }
+}
+
+/// Declaration qualifiers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Qualifiers {
+    /// `__shared` — place in scratchpad memory.
+    pub shared: bool,
+    /// `__tunable` — value chosen by the autotuner (Fig. 1b line 3).
+    pub tunable: bool,
+    /// `_atomicAdd` / `_atomicSub` / … — writes to this variable must
+    /// become atomic operations (§III-B, used with `__shared`).
+    pub atomic: Option<AtomicKind>,
+}
+
+impl Qualifiers {
+    /// No qualifiers.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `__shared`.
+    pub fn shared() -> Self {
+        Qualifiers { shared: true, ..Self::default() }
+    }
+
+    /// `__shared _atomicX`.
+    pub fn shared_atomic(kind: AtomicKind) -> Self {
+        Qualifiers { shared: true, atomic: Some(kind), ..Self::default() }
+    }
+
+    /// `__tunable`.
+    pub fn tunable() -> Self {
+        Qualifiers { tunable: true, ..Self::default() }
+    }
+
+    /// Whether any qualifier is set.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl fmt::Display for Qualifiers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.shared {
+            write!(f, "__shared ")?;
+        }
+        if let Some(a) = self.atomic {
+            write!(f, "{a} ")?;
+        }
+        if self.tunable {
+            write!(f, "__tunable ")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_types() {
+        assert_eq!(DslTy::Scalar(ScalarTy::Int).to_string(), "int");
+        assert_eq!(DslTy::Array { dims: 1, elem: ScalarTy::Float }.to_string(), "Array<1,float>");
+        assert_eq!(DslTy::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn atomic_kind_round_trip() {
+        for k in [AtomicKind::Add, AtomicKind::Sub, AtomicKind::Max, AtomicKind::Min] {
+            assert_eq!(AtomicKind::from_suffix(k.suffix()), Some(k));
+        }
+        assert_eq!(AtomicKind::from_suffix("Mul"), None);
+        assert_eq!(AtomicKind::Add.cuda_name(), "atomicAdd");
+    }
+
+    #[test]
+    fn qualifier_display() {
+        let q = Qualifiers::shared_atomic(AtomicKind::Add);
+        assert_eq!(q.to_string(), "__shared _atomicAdd ");
+        assert!(Qualifiers::none().is_empty());
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! AST traversal: read-only [`Visitor`] and in-place [`Rewriter`]
+//! infrastructure used by every transformation pass.
+
+use crate::ast::{Block, DeclTy, Expr, Stmt};
+
+/// Read-only AST visitor. Override the `visit_*` hooks you care
+/// about; call the corresponding `walk_*` function to descend.
+pub trait Visitor: Sized {
+    /// Visit an expression (override and call [`walk_expr`]).
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+
+    /// Visit a statement (override and call [`walk_stmt`]).
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+}
+
+/// Descend into an expression's children.
+pub fn walk_expr<V: Visitor>(v: &mut V, e: &Expr) {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+        Expr::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => v.visit_expr(expr),
+        Expr::Ternary { cond, then_e, else_e } => {
+            v.visit_expr(cond);
+            v.visit_expr(then_e);
+            v.visit_expr(else_e);
+        }
+        Expr::Index { base, index } => {
+            v.visit_expr(base);
+            v.visit_expr(index);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        Expr::Method { recv, args, .. } => {
+            v.visit_expr(recv);
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+    }
+}
+
+/// Descend into a statement's children.
+pub fn walk_stmt<V: Visitor>(v: &mut V, s: &Stmt) {
+    match s {
+        Stmt::Decl { ty, ctor_args, init, .. } => {
+            if let DeclTy::Array { size: Some(sz), .. } = ty {
+                v.visit_expr(sz);
+            }
+            for a in ctor_args {
+                v.visit_expr(a);
+            }
+            if let Some(i) = init {
+                v.visit_expr(i);
+            }
+        }
+        Stmt::Assign { target, value } | Stmt::CompoundAssign { target, value, .. } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+        Stmt::Expr(e) | Stmt::Return(e) => v.visit_expr(e),
+        Stmt::For { init, cond, step, body } => {
+            v.visit_stmt(init);
+            v.visit_expr(cond);
+            v.visit_stmt(step);
+            walk_block(v, body);
+        }
+        Stmt::If { cond, then_b, else_b } => {
+            v.visit_expr(cond);
+            walk_block(v, then_b);
+            if let Some(e) = else_b {
+                walk_block(v, e);
+            }
+        }
+    }
+}
+
+/// Visit every statement of a block.
+pub fn walk_block<V: Visitor>(v: &mut V, b: &Block) {
+    for s in b {
+        v.visit_stmt(s);
+    }
+}
+
+/// In-place AST rewriter. Override the hooks; each receives a mutable
+/// node and may replace it wholesale. Call the `rewrite_*` walkers to
+/// descend.
+pub trait Rewriter: Sized {
+    /// Rewrite an expression in place (override and call
+    /// [`rewrite_expr_children`]).
+    fn rewrite_expr(&mut self, e: &mut Expr) {
+        rewrite_expr_children(self, e);
+    }
+
+    /// Rewrite a statement in place (override and call
+    /// [`rewrite_stmt_children`]).
+    fn rewrite_stmt(&mut self, s: &mut Stmt) {
+        rewrite_stmt_children(self, s);
+    }
+
+    /// Rewrite a block: statements may be dropped or expanded.
+    /// The default maps [`Rewriter::rewrite_stmt`] over every
+    /// statement and then applies [`Rewriter::filter_stmt`].
+    fn rewrite_block(&mut self, b: &mut Block) {
+        for s in &mut b.0 {
+            self.rewrite_stmt(s);
+        }
+        let mut kept = Vec::with_capacity(b.0.len());
+        for s in b.0.drain(..) {
+            if self.filter_stmt(&s) {
+                kept.push(s);
+            }
+        }
+        b.0 = kept;
+    }
+
+    /// Return `false` to delete a statement after rewriting (used by
+    /// passes that disable declarations or calls, §III-A / §III-C).
+    fn filter_stmt(&mut self, _s: &Stmt) -> bool {
+        true
+    }
+}
+
+/// Descend into an expression's children, rewriting them.
+pub fn rewrite_expr_children<R: Rewriter>(r: &mut R, e: &mut Expr) {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+        Expr::Binary { lhs, rhs, .. } => {
+            r.rewrite_expr(lhs);
+            r.rewrite_expr(rhs);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => r.rewrite_expr(expr),
+        Expr::Ternary { cond, then_e, else_e } => {
+            r.rewrite_expr(cond);
+            r.rewrite_expr(then_e);
+            r.rewrite_expr(else_e);
+        }
+        Expr::Index { base, index } => {
+            r.rewrite_expr(base);
+            r.rewrite_expr(index);
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                r.rewrite_expr(a);
+            }
+        }
+        Expr::Method { recv, args, .. } => {
+            r.rewrite_expr(recv);
+            for a in args {
+                r.rewrite_expr(a);
+            }
+        }
+    }
+}
+
+/// Descend into a statement's children, rewriting them.
+pub fn rewrite_stmt_children<R: Rewriter>(r: &mut R, s: &mut Stmt) {
+    match s {
+        Stmt::Decl { ty, ctor_args, init, .. } => {
+            if let DeclTy::Array { size: Some(sz), .. } = ty {
+                r.rewrite_expr(sz);
+            }
+            for a in ctor_args {
+                r.rewrite_expr(a);
+            }
+            if let Some(i) = init {
+                r.rewrite_expr(i);
+            }
+        }
+        Stmt::Assign { target, value } | Stmt::CompoundAssign { target, value, .. } => {
+            r.rewrite_expr(target);
+            r.rewrite_expr(value);
+        }
+        Stmt::Expr(e) | Stmt::Return(e) => r.rewrite_expr(e),
+        Stmt::For { init, cond, step, body } => {
+            r.rewrite_stmt(init);
+            r.rewrite_expr(cond);
+            r.rewrite_stmt(step);
+            r.rewrite_block(body);
+        }
+        Stmt::If { cond, then_b, else_b } => {
+            r.rewrite_expr(cond);
+            r.rewrite_block(then_b);
+            if let Some(e) = else_b {
+                r.rewrite_block(e);
+            }
+        }
+    }
+}
+
+/// Collect the names of all variables referenced in an expression.
+pub fn referenced_vars(e: &Expr) -> Vec<String> {
+    struct C(Vec<String>);
+    impl Visitor for C {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let Expr::Var(v) = e {
+                if !self.0.contains(v) {
+                    self.0.push(v.clone());
+                }
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut c = C(Vec::new());
+    c.visit_expr(e);
+    c.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::BinOp;
+    use crate::ty::Qualifiers;
+
+    #[test]
+    fn visitor_counts_vars() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::index(Expr::var("tmp"), Expr::var("i")),
+            Expr::method(Expr::var("vt"), "Size", vec![]),
+        );
+        assert_eq!(referenced_vars(&e), vec!["tmp", "i", "vt"]);
+    }
+
+    #[test]
+    fn rewriter_replaces_vars() {
+        struct Rename;
+        impl Rewriter for Rename {
+            fn rewrite_expr(&mut self, e: &mut Expr) {
+                if let Expr::Var(v) = e {
+                    if v == "old" {
+                        *v = "new".into();
+                    }
+                }
+                rewrite_expr_children(self, e);
+            }
+        }
+        let mut s = Stmt::Return(Expr::bin(BinOp::Mul, Expr::var("old"), Expr::var("x")));
+        Rename.rewrite_stmt(&mut s);
+        match s {
+            Stmt::Return(Expr::Binary { lhs, .. }) => assert_eq!(*lhs, Expr::Var("new".into())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewriter_can_delete_statements() {
+        struct DropDecls;
+        impl Rewriter for DropDecls {
+            fn filter_stmt(&mut self, s: &Stmt) -> bool {
+                !matches!(s, Stmt::Decl { .. })
+            }
+        }
+        let mut b = Block(vec![
+            Stmt::Decl {
+                quals: Qualifiers::none(),
+                ty: DeclTy::Vector,
+                name: "v".into(),
+                ctor_args: vec![],
+                init: None,
+            },
+            Stmt::Return(Expr::int(1)),
+        ]);
+        DropDecls.rewrite_block(&mut b);
+        assert_eq!(b.len(), 1);
+        assert!(matches!(b.0[0], Stmt::Return(_)));
+    }
+
+    #[test]
+    fn rewrite_descends_into_loops() {
+        struct IncInts;
+        impl Rewriter for IncInts {
+            fn rewrite_expr(&mut self, e: &mut Expr) {
+                if let Expr::Int(v) = e {
+                    *v += 1;
+                }
+                rewrite_expr_children(self, e);
+            }
+        }
+        let mut s = Stmt::For {
+            init: Box::new(Stmt::Assign { target: Expr::var("i"), value: Expr::int(0) }),
+            cond: Expr::bin(BinOp::Lt, Expr::var("i"), Expr::int(9)),
+            step: Box::new(Stmt::CompoundAssign {
+                op: BinOp::Add,
+                target: Expr::var("i"),
+                value: Expr::int(1),
+            }),
+            body: Block(vec![Stmt::Expr(Expr::int(5))]),
+        };
+        IncInts.rewrite_stmt(&mut s);
+        match &s {
+            Stmt::For { cond, body, .. } => {
+                assert_eq!(*cond, Expr::bin(BinOp::Lt, Expr::var("i"), Expr::int(10)));
+                assert_eq!(body.0[0], Stmt::Expr(Expr::Int(6)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

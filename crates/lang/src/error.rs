@@ -1,0 +1,40 @@
+//! Parser diagnostics.
+
+use std::fmt;
+
+use crate::token::Pos;
+
+/// A lexing or parsing error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Position of the error.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Create an error at `pos`.
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        ParseError { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(Pos { line: 3, col: 7 }, "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+    }
+}

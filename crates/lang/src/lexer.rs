@@ -1,0 +1,321 @@
+//! Lexer for the codelet language.
+
+use crate::error::ParseError;
+use crate::token::{Pos, Tok, Token};
+
+/// Tokenize `src` into a token stream terminated by [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on unknown characters or malformed
+/// literals, with the offending position.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer { chars: src.chars().collect(), i: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Lexer {
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_digit() {
+                self.number(pos)?
+            } else if c.is_alphabetic() || c == '_' {
+                self.word()
+            } else {
+                self.punct(pos)?
+            };
+            out.push(Token { tok, pos });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => break,
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Tok, ParseError> {
+        let mut s = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                s.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-')
+            {
+                is_float = true;
+                s.push(c);
+                self.bump();
+                if let Some(sign @ ('+' | '-')) = self.peek() {
+                    s.push(sign);
+                    self.bump();
+                }
+            } else if c == 'f' || c == 'u' || c == 'U' {
+                // Type suffixes accepted and ignored.
+                if c == 'f' {
+                    is_float = true;
+                }
+                self.bump();
+                break;
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| ParseError::new(pos, format!("malformed float literal `{s}`")))
+        } else {
+            s.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| ParseError::new(pos, format!("malformed integer literal `{s}`")))
+        }
+    }
+
+    fn word(&mut self) -> Tok {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match s.as_str() {
+            "int" => Tok::KwInt,
+            "unsigned" => Tok::KwUnsigned,
+            "float" => Tok::KwFloat,
+            "double" => Tok::KwDouble,
+            "bool" => Tok::KwBool,
+            "void" => Tok::KwVoid,
+            "const" => Tok::KwConst,
+            "for" => Tok::KwFor,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "return" => Tok::KwReturn,
+            "Vector" => Tok::KwVector,
+            "Map" => Tok::KwMap,
+            "Sequence" => Tok::KwSequence,
+            "Array" => Tok::KwArray,
+            "__codelet" => Tok::QCodelet,
+            "__coop" => Tok::QCoop,
+            "__tag" => Tok::QTag,
+            "__shared" => Tok::QShared,
+            "__tunable" => Tok::QTunable,
+            _ => {
+                if let Some(rest) = s.strip_prefix("_atomic") {
+                    if tangram_ir::AtomicKind::from_suffix(rest).is_some() {
+                        return Tok::QAtomic(rest.to_string());
+                    }
+                }
+                Tok::Ident(s)
+            }
+        }
+    }
+
+    fn punct(&mut self, pos: Pos) -> Result<Tok, ParseError> {
+        let c = self.bump().unwrap();
+        let two = |l: &mut Lexer, next: char, a: Tok, b: Tok| {
+            if l.peek() == Some(next) {
+                l.bump();
+                a
+            } else {
+                b
+            }
+        };
+        Ok(match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            '.' => Tok::Dot,
+            '?' => Tok::Question,
+            ':' => Tok::Colon,
+            '+' => two(self, '=', Tok::PlusAssign, Tok::Plus),
+            '-' => two(self, '=', Tok::MinusAssign, Tok::Minus),
+            '*' => two(self, '=', Tok::StarAssign, Tok::Star),
+            '/' => two(self, '=', Tok::SlashAssign, Tok::Slash),
+            '%' => two(self, '=', Tok::PercentAssign, Tok::Percent),
+            '=' => two(self, '=', Tok::EqEq, Tok::Assign),
+            '!' => two(self, '=', Tok::Ne, Tok::Not),
+            '^' => Tok::Caret,
+            '<' => {
+                if self.peek() == Some('<') {
+                    self.bump();
+                    Tok::Shl
+                } else {
+                    two(self, '=', Tok::Le, Tok::Lt)
+                }
+            }
+            '>' => {
+                if self.peek() == Some('>') {
+                    self.bump();
+                    Tok::Shr
+                } else {
+                    two(self, '=', Tok::Ge, Tok::Gt)
+                }
+            }
+            '&' => two(self, '&', Tok::AndAnd, Tok::Amp),
+            '|' => two(self, '|', Tok::OrOr, Tok::Pipe),
+            other => return Err(ParseError::new(pos, format!("unexpected character `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_qualifiers_and_keywords() {
+        let toks = kinds("__codelet __coop __tag(shared_V2) __shared _atomicAdd __tunable int");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::QCodelet,
+                Tok::QCoop,
+                Tok::QTag,
+                Tok::LParen,
+                Tok::Ident("shared_V2".into()),
+                Tok::RParen,
+                Tok::QShared,
+                Tok::QAtomic("Add".into()),
+                Tok::QTunable,
+                Tok::KwInt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = kinds("a += b /= c <= d >> e && f != g");
+        assert!(toks.contains(&Tok::PlusAssign));
+        assert!(toks.contains(&Tok::SlashAssign));
+        assert!(toks.contains(&Tok::Le));
+        assert!(toks.contains(&Tok::Shr));
+        assert!(toks.contains(&Tok::AndAnd));
+        assert!(toks.contains(&Tok::Ne));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], Tok::Int(42));
+        assert_eq!(kinds("3.5")[0], Tok::Float(3.5));
+        assert_eq!(kinds("1e3")[0], Tok::Float(1000.0));
+        assert_eq!(kinds("2.5f")[0], Tok::Float(2.5));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a // line comment\n b /* block\n comment */ c");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unknown_char_errors() {
+        assert!(lex("a # b").is_err());
+    }
+
+    #[test]
+    fn unknown_atomic_suffix_is_identifier() {
+        assert_eq!(kinds("_atomicMul")[0], Tok::Ident("_atomicMul".into()));
+    }
+}

@@ -1,0 +1,35 @@
+//! # tangram-lang — lexer and parser for the Tangram codelet language
+//!
+//! Parses the C-like codelet language of the Tangram programming
+//! model, including the paper's extensions: the `__coop`/`__tag`
+//! codelet markers, the `__shared`/`__tunable` qualifiers, and the new
+//! shared-memory atomic qualifiers (`_atomicAdd`, `_atomicSub`,
+//! `_atomicMax`, `_atomicMin`, §III-B). The codelets of the paper's
+//! Figures 1 and 3 parse verbatim (modulo the prose ellipses in the
+//! `Sequence` constructors, which the canonical sources spell out).
+//!
+//! ```
+//! let src = r#"
+//!     __codelet __coop __tag(shared_V1)
+//!     float sum(const Array<1,float> in) {
+//!         Vector vthread();
+//!         __shared _atomicAdd float tmp;
+//!         float val = 0;
+//!         val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : 0;
+//!         tmp = val;
+//!         return tmp;
+//!     }
+//! "#;
+//! let codelets = tangram_lang::parse_codelets(src).unwrap();
+//! assert_eq!(codelets[0].tag.as_deref(), Some("shared_V1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use error::ParseError;
+pub use parser::{parse_codelets, parse_expr, parse_stmt};

@@ -1,0 +1,682 @@
+//! Recursive-descent parser producing `tangram-ir` ASTs.
+
+use tangram_ir::ast::{BinOp, Block, DeclTy, Expr, Stmt, UnOp};
+use tangram_ir::codelet::{Codelet, Param};
+use tangram_ir::ty::{DslTy, Qualifiers, ScalarTy};
+
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{Pos, Tok, Token};
+
+/// Parse a whole source file into its codelets.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     __codelet
+///     int sum(const Array<1,int> in) {
+///         int accum = 0;
+///         for (unsigned i = 0; i < in.Size(); i += in.Stride()) {
+///             accum += in[i];
+///         }
+///         return accum;
+///     }
+/// "#;
+/// let codelets = tangram_lang::parse_codelets(src).unwrap();
+/// assert_eq!(codelets.len(), 1);
+/// assert_eq!(codelets[0].name, "sum");
+/// ```
+pub fn parse_codelets(src: &str) -> Result<Vec<Codelet>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while p.peek() != &Tok::Eof {
+        out.push(p.codelet()?);
+    }
+    Ok(out)
+}
+
+/// Parse a single expression (testing / tooling convenience).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the input is not exactly one
+/// expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+/// Parse a single statement (testing / tooling convenience).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the input is not exactly one
+/// statement.
+pub fn parse_stmt(src: &str) -> Result<Stmt, ParseError> {
+    let mut p = Parser::new(src)?;
+    let s = p.stmt()?;
+    p.expect(Tok::Eof)?;
+    Ok(s)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser { toks: lex(src)?, i: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.toks[(self.i + n).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(self.pos(), format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(ParseError::new(self.pos(), format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ---- types -----------------------------------------------------
+
+    fn scalar_ty(&mut self) -> Result<ScalarTy, ParseError> {
+        match self.bump() {
+            Tok::KwInt => Ok(ScalarTy::Int),
+            Tok::KwUnsigned => {
+                // `unsigned int` is accepted.
+                self.eat(&Tok::KwInt);
+                Ok(ScalarTy::Unsigned)
+            }
+            Tok::KwFloat => Ok(ScalarTy::Float),
+            Tok::KwDouble => Ok(ScalarTy::Double),
+            Tok::KwBool => Ok(ScalarTy::Bool),
+            other => Err(ParseError::new(self.pos(), format!("expected a scalar type, found {other}"))),
+        }
+    }
+
+    fn is_scalar_start(t: &Tok) -> bool {
+        matches!(t, Tok::KwInt | Tok::KwUnsigned | Tok::KwFloat | Tok::KwDouble | Tok::KwBool)
+    }
+
+    fn dsl_ty(&mut self) -> Result<DslTy, ParseError> {
+        match self.peek() {
+            Tok::KwVoid => {
+                self.bump();
+                Ok(DslTy::Void)
+            }
+            Tok::KwArray => {
+                self.bump();
+                self.expect(Tok::Lt)?;
+                let dims = match self.bump() {
+                    Tok::Int(v) if (1..=4).contains(&v) => v as u8,
+                    other => {
+                        return Err(ParseError::new(
+                            self.pos(),
+                            format!("expected Array dimension count, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(Tok::Comma)?;
+                let elem = self.scalar_ty()?;
+                self.expect(Tok::Gt)?;
+                Ok(DslTy::Array { dims, elem })
+            }
+            _ => Ok(DslTy::Scalar(self.scalar_ty()?)),
+        }
+    }
+
+    // ---- codelets ---------------------------------------------------
+
+    fn codelet(&mut self) -> Result<Codelet, ParseError> {
+        self.expect(Tok::QCodelet)?;
+        let mut is_coop = false;
+        let mut tag = None;
+        loop {
+            match self.peek() {
+                Tok::QCoop => {
+                    self.bump();
+                    is_coop = true;
+                }
+                Tok::QTag => {
+                    self.bump();
+                    self.expect(Tok::LParen)?;
+                    tag = Some(self.ident()?);
+                    self.expect(Tok::RParen)?;
+                }
+                _ => break,
+            }
+        }
+        let ret = self.dsl_ty()?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let is_const = self.eat(&Tok::KwConst);
+                let ty = self.dsl_ty()?;
+                let pname = self.ident()?;
+                params.push(Param { name: pname, ty, is_const });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(Codelet { name, ret, params, body, is_coop, tag })
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.peek() == &Tok::Eof {
+                return Err(ParseError::new(self.pos(), "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block(stmts))
+    }
+
+    /// A block or a single statement wrapped in a block.
+    fn blockish(&mut self) -> Result<Block, ParseError> {
+        if self.peek() == &Tok::LBrace {
+            self.block()
+        } else {
+            Ok(Block(vec![self.stmt()?]))
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Tok::KwFor => self.for_stmt(),
+            Tok::KwIf => self.if_stmt(),
+            Tok::KwReturn => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A declaration / assignment / expression statement *without* the
+    /// trailing semicolon (so `for (...)` headers can reuse it).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        // Qualifiers start a declaration.
+        let mut quals = Qualifiers::none();
+        let mut has_quals = false;
+        loop {
+            match self.peek() {
+                Tok::QShared => {
+                    self.bump();
+                    quals.shared = true;
+                    has_quals = true;
+                }
+                Tok::QTunable => {
+                    self.bump();
+                    quals.tunable = true;
+                    has_quals = true;
+                }
+                Tok::QAtomic(suffix) => {
+                    let kind = tangram_ir::AtomicKind::from_suffix(suffix)
+                        .expect("lexer only emits known atomic suffixes");
+                    self.bump();
+                    quals.atomic = Some(kind);
+                    has_quals = true;
+                }
+                _ => break,
+            }
+        }
+        let starts_decl = has_quals
+            || Self::is_scalar_start(self.peek())
+            || matches!(self.peek(), Tok::KwVector | Tok::KwMap | Tok::KwSequence);
+        if starts_decl {
+            return self.decl_stmt(quals);
+        }
+        // Assignment or expression statement.
+        let target = self.expr()?;
+        let compound = |op| Some(op);
+        let op = match self.peek() {
+            Tok::Assign => None,
+            Tok::PlusAssign => compound(BinOp::Add),
+            Tok::MinusAssign => compound(BinOp::Sub),
+            Tok::StarAssign => compound(BinOp::Mul),
+            Tok::SlashAssign => compound(BinOp::Div),
+            Tok::PercentAssign => compound(BinOp::Rem),
+            _ => return Ok(Stmt::Expr(target)),
+        };
+        self.bump();
+        let value = self.expr()?;
+        Ok(match op {
+            None => Stmt::Assign { target, value },
+            Some(op) => Stmt::CompoundAssign { op, target, value },
+        })
+    }
+
+    fn decl_stmt(&mut self, quals: Qualifiers) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Tok::KwVector | Tok::KwMap | Tok::KwSequence => {
+                let ty = match self.bump() {
+                    Tok::KwVector => DeclTy::Vector,
+                    Tok::KwMap => DeclTy::Map,
+                    _ => DeclTy::Sequence,
+                };
+                let name = self.ident()?;
+                self.expect(Tok::LParen)?;
+                let mut ctor_args = Vec::new();
+                if !self.eat(&Tok::RParen) {
+                    loop {
+                        ctor_args.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                }
+                Ok(Stmt::Decl { quals, ty, name, ctor_args, init: None })
+            }
+            _ => {
+                let elem = self.scalar_ty()?;
+                let name = self.ident()?;
+                if self.eat(&Tok::LBracket) {
+                    let size = if self.peek() == &Tok::RBracket {
+                        None
+                    } else {
+                        Some(Box::new(self.expr()?))
+                    };
+                    self.expect(Tok::RBracket)?;
+                    return Ok(Stmt::Decl {
+                        quals,
+                        ty: DeclTy::Array { elem, size },
+                        name,
+                        ctor_args: vec![],
+                        init: None,
+                    });
+                }
+                let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                Ok(Stmt::Decl { quals, ty: DeclTy::Scalar(elem), name, ctor_args: vec![], init })
+            }
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(Tok::KwFor)?;
+        self.expect(Tok::LParen)?;
+        let init = self.simple_stmt()?;
+        self.expect(Tok::Semi)?;
+        let cond = self.expr()?;
+        self.expect(Tok::Semi)?;
+        let step = self.simple_stmt()?;
+        self.expect(Tok::RParen)?;
+        let body = self.blockish()?;
+        Ok(Stmt::For { init: Box::new(init), cond, step: Box::new(step), body })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(Tok::KwIf)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then_b = self.blockish()?;
+        let else_b = if self.eat(&Tok::KwElse) { Some(self.blockish()?) } else { None };
+        Ok(Stmt::If { cond, then_b, else_b })
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(0)?;
+        if self.eat(&Tok::Question) {
+            let then_e = self.expr()?;
+            self.expect(Tok::Colon)?;
+            let else_e = self.expr()?;
+            return Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_e: Box::new(then_e),
+                else_e: Box::new(else_e),
+            });
+        }
+        Ok(cond)
+    }
+
+    /// Precedence-climbing binary expressions. Levels, low to high:
+    /// `||`, `&&`, `|`, `^`, `&`, `==/!=`, relational, shifts, `+/-`,
+    /// `*//%`.
+    fn binary(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, level) = match self.peek() {
+                Tok::OrOr => (BinOp::Or, 0),
+                Tok::AndAnd => (BinOp::And, 1),
+                Tok::Pipe => (BinOp::BitOr, 2),
+                Tok::Caret => (BinOp::BitXor, 3),
+                Tok::Amp => (BinOp::BitAnd, 4),
+                Tok::EqEq => (BinOp::Eq, 5),
+                Tok::Ne => (BinOp::Ne, 5),
+                Tok::Lt => (BinOp::Lt, 6),
+                Tok::Le => (BinOp::Le, 6),
+                Tok::Gt => (BinOp::Gt, 6),
+                Tok::Ge => (BinOp::Ge, 6),
+                Tok::Shl => (BinOp::Shl, 7),
+                Tok::Shr => (BinOp::Shr, 7),
+                Tok::Plus => (BinOp::Add, 8),
+                Tok::Minus => (BinOp::Sub, 8),
+                Tok::Star => (BinOp::Mul, 9),
+                Tok::Slash => (BinOp::Div, 9),
+                Tok::Percent => (BinOp::Rem, 9),
+                _ => break,
+            };
+            if level < min_level {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(self.unary()?) })
+            }
+            Tok::Not => {
+                self.bump();
+                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(self.unary()?) })
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    e = Expr::index(e, idx);
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let method = self.ident()?;
+                    self.expect(Tok::LParen)?;
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RParen)?;
+                    }
+                    e = Expr::Method { recv: Box::new(e), method, args };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RParen)?;
+                    }
+                    Ok(Expr::Call { callee: name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::LParen => {
+                // Cast `(int)x` vs parenthesized expression.
+                if Self::is_scalar_start(self.peek_at(1)) && self.peek_at(2) == &Tok::RParen {
+                    self.bump();
+                    let ty = self.scalar_ty()?;
+                    self.expect(Tok::RParen)?;
+                    let e = self.unary()?;
+                    return Ok(Expr::Cast { ty, expr: Box::new(e) });
+                }
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(ParseError::new(self.pos(), format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_ir::codelet::CodeletKind;
+    use tangram_ir::print::{codelet_to_string, expr_to_string};
+    use tangram_ir::ty::AtomicKind;
+
+    #[test]
+    fn precedence_is_c_like() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert_eq!(expr_to_string(&e), "a + (b * c)");
+        let e = parse_expr("a < b && c != d || e").unwrap();
+        assert_eq!(expr_to_string(&e), "((a < b) && (c != d)) || e");
+        let e = parse_expr("x % 32 + y / 2").unwrap();
+        assert_eq!(expr_to_string(&e), "(x % 32) + (y / 2)");
+    }
+
+    #[test]
+    fn parses_ternary_and_methods() {
+        let e = parse_expr("(vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : 0")
+            .unwrap();
+        match e {
+            Expr::Ternary { .. } => {}
+            other => panic!("expected ternary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cast() {
+        let e = parse_expr("(int)x + 1").unwrap();
+        assert_eq!(expr_to_string(&e), "((int)x) + 1");
+    }
+
+    #[test]
+    fn parses_declarations() {
+        let s = parse_stmt("__shared _atomicAdd int partial;").unwrap();
+        match s {
+            Stmt::Decl { quals, ty: DeclTy::Scalar(ScalarTy::Int), name, .. } => {
+                assert!(quals.shared);
+                assert_eq!(quals.atomic, Some(AtomicKind::Add));
+                assert_eq!(name, "partial");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let s = parse_stmt("__shared int tmp[in.Size()];").unwrap();
+        assert!(matches!(s, Stmt::Decl { ty: DeclTy::Array { .. }, .. }));
+        let s = parse_stmt("__tunable unsigned p;").unwrap();
+        match s {
+            Stmt::Decl { quals, .. } => assert!(quals.tunable),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_primitive_declarations() {
+        let s = parse_stmt("Vector vthread();").unwrap();
+        assert!(matches!(s, Stmt::Decl { ty: DeclTy::Vector, .. }));
+        let s = parse_stmt("Map map(sum, partition(in, p, start, inc, end));").unwrap();
+        match s {
+            Stmt::Decl { ty: DeclTy::Map, ctor_args, .. } => {
+                assert_eq!(ctor_args.len(), 2);
+                assert_eq!(ctor_args[0], Expr::var("sum"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fig1a_codelet() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                unsigned len = in.Size();
+                int accum = 0;
+                for (unsigned i = 0; i < len; i += in.Stride()) {
+                    accum += in[i];
+                }
+                return accum;
+            }
+        "#;
+        let cs = parse_codelets(src).unwrap();
+        assert_eq!(cs.len(), 1);
+        let c = &cs[0];
+        assert_eq!(c.name, "sum");
+        assert_eq!(c.kind(), CodeletKind::AtomicAutonomous);
+        assert_eq!(c.params.len(), 1);
+        assert!(c.params[0].is_const);
+    }
+
+    #[test]
+    fn parses_coop_with_tag() {
+        let src = r#"
+            __codelet __coop __tag(shared_V1)
+            int sum(const Array<1,int> in) {
+                Vector vthread();
+                __shared _atomicAdd int tmp;
+                int val = 0;
+                val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : 0;
+                tmp = val;
+                return tmp;
+            }
+        "#;
+        let cs = parse_codelets(src).unwrap();
+        let c = &cs[0];
+        assert!(c.is_coop);
+        assert_eq!(c.tag.as_deref(), Some("shared_V1"));
+        assert_eq!(c.kind(), CodeletKind::Cooperative);
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let src = r#"
+            __codelet __coop
+            int sum(const Array<1,int> in) {
+                Vector vthread();
+                __shared int tmp[in.Size()];
+                int val = 0;
+                for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {
+                    val += ((vthread.LaneId() + offset) < vthread.Size()) ? tmp[vthread.ThreadId() + offset] : 0;
+                    tmp[vthread.ThreadId()] = val;
+                }
+                if (in.Size() != vthread.MaxSize() && in.Size() / vthread.MaxSize() > 0) {
+                    if (vthread.LaneId() == 0) {
+                        tmp[vthread.VectorId()] = val;
+                    }
+                } else {
+                    val = 0;
+                }
+                return val;
+            }
+        "#;
+        let first = parse_codelets(src).unwrap();
+        let printed = codelet_to_string(&first[0]);
+        let second = parse_codelets(&printed).unwrap();
+        assert_eq!(first, second, "printed source:\n{printed}");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_codelets("__codelet int sum( {").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        assert!(parse_stmt("int x = 1").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_is_an_error() {
+        assert!(parse_codelets("__codelet void f() { int x = 1;").is_err());
+    }
+}

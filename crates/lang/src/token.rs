@@ -1,0 +1,176 @@
+//! Tokens of the codelet language.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[allow(missing_docs)] // variants are self-describing
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (also carries keywords that the parser treats
+    /// contextually, like primitive names).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+
+    // Keywords.
+    KwInt,
+    KwUnsigned,
+    KwFloat,
+    KwDouble,
+    KwBool,
+    KwVoid,
+    KwConst,
+    KwFor,
+    KwIf,
+    KwElse,
+    KwReturn,
+    KwVector,
+    KwMap,
+    KwSequence,
+    KwArray,
+
+    // Qualifiers.
+    QCodelet,
+    QCoop,
+    QTag,
+    QShared,
+    QTunable,
+    /// `_atomicAdd` / `_atomicSub` / `_atomicMax` / `_atomicMin`,
+    /// carrying the suffix.
+    QAtomic(String),
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Question,
+    Colon,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Float(v) => write!(f, "float `{v}`"),
+            Tok::KwInt => write!(f, "`int`"),
+            Tok::KwUnsigned => write!(f, "`unsigned`"),
+            Tok::KwFloat => write!(f, "`float`"),
+            Tok::KwDouble => write!(f, "`double`"),
+            Tok::KwBool => write!(f, "`bool`"),
+            Tok::KwVoid => write!(f, "`void`"),
+            Tok::KwConst => write!(f, "`const`"),
+            Tok::KwFor => write!(f, "`for`"),
+            Tok::KwIf => write!(f, "`if`"),
+            Tok::KwElse => write!(f, "`else`"),
+            Tok::KwReturn => write!(f, "`return`"),
+            Tok::KwVector => write!(f, "`Vector`"),
+            Tok::KwMap => write!(f, "`Map`"),
+            Tok::KwSequence => write!(f, "`Sequence`"),
+            Tok::KwArray => write!(f, "`Array`"),
+            Tok::QCodelet => write!(f, "`__codelet`"),
+            Tok::QCoop => write!(f, "`__coop`"),
+            Tok::QTag => write!(f, "`__tag`"),
+            Tok::QShared => write!(f, "`__shared`"),
+            Tok::QTunable => write!(f, "`__tunable`"),
+            Tok::QAtomic(s) => write!(f, "`_atomic{s}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Question => write!(f, "`?`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::PlusAssign => write!(f, "`+=`"),
+            Tok::MinusAssign => write!(f, "`-=`"),
+            Tok::StarAssign => write!(f, "`*=`"),
+            Tok::SlashAssign => write!(f, "`/=`"),
+            Tok::PercentAssign => write!(f, "`%=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Not => write!(f, "`!`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::Shl => write!(f, "`<<`"),
+            Tok::Shr => write!(f, "`>>`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// Start position.
+    pub pos: Pos,
+}

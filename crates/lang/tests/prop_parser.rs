@@ -1,0 +1,80 @@
+//! Robustness properties: the lexer and parser never panic — they
+//! return positioned errors for arbitrary garbage — and accepted
+//! inputs round-trip through the printer.
+
+use proptest::prelude::*;
+use tangram_ir::print::codelet_to_string;
+use tangram_lang::{parse_codelets, parse_expr, parse_stmt};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// Arbitrary input never panics the front end.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in ".{0,200}") {
+        let _ = parse_codelets(&src);
+        let _ = parse_expr(&src);
+        let _ = parse_stmt(&src);
+    }
+
+    /// Arbitrary *token-shaped* input (more likely to get deep into
+    /// the grammar) never panics either.
+    #[test]
+    fn parser_total_on_token_soup(tokens in prop::collection::vec(
+        prop_oneof![
+            Just("__codelet"), Just("__coop"), Just("__shared"), Just("_atomicAdd"),
+            Just("int"), Just("float"), Just("Vector"), Just("Map"), Just("Array"),
+            Just("for"), Just("if"), Just("else"), Just("return"),
+            Just("("), Just(")"), Just("{"), Just("}"), Just("["), Just("]"),
+            Just(";"), Just(","), Just("."), Just("?"), Just(":"),
+            Just("+"), Just("-"), Just("*"), Just("/"), Just("%"), Just("="),
+            Just("+="), Just("<"), Just(">"), Just("=="), Just("&&"),
+            Just("x"), Just("y"), Just("sum"), Just("42"), Just("3.5"),
+        ],
+        0..60,
+    )) {
+        let src = tokens.join(" ");
+        let _ = parse_codelets(&src);
+    }
+
+    /// Simple generated expressions round-trip: print(parse(print(e)))
+    /// is stable.
+    #[test]
+    fn expression_print_is_stable(
+        a in 0i64..1000,
+        b in 0i64..1000,
+        op in prop_oneof![Just("+"), Just("*"), Just("<"), Just("&&"), Just("%")],
+    ) {
+        let src = format!("(x + {a}) {op} (y * {b})");
+        let e1 = parse_expr(&src).unwrap();
+        let printed = tangram_ir::print::expr_to_string(&e1);
+        let e2 = parse_expr(&printed).unwrap();
+        prop_assert_eq!(e1, e2);
+    }
+}
+
+/// The corpus round-trips byte-stably after one print cycle
+/// (idempotent formatting).
+#[test]
+fn corpus_print_is_idempotent() {
+    use tangram_lang::parse_codelets as parse;
+    let fig1c = r#"
+        __codelet __coop
+        float sum(const Array<1,float> in) {
+            Vector vthread();
+            __shared float tmp[in.Size()];
+            float val = 0;
+            val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : 0;
+            for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {
+                val += ((vthread.LaneId() + offset) < vthread.Size()) ? tmp[vthread.ThreadId() + offset] : 0;
+                tmp[vthread.ThreadId()] = val;
+            }
+            return val;
+        }
+    "#;
+    let c1 = parse(fig1c).unwrap().remove(0);
+    let p1 = codelet_to_string(&c1);
+    let c2 = parse(&p1).unwrap().remove(0);
+    let p2 = codelet_to_string(&c2);
+    assert_eq!(p1, p2, "printing must be idempotent");
+}

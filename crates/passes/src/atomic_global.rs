@@ -1,0 +1,226 @@
+//! §III-A — enabling atomic instructions on global memory.
+//!
+//! The paper adds atomic APIs to the `Map` primitive
+//! (`map.atomicAdd()`, `atomicSub()`, `atomicMax()`, `atomicMin()`;
+//! Fig. 1b line 10). The atomic API and the non-atomic spectrum call
+//! that accumulates the map's partial results (Fig. 1b line 11) are
+//! mutually exclusive, so a pre-processing AST pass generates two code
+//! versions:
+//!
+//! * the **non-atomic** version drops the atomic API call and keeps
+//!   the spectrum call (partials go to an array reduced by a second
+//!   spectrum invocation — Listing 1);
+//! * the **atomic** version keeps the atomic API call and disables the
+//!   spectrum call, so partials accumulate into a single variable with
+//!   `atomicAdd`/`atomicAdd_block` (Listing 2).
+//!
+//! The pass only disables the spectrum call after checking that it
+//! applies the *same computation* as the atomic API (`sum` ↔
+//! `atomicAdd`, `max` ↔ `atomicMax`, …); on a mismatch no atomic
+//! version is generated.
+
+use tangram_ir::ast::{Expr, Stmt};
+use tangram_ir::ty::AtomicKind;
+use tangram_ir::visit::{rewrite_expr_children, Rewriter};
+use tangram_ir::Codelet;
+
+use crate::pass::{Pass, PassVariant};
+
+/// The §III-A pass.
+#[derive(Debug, Default)]
+pub struct AtomicGlobalPass;
+
+/// Whether a spectrum named `callee` computes the same reduction as
+/// the atomic API `kind` (the pass's "same computation" check).
+pub fn spectrum_matches_atomic(callee: &str, kind: AtomicKind) -> bool {
+    matches!(
+        (callee, kind),
+        ("sum", AtomicKind::Add)
+            | ("sum", AtomicKind::Sub)
+            | ("max", AtomicKind::Max)
+            | ("min", AtomicKind::Min)
+    )
+}
+
+/// Find `map.atomicX()` statements: returns `(map variable, kind)`
+/// for each, in order.
+fn atomic_api_calls(codelet: &Codelet) -> Vec<(String, AtomicKind)> {
+    let mut out = Vec::new();
+    for s in &codelet.body {
+        if let Stmt::Expr(e) = s {
+            if let Some((recv, method, args)) = e.as_var_method() {
+                if args.is_empty() {
+                    if let Some(kind) = method.strip_prefix("atomic").and_then(AtomicKind::from_suffix)
+                    {
+                        out.push((recv.to_string(), kind));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Remove the `map.atomicX()` statement for `map_var` from the body.
+fn drop_atomic_api(codelet: &Codelet, map_var: &str) -> Codelet {
+    let mut out = codelet.clone();
+    out.body.0.retain(|s| {
+        if let Stmt::Expr(e) = s {
+            if let Some((recv, method, _)) = e.as_var_method() {
+                if recv == map_var && method.starts_with("atomic") {
+                    return false;
+                }
+            }
+        }
+        true
+    });
+    out
+}
+
+/// Replace spectrum calls `f(map_var)` with `map_var` (the disabled
+/// spectrum call of the atomic version — the accumulated scalar *is*
+/// the result). Returns how many calls were replaced.
+fn disable_spectrum_calls(codelet: &mut Codelet, map_var: &str, kind: AtomicKind) -> usize {
+    struct D<'a> {
+        map_var: &'a str,
+        kind: AtomicKind,
+        replaced: usize,
+    }
+    impl Rewriter for D<'_> {
+        fn rewrite_expr(&mut self, e: &mut Expr) {
+            rewrite_expr_children(self, e);
+            if let Expr::Call { callee, args } = e {
+                let takes_map = args.len() == 1
+                    && matches!(&args[0], Expr::Var(v) if v == self.map_var);
+                if takes_map && spectrum_matches_atomic(callee, self.kind) {
+                    *e = Expr::Var(self.map_var.to_string());
+                    self.replaced += 1;
+                }
+            }
+        }
+    }
+    let mut d = D { map_var, kind, replaced: 0 };
+    let mut body = std::mem::take(&mut codelet.body);
+    d.rewrite_block(&mut body);
+    codelet.body = body;
+    d.replaced
+}
+
+impl Pass for AtomicGlobalPass {
+    fn name(&self) -> &'static str {
+        "atomic-global"
+    }
+
+    fn run(&self, input: &Codelet) -> Vec<PassVariant> {
+        let calls = atomic_api_calls(input);
+        let Some((map_var, kind)) = calls.first().cloned() else {
+            return vec![];
+        };
+        let mut variants = Vec::new();
+
+        // Non-atomic version: remove the atomic API call.
+        let non_atomic = drop_atomic_api(input, &map_var);
+        variants.push(PassVariant { label: "nonatomic".into(), codelet: non_atomic });
+
+        // Atomic version: disable the matching spectrum call, keep
+        // the API call as the marker codegen lowers to atomics.
+        let mut atomic = input.clone();
+        let replaced = disable_spectrum_calls(&mut atomic, &map_var, kind);
+        if replaced > 0 {
+            variants.push(PassVariant { label: "atomic-global".into(), codelet: atomic });
+        }
+        variants
+    }
+}
+
+/// Query used by codegen: the map variables whose results are
+/// accumulated atomically in this (already-transformed) codelet,
+/// i.e. `map.atomicX()` statements that survived the pass.
+pub fn atomic_maps(codelet: &Codelet) -> Vec<(String, AtomicKind)> {
+    atomic_api_calls(codelet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_lang::parse_codelets;
+    use tangram_ir::print::codelet_to_string;
+
+    const FIG1B: &str = r#"
+        __codelet
+        int sum(const Array<1,int> in) {
+            __tunable unsigned p;
+            unsigned len = in.Size();
+            unsigned tile = (len + p - 1) / p;
+            Sequence start(0, tile, len);
+            Sequence end(tile, tile, len);
+            Sequence inc(1, 1, 1);
+            Map map(sum, partition(in, p, start, inc, end));
+            map.atomicAdd();
+            return sum(map);
+        }
+    "#;
+
+    fn fig1b() -> Codelet {
+        parse_codelets(FIG1B).unwrap().remove(0)
+    }
+
+    #[test]
+    fn generates_both_versions() {
+        let vs = AtomicGlobalPass.run(&fig1b());
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].label, "nonatomic");
+        assert_eq!(vs[1].label, "atomic-global");
+    }
+
+    #[test]
+    fn non_atomic_drops_api_and_keeps_spectrum_call() {
+        let vs = AtomicGlobalPass.run(&fig1b());
+        let src = codelet_to_string(&vs[0].codelet);
+        assert!(!src.contains("atomicAdd"));
+        assert!(src.contains("return sum(map);"));
+    }
+
+    #[test]
+    fn atomic_disables_spectrum_call_and_keeps_api() {
+        let vs = AtomicGlobalPass.run(&fig1b());
+        let src = codelet_to_string(&vs[1].codelet);
+        assert!(src.contains("map.atomicAdd();"));
+        assert!(src.contains("return map;"));
+        assert!(!src.contains("sum(map)"));
+        assert_eq!(atomic_maps(&vs[1].codelet), vec![("map".to_string(), AtomicKind::Add)]);
+    }
+
+    #[test]
+    fn mismatched_computation_yields_no_atomic_version() {
+        // atomicMax over a `sum` spectrum call: different computation,
+        // the spectrum call must not be disabled (§III-A).
+        let src = FIG1B.replace("map.atomicAdd()", "map.atomicMax()");
+        let c = parse_codelets(&src).unwrap().remove(0);
+        let vs = AtomicGlobalPass.run(&c);
+        assert_eq!(vs.len(), 1, "only the non-atomic version is generated");
+        assert_eq!(vs[0].label, "nonatomic");
+    }
+
+    #[test]
+    fn no_atomic_api_is_a_noop() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                int accum = 0;
+                return accum;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        assert!(AtomicGlobalPass.run(&c).is_empty());
+    }
+
+    #[test]
+    fn match_table() {
+        assert!(spectrum_matches_atomic("sum", AtomicKind::Add));
+        assert!(spectrum_matches_atomic("max", AtomicKind::Max));
+        assert!(spectrum_matches_atomic("min", AtomicKind::Min));
+        assert!(!spectrum_matches_atomic("sum", AtomicKind::Max));
+        assert!(!spectrum_matches_atomic("histogram", AtomicKind::Add));
+    }
+}

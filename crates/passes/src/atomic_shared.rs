@@ -1,0 +1,210 @@
+//! §III-B — enabling atomic instructions on shared memory.
+//!
+//! The paper adds data qualifiers (`_atomicAdd`, `_atomicSub`,
+//! `_atomicMax`, `_atomicMin`) used together with `__shared`
+//! (Fig. 3). An AST pass identifies shared variables carrying an
+//! atomic qualifier; every *write* to such a variable is lowered to an
+//! atomic operation on shared memory (Listing 3 line 27:
+//! `atomicAdd(partial, val)`).
+//!
+//! This is a lowering (every codelet that declares atomic shared
+//! variables needs it before code generation), not a variant
+//! generator: the new code versions come from the new cooperative
+//! codelets the qualifier makes expressible (Fig. 3a / Fig. 3b).
+
+use tangram_ir::ast::{Block, Expr, Stmt};
+use tangram_ir::ty::AtomicKind;
+use tangram_ir::visit::{walk_block, Visitor};
+use tangram_ir::Codelet;
+
+/// Collect the shared variables declared with an atomic qualifier:
+/// `(name, kind)`.
+pub fn atomic_shared_vars(codelet: &Codelet) -> Vec<(String, AtomicKind)> {
+    struct C(Vec<(String, AtomicKind)>);
+    impl Visitor for C {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            if let Stmt::Decl { quals, name, .. } = s {
+                if quals.shared {
+                    if let Some(kind) = quals.atomic {
+                        self.0.push((name.clone(), kind));
+                    }
+                }
+            }
+            tangram_ir::visit::walk_stmt(self, s);
+        }
+    }
+    let mut c = C(Vec::new());
+    walk_block(&mut c, &codelet.body);
+    c.0
+}
+
+/// Whether an lvalue expression writes the variable `name` (either the
+/// scalar itself or an element of the array).
+fn targets_var(target: &Expr, name: &str) -> bool {
+    match target {
+        Expr::Var(v) => v == name,
+        Expr::Index { base, .. } => matches!(base.as_ref(), Expr::Var(v) if v == name),
+        _ => false,
+    }
+}
+
+/// Lower writes to atomic shared variables into atomic-operation
+/// calls. Returns the lowered codelet and the number of rewritten
+/// writes. A codelet without atomic shared variables is returned
+/// unchanged with count 0.
+///
+/// `partial = val;` becomes `atomicAdd(partial, val);` — under the
+/// qualifier, a write *is* an atomic accumulation (Fig. 3b line 16 →
+/// Listing 3 line 27). Compound assignments (`partial += val`) lower
+/// the same way.
+pub fn lower_shared_atomics(codelet: &Codelet) -> (Codelet, usize) {
+    let vars = atomic_shared_vars(codelet);
+    if vars.is_empty() {
+        return (codelet.clone(), 0);
+    }
+    let mut out = codelet.clone();
+    let mut count = 0;
+    lower_block(&mut out.body, &vars, &mut count);
+    (out, count)
+}
+
+fn lower_block(b: &mut Block, vars: &[(String, AtomicKind)], count: &mut usize) {
+    for s in &mut b.0 {
+        match s {
+            Stmt::Assign { target, value } | Stmt::CompoundAssign { target, value, .. } => {
+                if let Some((_, kind)) =
+                    vars.iter().find(|(n, _)| targets_var(target, n))
+                {
+                    *count += 1;
+                    *s = Stmt::Expr(Expr::Call {
+                        callee: kind.cuda_name(),
+                        args: vec![target.clone(), value.clone()],
+                    });
+                }
+            }
+            Stmt::For { body, .. } => lower_block(body, vars, count),
+            Stmt::If { then_b, else_b, .. } => {
+                lower_block(then_b, vars, count);
+                if let Some(e) = else_b {
+                    lower_block(e, vars, count);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_ir::print::codelet_to_string;
+    use tangram_lang::parse_codelets;
+
+    /// Fig. 3a: single shared accumulator updated by all threads.
+    pub const FIG3A: &str = r#"
+        __codelet __coop __tag(shared_V1)
+        int sum(const Array<1,int> in) {
+            Vector vthread();
+            __shared _atomicAdd int tmp;
+            int val = 0;
+            val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : 0;
+            tmp = val;
+            return tmp;
+        }
+    "#;
+
+    #[test]
+    fn finds_qualified_vars() {
+        let c = parse_codelets(FIG3A).unwrap().remove(0);
+        assert_eq!(atomic_shared_vars(&c), vec![("tmp".to_string(), AtomicKind::Add)]);
+    }
+
+    #[test]
+    fn lowers_write_to_atomic_call() {
+        let c = parse_codelets(FIG3A).unwrap().remove(0);
+        let (lowered, n) = lower_shared_atomics(&c);
+        assert_eq!(n, 1);
+        let src = codelet_to_string(&lowered);
+        assert!(src.contains("atomicAdd(tmp, val);"), "got:\n{src}");
+        // Reads are untouched.
+        assert!(src.contains("return tmp;"));
+    }
+
+    #[test]
+    fn lowers_writes_inside_nested_blocks() {
+        let src = r#"
+            __codelet __coop __tag(shared_V2)
+            int sum(const Array<1,int> in) {
+                Vector vthread();
+                __shared _atomicAdd int partial;
+                int val = 0;
+                if (in.Size() != vthread.MaxSize()) {
+                    if (vthread.LaneId() == 0) {
+                        partial = val;
+                    }
+                    if (vthread.VectorId() == 0) {
+                        val = partial;
+                    }
+                }
+                return val;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let (lowered, n) = lower_shared_atomics(&c);
+        assert_eq!(n, 1);
+        let out = codelet_to_string(&lowered);
+        assert!(out.contains("atomicAdd(partial, val);"));
+        assert!(out.contains("val = partial;"), "reads stay plain loads");
+    }
+
+    #[test]
+    fn other_atomic_kinds_lower_to_their_intrinsics() {
+        let src = FIG3A.replace("_atomicAdd", "_atomicMax");
+        let c = parse_codelets(&src).unwrap().remove(0);
+        let (lowered, n) = lower_shared_atomics(&c);
+        assert_eq!(n, 1);
+        assert!(codelet_to_string(&lowered).contains("atomicMax(tmp, val);"));
+    }
+
+    #[test]
+    fn compound_assign_lowers_too() {
+        let src = FIG3A.replace("tmp = val;", "tmp += val;");
+        let c = parse_codelets(&src).unwrap().remove(0);
+        let (lowered, n) = lower_shared_atomics(&c);
+        assert_eq!(n, 1);
+        assert!(codelet_to_string(&lowered).contains("atomicAdd(tmp, val);"));
+    }
+
+    #[test]
+    fn unqualified_codelets_are_untouched() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                __shared int tmp[in.Size()];
+                tmp[0] = 1;
+                return tmp[0];
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let (lowered, n) = lower_shared_atomics(&c);
+        assert_eq!(n, 0);
+        assert_eq!(lowered, c);
+    }
+
+    #[test]
+    fn array_element_writes_lower() {
+        let src = r#"
+            __codelet __coop
+            int sum(const Array<1,int> in) {
+                Vector vthread();
+                __shared _atomicAdd int bins[64];
+                bins[vthread.LaneId()] = 1;
+                return bins[0];
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let (lowered, n) = lower_shared_atomics(&c);
+        assert_eq!(n, 1);
+        assert!(codelet_to_string(&lowered).contains("atomicAdd(bins[vthread.LaneId()], 1);"));
+    }
+}

@@ -1,0 +1,195 @@
+//! The canonical codelet corpus: the paper's five `sum` codelets
+//! (Fig. 1a, 1b, 1c, 3a, 3b) as parseable sources.
+//!
+//! The figures elide the `Sequence` constructor arguments ("…"); the
+//! canonical sources spell out tiled and strided patterns. The element
+//! type is a substitution parameter because the evaluation (§IV-A)
+//! reduces 32-bit single-precision arrays while the figures are
+//! written over `int`.
+
+use tangram_ir::{Codelet, Spectrum};
+use tangram_lang::parse_codelets;
+
+/// Fig. 1a — atomic autonomous codelet: sequential sum.
+pub const FIG1A: &str = r#"
+__codelet
+ELEM sum(const Array<1,ELEM> in) {
+    unsigned len = in.Size();
+    ELEM accum = 0;
+    for (unsigned i = 0; i < len; i += in.Stride()) {
+        accum += in[i];
+    }
+    return accum;
+}
+"#;
+
+/// Fig. 1b — compound codelet with tiled access pattern: partition
+/// the input, map `sum` over the partitions, and accumulate either
+/// with the atomic API (line 10) or a second spectrum call (line 11).
+pub const FIG1B_TILED: &str = r#"
+__codelet __tag(tiled)
+ELEM sum(const Array<1,ELEM> in) {
+    __tunable unsigned p;
+    unsigned len = in.Size();
+    unsigned tile = (len + p - 1) / p;
+    Sequence start(0, tile, len);
+    Sequence end(tile, tile, len);
+    Sequence inc(1, 0, 0);
+    Map map(sum, partition(in, p, start, inc, end));
+    map.atomicAdd();
+    return sum(map);
+}
+"#;
+
+/// Fig. 1b with the strided access pattern (the bottom-right diagram
+/// of Fig. 1b): partition *i* covers elements `i, i+p, i+2p, …`,
+/// which enables thread coarsening at the block level (§IV-C2).
+pub const FIG1B_STRIDED: &str = r#"
+__codelet __tag(strided)
+ELEM sum(const Array<1,ELEM> in) {
+    __tunable unsigned p;
+    unsigned len = in.Size();
+    Sequence start(0, 1, p);
+    Sequence end(len, 0, 0);
+    Sequence inc(p, 0, 0);
+    Map map(sum, partition(in, p, start, inc, end));
+    map.atomicAdd();
+    return sum(map);
+}
+"#;
+
+/// Fig. 1c — atomic cooperative codelet: two-level tree-based
+/// summation through shared memory.
+pub const FIG1C: &str = r#"
+__codelet __coop __tag(coop_v)
+ELEM sum(const Array<1,ELEM> in) {
+    Vector vthread();
+    __shared ELEM partial[vthread.MaxSize()];
+    __shared ELEM tmp[in.Size()];
+    ELEM val = 0;
+    val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : 0;
+    tmp[vthread.ThreadId()] = val;
+    for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {
+        val += ((vthread.LaneId() + offset) < vthread.Size()) ? tmp[vthread.ThreadId() + offset] : 0;
+        tmp[vthread.ThreadId()] = val;
+    }
+    if (in.Size() != vthread.MaxSize() && in.Size() / vthread.MaxSize() > 0) {
+        if (vthread.LaneId() == 0) {
+            partial[vthread.VectorId()] = val;
+        }
+        if (vthread.VectorId() == 0) {
+            val = (vthread.ThreadId() <= in.Size() / vthread.MaxSize()) ? partial[vthread.LaneId()] : 0;
+            for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {
+                val += ((vthread.LaneId() + offset) < vthread.Size()) ? partial[vthread.ThreadId() + offset] : 0;
+                partial[vthread.ThreadId()] = val;
+            }
+        }
+    }
+    return val;
+}
+"#;
+
+/// Fig. 3a — cooperative codelet with a single shared accumulator
+/// updated atomically by all threads of all vectors (`shared_V1`).
+pub const FIG3A: &str = r#"
+__codelet __coop __tag(shared_V1)
+ELEM sum(const Array<1,ELEM> in) {
+    Vector vthread();
+    __shared _atomicAdd ELEM tmp;
+    ELEM val = 0;
+    val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : 0;
+    tmp = val;
+    return tmp;
+}
+"#;
+
+/// Fig. 3b — cooperative codelet: per-vector tree summation, then the
+/// first lane of each vector updates a shared accumulator atomically
+/// (`shared_V2`).
+pub const FIG3B: &str = r#"
+__codelet __coop __tag(shared_V2)
+ELEM sum(const Array<1,ELEM> in) {
+    Vector vthread();
+    __shared _atomicAdd ELEM partial;
+    __shared ELEM tmp[in.Size()];
+    ELEM val = 0;
+    val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : 0;
+    tmp[vthread.ThreadId()] = val;
+    for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {
+        val += ((vthread.LaneId() + offset) < vthread.Size()) ? tmp[vthread.ThreadId() + offset] : 0;
+        tmp[vthread.ThreadId()] = val;
+    }
+    if (in.Size() != vthread.MaxSize() && in.Size() / vthread.MaxSize() > 0) {
+        if (vthread.LaneId() == 0) {
+            partial = val;
+        }
+        if (vthread.VectorId() == 0) {
+            val = partial;
+        }
+    }
+    return val;
+}
+"#;
+
+/// Parse one canonical source with `elem` as the element type
+/// (`"int"`, `"float"`, …).
+///
+/// # Panics
+///
+/// Panics if the canonical source fails to parse — a bug in this
+/// crate, covered by tests.
+pub fn parse_canonical(src: &str, elem: &str) -> Codelet {
+    let substituted = src.replace("ELEM", elem);
+    parse_codelets(&substituted)
+        .expect("canonical codelet must parse")
+        .remove(0)
+}
+
+/// The full `sum` spectrum over element type `elem`: the five paper
+/// codelets (Fig. 1a, 1b tiled, 1b strided, 1c, 3a, 3b).
+pub fn sum_spectrum(elem: &str) -> Spectrum {
+    let mut s = Spectrum::new("sum");
+    for src in [FIG1A, FIG1B_TILED, FIG1B_STRIDED, FIG1C, FIG3A, FIG3B] {
+        s.add(parse_canonical(src, elem));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_ir::CodeletKind;
+
+    #[test]
+    fn all_canonical_sources_parse() {
+        let s = sum_spectrum("float");
+        assert_eq!(s.codelets.len(), 6);
+    }
+
+    #[test]
+    fn kinds_match_the_paper() {
+        let s = sum_spectrum("int");
+        assert_eq!(s.codelets[0].kind(), CodeletKind::AtomicAutonomous); // 1a
+        assert_eq!(s.codelets[1].kind(), CodeletKind::Compound); // 1b tiled
+        assert_eq!(s.codelets[2].kind(), CodeletKind::Compound); // 1b strided
+        assert_eq!(s.codelets[3].kind(), CodeletKind::Cooperative); // 1c
+        assert_eq!(s.codelets[4].kind(), CodeletKind::Cooperative); // 3a
+        assert_eq!(s.codelets[5].kind(), CodeletKind::Cooperative); // 3b
+    }
+
+    #[test]
+    fn tags_are_present() {
+        let s = sum_spectrum("float");
+        assert!(s.by_tag("tiled").is_some());
+        assert!(s.by_tag("strided").is_some());
+        assert!(s.by_tag("coop_v").is_some());
+        assert!(s.by_tag("shared_V1").is_some());
+        assert!(s.by_tag("shared_V2").is_some());
+    }
+
+    #[test]
+    fn element_type_substitution() {
+        let c = parse_canonical(FIG1A, "double");
+        assert_eq!(c.ret, tangram_ir::DslTy::Scalar(tangram_ir::ScalarTy::Double));
+    }
+}

@@ -1,0 +1,304 @@
+//! General (architecture-neutral) transformations of Tangram's
+//! pre-processing stage (Fig. 5): constant folding and the metadata
+//! gathering that later CUDA-specific transformations rely on.
+
+use tangram_ir::ast::{BinOp, Block, DeclTy, Expr, Stmt, UnOp};
+use tangram_ir::ty::AtomicKind;
+use tangram_ir::visit::{rewrite_expr_children, walk_stmt, Rewriter, Visitor};
+use tangram_ir::Codelet;
+
+/// Fold constant integer arithmetic throughout a codelet. Returns the
+/// number of folds performed.
+pub fn const_fold(codelet: &mut Codelet) -> usize {
+    struct F(usize);
+    impl Rewriter for F {
+        fn rewrite_expr(&mut self, e: &mut Expr) {
+            rewrite_expr_children(self, e);
+            let folded = match e {
+                Expr::Binary { op, lhs, rhs } => match (lhs.as_ref(), rhs.as_ref()) {
+                    (Expr::Int(a), Expr::Int(b)) => fold_int(*op, *a, *b),
+                    _ => None,
+                },
+                Expr::Unary { op: UnOp::Neg, expr } => match expr.as_ref() {
+                    Expr::Int(a) => Some(Expr::Int(-a)),
+                    _ => None,
+                },
+                Expr::Ternary { cond, then_e, else_e } => match cond.as_ref() {
+                    Expr::Int(0) => Some((**else_e).clone()),
+                    Expr::Int(_) => Some((**then_e).clone()),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(new) = folded {
+                *e = new;
+                self.0 += 1;
+            }
+        }
+    }
+    let mut f = F(0);
+    let mut body = std::mem::take(&mut codelet.body);
+    f.rewrite_block(&mut body);
+    codelet.body = body;
+    f.0
+}
+
+fn fold_int(op: BinOp, a: i64, b: i64) -> Option<Expr> {
+    let v = match op {
+        BinOp::Add => a.checked_add(b)?,
+        BinOp::Sub => a.checked_sub(b)?,
+        BinOp::Mul => a.checked_mul(b)?,
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a / b
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a % b
+        }
+        BinOp::Shl => a.checked_shl(u32::try_from(b).ok()?)?,
+        BinOp::Shr => a.checked_shr(u32::try_from(b).ok()?)?,
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::And => i64::from(a != 0 && b != 0),
+        BinOp::Or => i64::from(a != 0 || b != 0),
+    };
+    Some(Expr::Int(v))
+}
+
+/// A shared-array declaration found in a codelet body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedArrayInfo {
+    /// Variable name.
+    pub name: String,
+    /// Size expression (`None` = dynamically sized / extern).
+    pub size: Option<Expr>,
+    /// Atomic qualifier, when present.
+    pub atomic: Option<AtomicKind>,
+}
+
+/// Metadata gathered from a codelet by the Fig. 5 "general
+/// transformations" stage, consumed by code generation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CodeletMeta {
+    /// Names of `__tunable` declarations (autotuner parameters).
+    pub tunables: Vec<String>,
+    /// Names of declared `Vector` primitives.
+    pub vectors: Vec<String>,
+    /// Shared arrays (with sizes and atomic qualifiers).
+    pub shared_arrays: Vec<SharedArrayInfo>,
+    /// Shared *scalars* (with atomic qualifiers).
+    pub shared_scalars: Vec<SharedArrayInfo>,
+    /// `Map` declarations: `(name, ctor args)`.
+    pub maps: Vec<(String, Vec<Expr>)>,
+    /// `Sequence` declarations.
+    pub sequences: Vec<String>,
+}
+
+/// Gather [`CodeletMeta`] from a codelet.
+pub fn gather_meta(codelet: &Codelet) -> CodeletMeta {
+    struct G(CodeletMeta);
+    impl Visitor for G {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            if let Stmt::Decl { quals, ty, name, ctor_args, .. } = s {
+                if quals.tunable {
+                    self.0.tunables.push(name.clone());
+                }
+                match ty {
+                    DeclTy::Vector => self.0.vectors.push(name.clone()),
+                    DeclTy::Map => self.0.maps.push((name.clone(), ctor_args.clone())),
+                    DeclTy::Sequence => self.0.sequences.push(name.clone()),
+                    DeclTy::Array { size, .. } if quals.shared => {
+                        self.0.shared_arrays.push(SharedArrayInfo {
+                            name: name.clone(),
+                            size: size.as_deref().cloned(),
+                            atomic: quals.atomic,
+                        });
+                    }
+                    DeclTy::Scalar(_) if quals.shared => {
+                        self.0.shared_scalars.push(SharedArrayInfo {
+                            name: name.clone(),
+                            size: None,
+                            atomic: quals.atomic,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            walk_stmt(self, s);
+        }
+    }
+    let mut g = G(CodeletMeta::default());
+    for s in &codelet.body {
+        g.visit_stmt(s);
+    }
+    let _ = &codelet.body; // body borrowed above via iterator only
+    g.0
+}
+
+/// Remove declarations that are never referenced afterwards (dead
+/// `Sequence`s left behind by other passes, unused scalars). Returns
+/// the number of removed declarations. Declarations with side effects
+/// (`Map`, `Vector`, shared arrays) are never removed.
+pub fn dead_decl_elim(codelet: &mut Codelet) -> usize {
+    use tangram_ir::visit::referenced_vars;
+    let mut refs: Vec<String> = Vec::new();
+    struct R<'a>(&'a mut Vec<String>);
+    impl Visitor for R<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            for v in referenced_vars(e) {
+                if !self.0.contains(&v) {
+                    self.0.push(v);
+                }
+            }
+        }
+    }
+    let mut r = R(&mut refs);
+    for s in &codelet.body {
+        // Collect references from everything except the declaration
+        // names themselves.
+        walk_stmt(&mut r, s);
+    }
+    let before = count_stmts(&codelet.body);
+    retain_live(&mut codelet.body, &refs);
+    before - count_stmts(&codelet.body)
+}
+
+fn count_stmts(b: &Block) -> usize {
+    b.0.len()
+}
+
+fn retain_live(b: &mut Block, refs: &[String]) {
+    b.0.retain(|s| match s {
+        Stmt::Decl { ty, name, init, .. } => match ty {
+            DeclTy::Scalar(_) | DeclTy::Sequence => {
+                refs.contains(name) || init.as_ref().is_some_and(has_call)
+            }
+            _ => true,
+        },
+        _ => true,
+    });
+}
+
+fn has_call(e: &Expr) -> bool {
+    struct H(bool);
+    impl Visitor for H {
+        fn visit_expr(&mut self, e: &Expr) {
+            if matches!(e, Expr::Call { .. } | Expr::Method { .. }) {
+                self.0 = true;
+            }
+            tangram_ir::visit::walk_expr(self, e);
+        }
+    }
+    let mut h = H(false);
+    h.visit_expr(e);
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_ir::print::codelet_to_string;
+    use tangram_lang::parse_codelets;
+
+    #[test]
+    fn folds_arithmetic() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                int x = (4 + 4) / 2;
+                int y = (1 < 2) ? 10 * 3 : 0;
+                return x + y;
+            }
+        "#;
+        let mut c = parse_codelets(src).unwrap().remove(0);
+        let n = const_fold(&mut c);
+        assert!(n >= 4, "folded {n}");
+        let out = codelet_to_string(&c);
+        assert!(out.contains("int x = 4;"));
+        assert!(out.contains("int y = 30;"));
+    }
+
+    #[test]
+    fn fold_preserves_div_by_zero() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                return 1 / 0;
+            }
+        "#;
+        let mut c = parse_codelets(src).unwrap().remove(0);
+        const_fold(&mut c);
+        assert!(codelet_to_string(&c).contains("1 / 0"));
+    }
+
+    #[test]
+    fn gathers_metadata_from_fig1b() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                __tunable unsigned p;
+                Sequence start(0, 1, 2);
+                Map map(sum, partition(in, p, start, start, start));
+                __shared int tmp[in.Size()];
+                __shared _atomicAdd int acc;
+                Vector vthread();
+                return sum(map);
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let m = gather_meta(&c);
+        assert_eq!(m.tunables, vec!["p"]);
+        assert_eq!(m.vectors, vec!["vthread"]);
+        assert_eq!(m.sequences, vec!["start"]);
+        assert_eq!(m.maps.len(), 1);
+        assert_eq!(m.shared_arrays.len(), 1);
+        assert_eq!(m.shared_arrays[0].name, "tmp");
+        assert_eq!(m.shared_scalars.len(), 1);
+        assert_eq!(m.shared_scalars[0].atomic, Some(AtomicKind::Add));
+    }
+
+    #[test]
+    fn dead_decls_are_removed_live_kept() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                int unused = 3;
+                int used = 4;
+                Sequence dead(1, 2, 3);
+                return used;
+            }
+        "#;
+        let mut c = parse_codelets(src).unwrap().remove(0);
+        let n = dead_decl_elim(&mut c);
+        assert_eq!(n, 2);
+        let out = codelet_to_string(&c);
+        assert!(!out.contains("unused"));
+        assert!(!out.contains("dead"));
+        assert!(out.contains("used"));
+    }
+
+    #[test]
+    fn initializer_calls_keep_decl() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                int effectful = in.Size();
+                return 0;
+            }
+        "#;
+        let mut c = parse_codelets(src).unwrap().remove(0);
+        assert_eq!(dead_decl_elim(&mut c), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # tangram-passes — the paper's AST transformation passes
+//!
+//! This crate implements the compiler-side contribution of
+//! *"Automatic Generation of Warp-Level Primitives and Atomic
+//! Instructions for Fast and Portable Parallel Reduction on GPUs"*
+//! (CGO 2019):
+//!
+//! * [`atomic_global`] — the §III-A pass that generates atomic and
+//!   non-atomic versions from the new `Map` atomic APIs;
+//! * [`atomic_shared`] — the §III-B lowering that turns writes to
+//!   `__shared _atomicX` variables into shared-memory atomics;
+//! * [`shuffle`] — the §III-C pass implementing the Fig. 4 detection
+//!   algorithm that rewrites tree-reduction loops into warp shuffles
+//!   and disables exchange-only shared arrays;
+//! * [`general`] — the architecture-neutral stage of Fig. 5 (constant
+//!   folding, dead-declaration elimination, metadata gathering);
+//! * [`pass`] — the variant-generating driver loop of Fig. 5;
+//! * [`planner`] — the §IV-B search-space enumeration (10 original →
+//!   extended space → 30 pruned versions; the 16 Fig. 6 versions with
+//!   their labels);
+//! * [`corpus`] — the paper's five canonical `sum` codelets as
+//!   parseable sources;
+//! * [`specialize`] — retargeting the corpus to the other reduction
+//!   operators of the atomic API family (`max`/`min`).
+
+#![warn(missing_docs)]
+
+pub mod atomic_global;
+pub mod atomic_shared;
+pub mod corpus;
+pub mod general;
+pub mod pass;
+pub mod planner;
+pub mod semck;
+pub mod shuffle;
+pub mod specialize;
+
+pub use atomic_global::AtomicGlobalPass;
+pub use atomic_shared::lower_shared_atomics;
+pub use pass::{generate_variants, Pass, PassVariant, TrackedVariant};
+pub use planner::{CodeVersion, SearchSpaceReport};
+pub use semck::{check_codelet, check_spectrum, Diagnostic, Severity};
+pub use shuffle::ShufflePass;
+pub use specialize::{specialize_codelet, ReduceOp};

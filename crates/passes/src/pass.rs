@@ -1,0 +1,133 @@
+//! Pass infrastructure: the `Pass` trait and the variant-generating
+//! driver loop of Fig. 5.
+//!
+//! Tangram's pre-processing applies general transformations and then
+//! CUDA-specific transformations; when a pass discovers a new code
+//! variant it is recorded and fed back through the pipeline until no
+//! new variants appear ("New variant?" in Fig. 5).
+
+use tangram_ir::Codelet;
+
+/// One output variant of a pass application.
+#[derive(Debug, Clone)]
+pub struct PassVariant {
+    /// Short label describing the transformation applied, appended to
+    /// the variant's tag (e.g. `"shfl"`, `"atomic-global"`).
+    pub label: String,
+    /// The transformed codelet.
+    pub codelet: Codelet,
+}
+
+/// An AST transformation pass over codelets.
+pub trait Pass {
+    /// Pass name for diagnostics and reports.
+    fn name(&self) -> &'static str;
+
+    /// Apply the pass. Returning an empty vector means the pass found
+    /// nothing to transform; each returned variant is a *new* codelet
+    /// (the input is never mutated).
+    fn run(&self, input: &Codelet) -> Vec<PassVariant>;
+}
+
+/// A codelet variant tracked by the driver, with its derivation.
+#[derive(Debug, Clone)]
+pub struct TrackedVariant {
+    /// The codelet.
+    pub codelet: Codelet,
+    /// Labels of the passes that produced it, in application order
+    /// (empty for seed codelets).
+    pub derivation: Vec<String>,
+}
+
+impl TrackedVariant {
+    /// A human-readable identifier: codelet id plus derivation chain.
+    pub fn id(&self) -> String {
+        if self.derivation.is_empty() {
+            self.codelet.id()
+        } else {
+            format!("{}+{}", self.codelet.id(), self.derivation.join("+"))
+        }
+    }
+}
+
+/// The Fig. 5 driver: repeatedly applies `passes` to every known
+/// variant, collecting structurally-new codelets until a fixpoint.
+///
+/// Returns all variants including the seeds, in discovery order.
+pub fn generate_variants(seeds: &[Codelet], passes: &[&dyn Pass]) -> Vec<TrackedVariant> {
+    let mut all: Vec<TrackedVariant> = seeds
+        .iter()
+        .map(|c| TrackedVariant { codelet: c.clone(), derivation: Vec::new() })
+        .collect();
+    let mut frontier: Vec<usize> = (0..all.len()).collect();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for idx in frontier {
+            let current = all[idx].clone();
+            for pass in passes {
+                for v in pass.run(&current.codelet) {
+                    let is_new = !all.iter().any(|t| t.codelet == v.codelet);
+                    if is_new {
+                        let mut derivation = current.derivation.clone();
+                        derivation.push(v.label.clone());
+                        all.push(TrackedVariant { codelet: v.codelet, derivation });
+                        next.push(all.len() - 1);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_ir::ast::{Block, Expr, Stmt};
+    use tangram_ir::ty::{DslTy, ScalarTy};
+
+    fn codelet(n: i64) -> Codelet {
+        Codelet {
+            name: "sum".into(),
+            ret: DslTy::Scalar(ScalarTy::Int),
+            params: vec![],
+            body: Block(vec![Stmt::Return(Expr::int(n))]),
+            is_coop: false,
+            tag: None,
+        }
+    }
+
+    /// A toy pass: increments the returned literal until it reaches 3.
+    struct IncPass;
+    impl Pass for IncPass {
+        fn name(&self) -> &'static str {
+            "inc"
+        }
+        fn run(&self, input: &Codelet) -> Vec<PassVariant> {
+            match input.body.0.first() {
+                Some(Stmt::Return(Expr::Int(v))) if *v < 3 => {
+                    vec![PassVariant { label: format!("inc{}", v + 1), codelet: codelet(v + 1) }]
+                }
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn driver_iterates_to_fixpoint() {
+        let vs = generate_variants(&[codelet(0)], &[&IncPass]);
+        assert_eq!(vs.len(), 4); // 0 (seed), 1, 2, 3
+        assert_eq!(vs[3].derivation, vec!["inc1", "inc2", "inc3"]);
+        assert_eq!(vs[3].id(), "sum+inc1+inc2+inc3");
+    }
+
+    #[test]
+    fn duplicates_are_not_readded() {
+        // Two identical seeds collapse to two entries but the pass
+        // output dedupes.
+        let vs = generate_variants(&[codelet(2), codelet(2)], &[&IncPass]);
+        // Seeds are kept as given (2 of them); only one `3` appears.
+        assert_eq!(vs.iter().filter(|v| matches!(v.codelet.body.0[0], Stmt::Return(Expr::Int(3)))).count(), 1);
+    }
+}

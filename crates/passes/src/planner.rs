@@ -1,0 +1,455 @@
+//! The planner: enumeration and pruning of synthesized code versions
+//! (§IV-B, Fig. 6).
+//!
+//! A *code version* assigns codelets to the levels of the GPU software
+//! hierarchy (grid → block → thread). The composition grammar:
+//!
+//! * **Grid level**: a compound distribute codelet with a tiled or
+//!   strided access pattern, either writing per-block partials to an
+//!   array reduced by a *second kernel* (original Tangram), or
+//!   accumulating them with **global atomics** (§III-A) in a single
+//!   kernel.
+//! * **Block level**: one of
+//!   * a compound distribute across threads (thread level = the
+//!     scalar codelet), whose per-thread partials are reduced by the
+//!     scalar codelet or by one of the cooperative codelets;
+//!   * a strided atomic distribute (per-thread partials accumulated
+//!     directly with block-scope atomics);
+//!   * a cooperative codelet applied to the whole block tile.
+//! * **Cooperative codelets**: `V` (Fig. 1c), `VA1` (Fig. 3a), `VA2`
+//!   (Fig. 3b), and the shuffle variants `Vs`, `VA2+S` produced by the
+//!   §III-C pass.
+//!
+//! The grammar yields 72 versions; the paper reports 89 (the delta is
+//! enumeration internals the paper does not specify — see DESIGN.md
+//! and EXPERIMENTS.md). The *checkable* counts match exactly: 10
+//! original versions, 30 after pruning (every two-kernel version plus
+//! the preliminary-experiment losers are removed; all survivors use
+//! global atomics), and the 16 versions of Fig. 6 with their (a)–(p)
+//! labels and the 8 best-performing highlighted ones.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Access pattern of a distribute (compound) codelet — the `Sequence`
+/// choice of Fig. 1b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dist {
+    /// Contiguous tiles per worker.
+    Tiled,
+    /// Stride-by-worker-count (enables thread coarsening at the block
+    /// level, §IV-C2).
+    Strided,
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dist::Tiled => "DT",
+            Dist::Strided => "DS",
+        })
+    }
+}
+
+/// The cooperative codelets available after the paper's extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Coop {
+    /// Fig. 1c — shared-memory tree summation.
+    V,
+    /// Fig. 3a — single shared accumulator, all threads atomic.
+    VA1,
+    /// Fig. 3b — per-warp tree then shared-atomic accumulate.
+    VA2,
+    /// Fig. 1c after the §III-C shuffle pass.
+    Vs,
+    /// Fig. 3b after the §III-C shuffle pass (`VA2+S`).
+    VA2s,
+}
+
+impl Coop {
+    /// All five cooperative codelets.
+    pub const ALL: [Coop; 5] = [Coop::V, Coop::VA1, Coop::VA2, Coop::Vs, Coop::VA2s];
+
+    /// Whether the codelet uses shared-memory atomics (§III-B).
+    pub fn uses_shared_atomics(self) -> bool {
+        matches!(self, Coop::VA1 | Coop::VA2 | Coop::VA2s)
+    }
+
+    /// Whether the codelet uses warp shuffles (§III-C).
+    pub fn uses_shuffle(self) -> bool {
+        matches!(self, Coop::Vs | Coop::VA2s)
+    }
+}
+
+impl fmt::Display for Coop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Coop::V => "V",
+            Coop::VA1 => "VA1",
+            Coop::VA2 => "VA2",
+            Coop::Vs => "Vs",
+            Coop::VA2s => "VA2+S",
+        })
+    }
+}
+
+/// How a compound block codelet reduces its per-thread partials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reducer {
+    /// The scalar codelet (Fig. 1a) run by thread 0.
+    Scalar,
+    /// A cooperative codelet.
+    Coop(Coop),
+}
+
+impl fmt::Display for Reducer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reducer::Scalar => f.write_str("S"),
+            Reducer::Coop(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Grid-level codelet choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridOp {
+    /// Access pattern across blocks.
+    pub dist: Dist,
+    /// Whether per-block partials accumulate with global atomics
+    /// (single kernel) instead of a second reduction kernel.
+    pub atomic: bool,
+}
+
+impl fmt::Display for GridOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.dist, if self.atomic { ",A" } else { "" })
+    }
+}
+
+/// Block-level codelet choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockOp {
+    /// Distribute across threads (thread level = scalar codelet),
+    /// partials reduced by `reducer`.
+    Compound {
+        /// Access pattern across threads.
+        dist: Dist,
+        /// Partial-result reducer.
+        reducer: Reducer,
+    },
+    /// Strided atomic distribute: per-thread partials accumulated by
+    /// block-scope atomics directly (`DS,A` at the block level).
+    AtomicCompound,
+    /// A cooperative codelet over the whole block tile.
+    Coop(Coop),
+}
+
+impl fmt::Display for BlockOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockOp::Compound { dist, reducer } => write!(f, "{dist}+S+{reducer}"),
+            BlockOp::AtomicCompound => f.write_str("DS,A"),
+            BlockOp::Coop(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A complete code version: grid and block assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CodeVersion {
+    /// Grid-level codelet.
+    pub grid: GridOp,
+    /// Block-level codelet.
+    pub block: BlockOp,
+}
+
+impl CodeVersion {
+    /// Whether the version needs a second kernel launch to reduce the
+    /// per-block partial sums (every non-atomic grid does).
+    pub fn needs_second_kernel(&self) -> bool {
+        !self.grid.atomic
+    }
+
+    /// Whether any component uses global atomics.
+    pub fn uses_global_atomics(&self) -> bool {
+        self.grid.atomic
+    }
+
+    /// Whether any component uses shared-memory atomics.
+    pub fn uses_shared_atomics(&self) -> bool {
+        match self.block {
+            BlockOp::Compound { reducer: Reducer::Coop(c), .. } => c.uses_shared_atomics(),
+            BlockOp::Compound { .. } => false,
+            BlockOp::AtomicCompound => true,
+            BlockOp::Coop(c) => c.uses_shared_atomics(),
+        }
+    }
+
+    /// Whether any component uses warp shuffles.
+    pub fn uses_shuffle(&self) -> bool {
+        match self.block {
+            BlockOp::Compound { reducer: Reducer::Coop(c), .. } => c.uses_shuffle(),
+            BlockOp::Compound { .. } => false,
+            BlockOp::AtomicCompound => false,
+            BlockOp::Coop(c) => c.uses_shuffle(),
+        }
+    }
+
+    /// Whether this version only uses the original Tangram components
+    /// (no atomics anywhere, no shuffles).
+    pub fn is_original(&self) -> bool {
+        !self.uses_global_atomics() && !self.uses_shared_atomics() && !self.uses_shuffle()
+    }
+}
+
+impl fmt::Display for CodeVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {}", self.grid, self.block)
+    }
+}
+
+/// Every block-level configuration of the grammar (18 total).
+pub fn block_configs() -> Vec<BlockOp> {
+    let mut out = Vec::new();
+    for dist in [Dist::Tiled, Dist::Strided] {
+        out.push(BlockOp::Compound { dist, reducer: Reducer::Scalar });
+        for c in Coop::ALL {
+            out.push(BlockOp::Compound { dist, reducer: Reducer::Coop(c) });
+        }
+    }
+    out.push(BlockOp::AtomicCompound);
+    for c in Coop::ALL {
+        out.push(BlockOp::Coop(c));
+    }
+    out
+}
+
+/// The full version space of the grammar (72 versions).
+pub fn enumerate_all() -> Vec<CodeVersion> {
+    let mut out = Vec::new();
+    for atomic in [false, true] {
+        for dist in [Dist::Tiled, Dist::Strided] {
+            for block in block_configs() {
+                out.push(CodeVersion { grid: GridOp { dist, atomic }, block });
+            }
+        }
+    }
+    out
+}
+
+/// The versions expressible with original Tangram (no atomics, no
+/// shuffles): the 10 versions of §IV-B.
+pub fn enumerate_original() -> Vec<CodeVersion> {
+    enumerate_all().into_iter().filter(CodeVersion::is_original).collect()
+}
+
+/// The two versions removed by the preliminary-experiment sweep in
+/// addition to the two-kernel versions (see DESIGN.md: the paper does
+/// not enumerate its preliminary losers; we remove the two `DS,A`-grid
+/// versions whose block level repeats a strided pattern already
+/// covered by the grid distribution).
+fn preliminary_losers() -> Vec<CodeVersion> {
+    let dsa = GridOp { dist: Dist::Strided, atomic: true };
+    vec![
+        CodeVersion { grid: dsa, block: BlockOp::AtomicCompound },
+        CodeVersion {
+            grid: dsa,
+            block: BlockOp::Compound { dist: Dist::Strided, reducer: Reducer::Coop(Coop::V) },
+        },
+    ]
+}
+
+/// The pruned search space actually tested (30 versions, §IV-B): every
+/// version requiring a second kernel is removed, as are the
+/// scalar-reducer singles and the preliminary losers. All survivors
+/// accumulate per-block partials with global atomics.
+pub fn enumerate_pruned() -> Vec<CodeVersion> {
+    let losers = preliminary_losers();
+    enumerate_all()
+        .into_iter()
+        .filter(|v| {
+            !v.needs_second_kernel()
+                && !matches!(v.block, BlockOp::Compound { reducer: Reducer::Scalar, .. })
+                && !losers.contains(v)
+        })
+        .collect()
+}
+
+/// The 16 versions of Fig. 6 with their (a)–(p) labels: the
+/// `DT,A`-grid versions of the pruned set.
+pub fn fig6_versions() -> Vec<(char, CodeVersion)> {
+    let g = GridOp { dist: Dist::Tiled, atomic: true };
+    let c = |block| CodeVersion { grid: g, block };
+    vec![
+        ('a', c(BlockOp::Compound { dist: Dist::Strided, reducer: Reducer::Coop(Coop::V) })),
+        ('b', c(BlockOp::Compound { dist: Dist::Strided, reducer: Reducer::Coop(Coop::Vs) })),
+        ('c', c(BlockOp::Compound { dist: Dist::Strided, reducer: Reducer::Coop(Coop::VA2) })),
+        ('d', c(BlockOp::Compound { dist: Dist::Tiled, reducer: Reducer::Coop(Coop::V) })),
+        ('e', c(BlockOp::Compound { dist: Dist::Strided, reducer: Reducer::Coop(Coop::VA2s) })),
+        ('f', c(BlockOp::Compound { dist: Dist::Tiled, reducer: Reducer::Coop(Coop::VA1) })),
+        ('g', c(BlockOp::Compound { dist: Dist::Tiled, reducer: Reducer::Coop(Coop::VA2) })),
+        ('h', c(BlockOp::Compound { dist: Dist::Tiled, reducer: Reducer::Coop(Coop::Vs) })),
+        ('i', c(BlockOp::Compound { dist: Dist::Tiled, reducer: Reducer::Coop(Coop::VA2s) })),
+        ('j', c(BlockOp::AtomicCompound)),
+        ('k', c(BlockOp::Compound { dist: Dist::Strided, reducer: Reducer::Coop(Coop::VA1) })),
+        ('l', c(BlockOp::Coop(Coop::V))),
+        ('m', c(BlockOp::Coop(Coop::Vs))),
+        ('n', c(BlockOp::Coop(Coop::VA1))),
+        ('o', c(BlockOp::Coop(Coop::VA2))),
+        ('p', c(BlockOp::Coop(Coop::VA2s))),
+    ]
+}
+
+/// The 8 best-performing versions highlighted in Fig. 6 (the ones the
+/// evaluation section names as per-size winners).
+pub fn fig6_best() -> Vec<char> {
+    vec!['a', 'b', 'c', 'e', 'k', 'm', 'n', 'p']
+}
+
+/// Look up a Fig. 6 version by its letter.
+pub fn fig6_by_label(label: char) -> Option<CodeVersion> {
+    fig6_versions().into_iter().find(|(l, _)| *l == label).map(|(_, v)| v)
+}
+
+/// Search-space summary (the §IV-B narrative counts).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpaceReport {
+    /// Versions expressible with original Tangram.
+    pub original: usize,
+    /// Full space after the paper's extensions.
+    pub total: usize,
+    /// New versions using only global atomics.
+    pub global_atomic_only: usize,
+    /// New versions using shared-memory atomics (without shuffles).
+    pub shared_atomic: usize,
+    /// New versions using warp shuffles.
+    pub shuffle: usize,
+    /// Versions surviving pruning.
+    pub pruned: usize,
+    /// The paper's corresponding counts, for the report.
+    pub paper: (usize, usize, usize, usize, usize, usize),
+}
+
+/// Compute the search-space report.
+pub fn search_space_report() -> SearchSpaceReport {
+    let all = enumerate_all();
+    let original = all.iter().filter(|v| v.is_original()).count();
+    let global_atomic_only = all
+        .iter()
+        .filter(|v| v.uses_global_atomics() && !v.uses_shared_atomics() && !v.uses_shuffle())
+        .count();
+    let shared_atomic = all.iter().filter(|v| v.uses_shared_atomics() && !v.uses_shuffle()).count();
+    let shuffle = all.iter().filter(|v| v.uses_shuffle()).count();
+    SearchSpaceReport {
+        original,
+        total: all.len(),
+        global_atomic_only,
+        shared_atomic,
+        shuffle,
+        pruned: enumerate_pruned().len(),
+        paper: (10, 89, 10, 38, 31, 30),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn original_space_is_10() {
+        assert_eq!(enumerate_original().len(), 10);
+    }
+
+    #[test]
+    fn full_space_is_72_and_unique() {
+        let all = enumerate_all();
+        assert_eq!(all.len(), 72);
+        let set: HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 72);
+    }
+
+    #[test]
+    fn pruned_space_is_30_all_global_atomic() {
+        let pruned = enumerate_pruned();
+        assert_eq!(pruned.len(), 30);
+        assert!(pruned.iter().all(|v| v.uses_global_atomics()));
+        assert!(pruned.iter().all(|v| !v.needs_second_kernel()));
+    }
+
+    #[test]
+    fn fig6_is_16_within_pruned() {
+        let fig6 = fig6_versions();
+        assert_eq!(fig6.len(), 16);
+        let labels: HashSet<char> = fig6.iter().map(|(l, _)| *l).collect();
+        assert_eq!(labels.len(), 16);
+        assert_eq!(*labels.iter().min().unwrap(), 'a');
+        assert_eq!(*labels.iter().max().unwrap(), 'p');
+        let pruned: HashSet<_> = enumerate_pruned().into_iter().collect();
+        for (l, v) in &fig6 {
+            assert!(pruned.contains(v), "fig6({l}) not in pruned set");
+        }
+        // All use Global Atomic Tile Distribution at the grid level.
+        assert!(fig6.iter().all(|(_, v)| v.grid == GridOp { dist: Dist::Tiled, atomic: true }));
+    }
+
+    #[test]
+    fn fig6_best_are_8_distinct_fig6_labels() {
+        let best = fig6_best();
+        assert_eq!(best.len(), 8);
+        for l in &best {
+            assert!(fig6_by_label(*l).is_some(), "missing fig6 label {l}");
+        }
+    }
+
+    #[test]
+    fn eval_section_version_structure() {
+        // §IV-C: (p) = VA2+shuffle cooperative; (m) = V+shuffle
+        // cooperative; (n) = VA1 cooperative; (b),(e) = strided block
+        // distribute with shuffle reducers.
+        assert_eq!(fig6_by_label('p').unwrap().block, BlockOp::Coop(Coop::VA2s));
+        assert_eq!(fig6_by_label('m').unwrap().block, BlockOp::Coop(Coop::Vs));
+        assert_eq!(fig6_by_label('n').unwrap().block, BlockOp::Coop(Coop::VA1));
+        for l in ['b', 'e'] {
+            match fig6_by_label(l).unwrap().block {
+                BlockOp::Compound { dist, reducer: Reducer::Coop(c) } => {
+                    assert_eq!(dist, Dist::Strided);
+                    assert!(c.uses_shuffle());
+                }
+                other => panic!("fig6({l}) unexpected block {other:?}"),
+            }
+        }
+        // (a),(c),(k): strided block distribute, non-shuffle coop.
+        for l in ['a', 'c', 'k'] {
+            match fig6_by_label(l).unwrap().block {
+                BlockOp::Compound { dist, reducer: Reducer::Coop(c) } => {
+                    assert_eq!(dist, Dist::Strided);
+                    assert!(!c.uses_shuffle());
+                }
+                other => panic!("fig6({l}) unexpected block {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn report_matches_design_counts() {
+        let r = search_space_report();
+        assert_eq!(r.original, 10);
+        assert_eq!(r.total, 72);
+        assert_eq!(r.global_atomic_only, 10);
+        assert_eq!(r.shared_atomic, 28);
+        assert_eq!(r.shuffle, 24);
+        assert_eq!(r.pruned, 30);
+        assert_eq!(r.original + r.global_atomic_only + r.shared_atomic + r.shuffle, r.total);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = fig6_by_label('e').unwrap();
+        assert_eq!(v.to_string(), "DT,A / DS+S+VA2+S");
+        assert_eq!(fig6_by_label('j').unwrap().to_string(), "DT,A / DS,A");
+        assert_eq!(fig6_by_label('n').unwrap().to_string(), "DT,A / VA1");
+    }
+}

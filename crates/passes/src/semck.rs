@@ -1,0 +1,433 @@
+//! Semantic checking of codelets before transformation and code
+//! generation.
+//!
+//! Validates the constraints the paper's extensions introduce (and the
+//! structural ones code generation relies on):
+//!
+//! * atomic qualifiers (`_atomicAdd` …) require `__shared` (§III-B);
+//! * a `Map` atomic API call should accompany a spectrum call applying
+//!   the *same* computation — a mismatch is legal but means no atomic
+//!   version can be generated (§III-A), so it gets a warning;
+//! * `Vector`/container member functions must be invoked on declared
+//!   primitives with known names (Fig. 2);
+//! * every referenced variable must be declared (parameters count);
+//! * cooperative codelets must `return` exactly once, in tail position.
+
+use std::fmt;
+
+use tangram_ir::ast::{Block, DeclTy, Expr, Stmt};
+use tangram_ir::ty::AtomicKind;
+use tangram_ir::Codelet;
+
+use crate::atomic_global::spectrum_matches_atomic;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The codelet cannot be compiled.
+    Error,
+    /// Legal but suspicious (e.g. an atomic API that disables no
+    /// spectrum call).
+    Warning,
+}
+
+/// A semantic diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn error(message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into() }
+    }
+
+    fn warning(message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, message: message.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+/// The Fig. 2 `Vector` member functions.
+const VECTOR_METHODS: [&str; 5] = ["Size", "MaxSize", "ThreadId", "LaneId", "VectorId"];
+/// Container (`Array`) member functions.
+const ARRAY_METHODS: [&str; 2] = ["Size", "Stride"];
+
+#[derive(Default)]
+struct Scope {
+    vars: Vec<String>,
+    vectors: Vec<String>,
+    maps: Vec<String>,
+    arrays: Vec<String>,
+}
+
+/// Check a codelet; returns all diagnostics (empty = clean).
+pub fn check_codelet(codelet: &Codelet) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut scope = Scope::default();
+    for p in &codelet.params {
+        scope.vars.push(p.name.clone());
+        if matches!(p.ty, tangram_ir::DslTy::Array { .. }) {
+            scope.arrays.push(p.name.clone());
+        }
+    }
+    check_block(&codelet.body, &mut scope, &mut diags, codelet);
+
+    // Tail-position return.
+    let returns = count_returns(&codelet.body);
+    match codelet.body.0.last() {
+        Some(Stmt::Return(_)) if returns == 1 => {}
+        Some(Stmt::Return(_)) => diags.push(Diagnostic::error(format!(
+            "codelet `{}` has {} return statements; exactly one, in tail position, is supported",
+            codelet.id(),
+            returns
+        ))),
+        _ => diags.push(Diagnostic::error(format!(
+            "codelet `{}` must end with a return statement",
+            codelet.id()
+        ))),
+    }
+    diags
+}
+
+/// Check every codelet of a spectrum.
+pub fn check_spectrum(spectrum: &tangram_ir::Spectrum) -> Vec<Diagnostic> {
+    spectrum.codelets.iter().flat_map(check_codelet).collect()
+}
+
+fn count_returns(b: &Block) -> usize {
+    b.0.iter()
+        .map(|s| match s {
+            Stmt::Return(_) => 1,
+            Stmt::For { body, .. } => count_returns(body),
+            Stmt::If { then_b, else_b, .. } => {
+                count_returns(then_b) + else_b.as_ref().map_or(0, count_returns)
+            }
+            _ => 0,
+        })
+        .sum()
+}
+
+fn check_block(b: &Block, scope: &mut Scope, diags: &mut Vec<Diagnostic>, codelet: &Codelet) {
+    for s in b {
+        check_stmt(s, scope, diags, codelet);
+    }
+}
+
+fn check_stmt(s: &Stmt, scope: &mut Scope, diags: &mut Vec<Diagnostic>, codelet: &Codelet) {
+    match s {
+        Stmt::Decl { quals, ty, name, ctor_args, init } => {
+            if quals.atomic.is_some() && !quals.shared {
+                diags.push(Diagnostic::error(format!(
+                    "`{}`: atomic qualifier `{}` requires `__shared` (§III-B)",
+                    name,
+                    quals.atomic.map(|a| a.to_string()).unwrap_or_default().trim()
+                )));
+            }
+            // `Map map(sum, partition(...))`: the first constructor
+            // argument names a spectrum, not a variable.
+            let skip_first = matches!(ty, DeclTy::Map);
+            for a in ctor_args.iter().skip(usize::from(skip_first)) {
+                check_expr(a, scope, diags);
+            }
+            if let Some(e) = init {
+                check_expr(e, scope, diags);
+            }
+            match ty {
+                DeclTy::Vector => scope.vectors.push(name.clone()),
+                DeclTy::Map => {
+                    scope.maps.push(name.clone());
+                    scope.vars.push(name.clone());
+                }
+                DeclTy::Array { size, .. } => {
+                    if let Some(sz) = size.as_deref() {
+                        check_expr(sz, scope, diags);
+                    }
+                    scope.arrays.push(name.clone());
+                    scope.vars.push(name.clone());
+                }
+                DeclTy::Scalar(_) | DeclTy::Sequence => scope.vars.push(name.clone()),
+            }
+        }
+        Stmt::Assign { target, value } | Stmt::CompoundAssign { target, value, .. } => {
+            check_expr(target, scope, diags);
+            check_expr(value, scope, diags);
+        }
+        Stmt::Expr(e) => {
+            // Map atomic API usage: check the §III-A matching rule.
+            if let Some((recv, method, _)) = e.as_var_method() {
+                if scope.maps.iter().any(|m| m == recv) {
+                    if let Some(kind) =
+                        method.strip_prefix("atomic").and_then(AtomicKind::from_suffix)
+                    {
+                        check_map_atomic(recv, kind, codelet, diags);
+                        return;
+                    }
+                }
+            }
+            check_expr(e, scope, diags);
+        }
+        Stmt::For { init, cond, step, body } => {
+            let vars_before = scope.vars.len();
+            check_stmt(init, scope, diags, codelet);
+            check_expr(cond, scope, diags);
+            check_stmt(step, scope, diags, codelet);
+            check_block(body, scope, diags, codelet);
+            scope.vars.truncate(vars_before);
+        }
+        Stmt::If { cond, then_b, else_b } => {
+            check_expr(cond, scope, diags);
+            let vars_before = scope.vars.len();
+            check_block(then_b, scope, diags, codelet);
+            scope.vars.truncate(vars_before);
+            if let Some(eb) = else_b {
+                check_block(eb, scope, diags, codelet);
+                scope.vars.truncate(vars_before);
+            }
+        }
+        Stmt::Return(e) => check_expr(e, scope, diags),
+    }
+}
+
+/// §III-A: "the AST pass checks whether the spectrum call applies to
+/// the input the same computation as the atomic API" — warn when no
+/// matching spectrum call exists, because the atomic version cannot
+/// then be generated.
+fn check_map_atomic(map: &str, kind: AtomicKind, codelet: &Codelet, diags: &mut Vec<Diagnostic>) {
+    let mut found_matching = false;
+    let mut found_any = false;
+    visit_calls(&codelet.body, &mut |callee: &str, args: &[Expr]| {
+        let takes_map =
+            args.len() == 1 && matches!(&args[0], Expr::Var(v) if v == map);
+        if takes_map {
+            found_any = true;
+            if spectrum_matches_atomic(callee, kind) {
+                found_matching = true;
+            }
+        }
+    });
+    if !found_any {
+        diags.push(Diagnostic::warning(format!(
+            "`{map}.atomic{}()` has no spectrum call consuming `{map}`; the non-atomic \
+             version will be incomplete",
+            kind.suffix()
+        )));
+    } else if !found_matching {
+        diags.push(Diagnostic::warning(format!(
+            "`{map}.atomic{}()` does not match the computation of the spectrum call \
+             consuming `{map}`; no atomic version will be generated (§III-A)",
+            kind.suffix()
+        )));
+    }
+}
+
+fn visit_calls(b: &Block, f: &mut impl FnMut(&str, &[Expr])) {
+    use tangram_ir::visit::{walk_block, walk_expr, Visitor};
+    struct V<'a, F>(&'a mut F);
+    impl<F: FnMut(&str, &[Expr])> Visitor for V<'_, F> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let Expr::Call { callee, args } = e {
+                (self.0)(callee, args);
+            }
+            walk_expr(self, e);
+        }
+    }
+    walk_block(&mut V(f), b);
+}
+
+fn check_expr(e: &Expr, scope: &Scope, diags: &mut Vec<Diagnostic>) {
+    use tangram_ir::visit::{walk_expr, Visitor};
+    struct C<'a> {
+        scope: &'a Scope,
+        diags: &'a mut Vec<Diagnostic>,
+    }
+    impl Visitor for C<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            match e {
+                Expr::Var(v) => {
+                    let known = self.scope.vars.iter().any(|x| x == v)
+                        || self.scope.vectors.iter().any(|x| x == v);
+                    if !known {
+                        self.diags
+                            .push(Diagnostic::error(format!("reference to undeclared `{v}`")));
+                    }
+                }
+                Expr::Method { recv, method, .. } => {
+                    if let Expr::Var(r) = recv.as_ref() {
+                        if self.scope.vectors.iter().any(|x| x == r) {
+                            if !VECTOR_METHODS.contains(&method.as_str()) {
+                                self.diags.push(Diagnostic::error(format!(
+                                    "`{r}.{method}()` is not a Vector member function (Fig. 2)"
+                                )));
+                            }
+                            // Receiver is a Vector: do not also flag it
+                            // as an undeclared variable.
+                            for a in match e {
+                                Expr::Method { args, .. } => args,
+                                _ => unreachable!(),
+                            } {
+                                walk_expr(self, a);
+                            }
+                            return;
+                        }
+                        if self.scope.arrays.iter().any(|x| x == r)
+                            && !ARRAY_METHODS.contains(&method.as_str())
+                            && !method.starts_with("atomic")
+                        {
+                            self.diags.push(Diagnostic::error(format!(
+                                "`{r}.{method}()` is not an Array member function"
+                            )));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut c = C { scope, diags };
+    c.visit_expr(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use tangram_lang::parse_codelets;
+
+    #[test]
+    fn canonical_corpus_is_clean() {
+        for src in [
+            corpus::FIG1A,
+            corpus::FIG1B_TILED,
+            corpus::FIG1B_STRIDED,
+            corpus::FIG1C,
+            corpus::FIG3A,
+            corpus::FIG3B,
+        ] {
+            let c = corpus::parse_canonical(src, "float");
+            let diags = check_codelet(&c);
+            assert!(diags.is_empty(), "{}: {diags:?}", c.id());
+        }
+    }
+
+    #[test]
+    fn atomic_qualifier_without_shared_is_an_error() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                _atomicAdd int acc;
+                return acc;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let diags = check_codelet(&c);
+        assert!(diags.iter().any(|d| d.severity == Severity::Error
+            && d.message.contains("requires `__shared`")), "{diags:?}");
+    }
+
+    #[test]
+    fn mismatched_map_atomic_is_a_warning() {
+        let src = corpus::FIG1B_TILED.replace("map.atomicAdd()", "map.atomicMax()");
+        let c = corpus::parse_canonical(&src, "float");
+        let diags = check_codelet(&c);
+        assert!(diags.iter().any(|d| d.severity == Severity::Warning
+            && d.message.contains("no atomic version")), "{diags:?}");
+    }
+
+    #[test]
+    fn undeclared_variable_is_an_error() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                int x = ghost + 1;
+                return x;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let diags = check_codelet(&c);
+        assert!(diags.iter().any(|d| d.message.contains("undeclared `ghost`")), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_vector_method_is_an_error() {
+        let src = r#"
+            __codelet __coop
+            int sum(const Array<1,int> in) {
+                Vector vthread();
+                int x = vthread.WarpCount();
+                return x;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let diags = check_codelet(&c);
+        assert!(
+            diags.iter().any(|d| d.message.contains("not a Vector member function")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_tail_return_is_an_error() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                int x = 0;
+                x = 1;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let diags = check_codelet(&c);
+        assert!(diags.iter().any(|d| d.message.contains("must end with a return")), "{diags:?}");
+    }
+
+    #[test]
+    fn multiple_returns_are_an_error() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                if (in.Size() == 0) {
+                    return 0;
+                }
+                return 1;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let diags = check_codelet(&c);
+        assert!(diags.iter().any(|d| d.message.contains("2 return statements")), "{diags:?}");
+    }
+
+    #[test]
+    fn loop_scoped_variables_do_not_leak() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                for (unsigned i = 0; i < in.Size(); i += 1) {
+                    int x = 0;
+                }
+                return i;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        let diags = check_codelet(&c);
+        assert!(diags.iter().any(|d| d.message.contains("undeclared `i`")), "{diags:?}");
+    }
+
+    #[test]
+    fn spectrum_check_aggregates() {
+        let s = corpus::sum_spectrum("int");
+        assert!(check_spectrum(&s).is_empty());
+    }
+}

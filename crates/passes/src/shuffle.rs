@@ -1,0 +1,610 @@
+//! §III-C — detecting opportunities for warp shuffle instructions.
+//!
+//! Implements the seven-step AST analysis of Fig. 4 over `for` loops
+//! of cooperative codelets:
+//!
+//! 1. the loop bounds are based on a `Vector` primitive member
+//!    function (e.g. `vthread.MaxSize()/2`);
+//! 2. the iterator decreases by a constant every iteration;
+//! 3. the body reads a `__shared` array and reduces the values into a
+//!    local accumulator;
+//! 4. the shared-array read index is a function of
+//!    `Vector::ThreadId()` *and* the loop iterator;
+//! 5./6. the accumulator is written back to the same shared array;
+//! 7. the write index is a function of `ThreadId()` only.
+//!
+//! A matching loop body is replaced by a warp shuffle exchange
+//! (`val += __shfl_down(val, offset, 32)`; `__shfl_up` when the loop
+//! walks the positive direction of the vector). Shared arrays whose
+//! remaining uses are only the staging stores of the exchanged
+//! accumulator are *disabled* — their declarations and stores are
+//! removed, shrinking the shared-memory footprint (Listing 4 keeps
+//! `partial`, which has a producer-consumer relation between the two
+//! loops, but drops `tmp`).
+
+use tangram_ir::ast::{BinOp, Block, DeclTy, Expr, Stmt};
+use tangram_ir::visit::{walk_expr, Visitor};
+use tangram_ir::Codelet;
+
+use crate::pass::{Pass, PassVariant};
+
+/// The §III-C pass.
+#[derive(Debug, Default)]
+pub struct ShufflePass;
+
+/// Warp width used for generated shuffles (the `Vector::MaxSize()` of
+/// the modelled GPUs).
+pub const WARP_WIDTH: i64 = 32;
+
+/// Names of `Vector` variables declared in the codelet.
+fn vector_vars(codelet: &Codelet) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_vectors(&codelet.body, &mut out);
+    out
+}
+
+fn collect_vectors(b: &Block, out: &mut Vec<String>) {
+    for s in b {
+        match s {
+            Stmt::Decl { ty: DeclTy::Vector, name, .. } => out.push(name.clone()),
+            Stmt::For { body, .. } => collect_vectors(body, out),
+            Stmt::If { then_b, else_b, .. } => {
+                collect_vectors(then_b, out);
+                if let Some(e) = else_b {
+                    collect_vectors(e, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Names of `__shared` arrays declared in the codelet (without atomic
+/// qualifiers — those are handled by the §III-B lowering).
+fn shared_arrays(codelet: &Codelet) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_shared(&codelet.body, &mut out);
+    out
+}
+
+fn collect_shared(b: &Block, out: &mut Vec<String>) {
+    for s in b {
+        match s {
+            Stmt::Decl { quals, ty: DeclTy::Array { .. }, name, .. }
+                if quals.shared && quals.atomic.is_none() =>
+            {
+                out.push(name.clone())
+            }
+            Stmt::For { body, .. } => collect_shared(body, out),
+            Stmt::If { then_b, else_b, .. } => {
+                collect_shared(then_b, out);
+                if let Some(e) = else_b {
+                    collect_shared(e, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether `e` contains a method call on one of `vectors` with any of
+/// the given method names.
+fn mentions_vector_method(e: &Expr, vectors: &[String], methods: &[&str]) -> bool {
+    struct M<'a> {
+        vectors: &'a [String],
+        methods: &'a [&'a str],
+        found: bool,
+    }
+    impl Visitor for M<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if let Some((recv, m, _)) = e.as_var_method() {
+                if self.vectors.iter().any(|v| v == recv) && self.methods.contains(&m) {
+                    self.found = true;
+                }
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut m = M { vectors, methods, found: false };
+    m.visit_expr(e);
+    m.found
+}
+
+/// Whether `e` references the plain variable `name`.
+fn mentions_var(e: &Expr, name: &str) -> bool {
+    struct M<'a> {
+        name: &'a str,
+        found: bool,
+    }
+    impl Visitor for M<'_> {
+        fn visit_expr(&mut self, e: &Expr) {
+            if matches!(e, Expr::Var(v) if v == self.name) {
+                self.found = true;
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut m = M { name, found: false };
+    m.visit_expr(e);
+    m.found
+}
+
+/// The direction a matched loop exchanges data in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleDir {
+    /// `tmp[ThreadId() + offset]` → `__shfl_down`.
+    Down,
+    /// `tmp[ThreadId() - offset]` → `__shfl_up`.
+    Up,
+}
+
+impl ShuffleDir {
+    /// The CUDA intrinsic name.
+    pub fn intrinsic(self) -> &'static str {
+        match self {
+            ShuffleDir::Down => "__shfl_down",
+            ShuffleDir::Up => "__shfl_up",
+        }
+    }
+}
+
+/// How the matched loop folds values into the accumulator.
+#[derive(Debug, Clone)]
+enum Fold {
+    /// `acc op= x` (e.g. `val += x`).
+    Bin(BinOp),
+    /// `acc = f(acc, x)` for an intrinsic fold like `max`/`min`
+    /// (produced by operator specialization).
+    Call(String),
+}
+
+/// Outcome of matching one `for` loop against the Fig. 4 pattern.
+#[derive(Debug, Clone)]
+struct LoopMatch {
+    iter: String,
+    accumulator: Expr,
+    fold: Fold,
+    array: String,
+    dir: ShuffleDir,
+}
+
+/// Steps (1)–(7) of Fig. 4 for one loop.
+fn match_loop(
+    init: &Stmt,
+    cond: &Expr,
+    step: &Stmt,
+    body: &Block,
+    vectors: &[String],
+    shared: &[String],
+) -> Option<LoopMatch> {
+    // (1) Bounds from the Vector primitive.
+    let (iter, init_expr) = match init {
+        Stmt::Decl { name, init: Some(e), .. } => (name.clone(), e),
+        Stmt::Assign { target: Expr::Var(name), value } => (name.clone(), value),
+        _ => return None,
+    };
+    if !mentions_vector_method(init_expr, vectors, &["MaxSize", "Size"]) {
+        return None;
+    }
+    // Loop must count down to zero.
+    match cond {
+        Expr::Binary { op: BinOp::Gt, lhs, rhs } => {
+            if !matches!(lhs.as_ref(), Expr::Var(v) if *v == iter)
+                || !matches!(rhs.as_ref(), Expr::Int(0))
+            {
+                return None;
+            }
+        }
+        _ => return None,
+    }
+    // (2) Iterator decreases by a constant every iteration.
+    match step {
+        Stmt::CompoundAssign { op: BinOp::Div | BinOp::Sub | BinOp::Shr, target, value } => {
+            if !matches!(target, Expr::Var(v) if *v == iter) || !matches!(value, Expr::Int(_)) {
+                return None;
+            }
+        }
+        _ => return None,
+    }
+    // Body shape: reduce-read then write-back.
+    if body.len() != 2 {
+        return None;
+    }
+    // (3)+(4): `val += (guard) ? tmp[f(ThreadId, iter)] : 0`, the
+    // unguarded `val += tmp[...]`, or the operator-specialized
+    // `val = max(val, ...)` form.
+    let (accumulator, fold, read_expr) = match &body.0[0] {
+        Stmt::CompoundAssign { op, target, value } => (target.clone(), Fold::Bin(*op), value),
+        Stmt::Assign { target, value } => match value {
+            Expr::Call { callee, args }
+                if (callee == "max" || callee == "min")
+                    && args.len() == 2
+                    && args[0] == *target =>
+            {
+                (target.clone(), Fold::Call(callee.clone()), &args[1])
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    let read_core = match read_expr {
+        Expr::Ternary { then_e, .. } => then_e.as_ref(),
+        other => other,
+    };
+    let (array, read_idx) = read_core.as_var_index()?;
+    if !shared.iter().any(|s| s == array) {
+        return None;
+    }
+    if !mentions_vector_method(read_idx, vectors, &["ThreadId", "LaneId"])
+        || !mentions_var(read_idx, &iter)
+    {
+        return None;
+    }
+    // Exchange direction from the index arithmetic.
+    let dir = shuffle_direction(read_idx, &iter)?;
+    // (5)(6)(7): accumulator stored to the same array at an index that
+    // is a function of ThreadId() only.
+    let Stmt::Assign { target, value } = &body.0[1] else {
+        return None;
+    };
+    if *value != accumulator {
+        return None;
+    }
+    let (warray, widx) = target.as_var_index()?;
+    if warray != array {
+        return None;
+    }
+    if !mentions_vector_method(widx, vectors, &["ThreadId", "LaneId"]) || mentions_var(widx, &iter)
+    {
+        return None;
+    }
+    Some(LoopMatch { iter, accumulator, fold, array: array.to_string(), dir })
+}
+
+/// Determine the shuffle direction from the read index: an index of
+/// the form `f(ThreadId) + iter` exchanges downward, `f(ThreadId) -
+/// iter` upward.
+fn shuffle_direction(idx: &Expr, iter: &str) -> Option<ShuffleDir> {
+    match idx {
+        Expr::Binary { op, lhs, rhs } => {
+            let rhs_is_iter = matches!(rhs.as_ref(), Expr::Var(v) if v == iter);
+            let lhs_is_iter = matches!(lhs.as_ref(), Expr::Var(v) if v == iter);
+            match op {
+                BinOp::Add if rhs_is_iter || lhs_is_iter => Some(ShuffleDir::Down),
+                BinOp::Sub if rhs_is_iter => Some(ShuffleDir::Up),
+                _ => {
+                    if rhs_is_iter || lhs_is_iter {
+                        None
+                    } else {
+                        // Recurse: ThreadId() may be nested, e.g.
+                        // `(base + ThreadId()) + offset`.
+                        shuffle_direction(lhs, iter).or_else(|| shuffle_direction(rhs, iter))
+                    }
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Rewrite every matching loop in the block; returns how many loops
+/// were rewritten and records the arrays they exchanged through.
+fn rewrite_block(
+    b: &mut Block,
+    vectors: &[String],
+    shared: &[String],
+    exchanged: &mut Vec<String>,
+) -> usize {
+    let mut n = 0;
+    for s in &mut b.0 {
+        match s {
+            Stmt::For { init, cond, step, body } => {
+                if let Some(m) = match_loop(init, cond, step, body, vectors, shared) {
+                    let shfl = Expr::Call {
+                        callee: m.dir.intrinsic().to_string(),
+                        args: vec![
+                            m.accumulator.clone(),
+                            Expr::var(m.iter.clone()),
+                            Expr::Int(WARP_WIDTH),
+                        ],
+                    };
+                    body.0 = vec![match m.fold {
+                        Fold::Bin(op) => Stmt::CompoundAssign {
+                            op,
+                            target: m.accumulator.clone(),
+                            value: shfl,
+                        },
+                        Fold::Call(f) => Stmt::Assign {
+                            target: m.accumulator.clone(),
+                            value: Expr::Call {
+                                callee: f,
+                                args: vec![m.accumulator.clone(), shfl],
+                            },
+                        },
+                    }];
+                    exchanged.push(m.array.clone());
+                    n += 1;
+                } else {
+                    n += rewrite_block(body, vectors, shared, exchanged);
+                }
+            }
+            Stmt::If { then_b, else_b, .. } => {
+                n += rewrite_block(then_b, vectors, shared, exchanged);
+                if let Some(e) = else_b {
+                    n += rewrite_block(e, vectors, shared, exchanged);
+                }
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Count the *reads* of array `name` in the codelet body (index
+/// expressions appearing anywhere except as a store target).
+fn count_reads(b: &Block, name: &str) -> usize {
+    fn expr_reads(e: &Expr, name: &str) -> usize {
+        struct C<'a> {
+            name: &'a str,
+            n: usize,
+        }
+        impl Visitor for C<'_> {
+            fn visit_expr(&mut self, e: &Expr) {
+                if let Some((base, _)) = e.as_var_index() {
+                    if base == self.name {
+                        self.n += 1;
+                    }
+                }
+                walk_expr(self, e);
+            }
+        }
+        let mut c = C { name, n: 0 };
+        c.visit_expr(e);
+        c.n
+    }
+    let mut n = 0;
+    for s in b {
+        match s {
+            Stmt::Assign { target, value } => {
+                // The target's *index expression* may read, the target
+                // element itself is a write.
+                if let Some((base, idx)) = target.as_var_index() {
+                    if base != name {
+                        n += expr_reads(target, name);
+                    } else {
+                        n += expr_reads(idx, name);
+                    }
+                } else {
+                    n += expr_reads(target, name);
+                }
+                n += expr_reads(value, name);
+            }
+            Stmt::CompoundAssign { target, value, .. } => {
+                // `arr[i] op= v` reads the element too.
+                n += expr_reads(target, name) + expr_reads(value, name);
+            }
+            Stmt::Decl { init: Some(e), .. } => n += expr_reads(e, name),
+            Stmt::Decl { .. } => {}
+            Stmt::Expr(e) | Stmt::Return(e) => n += expr_reads(e, name),
+            Stmt::For { init, cond, step, body } => {
+                n += count_reads(&Block(vec![(**init).clone()]), name);
+                n += expr_reads(cond, name);
+                n += count_reads(&Block(vec![(**step).clone()]), name);
+                n += count_reads(body, name);
+            }
+            Stmt::If { cond, then_b, else_b } => {
+                n += expr_reads(cond, name);
+                n += count_reads(then_b, name);
+                if let Some(e) = else_b {
+                    n += count_reads(e, name);
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Remove the declaration of `name` and every store to it (the
+/// "disable array" step for exchange-only arrays).
+fn remove_array(b: &mut Block, name: &str) {
+    b.0.retain(|s| match s {
+        Stmt::Decl { name: n, ty: DeclTy::Array { .. }, .. } => n != name,
+        Stmt::Assign { target, .. } => {
+            !matches!(target.as_var_index(), Some((base, _)) if base == name)
+        }
+        _ => true,
+    });
+    for s in &mut b.0 {
+        match s {
+            Stmt::For { body, .. } => remove_array(body, name),
+            Stmt::If { then_b, else_b, .. } => {
+                remove_array(then_b, name);
+                if let Some(e) = else_b {
+                    remove_array(e, name);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Pass for ShufflePass {
+    fn name(&self) -> &'static str {
+        "shuffle"
+    }
+
+    fn run(&self, input: &Codelet) -> Vec<PassVariant> {
+        let vectors = vector_vars(input);
+        if vectors.is_empty() {
+            return vec![];
+        }
+        let shared = shared_arrays(input);
+        let mut out = input.clone();
+        let mut exchanged = Vec::new();
+        let n = rewrite_block(&mut out.body, &vectors, &shared, &mut exchanged);
+        if n == 0 {
+            return vec![];
+        }
+        // Disable arrays whose remaining uses are only staging stores
+        // (no reads survive the rewrite).
+        exchanged.sort();
+        exchanged.dedup();
+        for arr in &exchanged {
+            if count_reads(&out.body, arr) == 0 {
+                remove_array(&mut out.body, arr);
+            }
+        }
+        // Distinguish the variant in reports.
+        out.tag = Some(match &input.tag {
+            Some(t) => format!("{t}_shfl"),
+            None => "shfl".to_string(),
+        });
+        vec![PassVariant { label: "shfl".into(), codelet: out }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_ir::print::codelet_to_string;
+    use tangram_lang::parse_codelets;
+
+    /// The paper's Fig. 1c cooperative codelet (canonical source).
+    pub const FIG1C: &str = r#"
+        __codelet __coop
+        int sum(const Array<1,int> in) {
+            Vector vthread();
+            __shared int partial[vthread.MaxSize()];
+            __shared int tmp[in.Size()];
+            int val = 0;
+            val = (vthread.ThreadId() < in.Size()) ? in[vthread.ThreadId()] : 0;
+            tmp[vthread.ThreadId()] = val;
+            for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {
+                val += ((vthread.LaneId() + offset) < vthread.Size()) ? tmp[vthread.ThreadId() + offset] : 0;
+                tmp[vthread.ThreadId()] = val;
+            }
+            if (in.Size() != vthread.MaxSize() && in.Size() / vthread.MaxSize() > 0) {
+                if (vthread.LaneId() == 0) {
+                    partial[vthread.VectorId()] = val;
+                }
+                if (vthread.VectorId() == 0) {
+                    val = (vthread.ThreadId() <= in.Size() / vthread.MaxSize()) ? partial[vthread.LaneId()] : 0;
+                    for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {
+                        val += ((vthread.LaneId() + offset) < vthread.Size()) ? partial[vthread.ThreadId() + offset] : 0;
+                        partial[vthread.ThreadId()] = val;
+                    }
+                }
+            }
+            return val;
+        }
+    "#;
+
+    fn fig1c() -> Codelet {
+        parse_codelets(FIG1C).unwrap().remove(0)
+    }
+
+    #[test]
+    fn rewrites_both_tree_loops() {
+        let vs = ShufflePass.run(&fig1c());
+        assert_eq!(vs.len(), 1);
+        let src = codelet_to_string(&vs[0].codelet);
+        assert_eq!(src.matches("__shfl_down(val, offset, 32)").count(), 2, "src:\n{src}");
+    }
+
+    #[test]
+    fn disables_exchange_only_array_keeps_producer_consumer() {
+        let vs = ShufflePass.run(&fig1c());
+        let src = codelet_to_string(&vs[0].codelet);
+        // `tmp` only staged the exchanged value → removed entirely.
+        assert!(!src.contains("tmp"), "tmp should be disabled:\n{src}");
+        // `partial` carries per-warp partials between the loops → kept.
+        assert!(src.contains("__shared int partial[vthread.MaxSize()];"));
+        assert!(src.contains("partial[vthread.VectorId()] = val;"));
+    }
+
+    #[test]
+    fn variant_is_tagged() {
+        let vs = ShufflePass.run(&fig1c());
+        assert_eq!(vs[0].codelet.tag.as_deref(), Some("shfl"));
+        assert_eq!(vs[0].label, "shfl");
+    }
+
+    #[test]
+    fn negative_direction_generates_shfl_up() {
+        let src = FIG1C.replace(
+            "tmp[vthread.ThreadId() + offset]",
+            "tmp[vthread.ThreadId() - offset]",
+        );
+        let c = parse_codelets(&src).unwrap().remove(0);
+        let vs = ShufflePass.run(&c);
+        let out = codelet_to_string(&vs[0].codelet);
+        assert!(out.contains("__shfl_up(val, offset, 32)"), "got:\n{out}");
+    }
+
+    #[test]
+    fn loop_without_vector_bounds_is_not_matched() {
+        let src = r#"
+            __codelet __coop
+            int sum(const Array<1,int> in) {
+                Vector vthread();
+                __shared int tmp[in.Size()];
+                int val = 0;
+                for (int offset = 16; offset > 0; offset /= 2) {
+                    val += tmp[vthread.ThreadId() + offset];
+                    tmp[vthread.ThreadId()] = val;
+                }
+                return val;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        assert!(ShufflePass.run(&c).is_empty(), "step (1) must reject constant bounds");
+    }
+
+    #[test]
+    fn write_index_using_iterator_is_not_matched() {
+        // Violates step (7): the write index depends on the iterator.
+        let src = FIG1C.replace(
+            "tmp[vthread.ThreadId()] = val;\n            }",
+            "tmp[vthread.ThreadId() + offset] = val;\n            }",
+        );
+        let c = parse_codelets(&src).unwrap().remove(0);
+        let vs = ShufflePass.run(&c);
+        // The first loop no longer matches; the second still does.
+        let src_out = codelet_to_string(&vs[0].codelet);
+        assert_eq!(src_out.matches("__shfl_down").count(), 1);
+    }
+
+    #[test]
+    fn non_shared_array_is_not_matched() {
+        let src = r#"
+            __codelet __coop
+            int sum(const Array<1,int> in) {
+                Vector vthread();
+                int val = 0;
+                for (int offset = vthread.MaxSize() / 2; offset > 0; offset /= 2) {
+                    val += in[vthread.ThreadId() + offset];
+                    in[vthread.ThreadId()] = val;
+                }
+                return val;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        assert!(ShufflePass.run(&c).is_empty(), "step (3) requires a __shared array");
+    }
+
+    #[test]
+    fn autonomous_codelet_is_skipped() {
+        let src = r#"
+            __codelet
+            int sum(const Array<1,int> in) {
+                int accum = 0;
+                for (unsigned i = 0; i < in.Size(); i += 1) {
+                    accum += in[i];
+                }
+                return accum;
+            }
+        "#;
+        let c = parse_codelets(src).unwrap().remove(0);
+        assert!(ShufflePass.run(&c).is_empty());
+    }
+}

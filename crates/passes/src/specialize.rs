@@ -1,0 +1,253 @@
+//! Reduction-operator specialization.
+//!
+//! The paper's new APIs and qualifiers cover the whole atomic family —
+//! `atomicAdd`, `atomicSub`, `atomicMax`, `atomicMin` (§III-A, §III-B:
+//! "Parallel reduction can take advantage of different atomic
+//! instructions because different applications require different types
+//! of reductions"). The canonical corpus is written for `sum`; this
+//! pass retargets a codelet to another reduction operator by rewriting
+//!
+//! * reduction accumulations (`val += X` where `X` reads data) into
+//!   the operator's fold (`val = max(val, X)`),
+//! * the atomic qualifiers and `Map` atomic APIs,
+//! * the spectrum name and recursive spectrum calls,
+//! * literal `0` identities in guards and initializers into the
+//!   operator's identity element.
+
+use serde::{Deserialize, Serialize};
+use tangram_ir::ast::{BinOp, Block, Expr, Stmt};
+use tangram_ir::ty::AtomicKind;
+use tangram_ir::visit::{walk_expr, Visitor};
+use tangram_ir::Codelet;
+
+/// A reduction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Sum (`+`, `atomicAdd`, identity 0).
+    Sum,
+    /// Maximum (`max`, `atomicMax`, identity −∞).
+    Max,
+    /// Minimum (`min`, `atomicMin`, identity +∞).
+    Min,
+}
+
+impl ReduceOp {
+    /// The spectrum name.
+    pub fn spectrum(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        }
+    }
+
+    /// The matching atomic kind (§III-A table).
+    pub fn atomic_kind(self) -> AtomicKind {
+        match self {
+            ReduceOp::Sum => AtomicKind::Add,
+            ReduceOp::Max => AtomicKind::Max,
+            ReduceOp::Min => AtomicKind::Min,
+        }
+    }
+
+    /// The identity element for `f32` data.
+    pub fn identity_f32(self) -> f32 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f32::MIN,
+            ReduceOp::Min => f32::MAX,
+        }
+    }
+
+    /// Fold two host values.
+    pub fn fold_f32(self, a: f32, b: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+
+    /// Fold expression in the codelet language.
+    fn dsl_fold(self, acc: Expr, x: Expr) -> (Option<BinOp>, Expr) {
+        match self {
+            ReduceOp::Sum => (Some(BinOp::Add), x),
+            ReduceOp::Max => (None, Expr::call("max", vec![acc, x])),
+            ReduceOp::Min => (None, Expr::call("min", vec![acc, x])),
+        }
+    }
+}
+
+/// Whether a value expression is a *data* read (part of a reduction
+/// accumulation, as opposed to index arithmetic): it touches an array
+/// element, a shuffle exchange, or a shared accumulator.
+fn reads_data(e: &Expr) -> bool {
+    struct R(bool);
+    impl Visitor for R {
+        fn visit_expr(&mut self, e: &Expr) {
+            match e {
+                Expr::Index { .. } => self.0 = true,
+                Expr::Call { callee, .. } if callee.starts_with("__shfl") => self.0 = true,
+                _ => {}
+            }
+            walk_expr(self, e);
+        }
+    }
+    let mut r = R(false);
+    r.visit_expr(e);
+    r.0
+}
+
+/// Replace literal integer `0` identities with the operator identity.
+fn retarget_identity(e: &mut Expr, op: ReduceOp) {
+    if op == ReduceOp::Sum {
+        return;
+    }
+    match e {
+        Expr::Int(0) => *e = Expr::Float(f64::from(op.identity_f32())),
+        Expr::Ternary { then_e, else_e, .. } => {
+            // Guards of the form `(cond) ? data : 0`.
+            if reads_data(then_e) {
+                retarget_identity(else_e, op);
+            }
+            if reads_data(else_e) {
+                retarget_identity(then_e, op);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn specialize_block(b: &mut Block, op: ReduceOp) {
+    for s in &mut b.0 {
+        specialize_stmt(s, op);
+    }
+}
+
+fn specialize_stmt(s: &mut Stmt, op: ReduceOp) {
+    match s {
+        Stmt::Decl { quals, init, .. } => {
+            if quals.atomic == Some(AtomicKind::Add) {
+                quals.atomic = Some(op.atomic_kind());
+            }
+            if let Some(e) = init {
+                retarget_identity(e, op);
+            }
+        }
+        Stmt::CompoundAssign { op: BinOp::Add, target, value } if reads_data(value) => {
+            let mut v = value.clone();
+            retarget_identity(&mut v, op);
+            let (bin, folded) = op.dsl_fold(target.clone(), v);
+            *s = match bin {
+                Some(b) => Stmt::CompoundAssign { op: b, target: target.clone(), value: folded },
+                None => Stmt::Assign { target: target.clone(), value: folded },
+            };
+        }
+        Stmt::Assign { value, .. } => retarget_identity(value, op),
+        Stmt::Expr(e) => {
+            // `map.atomicAdd()` → `map.atomicMax()` etc.
+            if let Expr::Method { method, .. } = e {
+                if method == "atomicAdd" {
+                    *method = op.atomic_kind().cuda_name();
+                }
+            }
+        }
+        Stmt::For { body, .. } => specialize_block(body, op),
+        Stmt::If { then_b, else_b, .. } => {
+            specialize_block(then_b, op);
+            if let Some(e) = else_b {
+                specialize_block(e, op);
+            }
+        }
+        Stmt::Return(e) => retarget_identity(e, op),
+        Stmt::CompoundAssign { .. } => {}
+    }
+}
+
+/// Retarget a `sum` codelet to another reduction operator.
+pub fn specialize_codelet(codelet: &Codelet, op: ReduceOp) -> Codelet {
+    let mut out = codelet.clone();
+    if op == ReduceOp::Sum {
+        return out;
+    }
+    out.name = op.spectrum().to_string();
+    // Recursive spectrum calls `sum(map)` follow the new name.
+    rename_spectrum_calls(&mut out.body, op.spectrum());
+    specialize_block(&mut out.body, op);
+    out
+}
+
+fn rename_spectrum_calls(b: &mut Block, name: &str) {
+    use tangram_ir::visit::{rewrite_expr_children, Rewriter};
+    struct Rn<'a>(&'a str);
+    impl Rewriter for Rn<'_> {
+        fn rewrite_expr(&mut self, e: &mut Expr) {
+            rewrite_expr_children(self, e);
+            if let Expr::Call { callee, args } = e {
+                if callee == "sum" && args.len() == 1 {
+                    *callee = self.0.to_string();
+                }
+            }
+        }
+    }
+    let mut rn = Rn(name);
+    let mut body = std::mem::take(b);
+    rn.rewrite_block(&mut body);
+    *b = body;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use tangram_ir::print::codelet_to_string;
+
+    #[test]
+    fn sum_is_a_noop() {
+        let c = corpus::parse_canonical(corpus::FIG1C, "float");
+        assert_eq!(specialize_codelet(&c, ReduceOp::Sum), c);
+    }
+
+    #[test]
+    fn max_rewrites_accumulations_not_counters() {
+        let c = corpus::parse_canonical(corpus::FIG1A, "float");
+        let m = specialize_codelet(&c, ReduceOp::Max);
+        let src = codelet_to_string(&m);
+        assert!(src.contains("accum = max(accum, in[i]);"), "src:\n{src}");
+        // The loop counter step is untouched.
+        assert!(src.contains("i += in.Stride()"));
+        assert_eq!(m.name, "max");
+    }
+
+    #[test]
+    fn max_retargets_guard_identities() {
+        let c = corpus::parse_canonical(corpus::FIG1C, "float");
+        let m = specialize_codelet(&c, ReduceOp::Max);
+        let src = codelet_to_string(&m);
+        // The `? in[...] : 0` guard must use the identity, not 0.
+        assert!(!src.contains(": 0)"), "zero identity must be retargeted:\n{src}");
+        assert!(src.contains("max(val,"));
+    }
+
+    #[test]
+    fn min_retargets_qualifiers_and_map_api() {
+        let c = corpus::parse_canonical(corpus::FIG3B, "float");
+        let m = specialize_codelet(&c, ReduceOp::Min);
+        let src = codelet_to_string(&m);
+        assert!(src.contains("_atomicMin"), "qualifier retargeted:\n{src}");
+        let cb = corpus::parse_canonical(corpus::FIG1B_TILED, "float");
+        let mb = specialize_codelet(&cb, ReduceOp::Min);
+        let srcb = codelet_to_string(&mb);
+        assert!(srcb.contains("map.atomicMin();"), "Map API retargeted:\n{srcb}");
+        assert!(srcb.contains("return min(map);"), "spectrum call renamed:\n{srcb}");
+    }
+
+    #[test]
+    fn identities() {
+        assert_eq!(ReduceOp::Sum.identity_f32(), 0.0);
+        assert!(ReduceOp::Max.identity_f32() < -1e38);
+        assert!(ReduceOp::Min.identity_f32() > 1e38);
+        assert_eq!(ReduceOp::Max.fold_f32(2.0, 5.0), 5.0);
+        assert_eq!(ReduceOp::Min.fold_f32(2.0, 5.0), 2.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! A tour of the compilation pipeline (Fig. 5): codelet source → AST
+//! → transformation passes → generated CUDA, reproducing the paper's
+//! Listings.
+//!
+//! ```text
+//! cargo run --example codegen_tour
+//! ```
+
+use tangram::tangram_codegen::cuda::{coop_kernel_cuda, CudaInputMap};
+use tangram::tangram_codegen::{version_cuda, Tuning};
+use tangram::tangram_ir::print::codelet_to_string;
+use tangram::tangram_passes::planner::{self, Coop};
+use tangram::tangram_passes::{corpus, lower_shared_atomics, Pass, ShufflePass};
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("== {title}");
+    println!("================================================================");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The cooperative codelet of Fig. 1c, parsed from source.
+    let fig1c = corpus::parse_canonical(corpus::FIG1C, "float");
+    banner("Fig. 1c codelet (parsed and re-printed)");
+    println!("{}", codelet_to_string(&fig1c));
+
+    // 2. The §III-C shuffle pass (the Fig. 4 detection algorithm).
+    let shuffled = ShufflePass
+        .run(&fig1c)
+        .pop()
+        .expect("Fig. 1c matches the shuffle pattern")
+        .codelet;
+    banner("After the warp-shuffle pass (tree loops → __shfl_down)");
+    println!("{}", codelet_to_string(&shuffled));
+
+    // 3. The §III-B shared-atomic lowering on Fig. 3b.
+    let fig3b = corpus::parse_canonical(corpus::FIG3B, "float");
+    let (lowered, rewrites) = lower_shared_atomics(&fig3b);
+    banner(&format!("Fig. 3b after the shared-atomic lowering ({rewrites} write(s) rewritten)"));
+    println!("{}", codelet_to_string(&lowered));
+
+    // 4. Generated CUDA for the shared-atomic cooperative codelet
+    //    (the paper's Listing 3).
+    banner("Generated CUDA — Listing 3 (shared-memory atomics)");
+    let va2 = tangram::tangram_codegen::vir::coop_codelet(Coop::VA2, "float");
+    println!("{}", coop_kernel_cuda(&va2, CudaInputMap::default())?);
+
+    // 5. Generated CUDA for the shuffle variant (Listing 4).
+    banner("Generated CUDA — Listing 4 (warp shuffles)");
+    let vs = tangram::tangram_codegen::vir::coop_codelet(Coop::Vs, "float");
+    println!("{}", coop_kernel_cuda(&vs, CudaInputMap::default())?);
+
+    // 6. Listing 1 vs Listing 2: the grid-level memory management.
+    let non_atomic = planner::enumerate_original()[0];
+    let atomic = planner::fig6_by_label('l').expect("fig6(l)");
+    banner("Grid synthesis — Listing 1 (non-atomic: partials array + 2nd kernel)");
+    let src = version_cuda(non_atomic, Tuning::default())?;
+    print_grid_part(&src);
+    banner("Grid synthesis — Listing 2 (global atomics: single accumulator)");
+    let src = version_cuda(atomic, Tuning::default())?;
+    print_grid_part(&src);
+    Ok(())
+}
+
+fn print_grid_part(src: &str) {
+    let start = src.find("template").unwrap_or(0);
+    println!("{}", &src[start..]);
+}

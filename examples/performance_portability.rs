@@ -1,0 +1,42 @@
+//! Performance portability across GPU generations — the paper's core
+//! argument (§I, §IV-C).
+//!
+//! ```text
+//! cargo run --example performance_portability
+//! ```
+//!
+//! For each of the three simulated architectures (Kepler K40c, Maxwell
+//! GTX980, Pascal P100) and a few array sizes, the framework selects a
+//! *different* best code version: the winning algorithm depends on each
+//! generation's atomic-instruction microarchitecture and shuffle
+//! support, which is exactly why a single hand-written kernel cannot be
+//! performance-portable.
+
+use gpu_sim::ArchConfig;
+use tangram::select::select_best;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sizes: [u64; 4] = [256, 16_384, 1 << 20, 16 << 20];
+    println!(
+        "{:<18}{:>12}{:>8}{:>26}{:>14}",
+        "architecture", "n", "label", "winning version", "time (µs)"
+    );
+    for arch in ArchConfig::paper_archs() {
+        for &n in &sizes {
+            let (_tuned, row) = select_best(&arch, n)?;
+            println!(
+                "{:<18}{:>12}{:>8}{:>26}{:>14.1}",
+                arch.id,
+                n,
+                row.fig6_label.map(|c| format!("({c})")).unwrap_or_else(|| "-".into()),
+                row.version.to_string(),
+                row.time_ns / 1000.0
+            );
+        }
+    }
+    println!();
+    println!("Note how Kepler (software-locked shared atomics) avoids the");
+    println!("shared-atomic versions that Maxwell/Pascal (native support)");
+    println!("prefer — §IV-C2 vs §IV-C3/4 of the paper.");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: reduce an array with the extended-Tangram reducer.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The reducer synthesizes the paper's 30 single-kernel code versions
+//! (§IV-B), tunes their `__tunable` parameters, picks the fastest for
+//! the target architecture and size, and runs it on the simulated GPU.
+
+use gpu_sim::ArchConfig;
+use tangram::Reducer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The data: 100k elements with a pattern we can check by hand.
+    let data: Vec<f32> = (0..100_000).map(|i| ((i % 19) as f32) - 4.0).collect();
+    let oracle = cpu_ref::parallel_sum(&data, 4);
+
+    for arch in ArchConfig::paper_archs() {
+        let name = arch.name.clone();
+        let mut reducer = Reducer::new(arch);
+        let result = reducer.sum(&data)?;
+        println!("{name}:");
+        println!("  sum          = {}", result.value);
+        println!(
+            "  code version = {}  (Fig. 6 label: {})",
+            result.version,
+            result.fig6_label.map(|c| format!("({c})")).unwrap_or_else(|| "-".into())
+        );
+        println!(
+            "  tunables     = blockDim {} / coarsening {}",
+            result.block_size, result.coarsen
+        );
+        println!("  modelled time = {:.1} µs", result.time_ns / 1000.0);
+        assert!(
+            (f64::from(result.value) - oracle).abs() < 1e-3,
+            "GPU result must match the CPU oracle"
+        );
+    }
+    println!("\nall results match the CPU oracle ({oracle})");
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Workspace root crate: see `examples/` and `tests/`. Re-exports the public API.
+pub use tangram;

@@ -1,0 +1,117 @@
+//! End-to-end correctness: every pruned code version, on every
+//! architecture, must reduce to the CPU oracle's value (exact —
+//! integer-valued data keeps f32 addition associative).
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device};
+use tangram::tangram_codegen::{synthesize, Tuning};
+use tangram::tangram_passes::planner;
+use tangram::{run_reduction, upload};
+
+fn data(n: usize, seed: u64) -> Vec<f32> {
+    // Deterministic integer-valued data in [-8, 8): exact in f32 for
+    // any summation order at these sizes.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 16) as i64 - 8) as f32
+        })
+        .collect()
+}
+
+fn check_version(
+    arch: &ArchConfig,
+    version: planner::CodeVersion,
+    tuning: Tuning,
+    values: &[f32],
+) {
+    let sv = synthesize(version, tuning).expect("synthesis");
+    let mut dev = Device::new(arch.clone());
+    let input = upload(&mut dev, values).unwrap();
+    let got = run_reduction(&mut dev, &sv, input, values.len() as u64, BlockSelection::All)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", sv.id(), arch.id));
+    let expect: f32 = values.iter().sum();
+    assert_eq!(got, expect, "version {} on {} (n={})", sv.id(), arch.id, values.len());
+}
+
+#[test]
+fn all_pruned_versions_on_all_architectures() {
+    let values = data(20_000, 42);
+    let tuning = Tuning { block_size: 128, coarsen: 4 };
+    for arch in ArchConfig::paper_archs() {
+        for v in planner::enumerate_pruned() {
+            check_version(&arch, v, tuning, &values);
+        }
+    }
+}
+
+#[test]
+fn all_original_two_kernel_versions() {
+    let values = data(6_000, 7);
+    let tuning = Tuning::default();
+    let arch = ArchConfig::kepler_k40c();
+    for v in planner::enumerate_original() {
+        check_version(&arch, v, tuning, &values);
+    }
+}
+
+#[test]
+fn boundary_sizes() {
+    // Sizes around warp/block/tile boundaries, including 1.
+    let arch = ArchConfig::maxwell_gtx980();
+    let tuning = Tuning { block_size: 64, coarsen: 2 };
+    for n in [1usize, 2, 31, 32, 33, 63, 64, 65, 127, 128, 129, 4095, 4096, 4097] {
+        let values = data(n, n as u64);
+        for (label, v) in planner::fig6_versions() {
+            let sv = synthesize(v, tuning).expect("synthesis");
+            let mut dev = Device::new(arch.clone());
+            let input = upload(&mut dev, &values).unwrap();
+            let got =
+                run_reduction(&mut dev, &sv, input, n as u64, BlockSelection::All).unwrap();
+            let expect: f32 = values.iter().sum();
+            assert_eq!(got, expect, "fig6({label}) n={n}");
+        }
+    }
+}
+
+#[test]
+fn extreme_tunings() {
+    let values = data(10_000, 3);
+    let expect: f32 = values.iter().sum();
+    let arch = ArchConfig::pascal_p100();
+    for (bs, c) in [(32u32, 1u32), (32, 16), (512, 1), (512, 16), (256, 8)] {
+        for label in ['a', 'j', 'n', 'p'] {
+            let v = planner::fig6_by_label(label).unwrap();
+            let sv = synthesize(v, Tuning { block_size: bs, coarsen: c }).unwrap();
+            let mut dev = Device::new(arch.clone());
+            let input = upload(&mut dev, &values).unwrap();
+            let got =
+                run_reduction(&mut dev, &sv, input, values.len() as u64, BlockSelection::All)
+                    .unwrap();
+            assert_eq!(got, expect, "fig6({label}) B={bs} C={c}");
+        }
+    }
+}
+
+#[test]
+fn non_integer_data_within_tolerance() {
+    // Real-valued data: different summation orders differ in rounding;
+    // compare against the Kahan oracle with a relative tolerance.
+    let n = 50_000;
+    let values: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.001).sin()).collect();
+    let oracle = cpu_ref::kahan_sum(&values);
+    let arch = ArchConfig::maxwell_gtx980();
+    for label in ['m', 'n', 'p'] {
+        let v = planner::fig6_by_label(label).unwrap();
+        let sv = synthesize(v, Tuning::default()).unwrap();
+        let mut dev = Device::new(arch.clone());
+        let input = upload(&mut dev, &values).unwrap();
+        let got =
+            run_reduction(&mut dev, &sv, input, n as u64, BlockSelection::All).unwrap();
+        let rel = (f64::from(got) - oracle).abs() / oracle.abs().max(1.0);
+        assert!(rel < 1e-4, "fig6({label}) rel error {rel}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Golden tests for the paper's Listings 1–4 through the public
+//! code-generation API.
+
+use tangram::tangram_codegen::cuda::{coop_kernel_cuda, CudaInputMap};
+use tangram::tangram_codegen::vir::coop_codelet;
+use tangram::tangram_codegen::{version_cuda, Tuning};
+use tangram::tangram_passes::planner::{self, BlockOp, Coop, Dist, GridOp};
+
+#[test]
+fn listing1_non_atomic_grid() {
+    let v = planner::CodeVersion {
+        grid: GridOp { dist: Dist::Tiled, atomic: false },
+        block: BlockOp::Coop(Coop::V),
+    };
+    let src = version_cuda(v, Tuning::default()).unwrap();
+    // Listing 1: partial array sized by the partition count, second
+    // reduction launch.
+    assert!(src.contains("cudaMalloc(&map_return_block, (p)*sizeof(float));"));
+    assert!(src.contains("Reduce_Final<<<1, 256>>>"));
+    assert!(src.contains("Reduce_Block<<<p,"));
+}
+
+#[test]
+fn listing2_atomic_grid() {
+    let v = planner::fig6_by_label('l').unwrap();
+    let src = version_cuda(v, Tuning::default()).unwrap();
+    // Listing 2: a single accumulator, no second kernel.
+    assert!(src.contains("cudaMalloc(&map_return_block, sizeof(float));"));
+    assert!(!src.contains("Reduce_Final"));
+}
+
+#[test]
+fn listing2_block_scope_atomics() {
+    // The atomic-compound block uses atomicAdd_block inside the block
+    // and a device-scope atomicAdd at the grid boundary, exactly as
+    // Listing 2 shows.
+    let v = planner::fig6_by_label('j').unwrap();
+    let src = version_cuda(v, Tuning::default()).unwrap();
+    assert!(src.contains("atomicAdd_block(Return, accum);"));
+    assert!(src.contains("atomicAdd(Return, map_return);"));
+}
+
+#[test]
+fn listing3_shared_memory_atomics() {
+    let codelet = coop_codelet(Coop::VA2, "float");
+    let src = coop_kernel_cuda(&codelet, CudaInputMap::default()).unwrap();
+    let required = [
+        "__shared__ float partial;",        // line 5
+        "if (threadIdx.x == 0)",            // line 6
+        "partial = 0;",                     // line 7
+        "__syncthreads();",                 // line 8
+        "extern __shared__ float tmp[];",   // line 9
+        "atomicAdd(&partial, val);",        // line 27
+        "Return[blockID] = val;",           // line 34
+    ];
+    for needle in required {
+        assert!(src.contains(needle), "missing `{needle}` in:\n{src}");
+    }
+}
+
+#[test]
+fn listing4_warp_shuffles() {
+    let codelet = coop_codelet(Coop::Vs, "float");
+    let src = coop_kernel_cuda(&codelet, CudaInputMap::default()).unwrap();
+    // Two tree loops replaced by shuffles (lines 15 and 27).
+    assert_eq!(src.matches("__shfl_down(val, offset, 32)").count(), 2);
+    // The partial array keeps its 32-element static allocation
+    // (line 5); the tmp staging array is disabled entirely.
+    assert!(src.contains("__shared__ float partial[32];"));
+    assert!(!src.contains("tmp"));
+}
+
+#[test]
+fn fig2_vector_api_mapping() {
+    // The Vector member functions translate to their CUDA equivalents.
+    let codelet = coop_codelet(Coop::V, "float");
+    let src = coop_kernel_cuda(&codelet, CudaInputMap::default()).unwrap();
+    assert!(src.contains("threadIdx.x % warpSize"), "LaneId()");
+    assert!(src.contains("threadIdx.x / warpSize"), "VectorId()");
+    assert!(src.contains("threadIdx.x"), "ThreadId()");
+}
+
+#[test]
+fn every_pruned_version_yields_compilable_looking_cuda() {
+    for v in planner::enumerate_pruned() {
+        let src = version_cuda(v, Tuning::default()).unwrap();
+        // Structural sanity: balanced braces, a grid function, a kernel.
+        let open = src.matches('{').count();
+        let close = src.matches('}').count();
+        assert_eq!(open, close, "unbalanced braces in version {v}:\n{src}");
+        assert!(src.contains("__global__"));
+        assert!(src.contains("Reduce_Grid"));
+    }
+}

@@ -1,0 +1,108 @@
+//! The full atomic-API family of §III-A: max/min reductions through
+//! operator specialization, on every pruned version. All-negative
+//! inputs exercise the identity-element handling (a zero-identity bug
+//! would surface immediately).
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device};
+use tangram::tangram_codegen::vir::synthesize_op;
+use tangram::tangram_codegen::Tuning;
+use tangram::tangram_passes::planner;
+use tangram::{run_reduction, upload, ReduceOp, Reducer};
+
+fn data(n: usize, seed: u64, offset: f32) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 1000) as f32) / 10.0 + offset
+        })
+        .collect()
+}
+
+fn run_op(
+    arch: &ArchConfig,
+    version: planner::CodeVersion,
+    tuning: Tuning,
+    op: ReduceOp,
+    values: &[f32],
+) -> f32 {
+    let sv = synthesize_op(version, tuning, op).expect("synthesis");
+    let mut dev = Device::new(arch.clone());
+    let input = upload(&mut dev, values).unwrap();
+    run_reduction(&mut dev, &sv, input, values.len() as u64, BlockSelection::All).unwrap()
+}
+
+#[test]
+fn max_on_all_pruned_versions_with_negative_data() {
+    // All values strictly negative: the sum identity 0 would win a
+    // naive max and expose identity bugs.
+    let values = data(9_000, 11, -150.0);
+    let expect = values.iter().copied().fold(f32::MIN, f32::max);
+    assert!(expect < 0.0, "test data must be all-negative");
+    let arch = ArchConfig::maxwell_gtx980();
+    let tuning = Tuning { block_size: 128, coarsen: 4 };
+    for v in planner::enumerate_pruned() {
+        let got = run_op(&arch, v, tuning, ReduceOp::Max, &values);
+        assert_eq!(got, expect, "max via {v}");
+    }
+}
+
+#[test]
+fn min_on_all_pruned_versions_with_positive_data() {
+    // All values strictly positive: the sum identity 0 would win a
+    // naive min.
+    let values = data(9_000, 5, 50.0);
+    let expect = values.iter().copied().fold(f32::MAX, f32::min);
+    assert!(expect > 0.0, "test data must be all-positive");
+    let arch = ArchConfig::kepler_k40c();
+    let tuning = Tuning { block_size: 64, coarsen: 2 };
+    for v in planner::enumerate_pruned() {
+        let got = run_op(&arch, v, tuning, ReduceOp::Min, &values);
+        assert_eq!(got, expect, "min via {v}");
+    }
+}
+
+#[test]
+fn minmax_boundary_sizes() {
+    let arch = ArchConfig::pascal_p100();
+    let tuning = Tuning { block_size: 32, coarsen: 1 };
+    for n in [1usize, 31, 32, 33, 100, 1024] {
+        let values = data(n, n as u64, -5.0);
+        let emax = values.iter().copied().fold(f32::MIN, f32::max);
+        let emin = values.iter().copied().fold(f32::MAX, f32::min);
+        for label in ['m', 'n', 'p', 'j', 'a'] {
+            let v = planner::fig6_by_label(label).unwrap();
+            assert_eq!(run_op(&arch, v, tuning, ReduceOp::Max, &values), emax, "max ({label}) n={n}");
+            assert_eq!(run_op(&arch, v, tuning, ReduceOp::Min, &values), emin, "min ({label}) n={n}");
+        }
+    }
+}
+
+#[test]
+fn reducer_api_max_min() {
+    let mut r = Reducer::new(ArchConfig::maxwell_gtx980());
+    let values = data(4_000, 99, -80.0);
+    let max = r.max(&values).unwrap();
+    let min = r.min(&values).unwrap();
+    assert_eq!(max.value, values.iter().copied().fold(f32::MIN, f32::max));
+    assert_eq!(min.value, values.iter().copied().fold(f32::MAX, f32::min));
+    assert_eq!(max.op, ReduceOp::Max);
+    assert_eq!(min.op, ReduceOp::Min);
+    // Empty input returns the identity.
+    assert_eq!(r.max(&[]).unwrap().value, f32::MIN);
+    assert_eq!(r.min(&[]).unwrap().value, f32::MAX);
+}
+
+#[test]
+fn specialized_cuda_uses_matching_atomics() {
+    use tangram::tangram_codegen::cuda::{coop_kernel_cuda, CudaInputMap};
+    use tangram::tangram_codegen::vir::coop_codelet_op;
+    use tangram::tangram_passes::planner::Coop;
+    let c = coop_codelet_op(Coop::VA2, "float", ReduceOp::Max);
+    let src = coop_kernel_cuda(&c, CudaInputMap::default()).unwrap();
+    assert!(src.contains("atomicMax(&partial, val);"), "src:\n{src}");
+    assert!(!src.contains("atomicAdd"), "no additive atomics in a max kernel:\n{src}");
+}

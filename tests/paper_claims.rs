@@ -1,0 +1,148 @@
+//! Shape assertions for the paper's evaluation claims (§IV-C), run at
+//! reduced scale: the relative orderings and crossovers the figures
+//! report must hold in the reproduction. EXPERIMENTS.md records the
+//! full-scale numbers.
+
+use gpu_sim::ArchConfig;
+use tangram::select::select_best;
+use tangram_bench::{measure_cub, measure_kokkos};
+
+/// §IV-C1: "Tangram-synthesized code performs significantly better
+/// than the hand-written CUB code for small and medium-size arrays,
+/// i.e., below 1M elements. The speedup is between 2× and 6×
+/// on average depending on the GPU architecture and the array size."
+#[test]
+fn tangram_beats_cub_below_1m_on_every_architecture() {
+    for arch in ArchConfig::paper_archs() {
+        for n in [256u64, 16_384, 262_144] {
+            let (_t, row) = select_best(&arch, n).unwrap();
+            let cub = measure_cub(&arch, n).unwrap();
+            let speedup = cub / row.time_ns;
+            assert!(
+                speedup > 2.0,
+                "{} n={n}: speedup {speedup:.2} should exceed 2x",
+                arch.id
+            );
+            assert!(speedup < 12.0, "{} n={n}: speedup {speedup:.2} implausibly high", arch.id);
+        }
+    }
+}
+
+/// §IV-C1: "For large arrays … Tangram-synthesized code is between
+/// 17% and 38% slower than the CUB code" (CUB's vectorized loads).
+#[test]
+fn cub_wins_large_arrays_via_vectorized_loads() {
+    for arch in ArchConfig::paper_archs() {
+        let n = 64 << 20;
+        let (_t, row) = select_best(&arch, n).unwrap();
+        let cub = measure_cub(&arch, n).unwrap();
+        let ratio = row.time_ns / cub; // >1 = Tangram slower
+        assert!(
+            ratio > 1.02 && ratio < 1.6,
+            "{}: Tangram/CUB at 64M = {ratio:.2}, expected ~1.05-1.4",
+            arch.id
+        );
+    }
+}
+
+/// §IV-C2: Kepler's largest penalty (38% slower) exceeds Maxwell's
+/// (7%): Kepler's scalar loads achieve the smallest fraction of its
+/// vectorized bandwidth.
+#[test]
+fn kepler_large_array_penalty_exceeds_maxwell() {
+    let ratio = |arch: &ArchConfig| {
+        let n = 64 << 20;
+        let (_t, row) = select_best(arch, n).unwrap();
+        row.time_ns / measure_cub(arch, n).unwrap()
+    };
+    let kepler = ratio(&ArchConfig::kepler_k40c());
+    let maxwell = ratio(&ArchConfig::maxwell_gtx980());
+    assert!(
+        kepler > maxwell,
+        "kepler penalty {kepler:.2} should exceed maxwell {maxwell:.2}"
+    );
+}
+
+/// §IV-C2/3/4: beyond ~10M elements the Kokkos code outperforms CUB
+/// (≈2.2–2.7×); below ~1M its multi-kernel structure loses to CUB.
+#[test]
+fn kokkos_crossover() {
+    for arch in ArchConfig::paper_archs() {
+        let small = measure_kokkos(&arch, 16_384).unwrap() / measure_cub(&arch, 16_384).unwrap();
+        let large =
+            measure_cub(&arch, 64 << 20).unwrap() / measure_kokkos(&arch, 64 << 20).unwrap();
+        assert!(small > 1.0, "{}: Kokkos should lose at 16K (ratio {small:.2})", arch.id);
+        assert!(
+            large > 1.7 && large < 3.5,
+            "{}: Kokkos speedup at 64M = {large:.2}, expected ~2.2-2.7",
+            arch.id
+        );
+    }
+}
+
+/// §IV-C1: the OpenMP CPU version is clearly faster than CUB below
+/// 65K elements and clearly slower for very large arrays.
+#[test]
+fn openmp_wins_small_loses_large() {
+    let m = cpu_ref::OpenMpModel::power8_minsky();
+    for arch in ArchConfig::paper_archs() {
+        for n in [64u64, 4096, 65_536] {
+            let cub = measure_cub(&arch, n).unwrap();
+            assert!(
+                m.time_ns(n) < cub / 2.0,
+                "{} n={n}: OpenMP should be at least 2x faster than CUB",
+                arch.id
+            );
+        }
+    }
+    let cub_large = measure_cub(&ArchConfig::pascal_p100(), 256 << 20).unwrap();
+    assert!(m.time_ns(256 << 20) > 3.0 * cub_large, "OpenMP must lose badly at 256M");
+}
+
+/// §IV-C2: on Kepler, the software lock-update-unlock shared atomics
+/// keep the multi-warp shared-atomic versions (VA1 at large blocks)
+/// out of the winner set, while §IV-C3 Maxwell's native units make a
+/// shared-atomic version the small-array winner.
+#[test]
+fn shared_atomic_preference_flips_between_kepler_and_maxwell() {
+    let (_t, kepler_row) = select_best(&ArchConfig::kepler_k40c(), 1024).unwrap();
+    let (_t, maxwell_row) = select_best(&ArchConfig::maxwell_gtx980(), 1024).unwrap();
+    assert!(
+        !kepler_row.version.uses_shared_atomics() || kepler_row.block_size == 32,
+        "Kepler winner {} should avoid contended shared atomics",
+        kepler_row.version
+    );
+    assert!(
+        maxwell_row.version.uses_shared_atomics(),
+        "Maxwell small-array winner {} should use shared atomics (paper: version (n))",
+        maxwell_row.version
+    );
+}
+
+/// All winners come from the pruned (single-kernel, global-atomic)
+/// set — the paper's tested 30.
+#[test]
+fn winners_are_always_pruned_versions() {
+    use tangram::tangram_passes::planner;
+    let pruned = planner::enumerate_pruned();
+    for arch in ArchConfig::paper_archs() {
+        for n in [256u64, 65_536] {
+            let (_t, row) = select_best(&arch, n).unwrap();
+            assert!(pruned.contains(&row.version));
+        }
+    }
+}
+
+/// The per-architecture winner differs across generations at small
+/// sizes — the performance-portability argument in one assertion.
+#[test]
+fn winning_version_differs_across_architectures() {
+    let winners: Vec<String> = ArchConfig::paper_archs()
+        .iter()
+        .map(|arch| select_best(arch, 1024).unwrap().1.version.to_string())
+        .collect();
+    assert!(
+        winners.iter().collect::<std::collections::HashSet<_>>().len() >= 2,
+        "at least two generations should pick different versions: {winners:?}"
+    );
+}

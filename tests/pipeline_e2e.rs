@@ -1,0 +1,123 @@
+//! End-to-end pipeline tests: source → passes → variants → kernels,
+//! plus serialization round-trips over everything the synthesizer
+//! produces.
+
+use gpu_sim::asm::assemble;
+use tangram::run_pipeline;
+use tangram::tangram_codegen::vir::synthesize_op;
+use tangram::tangram_codegen::{synthesize, Tuning};
+use tangram::tangram_passes::planner;
+use tangram::ReduceOp;
+
+#[test]
+fn pipeline_report_names_all_pass_derivations() {
+    let report = run_pipeline("float");
+    assert_eq!(report.seeds.len(), 6, "Figs. 1a, 1b(tiled), 1b(strided), 1c, 3a, 3b");
+    let mut shuffle_variants = 0;
+    let mut atomic_variants = 0;
+    for v in report.new_variants() {
+        for d in &v.derivation {
+            match d.as_str() {
+                "shfl" => shuffle_variants += 1,
+                "atomic-global" => atomic_variants += 1,
+                _ => {}
+            }
+        }
+    }
+    // Fig. 1c and Fig. 3b both match the Fig. 4 shuffle pattern; the
+    // two compound codelets both carry the atomic Map API.
+    assert!(shuffle_variants >= 2, "found {shuffle_variants}");
+    assert!(atomic_variants >= 2, "found {atomic_variants}");
+}
+
+#[test]
+fn pass_generated_codelets_flow_into_synthesis() {
+    // The Vs / VA2+S codelets used by the synthesizer must be the
+    // shuffle pass's outputs (contain shuffle calls, no staging array).
+    use tangram::tangram_codegen::vir::coop_codelet;
+    use tangram::tangram_ir::print::codelet_to_string;
+    use tangram::tangram_passes::planner::Coop;
+    for c in [Coop::Vs, Coop::VA2s] {
+        let src = codelet_to_string(&coop_codelet(c, "float"));
+        assert!(src.contains("__shfl_down"), "{c:?}:\n{src}");
+        assert!(!src.contains("tmp["), "{c:?} staging array must be disabled");
+    }
+}
+
+/// Every synthesized kernel's text form re-assembles to the same
+/// instruction stream: the VIR text format is a faithful interchange
+/// format for the whole version space.
+#[test]
+fn kernel_text_round_trips_for_all_versions_and_ops() {
+    let tuning = Tuning { block_size: 128, coarsen: 4 };
+    for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+        for v in planner::enumerate_pruned() {
+            let sv = synthesize_op(v, tuning, op).unwrap();
+            for kernel in std::iter::once(&sv.main).chain(sv.second.as_ref()) {
+                let text = kernel.to_string();
+                let back = assemble(&text)
+                    .unwrap_or_else(|e| panic!("{v} ({op:?}): {e}\n{text}"));
+                assert_eq!(kernel.instrs, back.instrs, "{v} ({op:?})");
+                assert_eq!(kernel.params, back.params);
+                assert_eq!(kernel.static_smem, back.static_smem);
+                assert_eq!(kernel.dynamic_smem, back.dynamic_smem);
+            }
+        }
+    }
+}
+
+#[test]
+fn two_kernel_versions_carry_their_second_kernel() {
+    for v in planner::enumerate_original() {
+        let sv = synthesize(v, Tuning::default()).unwrap();
+        assert!(sv.second.is_some(), "{v} must have a partials kernel");
+    }
+    for v in planner::enumerate_pruned() {
+        let sv = synthesize(v, Tuning::default()).unwrap();
+        assert!(sv.second.is_none(), "{v} is single-kernel");
+    }
+}
+
+#[test]
+fn shared_memory_footprints_differ_as_the_paper_argues() {
+    // §III-B/§III-C: shared atomics and shuffles shrink the footprint.
+    let tuning = Tuning { block_size: 256, coarsen: 1 };
+    let smem = |label: char| {
+        let sv = synthesize(planner::fig6_by_label(label).unwrap(), tuning).unwrap();
+        sv.main.smem_bytes(sv.plan(1 << 20).dynamic_smem as u64)
+    };
+    let tree = smem('l'); // V: staging array + partials
+    let shuffled = smem('m'); // Vs: partials only
+    let atomic = smem('n'); // VA1: one accumulator
+    assert!(shuffled < tree, "shuffle shrinks shared memory: {shuffled} vs {tree}");
+    assert!(atomic < tree, "shared atomics shrink shared memory: {atomic} vs {tree}");
+}
+
+#[test]
+fn emitted_cuda_and_vir_stay_in_sync() {
+    // Both backends must agree on which versions use which features.
+    use tangram::tangram_codegen::version_cuda;
+    for v in planner::enumerate_pruned() {
+        let cuda = version_cuda(v, Tuning::default()).unwrap();
+        let sv = synthesize(v, Tuning::default()).unwrap();
+        let vir_has_shfl = sv
+            .main
+            .instrs
+            .iter()
+            .any(|i| matches!(i, gpu_sim::isa::Instr::Shfl { .. }));
+        assert_eq!(
+            cuda.contains("__shfl"),
+            vir_has_shfl,
+            "backend divergence on shuffles for {v}"
+        );
+        let vir_has_shared_atomic = sv.main.instrs.iter().any(|i| {
+            matches!(
+                i,
+                gpu_sim::isa::Instr::Atom { space: gpu_sim::isa::Space::Shared, .. }
+            )
+        });
+        let cuda_shared_atomic =
+            cuda.contains("atomicAdd(&") || cuda.contains("atomicAdd_block(");
+        assert_eq!(cuda_shared_atomic, vir_has_shared_atomic, "atomics diverge for {v}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests: for arbitrary inputs, sizes, versions and
+//! tunings, the synthesized GPU reduction matches the CPU oracle; the
+//! parser round-trips the printer; the passes preserve semantics.
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device};
+use proptest::prelude::*;
+use tangram::tangram_codegen::{synthesize, Tuning};
+use tangram::tangram_ir::print::codelet_to_string;
+use tangram::tangram_passes::planner;
+use tangram::{run_reduction, upload};
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    prop_oneof![
+        Just(ArchConfig::kepler_k40c()),
+        Just(ArchConfig::maxwell_gtx980()),
+        Just(ArchConfig::pascal_p100()),
+    ]
+}
+
+fn version_strategy() -> impl Strategy<Value = planner::CodeVersion> {
+    let pruned = planner::enumerate_pruned();
+    (0..pruned.len()).prop_map(move |i| pruned[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Any pruned version × tuning × size × integer data sums exactly.
+    #[test]
+    fn reduction_matches_oracle(
+        version in version_strategy(),
+        arch in arch_strategy(),
+        block_exp in 0u32..4,       // 32..256
+        coarsen_exp in 0u32..4,     // 1..8
+        n in 1usize..6000,
+        seed in any::<u32>(),
+    ) {
+        let tuning = Tuning { block_size: 32 << block_exp, coarsen: 1 << coarsen_exp };
+        // Small integer values: f32 addition is exact at these sizes.
+        let values: Vec<f32> = (0..n)
+            .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 9) % 7) as f32 - 3.0)
+            .collect();
+        let expect: f32 = values.iter().sum();
+        let sv = synthesize(version, tuning).unwrap();
+        let mut dev = Device::new(arch);
+        let input = upload(&mut dev, &values).unwrap();
+        let got = run_reduction(&mut dev, &sv, input, n as u64, BlockSelection::All).unwrap();
+        prop_assert_eq!(got, expect, "version {} n={}", sv.id(), n);
+    }
+
+    /// Printing a parsed codelet and re-parsing yields the same AST.
+    #[test]
+    fn print_parse_round_trip_on_corpus_mutations(which in 0usize..6, elem in 0usize..3) {
+        use tangram::tangram_passes::corpus;
+        let sources = [
+            corpus::FIG1A, corpus::FIG1B_TILED, corpus::FIG1B_STRIDED,
+            corpus::FIG1C, corpus::FIG3A, corpus::FIG3B,
+        ];
+        let elems = ["int", "float", "double"];
+        let c = corpus::parse_canonical(sources[which], elems[elem]);
+        let printed = codelet_to_string(&c);
+        let reparsed = tangram::tangram_lang::parse_codelets(&printed).unwrap().remove(0);
+        prop_assert_eq!(c, reparsed);
+    }
+
+    /// The shuffle pass preserves reduction semantics on every
+    /// architecture (pass output executes to the same value as its
+    /// input codelet, via the direct-coop versions that embed them).
+    #[test]
+    fn shuffle_pass_preserves_semantics(
+        n in 1usize..2000,
+        seed in any::<u32>(),
+        arch in arch_strategy(),
+    ) {
+        let values: Vec<f32> = (0..n)
+            .map(|i| (((i as u32) ^ seed) % 5) as f32)
+            .collect();
+        let tuning = Tuning { block_size: 128, coarsen: 1 };
+        let plain = synthesize(planner::fig6_by_label('l').unwrap(), tuning).unwrap();
+        let shuffled = synthesize(planner::fig6_by_label('m').unwrap(), tuning).unwrap();
+        let run = |sv| {
+            let mut dev = Device::new(arch.clone());
+            let input = upload(&mut dev, &values).unwrap();
+            run_reduction(&mut dev, sv, input, n as u64, BlockSelection::All).unwrap()
+        };
+        prop_assert_eq!(run(&plain), run(&shuffled));
+    }
+
+    /// Atomic-on-shared versions agree with the tree version.
+    #[test]
+    fn shared_atomic_versions_agree(
+        n in 1usize..2000,
+        seed in any::<u32>(),
+    ) {
+        let values: Vec<f32> = (0..n)
+            .map(|i| (((i as u32).wrapping_add(seed)) % 9) as f32 - 4.0)
+            .collect();
+        let tuning = Tuning { block_size: 64, coarsen: 1 };
+        let arch = ArchConfig::pascal_p100();
+        let run = |label| {
+            let sv = synthesize(planner::fig6_by_label(label).unwrap(), tuning).unwrap();
+            let mut dev = Device::new(arch.clone());
+            let input = upload(&mut dev, &values).unwrap();
+            run_reduction(&mut dev, &sv, input, n as u64, BlockSelection::All).unwrap()
+        };
+        let reference = run('l');
+        prop_assert_eq!(run('n'), reference);
+        prop_assert_eq!(run('o'), reference);
+        prop_assert_eq!(run('p'), reference);
+    }
+}

@@ -1,0 +1,79 @@
+//! Integration tests for the §IV-B search-space narrative, exercised
+//! through the public API.
+
+use tangram::tangram_passes::planner::{
+    self, BlockOp, Coop, Dist, GridOp, Reducer,
+};
+
+#[test]
+fn original_tangram_expresses_exactly_10_versions() {
+    assert_eq!(planner::enumerate_original().len(), 10);
+}
+
+#[test]
+fn pruning_keeps_30_single_kernel_versions() {
+    let pruned = planner::enumerate_pruned();
+    assert_eq!(pruned.len(), 30);
+    // "all of which use atomic instructions on global memory to reduce
+    // partial per-block sums" (§IV-B).
+    assert!(pruned.iter().all(|v| v.uses_global_atomics()));
+    assert!(pruned.iter().all(|v| !v.needs_second_kernel()));
+}
+
+#[test]
+fn category_counts_partition_the_space() {
+    let r = planner::search_space_report();
+    assert_eq!(r.original + r.global_atomic_only + r.shared_atomic + r.shuffle, r.total);
+    // The paper's reference counts are carried in the report.
+    assert_eq!(r.paper, (10, 89, 10, 38, 31, 30));
+}
+
+#[test]
+fn fig6_versions_use_global_atomic_tile_distribution() {
+    // "All of these 16 versions use Global Atomic Tile Distribution at
+    // the grid level" (§IV-B).
+    let tiled_atomic = GridOp { dist: Dist::Tiled, atomic: true };
+    for (label, v) in planner::fig6_versions() {
+        assert_eq!(v.grid, tiled_atomic, "fig6({label})");
+    }
+}
+
+#[test]
+fn fig6_contains_the_evaluations_winning_versions() {
+    // §IV-C names these versions as per-size winners.
+    assert_eq!(planner::fig6_by_label('p').unwrap().block, BlockOp::Coop(Coop::VA2s));
+    assert_eq!(planner::fig6_by_label('m').unwrap().block, BlockOp::Coop(Coop::Vs));
+    assert_eq!(planner::fig6_by_label('n').unwrap().block, BlockOp::Coop(Coop::VA1));
+    let b = planner::fig6_by_label('b').unwrap();
+    assert_eq!(b.block, BlockOp::Compound { dist: Dist::Strided, reducer: Reducer::Coop(Coop::Vs) });
+    let e = planner::fig6_by_label('e').unwrap();
+    assert_eq!(
+        e.block,
+        BlockOp::Compound { dist: Dist::Strided, reducer: Reducer::Coop(Coop::VA2s) }
+    );
+}
+
+#[test]
+fn eight_best_versions_are_highlighted() {
+    let best = planner::fig6_best();
+    assert_eq!(best.len(), 8);
+    for label in best {
+        assert!(planner::fig6_by_label(label).is_some());
+    }
+}
+
+#[test]
+fn component_feature_flags_are_consistent() {
+    for v in planner::enumerate_all() {
+        // A version cannot be original and use any new feature.
+        if v.is_original() {
+            assert!(!v.uses_global_atomics());
+            assert!(!v.uses_shared_atomics());
+            assert!(!v.uses_shuffle());
+        }
+        // VA2s counts as both shared-atomic and shuffle.
+        if v.block == BlockOp::Coop(Coop::VA2s) {
+            assert!(v.uses_shared_atomics() && v.uses_shuffle());
+        }
+    }
+}
