@@ -4,10 +4,11 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gpu_baselines::CubReduce;
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::{ArchConfig, Device};
+use tangram::evaluate::{evaluate_all, ContextPool, EvalOptions};
 use tangram::tangram_codegen::{synthesize, Tuning};
 use tangram::tangram_passes::planner;
 use tangram::{run_reduction, upload};
@@ -39,6 +40,52 @@ fn interpreter_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warp-issue dispatch: a deeply divergent kernel at an exact block
+/// count keeps the interpreter in `run_warp`'s issue loop, so this
+/// tracks the per-instruction hot path (no per-issue allocation, no
+/// `Instr` clone, array-based stat counters).
+fn warp_issue_dispatch(c: &mut Criterion) {
+    let n: u64 = 32_768;
+    let data: Vec<f32> = (0..n).map(|i| (i % 9) as f32).collect();
+    let arch = ArchConfig::maxwell_gtx980();
+    let mut group = c.benchmark_group("warp-issue");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    // (m) = tree reduction in shared memory: branch-heavy, barriers.
+    // (p) = shuffle + atomic: Shfl/Atom issue paths.
+    for label in ['m', 'p'] {
+        let sv = synthesize(planner::fig6_by_label(label).unwrap(), Tuning::default()).unwrap();
+        group.bench_function(format!("fig6-{label}/32K-exact"), |b| {
+            let mut dev = Device::new(arch.clone());
+            let input = upload(&mut dev, &data).unwrap();
+            b.iter(|| {
+                dev.reset_clock();
+                run_reduction(&mut dev, &sv, input, n, BlockSelection::All).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The full tuner sweep over the pruned space at one size — the
+/// workload the parallel evaluation engine accelerates. Serial and
+/// 4-worker variants bracket the engine overhead; BENCH_sweep.json
+/// records the wall-clock baselines from the release `sweep` binary.
+fn tuner_sweep(c: &mut Criterion) {
+    let n: u64 = 1 << 20;
+    let arch = ArchConfig::maxwell_gtx980();
+    let candidates = planner::enumerate_pruned();
+    let mut group = c.benchmark_group("tuner-sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for threads in [1usize, 4] {
+        let opts = EvalOptions::with_threads(threads);
+        group.bench_function(format!("pruned/1M/threads-{threads}"), |b| {
+            let pool = ContextPool::new(&arch, n);
+            b.iter(|| black_box(evaluate_all(&pool, &candidates, &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 fn synthesis_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesis");
     group.sample_size(30).measurement_time(Duration::from_secs(2));
@@ -52,6 +99,6 @@ fn synthesis_cost(c: &mut Criterion) {
 criterion_group! {
     name = simulator;
     config = Criterion::default().without_plots();
-    targets = interpreter_throughput, synthesis_cost
+    targets = interpreter_throughput, warp_issue_dispatch, tuner_sweep, synthesis_cost
 }
 criterion_main!(simulator);

@@ -5,14 +5,18 @@
 //! figures fig6                    # the 16 versions and their composition
 //! figures fig7 [--max-size N]     # best-version speedups, 3 architectures
 //! figures fig8|fig9|fig10 [...]   # per-architecture detail
-//! figures all [--max-size N] [--json PATH]
+//! figures all [--max-size N] [--json PATH] [--threads N]
 //! ```
+//!
+//! `--threads N` sets the evaluation engine's worker count (default:
+//! available parallelism). The output is bit-identical for any N.
 
 use std::fmt::Write as _;
 
 use gpu_sim::ArchConfig;
+use tangram::evaluate::EvalOptions;
 use tangram::paper_sizes;
-use tangram_bench::{arch_series, geomean_speedup, max_speedup, ArchSeries};
+use tangram_bench::{arch_series_with, geomean_speedup, max_speedup, ArchSeries, BaselineCache};
 use tangram_passes::planner;
 
 fn main() {
@@ -20,13 +24,17 @@ fn main() {
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let max_size: u64 = flag_value(&args, "--max-size").unwrap_or(256 << 20);
     let json_path = flag_str(&args, "--json");
+    let opts = match flag_value(&args, "--threads") {
+        Some(t) => EvalOptions::with_threads(t as usize),
+        None => EvalOptions::default(),
+    };
 
     let sizes: Vec<u64> = paper_sizes().into_iter().filter(|&n| n <= max_size).collect();
     match cmd {
         "table-search-space" => print_search_space(),
         "fig6" => print_fig6(),
         "fig7" => {
-            let all = run_all(&sizes);
+            let all = run_all(&sizes, &opts);
             print_fig7(&all);
             maybe_write_json(&all, json_path.as_deref());
         }
@@ -36,7 +44,8 @@ fn main() {
                 "fig9" => ArchConfig::maxwell_gtx980(),
                 _ => ArchConfig::pascal_p100(),
             };
-            let series = arch_series(&arch, &sizes).expect("figure sweep failed");
+            let series = arch_series_with(&arch, &sizes, &opts, &mut BaselineCache::new())
+                .expect("figure sweep failed");
             print_detail(cmd, &arch, &series);
             maybe_write_json(std::slice::from_ref(&series), json_path.as_deref());
         }
@@ -45,7 +54,7 @@ fn main() {
             println!();
             print_fig6();
             println!();
-            let all = run_all(&sizes);
+            let all = run_all(&sizes, &opts);
             print_fig7(&all);
             println!();
             let names = ["fig8", "fig9", "fig10"];
@@ -59,7 +68,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|all] [--max-size N] [--json PATH]");
+            eprintln!("usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|all] [--max-size N] [--json PATH] [--threads N]");
             std::process::exit(2);
         }
     }
@@ -73,12 +82,16 @@ fn flag_str(args: &[String], flag: &str) -> Option<String> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
 }
 
-fn run_all(sizes: &[u64]) -> Vec<ArchSeries> {
+fn run_all(sizes: &[u64], opts: &EvalOptions) -> Vec<ArchSeries> {
+    // One baseline cache across all three architectures: Fig. 7 and
+    // the per-arch detail figures then share each (arch, n) baseline
+    // measurement instead of repeating it.
+    let mut baselines = BaselineCache::new();
     ArchConfig::paper_archs()
         .iter()
         .map(|arch| {
             eprintln!("[figures] sweeping {} ...", arch.name);
-            arch_series(arch, sizes).expect("figure sweep failed")
+            arch_series_with(arch, sizes, opts, &mut baselines).expect("figure sweep failed")
         })
         .collect()
 }

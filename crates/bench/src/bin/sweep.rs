@@ -1,0 +1,77 @@
+//! Wall-clock benchmark of the full pruned-space selection sweep.
+//!
+//! ```text
+//! sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
+//!       [--threads T] [--json PATH]
+//! ```
+//!
+//! `--threads T` sets the evaluation engine's worker count (default:
+//! available parallelism). The winner and its modelled time are
+//! bit-identical for any T; only the wall-clock changes. `--json`
+//! appends one record per repeat to `PATH` (JSON lines).
+
+use std::time::Instant;
+
+use gpu_sim::ArchConfig;
+use tangram::evaluate::{default_threads, EvalOptions};
+use tangram::select::select_best_with;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: u64 = flag(&args, "--n").unwrap_or(1 << 22);
+    let repeat: u64 = flag(&args, "--repeat").unwrap_or(1);
+    let threads: usize = flag(&args, "--threads").map_or_else(default_threads, |t| t as usize);
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let arch_id = args
+        .iter()
+        .position(|a| a == "--arch")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "maxwell".to_string());
+    let arch = ArchConfig::paper_archs()
+        .into_iter()
+        .find(|a| a.id == arch_id)
+        .expect("unknown arch id");
+    let opts = EvalOptions::with_threads(threads);
+
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let (_tuned, row) = select_best_with(&arch, n, &opts).expect("sweep failed");
+        let wall = start.elapsed();
+        println!(
+            "sweep arch={} n={} threads={} wall_ms={:.1} winner={} block={} coarsen={} time_ns={}",
+            arch.id,
+            n,
+            threads,
+            wall.as_secs_f64() * 1e3,
+            row.version,
+            row.block_size,
+            row.coarsen,
+            row.time_ns
+        );
+        if let Some(path) = &json_path {
+            let record = format!(
+                "{{\"arch\":\"{}\",\"n\":{},\"threads\":{},\"wall_ms\":{:.3},\"winner\":\"{}\",\"block\":{},\"coarsen\":{},\"time_ns\":{}}}\n",
+                arch.id,
+                n,
+                threads,
+                wall.as_secs_f64() * 1e3,
+                row.version,
+                row.block_size,
+                row.coarsen,
+                row.time_ns
+            );
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .expect("open json log");
+            f.write_all(record.as_bytes()).expect("write json log");
+        }
+    }
+}
+
+fn flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))?.parse().ok()
+}

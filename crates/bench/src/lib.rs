@@ -12,12 +12,15 @@
 
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
+
 use cpu_ref::OpenMpModel;
 use gpu_baselines::{CubReduce, KokkosReduce};
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::{ArchConfig, Device, SimError};
 use serde::{Deserialize, Serialize};
-use tangram::select::{select_best, SelectionRow};
+use tangram::evaluate::EvalOptions;
+use tangram::select::{select_best_with, SelectionRow};
 
 /// One point of a Fig. 7–10 series.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -106,18 +109,85 @@ fn selection_for(grid: u32) -> BlockSelection {
     }
 }
 
+/// Memoized baseline measurements, keyed by `(arch id, n)`.
+///
+/// Fig. 7 is assembled from the same per-architecture series as
+/// Figs. 8–10, and every figure shares one size grid — so CUB, Kokkos
+/// and the OpenMP model are each measured once per `(arch, n)` and
+/// reused, instead of once per figure.
+#[derive(Debug, Default)]
+pub struct BaselineCache {
+    cub: HashMap<(String, u64), f64>,
+    kokkos: HashMap<(String, u64), f64>,
+    openmp: HashMap<u64, f64>,
+}
+
+impl BaselineCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// CUB time at `(arch, n)`, measured on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn cub(&mut self, arch: &ArchConfig, n: u64) -> Result<f64, SimError> {
+        if let Some(&t) = self.cub.get(&(arch.id.clone(), n)) {
+            return Ok(t);
+        }
+        let t = measure_cub(arch, n)?;
+        self.cub.insert((arch.id.clone(), n), t);
+        Ok(t)
+    }
+
+    /// Kokkos time at `(arch, n)`, measured on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn kokkos(&mut self, arch: &ArchConfig, n: u64) -> Result<f64, SimError> {
+        if let Some(&t) = self.kokkos.get(&(arch.id.clone(), n)) {
+            return Ok(t);
+        }
+        let t = measure_kokkos(arch, n)?;
+        self.kokkos.insert((arch.id.clone(), n), t);
+        Ok(t)
+    }
+
+    /// OpenMP (POWER8 model) time at `n` — architecture-independent.
+    pub fn openmp(&mut self, n: u64) -> f64 {
+        *self.openmp.entry(n).or_insert_with(|| OpenMpModel::power8_minsky().time_ns(n))
+    }
+}
+
 /// Produce the figure series for one architecture over `sizes`.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn arch_series(arch: &ArchConfig, sizes: &[u64]) -> Result<ArchSeries, SimError> {
-    let openmp = OpenMpModel::power8_minsky();
+    arch_series_with(arch, sizes, &EvalOptions::default(), &mut BaselineCache::new())
+}
+
+/// [`arch_series`] with an explicit evaluation-engine configuration
+/// and a shared [`BaselineCache`].
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn arch_series_with(
+    arch: &ArchConfig,
+    sizes: &[u64],
+    opts: &EvalOptions,
+    baselines: &mut BaselineCache,
+) -> Result<ArchSeries, SimError> {
     let mut points = Vec::with_capacity(sizes.len());
     for &n in sizes {
-        let (_tuned, row): (_, SelectionRow) = select_best(arch, n)?;
-        let cub_ns = measure_cub(arch, n)?;
-        let kokkos_ns = measure_kokkos(arch, n)?;
+        let (_tuned, row): (_, SelectionRow) = select_best_with(arch, n, opts)?;
+        let cub_ns = baselines.cub(arch, n)?;
+        let kokkos_ns = baselines.kokkos(arch, n)?;
         points.push(FigurePoint {
             n,
             tangram_ns: row.time_ns,
@@ -126,7 +196,7 @@ pub fn arch_series(arch: &ArchConfig, sizes: &[u64]) -> Result<ArchSeries, SimEr
             tuning: (row.block_size, row.coarsen),
             cub_ns,
             kokkos_ns,
-            openmp_ns: openmp.time_ns(n),
+            openmp_ns: baselines.openmp(n),
         });
     }
     Ok(ArchSeries { arch: arch.id.clone(), points })
@@ -150,6 +220,21 @@ pub fn max_speedup(points: &[FigurePoint]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_cache_measures_once_per_arch_and_size() {
+        let arch = ArchConfig::pascal_p100();
+        let mut cache = BaselineCache::new();
+        let first = cache.cub(&arch, 2048).unwrap();
+        assert_eq!(cache.cub.len(), 1);
+        let again = cache.cub(&arch, 2048).unwrap();
+        assert_eq!(first.to_bits(), again.to_bits());
+        assert_eq!(cache.cub.len(), 1, "repeat lookup must not re-measure");
+        // A different architecture is a distinct key.
+        cache.cub(&ArchConfig::kepler_k40c(), 2048).unwrap();
+        assert_eq!(cache.cub.len(), 2);
+        assert_eq!(cache.openmp(2048).to_bits(), cache.openmp(2048).to_bits());
+    }
 
     #[test]
     fn baselines_measure_positively() {

@@ -1,0 +1,44 @@
+//! Thread-count determinism: the parallel evaluation engine must
+//! produce bit-identical selection tables and figure JSON for
+//! `threads = 1` and `threads = 4`, on every paper architecture.
+
+use gpu_sim::ArchConfig;
+use tangram::evaluate::EvalOptions;
+use tangram::select::selection_table_with;
+use tangram_bench::{arch_series_with, BaselineCache};
+
+const SIZES: [u64; 2] = [1024, 16_384];
+
+#[test]
+fn selection_rows_are_identical_across_thread_counts() {
+    for arch in ArchConfig::paper_archs() {
+        let serial = selection_table_with(&arch, &SIZES, &EvalOptions::serial()).unwrap();
+        let parallel =
+            selection_table_with(&arch, &SIZES, &EvalOptions::with_threads(4)).unwrap();
+        let a = serde_json::to_string_pretty(&serial).unwrap();
+        let b = serde_json::to_string_pretty(&parallel).unwrap();
+        assert_eq!(a, b, "selection table differs on {}", arch.id);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.time_ns.to_bits(), p.time_ns.to_bits(), "modelled ns on {}", arch.id);
+        }
+    }
+}
+
+#[test]
+fn figure_json_is_identical_across_thread_counts() {
+    for arch in ArchConfig::paper_archs() {
+        let serial =
+            arch_series_with(&arch, &SIZES, &EvalOptions::serial(), &mut BaselineCache::new())
+                .unwrap();
+        let parallel = arch_series_with(
+            &arch,
+            &SIZES,
+            &EvalOptions::with_threads(4),
+            &mut BaselineCache::new(),
+        )
+        .unwrap();
+        let a = serde_json::to_string_pretty(&serial).unwrap();
+        let b = serde_json::to_string_pretty(&parallel).unwrap();
+        assert_eq!(a, b, "figure series differs on {}", arch.id);
+    }
+}

@@ -1,0 +1,119 @@
+//! Process-wide synthesis cache.
+//!
+//! Selection sweeps evaluate every candidate `(version, tuning)` pair
+//! once per `(arch, n)` launch, so the same kernels would otherwise be
+//! re-synthesized hundreds of times per figure. Synthesis is pure —
+//! the output depends only on `(version, tuning, op)` — so the cache
+//! keys on exactly that triple and hands out `Arc`s to a single
+//! synthesized artifact. The embedded [`gpu_sim::Kernel`] carries its
+//! own lazily-built CFG cache, which this sharing makes launch-global:
+//! `Cfg::build` also runs once per distinct kernel.
+//!
+//! Failed syntheses are **not** cached; errors carry no reusable
+//! artifact and the canonical corpus never fails, so negative caching
+//! would only mask bugs.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use tangram_passes::planner::CodeVersion;
+use tangram_passes::specialize::ReduceOp;
+
+use crate::error::CodegenError;
+use crate::vir::{synthesize_op, SynthesizedVersion, Tuning};
+
+type Key = (CodeVersion, Tuning, ReduceOp);
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<Key, Arc<SynthesizedVersion>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<SynthesizedVersion>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// [`synthesize_op`] through the process-wide cache.
+///
+/// Repeat calls with the same `(version, tuning, op)` return clones of
+/// the same `Arc` (pointer-equal), including across threads: when two
+/// workers race on a cold key both synthesize, but the loser adopts
+/// the winner's artifact so every caller observes one canonical copy.
+///
+/// # Errors
+///
+/// Propagates [`CodegenError`] from synthesis; failures are never
+/// cached, so a subsequent call retries.
+pub fn synthesize_cached(
+    version: CodeVersion,
+    tuning: Tuning,
+    op: ReduceOp,
+) -> Result<Arc<SynthesizedVersion>, CodegenError> {
+    let key = (version, tuning, op);
+    if let Some(sv) = cache().lock().get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(sv));
+    }
+    // Synthesize outside the lock so concurrent workers on different
+    // keys do not serialize behind one another.
+    let sv = Arc::new(synthesize_op(version, tuning, op)?);
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    Ok(Arc::clone(cache().lock().entry(key).or_insert(sv)))
+}
+
+/// Cumulative `(hits, misses)` of [`synthesize_cached`] for this
+/// process. Diagnostic only — the counters are process-global, so
+/// concurrent users (e.g. parallel tests) both advance them.
+pub fn synthesis_cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_passes::planner;
+
+    #[test]
+    fn repeat_tuning_hits_the_cache() {
+        let v = planner::fig6_by_label('a').unwrap();
+        let t = Tuning { block_size: 64, coarsen: 2 };
+        let first = synthesize_cached(v, t, ReduceOp::Sum).unwrap();
+        let (h0, _) = synthesis_cache_stats();
+        let second = synthesize_cached(v, t, ReduceOp::Sum).unwrap();
+        let (h1, _) = synthesis_cache_stats();
+        assert!(Arc::ptr_eq(&first, &second), "repeat lookup must share the artifact");
+        assert!(h1 > h0, "repeat lookup must count as a hit");
+        // The shared kernel also shares its CFG: building it through
+        // one handle makes it visible through the other.
+        let _ = first.main.cfg();
+        assert!(second.main.cfg_cache.is_built());
+    }
+
+    #[test]
+    fn distinct_versions_and_tunings_miss() {
+        let t = Tuning { block_size: 128, coarsen: 4 };
+        let a = synthesize_cached(planner::fig6_by_label('a').unwrap(), t, ReduceOp::Sum).unwrap();
+        let b = synthesize_cached(planner::fig6_by_label('b').unwrap(), t, ReduceOp::Sum).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "different versions must synthesize separately");
+        let t2 = Tuning { block_size: 128, coarsen: 8 };
+        let a2 = synthesize_cached(planner::fig6_by_label('a').unwrap(), t2, ReduceOp::Sum).unwrap();
+        assert!(!Arc::ptr_eq(&a, &a2), "different tunings must synthesize separately");
+        let amax =
+            synthesize_cached(planner::fig6_by_label('a').unwrap(), t, ReduceOp::Max).unwrap();
+        assert!(!Arc::ptr_eq(&a, &amax), "different operators must synthesize separately");
+    }
+
+    #[test]
+    fn cached_artifact_matches_a_fresh_synthesis() {
+        let v = planner::fig6_by_label('g').unwrap();
+        let t = Tuning { block_size: 256, coarsen: 4 };
+        let cached = synthesize_cached(v, t, ReduceOp::Sum).unwrap();
+        let fresh = synthesize_op(v, t, ReduceOp::Sum).unwrap();
+        assert_eq!(cached.main.instrs, fresh.main.instrs);
+        assert_eq!(
+            cached.second.as_ref().map(|k| &k.instrs),
+            fresh.second.as_ref().map(|k| &k.instrs)
+        );
+    }
+}

@@ -15,11 +15,13 @@
 //!   Listings 1–4 (golden-tested).
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cuda;
 pub mod error;
 pub mod lower;
 pub mod vir;
 
+pub use cache::{synthesis_cache_stats, synthesize_cached};
 pub use cuda::{coop_kernel_cuda, version_cuda};
 pub use error::CodegenError;
 pub use vir::{synthesize, LaunchPlan, SynthesizedVersion, Tuning};

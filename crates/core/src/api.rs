@@ -13,7 +13,7 @@ use gpu_sim::{ArchConfig, Device, SimError};
 use tangram_codegen::CodegenError;
 use tangram_passes::planner::CodeVersion;
 
-use tangram_codegen::vir::synthesize_op;
+use tangram_codegen::synthesize_cached;
 use tangram_passes::specialize::ReduceOp;
 
 use crate::runner::{run_reduction, upload};
@@ -178,7 +178,7 @@ impl Reducer {
         let sv = if op == ReduceOp::Sum {
             tuned.synthesized.clone()
         } else {
-            synthesize_op(tuned.synthesized.version, tuned.synthesized.tuning, op)?
+            synthesize_cached(tuned.synthesized.version, tuned.synthesized.tuning, op)?
         };
         let mut dev = Device::new(self.arch.clone());
         let input = upload(&mut dev, data)?;

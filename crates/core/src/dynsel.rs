@@ -10,11 +10,13 @@
 //! that size class without further profiling.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::{ArchConfig, Device, DevicePtr, SimError};
-use tangram_codegen::{synthesize, SynthesizedVersion, Tuning};
+use tangram_codegen::{synthesize_cached, SynthesizedVersion, Tuning};
 use tangram_passes::planner::{self, CodeVersion};
+use tangram_passes::specialize::ReduceOp;
 
 use crate::runner::run_reduction;
 
@@ -31,8 +33,8 @@ struct Candidate {
 /// Outcome of a dynamic selection for one size class.
 #[derive(Debug, Clone)]
 pub struct DynChoice {
-    /// The synthesized winner.
-    pub synthesized: SynthesizedVersion,
+    /// The synthesized winner (shared with the synthesis cache).
+    pub synthesized: Arc<SynthesizedVersion>,
     /// Modelled profile time of the winner on the sample (ns).
     pub profile_ns: f64,
     /// How many candidates were profiled.
@@ -127,7 +129,9 @@ impl DynamicSelector {
         let mut best: Option<DynChoice> = None;
         let mut profiled = 0;
         for cand in Self::candidates() {
-            let Ok(sv) = synthesize(cand.version, cand.tuning) else { continue };
+            let Ok(sv) = synthesize_cached(cand.version, cand.tuning, ReduceOp::Sum) else {
+                continue;
+            };
             dev.reset_clock();
             match run_reduction(dev, &sv, input, sample, BlockSelection::All) {
                 Ok(_) => {

@@ -1,0 +1,316 @@
+//! The parallel variant-evaluation engine.
+//!
+//! A selection sweep measures every candidate `(version, block_size,
+//! coarsen)` triple under the cost model. The measurements are
+//! independent — each runs on its own simulated device — so this
+//! module fans them out over a scoped worker pool: a shared atomic
+//! work index hands out jobs in the **canonical enumeration order**
+//! (candidate-major, then [`BLOCK_SIZES`], then the version's coarsen
+//! options), each worker owns a [`BenchContext`] checked out of a
+//! reusable pool, and results land in per-job slots.
+//!
+//! ## Determinism
+//!
+//! Thread count never changes the answer. Each measurement is a pure
+//! function of `(arch, n, version, tuning)` — the simulator has no
+//! global state and synthesis is cached but pure — and the winner is
+//! reduced *after* the fan-out by walking the job slots in canonical
+//! order with a strict `<` comparison, exactly the serial loop's
+//! tie-break (earliest candidate wins ties). `threads = 1` and
+//! `threads = N` therefore produce bit-identical winners and times.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use gpu_sim::{ArchConfig, SimError};
+use parking_lot::Mutex;
+use tangram_codegen::{synthesize_cached, SynthesizedVersion, Tuning};
+use tangram_passes::planner::{BlockOp, CodeVersion};
+use tangram_passes::specialize::ReduceOp;
+
+use crate::tuner::{BenchContext, BLOCK_SIZES, COARSEN};
+
+/// How a sweep distributes its measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Worker threads. `1` measures on the calling thread; larger
+    /// values spawn a scoped pool. Clamped to at least 1.
+    pub threads: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { threads: default_threads() }
+    }
+}
+
+impl EvalOptions {
+    /// Measure everything on the calling thread (the seed behavior).
+    pub fn serial() -> Self {
+        EvalOptions { threads: 1 }
+    }
+
+    /// Use exactly `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        EvalOptions { threads: threads.max(1) }
+    }
+}
+
+/// The host's available parallelism (1 if it cannot be queried).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// The coarsening factors the sweep tries for `version`: cooperative
+/// block codelets take no coarsening, compound ones sweep [`COARSEN`].
+pub fn coarsen_options(version: CodeVersion) -> &'static [u32] {
+    match version.block {
+        BlockOp::Coop(_) => &[1],
+        _ => &COARSEN,
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Index of the version in the candidate slice.
+    pub candidate: usize,
+    /// The measured version.
+    pub version: CodeVersion,
+    /// The tuning it ran with.
+    pub tuning: Tuning,
+    /// Modelled time (ns).
+    pub time_ns: f64,
+    /// The synthesized kernels (shared with the synthesis cache).
+    pub synthesized: Arc<SynthesizedVersion>,
+}
+
+#[derive(Clone, Copy)]
+struct Job {
+    candidate: usize,
+    version: CodeVersion,
+    tuning: Tuning,
+}
+
+fn jobs_for(candidates: &[CodeVersion]) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (candidate, &version) in candidates.iter().enumerate() {
+        for &block_size in &BLOCK_SIZES {
+            for &coarsen in coarsen_options(version) {
+                jobs.push(Job { candidate, version, tuning: Tuning { block_size, coarsen } });
+            }
+        }
+    }
+    jobs
+}
+
+/// Measure one job; `Ok(None)` marks an infeasible combination
+/// (synthesis failure or a launch exceeding hardware limits).
+fn measure_job(ctx: &mut BenchContext, job: Job) -> Result<Option<Measurement>, SimError> {
+    let Ok(sv) = synthesize_cached(job.version, job.tuning, ReduceOp::Sum) else {
+        return Ok(None);
+    };
+    match ctx.measure(&sv) {
+        Ok(time_ns) => Ok(Some(Measurement {
+            candidate: job.candidate,
+            version: job.version,
+            tuning: job.tuning,
+            time_ns,
+            synthesized: sv,
+        })),
+        Err(SimError::InvalidLaunch(_)) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// A checkout pool of [`BenchContext`]s for one `(arch, n)` sweep.
+///
+/// Workers acquire a context for their lifetime and return it on
+/// exit, so a pool that outlives one [`evaluate_all`] call (e.g.
+/// across the candidate batches of a figure) amortizes the device and
+/// input allocations instead of repaying them per batch.
+#[derive(Debug)]
+pub struct ContextPool {
+    arch: ArchConfig,
+    n: u64,
+    free: Mutex<Vec<BenchContext>>,
+}
+
+impl ContextPool {
+    /// A pool producing contexts for arrays of `n` elements on `arch`.
+    pub fn new(arch: &ArchConfig, n: u64) -> Self {
+        ContextPool { arch: arch.clone(), n, free: Mutex::new(Vec::new()) }
+    }
+
+    /// Check a context out, allocating only when the pool is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors from [`BenchContext::new`].
+    pub fn acquire(&self) -> Result<BenchContext, SimError> {
+        if let Some(ctx) = self.free.lock().pop() {
+            return Ok(ctx);
+        }
+        BenchContext::new(&self.arch, self.n)
+    }
+
+    /// Return a context for reuse.
+    pub fn release(&self, ctx: BenchContext) {
+        self.free.lock().push(ctx);
+    }
+}
+
+/// Measure every candidate tuning of the sweep, fanning jobs over
+/// `opts.threads` workers.
+///
+/// The returned vector has one slot per job in canonical enumeration
+/// order; `None` marks infeasible combinations. The slot layout (and
+/// every value in it) is identical for any thread count.
+///
+/// # Errors
+///
+/// Propagates the first hard simulator error in canonical job order.
+/// Infeasible jobs ([`SimError::InvalidLaunch`] and synthesis
+/// failures) are recorded as `None`, not errors.
+pub fn evaluate_all(
+    pool: &ContextPool,
+    candidates: &[CodeVersion],
+    opts: &EvalOptions,
+) -> Result<Vec<Option<Measurement>>, SimError> {
+    let jobs = jobs_for(candidates);
+    let threads = opts.threads.max(1).min(jobs.len().max(1));
+
+    if threads <= 1 {
+        let mut ctx = pool.acquire()?;
+        let mut out = Vec::with_capacity(jobs.len());
+        for &job in &jobs {
+            out.push(measure_job(&mut ctx, job)?);
+        }
+        pool.release(ctx);
+        return Ok(out);
+    }
+
+    let mut slots: Vec<Option<Measurement>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
+    let results = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    // First hard error by canonical job index. Claims are handed out
+    // in index order, so every job before an erroring one was claimed
+    // (and ran to completion) — the minimum recorded index is the
+    // same job the serial loop would have failed on.
+    let first_err: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut ctx = match pool.acquire() {
+                    Ok(ctx) => ctx,
+                    Err(e) => {
+                        record_err(&first_err, 0, e);
+                        abort.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() || abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match measure_job(&mut ctx, jobs[i]) {
+                        Ok(m) => results.lock()[i] = m,
+                        Err(e) => {
+                            record_err(&first_err, i, e);
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                pool.release(ctx);
+            });
+        }
+    });
+
+    if let Some((_, e)) = first_err.into_inner() {
+        return Err(e);
+    }
+    Ok(results.into_inner())
+}
+
+fn record_err(first_err: &Mutex<Option<(usize, SimError)>>, i: usize, e: SimError) {
+    let mut slot = first_err.lock();
+    if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+        *slot = Some((i, e));
+    }
+}
+
+/// The sweep winner: the first canonical slot strictly faster than
+/// everything after it — the serial loop's exact tie-break.
+pub fn best_measurement(results: &[Option<Measurement>]) -> Option<&Measurement> {
+    let mut best: Option<&Measurement> = None;
+    for m in results.iter().flatten() {
+        if best.is_none_or(|b| m.time_ns < b.time_ns) {
+            best = Some(m);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_passes::planner;
+
+    fn candidates() -> Vec<CodeVersion> {
+        planner::fig6_best()
+            .into_iter()
+            .take(4)
+            .map(|l| planner::fig6_by_label(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn canonical_order_is_candidate_major() {
+        let cands = candidates();
+        let jobs = jobs_for(&cands);
+        let per_candidate: usize = BLOCK_SIZES.len() * coarsen_options(cands[0]).len();
+        assert_eq!(jobs[0].candidate, 0);
+        assert_eq!(jobs[per_candidate].candidate, 1);
+        assert!(jobs.windows(2).all(|w| w[0].candidate <= w[1].candidate));
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 65_536);
+        let serial = evaluate_all(&pool, &cands, &EvalOptions::serial()).unwrap();
+        let parallel = evaluate_all(&pool, &cands, &EvalOptions::with_threads(4)).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            match (s, p) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.tuning, b.tuning);
+                    assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits());
+                }
+                _ => panic!("feasibility differs between thread counts"),
+            }
+        }
+        let (bs, bp) = (best_measurement(&serial).unwrap(), best_measurement(&parallel).unwrap());
+        assert_eq!(bs.version, bp.version);
+        assert_eq!(bs.tuning, bp.tuning);
+        assert_eq!(bs.time_ns.to_bits(), bp.time_ns.to_bits());
+    }
+
+    #[test]
+    fn pool_reuses_released_contexts() {
+        let arch = ArchConfig::kepler_k40c();
+        let pool = ContextPool::new(&arch, 1024);
+        let a = pool.acquire().unwrap();
+        let input = a.input;
+        pool.release(a);
+        let b = pool.acquire().unwrap();
+        assert_eq!(b.input, input, "released context is checked out again");
+    }
+}

@@ -37,6 +37,7 @@
 //! | [`api`] | user-facing [`Reducer`] with per-size version selection |
 //! | [`pipeline`] | the Fig. 5 pre-processing pipeline, inspectable |
 //! | [`tuner`] | `__tunable` parameter sweeps (§IV-C) |
+//! | [`evaluate`] | the parallel variant-evaluation engine |
 //! | [`select`] | best-version selection across the pruned space |
 //! | [`dynsel`] | DySel-style runtime selection (micro-profiling) |
 //! | [`runner`] | executing synthesized versions on the device |
@@ -45,16 +46,21 @@
 
 pub mod api;
 pub mod dynsel;
+pub mod evaluate;
 pub mod pipeline;
 pub mod runner;
 pub mod select;
 pub mod tuner;
 
 pub use api::{Reducer, SumResult, TangramError};
+pub use evaluate::{evaluate_all, ContextPool, EvalOptions};
 pub use tangram_passes::specialize::ReduceOp;
 pub use pipeline::{run_pipeline, PipelineReport};
 pub use runner::{run_reduction, upload};
-pub use select::{paper_sizes, select_best, selection_table, SelectionRow};
+pub use select::{
+    paper_sizes, select_best, select_best_with, selection_table, selection_table_with,
+    SelectionRow,
+};
 pub use tuner::{measure, tune, TunedVersion};
 
 // Re-export the component crates for downstream users and examples.

@@ -7,7 +7,8 @@ use gpu_sim::{ArchConfig, SimError};
 use serde::{Deserialize, Serialize};
 use tangram_passes::planner::{self, CodeVersion};
 
-use crate::tuner::{tune_in, BenchContext, TunedVersion};
+use crate::evaluate::{best_measurement, evaluate_all, ContextPool, EvalOptions};
+use crate::tuner::TunedVersion;
 
 /// One row of a selection sweep: the winning version for a size.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,13 +28,26 @@ pub struct SelectionRow {
 }
 
 /// Find the fastest pruned version for `n` elements on `arch`,
-/// tuning each candidate.
+/// tuning each candidate. Uses the engine's default thread count.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
 pub fn select_best(arch: &ArchConfig, n: u64) -> Result<(TunedVersion, SelectionRow), SimError> {
     select_best_of(arch, n, &planner::enumerate_pruned())
+}
+
+/// [`select_best`] with an explicit [`EvalOptions`].
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn select_best_with(
+    arch: &ArchConfig,
+    n: u64,
+    opts: &EvalOptions,
+) -> Result<(TunedVersion, SelectionRow), SimError> {
+    select_best_of_with(arch, n, &planner::enumerate_pruned(), opts)
 }
 
 /// Find the fastest among `candidates` for `n` elements on `arch`.
@@ -47,28 +61,37 @@ pub fn select_best_of(
     n: u64,
     candidates: &[CodeVersion],
 ) -> Result<(TunedVersion, SelectionRow), SimError> {
-    let mut ctx = BenchContext::new(arch, n)?;
-    let mut best: Option<(TunedVersion, CodeVersion)> = None;
-    for &v in candidates {
-        match tune_in(&mut ctx, v) {
-            Ok(t) => {
-                if best.as_ref().is_none_or(|(b, _)| t.time_ns < b.time_ns) {
-                    best = Some((t, v));
-                }
-            }
-            Err(SimError::InvalidLaunch(_)) => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    let (tuned, version) =
-        best.ok_or_else(|| SimError::InvalidLaunch("no feasible version".into()))?;
+    select_best_of_with(arch, n, candidates, &EvalOptions::default())
+}
+
+/// [`select_best_of`] with an explicit [`EvalOptions`]: fans the
+/// candidate measurements over the engine's worker pool and reduces
+/// in canonical order, so the winner is identical for every thread
+/// count.
+///
+/// # Errors
+///
+/// Propagates simulator errors; errors from infeasible candidates are
+/// skipped.
+pub fn select_best_of_with(
+    arch: &ArchConfig,
+    n: u64,
+    candidates: &[CodeVersion],
+    opts: &EvalOptions,
+) -> Result<(TunedVersion, SelectionRow), SimError> {
+    let pool = ContextPool::new(arch, n);
+    let results = evaluate_all(&pool, candidates, opts)?;
+    let best = best_measurement(&results)
+        .ok_or_else(|| SimError::InvalidLaunch("no feasible version".into()))?;
+    let tuned =
+        TunedVersion { synthesized: best.synthesized.clone(), time_ns: best.time_ns };
     let row = SelectionRow {
         n,
-        version,
-        fig6_label: fig6_label_of(version),
-        block_size: tuned.synthesized.tuning.block_size,
-        coarsen: tuned.synthesized.tuning.coarsen,
-        time_ns: tuned.time_ns,
+        version: best.version,
+        fig6_label: fig6_label_of(best.version),
+        block_size: best.tuning.block_size,
+        coarsen: best.tuning.coarsen,
+        time_ns: best.time_ns,
     };
     Ok((tuned, row))
 }
@@ -89,7 +112,20 @@ pub fn paper_sizes() -> Vec<u64> {
 ///
 /// Propagates simulator errors.
 pub fn selection_table(arch: &ArchConfig, sizes: &[u64]) -> Result<Vec<SelectionRow>, SimError> {
-    sizes.iter().map(|&n| select_best(arch, n).map(|(_, row)| row)).collect()
+    selection_table_with(arch, sizes, &EvalOptions::default())
+}
+
+/// [`selection_table`] with an explicit [`EvalOptions`].
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn selection_table_with(
+    arch: &ArchConfig,
+    sizes: &[u64],
+    opts: &EvalOptions,
+) -> Result<Vec<SelectionRow>, SimError> {
+    sizes.iter().map(|&n| select_best_with(arch, n, opts).map(|(_, row)| row)).collect()
 }
 
 #[cfg(test)]

@@ -10,11 +10,15 @@
 //! largest size (256M elements, 1 GiB) re-allocating per candidate
 //! would dominate.
 
+use std::sync::Arc;
+
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::{ArchConfig, Device, DevicePtr, SimError};
-use tangram_codegen::{synthesize, SynthesizedVersion, Tuning};
-use tangram_passes::planner::{BlockOp, CodeVersion};
+use tangram_codegen::{synthesize_cached, SynthesizedVersion, Tuning};
+use tangram_passes::planner::CodeVersion;
+use tangram_passes::specialize::ReduceOp;
 
+use crate::evaluate::coarsen_options;
 use crate::runner::{run_reduction, upload};
 
 /// Block sizes the tuner sweeps.
@@ -28,8 +32,9 @@ const SAMPLE_GRID_THRESHOLD: u32 = 64;
 /// Outcome of tuning one version for one array size.
 #[derive(Debug, Clone)]
 pub struct TunedVersion {
-    /// The synthesized kernels at the winning tuning.
-    pub synthesized: SynthesizedVersion,
+    /// The synthesized kernels at the winning tuning (shared with the
+    /// process-wide synthesis cache).
+    pub synthesized: Arc<SynthesizedVersion>,
     /// Modelled time at the winning tuning (ns).
     pub time_ns: f64,
 }
@@ -100,15 +105,11 @@ pub fn measure(arch: &ArchConfig, sv: &SynthesizedVersion, n: u64) -> Result<f64
 /// Propagates simulator errors. Tuning combinations that exceed
 /// hardware limits (e.g. shared memory) are skipped.
 pub fn tune_in(ctx: &mut BenchContext, version: CodeVersion) -> Result<TunedVersion, SimError> {
-    let coarsen_options: &[u32] = match version.block {
-        BlockOp::Coop(_) => &[1],
-        _ => &COARSEN,
-    };
     let mut best: Option<TunedVersion> = None;
     for &block_size in &BLOCK_SIZES {
-        for &coarsen in coarsen_options {
+        for &coarsen in coarsen_options(version) {
             let tuning = Tuning { block_size, coarsen };
-            let Ok(sv) = synthesize(version, tuning) else { continue };
+            let Ok(sv) = synthesize_cached(version, tuning, ReduceOp::Sum) else { continue };
             match ctx.measure(&sv) {
                 Ok(time_ns) => {
                     if best.as_ref().is_none_or(|b| time_ns < b.time_ns) {
@@ -152,6 +153,7 @@ pub fn verify(arch: &ArchConfig, tuned: &TunedVersion, data: &[f32]) -> Result<b
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tangram_codegen::synthesize;
     use tangram_passes::planner;
 
     #[test]

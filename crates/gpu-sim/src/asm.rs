@@ -137,6 +137,7 @@ impl Assembler {
             dynamic_smem: self.dynamic_smem,
             num_regs: (self.max_reg + 1) as u16,
             num_preds: (self.max_pred + 1) as u16,
+            cfg_cache: Default::default(),
         };
         kernel.validate()?;
         Ok(kernel)

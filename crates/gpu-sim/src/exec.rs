@@ -12,17 +12,21 @@
 //! transactions, bank conflicts, atomic contention chains and
 //! divergence counters.
 
-use std::collections::HashMap;
-
 use crate::arch::ArchConfig;
 use crate::cfg::Cfg;
 use crate::error::SimError;
+use crate::hash::FxHashMap;
 use crate::isa::{
     Address, AtomOp, BinOp, CmpOp, Instr, Operand, ShflMode, Space, Sreg, Ty, UnOp,
 };
 use crate::kernel::{Kernel, ParamKind};
 use crate::memory::{bank_conflict_degree, coalesced_transactions, LinearMemory};
 use crate::stats::LaunchStats;
+
+/// Maximum lanes per warp the interpreter's stack-allocated per-issue
+/// buffers accommodate (active masks are `u32`, so this is a hard
+/// architectural bound, not a tunable).
+const MAX_LANES: usize = 32;
 
 /// Default per-block dynamic instruction budget (runaway-loop guard).
 pub const DEFAULT_BUDGET: u64 = 1 << 33;
@@ -138,7 +142,6 @@ struct WarpExec {
     warp_id: u32,
     stack: Vec<StackEntry>,
     exited: u32,
-    at_barrier: bool,
 }
 
 enum WarpStop {
@@ -147,6 +150,10 @@ enum WarpStop {
 }
 
 /// Per-block execution context.
+///
+/// Register/predicate files, shared memory and the per-address chain
+/// tracker are *borrowed* from buffers owned by [`run_kernel`] and
+/// reused (cleared, not reallocated) across every block of the launch.
 struct BlockCtx<'a> {
     kernel: &'a Kernel,
     cfg: &'a Cfg,
@@ -155,13 +162,13 @@ struct BlockCtx<'a> {
     block_id: u32,
     block_dim: u32,
     grid_dim: u32,
-    regs: Vec<u64>,
-    preds: Vec<bool>,
-    smem: LinearMemory,
+    regs: &'a mut [u64],
+    preds: &'a mut [bool],
+    smem: &'a mut LinearMemory,
     stats: LaunchStats,
     budget: u64,
     /// Per-address shared atomic chains within this block.
-    shared_chains: HashMap<u64, u64>,
+    shared_chains: &'a mut FxHashMap<u64, u64>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -428,7 +435,7 @@ pub fn run_kernel(
         )));
     }
 
-    let cfg = Cfg::build(kernel);
+    let cfg = kernel.cfg();
     let params: Vec<u64> = args.iter().map(|a| a.raw()).collect();
 
     // Decide which blocks to run.
@@ -451,26 +458,38 @@ pub fn run_kernel(
     };
 
     let mut total = LaunchStats { block_size: dims.block, warps_per_block: dims.block.div_ceil(arch.warp_size), ..Default::default() };
-    let mut global_chains: HashMap<u64, u64> = HashMap::new();
+    let mut global_chains: FxHashMap<u64, u64> = FxHashMap::default();
     let mut interior_stats: Option<LaunchStats> = None;
 
+    // Buffers reused across every sampled block: allocated once per
+    // launch, cleared (not reallocated) between blocks.
+    let mut regs = vec![0u64; dims.block as usize * kernel.num_regs as usize];
+    let mut preds = vec![false; dims.block as usize * kernel.num_preds.max(1) as usize];
+    let mut smem = LinearMemory::new(smem_bytes, "shared");
+    let mut shared_chains: FxHashMap<u64, u64> = FxHashMap::default();
+    let mut warps: Vec<WarpExec> = Vec::new();
+
     for &block_id in &blocks_to_run {
+        regs.fill(0);
+        preds.fill(false);
+        smem.clear();
+        shared_chains.clear();
         let mut ctx = BlockCtx {
             kernel,
-            cfg: &cfg,
+            cfg,
             arch,
             params: &params,
             block_id,
             block_dim: dims.block,
             grid_dim: dims.grid,
-            regs: vec![0u64; dims.block as usize * kernel.num_regs as usize],
-            preds: vec![false; dims.block as usize * kernel.num_preds.max(1) as usize],
-            smem: LinearMemory::new(smem_bytes, "shared"),
+            regs: &mut regs,
+            preds: &mut preds,
+            smem: &mut smem,
             stats: LaunchStats::default(),
             budget: DEFAULT_BUDGET,
-            shared_chains: HashMap::new(),
+            shared_chains: &mut shared_chains,
         };
-        run_block(&mut ctx, global, &mut global_chains)?;
+        run_block(&mut ctx, global, &mut global_chains, &mut warps)?;
         let block_chain = ctx.shared_chains.values().copied().max().unwrap_or(0);
         ctx.stats.shared_atomic_max_chain_per_block = block_chain;
         ctx.stats.blocks = 1;
@@ -515,9 +534,7 @@ pub fn run_kernel(
 
 fn scale_stats(s: &mut LaunchStats, f: f64) {
     let m = |v: &mut u64| *v = (*v as f64 * f).round() as u64;
-    for v in s.warp_instrs.values_mut() {
-        m(v);
-    }
+    s.warp_instrs.scale(f);
     m(&mut s.thread_instrs);
     m(&mut s.divergent_issues);
     m(&mut s.divergent_branches);
@@ -546,49 +563,47 @@ fn full_mask(lanes: u32) -> u32 {
 fn run_block(
     ctx: &mut BlockCtx<'_>,
     global: &mut LinearMemory,
-    global_chains: &mut HashMap<u64, u64>,
+    global_chains: &mut FxHashMap<u64, u64>,
+    warps: &mut Vec<WarpExec>,
 ) -> Result<(), SimError> {
     let warp_size = ctx.arch.warp_size;
-    let n_warps = ctx.block_dim.div_ceil(warp_size);
-    let mut warps: Vec<WarpExec> = (0..n_warps)
-        .map(|w| {
-            let lanes_in_warp = (ctx.block_dim - w * warp_size).min(warp_size);
-            WarpExec {
-                warp_id: w,
-                stack: vec![StackEntry { reconv: RECONV_NONE, pc: 0, mask: full_mask(lanes_in_warp) }],
-                exited: 0,
-                at_barrier: false,
-            }
-        })
-        .collect();
+    let n_warps = ctx.block_dim.div_ceil(warp_size) as usize;
 
+    // Reset the caller-owned warp buffer in place; the divergence
+    // stacks keep their heap capacity across blocks.
+    warps.truncate(n_warps);
+    for (w, warp) in warps.iter_mut().enumerate() {
+        let lanes_in_warp = (ctx.block_dim - w as u32 * warp_size).min(warp_size);
+        warp.warp_id = w as u32;
+        warp.exited = 0;
+        warp.stack.clear();
+        warp.stack.push(StackEntry { reconv: RECONV_NONE, pc: 0, mask: full_mask(lanes_in_warp) });
+    }
+    for w in warps.len() as u32..n_warps as u32 {
+        let lanes_in_warp = (ctx.block_dim - w * warp_size).min(warp_size);
+        warps.push(WarpExec {
+            warp_id: w,
+            stack: vec![StackEntry { reconv: RECONV_NONE, pc: 0, mask: full_mask(lanes_in_warp) }],
+            exited: 0,
+        });
+    }
+
+    // Each scheduling round runs every live warp until it either hits
+    // a barrier or retires, so a round with zero barrier stops means
+    // every warp has exited. Warps that stopped at a barrier resume on
+    // the next round (their pc already points past the `Bar`), which
+    // is exactly the barrier release.
     loop {
-        let mut progressed = false;
-        for w in 0..warps.len() {
-            if warps[w].stack.is_empty() || warps[w].at_barrier {
-                continue;
+        let mut waiting = 0usize;
+        for warp in warps.iter_mut() {
+            if warp.stack.is_empty() {
+                continue; // retired in an earlier round
             }
-            match run_warp(ctx, &mut warps[w], global, global_chains)? {
-                WarpStop::Barrier => {
-                    warps[w].at_barrier = true;
-                }
-                WarpStop::Done => {}
+            if matches!(run_warp(ctx, warp, global, global_chains)?, WarpStop::Barrier) {
+                waiting += 1;
             }
-            progressed = true;
         }
-        let all_blocked = warps.iter().all(|w| w.stack.is_empty() || w.at_barrier);
-        if all_blocked {
-            let any_waiting = warps.iter().any(|w| w.at_barrier);
-            if !any_waiting {
-                break; // everyone exited
-            }
-            // Release the barrier.
-            for w in &mut warps {
-                w.at_barrier = false;
-            }
-            continue;
-        }
-        if !progressed {
+        if waiting == 0 {
             break;
         }
     }
@@ -600,10 +615,14 @@ fn run_warp(
     ctx: &mut BlockCtx<'_>,
     warp: &mut WarpExec,
     global: &mut LinearMemory,
-    global_chains: &mut HashMap<u64, u64>,
+    global_chains: &mut FxHashMap<u64, u64>,
 ) -> Result<WarpStop, SimError> {
     let warp_size = ctx.arch.warp_size;
     let base_thread = warp.warp_id * warp_size;
+    // Copy the `&Kernel` out of the context so instruction borrows do
+    // not alias the `&mut ctx` the execution arms need.
+    let kernel = ctx.kernel;
+    let instrs = kernel.instrs.as_slice();
     loop {
         // Pop completed or emptied divergence entries.
         loop {
@@ -619,23 +638,23 @@ fn run_warp(
         let top = *warp.stack.last().unwrap();
         let active = top.mask & !warp.exited;
         let pc = top.pc;
-        if pc >= ctx.kernel.instrs.len() {
+        if pc >= instrs.len() {
             // Fell off the end (treated as exit for the active lanes).
             warp.exited |= active;
             warp.stack.pop();
             continue;
         }
         if ctx.budget == 0 {
-            return Err(SimError::Timeout { kernel: ctx.kernel.name.clone(), budget: DEFAULT_BUDGET });
+            return Err(SimError::Timeout { kernel: kernel.name.clone(), budget: DEFAULT_BUDGET });
         }
         ctx.budget -= 1;
 
-        let instr = ctx.kernel.instrs[pc].clone();
+        let instr = &instrs[pc];
         let n_active = active.count_ones();
         ctx.stats.issue(instr.class(), n_active, warp_size);
 
         // Stack-allocated active-lane list (hot path: no heap).
-        let mut lane_buf = [0u32; 32];
+        let mut lane_buf = [0u32; MAX_LANES];
         let mut n_lanes = 0usize;
         for l in 0..warp_size {
             if active & (1 << l) != 0 {
@@ -647,7 +666,7 @@ fn run_warp(
         let thread_of = |lane: u32| base_thread + lane;
 
         let mut next_pc = pc + 1;
-        match &instr {
+        match instr {
             Instr::Mov { ty, dst, src } => {
                 for &l in lanes {
                     let t = thread_of(l);
@@ -730,11 +749,11 @@ fn run_warp(
             Instr::Ld { space, ty, dst, addr, width } => {
                 let elem = ty.size();
                 let n = u64::from(width.lanes());
-                let mut accesses = Vec::with_capacity(lanes.len());
-                for &l in lanes {
+                let mut access_buf = [(0u64, 0u64); MAX_LANES];
+                for (i, &l) in lanes.iter().enumerate() {
                     let t = thread_of(l);
                     let a = ctx.addr(t, addr);
-                    accesses.push((a, elem * n));
+                    access_buf[i] = (a, elem * n);
                     for k in 0..width.lanes() {
                         let v = match space {
                             Space::Global => global.read(*ty, a + u64::from(k) * elem)?,
@@ -743,7 +762,8 @@ fn run_warp(
                         ctx.set_reg(t, dst + k, v);
                     }
                 }
-                record_mem(ctx, *space, true, &accesses);
+                let accesses = &access_buf[..lanes.len()];
+                record_mem(ctx, *space, true, accesses);
                 if *space == Space::Global && width.lanes() > 1 {
                     ctx.stats.global_vector_bytes +=
                         accesses.iter().map(|&(_, s)| s).sum::<u64>();
@@ -752,11 +772,11 @@ fn run_warp(
             Instr::St { space, ty, src, addr, width } => {
                 let elem = ty.size();
                 let n = u64::from(width.lanes());
-                let mut accesses = Vec::with_capacity(lanes.len());
-                for &l in lanes {
+                let mut access_buf = [(0u64, 0u64); MAX_LANES];
+                for (i, &l) in lanes.iter().enumerate() {
                     let t = thread_of(l);
                     let a = ctx.addr(t, addr);
-                    accesses.push((a, elem * n));
+                    access_buf[i] = (a, elem * n);
                     for k in 0..width.lanes() {
                         let v = ctx.reg(t, src + k);
                         match space {
@@ -765,14 +785,15 @@ fn run_warp(
                         }
                     }
                 }
-                record_mem(ctx, *space, false, &accesses);
+                record_mem(ctx, *space, false, &access_buf[..lanes.len()]);
             }
             Instr::Atom { space, op, ty, dst, addr, src, cmp, .. } => {
                 // Linearize lanes in order; gather contention stats.
-                let mut addr_counts: HashMap<u64, u64> = HashMap::new();
-                for &l in lanes {
+                let mut addr_buf = [0u64; MAX_LANES];
+                for (i, &l) in lanes.iter().enumerate() {
                     let t = thread_of(l);
                     let a = ctx.addr(t, addr);
+                    addr_buf[i] = a;
                     let s = ctx.operand(t, *src, *ty);
                     let c = cmp.map(|c| ctx.operand(t, c, *ty));
                     let old = match space {
@@ -790,7 +811,6 @@ fn run_warp(
                     if let Some(d) = dst {
                         ctx.set_reg(t, *d, old);
                     }
-                    *addr_counts.entry(a).or_insert(0) += 1;
                     match space {
                         Space::Global => {
                             *global_chains.entry(a).or_insert(0) += 1;
@@ -800,7 +820,17 @@ fn run_warp(
                         }
                     }
                 }
-                let worst = addr_counts.values().copied().max().unwrap_or(0);
+                // Worst same-address contention across the warp; O(n^2)
+                // over at most 32 lanes beats hashing on the hot path.
+                let addrs = &addr_buf[..lanes.len()];
+                let mut worst = 0u64;
+                for (i, &a) in addrs.iter().enumerate() {
+                    if addrs[..i].contains(&a) {
+                        continue;
+                    }
+                    let c = addrs[i..].iter().filter(|&&b| b == a).count() as u64;
+                    worst = worst.max(c);
+                }
                 match space {
                     Space::Global => {
                         ctx.stats.global_atomics += lanes.len() as u64;
@@ -814,16 +844,13 @@ fn run_warp(
             Instr::Shfl { mode, ty, dst, src, lane, width, pred_out } => {
                 // Snapshot source values across the whole warp first.
                 let ws = warp_size;
-                let snapshot: Vec<u64> = (0..ws)
-                    .map(|l| {
-                        let t = base_thread + l;
-                        if t < ctx.block_dim {
-                            ctx.operand(t, *src, *ty)
-                        } else {
-                            0
-                        }
-                    })
-                    .collect();
+                let mut snapshot = [0u64; MAX_LANES];
+                for l in 0..ws {
+                    let t = base_thread + l;
+                    if t < ctx.block_dim {
+                        snapshot[l as usize] = ctx.operand(t, *src, *ty);
+                    }
+                }
                 for &l in lanes {
                     let t = thread_of(l);
                     let b = ctx.operand(t, *lane, Ty::U32) as u32;
@@ -933,8 +960,11 @@ fn record_mem(ctx: &mut BlockCtx<'_>, space: Space, is_load: bool, accesses: &[(
         }
         Space::Shared => {
             ctx.stats.shared_accesses += 1;
-            let addrs: Vec<u64> = accesses.iter().map(|&(a, _)| a).collect();
-            let degree = bank_conflict_degree(&addrs);
+            let mut addr_buf = [0u64; MAX_LANES];
+            for (i, &(a, _)) in accesses.iter().enumerate() {
+                addr_buf[i] = a;
+            }
+            let degree = bank_conflict_degree(&addr_buf[..accesses.len()]);
             ctx.stats.shared_bank_conflict_cycles += degree.saturating_sub(1);
         }
     }

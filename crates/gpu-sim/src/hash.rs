@@ -1,0 +1,111 @@
+//! Deterministic Fx-style hashing for interpreter hot paths.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed with
+//! per-process random state and costs tens of cycles per `u64` key.
+//! Both properties are wrong for the interpreter's per-address atomic
+//! chain trackers, which hash on every atomic lane and must behave
+//! identically across runs and across the parallel tuner's worker
+//! threads. This module vendors the classic "Fx" multiply-xor hasher
+//! (as used by Firefox and rustc) with a fixed seed: fast on small
+//! integer keys and fully deterministic.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio-derived multiplier (the 64-bit Fx constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx multiply-xor hasher with a fixed (non-random) seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`BuildHasher`](std::hash::BuildHasher) for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` using the deterministic Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_u64(v: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn hashes_are_stable_across_instances() {
+        assert_eq!(hash_u64(0xdead_beef), hash_u64(0xdead_beef));
+        assert_ne!(hash_u64(1), hash_u64(2));
+    }
+
+    #[test]
+    fn byte_writes_match_word_writes_for_aligned_input() {
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            *m.entry(i % 37).or_insert(0) += 1;
+        }
+        assert_eq!(m.values().copied().max(), Some(28));
+        assert_eq!(m.len(), 37);
+    }
+}

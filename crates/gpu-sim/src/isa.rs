@@ -374,7 +374,7 @@ impl VecWidth {
 ///
 /// Destination registers come first, sources after, as in PTX.
 #[allow(missing_docs)] // operand fields follow the PTX convention documented per variant
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Instr {
     /// `dst = src`
     Mov { ty: Ty, dst: RegId, src: Operand },
@@ -506,6 +506,36 @@ pub enum InstrClass {
     Bar,
     Branch,
     Other,
+}
+
+impl InstrClass {
+    /// Number of instruction classes.
+    pub const COUNT: usize = 12;
+
+    /// Every class in a fixed canonical order. Statistics counters and
+    /// the timing model iterate this array (never a hash map), so
+    /// per-class accumulation order — and therefore floating-point
+    /// rounding — is identical on every run and every thread.
+    pub const ALL: [InstrClass; InstrClass::COUNT] = [
+        InstrClass::Alu,
+        InstrClass::Fp,
+        InstrClass::LdGlobal,
+        InstrClass::StGlobal,
+        InstrClass::LdShared,
+        InstrClass::StShared,
+        InstrClass::AtomGlobal,
+        InstrClass::AtomShared,
+        InstrClass::Shfl,
+        InstrClass::Bar,
+        InstrClass::Branch,
+        InstrClass::Other,
+    ];
+
+    /// Dense index of this class within [`InstrClass::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl Instr {

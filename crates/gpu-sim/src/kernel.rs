@@ -2,9 +2,11 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
+use crate::cfg::Cfg;
 use crate::error::SimError;
 use crate::isa::{
     Address, AtomOp, BinOp, CmpOp, Instr, Operand, PredId, RegId, Scope, ShflMode, Space,
@@ -19,6 +21,40 @@ pub enum ParamKind {
     /// A scalar value (bit pattern, interpreted by the instructions
     /// that read it).
     Scalar(Ty),
+}
+
+/// Lazily-initialized control-flow analysis slot attached to a
+/// [`Kernel`].
+///
+/// The CFG depends only on the instruction stream, which is immutable
+/// after construction, so it is computed at most once per kernel and
+/// *shared by every clone*: a kernel handed to the parallel tuner's
+/// worker threads is analyzed once, not once per `(arch, n, candidate)`
+/// launch as the old `Cfg::build`-per-launch path did.
+#[derive(Default)]
+pub struct CfgCache(OnceLock<Arc<Cfg>>);
+
+impl CfgCache {
+    /// Whether the CFG has been computed yet (cache-behaviour tests).
+    pub fn is_built(&self) -> bool {
+        self.0.get().is_some()
+    }
+}
+
+impl Clone for CfgCache {
+    fn clone(&self) -> Self {
+        let out = CfgCache::default();
+        if let Some(cfg) = self.0.get() {
+            let _ = out.0.set(Arc::clone(cfg));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for CfgCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_built() { "CfgCache(built)" } else { "CfgCache(empty)" })
+    }
 }
 
 /// A compiled kernel: instructions with resolved branch targets plus
@@ -40,6 +76,10 @@ pub struct Kernel {
     pub num_regs: u16,
     /// Number of predicate registers used per thread.
     pub num_preds: u16,
+    /// Cached control-flow analysis (see [`Kernel::cfg`]). Not part of
+    /// the kernel's serialized form.
+    #[serde(skip)]
+    pub cfg_cache: CfgCache,
 }
 
 impl Kernel {
@@ -109,6 +149,14 @@ impl Kernel {
     /// Total shared memory for a launch with `dynamic` extra bytes.
     pub fn smem_bytes(&self, dynamic: u64) -> u64 {
         self.static_smem + if self.dynamic_smem { dynamic } else { 0 }
+    }
+
+    /// The kernel's control-flow graph and IPDOM reconvergence table,
+    /// computed on first use and shared by every clone of this kernel
+    /// (cheap to call from then on — the interpreter calls this once
+    /// per launch instead of rebuilding the CFG).
+    pub fn cfg(&self) -> &Cfg {
+        self.cfg_cache.0.get_or_init(|| Arc::new(Cfg::build(self)))
     }
 }
 
@@ -489,6 +537,7 @@ impl KernelBuilder {
             dynamic_smem: self.dynamic_smem,
             num_regs: self.next_reg,
             num_preds: self.next_pred,
+            cfg_cache: CfgCache::default(),
         };
         kernel.validate()?;
         Ok(kernel)
@@ -537,6 +586,7 @@ mod tests {
             dynamic_smem: false,
             num_regs: 0,
             num_preds: 0,
+            cfg_cache: CfgCache::default(),
         };
         assert!(k.validate().is_err());
     }
@@ -554,6 +604,7 @@ mod tests {
             dynamic_smem: false,
             num_regs: 1,
             num_preds: 0,
+            cfg_cache: CfgCache::default(),
         };
         assert!(k.validate().is_err());
     }
@@ -568,8 +619,22 @@ mod tests {
             dynamic_smem: false,
             num_regs: 0,
             num_preds: 0,
+            cfg_cache: CfgCache::default(),
         };
         assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn cfg_is_cached_and_shared_across_clones() {
+        let mut b = KernelBuilder::new("c");
+        b.exit();
+        let k = b.finish().unwrap();
+        assert!(!k.cfg_cache.is_built());
+        assert_eq!(k.cfg().blocks.len(), 1);
+        assert!(k.cfg_cache.is_built());
+        let c = k.clone();
+        assert!(c.cfg_cache.is_built(), "clones must share the computed CFG");
+        assert!(std::ptr::eq(k.cfg(), c.cfg()), "same Arc, not a rebuild");
     }
 
     #[test]
@@ -594,6 +659,7 @@ mod tests {
             dynamic_smem: false,
             num_regs: 1,
             num_preds: 0,
+            cfg_cache: CfgCache::default(),
         };
         assert!(k.validate().is_err());
     }

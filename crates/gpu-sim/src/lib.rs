@@ -56,6 +56,7 @@ pub mod cfg;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod hash;
 pub mod isa;
 pub mod kernel;
 pub mod memory;

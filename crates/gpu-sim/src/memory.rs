@@ -116,10 +116,48 @@ impl LinearMemory {
     }
 }
 
+/// Largest warp handled by the allocation-free fast paths below. The
+/// modelled architectures all have 32 lanes; the slow path only exists
+/// so the public functions stay correct for arbitrary inputs.
+const MAX_WARP_ACCESSES: usize = 64;
+
 /// Number of 128-byte segments touched by a warp's set of per-lane
 /// byte accesses — the coalescing model. `accesses` holds
 /// `(address, size)` pairs for the *active* lanes.
+///
+/// This runs once per warp load/store issue, so the common case
+/// (≤ [`MAX_WARP_ACCESSES`] lanes) works on a stack array: each access
+/// is a contiguous segment interval, and the union of sorted intervals
+/// counts distinct segments without materializing them.
 pub fn coalesced_transactions(accesses: &[(u64, u64)]) -> u64 {
+    if accesses.len() > MAX_WARP_ACCESSES {
+        return coalesced_transactions_slow(accesses);
+    }
+    let mut ranges = [(0u64, 0u64); MAX_WARP_ACCESSES];
+    for (slot, &(addr, size)) in ranges.iter_mut().zip(accesses) {
+        let first = addr / TRANSACTION_BYTES;
+        let last = (addr + size.max(1) - 1) / TRANSACTION_BYTES;
+        *slot = (first, last);
+    }
+    let ranges = &mut ranges[..accesses.len()];
+    ranges.sort_unstable();
+    let mut count = 0u64;
+    let mut covered_to = u64::MAX; // highest segment counted so far
+    for &(first, last) in ranges.iter() {
+        if covered_to != u64::MAX && first <= covered_to {
+            if last > covered_to {
+                count += last - covered_to;
+                covered_to = last;
+            }
+        } else {
+            count += last - first + 1;
+            covered_to = last;
+        }
+    }
+    count
+}
+
+fn coalesced_transactions_slow(accesses: &[(u64, u64)]) -> u64 {
     let mut segs: Vec<u64> = accesses
         .iter()
         .flat_map(|&(addr, size)| {
@@ -136,7 +174,35 @@ pub fn coalesced_transactions(accesses: &[(u64, u64)]) -> u64 {
 /// Shared-memory bank-conflict degree for a warp access: the maximum
 /// number of *distinct* 4-byte words mapped to the same bank. Degree
 /// 1 means conflict-free; broadcasts (same word) do not conflict.
+///
+/// Like [`coalesced_transactions`], the per-warp case runs on stack
+/// arrays: sort the word indices, then count distinct words per bank.
 pub fn bank_conflict_degree(addresses: &[u64]) -> u64 {
+    if addresses.len() > MAX_WARP_ACCESSES {
+        return bank_conflict_degree_slow(addresses);
+    }
+    let mut words = [0u64; MAX_WARP_ACCESSES];
+    for (slot, &a) in words.iter_mut().zip(addresses) {
+        *slot = a / 4;
+    }
+    let words = &mut words[..addresses.len()];
+    words.sort_unstable();
+    let mut per_bank = [0u64; SMEM_BANKS as usize];
+    let mut degree = 1u64;
+    let mut prev = u64::MAX;
+    for &word in words.iter() {
+        if word == prev {
+            continue; // broadcast: same word, no extra conflict
+        }
+        prev = word;
+        let bank = (word % SMEM_BANKS) as usize;
+        per_bank[bank] += 1;
+        degree = degree.max(per_bank[bank]);
+    }
+    degree
+}
+
+fn bank_conflict_degree_slow(addresses: &[u64]) -> u64 {
     let mut per_bank: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
     for &a in addresses {
         let word = a / 4;
@@ -231,5 +297,26 @@ mod tests {
     fn empty_access_is_free() {
         assert_eq!(coalesced_transactions(&[]), 0);
         assert_eq!(bank_conflict_degree(&[]), 1);
+    }
+
+    #[test]
+    fn overlapping_wide_accesses_count_distinct_segments() {
+        // Two 128-byte accesses overlapping by half: segments {0,1}.
+        assert_eq!(coalesced_transactions(&[(0, 128), (64, 128)]), 2);
+        // Duplicate accesses collapse to one segment.
+        assert_eq!(coalesced_transactions(&[(4, 4), (4, 4), (8, 4)]), 1);
+        // A wide access nested inside a wider one adds nothing.
+        assert_eq!(coalesced_transactions(&[(0, 512), (128, 128)]), 4);
+    }
+
+    /// Inputs beyond MAX_WARP_ACCESSES take the heap path; results
+    /// must agree with the stack path's semantics.
+    #[test]
+    fn oversized_inputs_use_the_slow_path_consistently() {
+        let acc: Vec<(u64, u64)> = (0..100).map(|i| (i * 128, 4)).collect();
+        assert_eq!(coalesced_transactions(&acc), 100);
+        // 100 distinct words, all on bank 0 (stride of 32 words).
+        let addrs: Vec<u64> = (0..100).map(|i| i * 128).collect();
+        assert_eq!(bank_conflict_degree(&addrs), 100);
     }
 }

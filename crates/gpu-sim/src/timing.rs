@@ -113,9 +113,13 @@ pub fn time_launch(
     let hide = (f64::from(active_warps) / arch.hide_warps).clamp(arch.min_hide, 1.0);
 
     // ---- compute term -------------------------------------------------
+    // Accumulate in the canonical class order (ClassCounts::iter) so
+    // the floating-point sum is bit-identical across runs — hash-map
+    // iteration here used to make modelled times nondeterministic in
+    // the last few ulps.
     let mut issue_cycles = 0.0f64;
-    for (class, count) in &stats.warp_instrs {
-        issue_cycles += *count as f64 * issue_cost(*class);
+    for (class, count) in stats.warp_instrs.iter() {
+        issue_cycles += count as f64 * issue_cost(class);
     }
     issue_cycles += stats.total_warp_instrs() as f64 * opts.extra_issue_cycles;
     issue_cycles += stats.shared_bank_conflict_cycles as f64;
@@ -193,6 +197,7 @@ mod tests {
             dynamic_smem: false,
             num_regs: 16,
             num_preds: 1,
+            cfg_cache: Default::default(),
         }
     }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo verification: release build, full test suite, and a small
+# end-to-end figures run on every paper architecture (exercising the
+# parallel evaluation engine at >1 worker).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests (tier-1: root package) =="
+cargo test -q
+
+echo "== tests (full workspace) =="
+cargo test --workspace -q
+
+echo "== figures smoke run (small n, all arches, 4 workers) =="
+./target/release/figures all --max-size 16384 --threads 4 --json /tmp/verify_figures.json
+test -s /tmp/verify_figures.json
+
+echo "== sweep smoke run (determinism at two thread counts) =="
+one=$(./target/release/sweep --arch maxwell --n 65536 --threads 1 | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
+four=$(./target/release/sweep --arch maxwell --n 65536 --threads 4 | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
+if [ "$one" != "$four" ]; then
+  echo "DETERMINISM MISMATCH between --threads 1 and --threads 4:" >&2
+  echo "  $one" >&2
+  echo "  $four" >&2
+  exit 1
+fi
+
+echo "verify.sh: all checks passed"

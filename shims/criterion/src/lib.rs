@@ -1,0 +1,209 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small but real wall-clock harness exposing the criterion surface
+//! this workspace's benches use: `Criterion`, benchmark groups with
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`
+//! with `Bencher::iter` / `Bencher::iter_custom`, and the
+//! `criterion_group!` / `criterion_main!` macros. Results (mean and
+//! minimum per sample) are printed to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque-value helper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op (the shim produces no plots).
+    #[must_use]
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Set the default sample count.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement budget (samples stop early once spent).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark: warm up, then time `sample_size` samples
+    /// (or fewer if the measurement budget runs out) and report the
+    /// mean and minimum sample time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut run_once = || {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed
+        };
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            run_once();
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            samples.push(run_once());
+            if budget.elapsed() > self.measurement {
+                break;
+            }
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {}/{id}: mean {:.3} ms, min {:.3} ms ({} samples)",
+            self.name,
+            mean.as_secs_f64() * 1e3,
+            min.as_secs_f64() * 1e3,
+            samples.len()
+        );
+        self
+    }
+
+    /// Finish the group (no-op beyond dropping it).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing handle.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Record a caller-computed duration for `iters` iterations
+    /// (criterion's `iter_custom`).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// Define a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u32;
+        group.bench_function("counts", |b| {
+            calls += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        group.finish();
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn iter_custom_records_given_duration() {
+        let mut b = Bencher { iters: 4, elapsed: Duration::ZERO };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 10));
+        assert_eq!(b.elapsed, Duration::from_nanos(40));
+    }
+}

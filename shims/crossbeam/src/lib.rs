@@ -1,0 +1,58 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` with the crossbeam call shape
+//! (`scope(|s| ...)` returning a `Result`, spawn closures receiving a
+//! scope handle), implemented on `std::thread::scope`.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to the `scope` closure and to spawned closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a scope handle
+        /// (crossbeam's signature) which permits nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads are joined
+    /// before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors crossbeam's signature. `std::thread::scope` propagates
+    /// child panics by panicking, so the error arm is never produced;
+    /// callers' `.unwrap()`/`.expect(...)` behave identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_disjoint_slots() {
+        let mut parts = vec![0u64; 4];
+        crate::thread::scope(|s| {
+            for (i, slot) in parts.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(parts, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,421 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map`, `Just`, unions
+//! (`prop_oneof!`), integer-range strategies, `any::<T>()`, string
+//! pattern strategies, `prop::collection::vec`, `ProptestConfig`, and
+//! the `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from real proptest: generation is driven by a
+//! deterministic per-test RNG (seeded from the test's module path and
+//! name), there is no shrinking, and `prop_assert*` panics like
+//! `assert*` instead of recording a failure for shrinking. Failures
+//! therefore reproduce exactly across runs.
+
+/// Test-runner types: configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; unused.
+        pub fork: bool,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0, fork: false }
+        }
+    }
+
+    /// Deterministic xorshift64* generator seeded per test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed from a test identifier (FNV-1a of the name).
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(h | 1)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound == 0` yields 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Mapped strategy (see [`Strategy::prop_map`]).
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Start a union with its first alternative.
+        pub fn of<S>(first: S) -> Self
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            Union { options: vec![Box::new(first)] }
+        }
+
+        /// Add an alternative.
+        pub fn push<S>(&mut self, s: S)
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            self.options.push(Box::new(s));
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range strategy {}..{}", self.start, self.end);
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty inclusive range strategy");
+                    let off = (rng.next_u64() as i128).rem_euclid(hi - lo + 1);
+                    (lo + off) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String pattern strategy: a `&str` used as a strategy yields
+    /// arbitrary strings. Patterns of the form `.{lo,hi}` control the
+    /// length; any other pattern falls back to lengths 0..=16.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 16));
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut out = String::with_capacity(len);
+            for _ in 0..len {
+                // Mostly printable ASCII with occasional awkward
+                // characters (newline, quote, NUL, multibyte).
+                let c = match rng.below(20) {
+                    0 => '\n',
+                    1 => '"',
+                    2 => '\\',
+                    3 => '\u{0}',
+                    4 => 'λ',
+                    _ => char::from(32 + rng.below(95) as u8),
+                };
+                out.push(c);
+            }
+            out
+        }
+    }
+
+    fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+        let open = pattern.find('{')?;
+        let close = pattern[open..].find('}')? + open;
+        let body = &pattern[open + 1..close];
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    /// Vector of values from `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, lo: size.start, hi_exclusive: size.end }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.hi_exclusive.saturating_sub(self.lo).max(1);
+            let len = self.lo + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of `proptest::prop` (for `prop::collection`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut __union = $crate::strategy::Union::of($first);
+        $(__union.push($rest);)*
+        __union
+    }};
+}
+
+/// Define deterministic property tests.
+///
+/// Supports the real-proptest block shape used in this workspace:
+/// an optional `#![proptest_config(...)]` header followed by one or
+/// more `#[test] fn name(binding in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($cfg:expr;) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+        /// Ranges respect their bounds; unions pick listed values.
+        #[test]
+        fn ranges_and_unions(x in 3u32..9, pick in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(pick == 1 || pick == 2);
+        }
+
+        /// String patterns honour `{lo,hi}` repeat bounds.
+        #[test]
+        fn string_pattern_lengths(s in ".{0,200}") {
+            prop_assert!(s.chars().count() <= 200);
+        }
+
+        /// Collection strategy honours the size range.
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u32..5, 0..7)) {
+            prop_assert!(v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::from_name("map");
+        let s = (0usize..4).prop_map(|i| i * 10);
+        for _ in 0..16 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v % 10 == 0 && v < 40);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the handful of external surfaces
+//! it actually uses (see `shims/` at the workspace root). This crate
+//! provides the subset of `serde` the codebase relies on:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (re-exported from the
+//!   companion `serde_derive` shim),
+//! * a [`Serialize`] trait that renders a type into a [`Value`] tree,
+//!   consumed by the `serde_json` shim's `to_string_pretty`,
+//! * a [`Deserialize`] trait whose derived impls return an
+//!   "unsupported" error (no call site in the workspace deserializes).
+//!
+//! Determinism note: map-like containers serialize with their entries
+//! sorted by key string, so output never depends on hash-map iteration
+//! order.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value tree (JSON-shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence (JSON array).
+    Seq(Vec<Value>),
+    /// Ordered key/value map (JSON object); insertion order preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Render a value usable as a map key (JSON object keys must be
+    /// strings).
+    pub fn key_string(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::UInt(u) => u.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Float(f) => f.to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Error produced by the (stubbed) deserialization path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Construct the standard "not supported by the shim" error.
+    pub fn unsupported(ty: &str) -> Self {
+        DeError(format!("deserializing `{ty}` is not supported by the offline serde shim"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can (nominally) be rebuilt from a [`Value`] tree.
+///
+/// Derived impls always return [`DeError::unsupported`]; nothing in
+/// the workspace invokes deserialization at runtime.
+pub trait Deserialize: Sized {
+    /// Attempt to deserialize from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Derived impls always error (see trait docs).
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_value().key_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_value().key_string(), v.to_value())).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashmap_serializes_in_sorted_key_order() {
+        let mut m = std::collections::HashMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        let Value::Map(entries) = m.to_value() else { panic!("expected map") };
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[1].0, "b");
+    }
+
+    #[test]
+    fn option_and_tuple_shapes() {
+        assert_eq!(None::<char>.to_value(), Value::Null);
+        assert_eq!(
+            (1u32, 2u32).to_value(),
+            Value::Seq(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+}

@@ -1,0 +1,324 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace actually uses — non-generic structs
+//! (named, tuple, unit) and enums (unit / tuple / struct variants) —
+//! without depending on `syn`/`quote` (unavailable offline). The item
+//! is parsed directly from the `proc_macro` token stream and the impl
+//! is emitted as source text.
+//!
+//! Supported field attribute: `#[serde(... skip ...)]` (the field is
+//! omitted from serialization). Everything else inside `#[serde(...)]`
+//! is ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a named struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The shape of the deriving item.
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<bool>), // per-field skip flags
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Derive the shim `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Named(fields) => named_struct_body(fields),
+        Shape::Tuple(skips) => tuple_struct_body(skips),
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => enum_body(&name, variants),
+    };
+    let src = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    src.parse().expect("serde_derive shim emitted invalid Serialize impl")
+}
+
+/// Derive the shim `serde::Deserialize` (always-erroring stub).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse_item(input);
+    let src = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(_value: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         ::core::result::Result::Err(::serde::DeError::unsupported(\"{name}\"))\n\
+         }}\n\
+         }}"
+    );
+    src.parse().expect("serde_derive shim emitted invalid Deserialize impl")
+}
+
+fn named_struct_body(fields: &[Field]) -> String {
+    let mut out = String::from("let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__m.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+            f.name
+        ));
+    }
+    out.push_str("::serde::Value::Map(__m)");
+    out
+}
+
+fn tuple_struct_body(skips: &[bool]) -> String {
+    let live: Vec<usize> =
+        (0..skips.len()).filter(|&i| !skips[i]).collect();
+    match live.as_slice() {
+        [] => "::serde::Value::Null".to_string(),
+        [i] => format!("::serde::Serialize::to_value(&self.{i})"),
+        many => {
+            let items: Vec<String> = many
+                .iter()
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                ));
+            }
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                let payload = if *arity == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                    binds = binders.join(", ")
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binders: Vec<&str> =
+                    fields.iter().map(|f| f.name.as_str()).collect();
+                let mut payload = String::from("{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+                for f in fields.iter().filter(|f| !f.skip) {
+                    payload.push_str(&format!(
+                        "__m.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));\n",
+                        f.name
+                    ));
+                }
+                payload.push_str("::serde::Value::Map(__m) }");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                    binds = binders.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = ident_at(&toks, i).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_at(&toks, i).expect("expected item name");
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic items are not supported ({name})");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive shim: malformed enum {name}"),
+        },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    };
+    (name, shape)
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance past leading attributes and a visibility qualifier.
+/// Returns the `#[serde(...)]` skip flag seen among the attributes.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    skip |= attr_requests_skip(g.stream());
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// True when the attribute is `serde(...)` and mentions `skip`.
+fn attr_requests_skip(attr: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" =>
+        {
+            g.stream().into_iter().any(
+                |t| matches!(&t, TokenTree::Ident(id) if id.to_string().starts_with("skip")),
+            )
+        }
+        _ => false,
+    }
+}
+
+/// Consume type tokens until a top-level comma (tracking `<...>` depth,
+/// since generic argument commas are not field separators).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let skip = skip_attrs_and_vis(&toks, &mut i);
+        let Some(name) = ident_at(&toks, i) else { break };
+        i += 1; // field name
+        i += 1; // ':'
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<bool> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut skips = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let skip = skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        skips.push(skip);
+    }
+    skips
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(name) = ident_at(&toks, i) else { break };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&toks, &mut i);
+        }
+        i += 1; // ','
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        i += 1; // ','
+        arity += 1;
+    }
+    arity
+}

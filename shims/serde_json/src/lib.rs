@@ -1,0 +1,178 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the `serde` shim's [`serde::Value`] tree as JSON text. Only
+//! the entry points this workspace calls are provided. Output is fully
+//! deterministic: same value tree in, same bytes out.
+
+use serde::{Serialize, Value};
+
+/// Serialization error (the shim never fails, but the signature
+/// mirrors `serde_json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors `serde_json`.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in the shim; the `Result` mirrors `serde_json`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+fn write_scalar(v: &Value, out: &mut String) -> bool {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&f.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        _ => return false,
+    }
+    true
+}
+
+fn write_pretty(v: &Value, depth: usize, out: &mut String) {
+    if write_scalar(v, out) {
+        return;
+    }
+    let pad = "  ".repeat(depth + 1);
+    let close = "  ".repeat(depth);
+    match v {
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                write_pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(item, depth + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close);
+            out.push('}');
+        }
+        _ => unreachable!("scalar handled above"),
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    if write_scalar(v, out) {
+        return;
+    }
+    match v {
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+        _ => unreachable!("scalar handled above"),
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_shapes() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::Seq(vec![Value::UInt(1), Value::UInt(2)])),
+            ("b".to_string(), Value::Str("x\"y".to_string())),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&W(v)).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": \"x\\\"y\"\n}");
+    }
+}
