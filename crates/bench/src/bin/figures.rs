@@ -10,14 +10,29 @@
 //!
 //! `--threads N` sets the evaluation engine's worker count (default:
 //! available parallelism). The output is bit-identical for any N.
+//!
+//! `--fault-seed S` runs the sweeps as a deterministic fault-injection
+//! campaign at `--fault-rate PPM` (default 200) faults per million
+//! instructions: misbehaving candidates are retried and quarantined
+//! instead of aborting the figure, the reported winners stay
+//! bit-identical to a clean run, and a `resilience:` summary line is
+//! printed per architecture.
 
 use std::fmt::Write as _;
 
 use gpu_sim::ArchConfig;
 use tangram::evaluate::EvalOptions;
 use tangram::paper_sizes;
-use tangram_bench::{arch_series_with, geomean_speedup, max_speedup, ArchSeries, BaselineCache};
+use tangram::resilience::ResilienceOptions;
+use tangram_bench::{
+    arch_series_report, arch_series_with, geomean_speedup, max_speedup, ArchSeries, BaselineCache,
+};
 use tangram_passes::planner;
+
+fn die(msg: &str) -> ! {
+    eprintln!("figures: {msg}");
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,13 +43,16 @@ fn main() {
         Some(t) => EvalOptions::with_threads(t as usize),
         None => EvalOptions::default(),
     };
+    let fault_seed: Option<u64> = flag_value(&args, "--fault-seed");
+    let fault_rate: u32 = flag_value(&args, "--fault-rate").map_or(200, |r| r as u32);
+    let resilience = fault_seed.map(|seed| ResilienceOptions::campaign(seed, fault_rate));
 
     let sizes: Vec<u64> = paper_sizes().into_iter().filter(|&n| n <= max_size).collect();
     match cmd {
         "table-search-space" => print_search_space(),
         "fig6" => print_fig6(),
         "fig7" => {
-            let all = run_all(&sizes, &opts);
+            let all = run_all(&sizes, &opts, resilience.as_ref());
             print_fig7(&all);
             maybe_write_json(&all, json_path.as_deref());
         }
@@ -44,8 +62,7 @@ fn main() {
                 "fig9" => ArchConfig::maxwell_gtx980(),
                 _ => ArchConfig::pascal_p100(),
             };
-            let series = arch_series_with(&arch, &sizes, &opts, &mut BaselineCache::new())
-                .expect("figure sweep failed");
+            let series = run_one(&arch, &sizes, &opts, resilience.as_ref(), &mut BaselineCache::new());
             print_detail(cmd, &arch, &series);
             maybe_write_json(std::slice::from_ref(&series), json_path.as_deref());
         }
@@ -54,7 +71,7 @@ fn main() {
             println!();
             print_fig6();
             println!();
-            let all = run_all(&sizes, &opts);
+            let all = run_all(&sizes, &opts, resilience.as_ref());
             print_fig7(&all);
             println!();
             let names = ["fig8", "fig9", "fig10"];
@@ -68,21 +85,51 @@ fn main() {
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|all] [--max-size N] [--json PATH] [--threads N]");
+            eprintln!("usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|all] [--max-size N] [--json PATH] [--threads N] [--fault-seed S] [--fault-rate PPM]");
             std::process::exit(2);
         }
     }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<u64> {
-    flag_str(args, flag)?.parse().ok()
+    let raw = flag_str(args, flag)?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => die(&format!("invalid value `{raw}` for {flag}")),
+    }
 }
 
 fn flag_str(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) => Some(v.clone()),
+        None => die(&format!("{flag} needs a value")),
+    }
 }
 
-fn run_all(sizes: &[u64], opts: &EvalOptions) -> Vec<ArchSeries> {
+fn run_one(
+    arch: &ArchConfig,
+    sizes: &[u64],
+    opts: &EvalOptions,
+    res: Option<&ResilienceOptions>,
+    baselines: &mut BaselineCache,
+) -> ArchSeries {
+    match res {
+        Some(res) => match arch_series_report(arch, sizes, opts, res, baselines) {
+            Ok((series, report)) => {
+                println!("{} [{}]", report.summary_line(), arch.id);
+                series
+            }
+            Err(e) => die(&format!("fault campaign on {} failed: {e}", arch.id)),
+        },
+        None => match arch_series_with(arch, sizes, opts, baselines) {
+            Ok(series) => series,
+            Err(e) => die(&format!("figure sweep on {} failed: {e}", arch.id)),
+        },
+    }
+}
+
+fn run_all(sizes: &[u64], opts: &EvalOptions, res: Option<&ResilienceOptions>) -> Vec<ArchSeries> {
     // One baseline cache across all three architectures: Fig. 7 and
     // the per-arch detail figures then share each (arch, n) baseline
     // measurement instead of repeating it.
@@ -91,15 +138,20 @@ fn run_all(sizes: &[u64], opts: &EvalOptions) -> Vec<ArchSeries> {
         .iter()
         .map(|arch| {
             eprintln!("[figures] sweeping {} ...", arch.name);
-            arch_series_with(arch, sizes, opts, &mut baselines).expect("figure sweep failed")
+            run_one(arch, sizes, opts, res, &mut baselines)
         })
         .collect()
 }
 
 fn maybe_write_json(series: &[ArchSeries], path: Option<&str>) {
     if let Some(path) = path {
-        let json = serde_json::to_string_pretty(series).expect("serialize series");
-        std::fs::write(path, json).expect("write json");
+        let json = match serde_json::to_string_pretty(series) {
+            Ok(json) => json,
+            Err(e) => die(&format!("cannot serialize series: {e}")),
+        };
+        if let Err(e) = std::fs::write(path, &json) {
+            die(&format!("cannot write `{path}`: {e}"));
+        }
         eprintln!("[figures] wrote {path}");
     }
 }
@@ -147,7 +199,9 @@ fn print_fig7(all: &[ArchSeries]) {
     }
     let _ = write!(header, "{:>12}", "OpenMP");
     println!("{header}  (OpenMP vs CUB on pascal)");
-    let pascal = all.last().expect("three architectures");
+    let Some(pascal) = all.last() else {
+        die("no architectures swept");
+    };
     for (i, p) in pascal.points.iter().enumerate() {
         let mut row = format!("{:>12}", p.n);
         for s in all {

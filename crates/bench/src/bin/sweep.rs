@@ -3,40 +3,65 @@
 //! ```text
 //! sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
 //!       [--threads T] [--json PATH]
+//!       [--fault-seed S] [--fault-rate PPM]
 //! ```
 //!
 //! `--threads T` sets the evaluation engine's worker count (default:
 //! available parallelism). The winner and its modelled time are
 //! bit-identical for any T; only the wall-clock changes. `--json`
 //! appends one record per repeat to `PATH` (JSON lines).
+//!
+//! `--fault-seed S` enables a deterministic fault-injection campaign
+//! (bit-flips, shared-atomic retry storms, warp stalls) at
+//! `--fault-rate` faults per million instructions (default 200).
+//! Faulty attempts are validated against the CPU oracle and retried;
+//! the accepted winner is bit-identical to a fault-free sweep, and a
+//! `resilience:` summary line reports what was injected, detected,
+//! recovered, and quarantined.
 
 use std::time::Instant;
 
 use gpu_sim::ArchConfig;
 use tangram::evaluate::{default_threads, EvalOptions};
-use tangram::select::select_best_with;
+use tangram::resilience::ResilienceOptions;
+use tangram::select::{select_best_report, select_best_with};
+use tangram_passes::planner;
+
+fn die(msg: &str) -> ! {
+    eprintln!("sweep: {msg}");
+    std::process::exit(1);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: u64 = flag(&args, "--n").unwrap_or(1 << 22);
     let repeat: u64 = flag(&args, "--repeat").unwrap_or(1);
-    let threads: usize = flag(&args, "--threads").map_or_else(default_threads, |t| t as usize);
-    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
-    let arch_id = args
-        .iter()
-        .position(|a| a == "--arch")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "maxwell".to_string());
-    let arch = ArchConfig::paper_archs()
-        .into_iter()
-        .find(|a| a.id == arch_id)
-        .expect("unknown arch id");
+    let threads: usize = flag(&args, "--threads").map_or_else(default_threads, |t: u64| t as usize);
+    let fault_seed: Option<u64> = flag(&args, "--fault-seed");
+    let fault_rate: u32 = flag(&args, "--fault-rate").unwrap_or(200);
+    let json_path = flag_str(&args, "--json");
+    let arch_id = flag_str(&args, "--arch").unwrap_or_else(|| "maxwell".to_string());
+    let Some(arch) = ArchConfig::paper_archs().into_iter().find(|a| a.id == arch_id) else {
+        die(&format!("unknown arch id `{arch_id}` (expected kepler|maxwell|pascal)"));
+    };
     let opts = EvalOptions::with_threads(threads);
+    let resilience = fault_seed.map(|seed| ResilienceOptions::campaign(seed, fault_rate));
 
     for _ in 0..repeat {
         let start = Instant::now();
-        let (_tuned, row) = select_best_with(&arch, n, &opts).expect("sweep failed");
+        let (row, summary) = match &resilience {
+            Some(res) => {
+                let candidates = planner::enumerate_pruned();
+                match select_best_report(&arch, n, &candidates, &opts, res) {
+                    Ok((_tuned, row, report)) => (row, Some(report.summary_line())),
+                    Err(e) => die(&format!("sweep failed: {e}")),
+                }
+            }
+            None => match select_best_with(&arch, n, &opts) {
+                Ok((_tuned, row)) => (row, None),
+                Err(e) => die(&format!("sweep failed: {e}")),
+            },
+        };
         let wall = start.elapsed();
         println!(
             "sweep arch={} n={} threads={} wall_ms={:.1} winner={} block={} coarsen={} time_ns={}",
@@ -49,6 +74,9 @@ fn main() {
             row.coarsen,
             row.time_ns
         );
+        if let Some(summary) = &summary {
+            println!("{summary}");
+        }
         if let Some(path) = &json_path {
             let record = format!(
                 "{{\"arch\":\"{}\",\"n\":{},\"threads\":{},\"wall_ms\":{:.3},\"winner\":\"{}\",\"block\":{},\"coarsen\":{},\"time_ns\":{}}}\n",
@@ -62,16 +90,35 @@ fn main() {
                 row.time_ns
             );
             use std::io::Write as _;
-            let mut f = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .expect("open json log");
-            f.write_all(record.as_bytes()).expect("write json log");
+            let open = std::fs::OpenOptions::new().create(true).append(true).open(path);
+            let mut f = match open {
+                Ok(f) => f,
+                Err(e) => die(&format!("cannot open json log `{path}`: {e}")),
+            };
+            if let Err(e) = f.write_all(record.as_bytes()) {
+                die(&format!("cannot write json log `{path}`: {e}"));
+            }
         }
     }
 }
 
-fn flag(args: &[String], flag: &str) -> Option<u64> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))?.parse().ok()
+/// Parse `--flag VALUE`; a present flag with a missing or malformed
+/// value is a usage error, not a silent fallback to the default.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == name)?;
+    let Some(raw) = args.get(i + 1) else {
+        die(&format!("{name} needs a value"));
+    };
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => die(&format!("invalid value `{raw}` for {name}")),
+    }
+}
+
+fn flag_str(args: &[String], name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    match args.get(i + 1) {
+        Some(v) => Some(v.clone()),
+        None => die(&format!("{name} needs a value")),
+    }
 }

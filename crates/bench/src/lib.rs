@@ -20,7 +20,9 @@ use gpu_sim::exec::BlockSelection;
 use gpu_sim::{ArchConfig, Device, SimError};
 use serde::{Deserialize, Serialize};
 use tangram::evaluate::EvalOptions;
-use tangram::select::{select_best_with, SelectionRow};
+use tangram::resilience::{ResilienceOptions, ResilienceReport};
+use tangram::select::{select_best_report, select_best_with, SelectionRow};
+use tangram_passes::planner;
 
 /// One point of a Fig. 7–10 series.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -200,6 +202,45 @@ pub fn arch_series_with(
         });
     }
     Ok(ArchSeries { arch: arch.id.clone(), points })
+}
+
+/// [`arch_series_with`] under a resilience policy: candidates that
+/// trap, time out, or fail the oracle are quarantined per size instead
+/// of aborting the series, and the per-size [`ResilienceReport`]s are
+/// merged into one. Winners are bit-identical to [`arch_series_with`]
+/// whenever every candidate survives.
+///
+/// # Errors
+///
+/// Fails when a size has no surviving candidate, on context-pool
+/// allocation failure, or on baseline measurement errors.
+pub fn arch_series_report(
+    arch: &ArchConfig,
+    sizes: &[u64],
+    opts: &EvalOptions,
+    res: &ResilienceOptions,
+    baselines: &mut BaselineCache,
+) -> Result<(ArchSeries, ResilienceReport), SimError> {
+    let candidates = planner::enumerate_pruned();
+    let mut points = Vec::with_capacity(sizes.len());
+    let mut merged = ResilienceReport::default();
+    for &n in sizes {
+        let (_tuned, row, report) = select_best_report(arch, n, &candidates, opts, res)?;
+        merged.merge(report);
+        let cub_ns = baselines.cub(arch, n)?;
+        let kokkos_ns = baselines.kokkos(arch, n)?;
+        points.push(FigurePoint {
+            n,
+            tangram_ns: row.time_ns,
+            version: row.version.to_string(),
+            fig6_label: row.fig6_label,
+            tuning: (row.block_size, row.coarsen),
+            cub_ns,
+            kokkos_ns,
+            openmp_ns: baselines.openmp(n),
+        });
+    }
+    Ok((ArchSeries { arch: arch.id.clone(), points }, merged))
 }
 
 /// Geometric mean of the Tangram-over-CUB speedups in a series

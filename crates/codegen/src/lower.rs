@@ -68,6 +68,15 @@ pub struct CoopLowerer<'b> {
     /// Whether the kernel's block may hold more than one warp (emit
     /// barriers after shared writes).
     multi_warp: bool,
+    /// Nesting depth of single-warp guarded regions
+    /// (`vthread.VectorId() == k`). A block-wide barrier inside such a
+    /// region would be a divergent `__syncthreads()` — only one warp
+    /// can ever reach it while the others run ahead and retire, which
+    /// deadlocks on hardware (and now traps as `BarrierDeadlock` in the
+    /// simulator). Warp-synchronous execution already orders shared
+    /// accesses within the single active warp, so barriers are
+    /// suppressed while this is non-zero.
+    single_warp_depth: u32,
     /// The atomic scope used for shared-memory atomics.
     cta_scope: Scope,
     /// Identity element used to pre-fill shared accumulators (0 for
@@ -106,6 +115,7 @@ impl<'b> CoopLowerer<'b> {
             shared_arrays: HashMap::new(),
             shared_scalars: HashMap::new(),
             multi_warp,
+            single_warp_depth: 0,
             cta_scope: Scope::Cta,
             identity: 0.0,
         }
@@ -237,7 +247,7 @@ impl<'b> CoopLowerer<'b> {
                 self.lower_effect(e)?;
                 // Listing 3 line 28: a barrier follows the shared
                 // atomic so readers observe the accumulated value.
-                if self.multi_warp {
+                if self.multi_warp && self.single_warp_depth == 0 {
                     self.b.bar();
                 }
                 Ok(())
@@ -258,11 +268,18 @@ impl<'b> CoopLowerer<'b> {
                 Ok(())
             }
             Stmt::If { cond, then_b, else_b } => {
+                let single_warp = Self::is_single_warp_guard(cond);
                 let p = self.lower_cond(cond)?;
                 let else_l = self.b.label();
                 self.b.bra_if(p, false, else_l);
+                if single_warp {
+                    self.single_warp_depth += 1;
+                }
                 for s in then_b {
                     self.lower_stmt(s)?;
+                }
+                if single_warp {
+                    self.single_warp_depth -= 1;
                 }
                 match else_b {
                     Some(eb) => {
@@ -301,8 +318,19 @@ impl<'b> CoopLowerer<'b> {
         Ok(())
     }
 
+    /// Does this `if` condition restrict execution to a single warp
+    /// (`vthread.VectorId() == k`)? Barriers must not be emitted inside
+    /// such a region — see [`Self::single_warp_depth`].
+    fn is_single_warp_guard(cond: &Expr) -> bool {
+        let Expr::Binary { op: BinOp::Eq, lhs, rhs } = cond else { return false };
+        let is_vector_id =
+            |e: &Expr| matches!(e, Expr::Method { method, .. } if method == "VectorId");
+        let is_const = |e: &Expr| matches!(e, Expr::Int(_));
+        (is_vector_id(lhs) && is_const(rhs)) || (is_const(lhs) && is_vector_id(rhs))
+    }
+
     fn maybe_bar_after_shared_write(&mut self, target: &Expr) {
-        if !self.multi_warp {
+        if !self.multi_warp || self.single_warp_depth > 0 {
             return;
         }
         if let Some((name, _)) = target.as_var_index() {

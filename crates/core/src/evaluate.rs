@@ -86,13 +86,13 @@ pub struct Measurement {
 }
 
 #[derive(Clone, Copy)]
-struct Job {
-    candidate: usize,
-    version: CodeVersion,
-    tuning: Tuning,
+pub(crate) struct Job {
+    pub(crate) candidate: usize,
+    pub(crate) version: CodeVersion,
+    pub(crate) tuning: Tuning,
 }
 
-fn jobs_for(candidates: &[CodeVersion]) -> Vec<Job> {
+pub(crate) fn jobs_for(candidates: &[CodeVersion]) -> Vec<Job> {
     let mut jobs = Vec::new();
     for (candidate, &version) in candidates.iter().enumerate() {
         for &block_size in &BLOCK_SIZES {
@@ -157,6 +157,16 @@ impl ContextPool {
     /// Return a context for reuse.
     pub fn release(&self, ctx: BenchContext) {
         self.free.lock().push(ctx);
+    }
+
+    /// The array size (elements) this pool's contexts measure.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The architecture this pool's contexts simulate.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
     }
 }
 

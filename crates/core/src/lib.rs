@@ -38,6 +38,7 @@
 //! | [`pipeline`] | the Fig. 5 pre-processing pipeline, inspectable |
 //! | [`tuner`] | `__tunable` parameter sweeps (§IV-C) |
 //! | [`evaluate`] | the parallel variant-evaluation engine |
+//! | [`resilience`] | retry, quarantine, and fault-campaign layer |
 //! | [`select`] | best-version selection across the pruned space |
 //! | [`dynsel`] | DySel-style runtime selection (micro-profiling) |
 //! | [`runner`] | executing synthesized versions on the device |
@@ -48,12 +49,17 @@ pub mod api;
 pub mod dynsel;
 pub mod evaluate;
 pub mod pipeline;
+pub mod resilience;
 pub mod runner;
 pub mod select;
 pub mod tuner;
 
 pub use api::{Reducer, SumResult, TangramError};
 pub use evaluate::{evaluate_all, ContextPool, EvalOptions};
+pub use resilience::{
+    evaluate_all_report, FaultConfig, QuarantineReason, ResilienceOptions, ResilienceReport,
+    ValidationPolicy,
+};
 pub use tangram_passes::specialize::ReduceOp;
 pub use pipeline::{run_pipeline, PipelineReport};
 pub use runner::{run_reduction, upload};

@@ -1,0 +1,603 @@
+//! Graceful degradation for the variant-evaluation engine.
+//!
+//! A selection sweep must survive misbehaving variants and transient
+//! faults: the paper's claim rests on measuring *many* generated
+//! versions and trusting the harness to pick the winner, so one
+//! trapping kernel or one injected bit-flip must not invalidate a
+//! whole sweep (ROADMAP: production-scale resilience).
+//!
+//! This module wraps each measurement job of [`crate::evaluate`] in a
+//! retry loop:
+//!
+//! 1. When a [`FaultConfig`] is active, early attempts run under a
+//!    per-job, per-attempt derived [`FaultPlan`] and are validated
+//!    against the `cpu-ref` oracle on exact (unsampled) execution.
+//!    Detected corruption — a trap, a timeout, or an oracle mismatch —
+//!    triggers a retry with exponential backoff.
+//! 2. The final attempt always runs fault-free, so an accepted
+//!    measurement is bit-identical to what the clean engine reports:
+//!    injected faults can delay a winner, never alter it.
+//! 3. A candidate that still fails on the clean attempt is
+//!    **quarantined** with a structured [`QuarantineReason`]; the
+//!    sweep continues over the survivors.
+//!
+//! The outcome is summarized in a [`ResilienceReport`] assembled in
+//! canonical job order after the fan-out, so reports (like
+//! measurements) are identical for every `--threads` value.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{FaultPlan, SimError};
+use parking_lot::Mutex;
+use serde::Serialize;
+use tangram_codegen::synthesize_cached;
+use tangram_passes::planner::CodeVersion;
+use tangram_passes::specialize::ReduceOp;
+
+use crate::evaluate::{jobs_for, ContextPool, EvalOptions, Job, Measurement};
+use crate::runner::run_reduction;
+use crate::tuner::BenchContext;
+
+/// Deterministic fault-injection campaign configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FaultConfig {
+    /// Master seed; every per-job, per-attempt plan derives from it,
+    /// so a campaign replays bit-for-bit from this one value.
+    pub seed: u64,
+    /// Expected injected faults per million executed instructions.
+    pub rate_ppm: u32,
+}
+
+/// When measurements are checked against the `cpu-ref` oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationPolicy {
+    /// Validate only attempts that run under an active fault plan
+    /// (no overhead — and bit-identical results — when faults are
+    /// off).
+    #[default]
+    Auto,
+    /// Validate every accepted measurement, faults or not. Catches
+    /// genuinely miscompiled variants at the cost of one exact
+    /// execution per job.
+    Always,
+    /// Never validate (timing only).
+    Never,
+}
+
+/// Retry/quarantine policy for one sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceOptions {
+    /// Fault-injection campaign; `None` leaves the simulator clean.
+    pub fault: Option<FaultConfig>,
+    /// Attempts per job before quarantine (≥ 1). The last attempt
+    /// always runs fault-free.
+    pub max_attempts: u32,
+    /// Base backoff slept between attempts (doubles per retry);
+    /// 0 disables sleeping.
+    pub backoff_ms: u64,
+    /// Oracle-validation policy.
+    pub validate: ValidationPolicy,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        ResilienceOptions {
+            fault: None,
+            max_attempts: 3,
+            backoff_ms: 0,
+            validate: ValidationPolicy::Auto,
+        }
+    }
+}
+
+impl ResilienceOptions {
+    /// A campaign configuration: inject faults from `seed` at
+    /// `rate_ppm`, keeping the default retry policy.
+    pub fn campaign(seed: u64, rate_ppm: u32) -> Self {
+        ResilienceOptions { fault: Some(FaultConfig { seed, rate_ppm }), ..Self::default() }
+    }
+
+    fn needs_oracle(&self) -> bool {
+        match self.validate {
+            ValidationPolicy::Never => false,
+            ValidationPolicy::Always => true,
+            ValidationPolicy::Auto => self.fault.is_some(),
+        }
+    }
+}
+
+/// Why a candidate was removed from a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum QuarantineReason {
+    /// The interpreter trapped (illegal instruction/operand, CAS
+    /// without comparand, misaligned access).
+    Trap(String),
+    /// Some warps waited at a barrier the rest never reached.
+    BarrierDeadlock(String),
+    /// The launch exceeded its instruction budget.
+    Timeout(String),
+    /// The reduced value disagreed with the `cpu-ref` oracle.
+    OracleMismatch {
+        /// Value the variant produced.
+        got: f64,
+        /// Oracle value.
+        expect: f64,
+    },
+    /// Any other simulator error (memory fault, malformed kernel, …).
+    Sim(String),
+    /// Faults were injected on every attempt and the job never
+    /// produced a clean measurement (only possible with
+    /// `max_attempts == 1`).
+    PersistentFaults,
+}
+
+fn classify(e: &SimError) -> QuarantineReason {
+    match e {
+        SimError::Trap { .. } => QuarantineReason::Trap(e.to_string()),
+        SimError::BarrierDeadlock { .. } => QuarantineReason::BarrierDeadlock(e.to_string()),
+        SimError::Timeout { .. } => QuarantineReason::Timeout(e.to_string()),
+        _ => QuarantineReason::Sim(e.to_string()),
+    }
+}
+
+/// Per-job resilience outcome (only eventful jobs are retained in the
+/// report's `events`).
+#[derive(Debug, Clone, Serialize)]
+pub struct JobReport {
+    /// Candidate index in the sweep's candidate slice.
+    pub candidate: usize,
+    /// Version display string.
+    pub version: String,
+    /// Block size of this job's tuning.
+    pub block_size: u32,
+    /// Coarsening factor of this job's tuning.
+    pub coarsen: u32,
+    /// Attempts executed (1 = clean first try).
+    pub attempts: u32,
+    /// Faults injected across all attempts.
+    pub faults_injected: u64,
+    /// Injected faults whose attempt was caught by a trap, timeout,
+    /// or oracle mismatch.
+    pub faults_detected: u64,
+    /// Whether the job ultimately produced an accepted measurement.
+    pub measured: bool,
+    /// Quarantine reason, when the job was removed.
+    pub quarantined: Option<QuarantineReason>,
+}
+
+impl JobReport {
+    fn eventful(&self) -> bool {
+        self.attempts > 1 || self.faults_injected > 0 || self.quarantined.is_some()
+    }
+}
+
+/// Structured outcome of a resilient sweep.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ResilienceReport {
+    /// Jobs enumerated (candidates × tunings).
+    pub total_jobs: usize,
+    /// Jobs that produced an accepted measurement.
+    pub measured: usize,
+    /// Jobs skipped as infeasible (synthesis failure / launch
+    /// exceeding hardware limits) — same meaning as the clean engine.
+    pub infeasible: usize,
+    /// Jobs quarantined after exhausting retries.
+    pub quarantined: usize,
+    /// Retry attempts beyond each job's first.
+    pub retries: u64,
+    /// Faults injected across the whole sweep.
+    pub faults_injected: u64,
+    /// Injected faults caught by a trap, timeout, or oracle mismatch.
+    pub faults_detected: u64,
+    /// Injected faults neutralized by a later clean, accepted
+    /// measurement.
+    pub faults_recovered: u64,
+    /// Accepted measurements whose final attempt had injected faults
+    /// (must stay 0: the engine only accepts fault-free attempts).
+    pub silent: u64,
+    /// Eventful jobs (retried, faulted, or quarantined) in canonical
+    /// order.
+    pub events: Vec<JobReport>,
+}
+
+impl ResilienceReport {
+    /// One-line summary for logs and CI greps.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "resilience: jobs={} measured={} infeasible={} quarantined={} retries={} \
+             faults={} detected={} recovered={} silent={}",
+            self.total_jobs,
+            self.measured,
+            self.infeasible,
+            self.quarantined,
+            self.retries,
+            self.faults_injected,
+            self.faults_detected,
+            self.faults_recovered,
+            self.silent,
+        )
+    }
+
+    /// Fold another report (e.g. from the next array size of a
+    /// figure) into this one.
+    pub fn merge(&mut self, other: ResilienceReport) {
+        self.total_jobs += other.total_jobs;
+        self.measured += other.measured;
+        self.infeasible += other.infeasible;
+        self.quarantined += other.quarantined;
+        self.retries += other.retries;
+        self.faults_injected += other.faults_injected;
+        self.faults_detected += other.faults_detected;
+        self.faults_recovered += other.faults_recovered;
+        self.silent += other.silent;
+        self.events.extend(other.events);
+    }
+
+    fn absorb(&mut self, job: JobReport) {
+        self.total_jobs += 1;
+        if job.measured {
+            self.measured += 1;
+        } else if job.quarantined.is_some() {
+            self.quarantined += 1;
+        } else {
+            self.infeasible += 1;
+        }
+        self.retries += u64::from(job.attempts.saturating_sub(1));
+        self.faults_injected += job.faults_injected;
+        self.faults_detected += job.faults_detected;
+        if job.measured {
+            self.faults_recovered += job.faults_injected;
+        }
+        if job.eventful() {
+            self.events.push(job);
+        }
+    }
+}
+
+/// Deterministic oracle input shared by every worker of a sweep: the
+/// same pattern the correctness tests use, plus its CPU reference sum.
+#[derive(Debug)]
+struct Oracle {
+    data: Vec<f32>,
+    expect: f64,
+}
+
+impl Oracle {
+    fn new(n: u64) -> Self {
+        let data: Vec<f32> = (0..n).map(|i| ((i % 17) as f32) - 3.0).collect();
+        let expect = cpu_ref::parallel_sum(&data, 4);
+        Oracle { data, expect }
+    }
+
+    fn matches(&self, got: f32) -> bool {
+        let tol = (self.expect.abs() * 1e-5).max(1e-3);
+        (f64::from(got) - self.expect).abs() <= tol
+    }
+}
+
+/// Stable per-job salt: a pure function of the job's identity, so the
+/// derived fault stream never depends on worker scheduling.
+fn job_salt(job: Job) -> u64 {
+    ((job.candidate as u64) << 40)
+        ^ (u64::from(job.tuning.block_size) << 20)
+        ^ u64::from(job.tuning.coarsen)
+}
+
+/// Measure one job under the resilience policy. Infallible: hard
+/// simulator errors become quarantine entries, never sweep aborts.
+fn measure_job_resilient(
+    ctx: &mut BenchContext,
+    job: Job,
+    res: &ResilienceOptions,
+    oracle: Option<&Oracle>,
+) -> (Option<Measurement>, JobReport) {
+    let mut report = JobReport {
+        candidate: job.candidate,
+        version: job.version.to_string(),
+        block_size: job.tuning.block_size,
+        coarsen: job.tuning.coarsen,
+        attempts: 0,
+        faults_injected: 0,
+        faults_detected: 0,
+        measured: false,
+        quarantined: None,
+    };
+    let Ok(sv) = synthesize_cached(job.version, job.tuning, ReduceOp::Sum) else {
+        return (None, report);
+    };
+
+    let max_attempts = res.max_attempts.max(1);
+    for attempt in 0..max_attempts {
+        report.attempts += 1;
+        if attempt > 0 && res.backoff_ms > 0 {
+            let ms = res.backoff_ms << (attempt - 1).min(16);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+
+        // The last attempt always runs clean so an accepted
+        // measurement is never perturbed by injected stalls/flips.
+        let last = attempt + 1 == max_attempts;
+        let fault_active = res.fault.is_some() && (!last || max_attempts == 1);
+        let plan = match (fault_active, res.fault) {
+            (true, Some(fc)) => Some(
+                FaultPlan::seeded(fc.seed, fc.rate_ppm)
+                    .derive(job_salt(job))
+                    .derive(u64::from(attempt)),
+            ),
+            _ => None,
+        };
+        let validate = oracle.is_some()
+            && (fault_active || matches!(res.validate, ValidationPolicy::Always));
+
+        if validate || fault_active {
+            // Faulty/validated attempts run on a fresh scratch device:
+            // its allocation layout (which fault addresses derive
+            // from) is a pure function of `(arch, n)`, never of which
+            // jobs a worker happened to run before — and injected
+            // corruption dies with the device instead of leaking into
+            // the shared timing context.
+            let mut vdev = gpu_sim::Device::new(ctx.dev.arch().clone());
+            let prep = vdev.alloc_f32(ctx.n).and_then(|input| match oracle {
+                Some(o) => vdev.upload_f32(input, &o.data).map(|()| input),
+                None => Ok(input),
+            });
+            let outcome = match prep {
+                Ok(input) => {
+                    vdev.set_fault_plan(plan);
+                    run_reduction(&mut vdev, &sv, input, ctx.n, BlockSelection::All)
+                }
+                Err(e) => Err(e),
+            };
+            // The log survives errored launches, so faults that
+            // caused the failure still count as injected/detected.
+            let injected = vdev.take_fault_log().len() as u64;
+            report.faults_injected += injected;
+            let mismatch = match &outcome {
+                Ok(got) => oracle.is_some_and(|o| !o.matches(*got)),
+                Err(_) => false,
+            };
+            match outcome {
+                Err(SimError::InvalidLaunch(_)) => return (None, report),
+                Err(e) => {
+                    report.faults_detected += injected;
+                    if fault_active {
+                        continue; // possibly transient: retry
+                    }
+                    report.quarantined = Some(classify(&e));
+                    break;
+                }
+                Ok(got) if mismatch => {
+                    report.faults_detected += injected;
+                    if fault_active {
+                        continue; // corruption caught by the oracle: retry
+                    }
+                    let expect = oracle.map_or(f64::NAN, |o| o.expect);
+                    report.quarantined = Some(QuarantineReason::OracleMismatch {
+                        got: f64::from(got),
+                        expect,
+                    });
+                    break;
+                }
+                Ok(_) => {
+                    if fault_active && injected > 0 {
+                        // Correct value, but stalls/storms may have
+                        // perturbed timing: only fault-free attempts
+                        // are accepted as measurements.
+                        if max_attempts == 1 {
+                            report.quarantined = Some(QuarantineReason::PersistentFaults);
+                            break;
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Clean (or validated-clean) timing measurement — the exact
+        // code path of the non-resilient engine.
+        match ctx.measure(&sv) {
+            Ok(time_ns) => {
+                report.measured = true;
+                return (
+                    Some(Measurement {
+                        candidate: job.candidate,
+                        version: job.version,
+                        tuning: job.tuning,
+                        time_ns,
+                        synthesized: sv,
+                    }),
+                    report,
+                );
+            }
+            Err(SimError::InvalidLaunch(_)) => return (None, report),
+            Err(e) => {
+                // The simulator is deterministic: a clean failure is
+                // not transient, so retrying cannot help.
+                report.quarantined = Some(classify(&e));
+                break;
+            }
+        }
+    }
+
+    if report.quarantined.is_none() && !report.measured {
+        report.quarantined = Some(QuarantineReason::PersistentFaults);
+    }
+    (None, report)
+}
+
+/// [`crate::evaluate::evaluate_all`] with retry, quarantine, and
+/// fault-campaign support.
+///
+/// Returns the canonical job slots (identical layout to
+/// `evaluate_all`; quarantined jobs are `None`) plus the
+/// [`ResilienceReport`]. With the default [`ResilienceOptions`]
+/// (no faults, [`ValidationPolicy::Auto`]) the measurements are
+/// bit-identical to `evaluate_all`'s.
+///
+/// # Errors
+///
+/// Only context-pool allocation failures abort; per-job simulator
+/// errors are quarantined instead.
+pub fn evaluate_all_report(
+    pool: &ContextPool,
+    candidates: &[CodeVersion],
+    opts: &EvalOptions,
+    res: &ResilienceOptions,
+) -> Result<(Vec<Option<Measurement>>, ResilienceReport), SimError> {
+    let jobs = jobs_for(candidates);
+    let threads = opts.threads.max(1).min(jobs.len().max(1));
+    let oracle = if res.needs_oracle() { Some(Arc::new(Oracle::new(pool.n()))) } else { None };
+
+    let mut slots: Vec<(Option<Measurement>, Option<JobReport>)> = Vec::new();
+    slots.resize_with(jobs.len(), || (None, None));
+
+    if threads <= 1 {
+        let mut ctx = pool.acquire()?;
+        for (slot, &job) in slots.iter_mut().zip(&jobs) {
+            let (m, r) = measure_job_resilient(&mut ctx, job, res, oracle.as_deref());
+            *slot = (m, Some(r));
+        }
+        pool.release(ctx);
+        return Ok(assemble(slots));
+    }
+
+    let results = Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let pool_err: Mutex<Option<SimError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut ctx = match pool.acquire() {
+                    Ok(ctx) => ctx,
+                    Err(e) => {
+                        let mut slot = pool_err.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        abort.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() || abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let (m, r) = measure_job_resilient(&mut ctx, jobs[i], res, oracle.as_deref());
+                    results.lock()[i] = (m, Some(r));
+                }
+                pool.release(ctx);
+            });
+        }
+    });
+
+    if let Some(e) = pool_err.into_inner() {
+        return Err(e);
+    }
+    Ok(assemble(results.into_inner()))
+}
+
+/// Reduce per-job slots into `(measurements, report)` in canonical
+/// order — the same post-fan-out walk that keeps winners independent
+/// of the thread count.
+fn assemble(
+    slots: Vec<(Option<Measurement>, Option<JobReport>)>,
+) -> (Vec<Option<Measurement>>, ResilienceReport) {
+    let mut measurements = Vec::with_capacity(slots.len());
+    let mut report = ResilienceReport::default();
+    for (m, r) in slots {
+        measurements.push(m);
+        if let Some(job) = r {
+            report.absorb(job);
+        }
+    }
+    (measurements, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{best_measurement, evaluate_all};
+    use gpu_sim::ArchConfig;
+    use tangram_passes::planner;
+
+    fn candidates() -> Vec<CodeVersion> {
+        planner::fig6_best()
+            .into_iter()
+            .take(4)
+            .map(|l| planner::fig6_by_label(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn default_policy_matches_clean_engine_bitwise() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 16_384);
+        let opts = EvalOptions::serial();
+        let clean = evaluate_all(&pool, &cands, &opts).unwrap();
+        let (resilient, report) =
+            evaluate_all_report(&pool, &cands, &opts, &ResilienceOptions::default()).unwrap();
+        assert_eq!(clean.len(), resilient.len());
+        for (c, r) in clean.iter().zip(&resilient) {
+            match (c, r) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits()),
+                _ => panic!("feasibility differs"),
+            }
+        }
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.faults_injected, 0);
+        assert_eq!(report.silent, 0);
+        assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn fault_campaign_recovers_and_keeps_winner() {
+        let arch = ArchConfig::kepler_k40c();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 8_192);
+        let opts = EvalOptions::serial();
+        let clean = evaluate_all(&pool, &cands, &opts).unwrap();
+        let res = ResilienceOptions::campaign(0xC0FFEE, 500);
+        let (faulty, report) = evaluate_all_report(&pool, &cands, &opts, &res).unwrap();
+        assert!(report.faults_injected > 0, "campaign must inject faults");
+        assert_eq!(report.silent, 0, "accepted measurements must be fault-free");
+        assert_eq!(report.quarantined, 0, "clean retries must recover the corpus");
+        assert_eq!(
+            report.faults_recovered,
+            report.faults_injected,
+            "every injected fault is recovered by a clean retry: {}",
+            report.summary_line()
+        );
+        let (cb, fb) = (best_measurement(&clean).unwrap(), best_measurement(&faulty).unwrap());
+        assert_eq!(cb.version, fb.version, "fault campaign must not change the winner");
+        assert_eq!(cb.tuning, fb.tuning);
+        assert_eq!(cb.time_ns.to_bits(), fb.time_ns.to_bits());
+    }
+
+    #[test]
+    fn same_seed_same_report_across_threads() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 4_096);
+        let res = ResilienceOptions::campaign(42, 300);
+        let (m1, r1) =
+            evaluate_all_report(&pool, &cands, &EvalOptions::serial(), &res).unwrap();
+        let (m2, r2) =
+            evaluate_all_report(&pool, &cands, &EvalOptions::with_threads(4), &res).unwrap();
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"), "report depends on thread count");
+        assert_eq!(m1.len(), m2.len());
+        for (a, b) in m1.iter().zip(&m2) {
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => assert_eq!(x.time_ns.to_bits(), y.time_ns.to_bits()),
+                _ => panic!("feasibility differs between thread counts"),
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use tangram_passes::planner::{self, CodeVersion};
 
 use crate::evaluate::{best_measurement, evaluate_all, ContextPool, EvalOptions};
+use crate::resilience::{evaluate_all_report, ResilienceOptions, ResilienceReport};
 use crate::tuner::TunedVersion;
 
 /// One row of a selection sweep: the winning version for a size.
@@ -96,6 +97,40 @@ pub fn select_best_of_with(
     Ok((tuned, row))
 }
 
+/// [`select_best_of_with`] under a resilience policy: traps, timeouts
+/// and oracle mismatches quarantine the offending candidate instead of
+/// aborting the sweep, and the returned [`ResilienceReport`] records
+/// what happened. The winner (when one survives) is bit-identical to
+/// the clean engine's — accepted measurements never run under an
+/// active fault plan.
+///
+/// # Errors
+///
+/// Fails only when the context pool cannot allocate or no candidate
+/// survives (every one infeasible or quarantined).
+pub fn select_best_report(
+    arch: &ArchConfig,
+    n: u64,
+    candidates: &[CodeVersion],
+    opts: &EvalOptions,
+    res: &ResilienceOptions,
+) -> Result<(TunedVersion, SelectionRow, ResilienceReport), SimError> {
+    let pool = ContextPool::new(arch, n);
+    let (results, report) = evaluate_all_report(&pool, candidates, opts, res)?;
+    let best = best_measurement(&results)
+        .ok_or_else(|| SimError::InvalidLaunch("no feasible version".into()))?;
+    let tuned = TunedVersion { synthesized: best.synthesized.clone(), time_ns: best.time_ns };
+    let row = SelectionRow {
+        n,
+        version: best.version,
+        fig6_label: fig6_label_of(best.version),
+        block_size: best.tuning.block_size,
+        coarsen: best.tuning.coarsen,
+        time_ns: best.time_ns,
+    };
+    Ok((tuned, row, report))
+}
+
 /// The Fig. 6 letter of a version, when it is one of the 16.
 pub fn fig6_label_of(version: CodeVersion) -> Option<char> {
     planner::fig6_versions().into_iter().find(|(_, v)| *v == version).map(|(l, _)| l)
@@ -126,6 +161,29 @@ pub fn selection_table_with(
     opts: &EvalOptions,
 ) -> Result<Vec<SelectionRow>, SimError> {
     sizes.iter().map(|&n| select_best_with(arch, n, opts).map(|(_, row)| row)).collect()
+}
+
+/// [`selection_table_with`] under a resilience policy. Reports from
+/// the per-size sweeps are merged into one.
+///
+/// # Errors
+///
+/// See [`select_best_report`].
+pub fn selection_table_report(
+    arch: &ArchConfig,
+    sizes: &[u64],
+    opts: &EvalOptions,
+    res: &ResilienceOptions,
+) -> Result<(Vec<SelectionRow>, ResilienceReport), SimError> {
+    let candidates = planner::enumerate_pruned();
+    let mut rows = Vec::with_capacity(sizes.len());
+    let mut merged = ResilienceReport::default();
+    for &n in sizes {
+        let (_, row, report) = select_best_report(arch, n, &candidates, opts, res)?;
+        rows.push(row);
+        merged.merge(report);
+    }
+    Ok((rows, merged))
 }
 
 #[cfg(test)]

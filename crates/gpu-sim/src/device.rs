@@ -3,7 +3,8 @@
 
 use crate::arch::ArchConfig;
 use crate::error::SimError;
-use crate::exec::{run_kernel, Arg, BlockSelection, LaunchDims};
+use crate::exec::{run_kernel_cfg, Arg, BlockSelection, ExecConfig, LaunchDims, DEFAULT_BUDGET};
+use crate::fault::{FaultPlan, FaultSession, InjectedFault};
 use crate::isa::Ty;
 use crate::kernel::Kernel;
 use crate::memory::LinearMemory;
@@ -65,6 +66,10 @@ pub struct Device {
     next_alloc: u64,
     elapsed_ns: f64,
     launches: Vec<LaunchReport>,
+    instr_budget: u64,
+    fault_plan: Option<FaultPlan>,
+    fault_launch_index: u64,
+    fault_log: Vec<InjectedFault>,
 }
 
 const ALLOC_ALIGN: u64 = 256;
@@ -78,12 +83,53 @@ impl Device {
             next_alloc: ALLOC_ALIGN, // keep address 0 unused (null)
             elapsed_ns: 0.0,
             launches: Vec::new(),
+            instr_budget: DEFAULT_BUDGET,
+            fault_plan: None,
+            fault_launch_index: 0,
+            fault_log: Vec::new(),
         }
     }
 
     /// The device's architecture.
     pub fn arch(&self) -> &ArchConfig {
         &self.arch
+    }
+
+    /// Set the per-block dynamic instruction budget for subsequent
+    /// launches (the runaway-loop guard reported by
+    /// [`SimError::Timeout`]). Values are clamped to at least 1.
+    pub fn set_instr_budget(&mut self, budget: u64) {
+        self.instr_budget = budget.max(1);
+    }
+
+    /// The configured per-block instruction budget.
+    pub fn instr_budget(&self) -> u64 {
+        self.instr_budget
+    }
+
+    /// Install (or clear) a fault-injection plan. Each subsequent
+    /// launch derives its own sub-plan from the plan seed and a
+    /// per-device launch counter, so a fixed plan on a fresh device
+    /// replays bit-for-bit. Installing a plan resets that counter.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+        self.fault_launch_index = 0;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan
+    }
+
+    /// Faults injected since the last [`Device::take_fault_log`], in
+    /// injection order across launches.
+    pub fn fault_log(&self) -> &[InjectedFault] {
+        &self.fault_log
+    }
+
+    /// Drain the accumulated fault log.
+    pub fn take_fault_log(&mut self) -> Vec<InjectedFault> {
+        std::mem::take(&mut self.fault_log)
     }
 
     /// Allocate `bytes` of global memory (256-byte aligned, zeroed).
@@ -191,7 +237,27 @@ impl Device {
         selection: BlockSelection,
         opts: TimingOptions,
     ) -> Result<&LaunchReport, SimError> {
-        let outcome = run_kernel(kernel, &self.arch, dims, args, &mut self.global, selection)?;
+        let mut session = match &self.fault_plan {
+            Some(plan) if !plan.is_empty() => FaultSession::new(
+                &plan.derive(self.fault_launch_index),
+                self.arch.shared_atomic.is_software(),
+            ),
+            _ => FaultSession::disabled(),
+        };
+        self.fault_launch_index += 1;
+        let outcome = run_kernel_cfg(
+            kernel,
+            &self.arch,
+            dims,
+            args,
+            &mut self.global,
+            selection,
+            ExecConfig { budget: Some(self.instr_budget), faults: Some(&mut session) },
+        );
+        // Keep the injection record even when the launch errored — a
+        // trap caused by an injected fault must stay attributable.
+        self.fault_log.extend(session.take_log());
+        let outcome = outcome?;
         let timing = time_launch(&self.arch, kernel, dims, &outcome.stats, opts);
         self.elapsed_ns += timing.time_ns;
         self.launches.push(LaunchReport {

@@ -1,6 +1,61 @@
-//! Simulator error type.
+//! Simulator error types: validation failures, runtime traps and the
+//! deadlock/timeout guards.
+//!
+//! The interpreter never panics on guest kernel input: every malformed
+//! instruction mix that slips past static validation surfaces as a
+//! [`SimError::Trap`] carrying the faulting kernel/pc/warp/lane, and a
+//! barrier that can never be released reports
+//! [`SimError::BarrierDeadlock`] instead of silently releasing or
+//! spinning until the instruction budget runs out.
 
 use std::fmt;
+
+/// What a runtime trap was about — the taxonomy of guest-input faults
+/// the interpreter detects instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrapKind {
+    /// An instruction encoding the interpreter cannot execute (e.g. a
+    /// `plop` with a non-logical operation).
+    IllegalInstruction {
+        /// Human-readable description of the encoding problem.
+        detail: String,
+    },
+    /// An operand/type combination with no defined semantics (e.g. a
+    /// bitwise operation on a floating-point type).
+    IllegalOperandType {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// An `atom.cas` without a compare operand.
+    CasWithoutCmp,
+    /// A memory access that is not naturally aligned for its width.
+    Misaligned {
+        /// Memory space name (`"global"` / `"shared"`).
+        space: &'static str,
+        /// Faulting byte address.
+        addr: u64,
+        /// Required alignment in bytes.
+        required: u64,
+    },
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapKind::IllegalInstruction { detail } => {
+                write!(f, "illegal instruction: {detail}")
+            }
+            TrapKind::IllegalOperandType { detail } => {
+                write!(f, "illegal operand type: {detail}")
+            }
+            TrapKind::CasWithoutCmp => f.write_str("atom.cas without a compare operand"),
+            TrapKind::Misaligned { space, addr, required } => write!(
+                f,
+                "misaligned {space} access at {addr:#x} (requires {required}-byte alignment)"
+            ),
+        }
+    }
+}
 
 /// Errors produced by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +89,31 @@ pub enum SimError {
         /// The budget that was exhausted.
         budget: u64,
     },
+    /// A runtime trap: the interpreter hit guest input it cannot
+    /// execute and stopped at a precise location instead of panicking.
+    Trap {
+        /// Kernel name.
+        kernel: String,
+        /// Program counter of the faulting instruction.
+        pc: usize,
+        /// Warp id within the block.
+        warp: u32,
+        /// Lane id within the warp.
+        lane: u32,
+        /// What went wrong.
+        kind: TrapKind,
+    },
+    /// Barrier-divergence deadlock: at the end of a scheduling round
+    /// some warps of a block wait at a barrier that the remaining,
+    /// already-retired warps can never arrive at.
+    BarrierDeadlock {
+        /// Kernel name.
+        kernel: String,
+        /// Program counter of the barrier the stuck warps wait at.
+        barrier_pc: usize,
+        /// Ids of the warps parked at the barrier.
+        waiting_warps: Vec<u32>,
+    },
     /// An assembler diagnostic.
     Asm {
         /// 1-based source line of the error.
@@ -63,6 +143,15 @@ impl fmt::Display for SimError {
             SimError::Timeout { kernel, budget } => {
                 write!(f, "kernel `{kernel}` exceeded the {budget}-instruction budget")
             }
+            SimError::Trap { kernel, pc, warp, lane, kind } => {
+                write!(f, "trap in kernel `{kernel}` at pc {pc} (warp {warp}, lane {lane}): {kind}")
+            }
+            SimError::BarrierDeadlock { kernel, barrier_pc, waiting_warps } => write!(
+                f,
+                "barrier deadlock in kernel `{kernel}`: {} warp(s) {waiting_warps:?} wait at the \
+                 barrier at pc {barrier_pc} but the other warps of the block have retired",
+                waiting_warps.len()
+            ),
             SimError::Asm { line, reason } => write!(f, "asm error at line {line}: {reason}"),
         }
     }

@@ -14,7 +14,8 @@
 
 use crate::arch::ArchConfig;
 use crate::cfg::Cfg;
-use crate::error::SimError;
+use crate::error::{SimError, TrapKind};
+use crate::fault::{FaultKind, FaultSession, PendingFault};
 use crate::hash::FxHashMap;
 use crate::isa::{
     Address, AtomOp, BinOp, CmpOp, Instr, Operand, ShflMode, Space, Sreg, Ty, UnOp,
@@ -167,6 +168,8 @@ struct BlockCtx<'a> {
     smem: &'a mut LinearMemory,
     stats: LaunchStats,
     budget: u64,
+    /// The configured per-block budget, for accurate Timeout reports.
+    budget_total: u64,
     /// Per-address shared atomic chains within this block.
     shared_chains: &'a mut FxHashMap<u64, u64>,
 }
@@ -225,11 +228,15 @@ impl<'a> BlockCtx<'a> {
     }
 }
 
+// The float/int raw-image converters are total: callers guard on
+// `ty.is_float()`, and for the off-type arms a defined identity-style
+// fallback replaces what used to be an `unreachable!` — guest input
+// must never be able to panic the interpreter.
 fn to_f(ty: Ty, raw: u64) -> f64 {
     match ty {
         Ty::F32 => f64::from(f32::from_bits(raw as u32)),
         Ty::F64 => f64::from_bits(raw),
-        _ => unreachable!("to_f on integer type"),
+        _ => raw as f64,
     }
 }
 
@@ -237,7 +244,7 @@ fn from_f(ty: Ty, v: f64) -> u64 {
     match ty {
         Ty::F32 => u64::from((v as f32).to_bits()),
         Ty::F64 => v.to_bits(),
-        _ => unreachable!("from_f on integer type"),
+        _ => v as u64,
     }
 }
 
@@ -245,9 +252,10 @@ fn to_i(ty: Ty, raw: u64) -> i64 {
     match ty {
         Ty::I32 => raw as u32 as i32 as i64,
         Ty::U32 => i64::from(raw as u32),
-        Ty::I64 => raw as i64,
-        Ty::U64 => raw as i64, // bit image; comparisons handle signedness
-        _ => unreachable!("to_i on float type"),
+        // F32/F64 land here only via the totality fallback; all
+        // remaining types use the 64-bit image directly (comparisons
+        // handle signedness).
+        _ => raw as i64,
     }
 }
 
@@ -259,7 +267,12 @@ fn truncate(ty: Ty, v: u64) -> u64 {
 }
 
 /// Evaluate a binary op on raw register images interpreted as `ty`.
-pub(crate) fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> u64 {
+///
+/// # Errors
+///
+/// [`TrapKind::IllegalOperandType`] for bitwise/shift ops on float
+/// types (no defined semantics).
+pub(crate) fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, TrapKind> {
     if ty.is_float() {
         let (x, y) = (to_f(ty, a), to_f(ty, b));
         let r = match op {
@@ -270,9 +283,13 @@ pub(crate) fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> u64 {
             BinOp::Rem => x % y,
             BinOp::Min => x.min(y),
             BinOp::Max => x.max(y),
-            _ => panic!("bitwise op {op:?} on float type"),
+            _ => {
+                return Err(TrapKind::IllegalOperandType {
+                    detail: format!("bitwise op {op:?} on float type {ty:?}"),
+                })
+            }
         };
-        from_f(ty, r)
+        Ok(from_f(ty, r))
     } else if ty.is_signed() {
         let (x, y) = (to_i(ty, a), to_i(ty, b));
         let r = match op {
@@ -293,7 +310,7 @@ pub(crate) fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> u64 {
             BinOp::Shl => x.wrapping_shl(y as u32 & 63),
             BinOp::Shr => x.wrapping_shr(y as u32 & 63),
         };
-        truncate(ty, r as u64)
+        Ok(truncate(ty, r as u64))
     } else {
         let (x, y) = (truncate(ty, a), truncate(ty, b));
         let r = match op {
@@ -314,7 +331,7 @@ pub(crate) fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> u64 {
             BinOp::Shl => x.wrapping_shl(y as u32 & 63),
             BinOp::Shr => x.wrapping_shr(y as u32 & 63),
         };
-        truncate(ty, r)
+        Ok(truncate(ty, r))
     }
 }
 
@@ -364,7 +381,7 @@ fn eval_cvt(from: Ty, to: Ty, raw: u64) -> u64 {
     }
 }
 
-fn eval_atom(op: AtomOp, ty: Ty, old: u64, src: u64, cmp: Option<u64>) -> u64 {
+fn eval_atom(op: AtomOp, ty: Ty, old: u64, src: u64, cmp: Option<u64>) -> Result<u64, TrapKind> {
     match op {
         AtomOp::Add => eval_bin(BinOp::Add, ty, old, src),
         AtomOp::Sub => eval_bin(BinOp::Sub, ty, old, src),
@@ -373,26 +390,39 @@ fn eval_atom(op: AtomOp, ty: Ty, old: u64, src: u64, cmp: Option<u64>) -> u64 {
         AtomOp::And => eval_bin(BinOp::And, ty, old, src),
         AtomOp::Or => eval_bin(BinOp::Or, ty, old, src),
         AtomOp::Xor => eval_bin(BinOp::Xor, ty, old, src),
-        AtomOp::Exch => truncate(ty, src),
+        AtomOp::Exch => Ok(truncate(ty, src)),
         AtomOp::Cas => {
-            if truncate(ty, old) == truncate(ty, cmp.expect("cas without cmp operand")) {
-                truncate(ty, src)
+            let Some(cmp) = cmp else {
+                return Err(TrapKind::CasWithoutCmp);
+            };
+            if truncate(ty, old) == truncate(ty, cmp) {
+                Ok(truncate(ty, src))
             } else {
-                truncate(ty, old)
+                Ok(truncate(ty, old))
             }
         }
     }
 }
 
-/// Execute `kernel` on `global` memory.
-///
-/// `global_chains` tracks per-address global atomic chains across all
-/// blocks of the launch (for the contention model).
+/// Per-launch execution configuration beyond the launch dims: the
+/// instruction budget and an optional fault-injection session.
+#[derive(Debug, Default)]
+pub struct ExecConfig<'a> {
+    /// Per-block dynamic instruction budget; `None` uses
+    /// [`DEFAULT_BUDGET`].
+    pub budget: Option<u64>,
+    /// Fault-injection session shared across every block of the
+    /// launch; `None` runs fault-free.
+    pub faults: Option<&'a mut FaultSession>,
+}
+
+/// Execute `kernel` on `global` memory with the default budget and no
+/// fault injection.
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] on validation failures, memory faults or
-/// budget exhaustion.
+/// Propagates [`SimError`] on validation failures, memory faults,
+/// runtime traps, barrier deadlock or budget exhaustion.
 pub fn run_kernel(
     kernel: &Kernel,
     arch: &ArchConfig,
@@ -400,6 +430,25 @@ pub fn run_kernel(
     args: &[Arg],
     global: &mut LinearMemory,
     selection: BlockSelection,
+) -> Result<ExecOutcome, SimError> {
+    run_kernel_cfg(kernel, arch, dims, args, global, selection, ExecConfig::default())
+}
+
+/// Execute `kernel` on `global` memory under an explicit
+/// [`ExecConfig`] (instruction budget, fault injection).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] on validation failures, memory faults,
+/// runtime traps, barrier deadlock or budget exhaustion.
+pub fn run_kernel_cfg(
+    kernel: &Kernel,
+    arch: &ArchConfig,
+    dims: LaunchDims,
+    args: &[Arg],
+    global: &mut LinearMemory,
+    selection: BlockSelection,
+    exec_cfg: ExecConfig<'_>,
 ) -> Result<ExecOutcome, SimError> {
     kernel.validate()?;
     if dims.grid == 0 || dims.block == 0 {
@@ -469,6 +518,15 @@ pub fn run_kernel(
     let mut shared_chains: FxHashMap<u64, u64> = FxHashMap::default();
     let mut warps: Vec<WarpExec> = Vec::new();
 
+    let budget = exec_cfg.budget.unwrap_or(DEFAULT_BUDGET).max(1);
+    // A disabled no-op session keeps the hot path branch-free when the
+    // caller does not inject faults.
+    let mut noop_session = FaultSession::disabled();
+    let faults: &mut FaultSession = match exec_cfg.faults {
+        Some(s) => s,
+        None => &mut noop_session,
+    };
+
     for &block_id in &blocks_to_run {
         regs.fill(0);
         preds.fill(false);
@@ -486,10 +544,11 @@ pub fn run_kernel(
             preds: &mut preds,
             smem: &mut smem,
             stats: LaunchStats::default(),
-            budget: DEFAULT_BUDGET,
+            budget,
+            budget_total: budget,
             shared_chains: &mut shared_chains,
         };
-        run_block(&mut ctx, global, &mut global_chains, &mut warps)?;
+        run_block(&mut ctx, global, &mut global_chains, &mut warps, faults)?;
         let block_chain = ctx.shared_chains.values().copied().max().unwrap_or(0);
         ctx.stats.shared_atomic_max_chain_per_block = block_chain;
         ctx.stats.blocks = 1;
@@ -549,6 +608,7 @@ fn scale_stats(s: &mut LaunchStats, f: f64) {
     m(&mut s.shared_atomics);
     m(&mut s.shared_atomic_serial);
     m(&mut s.barriers);
+    m(&mut s.fault_stall_cycles);
     m(&mut s.blocks);
 }
 
@@ -565,6 +625,7 @@ fn run_block(
     global: &mut LinearMemory,
     global_chains: &mut FxHashMap<u64, u64>,
     warps: &mut Vec<WarpExec>,
+    faults: &mut FaultSession,
 ) -> Result<(), SimError> {
     let warp_size = ctx.arch.warp_size;
     let n_warps = ctx.block_dim.div_ceil(warp_size) as usize;
@@ -593,21 +654,86 @@ fn run_block(
     // every warp has exited. Warps that stopped at a barrier resume on
     // the next round (their pc already points past the `Bar`), which
     // is exactly the barrier release.
+    //
+    // A round in which *some* of the warps that ran stopped at a
+    // barrier while the rest retired is a barrier-divergence deadlock:
+    // the waiting warps can never be released, because arrival of the
+    // retired warps is impossible. Report it instead of releasing the
+    // barrier anyway (silent corruption) or spinning until the budget
+    // runs out (a misleading Timeout).
     loop {
         let mut waiting = 0usize;
+        let mut ran = 0usize;
         for warp in warps.iter_mut() {
             if warp.stack.is_empty() {
                 continue; // retired in an earlier round
             }
-            if matches!(run_warp(ctx, warp, global, global_chains)?, WarpStop::Barrier) {
+            ran += 1;
+            if matches!(run_warp(ctx, warp, global, global_chains, faults)?, WarpStop::Barrier) {
                 waiting += 1;
             }
         }
         if waiting == 0 {
             break;
         }
+        if waiting < ran {
+            let waiting_warps: Vec<u32> =
+                warps.iter().filter(|w| !w.stack.is_empty()).map(|w| w.warp_id).collect();
+            // A waiting warp's stack-top pc already points past the
+            // `Bar` it stopped at.
+            let barrier_pc = warps
+                .iter()
+                .find(|w| !w.stack.is_empty())
+                .and_then(|w| w.stack.last())
+                .map_or(0, |top| top.pc.saturating_sub(1));
+            return Err(SimError::BarrierDeadlock {
+                kernel: ctx.kernel.name.clone(),
+                barrier_pc,
+                waiting_warps,
+            });
+        }
     }
     Ok(())
+}
+
+/// Build a [`SimError::Trap`] at a precise fault location.
+fn trap_at(kernel: &Kernel, pc: usize, warp: u32, lane: u32, kind: TrapKind) -> SimError {
+    SimError::Trap { kernel: kernel.name.clone(), pc, warp, lane, kind }
+}
+
+/// Map a drawn fault onto concrete simulator state. Cold: fires at
+/// most `max_faults_per_launch` times per launch.
+#[cold]
+fn apply_fault(
+    ctx: &mut BlockCtx<'_>,
+    global: &mut LinearMemory,
+    faults: &mut FaultSession,
+    pending: PendingFault,
+) {
+    match pending {
+        PendingFault::GlobalBitFlip { pos } => {
+            if let Some((addr, bit)) = global.flip_bit(pos) {
+                faults.record(FaultKind::GlobalBitFlip { addr, bit });
+            }
+        }
+        PendingFault::SharedBitFlip { pos } => {
+            if let Some((addr, bit)) = ctx.smem.flip_bit(pos) {
+                faults.record(FaultKind::SharedBitFlip { addr, bit });
+            } else if let Some((addr, bit)) = global.flip_bit(pos) {
+                // Block without shared memory: land the upset in
+                // global memory instead of losing the event.
+                faults.record(FaultKind::GlobalBitFlip { addr, bit });
+            }
+        }
+        PendingFault::AtomicRetryStorm { extra_serial } => {
+            ctx.stats.shared_atomic_serial += extra_serial;
+            faults.record(FaultKind::AtomicRetryStorm { extra_serial });
+        }
+        PendingFault::WarpStall { cycles } => {
+            ctx.stats.fault_stall_cycles += cycles;
+            faults.record(FaultKind::WarpStall { cycles });
+        }
+    }
 }
 
 /// Execute one warp until it hits a barrier or finishes.
@@ -616,6 +742,7 @@ fn run_warp(
     warp: &mut WarpExec,
     global: &mut LinearMemory,
     global_chains: &mut FxHashMap<u64, u64>,
+    faults: &mut FaultSession,
 ) -> Result<WarpStop, SimError> {
     let warp_size = ctx.arch.warp_size;
     let base_thread = warp.warp_id * warp_size;
@@ -645,9 +772,15 @@ fn run_warp(
             continue;
         }
         if ctx.budget == 0 {
-            return Err(SimError::Timeout { kernel: kernel.name.clone(), budget: DEFAULT_BUDGET });
+            return Err(SimError::Timeout {
+                kernel: kernel.name.clone(),
+                budget: ctx.budget_total,
+            });
         }
         ctx.budget -= 1;
+        if let Some(pending) = faults.poll() {
+            apply_fault(ctx, global, faults, pending);
+        }
 
         let instr = &instrs[pc];
         let n_active = active.count_ones();
@@ -684,6 +817,7 @@ fn run_warp(
                                 from_f(*ty, -to_f(*ty, v))
                             } else {
                                 eval_bin(BinOp::Sub, *ty, 0, v)
+                                    .map_err(|k| trap_at(kernel, pc, warp.warp_id, l, k))?
                             }
                         }
                         UnOp::Not => truncate(*ty, !v),
@@ -695,7 +829,9 @@ fn run_warp(
                 for &l in lanes {
                     let t = thread_of(l);
                     let (x, y) = (ctx.operand(t, *a, *ty), ctx.operand(t, *b, *ty));
-                    ctx.set_reg(t, *dst, eval_bin(*op, *ty, x, y));
+                    let r = eval_bin(*op, *ty, x, y)
+                        .map_err(|k| trap_at(kernel, pc, warp.warp_id, l, k))?;
+                    ctx.set_reg(t, *dst, r);
                 }
             }
             Instr::Mad { ty, dst, a, b, c } => {
@@ -704,8 +840,11 @@ fn run_warp(
                     let x = ctx.operand(t, *a, *ty);
                     let y = ctx.operand(t, *b, *ty);
                     let z = ctx.operand(t, *c, *ty);
-                    let m = eval_bin(BinOp::Mul, *ty, x, y);
-                    ctx.set_reg(t, *dst, eval_bin(BinOp::Add, *ty, m, z));
+                    let m = eval_bin(BinOp::Mul, *ty, x, y)
+                        .map_err(|k| trap_at(kernel, pc, warp.warp_id, l, k))?;
+                    let r = eval_bin(BinOp::Add, *ty, m, z)
+                        .map_err(|k| trap_at(kernel, pc, warp.warp_id, l, k))?;
+                    ctx.set_reg(t, *dst, r);
                 }
             }
             Instr::Cvt { from, to, dst, src } => {
@@ -730,7 +869,17 @@ fn run_warp(
                         BinOp::And => x && y,
                         BinOp::Or => x || y,
                         BinOp::Xor => x ^ y,
-                        other => panic!("plop with non-logical op {other:?}"),
+                        other => {
+                            return Err(trap_at(
+                                kernel,
+                                pc,
+                                warp.warp_id,
+                                l,
+                                TrapKind::IllegalInstruction {
+                                    detail: format!("plop with non-logical op {other:?}"),
+                                },
+                            ))
+                        }
                     };
                     ctx.set_pred(t, *dst, r);
                 }
@@ -753,6 +902,15 @@ fn run_warp(
                 for (i, &l) in lanes.iter().enumerate() {
                     let t = thread_of(l);
                     let a = ctx.addr(t, addr);
+                    if a % (elem * n) != 0 {
+                        return Err(trap_at(
+                            kernel,
+                            pc,
+                            warp.warp_id,
+                            l,
+                            TrapKind::Misaligned { space: space.label(), addr: a, required: elem * n },
+                        ));
+                    }
                     access_buf[i] = (a, elem * n);
                     for k in 0..width.lanes() {
                         let v = match space {
@@ -776,6 +934,15 @@ fn run_warp(
                 for (i, &l) in lanes.iter().enumerate() {
                     let t = thread_of(l);
                     let a = ctx.addr(t, addr);
+                    if a % (elem * n) != 0 {
+                        return Err(trap_at(
+                            kernel,
+                            pc,
+                            warp.warp_id,
+                            l,
+                            TrapKind::Misaligned { space: space.label(), addr: a, required: elem * n },
+                        ));
+                    }
                     access_buf[i] = (a, elem * n);
                     for k in 0..width.lanes() {
                         let v = ctx.reg(t, src + k);
@@ -793,18 +960,31 @@ fn run_warp(
                 for (i, &l) in lanes.iter().enumerate() {
                     let t = thread_of(l);
                     let a = ctx.addr(t, addr);
+                    if a % ty.size() != 0 {
+                        return Err(trap_at(
+                            kernel,
+                            pc,
+                            warp.warp_id,
+                            l,
+                            TrapKind::Misaligned { space: space.label(), addr: a, required: ty.size() },
+                        ));
+                    }
                     addr_buf[i] = a;
                     let s = ctx.operand(t, *src, *ty);
                     let c = cmp.map(|c| ctx.operand(t, c, *ty));
                     let old = match space {
                         Space::Global => {
                             let old = global.read(*ty, a)?;
-                            global.write(*ty, a, eval_atom(*op, *ty, old, s, c))?;
+                            let new = eval_atom(*op, *ty, old, s, c)
+                                .map_err(|k| trap_at(kernel, pc, warp.warp_id, l, k))?;
+                            global.write(*ty, a, new)?;
                             old
                         }
                         Space::Shared => {
                             let old = ctx.smem.read(*ty, a)?;
-                            ctx.smem.write(*ty, a, eval_atom(*op, *ty, old, s, c))?;
+                            let new = eval_atom(*op, *ty, old, s, c)
+                                .map_err(|k| trap_at(kernel, pc, warp.warp_id, l, k))?;
+                            ctx.smem.write(*ty, a, new)?;
                             old
                         }
                     };
@@ -1314,11 +1494,11 @@ mod tests {
     #[test]
     fn f32_arithmetic() {
         assert_eq!(
-            f32::from_bits(eval_bin(BinOp::Add, Ty::F32, u64::from(2.5f32.to_bits()), u64::from(0.25f32.to_bits())) as u32),
+            f32::from_bits(eval_bin(BinOp::Add, Ty::F32, u64::from(2.5f32.to_bits()), u64::from(0.25f32.to_bits())).unwrap() as u32),
             2.75
         );
         assert_eq!(
-            f32::from_bits(eval_bin(BinOp::Max, Ty::F32, u64::from((-1.0f32).to_bits()), u64::from(3.0f32.to_bits())) as u32),
+            f32::from_bits(eval_bin(BinOp::Max, Ty::F32, u64::from((-1.0f32).to_bits()), u64::from(3.0f32.to_bits())).unwrap() as u32),
             3.0
         );
     }
@@ -1327,7 +1507,212 @@ mod tests {
     fn signed_compare_and_div() {
         assert!(eval_cmp(CmpOp::Lt, Ty::I32, (-5i32) as u32 as u64, 3));
         assert!(!eval_cmp(CmpOp::Lt, Ty::U32, (-5i32) as u32 as u64, 3));
-        assert_eq!(eval_bin(BinOp::Div, Ty::I32, (-6i32) as u32 as u64, 2) as u32 as i32, -3);
-        assert_eq!(eval_bin(BinOp::Div, Ty::U32, 7, 0), 0);
+        assert_eq!(eval_bin(BinOp::Div, Ty::I32, (-6i32) as u32 as u64, 2).unwrap() as u32 as i32, -3);
+        assert_eq!(eval_bin(BinOp::Div, Ty::U32, 7, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn bitwise_on_float_traps_not_panics() {
+        let err = eval_bin(BinOp::And, Ty::F32, 1, 2).unwrap_err();
+        assert!(matches!(err, TrapKind::IllegalOperandType { .. }));
+        // Through the interpreter: a directly-constructed kernel (the
+        // builder and assembler cannot emit this) must trap with a
+        // precise location, not panic.
+        let k = Kernel {
+            name: "badop".into(),
+            instrs: vec![
+                Instr::Bin {
+                    op: BinOp::Xor,
+                    ty: Ty::F32,
+                    dst: 0,
+                    a: Operand::ImmF(1.0),
+                    b: Operand::ImmF(2.0),
+                },
+                Instr::Exit,
+            ],
+            params: vec![],
+            static_smem: 0,
+            dynamic_smem: false,
+            num_regs: 1,
+            num_preds: 0,
+            cfg_cache: Default::default(),
+        };
+        let mut mem = LinearMemory::new(0, "global");
+        let err = run_kernel(&k, &arch(), LaunchDims::new(1, 32), &[], &mut mem, BlockSelection::All)
+            .unwrap_err();
+        match err {
+            SimError::Trap { pc, warp, kind, .. } => {
+                assert_eq!(pc, 0);
+                assert_eq!(warp, 0);
+                assert!(matches!(kind, TrapKind::IllegalOperandType { .. }));
+            }
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cas_without_cmp_traps() {
+        assert!(matches!(
+            eval_atom(AtomOp::Cas, Ty::U32, 0, 1, None).unwrap_err(),
+            TrapKind::CasWithoutCmp
+        ));
+        let k = Kernel {
+            name: "badcas".into(),
+            instrs: vec![
+                Instr::Atom {
+                    space: Space::Global,
+                    scope: Scope::Gpu,
+                    op: AtomOp::Cas,
+                    ty: Ty::U32,
+                    dst: None,
+                    addr: Address::new(Operand::ImmI(0), 0),
+                    src: Operand::ImmI(1),
+                    cmp: None,
+                },
+                Instr::Exit,
+            ],
+            params: vec![],
+            static_smem: 0,
+            dynamic_smem: false,
+            num_regs: 1,
+            num_preds: 0,
+            cfg_cache: Default::default(),
+        };
+        let mut mem = LinearMemory::new(64, "global");
+        let err = run_kernel(&k, &arch(), LaunchDims::new(1, 1), &[], &mut mem, BlockSelection::All)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Trap { kind: TrapKind::CasWithoutCmp, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        // A 4-byte load from address 2.
+        let mut b = KernelBuilder::new("mis");
+        let inp = b.param_ptr();
+        let v = b.reg();
+        b.ld(Space::Global, Ty::U32, v, Address::new(Operand::Param(inp), 2));
+        b.exit();
+        let k = b.finish().unwrap();
+        let mut mem = LinearMemory::new(64, "global");
+        let err = run_kernel(&k, &arch(), LaunchDims::new(1, 1), &[Arg::Ptr(0)], &mut mem, BlockSelection::All)
+            .unwrap_err();
+        match err {
+            SimError::Trap { kind: TrapKind::Misaligned { space, addr, required }, .. } => {
+                assert_eq!(space, "global");
+                assert_eq!(addr, 2);
+                assert_eq!(required, 4);
+            }
+            other => panic!("expected misaligned trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_deadlock_detected() {
+        // Warp 0 reaches a barrier; warp 1 exits first: classic
+        // barrier-divergence deadlock across warps.
+        let mut b = KernelBuilder::new("dead");
+        let p = b.pred();
+        let skip = b.label();
+        b.setp(CmpOp::Lt, Ty::U32, p, Operand::Sreg(Sreg::TidX), Operand::ImmI(32));
+        b.bra_if(p, false, skip);
+        b.bar();
+        b.place(skip);
+        b.exit();
+        let k = b.finish().unwrap();
+        let mut mem = LinearMemory::new(0, "global");
+        let err = run_kernel(&k, &arch(), LaunchDims::new(1, 64), &[], &mut mem, BlockSelection::All)
+            .unwrap_err();
+        match err {
+            SimError::BarrierDeadlock { barrier_pc, waiting_warps, .. } => {
+                assert_eq!(waiting_warps, vec![0]);
+                // pc 0 = setp, pc 1 = bra, pc 2 = bar.
+                assert_eq!(barrier_pc, 2);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uniform_barriers_still_release() {
+        // Sanity check against false positives: both warps barrier
+        // twice, then exit together.
+        let mut b = KernelBuilder::new("ok");
+        b.bar();
+        b.bar();
+        b.exit();
+        let k = b.finish().unwrap();
+        let mut mem = LinearMemory::new(0, "global");
+        run_kernel(&k, &arch(), LaunchDims::new(1, 64), &[], &mut mem, BlockSelection::All).unwrap();
+    }
+
+    #[test]
+    fn timeout_reports_configured_budget() {
+        // An infinite loop under a tiny explicit budget.
+        let mut b = KernelBuilder::new("spin");
+        let top = b.label();
+        b.place(top);
+        b.bra(top);
+        let k = b.finish().unwrap();
+        let mut mem = LinearMemory::new(0, "global");
+        let err = run_kernel_cfg(
+            &k,
+            &arch(),
+            LaunchDims::new(1, 32),
+            &[],
+            &mut mem,
+            BlockSelection::All,
+            ExecConfig { budget: Some(1000), faults: None },
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::Timeout { kernel: "spin".into(), budget: 1000 });
+    }
+
+    #[test]
+    fn fault_session_is_deterministic_and_logged() {
+        use crate::fault::FaultPlan;
+        // A kernel long enough for a high-rate plan to fire.
+        let mut b = KernelBuilder::new("loopy");
+        let outp = b.param_ptr();
+        let i = b.reg();
+        let a = b.reg();
+        let p = b.pred();
+        let top = b.label();
+        let done = b.label();
+        b.mov(Ty::U32, i, Operand::ImmI(0));
+        b.place(top);
+        b.setp(CmpOp::Ge, Ty::U32, p, Operand::Reg(i), Operand::ImmI(2000));
+        b.bra_if(p, true, done);
+        b.bin(BinOp::Add, Ty::U32, i, Operand::Reg(i), Operand::ImmI(1));
+        b.bra(top);
+        b.place(done);
+        b.cvt(Ty::U32, Ty::U64, a, Operand::Sreg(Sreg::TidX));
+        b.bin(BinOp::Mul, Ty::U64, a, Operand::Reg(a), Operand::ImmI(4));
+        b.bin(BinOp::Add, Ty::U64, a, Operand::Reg(a), Operand::Param(outp));
+        b.st(Space::Global, Ty::U32, i, Address::reg(a));
+        b.exit();
+        let k = b.finish().unwrap();
+
+        let run = |seed: u64| {
+            let mut mem = LinearMemory::new(4 * 32, "global");
+            let mut session = FaultSession::new(&FaultPlan::seeded(seed, 2_000), false);
+            run_kernel_cfg(
+                &k,
+                &arch(),
+                LaunchDims::new(1, 32),
+                &[Arg::Ptr(0)],
+                &mut mem,
+                BlockSelection::All,
+                ExecConfig { budget: None, faults: Some(&mut session) },
+            )
+            .unwrap();
+            (session.take_log(), mem.read_bytes(0, 4 * 32).unwrap())
+        };
+        let (log_a, mem_a) = run(42);
+        let (log_b, mem_b) = run(42);
+        assert!(!log_a.is_empty(), "2000ppm over ~10k instrs should inject");
+        assert_eq!(log_a, log_b, "same seed must inject identical faults");
+        assert_eq!(mem_a, mem_b, "corrupted memory must be bit-identical");
+        let (log_c, _) = run(43);
+        assert_ne!(log_a, log_c, "different seed should differ");
     }
 }

@@ -1,0 +1,345 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seed plus a rate; a per-launch [`FaultSession`]
+//! expands it lazily into a stream of fault events as the interpreter
+//! issues instructions. Everything is derived from the seed with a
+//! counter-free xorshift generator, so a campaign is replayable
+//! bit-for-bit: the same plan on the same launch injects the same
+//! faults at the same dynamic instruction indices, regardless of host
+//! thread count or wall-clock time.
+//!
+//! The injected fault classes model the transient failures the
+//! robustness layer must recover from or quarantine:
+//!
+//! * single bit-flips in global memory (DRAM upsets);
+//! * single bit-flips in the current block's shared memory (SRAM
+//!   upsets);
+//! * retry storms on the Kepler software-lock shared-atomic path
+//!   (extra lock-acquire serialization, a timing-only fault);
+//! * transient warp stalls (scheduler hiccups, also timing-only).
+//!
+//! The hot-path cost in the interpreter is one counter increment and
+//! one predictable compare per issued warp instruction; a disabled
+//! session keeps its trigger at `u64::MAX` and never fires.
+
+use serde::Serialize;
+
+/// A seeded, rate-controlled fault-injection plan.
+///
+/// `rate_ppm` is the expected number of injected faults per million
+/// issued warp instructions; zero disables injection entirely (the
+/// "empty plan"). Plans are tiny value types — derive per-launch or
+/// per-attempt variants with [`FaultPlan::derive`] so retries observe
+/// *different* transient faults from the same campaign seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FaultPlan {
+    /// Campaign seed; all randomness derives from it.
+    pub seed: u64,
+    /// Expected faults per million issued warp instructions.
+    pub rate_ppm: u32,
+    /// Upper bound on faults injected into one launch.
+    pub max_faults_per_launch: u32,
+}
+
+impl FaultPlan {
+    /// A plan injecting roughly `rate_ppm` faults per million issued
+    /// warp instructions, capped at 8 faults per launch.
+    pub fn seeded(seed: u64, rate_ppm: u32) -> Self {
+        FaultPlan { seed, rate_ppm, max_faults_per_launch: 8 }
+    }
+
+    /// The empty plan: replayable but injecting nothing.
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan { seed, rate_ppm: 0, max_faults_per_launch: 0 }
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_empty(&self) -> bool {
+        self.rate_ppm == 0 || self.max_faults_per_launch == 0
+    }
+
+    /// Derive a sub-plan whose stream is decorrelated from this one by
+    /// `salt` (e.g. a launch index or retry attempt), deterministically.
+    pub fn derive(self, salt: u64) -> Self {
+        FaultPlan { seed: splitmix64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)), ..self }
+    }
+}
+
+/// One fault actually injected into a launch, as recorded in the
+/// session log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct InjectedFault {
+    /// Dynamic warp-instruction index (within the launch) at which the
+    /// fault fired.
+    pub instr_index: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// The concrete fault classes a session can inject.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum FaultKind {
+    /// A single bit flipped in global memory.
+    GlobalBitFlip {
+        /// Byte address of the flipped bit.
+        addr: u64,
+        /// Bit index within the byte (0–7).
+        bit: u8,
+    },
+    /// A single bit flipped in the executing block's shared memory.
+    SharedBitFlip {
+        /// Byte address of the flipped bit.
+        addr: u64,
+        /// Bit index within the byte (0–7).
+        bit: u8,
+    },
+    /// A lock-retry storm on the software shared-atomic path: the
+    /// modelled lock loop spins `extra_serial` additional conflict
+    /// rounds.
+    AtomicRetryStorm {
+        /// Extra serialized conflict rounds charged to the launch.
+        extra_serial: u64,
+    },
+    /// A transient warp stall of `cycles` issue cycles.
+    WarpStall {
+        /// Stall length in issue cycles.
+        cycles: u64,
+    },
+}
+
+/// A fault drawn by the session, before the interpreter maps it onto
+/// concrete state (the session does not know memory sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PendingFault {
+    /// Flip a global-memory bit; `pos` is an unbounded draw the
+    /// interpreter reduces modulo the memory's size in bits.
+    GlobalBitFlip {
+        /// Unbounded bit-position draw.
+        pos: u64,
+    },
+    /// Flip a shared-memory bit (falls back to global when the block
+    /// has no shared memory).
+    SharedBitFlip {
+        /// Unbounded bit-position draw.
+        pos: u64,
+    },
+    /// Charge extra software-lock serialization.
+    AtomicRetryStorm {
+        /// Extra serialized conflict rounds.
+        extra_serial: u64,
+    },
+    /// Stall a warp.
+    WarpStall {
+        /// Stall length in issue cycles.
+        cycles: u64,
+    },
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Per-launch fault state: expands a [`FaultPlan`] into events and
+/// records what was injected.
+#[derive(Debug)]
+pub struct FaultSession {
+    state: u64,
+    instr: u64,
+    next_trigger: u64,
+    mean_gap: u64,
+    remaining: u32,
+    allow_storm: bool,
+    log: Vec<InjectedFault>,
+}
+
+impl FaultSession {
+    /// A session that never fires — the interpreter's default. Costs
+    /// one increment and one always-false compare per issue.
+    pub fn disabled() -> Self {
+        FaultSession {
+            state: 0,
+            instr: 0,
+            next_trigger: u64::MAX,
+            mean_gap: 0,
+            remaining: 0,
+            allow_storm: false,
+            log: Vec::new(),
+        }
+    }
+
+    /// A session for one launch of a campaign. `allow_storm` should be
+    /// true only on architectures with the software shared-atomic lock
+    /// path (the storm fault models lock retries, which native units
+    /// do not have).
+    pub fn new(plan: &FaultPlan, allow_storm: bool) -> Self {
+        if plan.is_empty() {
+            return FaultSession::disabled();
+        }
+        // Mean gap between faults in issued instructions; the draw is
+        // uniform in [1, 2*mean], giving the requested expected rate.
+        let mean_gap = (1_000_000u64 / u64::from(plan.rate_ppm)).max(1);
+        let mut s = FaultSession {
+            state: splitmix64(plan.seed),
+            instr: 0,
+            next_trigger: 0,
+            mean_gap,
+            remaining: plan.max_faults_per_launch,
+            allow_storm,
+            log: Vec::new(),
+        };
+        s.schedule_next();
+        s
+    }
+
+    fn rng(&mut self) -> u64 {
+        // xorshift64*: tiny, fast, and plenty for fault placement.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn schedule_next(&mut self) {
+        if self.remaining == 0 {
+            self.next_trigger = u64::MAX;
+            return;
+        }
+        let gap = 1 + self.rng() % (2 * self.mean_gap);
+        self.next_trigger = self.instr.saturating_add(gap);
+    }
+
+    /// Advance the issue counter; returns a fault to apply when the
+    /// trigger fires. Hot path: inline, one add, one compare.
+    #[inline]
+    pub fn poll(&mut self) -> Option<PendingFault> {
+        self.instr += 1;
+        if self.instr < self.next_trigger {
+            return None;
+        }
+        self.fire()
+    }
+
+    #[cold]
+    fn fire(&mut self) -> Option<PendingFault> {
+        if self.remaining == 0 {
+            self.next_trigger = u64::MAX;
+            return None;
+        }
+        self.remaining -= 1;
+        let draw = self.rng();
+        let fault = match draw % 100 {
+            // 40% global flips, 25% shared flips, 20% stalls, 15%
+            // storms (drawn as stalls when storms are not modelled).
+            0..=39 => PendingFault::GlobalBitFlip { pos: self.rng() },
+            40..=64 => PendingFault::SharedBitFlip { pos: self.rng() },
+            65..=84 => PendingFault::WarpStall { cycles: 16 + self.rng() % 240 },
+            _ if self.allow_storm => {
+                PendingFault::AtomicRetryStorm { extra_serial: 8 + self.rng() % 56 }
+            }
+            _ => PendingFault::WarpStall { cycles: 16 + self.rng() % 240 },
+        };
+        self.schedule_next();
+        Some(fault)
+    }
+
+    /// Record a fault the interpreter actually applied.
+    pub fn record(&mut self, kind: FaultKind) {
+        self.log.push(InjectedFault { instr_index: self.instr, kind });
+    }
+
+    /// Number of issued warp instructions seen so far.
+    pub fn instr_index(&self) -> u64 {
+        self.instr
+    }
+
+    /// Faults injected so far, in injection order.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    /// Drain the injection log.
+    pub fn take_log(&mut self) -> Vec<InjectedFault> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_session_never_fires() {
+        let mut s = FaultSession::disabled();
+        for _ in 0..100_000 {
+            assert!(s.poll().is_none());
+        }
+        assert!(s.log().is_empty());
+    }
+
+    #[test]
+    fn empty_plan_is_disabled() {
+        let mut s = FaultSession::new(&FaultPlan::empty(42), true);
+        for _ in 0..10_000 {
+            assert!(s.poll().is_none());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let plan = FaultPlan::seeded(7, 10_000); // ~1 per 100 instrs
+        let run = || {
+            let mut s = FaultSession::new(&plan, true);
+            let mut events = Vec::new();
+            for i in 0..10_000u64 {
+                if let Some(f) = s.poll() {
+                    events.push((i, f));
+                }
+            }
+            events
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty(), "rate 10000ppm over 10k instrs should fire");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn derived_plans_differ() {
+        let base = FaultPlan::seeded(7, 10_000);
+        let a = base.derive(1);
+        let b = base.derive(2);
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.seed, base.seed);
+        // Same salt → same derived seed (replayability of retries).
+        assert_eq!(base.derive(1), a);
+    }
+
+    #[test]
+    fn cap_limits_fault_count() {
+        let plan = FaultPlan { seed: 3, rate_ppm: 500_000, max_faults_per_launch: 4 };
+        let mut s = FaultSession::new(&plan, false);
+        let mut fired = 0;
+        for _ in 0..100_000 {
+            if s.poll().is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 4);
+    }
+
+    #[test]
+    fn storms_only_when_allowed() {
+        let plan = FaultPlan { seed: 11, rate_ppm: 500_000, max_faults_per_launch: 1000 };
+        let mut s = FaultSession::new(&plan, false);
+        for _ in 0..100_000 {
+            if let Some(f) = s.poll() {
+                assert!(!matches!(f, PendingFault::AtomicRetryStorm { .. }));
+            }
+        }
+    }
+}

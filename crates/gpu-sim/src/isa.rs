@@ -148,12 +148,19 @@ pub enum Space {
     Shared,
 }
 
-impl fmt::Display for Space {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Space {
+    /// Static diagnostic label (matches the `LinearMemory` space tag).
+    pub fn label(self) -> &'static str {
+        match self {
             Space::Global => "global",
             Space::Shared => "shared",
-        })
+        }
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 

@@ -56,6 +56,7 @@ pub mod cfg;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod hash;
 pub mod isa;
 pub mod kernel;
@@ -65,8 +66,9 @@ pub mod timing;
 
 pub use arch::{ArchConfig, SharedAtomicImpl};
 pub use device::{Device, DevicePtr, LaunchReport};
-pub use error::SimError;
-pub use exec::{Arg, BlockSelection, LaunchDims};
+pub use error::{SimError, TrapKind};
+pub use exec::{Arg, BlockSelection, ExecConfig, LaunchDims};
+pub use fault::{FaultKind, FaultPlan, FaultSession, InjectedFault};
 pub use kernel::{Kernel, KernelBuilder, ParamKind};
 pub use stats::LaunchStats;
 pub use timing::{LaunchTiming, Limiter, TimingOptions};

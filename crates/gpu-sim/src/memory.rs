@@ -114,6 +114,19 @@ impl LinearMemory {
     pub fn clear(&mut self) {
         self.bytes.fill(0);
     }
+
+    /// Flip one bit (fault injection). `bit_index` is reduced modulo
+    /// the capacity in bits; returns the `(byte address, bit)` actually
+    /// flipped, or `None` when the memory is empty.
+    pub fn flip_bit(&mut self, bit_index: u64) -> Option<(u64, u8)> {
+        if self.bytes.is_empty() {
+            return None;
+        }
+        let b = bit_index % (self.bytes.len() as u64 * 8);
+        let (addr, bit) = (b / 8, (b % 8) as u8);
+        self.bytes[addr as usize] ^= 1 << bit;
+        Some((addr, bit))
+    }
 }
 
 /// Largest warp handled by the allocation-free fast paths below. The
@@ -248,6 +261,19 @@ mod tests {
         m.grow(16);
         assert_eq!(m.read(Ty::U32, 0).unwrap(), 7);
         assert_eq!(m.read(Ty::U32, 12).unwrap(), 0);
+    }
+
+    #[test]
+    fn flip_bit_toggles_and_wraps() {
+        let mut m = LinearMemory::new(4, "global");
+        m.write(Ty::U32, 0, 0).unwrap();
+        assert_eq!(m.flip_bit(1), Some((0, 1)));
+        assert_eq!(m.read(Ty::U32, 0).unwrap(), 2);
+        // Out-of-range index wraps modulo 32 bits.
+        assert_eq!(m.flip_bit(33), Some((0, 1)));
+        assert_eq!(m.read(Ty::U32, 0).unwrap(), 0);
+        let mut empty = LinearMemory::new(0, "shared");
+        assert_eq!(empty.flip_bit(5), None);
     }
 
     #[test]

@@ -123,6 +123,7 @@ pub fn time_launch(
     }
     issue_cycles += stats.total_warp_instrs() as f64 * opts.extra_issue_cycles;
     issue_cycles += stats.shared_bank_conflict_cycles as f64;
+    issue_cycles += stats.fault_stall_cycles as f64;
     // Shared atomics: per-issue base plus serialization, under the
     // generation's implementation.
     let shared_issues = stats.class(InstrClass::AtomShared) as f64;

@@ -28,4 +28,43 @@ if [ "$one" != "$four" ]; then
   exit 1
 fi
 
+echo "== fault-injection smoke campaign (seed 7, 400 ppm) =="
+# A seeded campaign must (a) still produce a winner, (b) report that
+# every injected fault was detected-and-recovered or quarantined (no
+# silent corruption), and (c) replay identically at any thread count.
+campaign() {
+  ./target/release/sweep --arch maxwell --n 65536 --threads "$1" \
+    --fault-seed 7 --fault-rate 400 | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//'
+}
+c1=$(campaign 1)
+c4=$(campaign 4)
+if [ "$c1" != "$c4" ]; then
+  echo "FAULT-CAMPAIGN DETERMINISM MISMATCH between --threads 1 and --threads 4:" >&2
+  echo "  $c1" >&2
+  echo "  $c4" >&2
+  exit 1
+fi
+echo "$c1" | grep -q "winner=" || { echo "campaign produced no winner" >&2; exit 1; }
+res=$(echo "$c1" | grep "^resilience:")
+echo "  $res"
+echo "$res" | grep -q " silent=0$" || { echo "campaign reported silent faults" >&2; exit 1; }
+injected=$(echo "$res" | sed 's/.*faults=\([0-9]*\).*/\1/')
+recovered=$(echo "$res" | sed 's/.*recovered=\([0-9]*\).*/\1/')
+quarantined=$(echo "$res" | sed 's/.*quarantined=\([0-9]*\).*/\1/')
+if [ "$injected" -eq 0 ]; then
+  echo "campaign injected no faults (rate too low for smoke test)" >&2; exit 1
+fi
+if [ "$quarantined" -eq 0 ] && [ "$recovered" -ne "$injected" ]; then
+  echo "faults neither recovered nor quarantined: $res" >&2; exit 1
+fi
+# The campaign winner must be bit-identical to the fault-free sweep.
+clean_winner=$(echo "$one" | grep -o "winner=.*")
+fault_winner=$(echo "$c1" | grep -o "winner=.*")
+if [ "$clean_winner" != "$fault_winner" ]; then
+  echo "fault campaign changed the winner:" >&2
+  echo "  clean: $clean_winner" >&2
+  echo "  fault: $fault_winner" >&2
+  exit 1
+fi
+
 echo "verify.sh: all checks passed"
