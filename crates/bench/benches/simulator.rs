@@ -7,7 +7,7 @@ use std::time::Duration;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gpu_baselines::CubReduce;
 use gpu_sim::exec::BlockSelection;
-use gpu_sim::{ArchConfig, Device};
+use gpu_sim::{ArchConfig, Device, ExecMode};
 use tangram::evaluate::{evaluate_all, ContextPool, EvalOptions};
 use tangram::tangram_codegen::{synthesize, Tuning};
 use tangram::tangram_passes::planner;
@@ -66,6 +66,38 @@ fn warp_issue_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warp-uniform scalarization: the same synthesized kernels under the
+/// predecoded µop engine (warp-uniform ops execute once per warp and
+/// broadcast) and under the lane-wise reference interpreter (every op
+/// executes per active lane). The uop/reference ratio is the
+/// end-to-end win of predecode plus scalarization; BENCH_interp.json
+/// records the medians.
+fn uniform_scalarization(c: &mut Criterion) {
+    let n: u64 = 32_768;
+    let data: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+    let arch = ArchConfig::maxwell_gtx980();
+    let mut group = c.benchmark_group("uniform-scalarization");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    // (m) = shared-memory tree: uniform loop bounds and barriers.
+    // (p) = shuffle + atomic: uniform shuffle deltas, divergent tail.
+    for label in ['m', 'p'] {
+        let sv = synthesize(planner::fig6_by_label(label).unwrap(), Tuning::default()).unwrap();
+        for (mode_name, mode) in [("uop", ExecMode::Predecoded), ("reference", ExecMode::Reference)]
+        {
+            group.bench_function(format!("fig6-{label}/{mode_name}"), |b| {
+                let mut dev = Device::new(arch.clone());
+                dev.set_exec_mode(mode);
+                let input = upload(&mut dev, &data).unwrap();
+                b.iter(|| {
+                    dev.reset_clock();
+                    run_reduction(&mut dev, &sv, input, n, BlockSelection::All).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The full tuner sweep over the pruned space at one size — the
 /// workload the parallel evaluation engine accelerates. Serial and
 /// 4-worker variants bracket the engine overhead; BENCH_sweep.json
@@ -99,6 +131,6 @@ fn synthesis_cost(c: &mut Criterion) {
 criterion_group! {
     name = simulator;
     config = Criterion::default().without_plots();
-    targets = interpreter_throughput, warp_issue_dispatch, tuner_sweep, synthesis_cost
+    targets = interpreter_throughput, warp_issue_dispatch, uniform_scalarization, tuner_sweep, synthesis_cost
 }
 criterion_main!(simulator);

@@ -11,6 +11,12 @@
 //! `--threads N` sets the evaluation engine's worker count (default:
 //! available parallelism). The output is bit-identical for any N.
 //!
+//! `--sweep-mode exhaustive|halving` selects the search strategy
+//! (default: exhaustive), `--interp uop|reference` the interpreter
+//! hot path (default: the predecoded µop engine), and
+//! `--instr-budget I` overrides the per-block dynamic instruction
+//! budget. See `figures --help` for the full flag list.
+//!
 //! `--fault-seed S` runs the sweeps as a deterministic fault-injection
 //! campaign at `--fault-rate PPM` (default 200) faults per million
 //! instructions: misbehaving candidates are retried and quarantined
@@ -20,8 +26,8 @@
 
 use std::fmt::Write as _;
 
-use gpu_sim::ArchConfig;
-use tangram::evaluate::EvalOptions;
+use gpu_sim::{ArchConfig, ExecMode};
+use tangram::evaluate::{EvalOptions, SweepMode};
 use tangram::paper_sizes;
 use tangram::resilience::ResilienceOptions;
 use tangram_bench::{
@@ -29,20 +35,82 @@ use tangram_bench::{
 };
 use tangram_passes::planner;
 
+const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|all]
+               [--max-size N] [--json PATH] [--threads T]
+               [--sweep-mode exhaustive|halving] [--interp uop|reference]
+               [--instr-budget I] [--fault-seed S] [--fault-rate PPM]
+
+  --max-size N      largest array size swept (default 268435456)
+  --json PATH       write the swept series to PATH as JSON
+  --threads T       evaluation worker threads (default: available parallelism)
+  --sweep-mode M    exhaustive | halving (default exhaustive); winners are
+                    bit-identical, halving skips dominated tunings
+  --interp M        uop | reference interpreter hot path (default uop)
+  --instr-budget I  per-block dynamic instruction budget (runaway guard)
+  --fault-seed S    enable a deterministic fault-injection campaign
+  --fault-rate PPM  injected faults per million instructions (default 200)";
+
+/// Flags that take a value, for unknown-flag detection.
+const KNOWN_FLAGS: [&str; 8] = [
+    "--max-size",
+    "--json",
+    "--threads",
+    "--sweep-mode",
+    "--interp",
+    "--instr-budget",
+    "--fault-seed",
+    "--fault-rate",
+];
+
 fn die(msg: &str) -> ! {
     eprintln!("figures: {msg}");
     std::process::exit(1);
 }
 
+/// Reject any `--flag` that is not in [`KNOWN_FLAGS`], naming it —
+/// a typo must not silently fall back to a default.
+fn check_flags(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--help" || a == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        if KNOWN_FLAGS.contains(&a.as_str()) {
+            i += 2; // skip the flag's value
+            continue;
+        }
+        if a.starts_with("--") {
+            die(&format!("unknown flag `{a}`\n{USAGE}"));
+        }
+        i += 1; // the command word
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    check_flags(&args);
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let max_size: u64 = flag_value(&args, "--max-size").unwrap_or(256 << 20);
     let json_path = flag_str(&args, "--json");
-    let opts = match flag_value(&args, "--threads") {
+    let mut opts = match flag_value(&args, "--threads") {
         Some(t) => EvalOptions::with_threads(t as usize),
         None => EvalOptions::default(),
     };
+    if let Some(raw) = flag_str(&args, "--sweep-mode") {
+        match raw.parse::<SweepMode>() {
+            Ok(mode) => opts = opts.with_sweep(mode),
+            Err(e) => die(&e),
+        }
+    }
+    if let Some(raw) = flag_str(&args, "--interp") {
+        match raw.parse::<ExecMode>() {
+            Ok(mode) => opts = opts.with_interp(mode),
+            Err(e) => die(&e),
+        }
+    }
+    opts = opts.with_instr_budget(flag_value(&args, "--instr-budget"));
     let fault_seed: Option<u64> = flag_value(&args, "--fault-seed");
     let fault_rate: u32 = flag_value(&args, "--fault-rate").map_or(200, |r| r as u32);
     let resilience = fault_seed.map(|seed| ResilienceOptions::campaign(seed, fault_rate));
@@ -85,7 +153,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|all] [--max-size N] [--json PATH] [--threads N] [--fault-seed S] [--fault-rate PPM]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
-//!       [--threads T] [--json PATH]
+//!       [--threads T] [--sweep-mode exhaustive|halving]
+//!       [--interp uop|reference] [--instr-budget I] [--json PATH]
 //!       [--fault-seed S] [--fault-rate PPM]
 //! ```
 //!
@@ -10,6 +11,13 @@
 //! available parallelism). The winner and its modelled time are
 //! bit-identical for any T; only the wall-clock changes. `--json`
 //! appends one record per repeat to `PATH` (JSON lines).
+//!
+//! `--sweep-mode` selects the search strategy (default: `halving`,
+//! the successive-halving sweep; `exhaustive` measures every job at
+//! full fidelity). `--interp` selects the interpreter hot path
+//! (default: `uop`, the predecoded µop engine; `reference` is the
+//! lane-wise path, for A/B timing). `--instr-budget I` overrides the
+//! per-block dynamic instruction budget (the runaway-loop guard).
 //!
 //! `--fault-seed S` enables a deterministic fault-injection campaign
 //! (bit-flips, shared-atomic retry storms, warp stalls) at
@@ -21,22 +29,75 @@
 
 use std::time::Instant;
 
-use gpu_sim::ArchConfig;
-use tangram::evaluate::{default_threads, EvalOptions};
+use gpu_sim::{ArchConfig, ExecMode};
+use tangram::evaluate::{default_threads, EvalOptions, SweepMode};
 use tangram::resilience::ResilienceOptions;
 use tangram::select::{select_best_report, select_best_with};
 use tangram_passes::planner;
+
+const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
+             [--threads T] [--sweep-mode exhaustive|halving]
+             [--interp uop|reference] [--instr-budget I] [--json PATH]
+             [--fault-seed S] [--fault-rate PPM]
+
+  --n N             array size in elements (default 4194304)
+  --arch ID         architecture: kepler|maxwell|pascal (default maxwell)
+  --repeat R        repeat the sweep R times (default 1)
+  --threads T       evaluation worker threads (default: available parallelism)
+  --sweep-mode M    exhaustive | halving (default halving); winners are
+                    bit-identical, halving skips dominated tunings
+  --interp M        uop | reference interpreter hot path (default uop)
+  --instr-budget I  per-block dynamic instruction budget (runaway guard)
+  --json PATH       append one JSON record per repeat to PATH
+  --fault-seed S    enable a deterministic fault-injection campaign
+  --fault-rate PPM  injected faults per million instructions (default 200)";
+
+/// Flags that take a value, for unknown-flag detection.
+const KNOWN_FLAGS: [&str; 10] = [
+    "--n",
+    "--arch",
+    "--repeat",
+    "--threads",
+    "--sweep-mode",
+    "--interp",
+    "--instr-budget",
+    "--json",
+    "--fault-seed",
+    "--fault-rate",
+];
 
 fn die(msg: &str) -> ! {
     eprintln!("sweep: {msg}");
     std::process::exit(1);
 }
 
+/// Reject any `--flag` that is not in [`KNOWN_FLAGS`], naming it —
+/// a typo must not silently fall back to a default.
+fn check_flags(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--help" || a == "-h" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        if KNOWN_FLAGS.contains(&a.as_str()) {
+            i += 2; // skip the flag's value
+            continue;
+        }
+        die(&format!("unknown flag `{a}`\n{USAGE}"));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    check_flags(&args);
     let n: u64 = flag(&args, "--n").unwrap_or(1 << 22);
     let repeat: u64 = flag(&args, "--repeat").unwrap_or(1);
     let threads: usize = flag(&args, "--threads").map_or_else(default_threads, |t: u64| t as usize);
+    let sweep_mode: SweepMode = flag(&args, "--sweep-mode").unwrap_or(SweepMode::Halving);
+    let interp: ExecMode = flag(&args, "--interp").unwrap_or_default();
+    let instr_budget: Option<u64> = flag(&args, "--instr-budget");
     let fault_seed: Option<u64> = flag(&args, "--fault-seed");
     let fault_rate: u32 = flag(&args, "--fault-rate").unwrap_or(200);
     let json_path = flag_str(&args, "--json");
@@ -44,7 +105,10 @@ fn main() {
     let Some(arch) = ArchConfig::paper_archs().into_iter().find(|a| a.id == arch_id) else {
         die(&format!("unknown arch id `{arch_id}` (expected kepler|maxwell|pascal)"));
     };
-    let opts = EvalOptions::with_threads(threads);
+    let opts = EvalOptions::with_threads(threads)
+        .with_sweep(sweep_mode)
+        .with_interp(interp)
+        .with_instr_budget(instr_budget);
     let resilience = fault_seed.map(|seed| ResilienceOptions::campaign(seed, fault_rate));
 
     for _ in 0..repeat {
@@ -63,11 +127,21 @@ fn main() {
             },
         };
         let wall = start.elapsed();
+        let mode_id = match sweep_mode {
+            SweepMode::Exhaustive => "exhaustive",
+            SweepMode::Halving => "halving",
+        };
+        let interp_id = match interp {
+            ExecMode::Predecoded => "uop",
+            ExecMode::Reference => "reference",
+        };
         println!(
-            "sweep arch={} n={} threads={} wall_ms={:.1} winner={} block={} coarsen={} time_ns={}",
+            "sweep arch={} n={} threads={} mode={} interp={} wall_ms={:.1} winner={} block={} coarsen={} time_ns={}",
             arch.id,
             n,
             threads,
+            mode_id,
+            interp_id,
             wall.as_secs_f64() * 1e3,
             row.version,
             row.block_size,
@@ -79,10 +153,12 @@ fn main() {
         }
         if let Some(path) = &json_path {
             let record = format!(
-                "{{\"arch\":\"{}\",\"n\":{},\"threads\":{},\"wall_ms\":{:.3},\"winner\":\"{}\",\"block\":{},\"coarsen\":{},\"time_ns\":{}}}\n",
+                "{{\"arch\":\"{}\",\"n\":{},\"threads\":{},\"mode\":\"{}\",\"interp\":\"{}\",\"wall_ms\":{:.3},\"winner\":\"{}\",\"block\":{},\"coarsen\":{},\"time_ns\":{}}}\n",
                 arch.id,
                 n,
                 threads,
+                mode_id,
+                interp_id,
                 wall.as_secs_f64() * 1e3,
                 row.version,
                 row.block_size,

@@ -97,7 +97,7 @@ pub fn measure_kokkos(arch: &ArchConfig, n: u64) -> Result<f64, SimError> {
     let kokkos = KokkosReduce::new();
     let mut dev = Device::new(arch.clone());
     let input = dev.alloc_f32(n)?;
-    let selection = selection_for((n / 1024).max(1).min(2048) as u32);
+    let selection = selection_for((n / 1024).clamp(1, 2048) as u32);
     dev.reset_clock();
     kokkos.run(&mut dev, input, n, selection)?;
     Ok(dev.elapsed_ns())

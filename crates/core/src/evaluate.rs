@@ -18,11 +18,24 @@
 //! order with a strict `<` comparison, exactly the serial loop's
 //! tie-break (earliest candidate wins ties). `threads = 1` and
 //! `threads = N` therefore produce bit-identical winners and times.
+//!
+//! ## Successive halving
+//!
+//! [`SweepMode::Halving`] replaces the exhaustive full-fidelity sweep
+//! with two rungs. The *screening* rung measures every job with a
+//! minimal sampled launch ([`BenchContext::measure_screen`]) — cheap,
+//! deterministic, and monotone enough to rank tunings. The *survivor*
+//! rung re-measures only the strongest screened jobs (the global top
+//! eighth plus every candidate's own screen-best) at the normal
+//! fidelity, in canonical order. Survivor measurements therefore go
+//! through the exact code path of the exhaustive sweep, so any job
+//! that survives — in particular the winner — carries a bit-identical
+//! `time_ns`; pruned jobs simply report `None`, like infeasible ones.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use gpu_sim::{ArchConfig, SimError};
+use gpu_sim::{ArchConfig, ExecMode, SimError};
 use parking_lot::Mutex;
 use tangram_codegen::{synthesize_cached, SynthesizedVersion, Tuning};
 use tangram_passes::planner::{BlockOp, CodeVersion};
@@ -30,29 +43,91 @@ use tangram_passes::specialize::ReduceOp;
 
 use crate::tuner::{BenchContext, BLOCK_SIZES, COARSEN};
 
-/// How a sweep distributes its measurements.
+/// How a sweep explores the tuning space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// Measure every job at full fidelity (the seed behavior, and the
+    /// library default).
+    #[default]
+    Exhaustive,
+    /// Successive halving: screen every job with a minimal sampled
+    /// launch, then re-measure only the survivors (global top eighth
+    /// plus each candidate's screen-best) at full fidelity. Pruned
+    /// jobs report `None`; surviving jobs are bit-identical to the
+    /// exhaustive sweep's.
+    Halving,
+}
+
+impl std::str::FromStr for SweepMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exhaustive" => Ok(SweepMode::Exhaustive),
+            "halving" => Ok(SweepMode::Halving),
+            other => Err(format!("unknown sweep mode `{other}` (want exhaustive|halving)")),
+        }
+    }
+}
+
+/// How a sweep distributes and scopes its measurements.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
     /// Worker threads. `1` measures on the calling thread; larger
     /// values spawn a scoped pool. Clamped to at least 1.
     pub threads: usize,
+    /// Search strategy over the tuning space.
+    pub sweep: SweepMode,
+    /// Interpreter hot path for the measurement devices (the
+    /// predecoded µop engine by default; the lane-wise reference path
+    /// is kept for A/B timing and differential tests).
+    pub interp: ExecMode,
+    /// Per-block dynamic instruction budget override for the
+    /// measurement devices; `None` keeps the device default.
+    pub instr_budget: Option<u64>,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { threads: default_threads() }
+        EvalOptions {
+            threads: default_threads(),
+            sweep: SweepMode::default(),
+            interp: ExecMode::default(),
+            instr_budget: None,
+        }
     }
 }
 
 impl EvalOptions {
     /// Measure everything on the calling thread (the seed behavior).
     pub fn serial() -> Self {
-        EvalOptions { threads: 1 }
+        EvalOptions { threads: 1, ..Self::default() }
     }
 
     /// Use exactly `threads` workers.
     pub fn with_threads(threads: usize) -> Self {
-        EvalOptions { threads: threads.max(1) }
+        EvalOptions { threads: threads.max(1), ..Self::default() }
+    }
+
+    /// Select the sweep strategy.
+    #[must_use]
+    pub fn with_sweep(mut self, sweep: SweepMode) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Select the interpreter hot path.
+    #[must_use]
+    pub fn with_interp(mut self, interp: ExecMode) -> Self {
+        self.interp = interp;
+        self
+    }
+
+    /// Override the per-block instruction budget.
+    #[must_use]
+    pub fn with_instr_budget(mut self, budget: Option<u64>) -> Self {
+        self.instr_budget = budget;
+        self
     }
 }
 
@@ -104,13 +179,30 @@ pub(crate) fn jobs_for(candidates: &[CodeVersion]) -> Vec<Job> {
     jobs
 }
 
+/// Measurement fidelity of one fan-out rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fidelity {
+    /// The normal sampled measurement ([`BenchContext::measure`]).
+    Full,
+    /// The halving screen ([`BenchContext::measure_screen`]).
+    Screen,
+}
+
 /// Measure one job; `Ok(None)` marks an infeasible combination
 /// (synthesis failure or a launch exceeding hardware limits).
-fn measure_job(ctx: &mut BenchContext, job: Job) -> Result<Option<Measurement>, SimError> {
+pub(crate) fn measure_job(
+    ctx: &mut BenchContext,
+    job: Job,
+    fidelity: Fidelity,
+) -> Result<Option<Measurement>, SimError> {
     let Ok(sv) = synthesize_cached(job.version, job.tuning, ReduceOp::Sum) else {
         return Ok(None);
     };
-    match ctx.measure(&sv) {
+    let measured = match fidelity {
+        Fidelity::Full => ctx.measure(&sv),
+        Fidelity::Screen => ctx.measure_screen(&sv),
+    };
+    match measured {
         Ok(time_ns) => Ok(Some(Measurement {
             candidate: job.candidate,
             version: job.version,
@@ -133,13 +225,43 @@ fn measure_job(ctx: &mut BenchContext, job: Job) -> Result<Option<Measurement>, 
 pub struct ContextPool {
     arch: ArchConfig,
     n: u64,
+    exec_mode: ExecMode,
+    instr_budget: Option<u64>,
     free: Mutex<Vec<BenchContext>>,
 }
 
 impl ContextPool {
     /// A pool producing contexts for arrays of `n` elements on `arch`.
     pub fn new(arch: &ArchConfig, n: u64) -> Self {
-        ContextPool { arch: arch.clone(), n, free: Mutex::new(Vec::new()) }
+        ContextPool {
+            arch: arch.clone(),
+            n,
+            exec_mode: ExecMode::default(),
+            instr_budget: None,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A pool configured from an [`EvalOptions`] (interpreter hot
+    /// path and instruction-budget override).
+    pub fn for_opts(arch: &ArchConfig, n: u64, opts: &EvalOptions) -> Self {
+        Self::new(arch, n).with_exec_mode(opts.interp).with_instr_budget(opts.instr_budget)
+    }
+
+    /// Select the interpreter hot path stamped on checked-out
+    /// contexts.
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Override the per-block instruction budget stamped on
+    /// checked-out contexts (`None` keeps the device default).
+    #[must_use]
+    pub fn with_instr_budget(mut self, budget: Option<u64>) -> Self {
+        self.instr_budget = budget;
+        self
     }
 
     /// Check a context out, allocating only when the pool is empty.
@@ -148,10 +270,15 @@ impl ContextPool {
     ///
     /// Propagates allocation errors from [`BenchContext::new`].
     pub fn acquire(&self) -> Result<BenchContext, SimError> {
-        if let Some(ctx) = self.free.lock().pop() {
-            return Ok(ctx);
+        let mut ctx = match self.free.lock().pop() {
+            Some(ctx) => ctx,
+            None => BenchContext::new(&self.arch, self.n)?,
+        };
+        ctx.dev.set_exec_mode(self.exec_mode);
+        if let Some(budget) = self.instr_budget {
+            ctx.dev.set_instr_budget(budget);
         }
-        BenchContext::new(&self.arch, self.n)
+        Ok(ctx)
     }
 
     /// Return a context for reuse.
@@ -170,37 +297,35 @@ impl ContextPool {
     }
 }
 
-/// Measure every candidate tuning of the sweep, fanning jobs over
-/// `opts.threads` workers.
-///
-/// The returned vector has one slot per job in canonical enumeration
-/// order; `None` marks infeasible combinations. The slot layout (and
-/// every value in it) is identical for any thread count.
-///
-/// # Errors
-///
-/// Propagates the first hard simulator error in canonical job order.
-/// Infeasible jobs ([`SimError::InvalidLaunch`] and synthesis
-/// failures) are recorded as `None`, not errors.
-pub fn evaluate_all(
+/// Fan `jobs` over `threads` workers, applying `f` to each with a
+/// pooled context. This is the one scheduling core every sweep flavor
+/// (exhaustive, screening rung, survivor rung, resilient) shares:
+/// a shared atomic index hands jobs out in canonical order, results
+/// land in per-job slots, and the first hard error (by canonical
+/// index) aborts — exactly what the serial loop would have reported.
+pub(crate) fn run_jobs_with<T, F>(
     pool: &ContextPool,
-    candidates: &[CodeVersion],
-    opts: &EvalOptions,
-) -> Result<Vec<Option<Measurement>>, SimError> {
-    let jobs = jobs_for(candidates);
-    let threads = opts.threads.max(1).min(jobs.len().max(1));
+    jobs: &[Job],
+    threads: usize,
+    f: &F,
+) -> Result<Vec<T>, SimError>
+where
+    T: Send,
+    F: Fn(&mut BenchContext, Job) -> Result<T, SimError> + Sync,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
 
     if threads <= 1 {
         let mut ctx = pool.acquire()?;
         let mut out = Vec::with_capacity(jobs.len());
-        for &job in &jobs {
-            out.push(measure_job(&mut ctx, job)?);
+        for &job in jobs {
+            out.push(f(&mut ctx, job)?);
         }
         pool.release(ctx);
         return Ok(out);
     }
 
-    let mut slots: Vec<Option<Measurement>> = Vec::new();
+    let mut slots: Vec<Option<T>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
     let results = Mutex::new(slots);
     let next = AtomicUsize::new(0);
@@ -227,8 +352,8 @@ pub fn evaluate_all(
                     if i >= jobs.len() || abort.load(Ordering::Relaxed) {
                         break;
                     }
-                    match measure_job(&mut ctx, jobs[i]) {
-                        Ok(m) => results.lock()[i] = m,
+                    match f(&mut ctx, jobs[i]) {
+                        Ok(v) => results.lock()[i] = Some(v),
                         Err(e) => {
                             record_err(&first_err, i, e);
                             abort.store(true, Ordering::Relaxed);
@@ -244,7 +369,101 @@ pub fn evaluate_all(
     if let Some((_, e)) = first_err.into_inner() {
         return Err(e);
     }
-    Ok(results.into_inner())
+    // No error ⇒ every slot was claimed and filled.
+    Ok(results.into_inner().into_iter().map(|s| s.expect("job slot filled")).collect())
+}
+
+/// Denominator of the halving keep fraction: the survivor rung
+/// re-measures the global top `1/HALVING_KEEP_DENOM` of screened jobs
+/// (plus each candidate's screen-best).
+const HALVING_KEEP_DENOM: usize = 8;
+
+/// Canonical-order keep mask for the survivor rung: the global top
+/// eighth of screened times plus every candidate's own screen-best,
+/// so each candidate's tuning winner always reaches full fidelity.
+/// Ties break toward the earlier canonical index, matching
+/// [`best_measurement`].
+pub(crate) fn survivor_mask(jobs: &[Job], screen_times: &[Option<f64>]) -> Vec<bool> {
+    let mut scored: Vec<(f64, usize)> = screen_times
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| (t, i)))
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut keep = vec![false; jobs.len()];
+    for &(_, i) in scored.iter().take(scored.len().div_ceil(HALVING_KEEP_DENOM)) {
+        keep[i] = true;
+    }
+
+    let n_candidates = jobs.iter().map(|j| j.candidate + 1).max().unwrap_or(0);
+    let mut best_per: Vec<Option<(f64, usize)>> = vec![None; n_candidates];
+    for (i, t) in screen_times.iter().enumerate() {
+        if let Some(t) = *t {
+            let slot = &mut best_per[jobs[i].candidate];
+            if slot.is_none_or(|(bt, _)| t < bt) {
+                *slot = Some((t, i));
+            }
+        }
+    }
+    for (_, i) in best_per.into_iter().flatten() {
+        keep[i] = true;
+    }
+    keep
+}
+
+/// The successive-halving sweep: screen every job cheaply, then
+/// re-measure only the survivors at full fidelity.
+fn evaluate_halving(
+    pool: &ContextPool,
+    jobs: &[Job],
+    threads: usize,
+) -> Result<Vec<Option<Measurement>>, SimError> {
+    let screen =
+        run_jobs_with(pool, jobs, threads, &|ctx, job| measure_job(ctx, job, Fidelity::Screen))?;
+    let times: Vec<Option<f64>> = screen.iter().map(|m| m.as_ref().map(|m| m.time_ns)).collect();
+    let keep = survivor_mask(jobs, &times);
+
+    let surviving: Vec<usize> = (0..jobs.len()).filter(|&i| keep[i]).collect();
+    let surviving_jobs: Vec<Job> = surviving.iter().map(|&i| jobs[i]).collect();
+    let full = run_jobs_with(pool, &surviving_jobs, threads, &|ctx, job| {
+        measure_job(ctx, job, Fidelity::Full)
+    })?;
+
+    let mut out: Vec<Option<Measurement>> = Vec::new();
+    out.resize_with(jobs.len(), || None);
+    for (i, m) in surviving.into_iter().zip(full) {
+        out[i] = m;
+    }
+    Ok(out)
+}
+
+/// Measure every candidate tuning of the sweep, fanning jobs over
+/// `opts.threads` workers.
+///
+/// The returned vector has one slot per job in canonical enumeration
+/// order; `None` marks infeasible combinations (and, under
+/// [`SweepMode::Halving`], jobs pruned at the screening rung). The
+/// slot layout (and every value in it) is identical for any thread
+/// count; every `Some` slot is a full-fidelity measurement.
+///
+/// # Errors
+///
+/// Propagates the first hard simulator error in canonical job order.
+/// Infeasible jobs ([`SimError::InvalidLaunch`] and synthesis
+/// failures) are recorded as `None`, not errors.
+pub fn evaluate_all(
+    pool: &ContextPool,
+    candidates: &[CodeVersion],
+    opts: &EvalOptions,
+) -> Result<Vec<Option<Measurement>>, SimError> {
+    let jobs = jobs_for(candidates);
+    match opts.sweep {
+        SweepMode::Exhaustive => run_jobs_with(pool, &jobs, opts.threads, &|ctx, job| {
+            measure_job(ctx, job, Fidelity::Full)
+        }),
+        SweepMode::Halving => evaluate_halving(pool, &jobs, opts.threads),
+    }
 }
 
 fn record_err(first_err: &Mutex<Option<(usize, SimError)>>, i: usize, e: SimError) {
@@ -322,5 +541,95 @@ mod tests {
         pool.release(a);
         let b = pool.acquire().unwrap();
         assert_eq!(b.input, input, "released context is checked out again");
+    }
+
+    #[test]
+    fn pool_stamps_exec_mode_and_budget() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let pool = ContextPool::new(&arch, 1024)
+            .with_exec_mode(ExecMode::Reference)
+            .with_instr_budget(Some(123_456));
+        let ctx = pool.acquire().unwrap();
+        assert_eq!(ctx.dev.exec_mode(), ExecMode::Reference);
+        assert_eq!(ctx.dev.instr_budget(), 123_456);
+    }
+
+    #[test]
+    fn survivor_mask_keeps_every_candidate_best() {
+        let cands = candidates();
+        let jobs = jobs_for(&cands);
+        // Synthetic screen: strictly increasing times, so the global
+        // top eighth is a prefix — later candidates survive only via
+        // their per-candidate best.
+        let times: Vec<Option<f64>> = (0..jobs.len()).map(|i| Some(i as f64)).collect();
+        let keep = survivor_mask(&jobs, &times);
+        for c in 0..cands.len() {
+            let best = jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.candidate == c)
+                .map(|(i, _)| i)
+                .min()
+                .unwrap();
+            assert!(keep[best], "candidate {c}'s screen-best must survive");
+        }
+        let kept = keep.iter().filter(|&&k| k).count();
+        assert!(kept < jobs.len(), "halving must prune something");
+        assert!(kept >= jobs.len().div_ceil(HALVING_KEEP_DENOM));
+    }
+
+    #[test]
+    fn halving_survivors_are_bitwise_exhaustive_measurements() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 65_536);
+        let exhaustive = evaluate_all(&pool, &cands, &EvalOptions::serial()).unwrap();
+        let halving = evaluate_all(
+            &pool,
+            &cands,
+            &EvalOptions::serial().with_sweep(SweepMode::Halving),
+        )
+        .unwrap();
+        assert_eq!(exhaustive.len(), halving.len());
+        let mut pruned = 0usize;
+        for (e, h) in exhaustive.iter().zip(&halving) {
+            match (e, h) {
+                (_, None) => pruned += 1,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.tuning, b.tuning);
+                    assert_eq!(
+                        a.time_ns.to_bits(),
+                        b.time_ns.to_bits(),
+                        "surviving jobs must re-measure at full fidelity"
+                    );
+                }
+                (None, Some(_)) => panic!("halving measured an infeasible job"),
+            }
+        }
+        assert!(pruned > 0, "halving must prune part of the space");
+        let (be, bh) =
+            (best_measurement(&exhaustive).unwrap(), best_measurement(&halving).unwrap());
+        assert_eq!(be.version, bh.version, "halving must keep the winner");
+        assert_eq!(be.tuning, bh.tuning);
+        assert_eq!(be.time_ns.to_bits(), bh.time_ns.to_bits());
+    }
+
+    #[test]
+    fn halving_thread_counts_agree_bitwise() {
+        let arch = ArchConfig::pascal_p100();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 32_768);
+        let opts = EvalOptions::serial().with_sweep(SweepMode::Halving);
+        let serial = evaluate_all(&pool, &cands, &opts).unwrap();
+        let parallel =
+            evaluate_all(&pool, &cands, &EvalOptions { threads: 4, ..opts }).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            match (s, p) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits()),
+                _ => panic!("survivor set differs between thread counts"),
+            }
+        }
     }
 }

@@ -25,18 +25,17 @@
 //! canonical job order after the fan-out, so reports (like
 //! measurements) are identical for every `--threads` value.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::{FaultPlan, SimError};
-use parking_lot::Mutex;
 use serde::Serialize;
 use tangram_codegen::synthesize_cached;
 use tangram_passes::planner::CodeVersion;
 use tangram_passes::specialize::ReduceOp;
 
-use crate::evaluate::{jobs_for, ContextPool, EvalOptions, Job, Measurement};
+use crate::evaluate::{
+    jobs_for, measure_job, run_jobs_with, survivor_mask, ContextPool, EvalOptions, Fidelity, Job,
+    Measurement, SweepMode,
+};
 use crate::runner::run_reduction;
 use crate::tuner::BenchContext;
 
@@ -194,6 +193,10 @@ pub struct ResilienceReport {
     /// Injected faults neutralized by a later clean, accepted
     /// measurement.
     pub faults_recovered: u64,
+    /// Jobs pruned by the halving screen (feasible at screening
+    /// fidelity but outside the survivor set); always 0 under
+    /// [`SweepMode::Exhaustive`].
+    pub pruned: usize,
     /// Accepted measurements whose final attempt had injected faults
     /// (must stay 0: the engine only accepts fault-free attempts).
     pub silent: u64,
@@ -206,12 +209,13 @@ impl ResilienceReport {
     /// One-line summary for logs and CI greps.
     pub fn summary_line(&self) -> String {
         format!(
-            "resilience: jobs={} measured={} infeasible={} quarantined={} retries={} \
-             faults={} detected={} recovered={} silent={}",
+            "resilience: jobs={} measured={} infeasible={} quarantined={} pruned={} \
+             retries={} faults={} detected={} recovered={} silent={}",
             self.total_jobs,
             self.measured,
             self.infeasible,
             self.quarantined,
+            self.pruned,
             self.retries,
             self.faults_injected,
             self.faults_detected,
@@ -231,6 +235,7 @@ impl ResilienceReport {
         self.faults_injected += other.faults_injected;
         self.faults_detected += other.faults_detected;
         self.faults_recovered += other.faults_recovered;
+        self.pruned += other.pruned;
         self.silent += other.silent;
         self.events.extend(other.events);
     }
@@ -427,6 +432,20 @@ fn measure_job_resilient(
     (None, report)
 }
 
+/// Outcome of one clean screening measurement under the resilient
+/// halving sweep.
+#[derive(Debug, Clone, Copy)]
+enum Screened {
+    /// Screening time (ranks the job for survivor selection).
+    Time(f64),
+    /// Synthesis failure or a launch exceeding hardware limits.
+    Infeasible,
+    /// A hard simulator error. The job is promoted straight to the
+    /// survivor rung so the retry/quarantine machinery can give it a
+    /// structured verdict instead of aborting the screen.
+    Errored,
+}
+
 /// [`crate::evaluate::evaluate_all`] with retry, quarantine, and
 /// fault-campaign support.
 ///
@@ -435,6 +454,12 @@ fn measure_job_resilient(
 /// [`ResilienceReport`]. With the default [`ResilienceOptions`]
 /// (no faults, [`ValidationPolicy::Auto`]) the measurements are
 /// bit-identical to `evaluate_all`'s.
+///
+/// Under [`SweepMode::Halving`] the screening rung always runs
+/// *clean* (no fault plan): survivor selection is then a pure
+/// function of `(arch, n, candidates)`, so a fault campaign prunes
+/// exactly the jobs the clean engine prunes and can never smuggle a
+/// different winner through a perturbed screen.
 ///
 /// # Errors
 ///
@@ -447,75 +472,65 @@ pub fn evaluate_all_report(
     res: &ResilienceOptions,
 ) -> Result<(Vec<Option<Measurement>>, ResilienceReport), SimError> {
     let jobs = jobs_for(candidates);
-    let threads = opts.threads.max(1).min(jobs.len().max(1));
-    let oracle = if res.needs_oracle() { Some(Arc::new(Oracle::new(pool.n()))) } else { None };
-
-    let mut slots: Vec<(Option<Measurement>, Option<JobReport>)> = Vec::new();
-    slots.resize_with(jobs.len(), || (None, None));
-
-    if threads <= 1 {
-        let mut ctx = pool.acquire()?;
-        for (slot, &job) in slots.iter_mut().zip(&jobs) {
-            let (m, r) = measure_job_resilient(&mut ctx, job, res, oracle.as_deref());
-            *slot = (m, Some(r));
-        }
-        pool.release(ctx);
-        return Ok(assemble(slots));
-    }
-
-    let results = Mutex::new(slots);
-    let next = AtomicUsize::new(0);
-    let abort = AtomicBool::new(false);
-    let pool_err: Mutex<Option<SimError>> = Mutex::new(None);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut ctx = match pool.acquire() {
-                    Ok(ctx) => ctx,
-                    Err(e) => {
-                        let mut slot = pool_err.lock();
-                        if slot.is_none() {
-                            *slot = Some(e);
-                        }
-                        abort.store(true, Ordering::Relaxed);
-                        return;
-                    }
-                };
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() || abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let (m, r) = measure_job_resilient(&mut ctx, jobs[i], res, oracle.as_deref());
-                    results.lock()[i] = (m, Some(r));
-                }
-                pool.release(ctx);
-            });
-        }
-    });
-
-    if let Some(e) = pool_err.into_inner() {
-        return Err(e);
-    }
-    Ok(assemble(results.into_inner()))
-}
-
-/// Reduce per-job slots into `(measurements, report)` in canonical
-/// order — the same post-fan-out walk that keeps winners independent
-/// of the thread count.
-fn assemble(
-    slots: Vec<(Option<Measurement>, Option<JobReport>)>,
-) -> (Vec<Option<Measurement>>, ResilienceReport) {
-    let mut measurements = Vec::with_capacity(slots.len());
+    let oracle = if res.needs_oracle() { Some(Oracle::new(pool.n())) } else { None };
+    let oracle = oracle.as_ref();
     let mut report = ResilienceReport::default();
-    for (m, r) in slots {
-        measurements.push(m);
-        if let Some(job) = r {
-            report.absorb(job);
+
+    // Pick the jobs the resilient rung measures. Exhaustive: all of
+    // them. Halving: the survivors of a clean, error-tolerant screen.
+    let rung: Vec<usize> = match opts.sweep {
+        SweepMode::Exhaustive => (0..jobs.len()).collect(),
+        SweepMode::Halving => {
+            let screen = run_jobs_with(pool, &jobs, opts.threads, &|ctx, job| {
+                Ok(match measure_job(ctx, job, Fidelity::Screen) {
+                    Ok(Some(m)) => Screened::Time(m.time_ns),
+                    Ok(None) => Screened::Infeasible,
+                    Err(_) => Screened::Errored,
+                })
+            })?;
+            let times: Vec<Option<f64>> = screen
+                .iter()
+                .map(|s| match s {
+                    Screened::Time(t) => Some(*t),
+                    _ => None,
+                })
+                .collect();
+            let mut keep = survivor_mask(&jobs, &times);
+            for (i, s) in screen.iter().enumerate() {
+                match s {
+                    Screened::Errored => keep[i] = true,
+                    Screened::Time(_) | Screened::Infeasible => {}
+                }
+            }
+            // Screened-out jobs never reach the resilient rung; they
+            // are accounted here so `total_jobs` still covers the
+            // whole canonical enumeration.
+            for (i, s) in screen.iter().enumerate() {
+                if keep[i] {
+                    continue;
+                }
+                report.total_jobs += 1;
+                match s {
+                    Screened::Infeasible => report.infeasible += 1,
+                    _ => report.pruned += 1,
+                }
+            }
+            (0..jobs.len()).filter(|&i| keep[i]).collect()
         }
+    };
+
+    let rung_jobs: Vec<Job> = rung.iter().map(|&i| jobs[i]).collect();
+    let outcomes = run_jobs_with(pool, &rung_jobs, opts.threads, &|ctx, job| {
+        Ok(measure_job_resilient(ctx, job, res, oracle))
+    })?;
+
+    let mut measurements: Vec<Option<Measurement>> = Vec::new();
+    measurements.resize_with(jobs.len(), || None);
+    for (i, (m, r)) in rung.into_iter().zip(outcomes) {
+        measurements[i] = m;
+        report.absorb(r);
     }
-    (measurements, report)
+    Ok((measurements, report))
 }
 
 #[cfg(test)]
@@ -576,6 +591,33 @@ mod tests {
         );
         let (cb, fb) = (best_measurement(&clean).unwrap(), best_measurement(&faulty).unwrap());
         assert_eq!(cb.version, fb.version, "fault campaign must not change the winner");
+        assert_eq!(cb.tuning, fb.tuning);
+        assert_eq!(cb.time_ns.to_bits(), fb.time_ns.to_bits());
+    }
+
+    #[test]
+    fn halving_campaign_prunes_and_keeps_winner() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 16_384);
+        let opts = EvalOptions::serial().with_sweep(SweepMode::Halving);
+        let clean = evaluate_all(&pool, &cands, &opts).unwrap();
+        let res = ResilienceOptions::campaign(0xBEEF, 400);
+        let (faulty, report) = evaluate_all_report(&pool, &cands, &opts, &res).unwrap();
+        assert!(report.pruned > 0, "halving campaign must prune: {}", report.summary_line());
+        assert_eq!(report.total_jobs, jobs_for(&cands).len(), "every job is accounted");
+        assert_eq!(report.silent, 0);
+        // The clean screen makes the survivor sets — and thus the
+        // winner — identical to the fault-free halving sweep.
+        for (c, f) in clean.iter().zip(&faulty) {
+            match (c, f) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits()),
+                _ => panic!("survivor set differs between clean and campaign runs"),
+            }
+        }
+        let (cb, fb) = (best_measurement(&clean).unwrap(), best_measurement(&faulty).unwrap());
+        assert_eq!(cb.version, fb.version);
         assert_eq!(cb.tuning, fb.tuning);
         assert_eq!(cb.time_ns.to_bits(), fb.time_ns.to_bits());
     }

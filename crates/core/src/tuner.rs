@@ -72,6 +72,17 @@ impl BenchContext {
         }
     }
 
+    /// The cheaper block-selection mode used by the halving sweep's
+    /// screening rung: a minimal block sample whose modelled time
+    /// still ranks configurations well enough to pick survivors.
+    pub fn screen_selection_for(grid: u32) -> BlockSelection {
+        if grid > SAMPLE_GRID_THRESHOLD {
+            BlockSelection::Sample { max_blocks: 1 }
+        } else {
+            BlockSelection::All
+        }
+    }
+
     /// Measure one synthesized version (modelled ns).
     ///
     /// # Errors
@@ -79,7 +90,32 @@ impl BenchContext {
     /// Propagates simulator errors.
     pub fn measure(&mut self, sv: &SynthesizedVersion) -> Result<f64, SimError> {
         let plan = sv.plan(self.n);
-        let selection = Self::selection_for(plan.grid);
+        self.measure_with(sv, Self::selection_for(plan.grid))
+    }
+
+    /// Measure one synthesized version at screening fidelity
+    /// (modelled ns). Screening times rank candidates; they are never
+    /// reported as final measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure_screen(&mut self, sv: &SynthesizedVersion) -> Result<f64, SimError> {
+        let plan = sv.plan(self.n);
+        self.measure_with(sv, Self::screen_selection_for(plan.grid))
+    }
+
+    /// Measure one synthesized version under an explicit block
+    /// selection (modelled ns).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure_with(
+        &mut self,
+        sv: &SynthesizedVersion,
+        selection: BlockSelection,
+    ) -> Result<f64, SimError> {
         self.dev.reset_clock();
         self.dev.clear_launches();
         run_reduction(&mut self.dev, sv, self.input, self.n, selection)?;

@@ -149,7 +149,7 @@ mod tests {
     fn kahan_beats_naive_on_cancellation() {
         // Large value plus many small ones: naive f32 drops them.
         let mut data = vec![1e8f32];
-        data.extend(std::iter::repeat(0.01f32).take(10_000));
+        data.extend(std::iter::repeat_n(0.01f32, 10_000));
         let k = kahan_sum(&data);
         assert!((k - (1e8 + 100.0)).abs() < 1.0);
     }

@@ -236,11 +236,10 @@ impl ArchConfig {
         }
         let by_blocks = self.max_blocks_per_sm;
         let by_threads = self.max_threads_per_sm / threads_per_block;
-        let by_smem = if smem == 0 {
-            u32::MAX
-        } else {
-            (self.smem_per_sm / smem).min(u32::MAX as u64) as u32
-        };
+        let by_smem = self
+            .smem_per_sm
+            .checked_div(smem)
+            .map_or(u32::MAX, |v| v.min(u64::from(u32::MAX)) as u32);
         let regs_per_block = u64::from(regs_per_thread.max(16)) * u64::from(threads_per_block);
         let by_regs = (self.regs_per_sm / regs_per_block).min(u32::MAX as u64) as u32;
         by_blocks.min(by_threads).min(by_smem).min(by_regs)

@@ -138,6 +138,7 @@ impl Assembler {
             num_regs: (self.max_reg + 1) as u16,
             num_preds: (self.max_pred + 1) as u16,
             cfg_cache: Default::default(),
+            uop_cache: Default::default(),
         };
         kernel.validate()?;
         Ok(kernel)
@@ -288,7 +289,7 @@ impl Assembler {
                 } else {
                     let addr = parse_address(get(&ops, 0, line)?, line)?;
                     let src = parse_reg(get(&ops, 1, line)?, line)?;
-                    self.max_reg = self.max_reg.max(i32::from(src + u16::from(width.lanes()) - 1));
+                    self.max_reg = self.max_reg.max(i32::from(src + width.lanes() - 1));
                     self.instrs.push(Instr::St { space, ty, src, addr, width });
                 }
             }
@@ -404,7 +405,7 @@ fn split_operands(s: &str) -> Vec<String> {
     out
 }
 
-fn get<'a>(ops: &'a [String], i: usize, line: usize) -> Result<&'a str, SimError> {
+fn get(ops: &[String], i: usize, line: usize) -> Result<&str, SimError> {
     ops.get(i).map(|s| s.as_str()).ok_or_else(|| err(line, format!("missing operand {i}")))
 }
 

@@ -57,11 +57,10 @@ impl Cfg {
                         leader[pc + 1] = true;
                     }
                 }
-                Instr::Exit => {
-                    if pc + 1 < n {
+                Instr::Exit
+                    if pc + 1 < n => {
                         leader[pc + 1] = true;
                     }
-                }
                 _ => {}
             }
         }
@@ -69,8 +68,8 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![0usize; n];
         let mut start = 0usize;
-        for pc in 0..n {
-            if pc > start && leader[pc] {
+        for (pc, &lead) in leader.iter().enumerate() {
+            if pc > start && lead {
                 blocks.push(Block { start, end: pc, succs: Vec::new() });
                 start = pc;
             }
@@ -79,14 +78,12 @@ impl Cfg {
             blocks.push(Block { start, end: n, succs: Vec::new() });
         }
         for (id, b) in blocks.iter().enumerate() {
-            for pc in b.start..b.end {
-                block_of[pc] = id;
-            }
+            block_of[b.start..b.end].fill(id);
         }
         // 3. Successor edges.
         let nb = blocks.len();
-        for id in 0..nb {
-            let (start_end, last) = (blocks[id].end, blocks[id].end - 1);
+        for b in &mut blocks {
+            let (start_end, last) = (b.end, b.end - 1);
             let mut succs = Vec::new();
             match &kernel.instrs[last] {
                 Instr::Bra { pred, target } => {
@@ -106,7 +103,7 @@ impl Cfg {
                     }
                 }
             }
-            blocks[id].succs = succs;
+            b.succs = succs;
         }
         // 4. Immediate postdominators via iterative dataflow on the
         //    reverse CFG, with a virtual exit node (id = nb) that every
@@ -147,9 +144,7 @@ fn compute_ipdom(blocks: &[Block], n_instrs: usize, instrs: &[Instr]) -> Vec<usi
     let mut succs: Vec<Vec<usize>> = blocks.iter().map(|b| b.succs.clone()).collect();
     for (id, b) in blocks.iter().enumerate() {
         let last = b.end - 1;
-        if matches!(instrs[last], Instr::Exit) {
-            succs[id].push(exit_node);
-        } else if b.end >= n_instrs && succs[id].is_empty() {
+        if matches!(instrs[last], Instr::Exit) || (b.end >= n_instrs && succs[id].is_empty()) {
             succs[id].push(exit_node);
         }
     }

@@ -3,7 +3,9 @@
 
 use crate::arch::ArchConfig;
 use crate::error::SimError;
-use crate::exec::{run_kernel_cfg, Arg, BlockSelection, ExecConfig, LaunchDims, DEFAULT_BUDGET};
+use crate::exec::{
+    run_kernel_cfg, Arg, BlockSelection, ExecConfig, ExecMode, LaunchDims, DEFAULT_BUDGET,
+};
 use crate::fault::{FaultPlan, FaultSession, InjectedFault};
 use crate::isa::Ty;
 use crate::kernel::Kernel;
@@ -70,6 +72,7 @@ pub struct Device {
     fault_plan: Option<FaultPlan>,
     fault_launch_index: u64,
     fault_log: Vec<InjectedFault>,
+    exec_mode: ExecMode,
 }
 
 const ALLOC_ALIGN: u64 = 256;
@@ -87,6 +90,7 @@ impl Device {
             fault_plan: None,
             fault_launch_index: 0,
             fault_log: Vec::new(),
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -105,6 +109,18 @@ impl Device {
     /// The configured per-block instruction budget.
     pub fn instr_budget(&self) -> u64 {
         self.instr_budget
+    }
+
+    /// Select the interpreter hot path for subsequent launches
+    /// (default [`ExecMode::Predecoded`]; [`ExecMode::Reference`] is
+    /// the lane-wise path kept for differential testing).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The configured interpreter hot path.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Install (or clear) a fault-injection plan. Each subsequent
@@ -252,7 +268,11 @@ impl Device {
             args,
             &mut self.global,
             selection,
-            ExecConfig { budget: Some(self.instr_budget), faults: Some(&mut session) },
+            ExecConfig {
+                budget: Some(self.instr_budget),
+                faults: Some(&mut session),
+                mode: self.exec_mode,
+            },
         );
         // Keep the injection record even when the launch errored — a
         // trap caused by an injected fault must stay attributable.
@@ -415,8 +435,8 @@ mod tests {
         let k = kb.finish().unwrap();
         d.launch_simple(&k, LaunchDims::new(4, 64), &[a.arg(), bb.arg(), o.arg()]).unwrap();
         let out = d.download_f32(o, n).unwrap();
-        for i in 0..n as usize {
-            assert_eq!(out[i], 3.0 * i as f32);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 3.0 * i as f32);
         }
     }
 }

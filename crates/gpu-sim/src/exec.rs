@@ -27,7 +27,7 @@ use crate::stats::LaunchStats;
 /// Maximum lanes per warp the interpreter's stack-allocated per-issue
 /// buffers accommodate (active masks are `u32`, so this is a hard
 /// architectural bound, not a tunable).
-const MAX_LANES: usize = 32;
+pub(crate) const MAX_LANES: usize = 32;
 
 /// Default per-block dynamic instruction budget (runaway-loop guard).
 pub const DEFAULT_BUDGET: u64 = 1 << 33;
@@ -89,15 +89,15 @@ impl Arg {
     }
 
     fn matches(self, kind: ParamKind) -> bool {
-        match (self, kind) {
-            (Arg::Ptr(_), ParamKind::Ptr) => true,
-            (Arg::I32(_), ParamKind::Scalar(Ty::I32)) => true,
-            (Arg::U32(_), ParamKind::Scalar(Ty::U32)) => true,
-            (Arg::U64(_), ParamKind::Scalar(Ty::U64 | Ty::I64)) => true,
-            (Arg::F32(_), ParamKind::Scalar(Ty::F32)) => true,
-            (Arg::F64(_), ParamKind::Scalar(Ty::F64)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, kind),
+            (Arg::Ptr(_), ParamKind::Ptr)
+                | (Arg::I32(_), ParamKind::Scalar(Ty::I32))
+                | (Arg::U32(_), ParamKind::Scalar(Ty::U32))
+                | (Arg::U64(_), ParamKind::Scalar(Ty::U64 | Ty::I64))
+                | (Arg::F32(_), ParamKind::Scalar(Ty::F32))
+                | (Arg::F64(_), ParamKind::Scalar(Ty::F64))
+        )
     }
 }
 
@@ -130,13 +130,13 @@ pub struct ExecOutcome {
     pub exact: bool,
 }
 
-const RECONV_NONE: usize = usize::MAX;
+pub(crate) const RECONV_NONE: usize = usize::MAX;
 
 #[derive(Debug, Clone, Copy)]
-struct StackEntry {
-    reconv: usize,
-    pc: usize,
-    mask: u32,
+pub(crate) struct StackEntry {
+    pub(crate) reconv: usize,
+    pub(crate) pc: usize,
+    pub(crate) mask: u32,
 }
 
 struct WarpExec {
@@ -145,7 +145,7 @@ struct WarpExec {
     exited: u32,
 }
 
-enum WarpStop {
+pub(crate) enum WarpStop {
     Barrier,
     Done,
 }
@@ -155,39 +155,39 @@ enum WarpStop {
 /// Register/predicate files, shared memory and the per-address chain
 /// tracker are *borrowed* from buffers owned by [`run_kernel`] and
 /// reused (cleared, not reallocated) across every block of the launch.
-struct BlockCtx<'a> {
-    kernel: &'a Kernel,
-    cfg: &'a Cfg,
-    arch: &'a ArchConfig,
-    params: &'a [u64],
-    block_id: u32,
-    block_dim: u32,
-    grid_dim: u32,
-    regs: &'a mut [u64],
-    preds: &'a mut [bool],
-    smem: &'a mut LinearMemory,
-    stats: LaunchStats,
-    budget: u64,
+pub(crate) struct BlockCtx<'a> {
+    pub(crate) kernel: &'a Kernel,
+    pub(crate) cfg: &'a Cfg,
+    pub(crate) arch: &'a ArchConfig,
+    pub(crate) params: &'a [u64],
+    pub(crate) block_id: u32,
+    pub(crate) block_dim: u32,
+    pub(crate) grid_dim: u32,
+    pub(crate) regs: &'a mut [u64],
+    pub(crate) preds: &'a mut [bool],
+    pub(crate) smem: &'a mut LinearMemory,
+    pub(crate) stats: LaunchStats,
+    pub(crate) budget: u64,
     /// The configured per-block budget, for accurate Timeout reports.
-    budget_total: u64,
+    pub(crate) budget_total: u64,
     /// Per-address shared atomic chains within this block.
-    shared_chains: &'a mut FxHashMap<u64, u64>,
+    pub(crate) shared_chains: &'a mut FxHashMap<u64, u64>,
 }
 
 impl<'a> BlockCtx<'a> {
-    fn reg(&self, thread: u32, r: u16) -> u64 {
+    pub(crate) fn reg(&self, thread: u32, r: u16) -> u64 {
         self.regs[thread as usize * self.kernel.num_regs as usize + r as usize]
     }
 
-    fn set_reg(&mut self, thread: u32, r: u16, v: u64) {
+    pub(crate) fn set_reg(&mut self, thread: u32, r: u16, v: u64) {
         self.regs[thread as usize * self.kernel.num_regs as usize + r as usize] = v;
     }
 
-    fn pred(&self, thread: u32, p: u16) -> bool {
+    pub(crate) fn pred(&self, thread: u32, p: u16) -> bool {
         self.preds[thread as usize * self.kernel.num_preds.max(1) as usize + p as usize]
     }
 
-    fn set_pred(&mut self, thread: u32, p: u16, v: bool) {
+    pub(crate) fn set_pred(&mut self, thread: u32, p: u16, v: bool) {
         self.preds[thread as usize * self.kernel.num_preds.max(1) as usize + p as usize] = v;
     }
 
@@ -232,7 +232,7 @@ impl<'a> BlockCtx<'a> {
 // `ty.is_float()`, and for the off-type arms a defined identity-style
 // fallback replaces what used to be an `unreachable!` — guest input
 // must never be able to panic the interpreter.
-fn to_f(ty: Ty, raw: u64) -> f64 {
+pub(crate) fn to_f(ty: Ty, raw: u64) -> f64 {
     match ty {
         Ty::F32 => f64::from(f32::from_bits(raw as u32)),
         Ty::F64 => f64::from_bits(raw),
@@ -240,7 +240,7 @@ fn to_f(ty: Ty, raw: u64) -> f64 {
     }
 }
 
-fn from_f(ty: Ty, v: f64) -> u64 {
+pub(crate) fn from_f(ty: Ty, v: f64) -> u64 {
     match ty {
         Ty::F32 => u64::from((v as f32).to_bits()),
         Ty::F64 => v.to_bits(),
@@ -259,7 +259,7 @@ fn to_i(ty: Ty, raw: u64) -> i64 {
     }
 }
 
-fn truncate(ty: Ty, v: u64) -> u64 {
+pub(crate) fn truncate(ty: Ty, v: u64) -> u64 {
     match ty.size() {
         4 => v & 0xFFFF_FFFF,
         _ => v,
@@ -317,12 +317,8 @@ pub(crate) fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, TrapKin
             BinOp::Add => x.wrapping_add(y),
             BinOp::Sub => x.wrapping_sub(y),
             BinOp::Mul => x.wrapping_mul(y),
-            BinOp::Div => {
-                if y == 0 { 0 } else { x / y }
-            }
-            BinOp::Rem => {
-                if y == 0 { 0 } else { x % y }
-            }
+            BinOp::Div => x.checked_div(y).unwrap_or(0),
+            BinOp::Rem => x.checked_rem(y).unwrap_or(0),
             BinOp::Min => x.min(y),
             BinOp::Max => x.max(y),
             BinOp::And => x & y,
@@ -335,7 +331,7 @@ pub(crate) fn eval_bin(op: BinOp, ty: Ty, a: u64, b: u64) -> Result<u64, TrapKin
     }
 }
 
-fn eval_cmp(op: CmpOp, ty: Ty, a: u64, b: u64) -> bool {
+pub(crate) fn eval_cmp(op: CmpOp, ty: Ty, a: u64, b: u64) -> bool {
     use std::cmp::Ordering;
     let ord = if ty.is_float() {
         to_f(ty, a).partial_cmp(&to_f(ty, b))
@@ -355,7 +351,7 @@ fn eval_cmp(op: CmpOp, ty: Ty, a: u64, b: u64) -> bool {
     }
 }
 
-fn eval_cvt(from: Ty, to: Ty, raw: u64) -> u64 {
+pub(crate) fn eval_cvt(from: Ty, to: Ty, raw: u64) -> u64 {
     match (from.is_float(), to.is_float()) {
         (false, false) => {
             let v = if from.is_signed() { to_i(from, raw) as u64 } else { truncate(from, raw) };
@@ -381,7 +377,13 @@ fn eval_cvt(from: Ty, to: Ty, raw: u64) -> u64 {
     }
 }
 
-fn eval_atom(op: AtomOp, ty: Ty, old: u64, src: u64, cmp: Option<u64>) -> Result<u64, TrapKind> {
+pub(crate) fn eval_atom(
+    op: AtomOp,
+    ty: Ty,
+    old: u64,
+    src: u64,
+    cmp: Option<u64>,
+) -> Result<u64, TrapKind> {
     match op {
         AtomOp::Add => eval_bin(BinOp::Add, ty, old, src),
         AtomOp::Sub => eval_bin(BinOp::Sub, ty, old, src),
@@ -404,8 +406,36 @@ fn eval_atom(op: AtomOp, ty: Ty, old: u64, src: u64, cmp: Option<u64>) -> Result
     }
 }
 
+/// Which interpreter hot path executes the kernel.
+///
+/// Both paths are bit-identical in results, statistics and modelled
+/// time (enforced by differential tests); they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The predecoded µop path with warp-uniform scalarization
+    /// (see [`crate::uop`]). The default.
+    #[default]
+    Predecoded,
+    /// The original lane-wise instruction interpreter, kept as the
+    /// differential-testing reference.
+    Reference,
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "uop" | "predecoded" => Ok(ExecMode::Predecoded),
+            "reference" | "lanewise" => Ok(ExecMode::Reference),
+            other => Err(format!("unknown interpreter `{other}` (want uop|reference)")),
+        }
+    }
+}
+
 /// Per-launch execution configuration beyond the launch dims: the
-/// instruction budget and an optional fault-injection session.
+/// instruction budget, an optional fault-injection session and the
+/// interpreter path.
 #[derive(Debug, Default)]
 pub struct ExecConfig<'a> {
     /// Per-block dynamic instruction budget; `None` uses
@@ -414,6 +444,8 @@ pub struct ExecConfig<'a> {
     /// Fault-injection session shared across every block of the
     /// launch; `None` runs fault-free.
     pub faults: Option<&'a mut FaultSession>,
+    /// Interpreter hot path ([`ExecMode::Predecoded`] by default).
+    pub mode: ExecMode,
 }
 
 /// Execute `kernel` on `global` memory with the default budget and no
@@ -518,6 +550,16 @@ pub fn run_kernel_cfg(
     let mut shared_chains: FxHashMap<u64, u64> = FxHashMap::default();
     let mut warps: Vec<WarpExec> = Vec::new();
 
+    // Predecode once per launch (cached on the kernel across launches)
+    // when the µop path is selected; its warp states and per-block
+    // constant table are reused across blocks like the buffers above.
+    let uop_prog = match exec_cfg.mode {
+        ExecMode::Predecoded => Some(kernel.uops()),
+        ExecMode::Reference => None,
+    };
+    let mut uop_warps: Vec<crate::uop::UopWarp> = Vec::new();
+    let mut consts: Vec<u64> = Vec::new();
+
     let budget = exec_cfg.budget.unwrap_or(DEFAULT_BUDGET).max(1);
     // A disabled no-op session keeps the hot path branch-free when the
     // caller does not inject faults.
@@ -548,7 +590,18 @@ pub fn run_kernel_cfg(
             budget_total: budget,
             shared_chains: &mut shared_chains,
         };
-        run_block(&mut ctx, global, &mut global_chains, &mut warps, faults)?;
+        match uop_prog {
+            Some(prog) => crate::uop::run_block(
+                &mut ctx,
+                prog,
+                global,
+                &mut global_chains,
+                &mut uop_warps,
+                faults,
+                &mut consts,
+            )?,
+            None => run_block(&mut ctx, global, &mut global_chains, &mut warps, faults)?,
+        }
         let block_chain = ctx.shared_chains.values().copied().max().unwrap_or(0);
         ctx.stats.shared_atomic_max_chain_per_block = block_chain;
         ctx.stats.blocks = 1;
@@ -612,7 +665,7 @@ fn scale_stats(s: &mut LaunchStats, f: f64) {
     m(&mut s.blocks);
 }
 
-fn full_mask(lanes: u32) -> u32 {
+pub(crate) fn full_mask(lanes: u32) -> u32 {
     if lanes >= 32 {
         u32::MAX
     } else {
@@ -697,14 +750,14 @@ fn run_block(
 }
 
 /// Build a [`SimError::Trap`] at a precise fault location.
-fn trap_at(kernel: &Kernel, pc: usize, warp: u32, lane: u32, kind: TrapKind) -> SimError {
+pub(crate) fn trap_at(kernel: &Kernel, pc: usize, warp: u32, lane: u32, kind: TrapKind) -> SimError {
     SimError::Trap { kernel: kernel.name.clone(), pc, warp, lane, kind }
 }
 
 /// Map a drawn fault onto concrete simulator state. Cold: fires at
 /// most `max_faults_per_launch` times per launch.
 #[cold]
-fn apply_fault(
+pub(crate) fn apply_fault(
     ctx: &mut BlockCtx<'_>,
     global: &mut LinearMemory,
     faults: &mut FaultSession,
@@ -902,7 +955,7 @@ fn run_warp(
                 for (i, &l) in lanes.iter().enumerate() {
                     let t = thread_of(l);
                     let a = ctx.addr(t, addr);
-                    if a % (elem * n) != 0 {
+                    if !a.is_multiple_of(elem * n) {
                         return Err(trap_at(
                             kernel,
                             pc,
@@ -934,7 +987,7 @@ fn run_warp(
                 for (i, &l) in lanes.iter().enumerate() {
                     let t = thread_of(l);
                     let a = ctx.addr(t, addr);
-                    if a % (elem * n) != 0 {
+                    if !a.is_multiple_of(elem * n) {
                         return Err(trap_at(
                             kernel,
                             pc,
@@ -960,7 +1013,7 @@ fn run_warp(
                 for (i, &l) in lanes.iter().enumerate() {
                     let t = thread_of(l);
                     let a = ctx.addr(t, addr);
-                    if a % ty.size() != 0 {
+                    if !a.is_multiple_of(ty.size()) {
                         return Err(trap_at(
                             kernel,
                             pc,
@@ -1125,7 +1178,7 @@ fn run_warp(
     }
 }
 
-fn record_mem(ctx: &mut BlockCtx<'_>, space: Space, is_load: bool, accesses: &[(u64, u64)]) {
+pub(crate) fn record_mem(ctx: &mut BlockCtx<'_>, space: Space, is_load: bool, accesses: &[(u64, u64)]) {
     match space {
         Space::Global => {
             let tx = coalesced_transactions(accesses);
@@ -1536,6 +1589,7 @@ mod tests {
             num_regs: 1,
             num_preds: 0,
             cfg_cache: Default::default(),
+            uop_cache: Default::default(),
         };
         let mut mem = LinearMemory::new(0, "global");
         let err = run_kernel(&k, &arch(), LaunchDims::new(1, 32), &[], &mut mem, BlockSelection::All)
@@ -1577,6 +1631,7 @@ mod tests {
             num_regs: 1,
             num_preds: 0,
             cfg_cache: Default::default(),
+            uop_cache: Default::default(),
         };
         let mut mem = LinearMemory::new(64, "global");
         let err = run_kernel(&k, &arch(), LaunchDims::new(1, 1), &[], &mut mem, BlockSelection::All)
@@ -1661,7 +1716,7 @@ mod tests {
             &[],
             &mut mem,
             BlockSelection::All,
-            ExecConfig { budget: Some(1000), faults: None },
+            ExecConfig { budget: Some(1000), faults: None, mode: ExecMode::default() },
         )
         .unwrap_err();
         assert_eq!(err, SimError::Timeout { kernel: "spin".into(), budget: 1000 });
@@ -1702,7 +1757,7 @@ mod tests {
                 &[Arg::Ptr(0)],
                 &mut mem,
                 BlockSelection::All,
-                ExecConfig { budget: None, faults: Some(&mut session) },
+                ExecConfig { budget: None, faults: Some(&mut session), mode: ExecMode::default() },
             )
             .unwrap();
             (session.take_log(), mem.read_bytes(0, 4 * 32).unwrap())

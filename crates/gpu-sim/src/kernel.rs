@@ -80,6 +80,10 @@ pub struct Kernel {
     /// the kernel's serialized form.
     #[serde(skip)]
     pub cfg_cache: CfgCache,
+    /// Cached predecoded µop program (see [`Kernel::uops`]). Not part
+    /// of the kernel's serialized form.
+    #[serde(skip)]
+    pub uop_cache: crate::uop::UopCache,
 }
 
 impl Kernel {
@@ -157,6 +161,14 @@ impl Kernel {
     /// per launch instead of rebuilding the CFG).
     pub fn cfg(&self) -> &Cfg {
         self.cfg_cache.0.get_or_init(|| Arc::new(Cfg::build(self)))
+    }
+
+    /// The kernel's predecoded µop program (see [`crate::uop`]),
+    /// decoded on first use and shared by every clone of this kernel —
+    /// the interpreter's predecoded fast path fetches this once per
+    /// launch.
+    pub fn uops(&self) -> &crate::uop::UopProgram {
+        self.uop_cache.get_or_decode(self)
     }
 }
 
@@ -538,6 +550,7 @@ impl KernelBuilder {
             num_regs: self.next_reg,
             num_preds: self.next_pred,
             cfg_cache: CfgCache::default(),
+            uop_cache: Default::default(),
         };
         kernel.validate()?;
         Ok(kernel)
@@ -587,6 +600,7 @@ mod tests {
             num_regs: 0,
             num_preds: 0,
             cfg_cache: CfgCache::default(),
+            uop_cache: Default::default(),
         };
         assert!(k.validate().is_err());
     }
@@ -605,6 +619,7 @@ mod tests {
             num_regs: 1,
             num_preds: 0,
             cfg_cache: CfgCache::default(),
+            uop_cache: Default::default(),
         };
         assert!(k.validate().is_err());
     }
@@ -620,6 +635,7 @@ mod tests {
             num_regs: 0,
             num_preds: 0,
             cfg_cache: CfgCache::default(),
+            uop_cache: Default::default(),
         };
         assert!(k.validate().is_err());
     }
@@ -660,6 +676,7 @@ mod tests {
             num_regs: 1,
             num_preds: 0,
             cfg_cache: CfgCache::default(),
+            uop_cache: Default::default(),
         };
         assert!(k.validate().is_err());
     }

@@ -63,11 +63,12 @@ pub mod kernel;
 pub mod memory;
 pub mod stats;
 pub mod timing;
+pub mod uop;
 
 pub use arch::{ArchConfig, SharedAtomicImpl};
 pub use device::{Device, DevicePtr, LaunchReport};
 pub use error::{SimError, TrapKind};
-pub use exec::{Arg, BlockSelection, ExecConfig, LaunchDims};
+pub use exec::{Arg, BlockSelection, ExecConfig, ExecMode, LaunchDims};
 pub use fault::{FaultKind, FaultPlan, FaultSession, InjectedFault};
 pub use kernel::{Kernel, KernelBuilder, ParamKind};
 pub use stats::LaunchStats;

@@ -199,6 +199,7 @@ mod tests {
             num_regs: 16,
             num_preds: 1,
             cfg_cache: Default::default(),
+            uop_cache: Default::default(),
         }
     }
 

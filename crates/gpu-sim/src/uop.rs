@@ -1,0 +1,1263 @@
+//! Predecoded µop execution engine with warp-uniform scalarization.
+//!
+//! The reference interpreter ([`crate::exec`]) re-examines each
+//! [`Instr`](crate::isa::Instr) on every issue: operands are matched,
+//! immediates converted per the instruction type, special registers
+//! recomputed, and branch reconvergence points looked up in the CFG —
+//! all inside the per-lane loop. This module removes that per-issue
+//! work by *predecoding* the instruction stream once per kernel into a
+//! flat [`UopProgram`]:
+//!
+//! * every operand is resolved to a [`Src`] — a register slot, a
+//!   pre-converted immediate bit pattern, an index into a per-block
+//!   constant table (parameters and launch geometry), or one of the
+//!   three lane-varying special registers;
+//! * branch reconvergence points are pre-linked from the CFG, so the
+//!   divergence path never consults it at run time;
+//! * per-µop static properties (instruction class for the stats
+//!   counters, statically-illegal operand combinations) are computed
+//!   at decode time. Combinations the reference path rejects at run
+//!   time with a trap decode to an explicit [`Uop::Trap`] that fires
+//!   with the identical [`TrapKind`] and fault location.
+//!
+//! On top of the µop buffer the executor tracks **warp uniformity**: a
+//! bitmask per warp recording which registers (and predicates) provably
+//! hold the same raw value in every lane of the warp. Pure compute µops
+//! whose sources are all uniform are *scalarized* — evaluated once and
+//! broadcast to the active lanes — instead of executed 32 times. Loop
+//! counters, block/warp IDs, strides and shared-memory base addresses
+//! in the generated reduction kernels are uniform, so this covers most
+//! ALU traffic. Writes under a partial active mask, lane-dependent
+//! sources, loads, shuffles and atomics demote the destination to
+//! non-uniform; correctness never depends on the mask being full.
+//! Branches with a uniform predicate take the all-or-nothing fast path
+//! without evaluating per lane.
+//!
+//! Results, statistics and modelled time are bit-identical to the
+//! reference path by construction: the issue loop performs the same
+//! budget, fault-poll and [`LaunchStats::issue`](crate::stats::LaunchStats::issue)
+//! sequence per µop, memory and shuffle µops replicate the reference
+//! per-lane semantics exactly, and scalarized compute writes the value
+//! the per-lane loop would have produced (the sources being uniform
+//! makes the per-lane results equal by definition). A differential
+//! test suite enforces this across the synthesized-kernel corpus.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use crate::error::{SimError, TrapKind};
+use crate::exec::{
+    apply_fault, eval_atom, eval_bin, eval_cmp, eval_cvt, from_f, full_mask, record_mem, to_f,
+    trap_at, truncate, BlockCtx, StackEntry, WarpStop, MAX_LANES, RECONV_NONE,
+};
+use crate::fault::FaultSession;
+use crate::hash::FxHashMap;
+use crate::isa::{
+    AtomOp, BinOp, CmpOp, Instr, InstrClass, Operand, PredId, RegId, ShflMode, Space, Sreg, Ty,
+    UnOp,
+};
+use crate::kernel::Kernel;
+use crate::memory::LinearMemory;
+
+/// Registers above this index fall outside the per-warp uniformity
+/// bitmask and are conservatively treated as lane-varying. The
+/// synthesized corpus peaks at ~90 registers, well within range.
+const UNI_REGS: usize = 128;
+/// Predicate registers above this index are conservatively
+/// lane-varying (the corpus peaks at ~14).
+const UNI_PREDS: usize = 64;
+
+/// A predecoded operand: everything the reference interpreter's
+/// `operand()` match does per issue, resolved once at decode time.
+///
+/// Immediates are pre-converted to the raw register image for the type
+/// the using instruction evaluates them at, so reading one at run time
+/// is a plain load. Launch-geometry special registers and kernel
+/// parameters index a small per-block constant table; only the three
+/// genuinely lane-varying sources remain symbolic.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Src {
+    /// A general-purpose register slot.
+    Reg(RegId),
+    /// A pre-converted immediate bit pattern.
+    Imm(u64),
+    /// Index into the per-block constant table
+    /// (`params ++ [ctaid, ntid, nctaid, warpsize]`).
+    Const(u16),
+    /// `%tid.x` — the thread index within the block.
+    Tid,
+    /// `%laneid` — the lane index within the warp.
+    Lane,
+    /// `%warpid` — the warp index within the block (uniform).
+    WarpId,
+}
+
+/// A statically-detected illegal operand combination, materialized as
+/// a [`Uop::Trap`] that reproduces the reference path's runtime trap.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StaticTrap {
+    /// Bitwise/shift binary op on a float type.
+    FloatBitwise {
+        /// The offending bitwise op.
+        op: BinOp,
+        /// The float type it was applied to.
+        ty: Ty,
+    },
+    /// `plop` with an op outside And/Or/Xor.
+    PlopNonLogical {
+        /// The offending op.
+        op: BinOp,
+    },
+}
+
+impl StaticTrap {
+    fn kind(self) -> TrapKind {
+        match self {
+            StaticTrap::FloatBitwise { op, ty } => TrapKind::IllegalOperandType {
+                detail: format!("bitwise op {op:?} on float type {ty:?}"),
+            },
+            StaticTrap::PlopNonLogical { op } => TrapKind::IllegalInstruction {
+                detail: format!("plop with non-logical op {op:?}"),
+            },
+        }
+    }
+}
+
+/// One predecoded micro-operation. Mirrors [`Instr`] with operands
+/// resolved to [`Src`], vector widths flattened to lane counts, and
+/// branch reconvergence pre-linked.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Uop {
+    /// `dst = truncate(ty, src)`
+    Mov { ty: Ty, dst: RegId, src: Src },
+    /// Arithmetic negation.
+    Neg { ty: Ty, dst: RegId, src: Src },
+    /// Bitwise complement.
+    Not { ty: Ty, dst: RegId, src: Src },
+    /// `dst = a op b` (float-bitwise combinations decode to `Trap`).
+    Bin { op: BinOp, ty: Ty, dst: RegId, a: Src, b: Src },
+    /// `dst = a * b + c`
+    Mad { ty: Ty, dst: RegId, a: Src, b: Src, c: Src },
+    /// Type conversion.
+    Cvt { from: Ty, to: Ty, dst: RegId, src: Src },
+    /// Predicate compare.
+    Setp { op: CmpOp, ty: Ty, dst: PredId, a: Src, b: Src },
+    /// Predicate logic (op pre-validated to And/Or/Xor).
+    Plop { op: BinOp, dst: PredId, a: PredId, b: PredId },
+    /// Select.
+    Selp { ty: Ty, dst: RegId, a: Src, b: Src, pred: PredId },
+    /// Load `vlanes` consecutive elements into consecutive registers.
+    Ld { space: Space, ty: Ty, dst: RegId, base: Src, offset: i64, vlanes: u16 },
+    /// Store `vlanes` consecutive registers.
+    St { space: Space, ty: Ty, src: RegId, base: Src, offset: i64, vlanes: u16 },
+    /// Atomic read-modify-write.
+    Atom {
+        space: Space,
+        op: AtomOp,
+        ty: Ty,
+        dst: Option<RegId>,
+        base: Src,
+        offset: i64,
+        src: Src,
+        cmp: Option<Src>,
+    },
+    /// Warp shuffle.
+    Shfl {
+        mode: ShflMode,
+        ty: Ty,
+        dst: RegId,
+        src: Src,
+        lane: Src,
+        width: u32,
+        pred_out: Option<PredId>,
+    },
+    /// Block-wide barrier.
+    Bar,
+    /// Unconditional branch.
+    Bra { target: usize },
+    /// Conditional branch with the reconvergence pc pre-linked
+    /// (`RECONV_NONE` when the CFG has none).
+    BraIf { pred: PredId, when: bool, target: usize, reconv: usize },
+    /// Thread exit.
+    Exit,
+    /// Statically-certain illegal combination; fires the reference
+    /// path's trap at the first active lane.
+    Trap { what: StaticTrap },
+}
+
+/// A kernel's predecoded µop stream plus per-µop static metadata.
+///
+/// Built once per kernel by [`Kernel::uops`] and shared by every clone
+/// (see [`UopCache`]); the executor indexes it with the same pc values
+/// the instruction stream uses, so divergence stacks, branch targets
+/// and trap locations are interchangeable between the two paths.
+pub struct UopProgram {
+    pub(crate) uops: Vec<Uop>,
+    /// Instruction class per pc (precomputed for the stats counters).
+    pub(crate) classes: Vec<InstrClass>,
+    /// Parameter count; the per-block constant table appends launch
+    /// geometry after the parameters.
+    pub(crate) n_params: u16,
+}
+
+impl UopProgram {
+    /// Number of µops (equal to the kernel's instruction count).
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the program is empty (an invalid kernel; retained for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+}
+
+impl fmt::Debug for UopProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UopProgram({} uops)", self.uops.len())
+    }
+}
+
+/// Lazily-initialized predecoded µop program attached to a
+/// [`Kernel`].
+///
+/// Like [`CfgCache`](crate::kernel::CfgCache), the µop stream depends
+/// only on the immutable instruction stream, so it is decoded at most
+/// once per kernel and shared by every clone — the parallel tuner's
+/// workers predecode each synthesized kernel once, not once per
+/// launch.
+#[derive(Default)]
+pub struct UopCache(OnceLock<Arc<UopProgram>>);
+
+impl UopCache {
+    /// Whether the µop program has been decoded yet.
+    pub fn is_built(&self) -> bool {
+        self.0.get().is_some()
+    }
+
+    pub(crate) fn get_or_decode(&self, kernel: &Kernel) -> &UopProgram {
+        self.0.get_or_init(|| Arc::new(decode(kernel)))
+    }
+}
+
+impl Clone for UopCache {
+    fn clone(&self) -> Self {
+        let out = UopCache::default();
+        if let Some(prog) = self.0.get() {
+            let _ = out.0.set(Arc::clone(prog));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for UopCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_built() { "UopCache(built)" } else { "UopCache(empty)" })
+    }
+}
+
+/// Resolve an [`Operand`] evaluated at type `ty` into a [`Src`],
+/// replicating the immediate conversions of the reference
+/// interpreter's `operand()` for that type.
+fn resolve(op: Operand, ty: Ty, n_params: u16) -> Src {
+    match op {
+        Operand::Reg(r) => Src::Reg(r),
+        Operand::ImmI(v) => Src::Imm(match ty {
+            Ty::F32 => u64::from((v as f32).to_bits()),
+            Ty::F64 => (v as f64).to_bits(),
+            Ty::I32 | Ty::U32 => v as i32 as u32 as u64,
+            _ => v as u64,
+        }),
+        Operand::ImmF(v) => Src::Imm(match ty {
+            Ty::F32 => u64::from((v as f32).to_bits()),
+            _ => v.to_bits(),
+        }),
+        Operand::Sreg(s) => match s {
+            Sreg::TidX => Src::Tid,
+            Sreg::LaneId => Src::Lane,
+            Sreg::WarpId => Src::WarpId,
+            Sreg::CtaIdX => Src::Const(n_params),
+            Sreg::NtidX => Src::Const(n_params + 1),
+            Sreg::NctaIdX => Src::Const(n_params + 2),
+            Sreg::WarpSize => Src::Const(n_params + 3),
+        },
+        Operand::Param(p) => Src::Const(p),
+    }
+}
+
+/// Predecode a validated kernel into its µop program.
+pub(crate) fn decode(kernel: &Kernel) -> UopProgram {
+    let cfg = kernel.cfg();
+    let np = kernel.params.len() as u16;
+    let mut uops = Vec::with_capacity(kernel.instrs.len());
+    let mut classes = Vec::with_capacity(kernel.instrs.len());
+    for (pc, instr) in kernel.instrs.iter().enumerate() {
+        classes.push(instr.class());
+        let uop = match *instr {
+            Instr::Mov { ty, dst, src } => Uop::Mov { ty, dst, src: resolve(src, ty, np) },
+            Instr::Un { op, ty, dst, src } => {
+                let src = resolve(src, ty, np);
+                match op {
+                    UnOp::Neg => Uop::Neg { ty, dst, src },
+                    UnOp::Not => Uop::Not { ty, dst, src },
+                }
+            }
+            Instr::Bin { op, ty, dst, a, b } => {
+                if ty.is_float()
+                    && matches!(op, BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
+                {
+                    Uop::Trap { what: StaticTrap::FloatBitwise { op, ty } }
+                } else {
+                    Uop::Bin { op, ty, dst, a: resolve(a, ty, np), b: resolve(b, ty, np) }
+                }
+            }
+            Instr::Mad { ty, dst, a, b, c } => Uop::Mad {
+                ty,
+                dst,
+                a: resolve(a, ty, np),
+                b: resolve(b, ty, np),
+                c: resolve(c, ty, np),
+            },
+            Instr::Cvt { from, to, dst, src } => {
+                Uop::Cvt { from, to, dst, src: resolve(src, from, np) }
+            }
+            Instr::Setp { op, ty, dst, a, b } => {
+                Uop::Setp { op, ty, dst, a: resolve(a, ty, np), b: resolve(b, ty, np) }
+            }
+            Instr::Plop { op, dst, a, b } => match op {
+                BinOp::And | BinOp::Or | BinOp::Xor => Uop::Plop { op, dst, a, b },
+                other => Uop::Trap { what: StaticTrap::PlopNonLogical { op: other } },
+            },
+            Instr::Selp { ty, dst, a, b, pred } => {
+                Uop::Selp { ty, dst, a: resolve(a, ty, np), b: resolve(b, ty, np), pred }
+            }
+            Instr::Ld { space, ty, dst, addr, width } => Uop::Ld {
+                space,
+                ty,
+                dst,
+                base: resolve(addr.base, Ty::U64, np),
+                offset: addr.offset,
+                vlanes: width.lanes(),
+            },
+            Instr::St { space, ty, src, addr, width } => Uop::St {
+                space,
+                ty,
+                src,
+                base: resolve(addr.base, Ty::U64, np),
+                offset: addr.offset,
+                vlanes: width.lanes(),
+            },
+            Instr::Atom { space, op, ty, dst, addr, src, cmp, .. } => Uop::Atom {
+                space,
+                op,
+                ty,
+                dst,
+                base: resolve(addr.base, Ty::U64, np),
+                offset: addr.offset,
+                src: resolve(src, ty, np),
+                cmp: cmp.map(|c| resolve(c, ty, np)),
+            },
+            Instr::Shfl { mode, ty, dst, src, lane, width, pred_out } => Uop::Shfl {
+                mode,
+                ty,
+                dst,
+                src: resolve(src, ty, np),
+                lane: resolve(lane, Ty::U32, np),
+                width,
+                pred_out,
+            },
+            Instr::Bar => Uop::Bar,
+            Instr::Bra { pred: None, target } => Uop::Bra { target },
+            Instr::Bra { pred: Some((p, when)), target } => Uop::BraIf {
+                pred: p,
+                when,
+                target,
+                reconv: cfg.reconvergence(pc).unwrap_or(RECONV_NONE),
+            },
+            Instr::Exit => Uop::Exit,
+        };
+        uops.push(uop);
+    }
+    UopProgram { uops, classes, n_params: np }
+}
+
+/// Per-warp execution state for the µop path: the reference divergence
+/// stack plus the uniformity lattice (one bit per tracked register or
+/// predicate: set ⇒ every existing lane of the warp holds the same raw
+/// value).
+pub(crate) struct UopWarp {
+    pub(crate) warp_id: u32,
+    pub(crate) stack: Vec<StackEntry>,
+    pub(crate) exited: u32,
+    /// Mask of the lanes that exist in this warp (partial last warp).
+    full: u32,
+    /// Uniformity bit per general-purpose register (< [`UNI_REGS`]).
+    reg_uni: u128,
+    /// Uniformity bit per predicate register (< [`UNI_PREDS`]).
+    pred_uni: u64,
+}
+
+#[inline]
+fn src_uniform(warp: &UopWarp, s: Src) -> bool {
+    match s {
+        Src::Reg(r) => (r as usize) < UNI_REGS && warp.reg_uni & (1u128 << r) != 0,
+        Src::Tid | Src::Lane => false,
+        Src::Imm(_) | Src::Const(_) | Src::WarpId => true,
+    }
+}
+
+#[inline]
+fn pred_uniform(warp: &UopWarp, p: PredId) -> bool {
+    (p as usize) < UNI_PREDS && warp.pred_uni & (1u64 << p) != 0
+}
+
+#[inline]
+fn set_reg_uni(warp: &mut UopWarp, r: RegId, uniform: bool) {
+    if (r as usize) < UNI_REGS {
+        let bit = 1u128 << r;
+        if uniform {
+            warp.reg_uni |= bit;
+        } else {
+            warp.reg_uni &= !bit;
+        }
+    }
+}
+
+#[inline]
+fn set_pred_uni(warp: &mut UopWarp, p: PredId, uniform: bool) {
+    if (p as usize) < UNI_PREDS {
+        let bit = 1u64 << p;
+        if uniform {
+            warp.pred_uni |= bit;
+        } else {
+            warp.pred_uni &= !bit;
+        }
+    }
+}
+
+/// Evaluate a [`Src`] for one lane.
+#[inline]
+fn eval_src(ctx: &BlockCtx<'_>, consts: &[u64], base: u32, warp_id: u32, lane: u32, s: Src) -> u64 {
+    match s {
+        Src::Reg(r) => ctx.reg(base + lane, r),
+        Src::Imm(v) => v,
+        Src::Const(i) => consts[i as usize],
+        Src::Tid => u64::from(base + lane),
+        Src::Lane => u64::from(lane),
+        Src::WarpId => u64::from(warp_id),
+    }
+}
+
+/// Broadcast a scalarized register result to every active lane and
+/// update the uniformity bit: the destination stays uniform only when
+/// the write covered every existing lane.
+#[inline]
+fn write_reg_all(ctx: &mut BlockCtx<'_>, warp: &mut UopWarp, base: u32, active: u32, dst: RegId, v: u64) {
+    let mut m = active;
+    while m != 0 {
+        let l = m.trailing_zeros();
+        ctx.set_reg(base + l, dst, v);
+        m &= m - 1;
+    }
+    set_reg_uni(warp, dst, active == warp.full);
+}
+
+/// Broadcast a scalarized predicate result to every active lane.
+#[inline]
+fn write_pred_all(
+    ctx: &mut BlockCtx<'_>,
+    warp: &mut UopWarp,
+    base: u32,
+    active: u32,
+    dst: PredId,
+    v: bool,
+) {
+    let mut m = active;
+    while m != 0 {
+        let l = m.trailing_zeros();
+        ctx.set_pred(base + l, dst, v);
+        m &= m - 1;
+    }
+    set_pred_uni(warp, dst, active == warp.full);
+}
+
+/// Execute one block through the µop path. Mirrors
+/// [`crate::exec::run_block`]'s scheduling (rounds of warps stopping
+/// at barriers, barrier-divergence deadlock detection) exactly.
+pub(crate) fn run_block(
+    ctx: &mut BlockCtx<'_>,
+    prog: &UopProgram,
+    global: &mut LinearMemory,
+    global_chains: &mut FxHashMap<u64, u64>,
+    warps: &mut Vec<UopWarp>,
+    faults: &mut FaultSession,
+    consts: &mut Vec<u64>,
+) -> Result<(), SimError> {
+    let warp_size = ctx.arch.warp_size;
+    let n_warps = ctx.block_dim.div_ceil(warp_size) as usize;
+
+    // Per-block constant table: parameters then launch geometry, in
+    // the index order `resolve` assigned.
+    consts.clear();
+    consts.extend_from_slice(ctx.params);
+    debug_assert_eq!(consts.len(), prog.n_params as usize);
+    consts.push(u64::from(ctx.block_id));
+    consts.push(u64::from(ctx.block_dim));
+    consts.push(u64::from(ctx.grid_dim));
+    consts.push(u64::from(warp_size));
+
+    // Reset the caller-owned warp buffer in place. Register and
+    // predicate files are zero-filled at block start, so every tracked
+    // slot begins uniform.
+    warps.truncate(n_warps);
+    for (w, warp) in warps.iter_mut().enumerate() {
+        let lanes_in_warp = (ctx.block_dim - w as u32 * warp_size).min(warp_size);
+        warp.warp_id = w as u32;
+        warp.exited = 0;
+        warp.stack.clear();
+        warp.stack.push(StackEntry { reconv: RECONV_NONE, pc: 0, mask: full_mask(lanes_in_warp) });
+        warp.full = full_mask(lanes_in_warp);
+        warp.reg_uni = !0;
+        warp.pred_uni = !0;
+    }
+    for w in warps.len() as u32..n_warps as u32 {
+        let lanes_in_warp = (ctx.block_dim - w * warp_size).min(warp_size);
+        warps.push(UopWarp {
+            warp_id: w,
+            stack: vec![StackEntry { reconv: RECONV_NONE, pc: 0, mask: full_mask(lanes_in_warp) }],
+            exited: 0,
+            full: full_mask(lanes_in_warp),
+            reg_uni: !0,
+            pred_uni: !0,
+        });
+    }
+
+    loop {
+        let mut waiting = 0usize;
+        let mut ran = 0usize;
+        for warp in warps.iter_mut() {
+            if warp.stack.is_empty() {
+                continue;
+            }
+            ran += 1;
+            if matches!(
+                run_warp(ctx, prog, consts, warp, global, global_chains, faults)?,
+                WarpStop::Barrier
+            ) {
+                waiting += 1;
+            }
+        }
+        if waiting == 0 {
+            break;
+        }
+        if waiting < ran {
+            let waiting_warps: Vec<u32> =
+                warps.iter().filter(|w| !w.stack.is_empty()).map(|w| w.warp_id).collect();
+            let barrier_pc = warps
+                .iter()
+                .find(|w| !w.stack.is_empty())
+                .and_then(|w| w.stack.last())
+                .map_or(0, |top| top.pc.saturating_sub(1));
+            return Err(SimError::BarrierDeadlock {
+                kernel: ctx.kernel.name.clone(),
+                barrier_pc,
+                waiting_warps,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Execute one warp of µops until it hits a barrier or finishes.
+#[allow(clippy::too_many_lines)]
+fn run_warp(
+    ctx: &mut BlockCtx<'_>,
+    prog: &UopProgram,
+    consts: &[u64],
+    warp: &mut UopWarp,
+    global: &mut LinearMemory,
+    global_chains: &mut FxHashMap<u64, u64>,
+    faults: &mut FaultSession,
+) -> Result<WarpStop, SimError> {
+    let warp_size = ctx.arch.warp_size;
+    let base = warp.warp_id * warp_size;
+    let wid = warp.warp_id;
+    let uops = prog.uops.as_slice();
+    loop {
+        // Pop completed or emptied divergence entries.
+        loop {
+            let Some(top) = warp.stack.last() else {
+                return Ok(WarpStop::Done);
+            };
+            if top.mask & !warp.exited == 0 || top.pc == top.reconv {
+                warp.stack.pop();
+                continue;
+            }
+            break;
+        }
+        let top = *warp.stack.last().unwrap();
+        let active = top.mask & !warp.exited;
+        let pc = top.pc;
+        if pc >= uops.len() {
+            warp.exited |= active;
+            warp.stack.pop();
+            continue;
+        }
+        if ctx.budget == 0 {
+            return Err(SimError::Timeout {
+                kernel: ctx.kernel.name.clone(),
+                budget: ctx.budget_total,
+            });
+        }
+        ctx.budget -= 1;
+        if let Some(pending) = faults.poll() {
+            apply_fault(ctx, global, faults, pending);
+        }
+
+        let n_active = active.count_ones();
+        ctx.stats.issue(prog.classes[pc], n_active, warp_size);
+
+        let mut next_pc = pc + 1;
+        match uops[pc] {
+            Uop::Mov { ty, dst, src } => {
+                if src_uniform(warp, src) {
+                    let l0 = active.trailing_zeros();
+                    let v = truncate(ty, eval_src(ctx, consts, base, wid, l0, src));
+                    write_reg_all(ctx, warp, base, active, dst, v);
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        let v = eval_src(ctx, consts, base, wid, l, src);
+                        ctx.set_reg(base + l, dst, truncate(ty, v));
+                        m &= m - 1;
+                    }
+                    set_reg_uni(warp, dst, false);
+                }
+            }
+            Uop::Neg { ty, dst, src } => {
+                let neg = |pc_lane: u32, v: u64| -> Result<u64, SimError> {
+                    if ty.is_float() {
+                        Ok(from_f(ty, -to_f(ty, v)))
+                    } else {
+                        eval_bin(BinOp::Sub, ty, 0, v)
+                            .map_err(|k| trap_at(ctx.kernel, pc, wid, pc_lane, k))
+                    }
+                };
+                if src_uniform(warp, src) {
+                    let l0 = active.trailing_zeros();
+                    let v = neg(l0, eval_src(ctx, consts, base, wid, l0, src))?;
+                    write_reg_all(ctx, warp, base, active, dst, v);
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        let v = neg(l, eval_src(ctx, consts, base, wid, l, src))?;
+                        ctx.set_reg(base + l, dst, v);
+                        m &= m - 1;
+                    }
+                    set_reg_uni(warp, dst, false);
+                }
+            }
+            Uop::Not { ty, dst, src } => {
+                if src_uniform(warp, src) {
+                    let l0 = active.trailing_zeros();
+                    let v = truncate(ty, !eval_src(ctx, consts, base, wid, l0, src));
+                    write_reg_all(ctx, warp, base, active, dst, v);
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        let v = eval_src(ctx, consts, base, wid, l, src);
+                        ctx.set_reg(base + l, dst, truncate(ty, !v));
+                        m &= m - 1;
+                    }
+                    set_reg_uni(warp, dst, false);
+                }
+            }
+            Uop::Bin { op, ty, dst, a, b } => {
+                if src_uniform(warp, a) && src_uniform(warp, b) {
+                    let l0 = active.trailing_zeros();
+                    let x = eval_src(ctx, consts, base, wid, l0, a);
+                    let y = eval_src(ctx, consts, base, wid, l0, b);
+                    let r = eval_bin(op, ty, x, y).map_err(|k| trap_at(ctx.kernel, pc, wid, l0, k))?;
+                    write_reg_all(ctx, warp, base, active, dst, r);
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        let x = eval_src(ctx, consts, base, wid, l, a);
+                        let y = eval_src(ctx, consts, base, wid, l, b);
+                        let r =
+                            eval_bin(op, ty, x, y).map_err(|k| trap_at(ctx.kernel, pc, wid, l, k))?;
+                        ctx.set_reg(base + l, dst, r);
+                        m &= m - 1;
+                    }
+                    set_reg_uni(warp, dst, false);
+                }
+            }
+            Uop::Mad { ty, dst, a, b, c } => {
+                if src_uniform(warp, a) && src_uniform(warp, b) && src_uniform(warp, c) {
+                    let l0 = active.trailing_zeros();
+                    let x = eval_src(ctx, consts, base, wid, l0, a);
+                    let y = eval_src(ctx, consts, base, wid, l0, b);
+                    let z = eval_src(ctx, consts, base, wid, l0, c);
+                    let m1 =
+                        eval_bin(BinOp::Mul, ty, x, y).map_err(|k| trap_at(ctx.kernel, pc, wid, l0, k))?;
+                    let r = eval_bin(BinOp::Add, ty, m1, z)
+                        .map_err(|k| trap_at(ctx.kernel, pc, wid, l0, k))?;
+                    write_reg_all(ctx, warp, base, active, dst, r);
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        let x = eval_src(ctx, consts, base, wid, l, a);
+                        let y = eval_src(ctx, consts, base, wid, l, b);
+                        let z = eval_src(ctx, consts, base, wid, l, c);
+                        let m1 = eval_bin(BinOp::Mul, ty, x, y)
+                            .map_err(|k| trap_at(ctx.kernel, pc, wid, l, k))?;
+                        let r = eval_bin(BinOp::Add, ty, m1, z)
+                            .map_err(|k| trap_at(ctx.kernel, pc, wid, l, k))?;
+                        ctx.set_reg(base + l, dst, r);
+                        m &= m - 1;
+                    }
+                    set_reg_uni(warp, dst, false);
+                }
+            }
+            Uop::Cvt { from, to, dst, src } => {
+                if src_uniform(warp, src) {
+                    let l0 = active.trailing_zeros();
+                    let v = eval_cvt(from, to, eval_src(ctx, consts, base, wid, l0, src));
+                    write_reg_all(ctx, warp, base, active, dst, v);
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        let v = eval_src(ctx, consts, base, wid, l, src);
+                        ctx.set_reg(base + l, dst, eval_cvt(from, to, v));
+                        m &= m - 1;
+                    }
+                    set_reg_uni(warp, dst, false);
+                }
+            }
+            Uop::Setp { op, ty, dst, a, b } => {
+                if src_uniform(warp, a) && src_uniform(warp, b) {
+                    let l0 = active.trailing_zeros();
+                    let x = eval_src(ctx, consts, base, wid, l0, a);
+                    let y = eval_src(ctx, consts, base, wid, l0, b);
+                    write_pred_all(ctx, warp, base, active, dst, eval_cmp(op, ty, x, y));
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        let x = eval_src(ctx, consts, base, wid, l, a);
+                        let y = eval_src(ctx, consts, base, wid, l, b);
+                        ctx.set_pred(base + l, dst, eval_cmp(op, ty, x, y));
+                        m &= m - 1;
+                    }
+                    set_pred_uni(warp, dst, false);
+                }
+            }
+            Uop::Plop { op, dst, a, b } => {
+                let apply = |x: bool, y: bool| match op {
+                    BinOp::And => x && y,
+                    BinOp::Or => x || y,
+                    // Decode validated op ∈ {And, Or, Xor}.
+                    _ => x ^ y,
+                };
+                if pred_uniform(warp, a) && pred_uniform(warp, b) {
+                    let l0 = active.trailing_zeros();
+                    let v = apply(ctx.pred(base + l0, a), ctx.pred(base + l0, b));
+                    write_pred_all(ctx, warp, base, active, dst, v);
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        let v = apply(ctx.pred(base + l, a), ctx.pred(base + l, b));
+                        ctx.set_pred(base + l, dst, v);
+                        m &= m - 1;
+                    }
+                    set_pred_uni(warp, dst, false);
+                }
+            }
+            Uop::Selp { ty, dst, a, b, pred } => {
+                if src_uniform(warp, a) && src_uniform(warp, b) && pred_uniform(warp, pred) {
+                    let l0 = active.trailing_zeros();
+                    let s = if ctx.pred(base + l0, pred) { a } else { b };
+                    let v = truncate(ty, eval_src(ctx, consts, base, wid, l0, s));
+                    write_reg_all(ctx, warp, base, active, dst, v);
+                } else {
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        let s = if ctx.pred(base + l, pred) { a } else { b };
+                        let v = eval_src(ctx, consts, base, wid, l, s);
+                        ctx.set_reg(base + l, dst, truncate(ty, v));
+                        m &= m - 1;
+                    }
+                    set_reg_uni(warp, dst, false);
+                }
+            }
+            Uop::Ld { space, ty, dst, base: ab, offset, vlanes } => {
+                let elem = ty.size();
+                let n = u64::from(vlanes);
+                let mut access_buf = [(0u64, 0u64); MAX_LANES];
+                let mut i = 0usize;
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros();
+                    let t = base + l;
+                    let a = eval_src(ctx, consts, base, wid, l, ab).wrapping_add(offset as u64);
+                    if !a.is_multiple_of(elem * n) {
+                        return Err(trap_at(
+                            ctx.kernel,
+                            pc,
+                            wid,
+                            l,
+                            TrapKind::Misaligned { space: space.label(), addr: a, required: elem * n },
+                        ));
+                    }
+                    access_buf[i] = (a, elem * n);
+                    i += 1;
+                    for k in 0..vlanes {
+                        let v = match space {
+                            Space::Global => global.read(ty, a + u64::from(k) * elem)?,
+                            Space::Shared => ctx.smem.read(ty, a + u64::from(k) * elem)?,
+                        };
+                        ctx.set_reg(t, dst + k, v);
+                    }
+                    m &= m - 1;
+                }
+                for k in 0..vlanes {
+                    set_reg_uni(warp, dst + k, false);
+                }
+                let accesses = &access_buf[..i];
+                record_mem(ctx, space, true, accesses);
+                if space == Space::Global && vlanes > 1 {
+                    ctx.stats.global_vector_bytes += accesses.iter().map(|&(_, s)| s).sum::<u64>();
+                }
+            }
+            Uop::St { space, ty, src, base: ab, offset, vlanes } => {
+                let elem = ty.size();
+                let n = u64::from(vlanes);
+                let mut access_buf = [(0u64, 0u64); MAX_LANES];
+                let mut i = 0usize;
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros();
+                    let t = base + l;
+                    let a = eval_src(ctx, consts, base, wid, l, ab).wrapping_add(offset as u64);
+                    if !a.is_multiple_of(elem * n) {
+                        return Err(trap_at(
+                            ctx.kernel,
+                            pc,
+                            wid,
+                            l,
+                            TrapKind::Misaligned { space: space.label(), addr: a, required: elem * n },
+                        ));
+                    }
+                    access_buf[i] = (a, elem * n);
+                    i += 1;
+                    for k in 0..vlanes {
+                        let v = ctx.reg(t, src + k);
+                        match space {
+                            Space::Global => global.write(ty, a + u64::from(k) * elem, v)?,
+                            Space::Shared => ctx.smem.write(ty, a + u64::from(k) * elem, v)?,
+                        }
+                    }
+                    m &= m - 1;
+                }
+                record_mem(ctx, space, false, &access_buf[..i]);
+            }
+            Uop::Atom { space, op, ty, dst, base: ab, offset, src, cmp } => {
+                let mut addr_buf = [0u64; MAX_LANES];
+                let mut i = 0usize;
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros();
+                    let t = base + l;
+                    let a = eval_src(ctx, consts, base, wid, l, ab).wrapping_add(offset as u64);
+                    if !a.is_multiple_of(ty.size()) {
+                        return Err(trap_at(
+                            ctx.kernel,
+                            pc,
+                            wid,
+                            l,
+                            TrapKind::Misaligned { space: space.label(), addr: a, required: ty.size() },
+                        ));
+                    }
+                    addr_buf[i] = a;
+                    i += 1;
+                    let s = eval_src(ctx, consts, base, wid, l, src);
+                    let c = cmp.map(|c| eval_src(ctx, consts, base, wid, l, c));
+                    let old = match space {
+                        Space::Global => {
+                            let old = global.read(ty, a)?;
+                            let new = eval_atom(op, ty, old, s, c)
+                                .map_err(|k| trap_at(ctx.kernel, pc, wid, l, k))?;
+                            global.write(ty, a, new)?;
+                            old
+                        }
+                        Space::Shared => {
+                            let old = ctx.smem.read(ty, a)?;
+                            let new = eval_atom(op, ty, old, s, c)
+                                .map_err(|k| trap_at(ctx.kernel, pc, wid, l, k))?;
+                            ctx.smem.write(ty, a, new)?;
+                            old
+                        }
+                    };
+                    if let Some(d) = dst {
+                        ctx.set_reg(t, d, old);
+                    }
+                    match space {
+                        Space::Global => {
+                            *global_chains.entry(a).or_insert(0) += 1;
+                        }
+                        Space::Shared => {
+                            *ctx.shared_chains.entry(a).or_insert(0) += 1;
+                        }
+                    }
+                    m &= m - 1;
+                }
+                if let Some(d) = dst {
+                    set_reg_uni(warp, d, false);
+                }
+                let addrs = &addr_buf[..i];
+                let mut worst = 0u64;
+                for (j, &a) in addrs.iter().enumerate() {
+                    if addrs[..j].contains(&a) {
+                        continue;
+                    }
+                    let c = addrs[j..].iter().filter(|&&b| b == a).count() as u64;
+                    worst = worst.max(c);
+                }
+                match space {
+                    Space::Global => {
+                        ctx.stats.global_atomics += i as u64;
+                    }
+                    Space::Shared => {
+                        ctx.stats.shared_atomics += i as u64;
+                        ctx.stats.shared_atomic_serial += worst;
+                    }
+                }
+            }
+            Uop::Shfl { mode, ty, dst, src, lane, width, pred_out } => {
+                let ws = warp_size;
+                let mut snapshot = [0u64; MAX_LANES];
+                for l in 0..ws {
+                    if base + l < ctx.block_dim {
+                        snapshot[l as usize] = eval_src(ctx, consts, base, wid, l, src);
+                    }
+                }
+                let mut m = active;
+                while m != 0 {
+                    let l = m.trailing_zeros();
+                    let t = base + l;
+                    let b = eval_src(ctx, consts, base, wid, l, lane) as u32;
+                    let w = width.clamp(1, ws);
+                    let seg = l / w * w;
+                    let pos = l % w;
+                    let (src_lane, in_range) = match mode {
+                        ShflMode::Up => {
+                            if pos >= b {
+                                (seg + pos - b, true)
+                            } else {
+                                (l, false)
+                            }
+                        }
+                        ShflMode::Down => {
+                            if pos + b < w {
+                                (seg + pos + b, true)
+                            } else {
+                                (l, false)
+                            }
+                        }
+                        ShflMode::Bfly => {
+                            let j = pos ^ b;
+                            if j < w {
+                                (seg + j, true)
+                            } else {
+                                (l, false)
+                            }
+                        }
+                        ShflMode::Idx => {
+                            let j = b % w;
+                            (seg + j, true)
+                        }
+                    };
+                    let v = snapshot[src_lane.min(ws - 1) as usize];
+                    ctx.set_reg(t, dst, truncate(ty, v));
+                    if let Some(p) = pred_out {
+                        ctx.set_pred(t, p, in_range);
+                    }
+                    m &= m - 1;
+                }
+                set_reg_uni(warp, dst, false);
+                if let Some(p) = pred_out {
+                    set_pred_uni(warp, p, false);
+                }
+            }
+            Uop::Bar => {
+                ctx.stats.barriers += 1;
+                if let Some(top) = warp.stack.last_mut() {
+                    top.pc = next_pc;
+                }
+                return Ok(WarpStop::Barrier);
+            }
+            Uop::Bra { target } => next_pc = target,
+            Uop::BraIf { pred, when, target, reconv } => {
+                let taken = if pred_uniform(warp, pred) {
+                    // Uniform predicate: one evaluation decides the
+                    // whole warp (all-or-nothing, never divergent).
+                    let l0 = active.trailing_zeros();
+                    if ctx.pred(base + l0, pred) == when {
+                        active
+                    } else {
+                        0
+                    }
+                } else {
+                    let mut taken = 0u32;
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        if ctx.pred(base + l, pred) == when {
+                            taken |= 1 << l;
+                        }
+                        m &= m - 1;
+                    }
+                    taken
+                };
+                if taken == active {
+                    next_pc = target;
+                } else if taken == 0 {
+                    // fall through
+                } else {
+                    ctx.stats.divergent_branches += 1;
+                    let outer = warp.stack.pop().unwrap();
+                    if reconv != RECONV_NONE {
+                        warp.stack.push(StackEntry {
+                            reconv: outer.reconv,
+                            pc: reconv,
+                            mask: outer.mask,
+                        });
+                    }
+                    let not_taken = active & !taken;
+                    warp.stack.push(StackEntry { reconv, pc: pc + 1, mask: not_taken });
+                    warp.stack.push(StackEntry { reconv, pc: target, mask: taken });
+                    continue;
+                }
+            }
+            Uop::Exit => {
+                warp.exited |= active;
+            }
+            Uop::Trap { what } => {
+                let l0 = active.trailing_zeros();
+                return Err(trap_at(ctx.kernel, pc, wid, l0, what.kind()));
+            }
+        }
+        if let Some(top) = warp.stack.last_mut() {
+            top.pc = next_pc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchConfig;
+    use crate::exec::{run_kernel_cfg, Arg, BlockSelection, ExecConfig, ExecMode, LaunchDims};
+    use crate::isa::Address;
+    use crate::kernel::KernelBuilder;
+
+    fn arch() -> ArchConfig {
+        ArchConfig::maxwell_gtx980()
+    }
+
+    /// A loop-heavy kernel with uniform control flow, lane-varying
+    /// addresses, a shared-memory tree phase and a divergent tail —
+    /// exercises scalarized and per-lane paths together.
+    fn mixed_kernel() -> crate::kernel::Kernel {
+        let n: u32 = 64;
+        let mut b = KernelBuilder::new("mixed");
+        let inp = b.param_ptr();
+        let outp = b.param_ptr();
+        let smem_off = b.smem_alloc(u64::from(n) * 4);
+        let tid = b.reg();
+        let a = b.reg();
+        let v = b.reg();
+        let w = b.reg();
+        let sa = b.reg();
+        let sb = b.reg();
+        let stride = b.reg();
+        let p = b.pred();
+        let pw = b.pred();
+        b.mov(Ty::U32, tid, Operand::Sreg(Sreg::TidX));
+        b.cvt(Ty::U32, Ty::U64, a, Operand::Reg(tid));
+        b.bin(BinOp::Mul, Ty::U64, a, Operand::Reg(a), Operand::ImmI(4));
+        b.bin(BinOp::Add, Ty::U64, a, Operand::Reg(a), Operand::Param(inp));
+        b.ld(Space::Global, Ty::U32, v, Address::reg(a));
+        b.cvt(Ty::U32, Ty::U64, sa, Operand::Reg(tid));
+        b.bin(BinOp::Mul, Ty::U64, sa, Operand::Reg(sa), Operand::ImmI(4));
+        b.bin(BinOp::Add, Ty::U64, sa, Operand::Reg(sa), Operand::ImmI(smem_off as i64));
+        b.st(Space::Shared, Ty::U32, v, Address::reg(sa));
+        b.bar();
+        b.mov(Ty::U32, stride, Operand::ImmI(i64::from(n / 2)));
+        let top = b.label();
+        let body_end = b.label();
+        let done = b.label();
+        b.place(top);
+        b.setp(CmpOp::Eq, Ty::U32, p, Operand::Reg(stride), Operand::ImmI(0));
+        b.bra_if(p, true, done);
+        b.setp(CmpOp::Lt, Ty::U32, pw, Operand::Reg(tid), Operand::Reg(stride));
+        b.bra_if(pw, false, body_end);
+        b.bin(BinOp::Add, Ty::U32, w, Operand::Reg(tid), Operand::Reg(stride));
+        b.cvt(Ty::U32, Ty::U64, sb, Operand::Reg(w));
+        b.bin(BinOp::Mul, Ty::U64, sb, Operand::Reg(sb), Operand::ImmI(4));
+        b.bin(BinOp::Add, Ty::U64, sb, Operand::Reg(sb), Operand::ImmI(smem_off as i64));
+        b.ld(Space::Shared, Ty::U32, w, Address::reg(sb));
+        b.ld(Space::Shared, Ty::U32, v, Address::reg(sa));
+        b.bin(BinOp::Add, Ty::U32, v, Operand::Reg(v), Operand::Reg(w));
+        b.st(Space::Shared, Ty::U32, v, Address::reg(sa));
+        b.place(body_end);
+        b.bar();
+        b.bin(BinOp::Shr, Ty::U32, stride, Operand::Reg(stride), Operand::ImmI(1));
+        b.bra(top);
+        b.place(done);
+        b.setp(CmpOp::Eq, Ty::U32, p, Operand::Reg(tid), Operand::ImmI(0));
+        let skip = b.label();
+        b.bra_if(p, false, skip);
+        b.ld(Space::Shared, Ty::U32, v, Address::new(Operand::ImmI(smem_off as i64), 0));
+        b.st(Space::Global, Ty::U32, v, Address::new(Operand::Param(outp), 0));
+        b.place(skip);
+        b.exit();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn decode_is_cached_and_shared_across_clones() {
+        let k = mixed_kernel();
+        assert!(!k.uop_cache.is_built());
+        assert_eq!(k.uops().len(), k.instrs.len());
+        assert!(k.uop_cache.is_built());
+        let c = k.clone();
+        assert!(c.uop_cache.is_built(), "clones must share the decoded program");
+        assert!(std::ptr::eq(k.uops(), c.uops()), "same Arc, not a re-decode");
+    }
+
+    #[test]
+    fn predecoded_matches_reference_bitwise() {
+        let k = mixed_kernel();
+        let n: u32 = 64;
+        let run = |mode: ExecMode| {
+            let mut mem = LinearMemory::new(4 * u64::from(n) + 4, "global");
+            for i in 0..n {
+                mem.write(Ty::U32, u64::from(i) * 4, u64::from(i + 1)).unwrap();
+            }
+            let out = run_kernel_cfg(
+                &k,
+                &arch(),
+                LaunchDims::new(2, n),
+                &[Arg::Ptr(0), Arg::Ptr(4 * u64::from(n))],
+                &mut mem,
+                BlockSelection::All,
+                ExecConfig { budget: None, faults: None, mode },
+            )
+            .unwrap();
+            (mem.read_bytes(0, 4 * u64::from(n) + 4).unwrap(), format!("{:?}", out.stats))
+        };
+        let (mem_ref, stats_ref) = run(ExecMode::Reference);
+        let (mem_uop, stats_uop) = run(ExecMode::Predecoded);
+        assert_eq!(mem_ref, mem_uop, "memory must be bit-identical");
+        assert_eq!(stats_ref, stats_uop, "stats must be identical");
+    }
+
+    #[test]
+    fn scalarized_path_handles_partial_masks() {
+        // A divergent region where one side does uniform-source ALU
+        // work under a partial mask: the broadcast must only write
+        // active lanes and must demote the destination to non-uniform.
+        let mut b = KernelBuilder::new("partial");
+        let outp = b.param_ptr();
+        let r = b.reg();
+        let a = b.reg();
+        let p = b.pred();
+        let else_l = b.label();
+        let join_l = b.label();
+        b.mov(Ty::U32, r, Operand::ImmI(5));
+        b.setp(CmpOp::Lt, Ty::U32, p, Operand::Sreg(Sreg::TidX), Operand::ImmI(9));
+        b.bra_if(p, false, else_l);
+        // Uniform sources, partial mask: r = 100 on lanes < 9.
+        b.mov(Ty::U32, r, Operand::ImmI(100));
+        b.bra(join_l);
+        b.place(else_l);
+        b.bin(BinOp::Add, Ty::U32, r, Operand::Reg(r), Operand::ImmI(1));
+        b.place(join_l);
+        // After the join r is non-uniform; this add must stay per-lane
+        // correct.
+        b.bin(BinOp::Add, Ty::U32, r, Operand::Reg(r), Operand::ImmI(7));
+        b.cvt(Ty::U32, Ty::U64, a, Operand::Sreg(Sreg::TidX));
+        b.bin(BinOp::Mul, Ty::U64, a, Operand::Reg(a), Operand::ImmI(4));
+        b.bin(BinOp::Add, Ty::U64, a, Operand::Reg(a), Operand::Param(outp));
+        b.st(Space::Global, Ty::U32, r, Address::reg(a));
+        b.exit();
+        let k = b.finish().unwrap();
+        let mut mem = LinearMemory::new(4 * 32, "global");
+        run_kernel_cfg(
+            &k,
+            &arch(),
+            LaunchDims::new(1, 32),
+            &[Arg::Ptr(0)],
+            &mut mem,
+            BlockSelection::All,
+            ExecConfig { budget: None, faults: None, mode: ExecMode::Predecoded },
+        )
+        .unwrap();
+        for i in 0..32u64 {
+            let expect = if i < 9 { 107 } else { 13 };
+            assert_eq!(mem.read(Ty::U32, i * 4).unwrap(), expect, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn static_trap_fires_at_reference_location() {
+        let k = Kernel {
+            name: "badop".into(),
+            instrs: vec![
+                Instr::Bin {
+                    op: BinOp::Xor,
+                    ty: Ty::F32,
+                    dst: 0,
+                    a: Operand::ImmF(1.0),
+                    b: Operand::ImmF(2.0),
+                },
+                Instr::Exit,
+            ],
+            params: vec![],
+            static_smem: 0,
+            dynamic_smem: false,
+            num_regs: 1,
+            num_preds: 0,
+            cfg_cache: Default::default(),
+            uop_cache: Default::default(),
+        };
+        let mut mem = LinearMemory::new(0, "global");
+        let err = run_kernel_cfg(
+            &k,
+            &arch(),
+            LaunchDims::new(1, 32),
+            &[],
+            &mut mem,
+            BlockSelection::All,
+            ExecConfig { budget: None, faults: None, mode: ExecMode::Predecoded },
+        )
+        .unwrap_err();
+        match err {
+            SimError::Trap { pc, warp, lane, kind, .. } => {
+                assert_eq!((pc, warp, lane), (0, 0, 0));
+                assert!(matches!(kind, TrapKind::IllegalOperandType { .. }));
+            }
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+}

@@ -181,12 +181,9 @@ fn count_stmts(b: &Block) -> usize {
 
 fn retain_live(b: &mut Block, refs: &[String]) {
     b.0.retain(|s| match s {
-        Stmt::Decl { ty, name, init, .. } => match ty {
-            DeclTy::Scalar(_) | DeclTy::Sequence => {
-                refs.contains(name) || init.as_ref().is_some_and(has_call)
-            }
-            _ => true,
-        },
+        Stmt::Decl { ty: DeclTy::Scalar(_) | DeclTy::Sequence, name, init, .. } => {
+            refs.contains(name) || init.as_ref().is_some_and(has_call)
+        }
         _ => true,
     });
 }

@@ -10,7 +10,7 @@
 //!    local accumulator;
 //! 4. the shared-array read index is a function of
 //!    `Vector::ThreadId()` *and* the loop iterator;
-//! 5./6. the accumulator is written back to the same shared array;
+//! 5. (and 6.) the accumulator is written back to the same shared array;
 //! 7. the write index is a function of `ThreadId()` only.
 //!
 //! A matching loop body is replaced by a warp shuffle exchange

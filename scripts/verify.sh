@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== lint (clippy, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tests (tier-1: root package) =="
 cargo test -q
 
@@ -18,9 +21,21 @@ echo "== figures smoke run (small n, all arches, 4 workers) =="
 ./target/release/figures all --max-size 16384 --threads 4 --json /tmp/verify_figures.json
 test -s /tmp/verify_figures.json
 
-echo "== sweep smoke run (determinism at two thread counts) =="
-one=$(./target/release/sweep --arch maxwell --n 65536 --threads 1 | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
+echo "== sweep smoke run (determinism at two thread counts, timing budget) =="
+raw1=$(./target/release/sweep --arch maxwell --n 65536 --threads 1)
+one=$(echo "$raw1" | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
 four=$(./target/release/sweep --arch maxwell --n 65536 --threads 4 | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
+# Performance-regression backstop: the default (halving, uop) sweep at
+# this size runs in ~2-2.5 s on the reference 1-core container; 15 s is
+# a generous ceiling that still catches an accidental return to
+# exhaustive-reference costs or a predecode-cache regression.
+wall=$(echo "$raw1" | grep -o 'wall_ms=[0-9.]*' | cut -d= -f2)
+budget_ms=15000
+if ! awk -v w="$wall" -v b="$budget_ms" 'BEGIN { exit !(w + 0 < b) }'; then
+  echo "SWEEP TIMING BUDGET EXCEEDED: ${wall} ms >= ${budget_ms} ms" >&2
+  exit 1
+fi
+echo "  sweep wall clock: ${wall} ms (budget ${budget_ms} ms)"
 if [ "$one" != "$four" ]; then
   echo "DETERMINISM MISMATCH between --threads 1 and --threads 4:" >&2
   echo "  $one" >&2

@@ -4,8 +4,8 @@
 //! this workspace's benches use: `Criterion`, benchmark groups with
 //! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`
 //! with `Bencher::iter` / `Bencher::iter_custom`, and the
-//! `criterion_group!` / `criterion_main!` macros. Results (mean and
-//! minimum per sample) are printed to stdout.
+//! `criterion_group!` / `criterion_main!` macros. Results (mean,
+//! median and minimum per sample) are printed to stdout.
 
 use std::time::{Duration, Instant};
 
@@ -114,10 +114,14 @@ impl BenchmarkGroup<'_> {
         let total: Duration = samples.iter().sum();
         let mean = total / samples.len() as u32;
         let min = samples.iter().min().copied().unwrap_or_default();
+        let mut sorted = samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
         println!(
-            "bench {}/{id}: mean {:.3} ms, min {:.3} ms ({} samples)",
+            "bench {}/{id}: mean {:.3} ms, median {:.3} ms, min {:.3} ms ({} samples)",
             self.name,
             mean.as_secs_f64() * 1e3,
+            median.as_secs_f64() * 1e3,
             min.as_secs_f64() * 1e3,
             samples.len()
         );

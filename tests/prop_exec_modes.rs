@@ -1,0 +1,90 @@
+//! Differential property test for the interpreter hot paths: for any
+//! pruned version, tuning, architecture and size, the predecoded µop
+//! engine (with warp-uniform scalarization) must be bit-identical to
+//! the lane-wise reference interpreter in results, every statistics
+//! counter, and modelled time.
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device, ExecMode};
+use proptest::prelude::*;
+use tangram::tangram_codegen::{synthesize, Tuning};
+use tangram::tangram_passes::planner;
+use tangram::{run_reduction, upload};
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    prop_oneof![
+        Just(ArchConfig::kepler_k40c()),
+        Just(ArchConfig::maxwell_gtx980()),
+        Just(ArchConfig::pascal_p100()),
+    ]
+}
+
+fn version_strategy() -> impl Strategy<Value = planner::CodeVersion> {
+    let pruned = planner::enumerate_pruned();
+    (0..pruned.len()).prop_map(move |i| pruned[i])
+}
+
+/// Run one reduction end to end under `mode`; return the result bits
+/// plus everything the timing model consumes.
+fn run_mode(
+    mode: ExecMode,
+    arch: &ArchConfig,
+    version: planner::CodeVersion,
+    tuning: Tuning,
+    values: &[f32],
+    selection: BlockSelection,
+) -> (u32, f64, Vec<String>) {
+    let sv = synthesize(version, tuning).unwrap();
+    let mut dev = Device::new(arch.clone());
+    dev.set_exec_mode(mode);
+    let input = upload(&mut dev, values).unwrap();
+    let got = run_reduction(&mut dev, &sv, input, values.len() as u64, selection).unwrap();
+    let launches: Vec<String> = dev
+        .launches()
+        .iter()
+        .map(|l| format!("{} exact={} stats={:?} timing_ns={}", l.kernel, l.exact, l.stats, l.timing.time_ns.to_bits()))
+        .collect();
+    (got.to_bits(), dev.elapsed_ns(), launches)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// µop-predecoded execution ≡ lane-wise reference execution,
+    /// bit for bit, on the pruned pass corpus.
+    #[test]
+    fn uop_engine_is_bit_identical_to_reference(
+        version in version_strategy(),
+        arch in arch_strategy(),
+        block_exp in 0u32..5,       // 32..512
+        coarsen_exp in 0u32..5,     // 1..16
+        n in 1usize..10_000,
+        sampled in any::<bool>(),
+        seed in any::<u32>(),
+    ) {
+        let tuning = Tuning { block_size: 32 << block_exp, coarsen: 1 << coarsen_exp };
+        let values: Vec<f32> = (0..n)
+            .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 7) % 9) as f32 - 4.0)
+            .collect();
+        let selection = if sampled {
+            BlockSelection::Sample { max_blocks: 3 }
+        } else {
+            BlockSelection::All
+        };
+        let Ok(sv) = synthesize(version, tuning) else { return };
+        // Skip tunings the hardware model rejects (same on both paths).
+        {
+            let mut dev = Device::new(arch.clone());
+            dev.set_exec_mode(ExecMode::Reference);
+            let input = upload(&mut dev, &values).unwrap();
+            if run_reduction(&mut dev, &sv, input, n as u64, selection).is_err() {
+                return;
+            }
+        }
+        let r = run_mode(ExecMode::Reference, &arch, version, tuning, &values, selection);
+        let u = run_mode(ExecMode::Predecoded, &arch, version, tuning, &values, selection);
+        prop_assert_eq!(r.0, u.0, "result bits differ ({} n={})", sv.id(), n);
+        prop_assert_eq!(r.1.to_bits(), u.1.to_bits(), "elapsed_ns differs ({} n={})", sv.id(), n);
+        prop_assert_eq!(r.2, u.2, "launch stats differ ({} n={})", sv.id(), n);
+    }
+}

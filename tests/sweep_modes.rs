@@ -1,0 +1,83 @@
+//! Sweep-strategy equivalence on the full pruned corpus: the
+//! successive-halving sweep must select the exhaustive sweep's winner
+//! — same version, same tuning, bit-identical modelled time — for
+//! every paper architecture, and the interpreter hot path must not
+//! change any measurement.
+
+use gpu_sim::{ArchConfig, ExecMode};
+use tangram::evaluate::{best_measurement, evaluate_all, ContextPool, EvalOptions, SweepMode};
+use tangram::tangram_passes::planner;
+
+#[test]
+fn halving_winner_matches_exhaustive_on_full_corpus() {
+    let candidates = planner::enumerate_pruned();
+    for arch in ArchConfig::paper_archs() {
+        let pool = ContextPool::new(&arch, 65_536);
+        let exhaustive = evaluate_all(&pool, &candidates, &EvalOptions::default()).unwrap();
+        let halving = evaluate_all(
+            &pool,
+            &candidates,
+            &EvalOptions::default().with_sweep(SweepMode::Halving),
+        )
+        .unwrap();
+
+        let (be, bh) =
+            (best_measurement(&exhaustive).unwrap(), best_measurement(&halving).unwrap());
+        assert_eq!(be.version, bh.version, "winner version differs on {}", arch.id);
+        assert_eq!(be.tuning, bh.tuning, "winner tuning differs on {}", arch.id);
+        assert_eq!(
+            be.time_ns.to_bits(),
+            bh.time_ns.to_bits(),
+            "winner time differs on {}",
+            arch.id
+        );
+
+        // Every surviving job is a full-fidelity measurement, so its
+        // value must be bitwise identical to the exhaustive sweep's;
+        // the screen must also have pruned a substantial share.
+        let mut pruned = 0usize;
+        for (e, h) in exhaustive.iter().zip(&halving) {
+            match (e, h) {
+                (_, None) => pruned += 1,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits(), "on {}", arch.id);
+                }
+                (None, Some(_)) => panic!("halving measured an infeasible job on {}", arch.id),
+            }
+        }
+        let feasible = exhaustive.iter().flatten().count();
+        assert!(
+            pruned * 2 > feasible,
+            "halving pruned only {pruned} of {feasible} feasible jobs on {}",
+            arch.id
+        );
+    }
+}
+
+#[test]
+fn interpreter_hot_path_does_not_change_measurements() {
+    // A fig6 subset keeps this cheap; the full differential coverage
+    // lives in the prop_exec_modes property test.
+    let candidates: Vec<planner::CodeVersion> = planner::fig6_best()
+        .into_iter()
+        .take(4)
+        .map(|l| planner::fig6_by_label(l).unwrap())
+        .collect();
+    let arch = ArchConfig::kepler_k40c();
+    let uop = ContextPool::new(&arch, 32_768).with_exec_mode(ExecMode::Predecoded);
+    let lane = ContextPool::new(&arch, 32_768).with_exec_mode(ExecMode::Reference);
+    let opts = EvalOptions::serial();
+    let a = evaluate_all(&uop, &candidates, &opts).unwrap();
+    let b = evaluate_all(&lane, &candidates, &opts).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        match (x, y) {
+            (None, None) => {}
+            (Some(p), Some(q)) => {
+                assert_eq!(p.tuning, q.tuning);
+                assert_eq!(p.time_ns.to_bits(), q.time_ns.to_bits());
+            }
+            _ => panic!("feasibility differs between interpreter hot paths"),
+        }
+    }
+}
