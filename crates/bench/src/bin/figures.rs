@@ -23,15 +23,25 @@
 //! instead of aborting the figure, the reported winners stay
 //! bit-identical to a clean run, and a `resilience:` summary line is
 //! printed per architecture.
+//!
+//! `--profile` profiles every sweep winner (figure output is
+//! unchanged), `--trace-out PATH` writes the last profiled winner's
+//! Chrome `trace_event` JSON, and `--metrics-json PATH` writes one
+//! [`tangram::metrics::ProfileReport`] covering every swept
+//! architecture, the per-architecture spotlight kernels (atomic
+//! grid-combine and shuffle-tree counters, the §IV narrative), and
+//! the baseline-cache hit rates. Both output flags imply `--profile`.
 
 use std::fmt::Write as _;
 
-use gpu_sim::{ArchConfig, ExecMode};
-use tangram::evaluate::{EvalOptions, SweepMode};
+use gpu_sim::ArchConfig;
+use tangram::evaluate::SweepMode;
+use tangram::metrics::{spotlight_profiles, ProfileReport};
 use tangram::paper_sizes;
-use tangram::resilience::ResilienceOptions;
+use tangram::Session;
+use tangram_bench::cli::{Cli, CliOpts};
 use tangram_bench::{
-    arch_series_report, arch_series_with, geomean_speedup, max_speedup, ArchSeries, BaselineCache,
+    arch_series_session, geomean_speedup, max_speedup, ArchSeries, BaselineCache,
 };
 use tangram_passes::planner;
 
@@ -39,6 +49,7 @@ const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig1
                [--max-size N] [--json PATH] [--threads T]
                [--sweep-mode exhaustive|halving] [--interp uop|reference]
                [--instr-budget I] [--fault-seed S] [--fault-rate PPM]
+               [--profile] [--trace-out PATH] [--metrics-json PATH]
 
   --max-size N      largest array size swept (default 268435456)
   --json PATH       write the swept series to PATH as JSON
@@ -48,79 +59,53 @@ const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig1
   --interp M        uop | reference interpreter hot path (default uop)
   --instr-budget I  per-block dynamic instruction budget (runaway guard)
   --fault-seed S    enable a deterministic fault-injection campaign
-  --fault-rate PPM  injected faults per million instructions (default 200)";
+  --fault-rate PPM  injected faults per million instructions (default 200)
+  --profile         profile sweep winners (figure output is unchanged)
+  --trace-out PATH  write the last profiled winner's Chrome trace JSON
+  --metrics-json PATH  write the all-architecture ProfileReport JSON
+                    (--trace-out/--metrics-json imply --profile)";
 
-/// Flags that take a value, for unknown-flag detection.
-const KNOWN_FLAGS: [&str; 8] = [
-    "--max-size",
-    "--json",
-    "--threads",
-    "--sweep-mode",
-    "--interp",
-    "--instr-budget",
-    "--fault-seed",
-    "--fault-rate",
-];
+const CLI: Cli = Cli {
+    prog: "figures",
+    usage: USAGE,
+    enabled: &[
+        "--max-size",
+        "--json",
+        "--threads",
+        "--sweep-mode",
+        "--interp",
+        "--instr-budget",
+        "--fault-seed",
+        "--fault-rate",
+        "--profile",
+        "--trace-out",
+        "--metrics-json",
+    ],
+    allow_bare: true,
+};
 
-fn die(msg: &str) -> ! {
-    eprintln!("figures: {msg}");
-    std::process::exit(1);
-}
-
-/// Reject any `--flag` that is not in [`KNOWN_FLAGS`], naming it —
-/// a typo must not silently fall back to a default.
-fn check_flags(args: &[String]) {
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if a == "--help" || a == "-h" {
-            println!("{USAGE}");
-            std::process::exit(0);
-        }
-        if KNOWN_FLAGS.contains(&a.as_str()) {
-            i += 2; // skip the flag's value
-            continue;
-        }
-        if a.starts_with("--") {
-            die(&format!("unknown flag `{a}`\n{USAGE}"));
-        }
-        i += 1; // the command word
-    }
+/// Everything one profiled run accumulates for `--trace-out` /
+/// `--metrics-json`: sweep metrics + spotlights per swept arch, the
+/// last winner trace, and (at the end) the baseline cache rates.
+struct Observed {
+    report: ProfileReport,
+    trace: Option<gpu_sim::profile::Trace>,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    check_flags(&args);
-    let cmd = args.first().map(String::as_str).unwrap_or("all");
-    let max_size: u64 = flag_value(&args, "--max-size").unwrap_or(256 << 20);
-    let json_path = flag_str(&args, "--json");
-    let mut opts = match flag_value(&args, "--threads") {
-        Some(t) => EvalOptions::with_threads(t as usize),
-        None => EvalOptions::default(),
-    };
-    if let Some(raw) = flag_str(&args, "--sweep-mode") {
-        match raw.parse::<SweepMode>() {
-            Ok(mode) => opts = opts.with_sweep(mode),
-            Err(e) => die(&e),
-        }
-    }
-    if let Some(raw) = flag_str(&args, "--interp") {
-        match raw.parse::<ExecMode>() {
-            Ok(mode) => opts = opts.with_interp(mode),
-            Err(e) => die(&e),
-        }
-    }
-    opts = opts.with_instr_budget(flag_value(&args, "--instr-budget"));
-    let fault_seed: Option<u64> = flag_value(&args, "--fault-seed");
-    let fault_rate: u32 = flag_value(&args, "--fault-rate").map_or(200, |r| r as u32);
-    let resilience = fault_seed.map(|seed| ResilienceOptions::campaign(seed, fault_rate));
+    let o = CLI.parse(&args);
+    let cmd = o.bare.first().map(String::as_str).unwrap_or("all");
+    let max_size = o.max_size.unwrap_or(256 << 20);
+    let json_path = o.json.clone();
 
     let sizes: Vec<u64> = paper_sizes().into_iter().filter(|&n| n <= max_size).collect();
+    let mut obs = Observed { report: ProfileReport::new(), trace: None };
     match cmd {
         "table-search-space" => print_search_space(),
         "fig6" => print_fig6(),
         "fig7" => {
-            let all = run_all(&sizes, &opts, resilience.as_ref());
+            let all = run_all(&o, &sizes, &mut obs);
             print_fig7(&all);
             maybe_write_json(&all, json_path.as_deref());
         }
@@ -130,7 +115,9 @@ fn main() {
                 "fig9" => ArchConfig::maxwell_gtx980(),
                 _ => ArchConfig::pascal_p100(),
             };
-            let series = run_one(&arch, &sizes, &opts, resilience.as_ref(), &mut BaselineCache::new());
+            let mut baselines = BaselineCache::new();
+            let series = run_one(&o, &arch, &sizes, &mut baselines, &mut obs);
+            obs.report.baselines = Some(baselines.metrics());
             print_detail(cmd, &arch, &series);
             maybe_write_json(std::slice::from_ref(&series), json_path.as_deref());
         }
@@ -139,7 +126,7 @@ fn main() {
             println!();
             print_fig6();
             println!();
-            let all = run_all(&sizes, &opts, resilience.as_ref());
+            let all = run_all(&o, &sizes, &mut obs);
             print_fig7(&all);
             println!();
             let names = ["fig8", "fig9", "fig10"];
@@ -157,68 +144,93 @@ fn main() {
             std::process::exit(2);
         }
     }
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<u64> {
-    let raw = flag_str(args, flag)?;
-    match raw.parse() {
-        Ok(v) => Some(v),
-        Err(_) => die(&format!("invalid value `{raw}` for {flag}")),
-    }
-}
-
-fn flag_str(args: &[String], flag: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == flag)?;
-    match args.get(i + 1) {
-        Some(v) => Some(v.clone()),
-        None => die(&format!("{flag} needs a value")),
-    }
+    write_observability(&o, &obs);
 }
 
 fn run_one(
+    o: &CliOpts,
     arch: &ArchConfig,
     sizes: &[u64],
-    opts: &EvalOptions,
-    res: Option<&ResilienceOptions>,
     baselines: &mut BaselineCache,
+    obs: &mut Observed,
 ) -> ArchSeries {
-    match res {
-        Some(res) => match arch_series_report(arch, sizes, opts, res, baselines) {
-            Ok((series, report)) => {
-                println!("{} [{}]", report.summary_line(), arch.id);
-                series
-            }
-            Err(e) => die(&format!("fault campaign on {} failed: {e}", arch.id)),
-        },
-        None => match arch_series_with(arch, sizes, opts, baselines) {
-            Ok(series) => series,
-            Err(e) => die(&format!("figure sweep on {} failed: {e}", arch.id)),
-        },
+    let mut session = Session::new(arch.clone())
+        .eval(o.eval_options(SweepMode::Exhaustive))
+        .profiled(o.profiling());
+    let campaign = o.resilience();
+    if let Some(res) = campaign {
+        session = session.resilience(res);
     }
+    let (series, resilience, metrics, trace) =
+        match arch_series_session(&session, sizes, baselines) {
+            Ok(out) => out,
+            Err(e) => CLI.die(&format!("figure sweep on {} failed: {e}", arch.id)),
+        };
+    if campaign.is_some() {
+        println!("{} [{}]", resilience.summary_line(), arch.id);
+    }
+    obs.report.sweeps.extend(metrics);
+    if trace.is_some() {
+        obs.trace = trace;
+    }
+    if o.profiling() {
+        match spotlight_profiles(arch) {
+            Ok(spots) => obs.report.spotlights.extend(spots),
+            Err(e) => CLI.die(&format!("spotlight profiling on {} failed: {e}", arch.id)),
+        }
+    }
+    series
 }
 
-fn run_all(sizes: &[u64], opts: &EvalOptions, res: Option<&ResilienceOptions>) -> Vec<ArchSeries> {
+fn run_all(o: &CliOpts, sizes: &[u64], obs: &mut Observed) -> Vec<ArchSeries> {
     // One baseline cache across all three architectures: Fig. 7 and
     // the per-arch detail figures then share each (arch, n) baseline
     // measurement instead of repeating it.
     let mut baselines = BaselineCache::new();
-    ArchConfig::paper_archs()
+    let all = ArchConfig::paper_archs()
         .iter()
         .map(|arch| {
             eprintln!("[figures] sweeping {} ...", arch.name);
-            run_one(arch, sizes, opts, res, &mut baselines)
+            run_one(o, arch, sizes, &mut baselines, obs)
         })
-        .collect()
+        .collect();
+    obs.report.baselines = Some(baselines.metrics());
+    all
+}
+
+/// Write `--trace-out` / `--metrics-json`, if requested. A no-sweep
+/// command (`fig6`, `table-search-space`) has nothing to observe and
+/// dies rather than writing an empty file.
+fn write_observability(o: &CliOpts, obs: &Observed) {
+    if let Some(path) = &o.trace_out {
+        let Some(trace) = &obs.trace else {
+            CLI.die("no trace captured (--trace-out needs a sweeping command)");
+        };
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            CLI.die(&format!("cannot write `{path}`: {e}"));
+        }
+        eprintln!("[figures] wrote {path}");
+    }
+    if let Some(path) = &o.metrics_json {
+        if obs.report.sweeps.is_empty() {
+            CLI.die("no metrics captured (--metrics-json needs a sweeping command)");
+        }
+        if let Err(e) = std::fs::write(path, obs.report.to_json()) {
+            CLI.die(&format!("cannot write `{path}`: {e}"));
+        }
+        eprintln!("[figures] {}", obs.report.summary_line());
+        eprintln!("[figures] wrote {path}");
+    }
 }
 
 fn maybe_write_json(series: &[ArchSeries], path: Option<&str>) {
     if let Some(path) = path {
         let json = match serde_json::to_string_pretty(series) {
             Ok(json) => json,
-            Err(e) => die(&format!("cannot serialize series: {e}")),
+            Err(e) => CLI.die(&format!("cannot serialize series: {e}")),
         };
         if let Err(e) = std::fs::write(path, &json) {
-            die(&format!("cannot write `{path}`: {e}"));
+            CLI.die(&format!("cannot write `{path}`: {e}"));
         }
         eprintln!("[figures] wrote {path}");
     }
@@ -268,7 +280,7 @@ fn print_fig7(all: &[ArchSeries]) {
     let _ = write!(header, "{:>12}", "OpenMP");
     println!("{header}  (OpenMP vs CUB on pascal)");
     let Some(pascal) = all.last() else {
-        die("no architectures swept");
+        CLI.die("no architectures swept");
     };
     for (i, p) in pascal.points.iter().enumerate() {
         let mut row = format!("{:>12}", p.n);

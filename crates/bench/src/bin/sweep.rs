@@ -5,6 +5,7 @@
 //!       [--threads T] [--sweep-mode exhaustive|halving]
 //!       [--interp uop|reference] [--instr-budget I] [--json PATH]
 //!       [--fault-seed S] [--fault-rate PPM]
+//!       [--profile] [--trace-out PATH] [--metrics-json PATH]
 //! ```
 //!
 //! `--threads T` sets the evaluation engine's worker count (default:
@@ -26,115 +27,95 @@
 //! the accepted winner is bit-identical to a fault-free sweep, and a
 //! `resilience:` summary line reports what was injected, detected,
 //! recovered, and quarantined.
+//!
+//! `--profile` re-runs the sweep winner with site-level profiling and
+//! prints one `profile:` line of its dynamic counters; the winner line
+//! itself is byte-identical to an unprofiled run. `--trace-out PATH`
+//! writes the profiled winner's Chrome `trace_event` JSON (open it in
+//! `chrome://tracing` / Perfetto), and `--metrics-json PATH` writes
+//! the full machine-readable [`tangram::metrics::ProfileReport`],
+//! including the architecture's spotlight kernels (the atomic
+//! grid-combine and shuffle-tree counters behind the paper's §IV
+//! narrative). Both output flags imply `--profile`.
 
 use std::time::Instant;
 
-use gpu_sim::{ArchConfig, ExecMode};
-use tangram::evaluate::{default_threads, EvalOptions, SweepMode};
-use tangram::resilience::ResilienceOptions;
-use tangram::select::{select_best_report, select_best_with};
-use tangram_passes::planner;
+use gpu_sim::ArchConfig;
+use tangram::evaluate::SweepMode;
+use tangram::metrics::{spotlight_profiles, ProfileReport};
+use tangram::Session;
+use tangram_bench::cli::Cli;
+use tangram_bench::profile_summary_line;
 
 const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
              [--threads T] [--sweep-mode exhaustive|halving]
              [--interp uop|reference] [--instr-budget I] [--json PATH]
              [--fault-seed S] [--fault-rate PPM]
+             [--profile] [--trace-out PATH] [--metrics-json PATH]
 
-  --n N             array size in elements (default 4194304)
-  --arch ID         architecture: kepler|maxwell|pascal (default maxwell)
-  --repeat R        repeat the sweep R times (default 1)
-  --threads T       evaluation worker threads (default: available parallelism)
-  --sweep-mode M    exhaustive | halving (default halving); winners are
-                    bit-identical, halving skips dominated tunings
-  --interp M        uop | reference interpreter hot path (default uop)
-  --instr-budget I  per-block dynamic instruction budget (runaway guard)
-  --json PATH       append one JSON record per repeat to PATH
-  --fault-seed S    enable a deterministic fault-injection campaign
-  --fault-rate PPM  injected faults per million instructions (default 200)";
+  --n N              array size in elements (default 4194304)
+  --arch ID          architecture: kepler|maxwell|pascal (default maxwell)
+  --repeat R         repeat the sweep R times (default 1)
+  --threads T        evaluation worker threads (default: available parallelism)
+  --sweep-mode M     exhaustive | halving (default halving); winners are
+                     bit-identical, halving skips dominated tunings
+  --interp M         uop | reference interpreter hot path (default uop)
+  --instr-budget I   per-block dynamic instruction budget (runaway guard)
+  --json PATH        append one JSON record per repeat to PATH
+  --fault-seed S     enable a deterministic fault-injection campaign
+  --fault-rate PPM   injected faults per million instructions (default 200)
+  --profile          profile the winner; adds a `profile:` counter line
+  --trace-out PATH   write the profiled winner's Chrome trace JSON to PATH
+  --metrics-json PATH  write the sweep's ProfileReport JSON to PATH
+                     (--trace-out/--metrics-json imply --profile)";
 
-/// Flags that take a value, for unknown-flag detection.
-const KNOWN_FLAGS: [&str; 10] = [
-    "--n",
-    "--arch",
-    "--repeat",
-    "--threads",
-    "--sweep-mode",
-    "--interp",
-    "--instr-budget",
-    "--json",
-    "--fault-seed",
-    "--fault-rate",
-];
-
-fn die(msg: &str) -> ! {
-    eprintln!("sweep: {msg}");
-    std::process::exit(1);
-}
-
-/// Reject any `--flag` that is not in [`KNOWN_FLAGS`], naming it —
-/// a typo must not silently fall back to a default.
-fn check_flags(args: &[String]) {
-    let mut i = 0;
-    while i < args.len() {
-        let a = &args[i];
-        if a == "--help" || a == "-h" {
-            println!("{USAGE}");
-            std::process::exit(0);
-        }
-        if KNOWN_FLAGS.contains(&a.as_str()) {
-            i += 2; // skip the flag's value
-            continue;
-        }
-        die(&format!("unknown flag `{a}`\n{USAGE}"));
-    }
-}
+const CLI: Cli = Cli {
+    prog: "sweep",
+    usage: USAGE,
+    enabled: &[
+        "--n",
+        "--arch",
+        "--repeat",
+        "--threads",
+        "--sweep-mode",
+        "--interp",
+        "--instr-budget",
+        "--json",
+        "--fault-seed",
+        "--fault-rate",
+        "--profile",
+        "--trace-out",
+        "--metrics-json",
+    ],
+    allow_bare: false,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    check_flags(&args);
-    let n: u64 = flag(&args, "--n").unwrap_or(1 << 22);
-    let repeat: u64 = flag(&args, "--repeat").unwrap_or(1);
-    let threads: usize = flag(&args, "--threads").map_or_else(default_threads, |t: u64| t as usize);
-    let sweep_mode: SweepMode = flag(&args, "--sweep-mode").unwrap_or(SweepMode::Halving);
-    let interp: ExecMode = flag(&args, "--interp").unwrap_or_default();
-    let instr_budget: Option<u64> = flag(&args, "--instr-budget");
-    let fault_seed: Option<u64> = flag(&args, "--fault-seed");
-    let fault_rate: u32 = flag(&args, "--fault-rate").unwrap_or(200);
-    let json_path = flag_str(&args, "--json");
-    let arch_id = flag_str(&args, "--arch").unwrap_or_else(|| "maxwell".to_string());
+    let o = CLI.parse(&args);
+    let n = o.n.unwrap_or(1 << 22);
+    let repeat = o.repeat.unwrap_or(1);
+    let arch_id = o.arch.clone().unwrap_or_else(|| "maxwell".to_string());
     let Some(arch) = ArchConfig::paper_archs().into_iter().find(|a| a.id == arch_id) else {
-        die(&format!("unknown arch id `{arch_id}` (expected kepler|maxwell|pascal)"));
+        CLI.die(&format!("unknown arch id `{arch_id}` (expected kepler|maxwell|pascal)"));
     };
-    let opts = EvalOptions::with_threads(threads)
-        .with_sweep(sweep_mode)
-        .with_interp(interp)
-        .with_instr_budget(instr_budget);
-    let resilience = fault_seed.map(|seed| ResilienceOptions::campaign(seed, fault_rate));
+    let opts = o.eval_options(SweepMode::Halving);
+    let (threads, mode_id, interp_id) = (opts.threads, opts.sweep.id(), opts.interp.id());
+    let mut session = Session::new(arch.clone()).eval(opts).profiled(o.profiling());
+    if let Some(res) = o.resilience() {
+        session = session.resilience(res);
+    }
 
+    let mut metrics = ProfileReport::new();
+    let mut last_trace = None;
     for _ in 0..repeat {
         let start = Instant::now();
-        let (row, summary) = match &resilience {
-            Some(res) => {
-                let candidates = planner::enumerate_pruned();
-                match select_best_report(&arch, n, &candidates, &opts, res) {
-                    Ok((_tuned, row, report)) => (row, Some(report.summary_line())),
-                    Err(e) => die(&format!("sweep failed: {e}")),
-                }
-            }
-            None => match select_best_with(&arch, n, &opts) {
-                Ok((_tuned, row)) => (row, None),
-                Err(e) => die(&format!("sweep failed: {e}")),
-            },
+        let report = match session.select_best(n) {
+            Ok(report) => report,
+            Err(e) => CLI.die(&format!("sweep failed: {e}")),
         };
         let wall = start.elapsed();
-        let mode_id = match sweep_mode {
-            SweepMode::Exhaustive => "exhaustive",
-            SweepMode::Halving => "halving",
-        };
-        let interp_id = match interp {
-            ExecMode::Predecoded => "uop",
-            ExecMode::Reference => "reference",
-        };
+        let row = &report.row;
         println!(
             "sweep arch={} n={} threads={} mode={} interp={} wall_ms={:.1} winner={} block={} coarsen={} time_ns={}",
             arch.id,
@@ -148,10 +129,13 @@ fn main() {
             row.coarsen,
             row.time_ns
         );
-        if let Some(summary) = &summary {
-            println!("{summary}");
+        if o.fault_seed.is_some() {
+            println!("{}", report.resilience.summary_line());
         }
-        if let Some(path) = &json_path {
+        if let Some(profile) = &report.metrics.winner_profile {
+            println!("{}", profile_summary_line(profile));
+        }
+        if let Some(path) = &o.json {
             let record = format!(
                 "{{\"arch\":\"{}\",\"n\":{},\"threads\":{},\"mode\":\"{}\",\"interp\":\"{}\",\"wall_ms\":{:.3},\"winner\":\"{}\",\"block\":{},\"coarsen\":{},\"time_ns\":{}}}\n",
                 arch.id,
@@ -169,32 +153,36 @@ fn main() {
             let open = std::fs::OpenOptions::new().create(true).append(true).open(path);
             let mut f = match open {
                 Ok(f) => f,
-                Err(e) => die(&format!("cannot open json log `{path}`: {e}")),
+                Err(e) => CLI.die(&format!("cannot open json log `{path}`: {e}")),
             };
             if let Err(e) = f.write_all(record.as_bytes()) {
-                die(&format!("cannot write json log `{path}`: {e}"));
+                CLI.die(&format!("cannot write json log `{path}`: {e}"));
             }
         }
+        metrics.sweeps.push(report.metrics);
+        if report.trace.is_some() {
+            last_trace = report.trace;
+        }
     }
-}
 
-/// Parse `--flag VALUE`; a present flag with a missing or malformed
-/// value is a usage error, not a silent fallback to the default.
-fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
-    let i = args.iter().position(|a| a == name)?;
-    let Some(raw) = args.get(i + 1) else {
-        die(&format!("{name} needs a value"));
-    };
-    match raw.parse() {
-        Ok(v) => Some(v),
-        Err(_) => die(&format!("invalid value `{raw}` for {name}")),
+    if let Some(path) = &o.trace_out {
+        let Some(trace) = &last_trace else {
+            CLI.die("no trace captured (profiled winner produced no launches)");
+        };
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            CLI.die(&format!("cannot write `{path}`: {e}"));
+        }
+        eprintln!("[sweep] wrote {path}");
     }
-}
-
-fn flag_str(args: &[String], name: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == name)?;
-    match args.get(i + 1) {
-        Some(v) => Some(v.clone()),
-        None => die(&format!("{name} needs a value")),
+    if let Some(path) = &o.metrics_json {
+        match spotlight_profiles(&arch) {
+            Ok(spots) => metrics.spotlights = spots,
+            Err(e) => CLI.die(&format!("spotlight profiling failed: {e}")),
+        }
+        if let Err(e) = std::fs::write(path, metrics.to_json()) {
+            CLI.die(&format!("cannot write `{path}`: {e}"));
+        }
+        eprintln!("[sweep] {}", metrics.summary_line());
+        eprintln!("[sweep] wrote {path}");
     }
 }

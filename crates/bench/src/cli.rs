@@ -1,0 +1,231 @@
+//! Shared command-line parsing for the `sweep` and `figures` bins.
+//!
+//! Both binaries accept the same engine and observability flags; this
+//! module declares each flag once — name, arity, parse, and help line
+//! — so the bins differ only in which flags they enable, their usage
+//! banner, and whether bare words (subcommands) are allowed.
+//!
+//! Parse errors never fall back to defaults: a present flag with a
+//! missing or malformed value, and any unknown `--flag`, print the
+//! program's usage to stderr and exit(1), exactly like the previous
+//! per-bin parsers.
+
+use gpu_sim::ExecMode;
+use tangram::evaluate::{default_threads, EvalOptions, SweepMode};
+use tangram::resilience::ResilienceOptions;
+
+/// Every flag either binary understands. `value` is true when the
+/// flag consumes the next argument (`--profile` is the one switch).
+const FLAGS: [(&str, bool); 14] = [
+    ("--n", true),
+    ("--max-size", true),
+    ("--arch", true),
+    ("--repeat", true),
+    ("--threads", true),
+    ("--sweep-mode", true),
+    ("--interp", true),
+    ("--instr-budget", true),
+    ("--json", true),
+    ("--fault-seed", true),
+    ("--fault-rate", true),
+    ("--profile", false),
+    ("--trace-out", true),
+    ("--metrics-json", true),
+];
+
+/// Typed result of parsing one command line. Fields are `None` when
+/// the flag was absent; accessors apply the shared defaults.
+#[derive(Debug, Clone, Default)]
+pub struct CliOpts {
+    /// Non-flag words in order (the `figures` subcommand).
+    pub bare: Vec<String>,
+    /// `--n`: array size in elements.
+    pub n: Option<u64>,
+    /// `--max-size`: largest array size swept.
+    pub max_size: Option<u64>,
+    /// `--arch`: architecture identifier.
+    pub arch: Option<String>,
+    /// `--repeat`: sweep repetitions.
+    pub repeat: Option<u64>,
+    /// `--threads`: evaluation worker threads.
+    pub threads: Option<usize>,
+    /// `--sweep-mode`: search strategy.
+    pub sweep_mode: Option<SweepMode>,
+    /// `--interp`: interpreter hot path.
+    pub interp: Option<ExecMode>,
+    /// `--instr-budget`: per-block dynamic instruction budget.
+    pub instr_budget: Option<u64>,
+    /// `--json`: output path for machine-readable results.
+    pub json: Option<String>,
+    /// `--fault-seed`: fault-injection campaign seed.
+    pub fault_seed: Option<u64>,
+    /// `--fault-rate`: injected faults per million instructions.
+    pub fault_rate: Option<u32>,
+    /// `--profile`: enable site-level profiling of sweep winners.
+    pub profile: bool,
+    /// `--trace-out`: Chrome `trace_event` JSON output path.
+    pub trace_out: Option<String>,
+    /// `--metrics-json`: sweep-metrics JSON output path.
+    pub metrics_json: Option<String>,
+}
+
+impl CliOpts {
+    /// Whether profiling is in effect: `--profile`, or implied by
+    /// `--trace-out` / `--metrics-json` (both need profiled runs).
+    pub fn profiling(&self) -> bool {
+        self.profile || self.trace_out.is_some() || self.metrics_json.is_some()
+    }
+
+    /// Assemble the engine options these flags describe, defaulting
+    /// the sweep strategy to `default_sweep` (the bins disagree on
+    /// it: `sweep` defaults to halving, `figures` to exhaustive).
+    pub fn eval_options(&self, default_sweep: SweepMode) -> EvalOptions {
+        EvalOptions::with_threads(self.threads.unwrap_or_else(default_threads))
+            .with_sweep(self.sweep_mode.unwrap_or(default_sweep))
+            .with_interp(self.interp.unwrap_or_default())
+            .with_instr_budget(self.instr_budget)
+    }
+
+    /// The resilience policy these flags describe: a fault campaign
+    /// when `--fault-seed` is present (at `--fault-rate`, default
+    /// 200 ppm), otherwise none.
+    pub fn resilience(&self) -> Option<ResilienceOptions> {
+        self.fault_seed
+            .map(|seed| ResilienceOptions::campaign(seed, self.fault_rate.unwrap_or(200)))
+    }
+}
+
+/// One binary's parsing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Program name for error prefixes (`sweep: ...`).
+    pub prog: &'static str,
+    /// Usage banner printed by `--help` and on errors.
+    pub usage: &'static str,
+    /// The subset of the shared flag table this binary accepts.
+    pub enabled: &'static [&'static str],
+    /// Whether bare (non-flag) words are allowed (the `figures`
+    /// subcommand) or rejected (`sweep`).
+    pub allow_bare: bool,
+}
+
+impl Cli {
+    /// Parse `args` (without the program name). `--help`/`-h` print
+    /// the usage and exit(0); any parse error prints the usage and
+    /// exits(1).
+    pub fn parse(&self, args: &[String]) -> CliOpts {
+        let mut opts = CliOpts::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if a == "--help" || a == "-h" {
+                println!("{}", self.usage);
+                std::process::exit(0);
+            }
+            let Some(&(name, takes_value)) = FLAGS.iter().find(|(n, _)| *n == a) else {
+                if !a.starts_with("--") && self.allow_bare {
+                    opts.bare.push(a.to_string());
+                    i += 1;
+                    continue;
+                }
+                self.die(&format!("unknown flag `{a}`\n{}", self.usage));
+            };
+            if !self.enabled.contains(&name) {
+                self.die(&format!("unknown flag `{a}`\n{}", self.usage));
+            }
+            let raw = if takes_value {
+                match args.get(i + 1) {
+                    Some(v) => v.as_str(),
+                    None => self.die(&format!("{name} needs a value")),
+                }
+            } else {
+                ""
+            };
+            self.apply(&mut opts, name, raw);
+            i += if takes_value { 2 } else { 1 };
+        }
+        opts
+    }
+
+    /// Print `msg` under the program's name and exit(1).
+    pub fn die(&self, msg: &str) -> ! {
+        eprintln!("{}: {msg}", self.prog);
+        std::process::exit(1);
+    }
+
+    fn apply(&self, opts: &mut CliOpts, name: &'static str, raw: &str) {
+        match name {
+            "--n" => opts.n = Some(self.value(name, raw)),
+            "--max-size" => opts.max_size = Some(self.value(name, raw)),
+            "--arch" => opts.arch = Some(raw.to_string()),
+            "--repeat" => opts.repeat = Some(self.value(name, raw)),
+            "--threads" => opts.threads = Some(self.value(name, raw)),
+            "--sweep-mode" => opts.sweep_mode = Some(self.value(name, raw)),
+            "--interp" => opts.interp = Some(self.value(name, raw)),
+            "--instr-budget" => opts.instr_budget = Some(self.value(name, raw)),
+            "--json" => opts.json = Some(raw.to_string()),
+            "--fault-seed" => opts.fault_seed = Some(self.value(name, raw)),
+            "--fault-rate" => opts.fault_rate = Some(self.value(name, raw)),
+            "--profile" => opts.profile = true,
+            "--trace-out" => opts.trace_out = Some(raw.to_string()),
+            "--metrics-json" => opts.metrics_json = Some(raw.to_string()),
+            other => unreachable!("flag `{other}` missing from Cli::apply"),
+        }
+    }
+
+    fn value<T: std::str::FromStr>(&self, name: &str, raw: &str) -> T {
+        match raw.parse() {
+            Ok(v) => v,
+            Err(_) => self.die(&format!("invalid value `{raw}` for {name}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_CLI: Cli = Cli {
+        prog: "test",
+        usage: "usage: test",
+        enabled: &["--n", "--threads", "--sweep-mode", "--profile", "--metrics-json"],
+        allow_bare: true,
+    };
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_typed_flags_switches_and_bare_words() {
+        let o = TEST_CLI.parse(&args(&[
+            "all",
+            "--n",
+            "4096",
+            "--sweep-mode",
+            "halving",
+            "--profile",
+        ]));
+        assert_eq!(o.bare, vec!["all".to_string()]);
+        assert_eq!(o.n, Some(4096));
+        assert_eq!(o.sweep_mode, Some(SweepMode::Halving));
+        assert!(o.profile && o.profiling());
+    }
+
+    #[test]
+    fn observability_outputs_imply_profiling() {
+        let o = TEST_CLI.parse(&args(&["--metrics-json", "/tmp/m.json"]));
+        assert!(!o.profile, "the switch itself stays off");
+        assert!(o.profiling(), "--metrics-json implies profiled runs");
+    }
+
+    #[test]
+    fn eval_options_fill_shared_defaults() {
+        let o = TEST_CLI.parse(&args(&["--threads", "3"]));
+        let e = o.eval_options(SweepMode::Halving);
+        assert_eq!(e.threads, 3);
+        assert_eq!(e.sweep, SweepMode::Halving);
+        assert_eq!(e.interp, ExecMode::default());
+        assert!(o.resilience().is_none());
+    }
+}

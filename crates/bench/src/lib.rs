@@ -12,16 +12,21 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use std::collections::HashMap;
 
 use cpu_ref::OpenMpModel;
 use gpu_baselines::{CubReduce, KokkosReduce};
 use gpu_sim::exec::BlockSelection;
+use gpu_sim::profile::{LaunchProfile, Trace};
 use gpu_sim::{ArchConfig, Device, SimError};
 use serde::{Deserialize, Serialize};
 use tangram::evaluate::EvalOptions;
+use tangram::metrics::{CacheMetrics, SweepMetrics};
 use tangram::resilience::{ResilienceOptions, ResilienceReport};
 use tangram::select::{select_best_report, select_best_with, SelectionRow};
+use tangram::Session;
 use tangram_passes::planner;
 
 /// One point of a Fig. 7–10 series.
@@ -122,6 +127,7 @@ pub struct BaselineCache {
     cub: HashMap<(String, u64), f64>,
     kokkos: HashMap<(String, u64), f64>,
     openmp: HashMap<u64, f64>,
+    stats: CacheMetrics,
 }
 
 impl BaselineCache {
@@ -137,8 +143,10 @@ impl BaselineCache {
     /// Propagates simulator errors.
     pub fn cub(&mut self, arch: &ArchConfig, n: u64) -> Result<f64, SimError> {
         if let Some(&t) = self.cub.get(&(arch.id.clone(), n)) {
+            self.stats.record(true);
             return Ok(t);
         }
+        self.stats.record(false);
         let t = measure_cub(arch, n)?;
         self.cub.insert((arch.id.clone(), n), t);
         Ok(t)
@@ -151,8 +159,10 @@ impl BaselineCache {
     /// Propagates simulator errors.
     pub fn kokkos(&mut self, arch: &ArchConfig, n: u64) -> Result<f64, SimError> {
         if let Some(&t) = self.kokkos.get(&(arch.id.clone(), n)) {
+            self.stats.record(true);
             return Ok(t);
         }
+        self.stats.record(false);
         let t = measure_kokkos(arch, n)?;
         self.kokkos.insert((arch.id.clone(), n), t);
         Ok(t)
@@ -160,7 +170,13 @@ impl BaselineCache {
 
     /// OpenMP (POWER8 model) time at `n` — architecture-independent.
     pub fn openmp(&mut self, n: u64) -> f64 {
+        self.stats.record(self.openmp.contains_key(&n));
         *self.openmp.entry(n).or_insert_with(|| OpenMpModel::power8_minsky().time_ns(n))
+    }
+
+    /// Hit/miss accounting across every baseline lookup so far.
+    pub fn metrics(&self) -> CacheMetrics {
+        self.stats
     }
 }
 
@@ -243,6 +259,80 @@ pub fn arch_series_report(
     Ok((ArchSeries { arch: arch.id.clone(), points }, merged))
 }
 
+/// The figure series plus observability, driven by a configured
+/// [`Session`]: per-size sweep metrics ride along, job accounting is
+/// merged across sizes, and — when the session profiles — the
+/// scheduler [`Trace`] of the last (largest-size) winner is returned
+/// for Chrome `trace_event` export. The points are bit-identical to
+/// [`arch_series_with`] / [`arch_series_report`] under the same
+/// options: profiling re-runs winners, it never re-selects them.
+///
+/// # Errors
+///
+/// Propagates simulator errors; fails when a size has no surviving
+/// candidate or on baseline measurement errors.
+pub fn arch_series_session(
+    session: &Session,
+    sizes: &[u64],
+    baselines: &mut BaselineCache,
+) -> Result<(ArchSeries, ResilienceReport, Vec<SweepMetrics>, Option<Trace>), SimError> {
+    let arch = session.arch().clone();
+    let candidates = planner::enumerate_pruned();
+    let mut points = Vec::with_capacity(sizes.len());
+    let mut metrics = Vec::with_capacity(sizes.len());
+    let mut merged = ResilienceReport::default();
+    let mut trace = None;
+    for &n in sizes {
+        let report = session.select_best_of(n, &candidates)?;
+        merged.merge(report.resilience);
+        metrics.push(report.metrics);
+        if report.trace.is_some() {
+            trace = report.trace;
+        }
+        let row = report.row;
+        let cub_ns = baselines.cub(&arch, n)?;
+        let kokkos_ns = baselines.kokkos(&arch, n)?;
+        points.push(FigurePoint {
+            n,
+            tangram_ns: row.time_ns,
+            version: row.version.to_string(),
+            fig6_label: row.fig6_label,
+            tuning: (row.block_size, row.coarsen),
+            cub_ns,
+            kokkos_ns,
+            openmp_ns: baselines.openmp(n),
+        });
+    }
+    Ok((ArchSeries { arch: arch.id.clone(), points }, merged, metrics, trace))
+}
+
+/// Human-readable one-liner of a winner's dynamic counters, shared by
+/// the `sweep` and `figures` bins (`profile: kernel=… issues=… …`).
+/// The counters come straight from the site totals; `exact=false`
+/// marks a block-sampled launch whose counts cover only the sample.
+pub fn profile_summary_line(p: &LaunchProfile) -> String {
+    let (mut issues, mut divergent, mut conflicts, mut atomics, mut txns) = (0, 0, 0, 0, 0);
+    for s in &p.sites {
+        issues += s.issues;
+        divergent += s.divergent_issues;
+        conflicts += s.shared_bank_conflicts;
+        atomics += s.atomic_ops;
+        txns += s.global_transactions;
+    }
+    format!(
+        "profile: kernel={} exact={} issues={} divergent={} bank_conflicts={} atomic_ops={} atomic_serial={} shuffles={} gmem_txn={}",
+        p.kernel,
+        p.exact,
+        issues,
+        divergent,
+        conflicts,
+        atomics,
+        p.total_atomic_serial(),
+        p.total_shuffle_exchanges(),
+        txns
+    )
+}
+
 /// Geometric mean of the Tangram-over-CUB speedups in a series
 /// (the paper's "2× on average").
 pub fn geomean_speedup(points: &[FigurePoint]) -> f64 {
@@ -275,6 +365,40 @@ mod tests {
         cache.cub(&ArchConfig::kepler_k40c(), 2048).unwrap();
         assert_eq!(cache.cub.len(), 2);
         assert_eq!(cache.openmp(2048).to_bits(), cache.openmp(2048).to_bits());
+    }
+
+    #[test]
+    fn cache_metrics_count_hits_and_misses() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let mut cache = BaselineCache::new();
+        cache.cub(&arch, 1024).unwrap();
+        cache.cub(&arch, 1024).unwrap();
+        cache.openmp(1024);
+        cache.openmp(1024);
+        let m = cache.metrics();
+        assert_eq!((m.hits, m.misses), (2, 2));
+        assert!((m.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_series_matches_free_function_series() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let sizes = [1024, 16_384];
+        let opts = EvalOptions::serial();
+        let free =
+            arch_series_with(&arch, &sizes, &opts, &mut BaselineCache::new()).unwrap();
+        let session = Session::new(arch).eval(opts).profiled(true);
+        let (series, resilience, metrics, trace) =
+            arch_series_session(&session, &sizes, &mut BaselineCache::new()).unwrap();
+        for (a, b) in free.points.iter().zip(&series.points) {
+            assert_eq!(a.version, b.version);
+            assert_eq!(a.tangram_ns.to_bits(), b.tangram_ns.to_bits());
+            assert_eq!(a.cub_ns.to_bits(), b.cub_ns.to_bits());
+        }
+        assert_eq!(metrics.len(), sizes.len());
+        assert!(metrics.iter().all(|m| m.winner_profile.is_some()));
+        assert!(resilience.total_jobs > 0);
+        assert!(trace.is_some(), "profiled sessions return the last winner's trace");
     }
 
     #[test]

@@ -7,17 +7,24 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 use gpu_sim::exec::BlockSelection;
+use gpu_sim::profile::Trace;
 use gpu_sim::{ArchConfig, Device, SimError};
 use tangram_codegen::CodegenError;
-use tangram_passes::planner::CodeVersion;
+use tangram_passes::planner::{self, CodeVersion};
 
 use tangram_codegen::synthesize_cached;
 use tangram_passes::specialize::ReduceOp;
 
+use crate::evaluate::{
+    best_measurement, evaluate_all_timed, ContextPool, EvalOptions, RungStats, SweepMode,
+};
+use crate::metrics::SweepMetrics;
+use crate::resilience::{evaluate_all_report, ResilienceOptions, ResilienceReport};
 use crate::runner::{run_reduction, upload};
-use crate::select::{fig6_label_of, select_best};
+use crate::select::{fig6_label_of, select_best, SelectionRow};
 use crate::tuner::TunedVersion;
 
 /// Errors surfaced by the high-level API.
@@ -196,6 +203,230 @@ impl Reducer {
     }
 }
 
+/// The result of one [`Session`] sweep: the tuned winner, its
+/// selection row, job accounting, sweep metrics, and (when profiling
+/// was enabled) the winner's scheduler trace.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The tuned winner, ready to run.
+    pub tuned: TunedVersion,
+    /// The winning row (version, tuning, modelled time).
+    pub row: SelectionRow,
+    /// Job accounting: measured / infeasible / pruned / quarantined.
+    /// For clean sweeps only the job counts are populated; under a
+    /// resilience policy the retry and fault totals fill in too.
+    pub resilience: ResilienceReport,
+    /// Sweep-level metrics (rung timings, winner profile when
+    /// profiling was on).
+    pub metrics: SweepMetrics,
+    /// Chrome-traceable scheduler events of the profiled winner
+    /// re-run; `None` when the session does not profile.
+    pub trace: Option<Trace>,
+}
+
+/// The result of a [`Session`] selection-table sweep over several
+/// sizes.
+#[derive(Debug, Clone)]
+pub struct TableReport {
+    /// One winning row per size, in input order.
+    pub rows: Vec<SelectionRow>,
+    /// Per-size job accounting merged into one report.
+    pub resilience: ResilienceReport,
+    /// Per-size sweep metrics, in input order.
+    pub metrics: Vec<SweepMetrics>,
+}
+
+/// One configured entry point for every sweep flavor.
+///
+/// A `Session` fixes the architecture, evaluation engine options,
+/// optional resilience policy, and whether sweeps run profiled — then
+/// [`Session::select_best`] and [`Session::selection_table`] return
+/// typed reports instead of ad-hoc tuples. The free functions in
+/// [`crate::select`] remain as thin conveniences; the session is the
+/// one place all their knobs compose.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::ArchConfig;
+/// use tangram::api::Session;
+///
+/// # fn main() -> Result<(), gpu_sim::SimError> {
+/// let session = Session::new(ArchConfig::maxwell_gtx980()).profiled(true);
+/// let report = session.select_best(16_384)?;
+/// assert!(report.row.time_ns > 0.0);
+/// // Profiling attaches per-site counters for the winner ...
+/// let profile = report.metrics.winner_profile.as_ref().unwrap();
+/// assert!(profile.sites.iter().any(|s| s.issues > 0));
+/// // ... without perturbing the modelled result.
+/// assert_eq!(report.metrics.winner.time_ns, report.row.time_ns);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    arch: ArchConfig,
+    opts: EvalOptions,
+    res: Option<ResilienceOptions>,
+    profile: bool,
+}
+
+impl Session {
+    /// A session on `arch` with default engine options, no resilience
+    /// policy, and profiling off.
+    pub fn new(arch: ArchConfig) -> Self {
+        Session { arch, opts: EvalOptions::default(), res: None, profile: false }
+    }
+
+    /// Replace the evaluation-engine options.
+    #[must_use]
+    pub fn eval(mut self, opts: EvalOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Run sweeps under a resilience policy (retry + quarantine,
+    /// optionally with fault injection).
+    #[must_use]
+    pub fn resilience(mut self, res: ResilienceOptions) -> Self {
+        self.res = Some(res);
+        self
+    }
+
+    /// Enable or disable profiling: a profiled session re-runs each
+    /// sweep winner with site-level counters and scheduler tracing
+    /// switched on. The selection itself always runs unprofiled, so
+    /// winners and times are bit-identical either way.
+    #[must_use]
+    pub fn profiled(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// The session's architecture.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// The session's evaluation-engine options.
+    pub fn eval_options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Whether this session profiles sweep winners.
+    pub fn profiling(&self) -> bool {
+        self.profile
+    }
+
+    /// Select the fastest pruned version for `n` elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; fails when no candidate is
+    /// feasible.
+    pub fn select_best(&self, n: u64) -> Result<SweepReport, SimError> {
+        self.select_best_of(n, &planner::enumerate_pruned())
+    }
+
+    /// Select the fastest of `candidates` for `n` elements.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::select_best`].
+    pub fn select_best_of(
+        &self,
+        n: u64,
+        candidates: &[CodeVersion],
+    ) -> Result<SweepReport, SimError> {
+        let t0 = Instant::now();
+        let pool = ContextPool::builder(&self.arch, n).opts(&self.opts).build();
+        let (results, rungs, resilience) = match &self.res {
+            None => {
+                let (results, rungs) = evaluate_all_timed(&pool, candidates, &self.opts)?;
+                let mut rep = ResilienceReport {
+                    total_jobs: results.len(),
+                    measured: results.iter().flatten().count(),
+                    ..ResilienceReport::default()
+                };
+                match self.opts.sweep {
+                    SweepMode::Exhaustive => rep.infeasible = rep.total_jobs - rep.measured,
+                    SweepMode::Halving => {
+                        // The screen rung sees every feasible job;
+                        // survivors not re-measured were pruned.
+                        let screened = rungs.first().map_or(0, |r| r.measured);
+                        rep.infeasible = rep.total_jobs - screened;
+                        rep.pruned = screened.saturating_sub(rep.measured);
+                    }
+                }
+                (results, rungs, rep)
+            }
+            Some(res) => {
+                let t = Instant::now();
+                let (results, report) =
+                    evaluate_all_report(&pool, candidates, &self.opts, res)?;
+                let rungs = vec![RungStats::tally("resilient", results.len(), &results, t)];
+                (results, rungs, report)
+            }
+        };
+        let best = best_measurement(&results)
+            .ok_or_else(|| SimError::InvalidLaunch("no feasible version".into()))?;
+        let tuned = TunedVersion { synthesized: best.synthesized.clone(), time_ns: best.time_ns };
+        let row = SelectionRow {
+            n,
+            version: best.version,
+            fig6_label: fig6_label_of(best.version),
+            block_size: best.tuning.block_size,
+            coarsen: best.tuning.coarsen,
+            time_ns: best.time_ns,
+        };
+        let (winner_profile, trace) = if self.profile {
+            let mut ctx = pool.acquire()?;
+            let (_, profiles, trace) = ctx.measure_profiled(&tuned.synthesized)?;
+            pool.release(ctx);
+            (profiles.into_iter().next(), Some(trace))
+        } else {
+            (None, None)
+        };
+        let metrics = SweepMetrics {
+            arch: self.arch.id.clone(),
+            n,
+            mode: if self.res.is_some() {
+                format!("resilient-{}", self.opts.sweep.id())
+            } else {
+                self.opts.sweep.id().to_string()
+            },
+            interp: self.opts.interp.id().to_string(),
+            threads: self.opts.threads,
+            rungs,
+            resilience: resilience.clone(),
+            winner: row.clone(),
+            winner_profile,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok(SweepReport { tuned, row, resilience, metrics, trace })
+    }
+
+    /// Sweep the selection over several sizes, merging per-size job
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::select_best`].
+    pub fn selection_table(&self, sizes: &[u64]) -> Result<TableReport, SimError> {
+        let candidates = planner::enumerate_pruned();
+        let mut rows = Vec::with_capacity(sizes.len());
+        let mut metrics = Vec::with_capacity(sizes.len());
+        let mut merged = ResilienceReport::default();
+        for &n in sizes {
+            let report = self.select_best_of(n, &candidates)?;
+            rows.push(report.row);
+            metrics.push(report.metrics);
+            merged.merge(report.resilience);
+        }
+        Ok(TableReport { rows, resilience: merged, metrics })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +448,51 @@ mod tests {
     fn empty_input_sums_to_zero() {
         let mut r = Reducer::new(ArchConfig::kepler_k40c());
         assert_eq!(r.sum(&[]).unwrap().value, 0.0);
+    }
+
+    #[test]
+    fn session_selection_matches_free_functions_bitwise() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let opts = EvalOptions::serial();
+        let (_, free_row) = crate::select::select_best_with(&arch, 16_384, &opts).unwrap();
+        let session = Session::new(arch).eval(opts).profiled(true);
+        let rep = session.select_best(16_384).unwrap();
+        assert_eq!(rep.row.version, free_row.version);
+        assert_eq!(rep.row.block_size, free_row.block_size);
+        assert_eq!(rep.row.time_ns.to_bits(), free_row.time_ns.to_bits());
+        // Profiling attaches counters and a trace without touching
+        // the selection.
+        let profile = rep.metrics.winner_profile.as_ref().expect("profiled session");
+        assert!(profile.sites.iter().any(|s| s.issues > 0));
+        assert!(!rep.trace.as_ref().unwrap().events.is_empty());
+        // Clean-sweep job accounting adds up.
+        let r = &rep.resilience;
+        assert_eq!(r.total_jobs, r.measured + r.infeasible + r.pruned);
+        assert_eq!(rep.metrics.rungs.len(), 1, "exhaustive sweeps have one rung");
+    }
+
+    #[test]
+    fn session_halving_accounts_for_pruned_jobs() {
+        let session = Session::new(ArchConfig::pascal_p100())
+            .eval(EvalOptions::serial().with_sweep(crate::evaluate::SweepMode::Halving));
+        let rep = session.select_best(32_768).unwrap();
+        let r = &rep.resilience;
+        assert!(r.pruned > 0, "halving must prune part of the space");
+        assert_eq!(r.total_jobs, r.measured + r.infeasible + r.pruned);
+        assert_eq!(rep.metrics.rungs.len(), 2, "halving has screen + survivor rungs");
+        assert_eq!(rep.metrics.rungs[0].rung, "screen");
+        assert!(rep.metrics.rungs[1].jobs < rep.metrics.rungs[0].jobs);
+    }
+
+    #[test]
+    fn session_table_merges_reports() {
+        let session =
+            Session::new(ArchConfig::kepler_k40c()).eval(EvalOptions::serial());
+        let table = session.selection_table(&[1024, 4096]).unwrap();
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.metrics.len(), 2);
+        let per_size: usize = table.metrics.iter().map(|m| m.resilience.total_jobs).sum();
+        assert_eq!(table.resilience.total_jobs, per_size);
     }
 
     #[test]

@@ -34,9 +34,11 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use gpu_sim::{ArchConfig, ExecMode, SimError};
 use parking_lot::Mutex;
+use serde::Serialize;
 use tangram_codegen::{synthesize_cached, SynthesizedVersion, Tuning};
 use tangram_passes::planner::{BlockOp, CodeVersion};
 use tangram_passes::specialize::ReduceOp;
@@ -56,6 +58,17 @@ pub enum SweepMode {
     /// jobs report `None`; surviving jobs are bit-identical to the
     /// exhaustive sweep's.
     Halving,
+}
+
+impl SweepMode {
+    /// Canonical identifier, the inverse of the [`std::str::FromStr`] parse
+    /// (`exhaustive` / `halving`).
+    pub fn id(self) -> &'static str {
+        match self {
+            SweepMode::Exhaustive => "exhaustive",
+            SweepMode::Halving => "halving",
+        }
+    }
 }
 
 impl std::str::FromStr for SweepMode {
@@ -215,6 +228,37 @@ pub(crate) fn measure_job(
     }
 }
 
+/// Wall-clock and job accounting for one fan-out rung of a sweep.
+///
+/// Observability only: `wall_ms` is host wall-clock (nondeterministic
+/// across runs and machines) and must never enter determinism-checked
+/// output — the job counts, by contrast, are identical for any thread
+/// count.
+#[derive(Debug, Clone, Serialize)]
+pub struct RungStats {
+    /// Rung name: `"full"` (exhaustive), `"screen"`/`"survivor"`
+    /// (halving), or `"resilient"` (retry/quarantine sweeps, timed as
+    /// one rung).
+    pub rung: String,
+    /// Jobs dispatched to this rung.
+    pub jobs: usize,
+    /// Jobs that produced a measurement at this rung's fidelity.
+    pub measured: usize,
+    /// Wall-clock time of the rung in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl RungStats {
+    pub(crate) fn tally<T>(rung: &str, jobs: usize, results: &[Option<T>], t0: Instant) -> Self {
+        RungStats {
+            rung: rung.to_string(),
+            jobs,
+            measured: results.iter().flatten().count(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
 /// A checkout pool of [`BenchContext`]s for one `(arch, n)` sweep.
 ///
 /// Workers acquire a context for their lifetime and return it on
@@ -242,14 +286,28 @@ impl ContextPool {
         }
     }
 
+    /// Start building a pool for arrays of `n` elements on `arch`
+    /// (the one way to assemble a configured pool — mirrors
+    /// [`gpu_sim::exec::ExecConfig::builder`]).
+    pub fn builder(arch: &ArchConfig, n: u64) -> ContextPoolBuilder {
+        ContextPoolBuilder {
+            arch: arch.clone(),
+            n,
+            exec_mode: ExecMode::default(),
+            instr_budget: None,
+        }
+    }
+
     /// A pool configured from an [`EvalOptions`] (interpreter hot
     /// path and instruction-budget override).
+    #[deprecated(note = "use `ContextPool::builder(arch, n).opts(opts).build()`")]
     pub fn for_opts(arch: &ArchConfig, n: u64, opts: &EvalOptions) -> Self {
-        Self::new(arch, n).with_exec_mode(opts.interp).with_instr_budget(opts.instr_budget)
+        Self::builder(arch, n).opts(opts).build()
     }
 
     /// Select the interpreter hot path stamped on checked-out
     /// contexts.
+    #[deprecated(note = "use `ContextPool::builder(arch, n).exec_mode(mode).build()`")]
     #[must_use]
     pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
         self.exec_mode = mode;
@@ -258,6 +316,7 @@ impl ContextPool {
 
     /// Override the per-block instruction budget stamped on
     /// checked-out contexts (`None` keeps the device default).
+    #[deprecated(note = "use `ContextPool::builder(arch, n).instr_budget(budget).build()`")]
     #[must_use]
     pub fn with_instr_budget(mut self, budget: Option<u64>) -> Self {
         self.instr_budget = budget;
@@ -294,6 +353,56 @@ impl ContextPool {
     /// The architecture this pool's contexts simulate.
     pub fn arch(&self) -> &ArchConfig {
         &self.arch
+    }
+
+    /// The interpreter hot path stamped on checked-out contexts.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+}
+
+/// Builder for [`ContextPool`] (see [`ContextPool::builder`]).
+#[derive(Debug)]
+pub struct ContextPoolBuilder {
+    arch: ArchConfig,
+    n: u64,
+    exec_mode: ExecMode,
+    instr_budget: Option<u64>,
+}
+
+impl ContextPoolBuilder {
+    /// Select the interpreter hot path stamped on checked-out
+    /// contexts.
+    #[must_use]
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Override the per-block instruction budget stamped on
+    /// checked-out contexts (`None` keeps the device default).
+    #[must_use]
+    pub fn instr_budget(mut self, budget: Option<u64>) -> Self {
+        self.instr_budget = budget;
+        self
+    }
+
+    /// Adopt the interpreter and budget settings of an
+    /// [`EvalOptions`].
+    #[must_use]
+    pub fn opts(self, opts: &EvalOptions) -> Self {
+        self.exec_mode(opts.interp).instr_budget(opts.instr_budget)
+    }
+
+    /// Finish building the pool.
+    pub fn build(self) -> ContextPool {
+        ContextPool {
+            arch: self.arch,
+            n: self.n,
+            exec_mode: self.exec_mode,
+            instr_budget: self.instr_budget,
+            free: Mutex::new(Vec::new()),
+        }
     }
 }
 
@@ -418,24 +527,28 @@ fn evaluate_halving(
     pool: &ContextPool,
     jobs: &[Job],
     threads: usize,
-) -> Result<Vec<Option<Measurement>>, SimError> {
+) -> Result<(Vec<Option<Measurement>>, Vec<RungStats>), SimError> {
+    let t0 = Instant::now();
     let screen =
         run_jobs_with(pool, jobs, threads, &|ctx, job| measure_job(ctx, job, Fidelity::Screen))?;
+    let screen_stats = RungStats::tally("screen", jobs.len(), &screen, t0);
     let times: Vec<Option<f64>> = screen.iter().map(|m| m.as_ref().map(|m| m.time_ns)).collect();
     let keep = survivor_mask(jobs, &times);
 
     let surviving: Vec<usize> = (0..jobs.len()).filter(|&i| keep[i]).collect();
     let surviving_jobs: Vec<Job> = surviving.iter().map(|&i| jobs[i]).collect();
+    let t1 = Instant::now();
     let full = run_jobs_with(pool, &surviving_jobs, threads, &|ctx, job| {
         measure_job(ctx, job, Fidelity::Full)
     })?;
+    let survivor_stats = RungStats::tally("survivor", surviving_jobs.len(), &full, t1);
 
     let mut out: Vec<Option<Measurement>> = Vec::new();
     out.resize_with(jobs.len(), || None);
     for (i, m) in surviving.into_iter().zip(full) {
         out[i] = m;
     }
-    Ok(out)
+    Ok((out, vec![screen_stats, survivor_stats]))
 }
 
 /// Measure every candidate tuning of the sweep, fanning jobs over
@@ -457,11 +570,32 @@ pub fn evaluate_all(
     candidates: &[CodeVersion],
     opts: &EvalOptions,
 ) -> Result<Vec<Option<Measurement>>, SimError> {
+    evaluate_all_timed(pool, candidates, opts).map(|(results, _)| results)
+}
+
+/// [`evaluate_all`] plus per-rung accounting: one [`RungStats`] per
+/// fan-out rung (one for exhaustive sweeps, screen + survivor for
+/// halving). The measurement slots are exactly [`evaluate_all`]'s;
+/// only the wall-clock fields of the stats are nondeterministic.
+///
+/// # Errors
+///
+/// See [`evaluate_all`].
+pub fn evaluate_all_timed(
+    pool: &ContextPool,
+    candidates: &[CodeVersion],
+    opts: &EvalOptions,
+) -> Result<(Vec<Option<Measurement>>, Vec<RungStats>), SimError> {
     let jobs = jobs_for(candidates);
     match opts.sweep {
-        SweepMode::Exhaustive => run_jobs_with(pool, &jobs, opts.threads, &|ctx, job| {
-            measure_job(ctx, job, Fidelity::Full)
-        }),
+        SweepMode::Exhaustive => {
+            let t0 = Instant::now();
+            let results = run_jobs_with(pool, &jobs, opts.threads, &|ctx, job| {
+                measure_job(ctx, job, Fidelity::Full)
+            })?;
+            let stats = RungStats::tally("full", jobs.len(), &results, t0);
+            Ok((results, vec![stats]))
+        }
         SweepMode::Halving => evaluate_halving(pool, &jobs, opts.threads),
     }
 }
@@ -546,12 +680,29 @@ mod tests {
     #[test]
     fn pool_stamps_exec_mode_and_budget() {
         let arch = ArchConfig::maxwell_gtx980();
-        let pool = ContextPool::new(&arch, 1024)
-            .with_exec_mode(ExecMode::Reference)
-            .with_instr_budget(Some(123_456));
+        let pool = ContextPool::builder(&arch, 1024)
+            .exec_mode(ExecMode::Reference)
+            .instr_budget(Some(123_456))
+            .build();
         let ctx = pool.acquire().unwrap();
         assert_eq!(ctx.dev.exec_mode(), ExecMode::Reference);
         assert_eq!(ctx.dev.instr_budget(), 123_456);
+    }
+
+    /// The deprecated constructors must keep configuring pools exactly
+    /// like the builder until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_pool_constructors_match_builder() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let opts = EvalOptions::serial()
+            .with_interp(ExecMode::Reference)
+            .with_instr_budget(Some(42));
+        let old = ContextPool::for_opts(&arch, 1024, &opts);
+        let new = ContextPool::builder(&arch, 1024).opts(&opts).build();
+        let (a, b) = (old.acquire().unwrap(), new.acquire().unwrap());
+        assert_eq!(a.dev.exec_mode(), b.dev.exec_mode());
+        assert_eq!(a.dev.instr_budget(), b.dev.instr_budget());
     }
 
     #[test]

@@ -34,11 +34,12 @@
 //!
 //! | module | role |
 //! |--------|------|
-//! | [`api`] | user-facing [`Reducer`] with per-size version selection |
+//! | [`api`] | user-facing [`Reducer`] and the [`Session`] sweep entry point |
 //! | [`pipeline`] | the Fig. 5 pre-processing pipeline, inspectable |
 //! | [`tuner`] | `__tunable` parameter sweeps (§IV-C) |
 //! | [`evaluate`] | the parallel variant-evaluation engine |
 //! | [`resilience`] | retry, quarantine, and fault-campaign layer |
+//! | [`metrics`] | sweep-level observability ([`ProfileReport`]) |
 //! | [`select`] | best-version selection across the pruned space |
 //! | [`dynsel`] | DySel-style runtime selection (micro-profiling) |
 //! | [`runner`] | executing synthesized versions on the device |
@@ -48,14 +49,16 @@
 pub mod api;
 pub mod dynsel;
 pub mod evaluate;
+pub mod metrics;
 pub mod pipeline;
 pub mod resilience;
 pub mod runner;
 pub mod select;
 pub mod tuner;
 
-pub use api::{Reducer, SumResult, TangramError};
-pub use evaluate::{evaluate_all, ContextPool, EvalOptions};
+pub use api::{Reducer, Session, SumResult, SweepReport, TableReport, TangramError};
+pub use evaluate::{evaluate_all, evaluate_all_timed, ContextPool, EvalOptions, RungStats};
+pub use metrics::{CacheMetrics, KernelSpotlight, ProfileReport, SweepMetrics};
 pub use resilience::{
     evaluate_all_report, FaultConfig, QuarantineReason, ResilienceOptions, ResilienceReport,
     ValidationPolicy,
@@ -68,6 +71,35 @@ pub use select::{
     SelectionRow,
 };
 pub use tuner::{measure, tune, TunedVersion};
+
+/// One-stop imports for library clients: the device and architecture
+/// types, the engine knobs, the [`Session`] entry point, and every
+/// report type it returns.
+///
+/// ```
+/// use tangram::prelude::*;
+///
+/// # fn main() -> Result<(), SimError> {
+/// let report = Session::new(ArchConfig::kepler_k40c())
+///     .eval(EvalOptions::serial())
+///     .select_best(4096)?;
+/// assert!(report.row.time_ns > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use crate::api::{Reducer, Session, SumResult, SweepReport, TableReport, TangramError};
+    pub use crate::evaluate::{ContextPool, EvalOptions, RungStats, SweepMode};
+    pub use crate::metrics::{CacheMetrics, KernelSpotlight, ProfileReport, SweepMetrics};
+    pub use crate::resilience::{
+        FaultConfig, QuarantineReason, ResilienceOptions, ResilienceReport, ValidationPolicy,
+    };
+    pub use crate::select::SelectionRow;
+    pub use crate::tuner::{BenchContext, TunedVersion};
+    pub use gpu_sim::profile::{LaunchProfile, SiteCounters, Trace};
+    pub use gpu_sim::{ArchConfig, Device, ExecMode, SimError};
+    pub use tangram_passes::specialize::ReduceOp;
+}
 
 // Re-export the component crates for downstream users and examples.
 pub use cpu_ref;

@@ -80,7 +80,7 @@ pub fn select_best_of_with(
     candidates: &[CodeVersion],
     opts: &EvalOptions,
 ) -> Result<(TunedVersion, SelectionRow), SimError> {
-    let pool = ContextPool::for_opts(arch, n, opts);
+    let pool = ContextPool::builder(arch, n).opts(opts).build();
     let results = evaluate_all(&pool, candidates, opts)?;
     let best = best_measurement(&results)
         .ok_or_else(|| SimError::InvalidLaunch("no feasible version".into()))?;
@@ -115,7 +115,7 @@ pub fn select_best_report(
     opts: &EvalOptions,
     res: &ResilienceOptions,
 ) -> Result<(TunedVersion, SelectionRow, ResilienceReport), SimError> {
-    let pool = ContextPool::for_opts(arch, n, opts);
+    let pool = ContextPool::builder(arch, n).opts(opts).build();
     let (results, report) = evaluate_all_report(&pool, candidates, opts, res)?;
     let best = best_measurement(&results)
         .ok_or_else(|| SimError::InvalidLaunch("no feasible version".into()))?;

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use gpu_sim::exec::BlockSelection;
+use gpu_sim::profile::{LaunchProfile, Trace};
 use gpu_sim::{ArchConfig, Device, DevicePtr, SimError};
 use tangram_codegen::{synthesize_cached, SynthesizedVersion, Tuning};
 use tangram_passes::planner::CodeVersion;
@@ -103,6 +104,46 @@ impl BenchContext {
     pub fn measure_screen(&mut self, sv: &SynthesizedVersion) -> Result<f64, SimError> {
         let plan = sv.plan(self.n);
         self.measure_with(sv, Self::screen_selection_for(plan.grid))
+    }
+
+    /// Measure one synthesized version with site-level profiling
+    /// enabled: returns the modelled time (bit-identical to
+    /// [`BenchContext::measure`] — profiling never perturbs the
+    /// model), the per-kernel [`LaunchProfile`]s of the measurement's
+    /// launches in launch order, and the scheduler [`Trace`] of the
+    /// measurement. Profiling is switched back off before returning,
+    /// so the context can go straight back into an unprofiled sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure_profiled(
+        &mut self,
+        sv: &SynthesizedVersion,
+    ) -> Result<(f64, Vec<LaunchProfile>, Trace), SimError> {
+        let plan = sv.plan(self.n);
+        self.measure_profiled_with(sv, Self::selection_for(plan.grid))
+    }
+
+    /// [`BenchContext::measure_profiled`] under an explicit block
+    /// selection ([`BlockSelection::All`] yields `exact`, unscaled
+    /// site counters).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure_profiled_with(
+        &mut self,
+        sv: &SynthesizedVersion,
+        selection: BlockSelection,
+    ) -> Result<(f64, Vec<LaunchProfile>, Trace), SimError> {
+        self.dev.set_profiling(true);
+        let measured = self.measure_with(sv, selection);
+        self.dev.set_profiling(false);
+        let time_ns = measured?;
+        let profiles =
+            self.dev.launches().iter().filter_map(|l| l.profile.clone()).collect();
+        Ok((time_ns, profiles, self.dev.take_trace()))
     }
 
     /// Measure one synthesized version under an explicit block

@@ -10,6 +10,7 @@ use crate::fault::{FaultPlan, FaultSession, InjectedFault};
 use crate::isa::Ty;
 use crate::kernel::Kernel;
 use crate::memory::LinearMemory;
+use crate::profile::{LaunchProfile, Trace};
 use crate::stats::LaunchStats;
 use crate::timing::{time_launch, LaunchTiming, TimingOptions};
 
@@ -46,6 +47,9 @@ pub struct LaunchReport {
     pub timing: LaunchTiming,
     /// Whether every block was executed functionally.
     pub exact: bool,
+    /// Per-site profile, present when [`Device::set_profiling`] was
+    /// enabled for this launch.
+    pub profile: Option<LaunchProfile>,
 }
 
 /// A simulated GPU device.
@@ -73,6 +77,8 @@ pub struct Device {
     fault_launch_index: u64,
     fault_log: Vec<InjectedFault>,
     exec_mode: ExecMode,
+    profiling: bool,
+    trace: Trace,
 }
 
 const ALLOC_ALIGN: u64 = 256;
@@ -91,6 +97,8 @@ impl Device {
             fault_launch_index: 0,
             fault_log: Vec::new(),
             exec_mode: ExecMode::default(),
+            profiling: false,
+            trace: Trace::new(),
         }
     }
 
@@ -121,6 +129,31 @@ impl Device {
     /// The configured interpreter hot path.
     pub fn exec_mode(&self) -> ExecMode {
         self.exec_mode
+    }
+
+    /// Enable or disable profiling for subsequent launches. When on,
+    /// every launch gathers a per-site [`LaunchProfile`] (stored on
+    /// its [`LaunchReport`]) and appends launch/block/warp events to
+    /// the device [`Trace`]. Off by default: the interpreters stay on
+    /// their zero-cost paths and results/stats/timing are
+    /// bit-identical either way.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// Whether profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// The scheduler trace accumulated by profiled launches.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Drain the accumulated scheduler trace.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
     }
 
     /// Install (or clear) a fault-injection plan. Each subsequent
@@ -261,6 +294,14 @@ impl Device {
             _ => FaultSession::disabled(),
         };
         self.fault_launch_index += 1;
+        let mut profile = self.profiling.then(|| LaunchProfile::for_kernel(kernel));
+        let mut cfg = ExecConfig::builder()
+            .exec_mode(self.exec_mode)
+            .instr_budget(self.instr_budget)
+            .faults(&mut session);
+        if let Some(p) = profile.as_mut() {
+            cfg = cfg.profile(p);
+        }
         let outcome = run_kernel_cfg(
             kernel,
             &self.arch,
@@ -268,23 +309,33 @@ impl Device {
             args,
             &mut self.global,
             selection,
-            ExecConfig {
-                budget: Some(self.instr_budget),
-                faults: Some(&mut session),
-                mode: self.exec_mode,
-            },
+            cfg.build(),
         );
         // Keep the injection record even when the launch errored — a
         // trap caused by an injected fault must stay attributable.
         self.fault_log.extend(session.take_log());
         let outcome = outcome?;
         let timing = time_launch(&self.arch, kernel, dims, &outcome.stats, opts);
+        if self.profiling {
+            self.trace.push_launch(
+                &kernel.name,
+                self.elapsed_ns,
+                timing.time_ns,
+                crate::profile::LaunchShape {
+                    blocks: outcome.stats.blocks,
+                    warps_per_block: outcome.stats.warps_per_block,
+                    sm_count: self.arch.sm_count,
+                },
+                profile.as_ref(),
+            );
+        }
         self.elapsed_ns += timing.time_ns;
         self.launches.push(LaunchReport {
             kernel: kernel.name.clone(),
             stats: outcome.stats,
             timing,
             exact: outcome.exact,
+            profile,
         });
         Ok(self.launches.last().unwrap())
     }
@@ -315,9 +366,11 @@ impl Device {
         self.elapsed_ns
     }
 
-    /// Reset the modelled clock (the launch log is kept).
+    /// Reset the modelled clock (the launch log is kept). The
+    /// scheduler trace is anchored to the clock, so it restarts too.
     pub fn reset_clock(&mut self) {
         self.elapsed_ns = 0.0;
+        self.trace.events.clear();
     }
 
     /// Reports for every launch so far, in order.

@@ -22,6 +22,7 @@ use crate::isa::{
 };
 use crate::kernel::{Kernel, ParamKind};
 use crate::memory::{bank_conflict_degree, coalesced_transactions, LinearMemory};
+use crate::profile::LaunchProfile;
 use crate::stats::LaunchStats;
 
 /// Maximum lanes per warp the interpreter's stack-allocated per-issue
@@ -172,6 +173,9 @@ pub(crate) struct BlockCtx<'a> {
     pub(crate) budget_total: u64,
     /// Per-address shared atomic chains within this block.
     pub(crate) shared_chains: &'a mut FxHashMap<u64, u64>,
+    /// Per-site profile shared across the launch's blocks; `None`
+    /// keeps the hot paths free of profiling stores.
+    pub(crate) profile: Option<&'a mut LaunchProfile>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -421,6 +425,17 @@ pub enum ExecMode {
     Reference,
 }
 
+impl ExecMode {
+    /// Canonical identifier, the inverse of the [`std::str::FromStr`] parse
+    /// (`uop` / `reference`).
+    pub fn id(self) -> &'static str {
+        match self {
+            ExecMode::Predecoded => "uop",
+            ExecMode::Reference => "reference",
+        }
+    }
+}
+
 impl std::str::FromStr for ExecMode {
     type Err = String;
 
@@ -434,8 +449,20 @@ impl std::str::FromStr for ExecMode {
 }
 
 /// Per-launch execution configuration beyond the launch dims: the
-/// instruction budget, an optional fault-injection session and the
-/// interpreter path.
+/// instruction budget, an optional fault-injection session, the
+/// interpreter path and an optional per-site profile.
+///
+/// Prefer [`ExecConfig::builder`] over filling the struct literal:
+///
+/// ```
+/// use gpu_sim::exec::{ExecConfig, ExecMode};
+///
+/// let cfg = ExecConfig::builder()
+///     .exec_mode(ExecMode::Reference)
+///     .instr_budget(1 << 20)
+///     .build();
+/// assert_eq!(cfg.budget, Some(1 << 20));
+/// ```
 #[derive(Debug, Default)]
 pub struct ExecConfig<'a> {
     /// Per-block dynamic instruction budget; `None` uses
@@ -446,6 +473,58 @@ pub struct ExecConfig<'a> {
     pub faults: Option<&'a mut FaultSession>,
     /// Interpreter hot path ([`ExecMode::Predecoded`] by default).
     pub mode: ExecMode,
+    /// Per-site profile to fill in (see [`crate::profile`]); `None`
+    /// disables profiling (the zero-cost default).
+    pub profile: Option<&'a mut LaunchProfile>,
+}
+
+impl<'a> ExecConfig<'a> {
+    /// Start building an execution configuration.
+    pub fn builder() -> ExecConfigBuilder<'a> {
+        ExecConfigBuilder { cfg: ExecConfig::default() }
+    }
+}
+
+/// Builder for [`ExecConfig`] (see [`ExecConfig::builder`]).
+#[derive(Debug, Default)]
+pub struct ExecConfigBuilder<'a> {
+    cfg: ExecConfig<'a>,
+}
+
+impl<'a> ExecConfigBuilder<'a> {
+    /// Select the interpreter hot path.
+    #[must_use]
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Set the per-block dynamic instruction budget.
+    #[must_use]
+    pub fn instr_budget(mut self, budget: u64) -> Self {
+        self.cfg.budget = Some(budget);
+        self
+    }
+
+    /// Attach a fault-injection session.
+    #[must_use]
+    pub fn faults(mut self, session: &'a mut FaultSession) -> Self {
+        self.cfg.faults = Some(session);
+        self
+    }
+
+    /// Attach a per-site profile to fill in.
+    #[must_use]
+    pub fn profile(mut self, profile: &'a mut LaunchProfile) -> Self {
+        self.cfg.profile = Some(profile);
+        self
+    }
+
+    /// Finish the configuration.
+    #[must_use]
+    pub fn build(self) -> ExecConfig<'a> {
+        self.cfg
+    }
 }
 
 /// Execute `kernel` on `global` memory with the default budget and no
@@ -568,6 +647,10 @@ pub fn run_kernel_cfg(
         Some(s) => s,
         None => &mut noop_session,
     };
+    let mut profile = exec_cfg.profile;
+    if let Some(p) = profile.as_deref_mut() {
+        p.exact = exact;
+    }
 
     for &block_id in &blocks_to_run {
         regs.fill(0);
@@ -589,6 +672,7 @@ pub fn run_kernel_cfg(
             budget,
             budget_total: budget,
             shared_chains: &mut shared_chains,
+            profile: profile.as_deref_mut(),
         };
         match uop_prog {
             Some(prog) => crate::uop::run_block(
@@ -838,6 +922,9 @@ fn run_warp(
         let instr = &instrs[pc];
         let n_active = active.count_ones();
         ctx.stats.issue(instr.class(), n_active, warp_size);
+        if let Some(p) = ctx.profile.as_deref_mut() {
+            p.record_issue(pc, n_active, warp_size);
+        }
 
         // Stack-allocated active-lane list (hot path: no heap).
         let mut lane_buf = [0u32; MAX_LANES];
@@ -974,7 +1061,7 @@ fn run_warp(
                     }
                 }
                 let accesses = &access_buf[..lanes.len()];
-                record_mem(ctx, *space, true, accesses);
+                record_mem(ctx, pc, *space, true, accesses);
                 if *space == Space::Global && width.lanes() > 1 {
                     ctx.stats.global_vector_bytes +=
                         accesses.iter().map(|&(_, s)| s).sum::<u64>();
@@ -1005,7 +1092,7 @@ fn run_warp(
                         }
                     }
                 }
-                record_mem(ctx, *space, false, &access_buf[..lanes.len()]);
+                record_mem(ctx, pc, *space, false, &access_buf[..lanes.len()]);
             }
             Instr::Atom { space, op, ty, dst, addr, src, cmp, .. } => {
                 // Linearize lanes in order; gather contention stats.
@@ -1044,13 +1131,20 @@ fn run_warp(
                     if let Some(d) = dst {
                         ctx.set_reg(t, *d, old);
                     }
-                    match space {
+                    let depth = match space {
                         Space::Global => {
-                            *global_chains.entry(a).or_insert(0) += 1;
+                            let e = global_chains.entry(a).or_insert(0);
+                            *e += 1;
+                            *e - 1
                         }
                         Space::Shared => {
-                            *ctx.shared_chains.entry(a).or_insert(0) += 1;
+                            let e = ctx.shared_chains.entry(a).or_insert(0);
+                            *e += 1;
+                            *e - 1
                         }
+                    };
+                    if let Some(p) = ctx.profile.as_deref_mut() {
+                        p.sites[pc].atomic_serial += depth;
                     }
                 }
                 // Worst same-address contention across the warp; O(n^2)
@@ -1072,6 +1166,9 @@ fn run_warp(
                         ctx.stats.shared_atomics += lanes.len() as u64;
                         ctx.stats.shared_atomic_serial += worst;
                     }
+                }
+                if let Some(p) = ctx.profile.as_deref_mut() {
+                    p.sites[pc].atomic_ops += lanes.len() as u64;
                 }
             }
             Instr::Shfl { mode, ty, dst, src, lane, width, pred_out } => {
@@ -1124,6 +1221,9 @@ fn run_warp(
                         ctx.set_pred(t, *p, in_range);
                     }
                 }
+                if let Some(p) = ctx.profile.as_deref_mut() {
+                    p.sites[pc].shuffle_exchanges += u64::from(n_active);
+                }
             }
             Instr::Bar => {
                 ctx.stats.barriers += 1;
@@ -1150,6 +1250,9 @@ fn run_warp(
                         } else {
                             // Divergence: split via the SIMT stack.
                             ctx.stats.divergent_branches += 1;
+                            if let Some(p) = ctx.profile.as_deref_mut() {
+                                p.sites[pc].divergence_splits += 1;
+                            }
                             let reconv = ctx.cfg.reconvergence(pc).unwrap_or(RECONV_NONE);
                             let outer = warp.stack.pop().unwrap();
                             if reconv != RECONV_NONE {
@@ -1178,7 +1281,13 @@ fn run_warp(
     }
 }
 
-pub(crate) fn record_mem(ctx: &mut BlockCtx<'_>, space: Space, is_load: bool, accesses: &[(u64, u64)]) {
+pub(crate) fn record_mem(
+    ctx: &mut BlockCtx<'_>,
+    pc: usize,
+    space: Space,
+    is_load: bool,
+    accesses: &[(u64, u64)],
+) {
     match space {
         Space::Global => {
             let tx = coalesced_transactions(accesses);
@@ -1190,6 +1299,11 @@ pub(crate) fn record_mem(ctx: &mut BlockCtx<'_>, space: Space, is_load: bool, ac
                 ctx.stats.global_store_transactions += tx;
                 ctx.stats.global_store_bytes_useful += useful;
             }
+            if let Some(p) = ctx.profile.as_deref_mut() {
+                let s = &mut p.sites[pc];
+                s.global_transactions += tx;
+                s.global_bytes_useful += useful;
+            }
         }
         Space::Shared => {
             ctx.stats.shared_accesses += 1;
@@ -1199,6 +1313,11 @@ pub(crate) fn record_mem(ctx: &mut BlockCtx<'_>, space: Space, is_load: bool, ac
             }
             let degree = bank_conflict_degree(&addr_buf[..accesses.len()]);
             ctx.stats.shared_bank_conflict_cycles += degree.saturating_sub(1);
+            if let Some(p) = ctx.profile.as_deref_mut() {
+                let s = &mut p.sites[pc];
+                s.shared_accesses += 1;
+                s.shared_bank_conflicts += degree.saturating_sub(1);
+            }
         }
     }
 }
@@ -1716,7 +1835,7 @@ mod tests {
             &[],
             &mut mem,
             BlockSelection::All,
-            ExecConfig { budget: Some(1000), faults: None, mode: ExecMode::default() },
+            ExecConfig::builder().instr_budget(1000).build(),
         )
         .unwrap_err();
         assert_eq!(err, SimError::Timeout { kernel: "spin".into(), budget: 1000 });
@@ -1757,7 +1876,7 @@ mod tests {
                 &[Arg::Ptr(0)],
                 &mut mem,
                 BlockSelection::All,
-                ExecConfig { budget: None, faults: Some(&mut session), mode: ExecMode::default() },
+                ExecConfig::builder().faults(&mut session).build(),
             )
             .unwrap();
             (session.take_log(), mem.read_bytes(0, 4 * 32).unwrap())

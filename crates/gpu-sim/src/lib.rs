@@ -61,6 +61,7 @@ pub mod hash;
 pub mod isa;
 pub mod kernel;
 pub mod memory;
+pub mod profile;
 pub mod stats;
 pub mod timing;
 pub mod uop;
@@ -68,8 +69,9 @@ pub mod uop;
 pub use arch::{ArchConfig, SharedAtomicImpl};
 pub use device::{Device, DevicePtr, LaunchReport};
 pub use error::{SimError, TrapKind};
-pub use exec::{Arg, BlockSelection, ExecConfig, ExecMode, LaunchDims};
+pub use exec::{Arg, BlockSelection, ExecConfig, ExecConfigBuilder, ExecMode, LaunchDims};
 pub use fault::{FaultKind, FaultPlan, FaultSession, InjectedFault};
 pub use kernel::{Kernel, KernelBuilder, ParamKind};
+pub use profile::{LaunchProfile, SiteCounters, Trace, TraceEvent};
 pub use stats::LaunchStats;
 pub use timing::{LaunchTiming, Limiter, TimingOptions};

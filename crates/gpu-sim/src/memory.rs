@@ -139,7 +139,7 @@ const MAX_WARP_ACCESSES: usize = 64;
 /// `(address, size)` pairs for the *active* lanes.
 ///
 /// This runs once per warp load/store issue, so the common case
-/// (≤ [`MAX_WARP_ACCESSES`] lanes) works on a stack array: each access
+/// (a full warp of lanes or fewer) works on a stack array: each access
 /// is a contiguous segment interval, and the union of sorted intervals
 /// counts distinct segments without materializing them.
 pub fn coalesced_transactions(accesses: &[(u64, u64)]) -> u64 {

@@ -1,14 +1,14 @@
 //! Predecoded µop execution engine with warp-uniform scalarization.
 //!
 //! The reference interpreter ([`crate::exec`]) re-examines each
-//! [`Instr`](crate::isa::Instr) on every issue: operands are matched,
+//! [`crate::isa::Instr`] on every issue: operands are matched,
 //! immediates converted per the instruction type, special registers
 //! recomputed, and branch reconvergence points looked up in the CFG —
 //! all inside the per-lane loop. This module removes that per-issue
 //! work by *predecoding* the instruction stream once per kernel into a
 //! flat [`UopProgram`]:
 //!
-//! * every operand is resolved to a [`Src`] — a register slot, a
+//! * every operand is resolved to a `Src` — a register slot, a
 //!   pre-converted immediate bit pattern, an index into a per-block
 //!   constant table (parameters and launch geometry), or one of the
 //!   three lane-varying special registers;
@@ -17,7 +17,7 @@
 //! * per-µop static properties (instruction class for the stats
 //!   counters, statically-illegal operand combinations) are computed
 //!   at decode time. Combinations the reference path rejects at run
-//!   time with a trap decode to an explicit [`Uop::Trap`] that fires
+//!   time with a trap decode to an explicit `Uop::Trap` that fires
 //!   with the identical [`TrapKind`] and fault location.
 //!
 //! On top of the µop buffer the executor tracks **warp uniformity**: a
@@ -617,6 +617,9 @@ fn run_warp(
 
         let n_active = active.count_ones();
         ctx.stats.issue(prog.classes[pc], n_active, warp_size);
+        if let Some(p) = ctx.profile.as_deref_mut() {
+            p.record_issue(pc, n_active, warp_size);
+        }
 
         let mut next_pc = pc + 1;
         match uops[pc] {
@@ -833,7 +836,7 @@ fn run_warp(
                     set_reg_uni(warp, dst + k, false);
                 }
                 let accesses = &access_buf[..i];
-                record_mem(ctx, space, true, accesses);
+                record_mem(ctx, pc, space, true, accesses);
                 if space == Space::Global && vlanes > 1 {
                     ctx.stats.global_vector_bytes += accesses.iter().map(|&(_, s)| s).sum::<u64>();
                 }
@@ -868,7 +871,7 @@ fn run_warp(
                     }
                     m &= m - 1;
                 }
-                record_mem(ctx, space, false, &access_buf[..i]);
+                record_mem(ctx, pc, space, false, &access_buf[..i]);
             }
             Uop::Atom { space, op, ty, dst, base: ab, offset, src, cmp } => {
                 let mut addr_buf = [0u64; MAX_LANES];
@@ -910,13 +913,20 @@ fn run_warp(
                     if let Some(d) = dst {
                         ctx.set_reg(t, d, old);
                     }
-                    match space {
+                    let depth = match space {
                         Space::Global => {
-                            *global_chains.entry(a).or_insert(0) += 1;
+                            let e = global_chains.entry(a).or_insert(0);
+                            *e += 1;
+                            *e - 1
                         }
                         Space::Shared => {
-                            *ctx.shared_chains.entry(a).or_insert(0) += 1;
+                            let e = ctx.shared_chains.entry(a).or_insert(0);
+                            *e += 1;
+                            *e - 1
                         }
+                    };
+                    if let Some(p) = ctx.profile.as_deref_mut() {
+                        p.sites[pc].atomic_serial += depth;
                     }
                     m &= m - 1;
                 }
@@ -940,6 +950,9 @@ fn run_warp(
                         ctx.stats.shared_atomics += i as u64;
                         ctx.stats.shared_atomic_serial += worst;
                     }
+                }
+                if let Some(p) = ctx.profile.as_deref_mut() {
+                    p.sites[pc].atomic_ops += i as u64;
                 }
             }
             Uop::Shfl { mode, ty, dst, src, lane, width, pred_out } => {
@@ -997,6 +1010,9 @@ fn run_warp(
                 if let Some(p) = pred_out {
                     set_pred_uni(warp, p, false);
                 }
+                if let Some(p) = ctx.profile.as_deref_mut() {
+                    p.sites[pc].shuffle_exchanges += u64::from(n_active);
+                }
             }
             Uop::Bar => {
                 ctx.stats.barriers += 1;
@@ -1034,6 +1050,9 @@ fn run_warp(
                     // fall through
                 } else {
                     ctx.stats.divergent_branches += 1;
+                    if let Some(p) = ctx.profile.as_deref_mut() {
+                        p.sites[pc].divergence_splits += 1;
+                    }
                     let outer = warp.stack.pop().unwrap();
                     if reconv != RECONV_NONE {
                         warp.stack.push(StackEntry {
@@ -1161,7 +1180,7 @@ mod tests {
                 &[Arg::Ptr(0), Arg::Ptr(4 * u64::from(n))],
                 &mut mem,
                 BlockSelection::All,
-                ExecConfig { budget: None, faults: None, mode },
+                ExecConfig::builder().exec_mode(mode).build(),
             )
             .unwrap();
             (mem.read_bytes(0, 4 * u64::from(n) + 4).unwrap(), format!("{:?}", out.stats))
@@ -1210,7 +1229,7 @@ mod tests {
             &[Arg::Ptr(0)],
             &mut mem,
             BlockSelection::All,
-            ExecConfig { budget: None, faults: None, mode: ExecMode::Predecoded },
+            ExecConfig::builder().exec_mode(ExecMode::Predecoded).build(),
         )
         .unwrap();
         for i in 0..32u64 {
@@ -1249,7 +1268,7 @@ mod tests {
             &[],
             &mut mem,
             BlockSelection::All,
-            ExecConfig { budget: None, faults: None, mode: ExecMode::Predecoded },
+            ExecConfig::builder().exec_mode(ExecMode::Predecoded).build(),
         )
         .unwrap_err();
         match err {

@@ -11,6 +11,9 @@ cargo build --release --workspace
 echo "== lint (clippy, warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== docs (rustdoc, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "== tests (tier-1: root package) =="
 cargo test -q
 
@@ -42,6 +45,45 @@ if [ "$one" != "$four" ]; then
   echo "  $four" >&2
   exit 1
 fi
+
+echo "== profiled sweep smoke run (observational freedom, metrics/trace JSON) =="
+# Profiling must not change anything the unprofiled run reports: the
+# winner line is byte-identical (modulo wall clock), with the extra
+# profile: line and JSON artifacts riding alongside.
+profiled_raw=$(./target/release/sweep --arch maxwell --n 65536 --threads 1 \
+  --profile --metrics-json /tmp/verify_metrics.json --trace-out /tmp/verify_trace.json)
+profiled=$(echo "$profiled_raw" | grep '^sweep ' | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
+if [ "$one" != "$profiled" ]; then
+  echo "PROFILING CHANGED THE SWEEP OUTPUT:" >&2
+  echo "  off: $one" >&2
+  echo "  on:  $profiled" >&2
+  exit 1
+fi
+echo "$profiled_raw" | grep -q '^profile: ' || { echo "profiled sweep printed no profile: line" >&2; exit 1; }
+python3 - <<'PY'
+import json
+m = json.load(open("/tmp/verify_metrics.json"))
+assert m["sweeps"], "metrics JSON has no sweeps"
+assert m["sweeps"][0]["winner_profile"] is not None, "winner was not profiled"
+labels = {s["label"] for s in m["spotlights"]}
+assert {"fig1c-coop", "shuffle-coop"} <= labels, f"missing spotlights: {labels}"
+tot = lambda p, k: sum(site.get(k, 0) for site in p["sites"])
+for s in m["spotlights"]:
+    p = s["profile"]
+    assert p["exact"], f"spotlight {s['label']} must run unsampled"
+    assert tot(p, "atomic_serial") > 0, f"{s['label']}: no atomic contention recorded"
+    want = s["label"] == "shuffle-coop"
+    assert (tot(p, "shuffle_exchanges") > 0) == want, f"{s['label']}: wrong shuffle counters"
+t = json.load(open("/tmp/verify_trace.json"))
+events = t["traceEvents"]
+assert events, "trace has no events"
+last = {}
+for e in events:
+    key = (e["pid"], e["tid"])
+    assert e["ts"] >= last.get(key, e["ts"]), "trace ts not monotonic per lane"
+    last[key] = e["ts"]
+print(f"  metrics: {len(m['sweeps'])} sweep(s), {len(m['spotlights'])} spotlights; trace: {len(events)} events")
+PY
 
 echo "== fault-injection smoke campaign (seed 7, 400 ppm) =="
 # A seeded campaign must (a) still produce a winner, (b) report that

@@ -138,6 +138,198 @@ fn write_compact(v: &Value, out: &mut String) {
     }
 }
 
+/// Parse JSON text into a [`Value`] tree (recursive descent; numbers
+/// parse to `UInt`/`Int` when integral, `Float` otherwise).
+///
+/// # Errors
+///
+/// Returns a positioned [`Error`] on malformed input or trailing
+/// non-whitespace.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(Error("unexpected end of input".to_string()));
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let v = parse_value(b, pos)?;
+                entries.push((key, v));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        b'"' => Ok(Value::Str(parse_string(b, pos)?)),
+        b't' => parse_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Value::Bool(false)),
+        b'n' => parse_lit(b, pos, "null", Value::Null),
+        _ => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(Error("unterminated string".to_string()));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&e) = b.get(*pos) else {
+                    return Err(Error("unterminated escape".to_string()));
+                };
+                *pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error("bad \\u escape".to_string()))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error("bad \\u escape".to_string()))?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by the
+                        // writer; map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => {
+                        return Err(Error(format!("bad escape `\\{}`", other as char)));
+                    }
+                }
+            }
+            _ => {
+                // Re-decode UTF-8 starting at the byte we consumed.
+                let start = *pos - 1;
+                let tail = &b[start..];
+                let ch = std::str::from_utf8(&tail[..tail.len().min(4)])
+                    .ok()
+                    .and_then(|s2| s2.chars().next())
+                    .or_else(|| {
+                        (1..=4).find_map(|k| {
+                            std::str::from_utf8(tail.get(..k)?).ok()?.chars().next()
+                        })
+                    })
+                    .ok_or_else(|| Error("invalid utf-8 in string".to_string()))?;
+                *pos = start + ch.len_utf8();
+                out.push(ch);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| Error(format!("invalid number at byte {start}")))?;
+    if text.is_empty() {
+        return Err(Error(format!("expected value at byte {start}")));
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+}
+
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -174,5 +366,31 @@ mod tests {
         }
         let s = to_string_pretty(&W(v)).unwrap();
         assert_eq!(s, "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": \"x\\\"y\"\n}");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Value::Map(vec![
+            ("s".to_string(), Value::Str("a\"\\\n π".to_string())),
+            ("n".to_string(), Value::Int(-3)),
+            ("u".to_string(), Value::UInt(18_446_744_073_709_551_615)),
+            ("f".to_string(), Value::Float(2.5)),
+            ("b".to_string(), Value::Bool(true)),
+            ("z".to_string(), Value::Null),
+            ("seq".to_string(), Value::Seq(vec![Value::UInt(1), Value::Map(vec![])])),
+        ]);
+        struct W(Value);
+        impl Serialize for W {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        for rendered in [to_string(&W(v.clone())).unwrap(), to_string_pretty(&W(v.clone())).unwrap()]
+        {
+            assert_eq!(from_str(&rendered).unwrap(), v);
+        }
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("junk").is_err());
+        assert_eq!(from_str(" 4e2 ").unwrap(), Value::Float(400.0));
     }
 }

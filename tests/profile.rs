@@ -1,0 +1,137 @@
+//! Observability must be free: enabling site-level profiling may not
+//! change anything the unprofiled run reports — results, statistics
+//! counters, and modelled time stay bit-identical on the pruned pass
+//! corpus under both interpreter hot paths. A second test checks the
+//! Chrome `trace_event` export is well-formed JSON with per-thread
+//! monotonic timestamps.
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device, ExecMode};
+use proptest::prelude::*;
+use tangram::tangram_codegen::{synthesize, Tuning};
+use tangram::tangram_passes::planner;
+use tangram::{run_reduction, upload};
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    prop_oneof![
+        Just(ArchConfig::kepler_k40c()),
+        Just(ArchConfig::maxwell_gtx980()),
+        Just(ArchConfig::pascal_p100()),
+    ]
+}
+
+fn version_strategy() -> impl Strategy<Value = planner::CodeVersion> {
+    let pruned = planner::enumerate_pruned();
+    (0..pruned.len()).prop_map(move |i| pruned[i])
+}
+
+/// Run one reduction end to end with profiling on or off; return the
+/// result bits plus everything the timing model consumes, and whether
+/// every launch carried a profile.
+fn run_profiled(
+    profiled: bool,
+    mode: ExecMode,
+    arch: &ArchConfig,
+    version: planner::CodeVersion,
+    tuning: Tuning,
+    values: &[f32],
+    selection: BlockSelection,
+) -> (u32, f64, Vec<String>, bool) {
+    let sv = synthesize(version, tuning).unwrap();
+    let mut dev = Device::new(arch.clone());
+    dev.set_exec_mode(mode);
+    dev.set_profiling(profiled);
+    let input = upload(&mut dev, values).unwrap();
+    let got = run_reduction(&mut dev, &sv, input, values.len() as u64, selection).unwrap();
+    let launches: Vec<String> = dev
+        .launches()
+        .iter()
+        .map(|l| format!("{} exact={} stats={:?} timing_ns={}", l.kernel, l.exact, l.stats, l.timing.time_ns.to_bits()))
+        .collect();
+    let all_profiled = dev.launches().iter().all(|l| l.profile.is_some());
+    (got.to_bits(), dev.elapsed_ns(), launches, all_profiled)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Profiling on ≡ profiling off, bit for bit, in everything the
+    /// unprofiled run reports — under both interpreter hot paths.
+    #[test]
+    fn profiling_is_observationally_free(
+        version in version_strategy(),
+        arch in arch_strategy(),
+        uop in any::<bool>(),
+        block_exp in 0u32..5,       // 32..512
+        coarsen_exp in 0u32..5,     // 1..16
+        n in 1usize..10_000,
+        sampled in any::<bool>(),
+        seed in any::<u32>(),
+    ) {
+        let mode = if uop { ExecMode::Predecoded } else { ExecMode::Reference };
+        let tuning = Tuning { block_size: 32 << block_exp, coarsen: 1 << coarsen_exp };
+        let values: Vec<f32> = (0..n)
+            .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 7) % 9) as f32 - 4.0)
+            .collect();
+        let selection = if sampled {
+            BlockSelection::Sample { max_blocks: 3 }
+        } else {
+            BlockSelection::All
+        };
+        let Ok(sv) = synthesize(version, tuning) else { return };
+        // Skip tunings the hardware model rejects (same on both runs).
+        {
+            let mut dev = Device::new(arch.clone());
+            dev.set_exec_mode(mode);
+            let input = upload(&mut dev, &values).unwrap();
+            if run_reduction(&mut dev, &sv, input, n as u64, selection).is_err() {
+                return;
+            }
+        }
+        let off = run_profiled(false, mode, &arch, version, tuning, &values, selection);
+        let on = run_profiled(true, mode, &arch, version, tuning, &values, selection);
+        prop_assert_eq!(off.0, on.0, "result bits differ ({} n={})", sv.id(), n);
+        prop_assert_eq!(off.1.to_bits(), on.1.to_bits(), "elapsed_ns differs ({} n={})", sv.id(), n);
+        prop_assert_eq!(&off.2, &on.2, "launch stats differ ({} n={})", sv.id(), n);
+        prop_assert!(!off.3 || off.2.is_empty(), "unprofiled run must carry no profiles");
+        prop_assert!(on.3, "profiled run must attach a profile to every launch");
+    }
+}
+
+/// The Chrome `trace_event` export parses as JSON and its `ts` values
+/// are monotonically non-decreasing within each `(pid, tid)` lane —
+/// the invariant `chrome://tracing` / Perfetto rely on to build rows.
+#[test]
+fn chrome_trace_is_valid_json_with_monotonic_timestamps() {
+    let version = planner::enumerate_pruned()
+        .into_iter()
+        .find(|v| v.uses_shuffle())
+        .expect("pruned corpus has a shuffle version");
+    let sv = synthesize(version, Tuning { block_size: 128, coarsen: 2 }).unwrap();
+    let mut dev = Device::new(ArchConfig::maxwell_gtx980());
+    dev.set_profiling(true);
+    let values: Vec<f32> = (0..40_000).map(|i| (i % 7) as f32).collect();
+    let input = upload(&mut dev, &values).unwrap();
+    run_reduction(&mut dev, &sv, input, values.len() as u64, BlockSelection::All).unwrap();
+    let trace = dev.take_trace();
+
+    let json = trace.to_chrome_json();
+    let root = serde_json::from_str(&json).expect("chrome trace must parse as JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(|v| v.as_seq())
+        .expect("traceEvents must be an array");
+    assert!(!events.is_empty(), "a profiled launch must emit events");
+    let mut last: std::collections::HashMap<(u64, u64), f64> = std::collections::HashMap::new();
+    for e in events {
+        assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"), "complete events only");
+        let pid = e.get("pid").and_then(|v| v.as_u64()).expect("pid");
+        let tid = e.get("tid").and_then(|v| v.as_u64()).expect("tid");
+        let ts = e.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        assert!(e.get("dur").and_then(|v| v.as_f64()).is_some(), "dur");
+        if let Some(&prev) = last.get(&(pid, tid)) {
+            assert!(ts >= prev, "ts must be monotonic per (pid, tid): {ts} < {prev}");
+        }
+        last.insert((pid, tid), ts);
+    }
+}

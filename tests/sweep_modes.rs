@@ -64,8 +64,8 @@ fn interpreter_hot_path_does_not_change_measurements() {
         .map(|l| planner::fig6_by_label(l).unwrap())
         .collect();
     let arch = ArchConfig::kepler_k40c();
-    let uop = ContextPool::new(&arch, 32_768).with_exec_mode(ExecMode::Predecoded);
-    let lane = ContextPool::new(&arch, 32_768).with_exec_mode(ExecMode::Reference);
+    let uop = ContextPool::builder(&arch, 32_768).exec_mode(ExecMode::Predecoded).build();
+    let lane = ContextPool::builder(&arch, 32_768).exec_mode(ExecMode::Reference).build();
     let opts = EvalOptions::serial();
     let a = evaluate_all(&uop, &candidates, &opts).unwrap();
     let b = evaluate_all(&lane, &candidates, &opts).unwrap();
