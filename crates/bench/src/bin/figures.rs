@@ -31,6 +31,14 @@
 //! architecture, the per-architecture spotlight kernels (atomic
 //! grid-combine and shuffle-tree counters, the §IV narrative), and
 //! the baseline-cache hit rates. Both output flags imply `--profile`.
+//!
+//! `--sanitize` race-screens every candidate of every sweep (figure
+//! output is unchanged for the race-free corpus; racy variants would
+//! be quarantined), printing one `sanitize:` line per architecture.
+//! `--sanitize-json PATH` writes the per-architecture race reports,
+//! and `--seed-racy` additionally sanitizes the deliberately-racy
+//! negative corpus. Both imply `--sanitize`; the process exits
+//! nonzero when any hazard was found.
 
 use std::fmt::Write as _;
 
@@ -39,9 +47,11 @@ use tangram::evaluate::SweepMode;
 use tangram::metrics::{spotlight_profiles, ProfileReport};
 use tangram::paper_sizes;
 use tangram::Session;
+use tangram::api::CandidateRaces;
 use tangram_bench::cli::{Cli, CliOpts};
 use tangram_bench::{
-    arch_series_session, geomean_speedup, max_speedup, ArchSeries, BaselineCache,
+    arch_series_session, geomean_speedup, max_speedup, sanitize_json, sanitize_summary_line,
+    seeded_racy_reports, ArchSeries, BaselineCache,
 };
 use tangram_passes::planner;
 
@@ -50,6 +60,7 @@ const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig1
                [--sweep-mode exhaustive|halving] [--interp uop|reference]
                [--instr-budget I] [--fault-seed S] [--fault-rate PPM]
                [--profile] [--trace-out PATH] [--metrics-json PATH]
+               [--sanitize] [--sanitize-json PATH] [--seed-racy]
 
   --max-size N      largest array size swept (default 268435456)
   --json PATH       write the swept series to PATH as JSON
@@ -63,7 +74,12 @@ const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig1
   --profile         profile sweep winners (figure output is unchanged)
   --trace-out PATH  write the last profiled winner's Chrome trace JSON
   --metrics-json PATH  write the all-architecture ProfileReport JSON
-                    (--trace-out/--metrics-json imply --profile)";
+                    (--trace-out/--metrics-json imply --profile)
+  --sanitize        race-sanitize sweep candidates; adds `sanitize:` lines
+                    and exits nonzero when any hazard was found
+  --sanitize-json PATH  write the per-architecture race reports to PATH
+  --seed-racy       also sanitize the deliberately-racy negative corpus
+                    (--sanitize-json/--seed-racy imply --sanitize)";
 
 const CLI: Cli = Cli {
     prog: "figures",
@@ -80,16 +96,23 @@ const CLI: Cli = Cli {
         "--profile",
         "--trace-out",
         "--metrics-json",
+        "--sanitize",
+        "--sanitize-json",
+        "--seed-racy",
     ],
     allow_bare: true,
 };
 
-/// Everything one profiled run accumulates for `--trace-out` /
-/// `--metrics-json`: sweep metrics + spotlights per swept arch, the
-/// last winner trace, and (at the end) the baseline cache rates.
+/// Everything one profiled/sanitized run accumulates for
+/// `--trace-out` / `--metrics-json` / `--sanitize-json`: sweep
+/// metrics + spotlights per swept arch, the last winner trace, the
+/// per-architecture sanitizer screens, the running hazard count, and
+/// (at the end) the baseline cache rates.
 struct Observed {
     report: ProfileReport,
     trace: Option<gpu_sim::profile::Trace>,
+    screens: Vec<(String, u64, Vec<CandidateRaces>)>,
+    hazards: u64,
 }
 
 fn main() {
@@ -100,7 +123,8 @@ fn main() {
     let json_path = o.json.clone();
 
     let sizes: Vec<u64> = paper_sizes().into_iter().filter(|&n| n <= max_size).collect();
-    let mut obs = Observed { report: ProfileReport::new(), trace: None };
+    let mut obs =
+        Observed { report: ProfileReport::new(), trace: None, screens: Vec::new(), hazards: 0 };
     match cmd {
         "table-search-space" => print_search_space(),
         "fig6" => print_fig6(),
@@ -156,22 +180,30 @@ fn run_one(
 ) -> ArchSeries {
     let mut session = Session::new(arch.clone())
         .eval(o.eval_options(SweepMode::Exhaustive))
-        .profiled(o.profiling());
+        .profiled(o.profiling())
+        .sanitized(o.sanitizing());
     let campaign = o.resilience();
     if let Some(res) = campaign {
         session = session.resilience(res);
     }
-    let (series, resilience, metrics, trace) =
-        match arch_series_session(&session, sizes, baselines) {
-            Ok(out) => out,
-            Err(e) => CLI.die(&format!("figure sweep on {} failed: {e}", arch.id)),
-        };
+    let rep = match arch_series_session(&session, sizes, baselines) {
+        Ok(out) => out,
+        Err(e) => CLI.die(&format!("figure sweep on {} failed: {e}", arch.id)),
+    };
     if campaign.is_some() {
-        println!("{} [{}]", resilience.summary_line(), arch.id);
+        println!("{} [{}]", rep.resilience.summary_line(), arch.id);
     }
-    obs.report.sweeps.extend(metrics);
-    if trace.is_some() {
-        obs.trace = trace;
+    if let Some(s) = rep.metrics.iter().rev().find_map(|m| m.sanitize.as_ref()) {
+        println!("{} [{}]", sanitize_summary_line(s), arch.id);
+        obs.hazards += s.findings as u64;
+    }
+    if let Some(races) = rep.races {
+        let n = sizes.last().copied().unwrap_or(0);
+        obs.screens.push((arch.id.clone(), n, races));
+    }
+    obs.report.sweeps.extend(rep.metrics);
+    if rep.trace.is_some() {
+        obs.trace = rep.trace;
     }
     if o.profiling() {
         match spotlight_profiles(arch) {
@@ -179,7 +211,7 @@ fn run_one(
             Err(e) => CLI.die(&format!("spotlight profiling on {} failed: {e}", arch.id)),
         }
     }
-    series
+    rep.series
 }
 
 fn run_all(o: &CliOpts, sizes: &[u64], obs: &mut Observed) -> Vec<ArchSeries> {
@@ -220,6 +252,33 @@ fn write_observability(o: &CliOpts, obs: &Observed) {
         }
         eprintln!("[figures] {}", obs.report.summary_line());
         eprintln!("[figures] wrote {path}");
+    }
+
+    let mut seeded = Vec::new();
+    if o.seed_racy {
+        // The negative corpus is architecture-independent; one
+        // representative architecture keeps the smoke mode fast (the
+        // differential test harness covers all three × both
+        // interpreters).
+        seeded = match seeded_racy_reports(&ArchConfig::maxwell_gtx980()) {
+            Ok(s) => s,
+            Err(e) => CLI.die(&format!("seed-racy run failed: {e}")),
+        };
+        for (nk, report) in &seeded {
+            println!("seed-racy {}: {}", nk.label, report.summary());
+        }
+    }
+    let seeded_hazards: u64 = seeded.iter().map(|(_, r)| r.findings.len() as u64).sum();
+    if let Some(path) = &o.sanitize_json {
+        if let Err(e) = std::fs::write(path, sanitize_json(&obs.screens, &seeded)) {
+            CLI.die(&format!("cannot write `{path}`: {e}"));
+        }
+        eprintln!("[figures] wrote {path}");
+    }
+    let hazards = obs.hazards + seeded_hazards;
+    if hazards > 0 {
+        eprintln!("[figures] sanitizer found {hazards} hazard(s)");
+        std::process::exit(1);
     }
 }
 

@@ -37,6 +37,16 @@
 //! including the architecture's spotlight kernels (the atomic
 //! grid-combine and shuffle-tree counters behind the paper's §IV
 //! narrative). Both output flags imply `--profile`.
+//!
+//! `--sanitize` screens every candidate with the happens-before race
+//! sanitizer before the sweep, quarantining racy variants, and prints
+//! one `sanitize:` summary line; the winner line is byte-identical to
+//! an unsanitized run whenever the corpus is race-free (it is).
+//! `--sanitize-json PATH` writes the per-candidate race reports.
+//! `--seed-racy` additionally pushes the deliberately-racy negative
+//! corpus through the sanitizer. Both imply `--sanitize`, and the
+//! process exits nonzero when any hazard was found — so CI can assert
+//! both directions: clean corpus ⇒ exit 0, seeded races ⇒ exit 1.
 
 use std::time::Instant;
 
@@ -45,13 +55,14 @@ use tangram::evaluate::SweepMode;
 use tangram::metrics::{spotlight_profiles, ProfileReport};
 use tangram::Session;
 use tangram_bench::cli::Cli;
-use tangram_bench::profile_summary_line;
+use tangram_bench::{profile_summary_line, sanitize_json, sanitize_summary_line, seeded_racy_reports};
 
 const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
              [--threads T] [--sweep-mode exhaustive|halving]
              [--interp uop|reference] [--instr-budget I] [--json PATH]
              [--fault-seed S] [--fault-rate PPM]
              [--profile] [--trace-out PATH] [--metrics-json PATH]
+             [--sanitize] [--sanitize-json PATH] [--seed-racy]
 
   --n N              array size in elements (default 4194304)
   --arch ID          architecture: kepler|maxwell|pascal (default maxwell)
@@ -67,7 +78,12 @@ const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repe
   --profile          profile the winner; adds a `profile:` counter line
   --trace-out PATH   write the profiled winner's Chrome trace JSON to PATH
   --metrics-json PATH  write the sweep's ProfileReport JSON to PATH
-                     (--trace-out/--metrics-json imply --profile)";
+                     (--trace-out/--metrics-json imply --profile)
+  --sanitize         race-sanitize candidates; adds a `sanitize:` line and
+                     exits nonzero when any hazard was found
+  --sanitize-json PATH  write the per-candidate race reports to PATH
+  --seed-racy        also sanitize the deliberately-racy negative corpus
+                     (--sanitize-json/--seed-racy imply --sanitize)";
 
 const CLI: Cli = Cli {
     prog: "sweep",
@@ -86,6 +102,9 @@ const CLI: Cli = Cli {
         "--profile",
         "--trace-out",
         "--metrics-json",
+        "--sanitize",
+        "--sanitize-json",
+        "--seed-racy",
     ],
     allow_bare: false,
 };
@@ -101,13 +120,18 @@ fn main() {
     };
     let opts = o.eval_options(SweepMode::Halving);
     let (threads, mode_id, interp_id) = (opts.threads, opts.sweep.id(), opts.interp.id());
-    let mut session = Session::new(arch.clone()).eval(opts).profiled(o.profiling());
+    let mut session = Session::new(arch.clone())
+        .eval(opts)
+        .profiled(o.profiling())
+        .sanitized(o.sanitizing());
     if let Some(res) = o.resilience() {
         session = session.resilience(res);
     }
 
     let mut metrics = ProfileReport::new();
     let mut last_trace = None;
+    let mut last_races = None;
+    let mut hazards = 0u64;
     for _ in 0..repeat {
         let start = Instant::now();
         let report = match session.select_best(n) {
@@ -134,6 +158,13 @@ fn main() {
         }
         if let Some(profile) = &report.metrics.winner_profile {
             println!("{}", profile_summary_line(profile));
+        }
+        if let Some(s) = &report.metrics.sanitize {
+            println!("{}", sanitize_summary_line(s));
+            hazards += s.findings as u64;
+        }
+        if report.races.is_some() {
+            last_races = report.races.clone();
         }
         if let Some(path) = &o.json {
             let record = format!(
@@ -184,5 +215,30 @@ fn main() {
         }
         eprintln!("[sweep] {}", metrics.summary_line());
         eprintln!("[sweep] wrote {path}");
+    }
+
+    let mut seeded = Vec::new();
+    if o.seed_racy {
+        seeded = match seeded_racy_reports(&arch) {
+            Ok(s) => s,
+            Err(e) => CLI.die(&format!("seed-racy run failed: {e}")),
+        };
+        for (nk, report) in &seeded {
+            println!("seed-racy {}: {}", nk.label, report.summary());
+            hazards += report.findings.len() as u64;
+        }
+    }
+    if let Some(path) = &o.sanitize_json {
+        let screens: Vec<_> =
+            last_races.into_iter().map(|races| (arch.id.clone(), n, races)).collect();
+        let json = sanitize_json(&screens, &seeded);
+        if let Err(e) = std::fs::write(path, json) {
+            CLI.die(&format!("cannot write `{path}`: {e}"));
+        }
+        eprintln!("[sweep] wrote {path}");
+    }
+    if hazards > 0 {
+        eprintln!("[sweep] sanitizer found {hazards} hazard(s)");
+        std::process::exit(1);
     }
 }

@@ -16,7 +16,7 @@ use tangram::resilience::ResilienceOptions;
 
 /// Every flag either binary understands. `value` is true when the
 /// flag consumes the next argument (`--profile` is the one switch).
-const FLAGS: [(&str, bool); 14] = [
+const FLAGS: [(&str, bool); 17] = [
     ("--n", true),
     ("--max-size", true),
     ("--arch", true),
@@ -31,6 +31,9 @@ const FLAGS: [(&str, bool); 14] = [
     ("--profile", false),
     ("--trace-out", true),
     ("--metrics-json", true),
+    ("--sanitize", false),
+    ("--sanitize-json", true),
+    ("--seed-racy", false),
 ];
 
 /// Typed result of parsing one command line. Fields are `None` when
@@ -67,6 +70,14 @@ pub struct CliOpts {
     pub trace_out: Option<String>,
     /// `--metrics-json`: sweep-metrics JSON output path.
     pub metrics_json: Option<String>,
+    /// `--sanitize`: race-sanitize sweep candidates.
+    pub sanitize: bool,
+    /// `--sanitize-json`: race-report JSON output path.
+    pub sanitize_json: Option<String>,
+    /// `--seed-racy`: also run the deliberately-racy negative corpus
+    /// through the sanitizer (smoke mode; exits nonzero on findings,
+    /// which the negative corpus guarantees).
+    pub seed_racy: bool,
 }
 
 impl CliOpts {
@@ -74,6 +85,13 @@ impl CliOpts {
     /// `--trace-out` / `--metrics-json` (both need profiled runs).
     pub fn profiling(&self) -> bool {
         self.profile || self.trace_out.is_some() || self.metrics_json.is_some()
+    }
+
+    /// Whether race sanitizing is in effect: `--sanitize`, or implied
+    /// by `--sanitize-json` / `--seed-racy` (both need sanitized
+    /// runs).
+    pub fn sanitizing(&self) -> bool {
+        self.sanitize || self.sanitize_json.is_some() || self.seed_racy
     }
 
     /// Assemble the engine options these flags describe, defaulting
@@ -114,37 +132,51 @@ impl Cli {
     /// the usage and exit(0); any parse error prints the usage and
     /// exits(1).
     pub fn parse(&self, args: &[String]) -> CliOpts {
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", self.usage);
+            std::process::exit(0);
+        }
+        match self.try_parse(args) {
+            Ok(opts) => opts,
+            Err(msg) => self.die(&msg),
+        }
+    }
+
+    /// [`Cli::parse`] without the process exits: returns the error
+    /// message `parse` would die with, so tests can assert on parse
+    /// failures in-process. (`--help` is handled by `parse` only.)
+    ///
+    /// # Errors
+    ///
+    /// Unknown or disabled flags, missing values, malformed values.
+    pub fn try_parse(&self, args: &[String]) -> Result<CliOpts, String> {
         let mut opts = CliOpts::default();
         let mut i = 0;
         while i < args.len() {
             let a = args[i].as_str();
-            if a == "--help" || a == "-h" {
-                println!("{}", self.usage);
-                std::process::exit(0);
-            }
             let Some(&(name, takes_value)) = FLAGS.iter().find(|(n, _)| *n == a) else {
                 if !a.starts_with("--") && self.allow_bare {
                     opts.bare.push(a.to_string());
                     i += 1;
                     continue;
                 }
-                self.die(&format!("unknown flag `{a}`\n{}", self.usage));
+                return Err(format!("unknown flag `{a}`\n{}", self.usage));
             };
             if !self.enabled.contains(&name) {
-                self.die(&format!("unknown flag `{a}`\n{}", self.usage));
+                return Err(format!("unknown flag `{a}`\n{}", self.usage));
             }
             let raw = if takes_value {
                 match args.get(i + 1) {
                     Some(v) => v.as_str(),
-                    None => self.die(&format!("{name} needs a value")),
+                    None => return Err(format!("{name} needs a value")),
                 }
             } else {
                 ""
             };
-            self.apply(&mut opts, name, raw);
+            Self::apply(&mut opts, name, raw)?;
             i += if takes_value { 2 } else { 1 };
         }
-        opts
+        Ok(opts)
     }
 
     /// Print `msg` under the program's name and exit(1).
@@ -153,31 +185,32 @@ impl Cli {
         std::process::exit(1);
     }
 
-    fn apply(&self, opts: &mut CliOpts, name: &'static str, raw: &str) {
+    fn apply(opts: &mut CliOpts, name: &'static str, raw: &str) -> Result<(), String> {
         match name {
-            "--n" => opts.n = Some(self.value(name, raw)),
-            "--max-size" => opts.max_size = Some(self.value(name, raw)),
+            "--n" => opts.n = Some(Self::value(name, raw)?),
+            "--max-size" => opts.max_size = Some(Self::value(name, raw)?),
             "--arch" => opts.arch = Some(raw.to_string()),
-            "--repeat" => opts.repeat = Some(self.value(name, raw)),
-            "--threads" => opts.threads = Some(self.value(name, raw)),
-            "--sweep-mode" => opts.sweep_mode = Some(self.value(name, raw)),
-            "--interp" => opts.interp = Some(self.value(name, raw)),
-            "--instr-budget" => opts.instr_budget = Some(self.value(name, raw)),
+            "--repeat" => opts.repeat = Some(Self::value(name, raw)?),
+            "--threads" => opts.threads = Some(Self::value(name, raw)?),
+            "--sweep-mode" => opts.sweep_mode = Some(Self::value(name, raw)?),
+            "--interp" => opts.interp = Some(Self::value(name, raw)?),
+            "--instr-budget" => opts.instr_budget = Some(Self::value(name, raw)?),
             "--json" => opts.json = Some(raw.to_string()),
-            "--fault-seed" => opts.fault_seed = Some(self.value(name, raw)),
-            "--fault-rate" => opts.fault_rate = Some(self.value(name, raw)),
+            "--fault-seed" => opts.fault_seed = Some(Self::value(name, raw)?),
+            "--fault-rate" => opts.fault_rate = Some(Self::value(name, raw)?),
             "--profile" => opts.profile = true,
             "--trace-out" => opts.trace_out = Some(raw.to_string()),
             "--metrics-json" => opts.metrics_json = Some(raw.to_string()),
+            "--sanitize" => opts.sanitize = true,
+            "--sanitize-json" => opts.sanitize_json = Some(raw.to_string()),
+            "--seed-racy" => opts.seed_racy = true,
             other => unreachable!("flag `{other}` missing from Cli::apply"),
         }
+        Ok(())
     }
 
-    fn value<T: std::str::FromStr>(&self, name: &str, raw: &str) -> T {
-        match raw.parse() {
-            Ok(v) => v,
-            Err(_) => self.die(&format!("invalid value `{raw}` for {name}")),
-        }
+    fn value<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
+        raw.parse().map_err(|_| format!("invalid value `{raw}` for {name}"))
     }
 }
 
@@ -188,7 +221,16 @@ mod tests {
     const TEST_CLI: Cli = Cli {
         prog: "test",
         usage: "usage: test",
-        enabled: &["--n", "--threads", "--sweep-mode", "--profile", "--metrics-json"],
+        enabled: &[
+            "--n",
+            "--threads",
+            "--sweep-mode",
+            "--profile",
+            "--metrics-json",
+            "--sanitize",
+            "--sanitize-json",
+            "--seed-racy",
+        ],
         allow_bare: true,
     };
 
@@ -227,5 +269,50 @@ mod tests {
         assert_eq!(e.sweep, SweepMode::Halving);
         assert_eq!(e.interp, ExecMode::default());
         assert!(o.resilience().is_none());
+    }
+
+    #[test]
+    fn unknown_flags_name_the_offender() {
+        let err = TEST_CLI.try_parse(&args(&["--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag `--bogus`"), "got: {err}");
+        assert!(err.contains(TEST_CLI.usage), "errors carry the usage banner");
+    }
+
+    #[test]
+    fn disabled_flags_are_unknown_for_this_bin() {
+        // `--arch` exists in the shared table but is not in
+        // TEST_CLI's enabled subset, so it must be rejected exactly
+        // like a flag that does not exist at all.
+        let err = TEST_CLI.try_parse(&args(&["--arch", "maxwell"])).unwrap_err();
+        assert!(err.contains("unknown flag `--arch`"), "got: {err}");
+        assert!(TEST_CLI.try_parse(&args(&["--sanitize"])).is_ok());
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_structured_errors() {
+        let err = TEST_CLI.try_parse(&args(&["--n"])).unwrap_err();
+        assert!(err.contains("--n needs a value"), "got: {err}");
+        let err = TEST_CLI.try_parse(&args(&["--n", "lots"])).unwrap_err();
+        assert!(err.contains("invalid value `lots` for --n"), "got: {err}");
+    }
+
+    #[test]
+    fn sanitize_outputs_imply_sanitizing() {
+        let o = TEST_CLI.parse(&args(&["--sanitize-json", "/tmp/r.json"]));
+        assert!(!o.sanitize, "the switch itself stays off");
+        assert!(o.sanitizing(), "--sanitize-json implies sanitized runs");
+        assert!(!o.profiling(), "sanitizing does not drag profiling in");
+        let o = TEST_CLI.parse(&args(&["--seed-racy"]));
+        assert!(o.seed_racy && o.sanitizing(), "--seed-racy implies sanitized runs");
+        let o = TEST_CLI.parse(&args(&["--sanitize"]));
+        assert!(o.sanitize && o.sanitizing() && o.sanitize_json.is_none());
+    }
+
+    #[test]
+    fn bare_words_are_rejected_when_not_allowed() {
+        let no_bare = Cli { allow_bare: false, ..TEST_CLI };
+        let err = no_bare.try_parse(&args(&["all"])).unwrap_err();
+        assert!(err.contains("unknown flag `all`"), "got: {err}");
+        assert_eq!(TEST_CLI.try_parse(&args(&["all"])).unwrap().bare, vec!["all".to_string()]);
     }
 }

@@ -20,10 +20,14 @@ use cpu_ref::OpenMpModel;
 use gpu_baselines::{CubReduce, KokkosReduce};
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::profile::{LaunchProfile, Trace};
-use gpu_sim::{ArchConfig, Device, SimError};
-use serde::{Deserialize, Serialize};
+use gpu_sim::{
+    negative_corpus, run_negative, ArchConfig, Device, ExecMode, NegativeKernel, RaceReport,
+    SimError,
+};
+use serde::{Deserialize, Serialize, Value};
+use tangram::api::CandidateRaces;
 use tangram::evaluate::EvalOptions;
-use tangram::metrics::{CacheMetrics, SweepMetrics};
+use tangram::metrics::{CacheMetrics, SanitizeSummary, SweepMetrics};
 use tangram::resilience::{ResilienceOptions, ResilienceReport};
 use tangram::select::{select_best_report, select_best_with, SelectionRow};
 use tangram::Session;
@@ -259,13 +263,36 @@ pub fn arch_series_report(
     Ok((ArchSeries { arch: arch.id.clone(), points }, merged))
 }
 
+/// Everything one [`arch_series_session`] run produces beyond the
+/// figure points themselves: merged job accounting, per-size sweep
+/// metrics, the last profiled winner's scheduler trace, and the last
+/// sanitizer screen's per-candidate race reports.
+#[derive(Debug)]
+pub struct SeriesReport {
+    /// The figure series (bit-identical to [`arch_series_with`] under
+    /// the same engine options).
+    pub series: ArchSeries,
+    /// Per-size job accounting merged into one report.
+    pub resilience: ResilienceReport,
+    /// Per-size sweep metrics, in input order.
+    pub metrics: Vec<SweepMetrics>,
+    /// Scheduler trace of the last (largest-size) profiled winner;
+    /// `None` when the session does not profile.
+    pub trace: Option<Trace>,
+    /// Per-candidate race reports of the last size's sanitizer screen;
+    /// `None` when the session does not sanitize. (The screen caps its
+    /// array size, so the reports are identical across sizes.)
+    pub races: Option<Vec<CandidateRaces>>,
+}
+
 /// The figure series plus observability, driven by a configured
 /// [`Session`]: per-size sweep metrics ride along, job accounting is
 /// merged across sizes, and — when the session profiles — the
 /// scheduler [`Trace`] of the last (largest-size) winner is returned
 /// for Chrome `trace_event` export. The points are bit-identical to
 /// [`arch_series_with`] / [`arch_series_report`] under the same
-/// options: profiling re-runs winners, it never re-selects them.
+/// options: profiling re-runs winners and sanitizing screens
+/// candidates on scratch devices; neither re-selects winners.
 ///
 /// # Errors
 ///
@@ -275,19 +302,23 @@ pub fn arch_series_session(
     session: &Session,
     sizes: &[u64],
     baselines: &mut BaselineCache,
-) -> Result<(ArchSeries, ResilienceReport, Vec<SweepMetrics>, Option<Trace>), SimError> {
+) -> Result<SeriesReport, SimError> {
     let arch = session.arch().clone();
     let candidates = planner::enumerate_pruned();
     let mut points = Vec::with_capacity(sizes.len());
     let mut metrics = Vec::with_capacity(sizes.len());
     let mut merged = ResilienceReport::default();
     let mut trace = None;
+    let mut races = None;
     for &n in sizes {
         let report = session.select_best_of(n, &candidates)?;
         merged.merge(report.resilience);
         metrics.push(report.metrics);
         if report.trace.is_some() {
             trace = report.trace;
+        }
+        if report.races.is_some() {
+            races = report.races;
         }
         let row = report.row;
         let cub_ns = baselines.cub(&arch, n)?;
@@ -303,7 +334,13 @@ pub fn arch_series_session(
             openmp_ns: baselines.openmp(n),
         });
     }
-    Ok((ArchSeries { arch: arch.id.clone(), points }, merged, metrics, trace))
+    Ok(SeriesReport {
+        series: ArchSeries { arch: arch.id.clone(), points },
+        resilience: merged,
+        metrics,
+        trace,
+        races,
+    })
 }
 
 /// Human-readable one-liner of a winner's dynamic counters, shared by
@@ -331,6 +368,73 @@ pub fn profile_summary_line(p: &LaunchProfile) -> String {
         p.total_shuffle_exchanges(),
         txns
     )
+}
+
+/// Human-readable one-liner of a sweep's race-sanitizer screen,
+/// shared by the `sweep` and `figures` bins.
+pub fn sanitize_summary_line(s: &SanitizeSummary) -> String {
+    format!(
+        "sanitize: candidates={} racy={} findings={} occurrences={}",
+        s.candidates, s.racy, s.findings, s.occurrences
+    )
+}
+
+/// Run the deliberately-racy negative corpus through the sanitizer on
+/// `arch` (default interpreter hot path) and return each kernel with
+/// its race report — the bins' `--seed-racy` smoke mode. Every kernel
+/// of the corpus races by construction, so a sanitizer that returns an
+/// all-clean vector here is broken.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn seeded_racy_reports(
+    arch: &ArchConfig,
+) -> Result<Vec<(NegativeKernel, RaceReport)>, SimError> {
+    negative_corpus()
+        .into_iter()
+        .map(|nk| {
+            let report = run_negative(arch, ExecMode::default(), &nk)?;
+            Ok((nk, report))
+        })
+        .collect()
+}
+
+/// Assemble the `--sanitize-json` payload: one entry per sanitizer
+/// screen (`(arch id, n, per-candidate reports)`), plus — under
+/// `--seed-racy` — the seeded negative-corpus reports with their
+/// expected findings.
+pub fn sanitize_json(
+    screens: &[(String, u64, Vec<CandidateRaces>)],
+    seeded: &[(NegativeKernel, RaceReport)],
+) -> String {
+    let screen_entries: Vec<Value> = screens
+        .iter()
+        .map(|(arch, n, candidates)| {
+            Value::Map(vec![
+                ("arch".to_string(), arch.to_value()),
+                ("n".to_string(), n.to_value()),
+                ("candidates".to_string(), candidates.to_value()),
+            ])
+        })
+        .collect();
+    let seeded_entries: Vec<Value> = seeded
+        .iter()
+        .map(|(nk, report)| {
+            Value::Map(vec![
+                ("label".to_string(), nk.label.to_value()),
+                ("expect".to_string(), nk.expect.label().to_value()),
+                ("expect_pc".to_string(), (nk.expect_pc as u64).to_value()),
+                ("report".to_string(), report.to_value()),
+            ])
+        })
+        .collect();
+    let map = vec![
+        ("screens".to_string(), Value::Seq(screen_entries)),
+        ("seeded".to_string(), Value::Seq(seeded_entries)),
+    ];
+    serde_json::to_string_pretty(&Value::Map(map))
+        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
 }
 
 /// Geometric mean of the Tangram-over-CUB speedups in a series
@@ -388,17 +492,17 @@ mod tests {
         let free =
             arch_series_with(&arch, &sizes, &opts, &mut BaselineCache::new()).unwrap();
         let session = Session::new(arch).eval(opts).profiled(true);
-        let (series, resilience, metrics, trace) =
-            arch_series_session(&session, &sizes, &mut BaselineCache::new()).unwrap();
-        for (a, b) in free.points.iter().zip(&series.points) {
+        let rep = arch_series_session(&session, &sizes, &mut BaselineCache::new()).unwrap();
+        for (a, b) in free.points.iter().zip(&rep.series.points) {
             assert_eq!(a.version, b.version);
             assert_eq!(a.tangram_ns.to_bits(), b.tangram_ns.to_bits());
             assert_eq!(a.cub_ns.to_bits(), b.cub_ns.to_bits());
         }
-        assert_eq!(metrics.len(), sizes.len());
-        assert!(metrics.iter().all(|m| m.winner_profile.is_some()));
-        assert!(resilience.total_jobs > 0);
-        assert!(trace.is_some(), "profiled sessions return the last winner's trace");
+        assert_eq!(rep.metrics.len(), sizes.len());
+        assert!(rep.metrics.iter().all(|m| m.winner_profile.is_some()));
+        assert!(rep.resilience.total_jobs > 0);
+        assert!(rep.trace.is_some(), "profiled sessions return the last winner's trace");
+        assert!(rep.races.is_none(), "unsanitized sessions record no race reports");
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Golden-file conformance for the `sweep` bin: with a pinned `n` and
+//! `--threads 1`, the winner line — architecture, thread count, sweep
+//! mode, interpreter, winning version, tuning, and modelled time — is
+//! byte-identical to the checked-in snapshot for every paper
+//! architecture. Only the `wall_ms=` token (real wall clock) is
+//! stripped before comparison.
+//!
+//! The snapshot (`tests/golden/sweep_winners.txt`) is the public
+//! contract of the whole pipeline: planner enumeration order, pruning,
+//! codegen, the cost model, and the CLI's output format all feed the
+//! bytes. Regenerate it deliberately — run the commands below and
+//! paste the output — never by copying a failing test's `got`.
+//!
+//! ```text
+//! for a in kepler maxwell pascal; do
+//!     sweep --n 16384 --threads 1 --arch $a | grep '^sweep '
+//! done   # then strip the wall_ms= token
+//! ```
+
+use std::process::Command;
+
+/// Small enough to keep the full three-arch sweep quick in debug
+/// builds, large enough that every tuning rung is exercised.
+const N: &str = "16384";
+const ARCHES: [&str; 3] = ["kepler", "maxwell", "pascal"];
+
+/// Drop the one nondeterministic token (real wall-clock time).
+fn normalize(line: &str) -> String {
+    let kept: Vec<&str> =
+        line.split_whitespace().filter(|t| !t.starts_with("wall_ms=")).collect();
+    kept.join(" ")
+}
+
+fn winner_lines(extra: &[&str]) -> String {
+    let mut got = String::new();
+    for arch in ARCHES {
+        let out = Command::new(env!("CARGO_BIN_EXE_sweep"))
+            .args(["--n", N, "--threads", "1", "--arch", arch])
+            .args(extra)
+            .output()
+            .expect("sweep bin runs");
+        assert!(
+            out.status.success(),
+            "sweep exited nonzero on {arch}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("sweep emits UTF-8");
+        for line in stdout.lines().filter(|l| l.starts_with("sweep ")) {
+            got.push_str(&normalize(line));
+            got.push('\n');
+        }
+    }
+    got
+}
+
+/// The winner lines match the checked-in snapshot byte for byte.
+#[test]
+fn sweep_winner_lines_match_golden_snapshot() {
+    let want = include_str!("golden/sweep_winners.txt");
+    let got = winner_lines(&[]);
+    assert_eq!(
+        got, want,
+        "sweep winner lines drifted from tests/golden/sweep_winners.txt — \
+         if the change is intentional, regenerate the snapshot (see module docs)"
+    );
+}
+
+/// `--sanitize` is output-transparent on the clean corpus: the winner
+/// lines still match the same snapshot, the screen reports zero racy
+/// candidates, and the process still exits 0.
+#[test]
+fn sanitized_sweep_matches_the_same_snapshot() {
+    let want = include_str!("golden/sweep_winners.txt");
+    let got = winner_lines(&["--sanitize"]);
+    assert_eq!(got, want, "--sanitize must not change the winner lines on a race-free corpus");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_sweep"))
+        .args(["--n", N, "--threads", "1", "--arch", "maxwell", "--sanitize"])
+        .output()
+        .expect("sweep bin runs");
+    assert!(out.status.success(), "clean corpus must exit 0 under --sanitize");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("sanitize:"))
+        .expect("--sanitize prints a sanitize: summary line");
+    assert!(line.contains("racy=0"), "clean corpus must screen racy=0, got: {line}");
+}

@@ -11,21 +11,24 @@ use std::time::Instant;
 
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::profile::Trace;
-use gpu_sim::{ArchConfig, Device, SimError};
+use gpu_sim::{ArchConfig, Device, RaceReport, SimError};
 use tangram_codegen::CodegenError;
 use tangram_passes::planner::{self, CodeVersion};
 
-use tangram_codegen::synthesize_cached;
+use tangram_codegen::{synthesize_cached, Tuning};
 use tangram_passes::specialize::ReduceOp;
 
 use crate::evaluate::{
-    best_measurement, evaluate_all_timed, ContextPool, EvalOptions, RungStats, SweepMode,
+    best_measurement, coarsen_options, evaluate_all_timed, ContextPool, EvalOptions, RungStats,
+    SweepMode,
 };
-use crate::metrics::SweepMetrics;
-use crate::resilience::{evaluate_all_report, ResilienceOptions, ResilienceReport};
+use crate::metrics::{SanitizeSummary, SweepMetrics};
+use crate::resilience::{
+    evaluate_all_report, JobReport, QuarantineReason, ResilienceOptions, ResilienceReport,
+};
 use crate::runner::{run_reduction, upload};
 use crate::select::{fig6_label_of, select_best, SelectionRow};
-use crate::tuner::TunedVersion;
+use crate::tuner::{TunedVersion, BLOCK_SIZES};
 
 /// Errors surfaced by the high-level API.
 #[derive(Debug)]
@@ -203,6 +206,109 @@ impl Reducer {
     }
 }
 
+/// Race-sanitizer outcome for one sweep candidate: the per-launch
+/// [`RaceReport`]s of a single shadow-state-tracked run at the screen
+/// tuning. Clean candidates keep their reports too, so a
+/// `--sanitize-json` dump documents the whole screened corpus.
+#[derive(Debug, Clone)]
+pub struct CandidateRaces {
+    /// Candidate index in the sweep's candidate slice.
+    pub candidate: usize,
+    /// Version display string.
+    pub version: String,
+    /// Block size of the screened tuning (first feasible).
+    pub block_size: u32,
+    /// Coarsening factor of the screened tuning.
+    pub coarsen: u32,
+    /// Per-launch race reports of the screened run, in launch order.
+    pub reports: Vec<RaceReport>,
+}
+
+impl CandidateRaces {
+    /// Whether every launch of the screened run was race-free.
+    pub fn is_clean(&self) -> bool {
+        self.reports.iter().all(RaceReport::is_clean)
+    }
+
+    /// Deduplicated findings across the run's launches.
+    pub fn findings(&self) -> usize {
+        self.reports.iter().map(|r| r.findings.len()).sum()
+    }
+
+    /// Raw hazard occurrences (pre-dedup) across the run's launches.
+    pub fn occurrences(&self) -> u64 {
+        self.reports.iter().map(RaceReport::occurrences).sum()
+    }
+
+    /// One-line summary of the first racy launch (the quarantine
+    /// payload); the clean summary of the first launch otherwise.
+    pub fn summary(&self) -> String {
+        self.reports
+            .iter()
+            .find(|r| !r.is_clean())
+            .or_else(|| self.reports.first())
+            .map_or_else(|| "no launches".to_string(), RaceReport::summary)
+    }
+}
+
+impl serde::Serialize for CandidateRaces {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("candidate".to_string(), self.candidate.to_value()),
+            ("version".to_string(), self.version.to_value()),
+            ("block_size".to_string(), self.block_size.to_value()),
+            ("coarsen".to_string(), self.coarsen.to_value()),
+            ("clean".to_string(), self.is_clean().to_value()),
+            ("reports".to_string(), self.reports.to_value()),
+        ])
+    }
+}
+
+/// Array-size cap for the sanitizer screen. Race freedom is a
+/// property of the generated code, not of the data, so the screen
+/// runs each candidate once at the sweep size capped here — small
+/// enough that every block executes functionally (`exact` shadow
+/// state, no sampled-block blind spots), large enough that multi-pass
+/// grid combines and partial tail blocks still occur.
+const SANITIZE_N_CAP: u64 = 65_536;
+
+/// Run one candidate under the race sanitizer at its first feasible
+/// tuning. Returns `None` when the candidate has no feasible tuning or
+/// dies on a hard simulator error — both are left for the evaluation
+/// engine, which already classifies them (infeasible / quarantined).
+fn sanitize_candidate(
+    arch: &ArchConfig,
+    n: u64,
+    candidate: usize,
+    version: CodeVersion,
+) -> Result<Option<CandidateRaces>, SimError> {
+    for &block_size in &BLOCK_SIZES {
+        for &coarsen in coarsen_options(version) {
+            let tuning = Tuning { block_size, coarsen };
+            let Ok(sv) = synthesize_cached(version, tuning, ReduceOp::Sum) else { continue };
+            let mut dev = Device::new(arch.clone());
+            dev.set_sanitizing(true);
+            let input = dev.alloc_f32(n)?;
+            match run_reduction(&mut dev, &sv, input, n, BlockSelection::All) {
+                Ok(_) => {
+                    let reports: Vec<RaceReport> =
+                        dev.launches().iter().filter_map(|l| l.races.clone()).collect();
+                    return Ok(Some(CandidateRaces {
+                        candidate,
+                        version: version.to_string(),
+                        block_size,
+                        coarsen,
+                        reports,
+                    }));
+                }
+                Err(SimError::InvalidLaunch(_)) => continue,
+                Err(_) => return Ok(None),
+            }
+        }
+    }
+    Ok(None)
+}
+
 /// The result of one [`Session`] sweep: the tuned winner, its
 /// selection row, job accounting, sweep metrics, and (when profiling
 /// was enabled) the winner's scheduler trace.
@@ -222,6 +328,9 @@ pub struct SweepReport {
     /// Chrome-traceable scheduler events of the profiled winner
     /// re-run; `None` when the session does not profile.
     pub trace: Option<Trace>,
+    /// Per-candidate race reports of the sanitizer screen, in
+    /// candidate order; `None` when the session does not sanitize.
+    pub races: Option<Vec<CandidateRaces>>,
 }
 
 /// The result of a [`Session`] selection-table sweep over several
@@ -269,13 +378,20 @@ pub struct Session {
     opts: EvalOptions,
     res: Option<ResilienceOptions>,
     profile: bool,
+    sanitize: bool,
 }
 
 impl Session {
     /// A session on `arch` with default engine options, no resilience
-    /// policy, and profiling off.
+    /// policy, and profiling and sanitizing off.
     pub fn new(arch: ArchConfig) -> Self {
-        Session { arch, opts: EvalOptions::default(), res: None, profile: false }
+        Session {
+            arch,
+            opts: EvalOptions::default(),
+            res: None,
+            profile: false,
+            sanitize: false,
+        }
     }
 
     /// Replace the evaluation-engine options.
@@ -303,6 +419,20 @@ impl Session {
         self
     }
 
+    /// Enable or disable the race sanitizer: a sanitized session runs
+    /// each candidate once under happens-before shadow-state tracking
+    /// before the sweep and quarantines racy variants (via
+    /// [`QuarantineReason::Race`] in the resilience report) so they
+    /// never reach the timing engine. The screen runs on scratch
+    /// devices, so for a race-free corpus the surviving sweep —
+    /// winners, times, accounting — is bit-identical to an
+    /// unsanitized one.
+    #[must_use]
+    pub fn sanitized(mut self, on: bool) -> Self {
+        self.sanitize = on;
+        self
+    }
+
     /// The session's architecture.
     pub fn arch(&self) -> &ArchConfig {
         &self.arch
@@ -316,6 +446,11 @@ impl Session {
     /// Whether this session profiles sweep winners.
     pub fn profiling(&self) -> bool {
         self.profile
+    }
+
+    /// Whether this session race-sanitizes sweep candidates.
+    pub fn sanitizing(&self) -> bool {
+        self.sanitize
     }
 
     /// Select the fastest pruned version for `n` elements.
@@ -339,8 +474,48 @@ impl Session {
         candidates: &[CodeVersion],
     ) -> Result<SweepReport, SimError> {
         let t0 = Instant::now();
+
+        // Sanitizer screen: run every candidate once under shadow-state
+        // tracking on a scratch device; racy candidates are quarantined
+        // here and never reach the timing engine below. Candidates the
+        // screen cannot run (no feasible tuning, hard error) pass
+        // through — the engine already classifies those.
+        let mut racy_jobs: Vec<JobReport> = Vec::new();
+        let (survivors, races) = if self.sanitize {
+            let sn = n.min(SANITIZE_N_CAP);
+            let mut survivors = Vec::with_capacity(candidates.len());
+            let mut screened = Vec::with_capacity(candidates.len());
+            for (i, &version) in candidates.iter().enumerate() {
+                match sanitize_candidate(&self.arch, sn, i, version)? {
+                    Some(cr) if !cr.is_clean() => {
+                        racy_jobs.push(JobReport {
+                            candidate: i,
+                            version: cr.version.clone(),
+                            block_size: cr.block_size,
+                            coarsen: cr.coarsen,
+                            attempts: 1,
+                            faults_injected: 0,
+                            faults_detected: 0,
+                            measured: false,
+                            quarantined: Some(QuarantineReason::Race(cr.summary())),
+                        });
+                        screened.push(cr);
+                    }
+                    Some(cr) => {
+                        survivors.push(version);
+                        screened.push(cr);
+                    }
+                    None => survivors.push(version),
+                }
+            }
+            (survivors, Some(screened))
+        } else {
+            (candidates.to_vec(), None)
+        };
+        let candidates = &survivors[..];
+
         let pool = ContextPool::builder(&self.arch, n).opts(&self.opts).build();
-        let (results, rungs, resilience) = match &self.res {
+        let (results, rungs, mut resilience) = match &self.res {
             None => {
                 let (results, rungs) = evaluate_all_timed(&pool, candidates, &self.opts)?;
                 let mut rep = ResilienceReport {
@@ -368,6 +543,9 @@ impl Session {
                 (results, rungs, report)
             }
         };
+        for job in racy_jobs {
+            resilience.absorb(job);
+        }
         let best = best_measurement(&results)
             .ok_or_else(|| SimError::InvalidLaunch("no feasible version".into()))?;
         let tuned = TunedVersion { synthesized: best.synthesized.clone(), time_ns: best.time_ns };
@@ -401,9 +579,15 @@ impl Session {
             resilience: resilience.clone(),
             winner: row.clone(),
             winner_profile,
+            sanitize: races.as_ref().map(|rs| SanitizeSummary {
+                candidates: rs.len(),
+                racy: rs.iter().filter(|r| !r.is_clean()).count(),
+                findings: rs.iter().map(CandidateRaces::findings).sum(),
+                occurrences: rs.iter().map(CandidateRaces::occurrences).sum(),
+            }),
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         };
-        Ok(SweepReport { tuned, row, resilience, metrics, trace })
+        Ok(SweepReport { tuned, row, resilience, metrics, trace, races })
     }
 
     /// Sweep the selection over several sizes, merging per-size job
@@ -482,6 +666,33 @@ mod tests {
         assert_eq!(rep.metrics.rungs.len(), 2, "halving has screen + survivor rungs");
         assert_eq!(rep.metrics.rungs[0].rung, "screen");
         assert!(rep.metrics.rungs[1].jobs < rep.metrics.rungs[0].jobs);
+    }
+
+    #[test]
+    fn sanitized_session_is_bitwise_transparent_on_clean_corpus() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let plain =
+            Session::new(arch.clone()).eval(EvalOptions::serial()).select_best(8_192).unwrap();
+        let sane = Session::new(arch)
+            .eval(EvalOptions::serial())
+            .sanitized(true)
+            .select_best(8_192)
+            .unwrap();
+        // The generated corpus is race-free, so the screen quarantines
+        // nothing and the sweep is bit-identical to an unsanitized one.
+        let races = sane.races.as_ref().expect("sanitized session records reports");
+        assert!(races.iter().all(CandidateRaces::is_clean), "corpus must be race-free");
+        assert_eq!(sane.resilience.quarantined, 0);
+        assert_eq!(sane.row.version, plain.row.version);
+        assert_eq!(sane.row.block_size, plain.row.block_size);
+        assert_eq!(sane.row.coarsen, plain.row.coarsen);
+        assert_eq!(sane.row.time_ns.to_bits(), plain.row.time_ns.to_bits());
+        let summary = sane.metrics.sanitize.expect("sanitized sweeps summarize the screen");
+        assert_eq!(summary.racy, 0);
+        assert_eq!(summary.findings, 0);
+        assert!(summary.candidates > 0);
+        assert!(plain.races.is_none());
+        assert!(plain.metrics.sanitize.is_none());
     }
 
     #[test]

@@ -56,9 +56,9 @@ pub mod runner;
 pub mod select;
 pub mod tuner;
 
-pub use api::{Reducer, Session, SumResult, SweepReport, TableReport, TangramError};
+pub use api::{CandidateRaces, Reducer, Session, SumResult, SweepReport, TableReport, TangramError};
 pub use evaluate::{evaluate_all, evaluate_all_timed, ContextPool, EvalOptions, RungStats};
-pub use metrics::{CacheMetrics, KernelSpotlight, ProfileReport, SweepMetrics};
+pub use metrics::{CacheMetrics, KernelSpotlight, ProfileReport, SanitizeSummary, SweepMetrics};
 pub use resilience::{
     evaluate_all_report, FaultConfig, QuarantineReason, ResilienceOptions, ResilienceReport,
     ValidationPolicy,
@@ -88,9 +88,13 @@ pub use tuner::{measure, tune, TunedVersion};
 /// # }
 /// ```
 pub mod prelude {
-    pub use crate::api::{Reducer, Session, SumResult, SweepReport, TableReport, TangramError};
+    pub use crate::api::{
+        CandidateRaces, Reducer, Session, SumResult, SweepReport, TableReport, TangramError,
+    };
     pub use crate::evaluate::{ContextPool, EvalOptions, RungStats, SweepMode};
-    pub use crate::metrics::{CacheMetrics, KernelSpotlight, ProfileReport, SweepMetrics};
+    pub use crate::metrics::{
+        CacheMetrics, KernelSpotlight, ProfileReport, SanitizeSummary, SweepMetrics,
+    };
     pub use crate::resilience::{
         FaultConfig, QuarantineReason, ResilienceOptions, ResilienceReport, ValidationPolicy,
     };

@@ -67,6 +67,20 @@ impl CacheMetrics {
     }
 }
 
+/// Aggregate outcome of a sweep's race-sanitizer screen (present only
+/// when the session ran with [`crate::api::Session::sanitized`] on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SanitizeSummary {
+    /// Candidates the screen executed under shadow-state tracking.
+    pub candidates: usize,
+    /// Candidates quarantined for reporting at least one hazard.
+    pub racy: usize,
+    /// Deduplicated findings across all screened candidates.
+    pub findings: usize,
+    /// Raw hazard occurrences (per-byte, pre-dedup) across the screen.
+    pub occurrences: u64,
+}
+
 /// Everything observed about one `(arch, n)` selection sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepMetrics {
@@ -91,6 +105,9 @@ pub struct SweepMetrics {
     /// Per-site profile of the winner's main kernel (present when the
     /// sweep ran with profiling enabled).
     pub winner_profile: Option<LaunchProfile>,
+    /// Race-sanitizer screen totals (present when the sweep ran
+    /// sanitized).
+    pub sanitize: Option<SanitizeSummary>,
     /// Wall-clock of the whole sweep in milliseconds
     /// (nondeterministic; excluded from determinism checks).
     pub wall_ms: f64,

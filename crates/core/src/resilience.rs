@@ -124,6 +124,9 @@ pub enum QuarantineReason {
         /// Oracle value.
         expect: f64,
     },
+    /// The race sanitizer reported shared/global-memory hazards for
+    /// the candidate (the payload is the first report's summary line).
+    Race(String),
     /// Any other simulator error (memory fault, malformed kernel, …).
     Sim(String),
     /// Faults were injected on every attempt and the job never
@@ -240,7 +243,7 @@ impl ResilienceReport {
         self.events.extend(other.events);
     }
 
-    fn absorb(&mut self, job: JobReport) {
+    pub(crate) fn absorb(&mut self, job: JobReport) {
         self.total_jobs += 1;
         if job.measured {
             self.measured += 1;

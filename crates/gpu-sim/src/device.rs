@@ -11,6 +11,7 @@ use crate::isa::Ty;
 use crate::kernel::Kernel;
 use crate::memory::LinearMemory;
 use crate::profile::{LaunchProfile, Trace};
+use crate::sanitize::{LaunchSanitizer, RaceReport};
 use crate::stats::LaunchStats;
 use crate::timing::{time_launch, LaunchTiming, TimingOptions};
 
@@ -50,6 +51,9 @@ pub struct LaunchReport {
     /// Per-site profile, present when [`Device::set_profiling`] was
     /// enabled for this launch.
     pub profile: Option<LaunchProfile>,
+    /// Race-detection verdict, present when
+    /// [`Device::set_sanitizing`] was enabled for this launch.
+    pub races: Option<RaceReport>,
 }
 
 /// A simulated GPU device.
@@ -78,6 +82,7 @@ pub struct Device {
     fault_log: Vec<InjectedFault>,
     exec_mode: ExecMode,
     profiling: bool,
+    sanitizing: bool,
     trace: Trace,
 }
 
@@ -98,6 +103,7 @@ impl Device {
             fault_log: Vec::new(),
             exec_mode: ExecMode::default(),
             profiling: false,
+            sanitizing: false,
             trace: Trace::new(),
         }
     }
@@ -144,6 +150,21 @@ impl Device {
     /// Whether profiling is enabled.
     pub fn profiling(&self) -> bool {
         self.profiling
+    }
+
+    /// Enable or disable race checking for subsequent launches. When
+    /// on, every launch runs the happens-before sanitizer (see
+    /// [`crate::sanitize`]) and stores its [`RaceReport`] on the
+    /// [`LaunchReport`]. Off by default: like profiling, the sanitizer
+    /// is purely observational and results/stats/timing are
+    /// bit-identical either way.
+    pub fn set_sanitizing(&mut self, on: bool) {
+        self.sanitizing = on;
+    }
+
+    /// Whether race checking is enabled.
+    pub fn sanitizing(&self) -> bool {
+        self.sanitizing
     }
 
     /// The scheduler trace accumulated by profiled launches.
@@ -295,12 +316,16 @@ impl Device {
         };
         self.fault_launch_index += 1;
         let mut profile = self.profiling.then(|| LaunchProfile::for_kernel(kernel));
+        let mut sanitizer = self.sanitizing.then(|| LaunchSanitizer::for_kernel(kernel));
         let mut cfg = ExecConfig::builder()
             .exec_mode(self.exec_mode)
             .instr_budget(self.instr_budget)
             .faults(&mut session);
         if let Some(p) = profile.as_mut() {
             cfg = cfg.profile(p);
+        }
+        if let Some(s) = sanitizer.as_mut() {
+            cfg = cfg.sanitize(s);
         }
         let outcome = run_kernel_cfg(
             kernel,
@@ -336,6 +361,7 @@ impl Device {
             timing,
             exact: outcome.exact,
             profile,
+            races: sanitizer.map(LaunchSanitizer::into_report),
         });
         Ok(self.launches.last().unwrap())
     }

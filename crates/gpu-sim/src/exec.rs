@@ -23,6 +23,7 @@ use crate::isa::{
 use crate::kernel::{Kernel, ParamKind};
 use crate::memory::{bank_conflict_degree, coalesced_transactions, LinearMemory};
 use crate::profile::LaunchProfile;
+use crate::sanitize::{AccessKind, LaunchSanitizer};
 use crate::stats::LaunchStats;
 
 /// Maximum lanes per warp the interpreter's stack-allocated per-issue
@@ -176,6 +177,9 @@ pub(crate) struct BlockCtx<'a> {
     /// Per-site profile shared across the launch's blocks; `None`
     /// keeps the hot paths free of profiling stores.
     pub(crate) profile: Option<&'a mut LaunchProfile>,
+    /// Race-detection shadow state shared across the launch's blocks;
+    /// `None` keeps the hot paths free of sanitizer stores.
+    pub(crate) sanitize: Option<&'a mut LaunchSanitizer>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -476,6 +480,9 @@ pub struct ExecConfig<'a> {
     /// Per-site profile to fill in (see [`crate::profile`]); `None`
     /// disables profiling (the zero-cost default).
     pub profile: Option<&'a mut LaunchProfile>,
+    /// Race detector to feed (see [`crate::sanitize`]); `None`
+    /// disables race checking (the zero-cost default).
+    pub sanitize: Option<&'a mut LaunchSanitizer>,
 }
 
 impl<'a> ExecConfig<'a> {
@@ -517,6 +524,13 @@ impl<'a> ExecConfigBuilder<'a> {
     #[must_use]
     pub fn profile(mut self, profile: &'a mut LaunchProfile) -> Self {
         self.cfg.profile = Some(profile);
+        self
+    }
+
+    /// Attach a race detector to feed.
+    #[must_use]
+    pub fn sanitize(mut self, sanitizer: &'a mut LaunchSanitizer) -> Self {
+        self.cfg.sanitize = Some(sanitizer);
         self
     }
 
@@ -651,12 +665,19 @@ pub fn run_kernel_cfg(
     if let Some(p) = profile.as_deref_mut() {
         p.exact = exact;
     }
+    let mut sanitize = exec_cfg.sanitize;
+    if let Some(s) = sanitize.as_deref_mut() {
+        s.exact = exact;
+    }
 
     for &block_id in &blocks_to_run {
         regs.fill(0);
         preds.fill(false);
         smem.clear();
         shared_chains.clear();
+        if let Some(s) = sanitize.as_deref_mut() {
+            s.begin_block(block_id);
+        }
         let mut ctx = BlockCtx {
             kernel,
             cfg,
@@ -673,6 +694,7 @@ pub fn run_kernel_cfg(
             budget_total: budget,
             shared_chains: &mut shared_chains,
             profile: profile.as_deref_mut(),
+            sanitize: sanitize.as_deref_mut(),
         };
         match uop_prog {
             Some(prog) => crate::uop::run_block(
@@ -828,6 +850,11 @@ fn run_block(
                 barrier_pc,
                 waiting_warps,
             });
+        }
+        // Every live warp arrived: the barrier releases and orders
+        // accesses across it.
+        if let Some(s) = ctx.sanitize.as_deref_mut() {
+            s.barrier_release();
         }
     }
     Ok(())
@@ -1066,6 +1093,9 @@ fn run_warp(
                     ctx.stats.global_vector_bytes +=
                         accesses.iter().map(|&(_, s)| s).sum::<u64>();
                 }
+                if let Some(s) = ctx.sanitize.as_deref_mut() {
+                    s.record_warp(*space, pc, warp.warp_id, AccessKind::Read, active, accesses);
+                }
             }
             Instr::St { space, ty, src, addr, width } => {
                 let elem = ty.size();
@@ -1093,8 +1123,18 @@ fn run_warp(
                     }
                 }
                 record_mem(ctx, pc, *space, false, &access_buf[..lanes.len()]);
+                if let Some(s) = ctx.sanitize.as_deref_mut() {
+                    s.record_warp(
+                        *space,
+                        pc,
+                        warp.warp_id,
+                        AccessKind::Write,
+                        active,
+                        &access_buf[..lanes.len()],
+                    );
+                }
             }
-            Instr::Atom { space, op, ty, dst, addr, src, cmp, .. } => {
+            Instr::Atom { space, scope, op, ty, dst, addr, src, cmp } => {
                 // Linearize lanes in order; gather contention stats.
                 let mut addr_buf = [0u64; MAX_LANES];
                 for (i, &l) in lanes.iter().enumerate() {
@@ -1170,6 +1210,14 @@ fn run_warp(
                 if let Some(p) = ctx.profile.as_deref_mut() {
                     p.sites[pc].atomic_ops += lanes.len() as u64;
                 }
+                if let Some(s) = ctx.sanitize.as_deref_mut() {
+                    let mut buf = [(0u64, 0u64); MAX_LANES];
+                    for (i, &a) in addrs.iter().enumerate() {
+                        buf[i] = (a, ty.size());
+                    }
+                    let kind = AccessKind::Atomic { scope: *scope };
+                    s.record_warp(*space, pc, warp.warp_id, kind, active, &buf[..addrs.len()]);
+                }
             }
             Instr::Shfl { mode, ty, dst, src, lane, width, pred_out } => {
                 // Snapshot source values across the whole warp first.
@@ -1227,6 +1275,10 @@ fn run_warp(
             }
             Instr::Bar => {
                 ctx.stats.barriers += 1;
+                if let Some(s) = ctx.sanitize.as_deref_mut() {
+                    let lanes_in_warp = (ctx.block_dim - base_thread).min(warp_size);
+                    s.record_bar(pc, warp.warp_id, active, full_mask(lanes_in_warp));
+                }
                 if let Some(top) = warp.stack.last_mut() {
                     top.pc = next_pc;
                 }

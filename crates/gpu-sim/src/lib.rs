@@ -62,6 +62,7 @@ pub mod isa;
 pub mod kernel;
 pub mod memory;
 pub mod profile;
+pub mod sanitize;
 pub mod stats;
 pub mod timing;
 pub mod uop;
@@ -73,5 +74,9 @@ pub use exec::{Arg, BlockSelection, ExecConfig, ExecConfigBuilder, ExecMode, Lau
 pub use fault::{FaultKind, FaultPlan, FaultSession, InjectedFault};
 pub use kernel::{Kernel, KernelBuilder, ParamKind};
 pub use profile::{LaunchProfile, SiteCounters, Trace, TraceEvent};
+pub use sanitize::{
+    negative_corpus, run_negative, AccessSite, HazardKind, LaunchSanitizer, NegativeKernel,
+    RaceFinding, RaceReport,
+};
 pub use stats::LaunchStats;
 pub use timing::{LaunchTiming, Limiter, TimingOptions};

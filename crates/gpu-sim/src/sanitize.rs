@@ -1,0 +1,907 @@
+//! Opt-in dynamic race detection: a happens-before sanitizer for
+//! shared and global memory (in the spirit of
+//! `cuda-memcheck --tool racecheck`).
+//!
+//! The synthesis pipeline's central safety claim is that swapping
+//! non-atomic shared-memory updates for atomics, and tree-reduction
+//! loops for shuffle exchanges, preserves race freedom. Output
+//! equality against the CPU oracle checks this only indirectly — a
+//! racy kernel can still produce the right answer under the
+//! simulator's deterministic warp schedule. This module adds a direct
+//! gate: a [`LaunchSanitizer`] rides the same optional hook seam as
+//! [`crate::profile::LaunchProfile`] (zero-cost when off, identical
+//! hook placement in both interpreter hot paths) and tracks
+//! *per-byte shadow state* for every shared- and global-memory access.
+//!
+//! # Shadow-state model
+//!
+//! Each byte of shared or global memory touched by the launch carries
+//! a shadow cell: the last write (block, warp, lane, pc, barrier
+//! epoch, atomicity, scope) plus the last plain reads from up to two
+//! distinct warps. The happens-before relation the simulator
+//! guarantees is:
+//!
+//! * accesses by the *same warp* are ordered (lanes execute in
+//!   lockstep, warps run to their next barrier sequentially) — except
+//!   two lanes of one warp writing the same byte in the *same
+//!   instruction instance*, whose outcome is lane-order dependent on
+//!   real hardware;
+//! * a `bar` separates accesses by *different warps of one block*:
+//!   each barrier release advances the block's epoch, and two
+//!   same-block accesses conflict only when their epochs are equal;
+//! * nothing orders accesses by *different blocks* within a launch, so
+//!   same-address global accesses from two blocks always conflict
+//!   unless both are atomic with device-visible scope;
+//! * atomic read-modify-writes never conflict with each other when
+//!   their scope covers the distance between the issuing threads
+//!   (same block, or device scope across blocks).
+//!
+//! Conflicting access pairs with at least one write map onto the
+//! racecheck hazard taxonomy in [`HazardKind`]; `bar` executed under a
+//! partial active mask and plain reads of never-written shared bytes
+//! are reported from the same seam. Findings are deduplicated by
+//! (hazard, pc, prior pc) with occurrence counts, so a racy kernel
+//! produces a short typed report rather than one finding per byte.
+
+use crate::exec::LaunchDims;
+use crate::hash::FxHashMap;
+use crate::isa::{Address, AtomOp, BinOp, CmpOp, Instr, Operand, Scope, Space, Sreg, Ty};
+use crate::kernel::{Kernel, KernelBuilder};
+
+/// Distinct findings retained per launch; further distinct hazards
+/// only bump [`RaceReport::truncated`]. Racy kernels tend to repeat
+/// one pattern, so this is generous in practice.
+const MAX_FINDINGS: usize = 64;
+
+/// The hazard taxonomy, mapping onto `cuda-memcheck --tool racecheck`
+/// hazard types (plus the scope hazard CUDA's `_block` atomics make
+/// possible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HazardKind {
+    /// Two unordered plain writes to the same byte.
+    WriteWrite,
+    /// An unordered plain read / plain write pair on the same byte.
+    ReadWrite,
+    /// An atomic and a plain access to the same byte, unordered.
+    MixedAtomic,
+    /// Two atomics whose scope does not cover their distance (e.g.
+    /// block-scoped atomics from different blocks to one global
+    /// address).
+    AtomicScope,
+    /// A plain shared-memory read of a byte no thread has written
+    /// this block.
+    SharedReadUninit,
+    /// `bar` executed by a warp whose active mask is partial —
+    /// divergent or early-exited lanes never arrive.
+    BarrierDivergence,
+}
+
+impl HazardKind {
+    /// Stable lower-case label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            HazardKind::WriteWrite => "write-write",
+            HazardKind::ReadWrite => "read-write",
+            HazardKind::MixedAtomic => "mixed-atomic",
+            HazardKind::AtomicScope => "atomic-scope",
+            HazardKind::SharedReadUninit => "shared-read-uninit",
+            HazardKind::BarrierDivergence => "barrier-divergence",
+        }
+    }
+}
+
+/// One side of a hazard: which thread touched the byte, where in the
+/// program, and in which barrier epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Block index of the access.
+    pub block: u32,
+    /// Warp index within the block.
+    pub warp: u32,
+    /// Lane index within the warp.
+    pub lane: u32,
+    /// Static instruction site (`pc`, identical in both interpreters).
+    pub pc: u32,
+    /// Barrier epoch within the block at the time of the access.
+    pub epoch: u32,
+}
+
+impl serde::Serialize for AccessSite {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("block".to_string(), serde::Value::UInt(u64::from(self.block))),
+            ("warp".to_string(), serde::Value::UInt(u64::from(self.warp))),
+            ("lane".to_string(), serde::Value::UInt(u64::from(self.lane))),
+            ("pc".to_string(), serde::Value::UInt(u64::from(self.pc))),
+            ("epoch".to_string(), serde::Value::UInt(u64::from(self.epoch))),
+        ])
+    }
+}
+
+/// One deduplicated hazard: a (kind, pc, prior pc) class with the
+/// first concrete occurrence and a count of further ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceFinding {
+    /// Which hazard class fired.
+    pub kind: HazardKind,
+    /// Memory space label (`"shared"` / `"global"`; `"barrier"` for
+    /// divergence hazards, which carry no address).
+    pub space: &'static str,
+    /// First conflicting byte address of the first occurrence.
+    pub addr: u64,
+    /// The access that completed the hazard (second in time).
+    pub access: AccessSite,
+    /// The recorded earlier access it conflicts with (`None` for
+    /// single-sided hazards: uninitialized reads, divergence).
+    pub prior: Option<AccessSite>,
+    /// Occurrences folded into this finding (same kind and pc pair).
+    pub count: u64,
+}
+
+impl serde::Serialize for RaceFinding {
+    fn to_value(&self) -> serde::Value {
+        let mut m = vec![
+            ("kind".to_string(), serde::Value::Str(self.kind.label().to_string())),
+            ("space".to_string(), serde::Value::Str(self.space.to_string())),
+            ("addr".to_string(), serde::Value::UInt(self.addr)),
+            ("access".to_string(), self.access.to_value()),
+        ];
+        if let Some(p) = &self.prior {
+            m.push(("prior".to_string(), p.to_value()));
+        }
+        m.push(("count".to_string(), serde::Value::UInt(self.count)));
+        serde::Value::Map(m)
+    }
+}
+
+/// The sanitizer's verdict for one launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceReport {
+    /// Kernel name the report belongs to.
+    pub kernel: String,
+    /// Whether every block of the launch was executed functionally
+    /// (mirrors [`crate::profile::LaunchProfile::exact`]); sampled
+    /// launches sanitize only the executed blocks.
+    pub exact: bool,
+    /// Deduplicated findings, in first-occurrence order.
+    pub findings: Vec<RaceFinding>,
+    /// Hazard occurrences dropped after the per-launch cap of 64
+    /// distinct findings was already reached.
+    pub truncated: u64,
+}
+
+impl RaceReport {
+    /// True when the launch produced no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.truncated == 0
+    }
+
+    /// Total hazard occurrences (deduplicated counts plus truncated).
+    pub fn occurrences(&self) -> u64 {
+        self.findings.iter().map(|f| f.count).sum::<u64>() + self.truncated
+    }
+
+    /// One-line human-readable summary, e.g.
+    /// `kernel=reduce findings=2 occurrences=64 first=read-write@pc=12`.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "kernel={} findings={} occurrences={}",
+            self.kernel,
+            self.findings.len(),
+            self.occurrences()
+        );
+        if let Some(f) = self.findings.first() {
+            s.push_str(&format!(" first={}@pc={}", f.kind.label(), f.access.pc));
+        }
+        s
+    }
+}
+
+impl serde::Serialize for RaceReport {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("kernel".to_string(), serde::Value::Str(self.kernel.clone())),
+            ("exact".to_string(), serde::Value::Bool(self.exact)),
+            (
+                "findings".to_string(),
+                serde::Value::Seq(self.findings.iter().map(|f| f.to_value()).collect()),
+            ),
+            ("truncated".to_string(), serde::Value::UInt(self.truncated)),
+        ])
+    }
+}
+
+/// How a memory hook classifies the access it reports.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AccessKind {
+    /// Plain load.
+    Read,
+    /// Plain store.
+    Write,
+    /// Atomic read-modify-write at the given scope.
+    Atomic {
+        /// Visibility scope of the atomic.
+        scope: Scope,
+    },
+}
+
+/// Shadow record for one prior access to a byte.
+#[derive(Debug, Clone, Copy)]
+struct Rec {
+    block: u32,
+    warp: u32,
+    lane: u32,
+    pc: u32,
+    epoch: u32,
+    /// Per-launch instruction-instance counter: equal values mean the
+    /// two accesses came from the same dynamic warp instruction.
+    op: u64,
+    atomic: bool,
+    /// Atomic scope covers the whole device (`Gpu`/`Sys`).
+    device_scope: bool,
+}
+
+impl Rec {
+    fn site(&self) -> AccessSite {
+        AccessSite {
+            block: self.block,
+            warp: self.warp,
+            lane: self.lane,
+            pc: self.pc,
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// Per-byte shadow cell: the last write plus the last plain reads
+/// from up to two distinct warps. Two read slots suffice: a write
+/// conflicts with *any* concurrent prior reader, and retaining
+/// readers from two different warps guarantees at least one of them
+/// is in a different warp than any later writer.
+#[derive(Debug, Clone, Copy, Default)]
+struct Shadow {
+    write: Option<Rec>,
+    reads: [Option<Rec>; 2],
+    /// Whether any thread has written the byte (shared-memory
+    /// uninitialized-read tracking; atomics also set it).
+    written: bool,
+}
+
+/// Per-launch race detector attached to [`crate::exec::ExecConfig`]
+/// by [`crate::Device`] when sanitizing is enabled.
+///
+/// The interpreters call the `pub(crate)` hooks; [`Self::into_report`]
+/// renders the verdict. Like the profiler, the sanitizer is purely
+/// observational: it never touches registers, memory, statistics or
+/// modelled time, and the differential test suite asserts runs are
+/// bit-identical with it on and off.
+#[derive(Debug)]
+pub struct LaunchSanitizer {
+    kernel: String,
+    /// Whether every block of the launch ran functionally (stamped by
+    /// the launch driver, like the profiler's flag).
+    pub exact: bool,
+    block: u32,
+    epoch: u32,
+    op: u64,
+    shared: FxHashMap<u64, Shadow>,
+    global: FxHashMap<u64, Shadow>,
+    seen: FxHashMap<(HazardKind, u32, u32), usize>,
+    findings: Vec<RaceFinding>,
+    truncated: u64,
+}
+
+impl LaunchSanitizer {
+    /// Fresh shadow state for one launch of `kernel`.
+    pub fn for_kernel(kernel: &Kernel) -> Self {
+        LaunchSanitizer {
+            kernel: kernel.name.clone(),
+            exact: true,
+            block: 0,
+            epoch: 0,
+            op: 0,
+            shared: FxHashMap::default(),
+            global: FxHashMap::default(),
+            seen: FxHashMap::default(),
+            findings: Vec::new(),
+            truncated: 0,
+        }
+    }
+
+    /// Consume the shadow state into the launch's verdict.
+    pub fn into_report(self) -> RaceReport {
+        RaceReport {
+            kernel: self.kernel,
+            exact: self.exact,
+            findings: self.findings,
+            truncated: self.truncated,
+        }
+    }
+
+    /// A block starts executing: reset its shared-memory shadow and
+    /// barrier epoch (global shadow spans the launch).
+    pub(crate) fn begin_block(&mut self, block: u32) {
+        self.block = block;
+        self.epoch = 0;
+        self.shared.clear();
+    }
+
+    /// All warps of the current block arrived at a `bar`: accesses
+    /// after the release are ordered against accesses before it.
+    pub(crate) fn barrier_release(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// A warp executed `bar`. `active` is its current active mask,
+    /// `full` the mask of lanes that exist in the warp.
+    pub(crate) fn record_bar(&mut self, pc: usize, warp: u32, active: u32, full: u32) {
+        if active == full {
+            return;
+        }
+        let cur = Rec {
+            block: self.block,
+            warp,
+            lane: if active == 0 { 0 } else { active.trailing_zeros() },
+            pc: pc as u32,
+            epoch: self.epoch,
+            op: self.op,
+            atomic: false,
+            device_scope: false,
+        };
+        self.report(HazardKind::BarrierDivergence, "barrier", 0, cur, None);
+    }
+
+    /// One warp memory instruction: `accesses` holds `(addr, bytes)`
+    /// per active lane, in ascending-lane order matching the set bits
+    /// of `active`.
+    pub(crate) fn record_warp(
+        &mut self,
+        space: Space,
+        pc: usize,
+        warp: u32,
+        kind: AccessKind,
+        active: u32,
+        accesses: &[(u64, u64)],
+    ) {
+        self.op += 1;
+        let mut m = active;
+        let mut i = 0;
+        while m != 0 {
+            let lane = m.trailing_zeros();
+            let (addr, size) = accesses[i];
+            for byte in addr..addr.saturating_add(size) {
+                self.record_byte(space, pc, warp, lane, kind, byte);
+            }
+            i += 1;
+            m &= m - 1;
+        }
+    }
+
+    /// Whether a prior record is unordered with respect to an access
+    /// happening now (same epoch, different warp; or different block
+    /// on global memory).
+    fn concurrent(&self, space: Space, prior: &Rec, warp: u32) -> bool {
+        if space == Space::Global && prior.block != self.block {
+            return true;
+        }
+        prior.epoch == self.epoch && prior.warp != warp
+    }
+
+    fn record_byte(
+        &mut self,
+        space: Space,
+        pc: usize,
+        warp: u32,
+        lane: u32,
+        kind: AccessKind,
+        addr: u64,
+    ) {
+        let cur = Rec {
+            block: self.block,
+            warp,
+            lane,
+            pc: pc as u32,
+            epoch: self.epoch,
+            op: self.op,
+            atomic: matches!(kind, AccessKind::Atomic { .. }),
+            device_scope: matches!(kind, AccessKind::Atomic { scope } if scope != Scope::Cta),
+        };
+        // Probe-then-update: copy the cell out, write the new state
+        // back, and only then run the (self-mutating) hazard checks.
+        let map = match space {
+            Space::Shared => &mut self.shared,
+            Space::Global => &mut self.global,
+        };
+        let cell = map.entry(addr).or_default();
+        let prev = *cell;
+        match kind {
+            AccessKind::Read => {
+                // Keep reads from up to two distinct warps: overwrite
+                // this warp's slot, else fill an empty one, else evict
+                // the older-epoch slot.
+                let slot = match (cell.reads[0], cell.reads[1]) {
+                    (Some(r0), _) if r0.warp == warp => 0,
+                    (_, Some(r1)) if r1.warp == warp => 1,
+                    (None, _) => 0,
+                    (_, None) => 1,
+                    (Some(r0), Some(r1)) => usize::from(r0.epoch > r1.epoch),
+                };
+                cell.reads[slot] = Some(cur);
+            }
+            AccessKind::Write | AccessKind::Atomic { .. } => {
+                cell.write = Some(cur);
+                cell.written = true;
+            }
+        }
+        match kind {
+            AccessKind::Read => {
+                if space == Space::Shared && !prev.written {
+                    self.report(HazardKind::SharedReadUninit, space.label(), addr, cur, None);
+                }
+                if let Some(w) = prev.write {
+                    if self.concurrent(space, &w, warp) {
+                        let kind = if w.atomic {
+                            HazardKind::MixedAtomic
+                        } else {
+                            HazardKind::ReadWrite
+                        };
+                        self.report(kind, space.label(), addr, cur, Some(w));
+                    }
+                }
+            }
+            AccessKind::Write => {
+                if let Some(w) = prev.write {
+                    if self.concurrent(space, &w, warp) {
+                        let kind = if w.atomic {
+                            HazardKind::MixedAtomic
+                        } else {
+                            HazardKind::WriteWrite
+                        };
+                        self.report(kind, space.label(), addr, cur, Some(w));
+                    } else if !w.atomic && w.op == cur.op && w.lane != lane {
+                        // Two lanes of one warp instruction writing
+                        // the same byte: lane-order dependent on real
+                        // hardware.
+                        self.report(HazardKind::WriteWrite, space.label(), addr, cur, Some(w));
+                    }
+                }
+                for r in prev.reads.into_iter().flatten() {
+                    if self.concurrent(space, &r, warp) {
+                        self.report(HazardKind::ReadWrite, space.label(), addr, cur, Some(r));
+                    }
+                }
+            }
+            AccessKind::Atomic { .. } => {
+                if let Some(w) = prev.write {
+                    if w.atomic {
+                        // Atomics order against each other unless the
+                        // scope of either fails to span the distance.
+                        if space == Space::Global
+                            && w.block != self.block
+                            && !(w.device_scope && cur.device_scope)
+                        {
+                            self.report(HazardKind::AtomicScope, space.label(), addr, cur, Some(w));
+                        }
+                    } else if self.concurrent(space, &w, warp) {
+                        self.report(HazardKind::MixedAtomic, space.label(), addr, cur, Some(w));
+                    }
+                }
+                for r in prev.reads.into_iter().flatten() {
+                    if self.concurrent(space, &r, warp) {
+                        self.report(HazardKind::MixedAtomic, space.label(), addr, cur, Some(r));
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(
+        &mut self,
+        kind: HazardKind,
+        space: &'static str,
+        addr: u64,
+        cur: Rec,
+        prior: Option<Rec>,
+    ) {
+        let key = (kind, cur.pc, prior.map_or(u32::MAX, |p| p.pc));
+        if let Some(&idx) = self.seen.get(&key) {
+            self.findings[idx].count += 1;
+            return;
+        }
+        if self.findings.len() >= MAX_FINDINGS {
+            self.truncated += 1;
+            return;
+        }
+        self.seen.insert(key, self.findings.len());
+        self.findings.push(RaceFinding {
+            kind,
+            space,
+            addr,
+            access: cur.site(),
+            prior: prior.map(|p| p.site()),
+            count: 1,
+        });
+    }
+}
+
+/// One deliberately-racy kernel plus the finding it must produce.
+///
+/// The negative corpus is the sanitizer's ground truth: each kernel
+/// encodes one classic CUDA bug, and the differential harness asserts
+/// the expected [`HazardKind`] fires at the expected `pc` (see
+/// `tests/sanitize.rs` and the sweep bin's `--seed-racy` smoke mode).
+#[derive(Debug)]
+pub struct NegativeKernel {
+    /// Short stable identifier (`missing-bar`, ...).
+    pub label: &'static str,
+    /// The racy kernel.
+    pub kernel: Kernel,
+    /// Launch geometry that exhibits the race.
+    pub dims: LaunchDims,
+    /// `u32` slots of global memory to allocate and pass as the
+    /// kernel's single pointer parameter (0 when it takes none).
+    pub global_words: u64,
+    /// The hazard the sanitizer must report.
+    pub expect: HazardKind,
+    /// The `pc` the finding must be attributed to.
+    pub expect_pc: usize,
+}
+
+/// First pc whose instruction matches `pred`.
+fn pc_of(kernel: &Kernel, pred: impl Fn(&Instr) -> bool) -> usize {
+    kernel.instrs.iter().position(pred).expect("negative kernel contains the expected instr")
+}
+
+/// Last pc whose instruction matches `pred`.
+fn last_pc_of(kernel: &Kernel, pred: impl Fn(&Instr) -> bool) -> usize {
+    kernel.instrs.iter().rposition(pred).expect("negative kernel contains the expected instr")
+}
+
+/// The built-in deliberately-racy kernel corpus: one kernel per
+/// classic CUDA synchronization bug, each annotated with the typed
+/// finding the sanitizer must attribute to a specific pc.
+pub fn negative_corpus() -> Vec<NegativeKernel> {
+    let mut out = Vec::new();
+
+    // 1. Tree-exchange with the second barrier missing: warp 1 reads
+    //    its partner's slot in the same epoch warp 0 rewrites it.
+    {
+        let mut b = KernelBuilder::new("neg_missing_bar");
+        let smem = b.smem_alloc(64 * 4) as i64;
+        let tid = b.reg();
+        let a = b.reg();
+        let partner = b.reg();
+        let a2 = b.reg();
+        let v = b.reg();
+        b.mov(Ty::U32, tid, Operand::Sreg(Sreg::TidX));
+        b.cvt(Ty::U32, Ty::U64, a, Operand::Reg(tid));
+        b.bin(BinOp::Mul, Ty::U64, a, Operand::Reg(a), Operand::ImmI(4));
+        b.st(Space::Shared, Ty::U32, tid, Address::new(Operand::Reg(a), smem));
+        b.bar();
+        b.bin(BinOp::Add, Ty::U32, partner, Operand::Reg(tid), Operand::ImmI(32));
+        b.bin(BinOp::And, Ty::U32, partner, Operand::Reg(partner), Operand::ImmI(63));
+        b.cvt(Ty::U32, Ty::U64, a2, Operand::Reg(partner));
+        b.bin(BinOp::Mul, Ty::U64, a2, Operand::Reg(a2), Operand::ImmI(4));
+        b.ld(Space::Shared, Ty::U32, v, Address::new(Operand::Reg(a2), smem));
+        // BUG: the exchange needs a second `bar` here.
+        b.st(Space::Shared, Ty::U32, v, Address::new(Operand::Reg(a), smem));
+        b.exit();
+        let kernel = b.finish().expect("neg_missing_bar is well-formed");
+        let expect_pc = pc_of(&kernel, |i| matches!(i, Instr::Ld { space: Space::Shared, .. }));
+        out.push(NegativeKernel {
+            label: "missing-bar",
+            kernel,
+            dims: LaunchDims::new(1, 64),
+            global_words: 0,
+            expect: HazardKind::ReadWrite,
+            expect_pc,
+        });
+    }
+
+    // 2. Non-atomic shared accumulation: every thread load-add-stores
+    //    one shared counter with no ordering at all.
+    {
+        let mut b = KernelBuilder::new("neg_shared_accum");
+        let smem = b.smem_alloc(4) as i64;
+        let zero = b.reg();
+        let v = b.reg();
+        let p = b.pred();
+        let skip = b.label();
+        b.mov(Ty::U32, zero, Operand::ImmI(0));
+        b.setp(CmpOp::Ne, Ty::U32, p, Operand::Sreg(Sreg::TidX), Operand::ImmI(0));
+        b.bra_if(p, true, skip);
+        b.st(Space::Shared, Ty::U32, zero, Address::new(Operand::ImmI(0), smem));
+        b.place(skip);
+        b.ld(Space::Shared, Ty::U32, v, Address::new(Operand::ImmI(0), smem));
+        b.bin(BinOp::Add, Ty::U32, v, Operand::Reg(v), Operand::ImmI(1));
+        // BUG: the read-modify-write must be a shared atomic.
+        b.st(Space::Shared, Ty::U32, v, Address::new(Operand::ImmI(0), smem));
+        b.exit();
+        let kernel = b.finish().expect("neg_shared_accum is well-formed");
+        let expect_pc =
+            last_pc_of(&kernel, |i| matches!(i, Instr::St { space: Space::Shared, .. }));
+        out.push(NegativeKernel {
+            label: "shared-accum",
+            kernel,
+            dims: LaunchDims::new(1, 64),
+            global_words: 0,
+            expect: HazardKind::WriteWrite,
+            expect_pc,
+        });
+    }
+
+    // 3. Mixed atomic/plain access: all threads accumulate atomically
+    //    while thread 0 also resets the counter with a plain store.
+    {
+        let mut b = KernelBuilder::new("neg_mixed_atomic");
+        let smem = b.smem_alloc(4) as i64;
+        let zero = b.reg();
+        let p = b.pred();
+        let skip = b.label();
+        b.mov(Ty::U32, zero, Operand::ImmI(0));
+        b.red(
+            Space::Shared,
+            Scope::Cta,
+            AtomOp::Add,
+            Ty::U32,
+            Address::new(Operand::ImmI(0), smem),
+            Operand::ImmI(1),
+        );
+        b.setp(CmpOp::Ne, Ty::U32, p, Operand::Sreg(Sreg::TidX), Operand::ImmI(0));
+        b.bra_if(p, true, skip);
+        // BUG: unordered against the other warps' atomics.
+        b.st(Space::Shared, Ty::U32, zero, Address::new(Operand::ImmI(0), smem));
+        b.place(skip);
+        b.exit();
+        let kernel = b.finish().expect("neg_mixed_atomic is well-formed");
+        let expect_pc = pc_of(&kernel, |i| matches!(i, Instr::Atom { .. }));
+        out.push(NegativeKernel {
+            label: "mixed-atomic",
+            kernel,
+            dims: LaunchDims::new(1, 64),
+            global_words: 0,
+            expect: HazardKind::MixedAtomic,
+            expect_pc,
+        });
+    }
+
+    // 4. Barrier under divergence: only half the warp reaches `bar`.
+    {
+        let mut b = KernelBuilder::new("neg_divergent_bar");
+        let p = b.pred();
+        let skip = b.label();
+        b.setp(CmpOp::Ge, Ty::U32, p, Operand::Sreg(Sreg::TidX), Operand::ImmI(16));
+        b.bra_if(p, true, skip);
+        // BUG: lanes 16..32 never arrive.
+        b.bar();
+        b.place(skip);
+        b.exit();
+        let kernel = b.finish().expect("neg_divergent_bar is well-formed");
+        let expect_pc = pc_of(&kernel, |i| matches!(i, Instr::Bar));
+        out.push(NegativeKernel {
+            label: "divergent-bar",
+            kernel,
+            dims: LaunchDims::new(1, 32),
+            global_words: 0,
+            expect: HazardKind::BarrierDivergence,
+            expect_pc,
+        });
+    }
+
+    // 5. Plain global accumulation across blocks: the grid-level
+    //    combine that the paper replaces with `red.global`.
+    {
+        let mut b = KernelBuilder::new("neg_global_accum");
+        let out_ptr = b.param_ptr();
+        let v = b.reg();
+        b.ld(Space::Global, Ty::U32, v, Address::new(Operand::Param(out_ptr), 0));
+        b.bin(BinOp::Add, Ty::U32, v, Operand::Reg(v), Operand::ImmI(1));
+        // BUG: must be a device-scope atomic.
+        b.st(Space::Global, Ty::U32, v, Address::new(Operand::Param(out_ptr), 0));
+        b.exit();
+        let kernel = b.finish().expect("neg_global_accum is well-formed");
+        let expect_pc = pc_of(&kernel, |i| matches!(i, Instr::St { space: Space::Global, .. }));
+        out.push(NegativeKernel {
+            label: "global-plain-accum",
+            kernel,
+            dims: LaunchDims::new(4, 32),
+            global_words: 1,
+            expect: HazardKind::WriteWrite,
+            expect_pc,
+        });
+    }
+
+    // 6. Block-scoped atomics to one global address from two blocks:
+    //    the scope does not span the distance.
+    {
+        let mut b = KernelBuilder::new("neg_cta_scope_global");
+        let out_ptr = b.param_ptr();
+        b.red(
+            Space::Global,
+            Scope::Cta,
+            AtomOp::Add,
+            Ty::U32,
+            Address::new(Operand::Param(out_ptr), 0),
+            Operand::ImmI(1),
+        );
+        b.exit();
+        let kernel = b.finish().expect("neg_cta_scope_global is well-formed");
+        let expect_pc = pc_of(&kernel, |i| matches!(i, Instr::Atom { .. }));
+        out.push(NegativeKernel {
+            label: "cta-scope-global-atomic",
+            kernel,
+            dims: LaunchDims::new(2, 32),
+            global_words: 1,
+            expect: HazardKind::AtomicScope,
+            expect_pc,
+        });
+    }
+
+    out
+}
+
+/// Run one negative kernel under the sanitizer on `arch` with the
+/// given interpreter hot path and return its race report. This is the
+/// shared driver behind the differential harness (`tests/sanitize.rs`)
+/// and the bench bins' `--seed-racy` smoke mode.
+///
+/// # Errors
+///
+/// Propagates simulator errors (the negative kernels race; they never
+/// trap or deadlock).
+pub fn run_negative(
+    arch: &crate::arch::ArchConfig,
+    mode: crate::exec::ExecMode,
+    nk: &NegativeKernel,
+) -> Result<RaceReport, crate::error::SimError> {
+    let mut dev = crate::device::Device::new(arch.clone());
+    dev.set_exec_mode(mode);
+    dev.set_sanitizing(true);
+    let args = if nk.global_words > 0 {
+        vec![dev.alloc_f32(nk.global_words)?.arg()]
+    } else {
+        Vec::new()
+    };
+    dev.launch_simple(&nk.kernel, nk.dims, &args)?;
+    dev.launches().last().and_then(|l| l.races.clone()).ok_or_else(|| {
+        crate::error::SimError::InvalidLaunch("sanitizing launch produced no report".into())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sanitizer() -> LaunchSanitizer {
+        let mut b = KernelBuilder::new("unit");
+        b.exit();
+        LaunchSanitizer::for_kernel(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn same_warp_accesses_are_ordered() {
+        let mut s = sanitizer();
+        s.begin_block(0);
+        s.record_warp(Space::Shared, 1, 0, AccessKind::Write, 0b1, &[(0, 4)]);
+        s.record_warp(Space::Shared, 2, 0, AccessKind::Read, 0b1, &[(0, 4)]);
+        s.record_warp(Space::Shared, 3, 0, AccessKind::Write, 0b1, &[(0, 4)]);
+        assert!(s.into_report().is_clean());
+    }
+
+    #[test]
+    fn cross_warp_same_epoch_write_write_is_reported_once_per_site() {
+        let mut s = sanitizer();
+        s.begin_block(0);
+        s.record_warp(Space::Shared, 5, 0, AccessKind::Write, 0b1, &[(0, 4)]);
+        s.record_warp(Space::Shared, 5, 1, AccessKind::Write, 0b11, &[(0, 4), (0, 4)]);
+        let r = s.into_report();
+        assert_eq!(r.findings.len(), 1);
+        let f = &r.findings[0];
+        assert_eq!(f.kind, HazardKind::WriteWrite);
+        assert_eq!(f.access.pc, 5);
+        // 4 conflicting bytes from lane 0 plus 8 from the duplicate
+        // lane-1 write, all folded into one finding.
+        assert!(f.count > 1);
+    }
+
+    #[test]
+    fn barrier_separates_warps() {
+        let mut s = sanitizer();
+        s.begin_block(0);
+        s.record_warp(Space::Shared, 1, 0, AccessKind::Write, 0b1, &[(0, 4)]);
+        s.barrier_release();
+        s.record_warp(Space::Shared, 2, 1, AccessKind::Read, 0b1, &[(0, 4)]);
+        assert!(s.into_report().is_clean());
+    }
+
+    #[test]
+    fn shared_shadow_resets_per_block_but_global_spans_launch() {
+        let mut s = sanitizer();
+        s.begin_block(0);
+        s.record_warp(Space::Shared, 1, 0, AccessKind::Write, 0b1, &[(8, 4)]);
+        s.record_warp(Space::Global, 2, 0, AccessKind::Write, 0b1, &[(8, 4)]);
+        s.begin_block(1);
+        // Same shared byte from the new block: fresh shadow, clean.
+        s.record_warp(Space::Shared, 1, 0, AccessKind::Write, 0b1, &[(8, 4)]);
+        // Same global byte from the new block: unordered.
+        s.record_warp(Space::Global, 2, 0, AccessKind::Write, 0b1, &[(8, 4)]);
+        let r = s.into_report();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].kind, HazardKind::WriteWrite);
+        assert_eq!(r.findings[0].space, "global");
+    }
+
+    #[test]
+    fn device_scope_atomics_commute_but_cta_scope_does_not_span_blocks() {
+        let mut s = sanitizer();
+        s.begin_block(0);
+        s.record_warp(Space::Global, 3, 0, AccessKind::Atomic { scope: Scope::Gpu }, 0b1, &[(0, 4)]);
+        s.begin_block(1);
+        s.record_warp(Space::Global, 3, 0, AccessKind::Atomic { scope: Scope::Gpu }, 0b1, &[(0, 4)]);
+        assert!(s.into_report().is_clean());
+
+        let mut s = sanitizer();
+        s.begin_block(0);
+        s.record_warp(Space::Global, 3, 0, AccessKind::Atomic { scope: Scope::Cta }, 0b1, &[(0, 4)]);
+        s.begin_block(1);
+        s.record_warp(Space::Global, 3, 0, AccessKind::Atomic { scope: Scope::Cta }, 0b1, &[(0, 4)]);
+        let r = s.into_report();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].kind, HazardKind::AtomicScope);
+    }
+
+    #[test]
+    fn uninitialized_shared_read_is_flagged_only_before_first_write() {
+        let mut s = sanitizer();
+        s.begin_block(0);
+        s.record_warp(Space::Shared, 7, 0, AccessKind::Read, 0b1, &[(0, 4)]);
+        s.record_warp(Space::Shared, 8, 0, AccessKind::Write, 0b1, &[(0, 4)]);
+        s.record_warp(Space::Shared, 9, 0, AccessKind::Read, 0b1, &[(0, 4)]);
+        let r = s.into_report();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].kind, HazardKind::SharedReadUninit);
+        assert_eq!(r.findings[0].access.pc, 7);
+    }
+
+    #[test]
+    fn divergent_barrier_is_flagged() {
+        let mut s = sanitizer();
+        s.begin_block(0);
+        s.record_bar(4, 0, 0x0000_ffff, 0xffff_ffff);
+        s.record_bar(5, 1, 0xffff_ffff, 0xffff_ffff);
+        let r = s.into_report();
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].kind, HazardKind::BarrierDivergence);
+        assert_eq!(r.findings[0].access.pc, 4);
+    }
+
+    #[test]
+    fn negative_corpus_is_buildable_and_labeled() {
+        let corpus = negative_corpus();
+        assert_eq!(corpus.len(), 6);
+        for neg in &corpus {
+            assert!(neg.expect_pc < neg.kernel.instrs.len());
+            assert!(!neg.label.is_empty());
+        }
+    }
+
+    #[test]
+    fn report_serializes_findings_with_sites() {
+        let mut s = sanitizer();
+        s.begin_block(0);
+        s.record_warp(Space::Shared, 5, 0, AccessKind::Write, 0b1, &[(0, 4)]);
+        s.record_warp(Space::Shared, 6, 1, AccessKind::Read, 0b1, &[(0, 4)]);
+        let v = serde::Serialize::to_value(&s.into_report());
+        let findings = v.get("findings").and_then(|f| f.as_seq()).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("kind").and_then(|k| k.as_str()), Some("read-write"));
+        assert_eq!(
+            findings[0].get("access").and_then(|a| a.get("pc")).and_then(|p| p.as_u64()),
+            Some(6)
+        );
+        assert_eq!(
+            findings[0].get("prior").and_then(|a| a.get("pc")).and_then(|p| p.as_u64()),
+            Some(5)
+        );
+    }
+}

@@ -53,11 +53,12 @@ use crate::exec::{
 use crate::fault::FaultSession;
 use crate::hash::FxHashMap;
 use crate::isa::{
-    AtomOp, BinOp, CmpOp, Instr, InstrClass, Operand, PredId, RegId, ShflMode, Space, Sreg, Ty,
-    UnOp,
+    AtomOp, BinOp, CmpOp, Instr, InstrClass, Operand, PredId, RegId, Scope, ShflMode, Space, Sreg,
+    Ty, UnOp,
 };
 use crate::kernel::Kernel;
 use crate::memory::LinearMemory;
+use crate::sanitize::AccessKind;
 
 /// Registers above this index fall outside the per-warp uniformity
 /// bitmask and are conservatively treated as lane-varying. The
@@ -153,6 +154,7 @@ pub(crate) enum Uop {
     /// Atomic read-modify-write.
     Atom {
         space: Space,
+        scope: Scope,
         op: AtomOp,
         ty: Ty,
         dst: Option<RegId>,
@@ -348,8 +350,9 @@ pub(crate) fn decode(kernel: &Kernel) -> UopProgram {
                 offset: addr.offset,
                 vlanes: width.lanes(),
             },
-            Instr::Atom { space, op, ty, dst, addr, src, cmp, .. } => Uop::Atom {
+            Instr::Atom { space, scope, op, ty, dst, addr, src, cmp } => Uop::Atom {
                 space,
+                scope,
                 op,
                 ty,
                 dst,
@@ -564,6 +567,11 @@ pub(crate) fn run_block(
                 barrier_pc,
                 waiting_warps,
             });
+        }
+        // Every live warp arrived: the barrier releases and orders
+        // accesses across it.
+        if let Some(s) = ctx.sanitize.as_deref_mut() {
+            s.barrier_release();
         }
     }
     Ok(())
@@ -840,6 +848,9 @@ fn run_warp(
                 if space == Space::Global && vlanes > 1 {
                     ctx.stats.global_vector_bytes += accesses.iter().map(|&(_, s)| s).sum::<u64>();
                 }
+                if let Some(s) = ctx.sanitize.as_deref_mut() {
+                    s.record_warp(space, pc, wid, AccessKind::Read, active, accesses);
+                }
             }
             Uop::St { space, ty, src, base: ab, offset, vlanes } => {
                 let elem = ty.size();
@@ -872,8 +883,11 @@ fn run_warp(
                     m &= m - 1;
                 }
                 record_mem(ctx, pc, space, false, &access_buf[..i]);
+                if let Some(s) = ctx.sanitize.as_deref_mut() {
+                    s.record_warp(space, pc, wid, AccessKind::Write, active, &access_buf[..i]);
+                }
             }
-            Uop::Atom { space, op, ty, dst, base: ab, offset, src, cmp } => {
+            Uop::Atom { space, scope, op, ty, dst, base: ab, offset, src, cmp } => {
                 let mut addr_buf = [0u64; MAX_LANES];
                 let mut i = 0usize;
                 let mut m = active;
@@ -954,6 +968,14 @@ fn run_warp(
                 if let Some(p) = ctx.profile.as_deref_mut() {
                     p.sites[pc].atomic_ops += i as u64;
                 }
+                if let Some(s) = ctx.sanitize.as_deref_mut() {
+                    let mut buf = [(0u64, 0u64); MAX_LANES];
+                    for (j, &a) in addrs.iter().enumerate() {
+                        buf[j] = (a, ty.size());
+                    }
+                    let kind = AccessKind::Atomic { scope };
+                    s.record_warp(space, pc, wid, kind, active, &buf[..addrs.len()]);
+                }
             }
             Uop::Shfl { mode, ty, dst, src, lane, width, pred_out } => {
                 let ws = warp_size;
@@ -1016,6 +1038,9 @@ fn run_warp(
             }
             Uop::Bar => {
                 ctx.stats.barriers += 1;
+                if let Some(s) = ctx.sanitize.as_deref_mut() {
+                    s.record_bar(pc, wid, active, warp.full);
+                }
                 if let Some(top) = warp.stack.last_mut() {
                     top.pc = next_pc;
                 }

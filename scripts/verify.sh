@@ -85,6 +85,63 @@ for e in events:
 print(f"  metrics: {len(m['sweeps'])} sweep(s), {len(m['spotlights'])} spotlights; trace: {len(events)} events")
 PY
 
+echo "== sanitizer smoke run (clean corpus ⇒ exit 0, seeded races ⇒ exit 1) =="
+# A sanitized sweep of the real corpus must find nothing, leave the
+# winner line byte-identical, and exit 0.
+sanitized_raw=$(./target/release/sweep --arch maxwell --n 65536 --threads 1 --sanitize)
+sanitized=$(echo "$sanitized_raw" | grep '^sweep ' | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
+if [ "$one" != "$sanitized" ]; then
+  echo "SANITIZING CHANGED THE SWEEP OUTPUT:" >&2
+  echo "  off: $one" >&2
+  echo "  on:  $sanitized" >&2
+  exit 1
+fi
+san_line=$(echo "$sanitized_raw" | grep '^sanitize: ') || { echo "sanitized sweep printed no sanitize: line" >&2; exit 1; }
+echo "  $san_line"
+echo "$san_line" | grep -q ' racy=0 ' || { echo "sanitizer flagged the clean corpus: $san_line" >&2; exit 1; }
+# The seeded negative corpus must make the process exit nonzero and
+# produce a well-formed report with every expected typed finding.
+if ./target/release/sweep --arch maxwell --n 4096 --threads 1 \
+    --seed-racy --sanitize-json /tmp/verify_races.json >/dev/null 2>&1; then
+  echo "--seed-racy exited 0 despite the racy negative corpus" >&2; exit 1
+fi
+test -s /tmp/verify_races.json
+python3 - <<'PY'
+import json
+r = json.load(open("/tmp/verify_races.json"))
+assert r["screens"], "race JSON has no corpus screens"
+for screen in r["screens"]:
+    for c in screen["candidates"]:
+        assert c["clean"], f"corpus candidate {c['version']} screened dirty"
+seeded = {s["label"]: s for s in r["seeded"]}
+assert len(seeded) == 6, f"expected 6 negative kernels, got {sorted(seeded)}"
+for label, s in seeded.items():
+    findings = s["report"]["findings"]
+    assert any(
+        f["kind"] == s["expect"] and f["access"]["pc"] == s["expect_pc"]
+        for f in findings
+    ), f"{label}: expected {s['expect']}@pc={s['expect_pc']} missing from {findings}"
+print(f"  races JSON: {sum(len(x['candidates']) for x in r['screens'])} clean candidates, "
+      f"{len(seeded)} seeded racy kernels all detected")
+PY
+
+echo "== test-target inventory (every tests/*.rs file must be a registered target) =="
+# A test file that exists on disk but is not picked up by cargo (e.g.
+# accidentally shadowed or excluded) would silently stop running; make
+# each one list its tests.
+for f in tests/*.rs; do
+  name=$(basename "$f" .rs)
+  cargo test -q --test "$name" -- --list >/dev/null || {
+    echo "tests/$name.rs is not a runnable test target" >&2; exit 1
+  }
+done
+for f in crates/bench/tests/*.rs; do
+  name=$(basename "$f" .rs)
+  cargo test -q -p tangram-bench --test "$name" -- --list >/dev/null || {
+    echo "crates/bench/tests/$name.rs is not a runnable test target" >&2; exit 1
+  }
+done
+
 echo "== fault-injection smoke campaign (seed 7, 400 ppm) =="
 # A seeded campaign must (a) still produce a winner, (b) report that
 # every injected fault was detected-and-recovered or quarantined (no

@@ -13,13 +13,7 @@ use tangram::tangram_codegen::{synthesize, Tuning};
 use tangram::tangram_passes::planner;
 use tangram::{run_reduction, upload};
 
-fn fig6_subset() -> Vec<planner::CodeVersion> {
-    planner::fig6_best()
-        .into_iter()
-        .take(4)
-        .map(|l| planner::fig6_by_label(l).unwrap())
-        .collect()
-}
+mod support;
 
 /// A kernel in which warp 0 waits at a barrier that warp 1 never
 /// reaches (it branches straight to exit and retires) must trap as
@@ -78,12 +72,12 @@ fn same_seed_injects_identical_faults() {
 #[test]
 fn fault_campaign_is_thread_count_invariant() {
     let arch = ArchConfig::pascal_p100();
-    let cands = fig6_subset();
+    let cands = support::fig6_subset();
     let pool = ContextPool::new(&arch, 2_048);
     let res = ResilienceOptions::campaign(7, 400);
-    let (m1, r1) = evaluate_all_report(&pool, &cands, &EvalOptions::serial(), &res).unwrap();
+    let (m1, r1) = evaluate_all_report(&pool, cands, &EvalOptions::serial(), &res).unwrap();
     let (m2, r2) =
-        evaluate_all_report(&pool, &cands, &EvalOptions::with_threads(3), &res).unwrap();
+        evaluate_all_report(&pool, cands, &EvalOptions::with_threads(3), &res).unwrap();
     assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
     let times = |ms: &[Option<tangram::evaluate::Measurement>]| -> Vec<Option<u64>> {
         ms.iter().map(|m| m.as_ref().map(|m| m.time_ns.to_bits())).collect()
@@ -97,12 +91,12 @@ fn fault_campaign_is_thread_count_invariant() {
 #[test]
 fn campaign_winner_matches_clean_sweep() {
     let arch = ArchConfig::maxwell_gtx980();
-    let cands = fig6_subset();
+    let cands = support::fig6_subset();
     let pool = ContextPool::new(&arch, 4_096);
     let opts = EvalOptions::serial();
-    let clean = evaluate_all(&pool, &cands, &opts).unwrap();
+    let clean = evaluate_all(&pool, cands, &opts).unwrap();
     let (faulty, report) =
-        evaluate_all_report(&pool, &cands, &opts, &ResilienceOptions::campaign(11, 500)).unwrap();
+        evaluate_all_report(&pool, cands, &opts, &ResilienceOptions::campaign(11, 500)).unwrap();
     assert!(report.faults_injected > 0);
     assert_eq!(report.silent, 0);
     if report.quarantined == 0 {
@@ -123,12 +117,12 @@ fn campaign_winner_matches_clean_sweep() {
 #[test]
 fn single_attempt_campaign_quarantines_faulted_jobs() {
     let arch = ArchConfig::kepler_k40c();
-    let cands = fig6_subset();
+    let cands = support::fig6_subset();
     let pool = ContextPool::new(&arch, 4_096);
     let mut res = ResilienceOptions::campaign(3, 2_000);
     res.max_attempts = 1;
     let (_, report) =
-        evaluate_all_report(&pool, &cands, &EvalOptions::serial(), &res).unwrap();
+        evaluate_all_report(&pool, cands, &EvalOptions::serial(), &res).unwrap();
     assert!(report.faults_injected > 0, "high rate must inject: {}", report.summary_line());
     assert_eq!(report.silent, 0);
     assert_eq!(report.faults_recovered, 0, "no retries, so nothing is recovered");

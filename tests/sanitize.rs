@@ -1,0 +1,224 @@
+//! Racecheck differential harness. Three claims pin the sanitizer
+//! down:
+//!
+//! 1. **Positive corpus** — every pruned §IV-B variant is race-free on
+//!    all three paper architectures under both interpreter hot paths.
+//!    This is the synthesis pipeline's central safety property: the
+//!    atomic/shuffle rewrites preserve race freedom, and the sanitizer
+//!    proves it directly rather than via output equality.
+//! 2. **Negative corpus** — each deliberately-racy kernel yields its
+//!    expected typed finding at its expected `pc`, on both hot paths.
+//!    Without this the positive result would be vacuous (a sanitizer
+//!    that never fires also reports a clean corpus).
+//! 3. **Transparency** — sanitizing is observationally free: results,
+//!    statistics counters, and modelled time are bit-identical with it
+//!    on and off, like the profiler it shares the hook seam with.
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{negative_corpus, run_negative, ArchConfig, Device, ExecMode};
+use proptest::prelude::*;
+use tangram::tangram_codegen::{synthesize, Tuning};
+use tangram::tangram_passes::planner;
+use tangram::{run_reduction, upload};
+
+mod support;
+
+const MODES: [ExecMode; 2] = [ExecMode::Predecoded, ExecMode::Reference];
+
+/// Sanitize one synthesized variant at its first feasible tuning and
+/// return the race summaries of any dirty launches (empty = clean).
+/// `None` means no tuning was feasible for this `(arch, n)`.
+fn sanitize_first_feasible(
+    arch: &ArchConfig,
+    mode: ExecMode,
+    version: planner::CodeVersion,
+    values: &[f32],
+) -> Option<Vec<String>> {
+    for block_size in [32u32, 64, 128, 256, 512] {
+        for coarsen in [1u32, 2, 4, 8, 16] {
+            let Ok(sv) = synthesize(version, Tuning { block_size, coarsen }) else {
+                continue;
+            };
+            let mut dev = Device::new(arch.clone());
+            dev.set_exec_mode(mode);
+            dev.set_sanitizing(true);
+            let input = upload(&mut dev, values).unwrap();
+            let ran =
+                run_reduction(&mut dev, &sv, input, values.len() as u64, BlockSelection::All);
+            if ran.is_err() {
+                continue;
+            }
+            return Some(
+                dev.launches()
+                    .iter()
+                    .map(|l| l.races.as_ref().expect("sanitizing launch carries a report"))
+                    .filter(|r| !r.is_clean())
+                    .map(|r| r.summary())
+                    .collect(),
+            );
+        }
+    }
+    None
+}
+
+/// The entire pruned corpus is race-free on every paper architecture
+/// under both interpreter hot paths — the acceptance bar for the
+/// synthesized kernels themselves.
+#[test]
+fn pruned_corpus_is_race_free_on_all_arches_and_both_interpreters() {
+    let values: Vec<f32> = (0..4096).map(|i| ((i % 11) as f32) - 5.0).collect();
+    for arch in ArchConfig::paper_archs() {
+        for mode in MODES {
+            for &version in support::pruned() {
+                let dirty = sanitize_first_feasible(&arch, mode, version, &values)
+                    .unwrap_or_else(|| {
+                        panic!("no feasible tuning on {} ({})", arch.id, mode.id())
+                    });
+                assert!(
+                    dirty.is_empty(),
+                    "races on {} ({}): {}",
+                    arch.id,
+                    mode.id(),
+                    dirty.join("; ")
+                );
+            }
+        }
+    }
+}
+
+/// Every negative kernel produces its expected typed finding at its
+/// expected `pc`, under both hot paths. Racy kernels may emit
+/// secondary findings too (e.g. the read half of a broken
+/// read-modify-write), so the assertion is membership, not equality.
+#[test]
+fn negative_corpus_yields_expected_typed_findings() {
+    let arch = ArchConfig::maxwell_gtx980();
+    for mode in MODES {
+        for nk in negative_corpus() {
+            let report = run_negative(&arch, mode, &nk).unwrap();
+            assert!(
+                !report.is_clean(),
+                "{} must race under {} but came back clean",
+                nk.label,
+                mode.id()
+            );
+            assert!(
+                report.findings.iter().any(|f| f.kind == nk.expect
+                    && f.access.pc as usize == nk.expect_pc),
+                "{} under {}: expected {}@pc={} among findings, got {}",
+                nk.label,
+                mode.id(),
+                nk.expect.label(),
+                nk.expect_pc,
+                report.summary()
+            );
+        }
+    }
+}
+
+/// The negative corpus is interpreter-invariant in full: both hot
+/// paths see the identical deduplicated finding list, not merely the
+/// one expected hazard — the hooks sit at the same places.
+#[test]
+fn negative_findings_are_identical_across_interpreters() {
+    let arch = ArchConfig::maxwell_gtx980();
+    for nk in negative_corpus() {
+        let uop = run_negative(&arch, ExecMode::Predecoded, &nk).unwrap();
+        let lane = run_negative(&arch, ExecMode::Reference, &nk).unwrap();
+        assert_eq!(uop, lane, "reports diverge between hot paths on {}", nk.label);
+    }
+}
+
+/// Run one reduction with the sanitizer on or off; return the result
+/// bits plus everything the timing model consumes, and whether every
+/// launch carried a race report.
+fn run_sanitized(
+    sanitized: bool,
+    mode: ExecMode,
+    arch: &ArchConfig,
+    version: planner::CodeVersion,
+    tuning: Tuning,
+    values: &[f32],
+    selection: BlockSelection,
+) -> (u32, f64, Vec<String>, bool) {
+    let sv = synthesize(version, tuning).unwrap();
+    let mut dev = Device::new(arch.clone());
+    dev.set_exec_mode(mode);
+    dev.set_sanitizing(sanitized);
+    let input = upload(&mut dev, values).unwrap();
+    let got = run_reduction(&mut dev, &sv, input, values.len() as u64, selection).unwrap();
+    let launches: Vec<String> = dev
+        .launches()
+        .iter()
+        .map(|l| {
+            format!(
+                "{} exact={} stats={:?} timing_ns={}",
+                l.kernel,
+                l.exact,
+                l.stats,
+                l.timing.time_ns.to_bits()
+            )
+        })
+        .collect();
+    let all_reported = dev.launches().iter().all(|l| l.races.is_some());
+    (got.to_bits(), dev.elapsed_ns(), launches, all_reported)
+}
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    prop_oneof![
+        Just(ArchConfig::kepler_k40c()),
+        Just(ArchConfig::maxwell_gtx980()),
+        Just(ArchConfig::pascal_p100()),
+    ]
+}
+
+fn version_strategy() -> impl Strategy<Value = planner::CodeVersion> {
+    (0..support::pruned().len()).prop_map(|i| support::pruned()[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Sanitize-on ≡ sanitize-off, bit for bit, in everything the
+    /// unsanitized run reports — results, statistics, modelled time —
+    /// under both interpreter hot paths and both block selections.
+    #[test]
+    fn sanitizing_is_observationally_free(
+        version in version_strategy(),
+        arch in arch_strategy(),
+        uop in any::<bool>(),
+        block_exp in 0u32..5,       // 32..512
+        coarsen_exp in 0u32..5,     // 1..16
+        n in 1usize..10_000,
+        sampled in any::<bool>(),
+        seed in any::<u32>(),
+    ) {
+        let mode = if uop { ExecMode::Predecoded } else { ExecMode::Reference };
+        let tuning = Tuning { block_size: 32 << block_exp, coarsen: 1 << coarsen_exp };
+        let values: Vec<f32> = (0..n)
+            .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 7) % 9) as f32 - 4.0)
+            .collect();
+        let selection = if sampled {
+            BlockSelection::Sample { max_blocks: 3 }
+        } else {
+            BlockSelection::All
+        };
+        let Ok(sv) = synthesize(version, tuning) else { return };
+        // Skip tunings the hardware model rejects (same on both runs).
+        {
+            let mut dev = Device::new(arch.clone());
+            dev.set_exec_mode(mode);
+            let input = upload(&mut dev, &values).unwrap();
+            if run_reduction(&mut dev, &sv, input, n as u64, selection).is_err() {
+                return;
+            }
+        }
+        let off = run_sanitized(false, mode, &arch, version, tuning, &values, selection);
+        let on = run_sanitized(true, mode, &arch, version, tuning, &values, selection);
+        prop_assert_eq!(off.0, on.0, "result bits differ ({} n={})", sv.id(), n);
+        prop_assert_eq!(off.1.to_bits(), on.1.to_bits(), "elapsed_ns differs ({} n={})", sv.id(), n);
+        prop_assert_eq!(&off.2, &on.2, "launch stats differ ({} n={})", sv.id(), n);
+        prop_assert!(!off.3 || off.2.is_empty(), "unsanitized run must carry no race reports");
+        prop_assert!(on.3, "sanitized run must attach a race report to every launch");
+    }
+}

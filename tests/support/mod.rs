@@ -1,0 +1,35 @@
+//! Shared fixtures for the integration-test suite, built once per
+//! test binary behind `OnceLock`s. The planner corpus is pure output
+//! of `enumerate_pruned` — rebuilding it in every `#[test]` fn (as the
+//! suite used to) only burned time; each accessor here returns a
+//! `&'static` slice the tests borrow from.
+//!
+//! Integration tests are separate binaries, so each binary gets its
+//! own copy — the sharing is per-binary, across its `#[test]` fns.
+
+// Each test binary compiles this module but uses only the fixtures it
+// needs; the others are intentionally dead code there.
+#![allow(dead_code)]
+
+use std::sync::OnceLock;
+
+use tangram::tangram_passes::planner;
+
+/// The full pruned §IV-B corpus, enumerated once per test binary.
+pub fn pruned() -> &'static [planner::CodeVersion] {
+    static CORPUS: OnceLock<Vec<planner::CodeVersion>> = OnceLock::new();
+    CORPUS.get_or_init(planner::enumerate_pruned)
+}
+
+/// The four strongest Fig. 6 versions — the cheap subset the campaign
+/// and interpreter-equivalence tests sweep.
+pub fn fig6_subset() -> &'static [planner::CodeVersion] {
+    static SUBSET: OnceLock<Vec<planner::CodeVersion>> = OnceLock::new();
+    SUBSET.get_or_init(|| {
+        planner::fig6_best()
+            .into_iter()
+            .take(4)
+            .map(|l| planner::fig6_by_label(l).unwrap())
+            .collect()
+    })
+}

@@ -6,17 +6,17 @@
 
 use gpu_sim::{ArchConfig, ExecMode};
 use tangram::evaluate::{best_measurement, evaluate_all, ContextPool, EvalOptions, SweepMode};
-use tangram::tangram_passes::planner;
+mod support;
 
 #[test]
 fn halving_winner_matches_exhaustive_on_full_corpus() {
-    let candidates = planner::enumerate_pruned();
+    let candidates = support::pruned();
     for arch in ArchConfig::paper_archs() {
         let pool = ContextPool::new(&arch, 65_536);
-        let exhaustive = evaluate_all(&pool, &candidates, &EvalOptions::default()).unwrap();
+        let exhaustive = evaluate_all(&pool, candidates, &EvalOptions::default()).unwrap();
         let halving = evaluate_all(
             &pool,
-            &candidates,
+            candidates,
             &EvalOptions::default().with_sweep(SweepMode::Halving),
         )
         .unwrap();
@@ -58,17 +58,13 @@ fn halving_winner_matches_exhaustive_on_full_corpus() {
 fn interpreter_hot_path_does_not_change_measurements() {
     // A fig6 subset keeps this cheap; the full differential coverage
     // lives in the prop_exec_modes property test.
-    let candidates: Vec<planner::CodeVersion> = planner::fig6_best()
-        .into_iter()
-        .take(4)
-        .map(|l| planner::fig6_by_label(l).unwrap())
-        .collect();
+    let candidates = support::fig6_subset();
     let arch = ArchConfig::kepler_k40c();
     let uop = ContextPool::builder(&arch, 32_768).exec_mode(ExecMode::Predecoded).build();
     let lane = ContextPool::builder(&arch, 32_768).exec_mode(ExecMode::Reference).build();
     let opts = EvalOptions::serial();
-    let a = evaluate_all(&uop, &candidates, &opts).unwrap();
-    let b = evaluate_all(&lane, &candidates, &opts).unwrap();
+    let a = evaluate_all(&uop, candidates, &opts).unwrap();
+    let b = evaluate_all(&lane, candidates, &opts).unwrap();
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
         match (x, y) {
