@@ -98,6 +98,41 @@ fn uniform_scalarization(c: &mut Criterion) {
     group.finish();
 }
 
+/// The compiled tier against the µop engine on the same kernels: the
+/// jit/uop ratio is the end-to-end win of closure threading,
+/// register-major rows, and superinstruction runs over predecode
+/// alone. The reference tier rides along as the common anchor;
+/// BENCH_interp.json records the medians.
+fn jit(c: &mut Criterion) {
+    let n: u64 = 32_768;
+    let data: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+    let arch = ArchConfig::maxwell_gtx980();
+    let mut group = c.benchmark_group("jit");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    // (m) = shared-memory tree: barriers bound the superinstruction
+    //       runs. (p) = shuffle + atomic: Shfl/Atom closures plus a
+    //       divergent tail.
+    for label in ['m', 'p'] {
+        let sv = synthesize(planner::fig6_by_label(label).unwrap(), Tuning::default()).unwrap();
+        for (mode_name, mode) in [
+            ("compiled", ExecMode::Compiled),
+            ("uop", ExecMode::Predecoded),
+            ("reference", ExecMode::Reference),
+        ] {
+            group.bench_function(format!("fig6-{label}/{mode_name}"), |b| {
+                let mut dev = Device::new(arch.clone());
+                dev.set_exec_mode(mode);
+                let input = upload(&mut dev, &data).unwrap();
+                b.iter(|| {
+                    dev.reset_clock();
+                    run_reduction(&mut dev, &sv, input, n, BlockSelection::All).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// The full tuner sweep over the pruned space at one size — the
 /// workload the parallel evaluation engine accelerates. Serial and
 /// 4-worker variants bracket the engine overhead; BENCH_sweep.json
@@ -131,6 +166,6 @@ fn synthesis_cost(c: &mut Criterion) {
 criterion_group! {
     name = simulator;
     config = Criterion::default().without_plots();
-    targets = interpreter_throughput, warp_issue_dispatch, uniform_scalarization, tuner_sweep, synthesis_cost
+    targets = interpreter_throughput, warp_issue_dispatch, uniform_scalarization, jit, tuner_sweep, synthesis_cost
 }
 criterion_main!(simulator);

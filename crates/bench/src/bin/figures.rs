@@ -12,8 +12,8 @@
 //! available parallelism). The output is bit-identical for any N.
 //!
 //! `--sweep-mode exhaustive|halving` selects the search strategy
-//! (default: exhaustive), `--interp uop|reference` the interpreter
-//! hot path (default: the predecoded µop engine), and
+//! (default: exhaustive), `--interp uop|reference|compiled` the
+//! interpreter hot path (default: the predecoded µop engine), and
 //! `--instr-budget I` overrides the per-block dynamic instruction
 //! budget. See `figures --help` for the full flag list.
 //!
@@ -57,7 +57,7 @@ use tangram_passes::planner;
 
 const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|all]
                [--max-size N] [--json PATH] [--threads T]
-               [--sweep-mode exhaustive|halving] [--interp uop|reference]
+               [--sweep-mode exhaustive|halving] [--interp uop|reference|compiled]
                [--instr-budget I] [--fault-seed S] [--fault-rate PPM]
                [--profile] [--trace-out PATH] [--metrics-json PATH]
                [--sanitize] [--sanitize-json PATH] [--seed-racy]
@@ -67,7 +67,7 @@ const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig1
   --threads T       evaluation worker threads (default: available parallelism)
   --sweep-mode M    exhaustive | halving (default exhaustive); winners are
                     bit-identical, halving skips dominated tunings
-  --interp M        uop | reference interpreter hot path (default uop)
+  --interp M        uop | reference | compiled interpreter hot path (default uop)
   --instr-budget I  per-block dynamic instruction budget (runaway guard)
   --fault-seed S    enable a deterministic fault-injection campaign
   --fault-rate PPM  injected faults per million instructions (default 200)
@@ -179,7 +179,7 @@ fn run_one(
     obs: &mut Observed,
 ) -> ArchSeries {
     let mut session = Session::new(arch.clone())
-        .eval(o.eval_options(SweepMode::Exhaustive))
+        .eval(o.eval_options(SweepMode::Exhaustive, gpu_sim::ExecMode::default()))
         .profiled(o.profiling())
         .sanitized(o.sanitizing());
     let campaign = o.resilience();

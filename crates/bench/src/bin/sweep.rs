@@ -3,7 +3,7 @@
 //! ```text
 //! sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
 //!       [--threads T] [--sweep-mode exhaustive|halving]
-//!       [--interp uop|reference] [--instr-budget I] [--json PATH]
+//!       [--interp uop|reference|compiled] [--instr-budget I] [--json PATH]
 //!       [--fault-seed S] [--fault-rate PPM]
 //!       [--profile] [--trace-out PATH] [--metrics-json PATH]
 //! ```
@@ -16,9 +16,11 @@
 //! `--sweep-mode` selects the search strategy (default: `halving`,
 //! the successive-halving sweep; `exhaustive` measures every job at
 //! full fidelity). `--interp` selects the interpreter hot path
-//! (default: `uop`, the predecoded µop engine; `reference` is the
-//! lane-wise path, for A/B timing). `--instr-budget I` overrides the
-//! per-block dynamic instruction budget (the runaway-loop guard).
+//! (default: `compiled`, the closure-threaded tier; `uop` is the
+//! predecoded µop engine, `reference` the lane-wise path — all three
+//! produce bit-identical winners, so the flag only trades wall-clock
+//! for observability). `--instr-budget I` overrides the per-block
+//! dynamic instruction budget (the runaway-loop guard).
 //!
 //! `--fault-seed S` enables a deterministic fault-injection campaign
 //! (bit-flips, shared-atomic retry storms, warp stalls) at
@@ -59,7 +61,7 @@ use tangram_bench::{profile_summary_line, sanitize_json, sanitize_summary_line, 
 
 const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
              [--threads T] [--sweep-mode exhaustive|halving]
-             [--interp uop|reference] [--instr-budget I] [--json PATH]
+             [--interp uop|reference|compiled] [--instr-budget I] [--json PATH]
              [--fault-seed S] [--fault-rate PPM]
              [--profile] [--trace-out PATH] [--metrics-json PATH]
              [--sanitize] [--sanitize-json PATH] [--seed-racy]
@@ -70,7 +72,8 @@ const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repe
   --threads T        evaluation worker threads (default: available parallelism)
   --sweep-mode M     exhaustive | halving (default halving); winners are
                      bit-identical, halving skips dominated tunings
-  --interp M         uop | reference interpreter hot path (default uop)
+  --interp M         uop | reference | compiled interpreter hot path
+                     (default compiled; winners are bit-identical)
   --instr-budget I   per-block dynamic instruction budget (runaway guard)
   --json PATH        append one JSON record per repeat to PATH
   --fault-seed S     enable a deterministic fault-injection campaign
@@ -118,7 +121,7 @@ fn main() {
     let Some(arch) = ArchConfig::paper_archs().into_iter().find(|a| a.id == arch_id) else {
         CLI.die(&format!("unknown arch id `{arch_id}` (expected kepler|maxwell|pascal)"));
     };
-    let opts = o.eval_options(SweepMode::Halving);
+    let opts = o.eval_options(SweepMode::Halving, gpu_sim::ExecMode::Compiled);
     let (threads, mode_id, interp_id) = (opts.threads, opts.sweep.id(), opts.interp.id());
     let mut session = Session::new(arch.clone())
         .eval(opts)

@@ -95,12 +95,14 @@ impl CliOpts {
     }
 
     /// Assemble the engine options these flags describe, defaulting
-    /// the sweep strategy to `default_sweep` (the bins disagree on
-    /// it: `sweep` defaults to halving, `figures` to exhaustive).
-    pub fn eval_options(&self, default_sweep: SweepMode) -> EvalOptions {
+    /// the sweep strategy to `default_sweep` and the interpreter to
+    /// `default_interp` (the bins disagree on both: `sweep` defaults
+    /// to halving on the compiled tier, `figures` to exhaustive on
+    /// the library default).
+    pub fn eval_options(&self, default_sweep: SweepMode, default_interp: ExecMode) -> EvalOptions {
         EvalOptions::with_threads(self.threads.unwrap_or_else(default_threads))
             .with_sweep(self.sweep_mode.unwrap_or(default_sweep))
-            .with_interp(self.interp.unwrap_or_default())
+            .with_interp(self.interp.unwrap_or(default_interp))
             .with_instr_budget(self.instr_budget)
     }
 
@@ -209,8 +211,14 @@ impl Cli {
         Ok(())
     }
 
-    fn value<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String> {
-        raw.parse().map_err(|_| format!("invalid value `{raw}` for {name}"))
+    fn value<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        // Carry the type's own parse message: for enum-like values
+        // (`--interp`, `--sweep-mode`) it names every accepted
+        // spelling, so a typo'd mode tells the user the full menu.
+        raw.parse().map_err(|e| format!("invalid value `{raw}` for {name}: {e}"))
     }
 }
 
@@ -225,6 +233,7 @@ mod tests {
             "--n",
             "--threads",
             "--sweep-mode",
+            "--interp",
             "--profile",
             "--metrics-json",
             "--sanitize",
@@ -264,11 +273,23 @@ mod tests {
     #[test]
     fn eval_options_fill_shared_defaults() {
         let o = TEST_CLI.parse(&args(&["--threads", "3"]));
-        let e = o.eval_options(SweepMode::Halving);
+        let e = o.eval_options(SweepMode::Halving, ExecMode::Compiled);
         assert_eq!(e.threads, 3);
         assert_eq!(e.sweep, SweepMode::Halving);
-        assert_eq!(e.interp, ExecMode::default());
+        assert_eq!(e.interp, ExecMode::Compiled, "absent --interp takes the bin's default");
         assert!(o.resilience().is_none());
+        let o = TEST_CLI.parse(&args(&["--interp", "reference"]));
+        let e = o.eval_options(SweepMode::Halving, ExecMode::Compiled);
+        assert_eq!(e.interp, ExecMode::Reference, "an explicit --interp beats the default");
+    }
+
+    #[test]
+    fn bad_interp_names_the_flag_and_lists_every_mode() {
+        let err = TEST_CLI.try_parse(&args(&["--interp", "turbo"])).unwrap_err();
+        assert!(err.contains("invalid value `turbo` for --interp"), "got: {err}");
+        for mode in ["uop", "predecoded", "reference", "lanewise", "compiled", "jit"] {
+            assert!(err.contains(mode), "error must list `{mode}`, got: {err}");
+        }
     }
 
     #[test]

@@ -65,6 +65,22 @@ fn sweep_winner_lines_match_golden_snapshot() {
     );
 }
 
+/// The sweep's result is interpreter-independent: forcing the µop
+/// tier (`--interp uop`) reproduces the snapshot exactly, modulo the
+/// `interp=` token itself. With the snapshot generated under the
+/// default compiled tier, this pins uop ≡ compiled at the whole-bin
+/// level — winner, tuning, and modelled time byte for byte.
+#[test]
+fn uop_tier_matches_snapshot_modulo_interp_token() {
+    let want = include_str!("golden/sweep_winners.txt").replace("interp=compiled", "interp=uop");
+    let got = winner_lines(&["--interp", "uop"]);
+    assert_eq!(
+        got, want,
+        "--interp uop must reproduce the compiled tier's winner lines \
+         (the tiers are bit-identical by contract)"
+    );
+}
+
 /// `--sanitize` is output-transparent on the clean corpus: the winner
 /// lines still match the same snapshot, the screen reports zero racy
 /// candidates, and the process still exits 0.

@@ -298,31 +298,6 @@ impl ContextPool {
         }
     }
 
-    /// A pool configured from an [`EvalOptions`] (interpreter hot
-    /// path and instruction-budget override).
-    #[deprecated(note = "use `ContextPool::builder(arch, n).opts(opts).build()`")]
-    pub fn for_opts(arch: &ArchConfig, n: u64, opts: &EvalOptions) -> Self {
-        Self::builder(arch, n).opts(opts).build()
-    }
-
-    /// Select the interpreter hot path stamped on checked-out
-    /// contexts.
-    #[deprecated(note = "use `ContextPool::builder(arch, n).exec_mode(mode).build()`")]
-    #[must_use]
-    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.exec_mode = mode;
-        self
-    }
-
-    /// Override the per-block instruction budget stamped on
-    /// checked-out contexts (`None` keeps the device default).
-    #[deprecated(note = "use `ContextPool::builder(arch, n).instr_budget(budget).build()`")]
-    #[must_use]
-    pub fn with_instr_budget(mut self, budget: Option<u64>) -> Self {
-        self.instr_budget = budget;
-        self
-    }
-
     /// Check a context out, allocating only when the pool is empty.
     ///
     /// # Errors
@@ -687,22 +662,6 @@ mod tests {
         let ctx = pool.acquire().unwrap();
         assert_eq!(ctx.dev.exec_mode(), ExecMode::Reference);
         assert_eq!(ctx.dev.instr_budget(), 123_456);
-    }
-
-    /// The deprecated constructors must keep configuring pools exactly
-    /// like the builder until they are removed.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_pool_constructors_match_builder() {
-        let arch = ArchConfig::maxwell_gtx980();
-        let opts = EvalOptions::serial()
-            .with_interp(ExecMode::Reference)
-            .with_instr_budget(Some(42));
-        let old = ContextPool::for_opts(&arch, 1024, &opts);
-        let new = ContextPool::builder(&arch, 1024).opts(&opts).build();
-        let (a, b) = (old.acquire().unwrap(), new.acquire().unwrap());
-        assert_eq!(a.dev.exec_mode(), b.dev.exec_mode());
-        assert_eq!(a.dev.instr_budget(), b.dev.instr_budget());
     }
 
     #[test]

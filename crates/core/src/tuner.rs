@@ -49,6 +49,11 @@ pub struct BenchContext {
     pub input: DevicePtr,
     /// Array size in elements.
     pub n: u64,
+    /// Allocator watermark just past the input: each measurement rolls
+    /// the device's bump allocator back here, so per-run scratch
+    /// (partials, outputs) reuses one arena region instead of growing
+    /// the arena by the whole partials footprint per measured job.
+    mark: u64,
 }
 
 impl BenchContext {
@@ -60,7 +65,8 @@ impl BenchContext {
     pub fn new(arch: &ArchConfig, n: u64) -> Result<Self, SimError> {
         let mut dev = Device::new(arch.clone());
         let input = dev.alloc_f32(n)?;
-        Ok(BenchContext { dev, input, n })
+        let mark = dev.alloc_mark();
+        Ok(BenchContext { dev, input, n, mark })
     }
 
     /// The block-selection mode used for a launch plan of `grid`
@@ -159,6 +165,11 @@ impl BenchContext {
     ) -> Result<f64, SimError> {
         self.dev.reset_clock();
         self.dev.clear_launches();
+        // Release the previous measurement's scratch; the timing model
+        // is data-independent, so reusing (un-zeroed) scratch cannot
+        // perturb modelled times, and exact-value runs overwrite every
+        // partial before the second kernel reads it.
+        self.dev.free_to(self.mark);
         run_reduction(&mut self.dev, sv, self.input, self.n, selection)?;
         Ok(self.dev.elapsed_ns())
     }

@@ -139,6 +139,7 @@ impl Assembler {
             num_preds: (self.max_pred + 1) as u16,
             cfg_cache: Default::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         };
         kernel.validate()?;
         Ok(kernel)

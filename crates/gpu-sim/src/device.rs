@@ -127,7 +127,8 @@ impl Device {
 
     /// Select the interpreter hot path for subsequent launches
     /// (default [`ExecMode::Predecoded`]; [`ExecMode::Reference`] is
-    /// the lane-wise path kept for differential testing).
+    /// the lane-wise path kept for differential testing, and
+    /// [`ExecMode::Compiled`] the closure-threaded fast tier).
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.exec_mode = mode;
     }
@@ -202,7 +203,10 @@ impl Device {
         std::mem::take(&mut self.fault_log)
     }
 
-    /// Allocate `bytes` of global memory (256-byte aligned, zeroed).
+    /// Allocate `bytes` of global memory (256-byte aligned). Fresh
+    /// arena bytes are zeroed; space reclaimed with [`Device::free_to`]
+    /// is handed out again with its previous contents, like a real
+    /// `cudaMalloc` pool.
     ///
     /// # Errors
     ///
@@ -213,6 +217,26 @@ impl Device {
         self.next_alloc = addr + bytes;
         self.global.grow(self.next_alloc);
         Ok(DevicePtr { addr, len: bytes })
+    }
+
+    /// Current watermark of the bump allocator; pass it to
+    /// [`Device::free_to`] to release every allocation made after this
+    /// point.
+    pub fn alloc_mark(&self) -> u64 {
+        self.next_alloc
+    }
+
+    /// Roll the bump allocator back to an earlier [`Device::alloc_mark`],
+    /// releasing every allocation made since. The arena keeps its
+    /// capacity, so subsequent allocations reuse the space instead of
+    /// growing (and re-zeroing) it — a measurement context releases its
+    /// per-run scratch buffers this way, which at sweep scale would
+    /// otherwise grow the arena by the whole partials footprint per
+    /// job. Reused bytes keep their previous contents (see
+    /// [`Device::alloc`]); callers that need zeroed scratch after a
+    /// rollback must clear it themselves.
+    pub fn free_to(&mut self, mark: u64) {
+        self.next_alloc = mark.min(self.next_alloc);
     }
 
     /// Allocate space for `n` `f32` elements.

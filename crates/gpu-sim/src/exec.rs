@@ -416,7 +416,7 @@ pub(crate) fn eval_atom(
 
 /// Which interpreter hot path executes the kernel.
 ///
-/// Both paths are bit-identical in results, statistics and modelled
+/// All tiers are bit-identical in results, statistics and modelled
 /// time (enforced by differential tests); they differ only in speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
@@ -427,15 +427,21 @@ pub enum ExecMode {
     /// The original lane-wise instruction interpreter, kept as the
     /// differential-testing reference.
     Reference,
+    /// The closure-threaded compiled tier (see [`crate::jit`]):
+    /// the µop stream is lowered once per kernel into superinstruction
+    /// closures. Launches carrying a profile, sanitizer or live fault
+    /// session transparently fall back to the µop engine.
+    Compiled,
 }
 
 impl ExecMode {
     /// Canonical identifier, the inverse of the [`std::str::FromStr`] parse
-    /// (`uop` / `reference`).
+    /// (`uop` / `reference` / `compiled`).
     pub fn id(self) -> &'static str {
         match self {
             ExecMode::Predecoded => "uop",
             ExecMode::Reference => "reference",
+            ExecMode::Compiled => "compiled",
         }
     }
 }
@@ -447,7 +453,11 @@ impl std::str::FromStr for ExecMode {
         match s {
             "uop" | "predecoded" => Ok(ExecMode::Predecoded),
             "reference" | "lanewise" => Ok(ExecMode::Reference),
-            other => Err(format!("unknown interpreter `{other}` (want uop|reference)")),
+            "compiled" | "jit" => Ok(ExecMode::Compiled),
+            other => Err(format!(
+                "unknown interpreter `{other}` (accepted: uop|predecoded, \
+                 reference|lanewise, compiled|jit)"
+            )),
         }
     }
 }
@@ -643,13 +653,6 @@ pub fn run_kernel_cfg(
     let mut shared_chains: FxHashMap<u64, u64> = FxHashMap::default();
     let mut warps: Vec<WarpExec> = Vec::new();
 
-    // Predecode once per launch (cached on the kernel across launches)
-    // when the µop path is selected; its warp states and per-block
-    // constant table are reused across blocks like the buffers above.
-    let uop_prog = match exec_cfg.mode {
-        ExecMode::Predecoded => Some(kernel.uops()),
-        ExecMode::Reference => None,
-    };
     let mut uop_warps: Vec<crate::uop::UopWarp> = Vec::new();
     let mut consts: Vec<u64> = Vec::new();
 
@@ -669,6 +672,23 @@ pub fn run_kernel_cfg(
     if let Some(s) = sanitize.as_deref_mut() {
         s.exact = exact;
     }
+
+    // Predecode / compile once per launch (both cached on the kernel
+    // across launches); warp states and the per-block constant table
+    // are reused across blocks like the buffers above. The compiled
+    // tier carries no observation hooks, so a launch with a profile,
+    // sanitizer or live fault session falls back to the µop engine —
+    // results, stats and timing stay bit-identical either way.
+    let jit_prog = (exec_cfg.mode == ExecMode::Compiled
+        && profile.is_none()
+        && sanitize.is_none()
+        && !faults.is_live())
+    .then(|| kernel.jit());
+    let uop_prog = match exec_cfg.mode {
+        ExecMode::Predecoded => Some(kernel.uops()),
+        ExecMode::Compiled if jit_prog.is_none() => Some(kernel.uops()),
+        _ => None,
+    };
 
     for &block_id in &blocks_to_run {
         regs.fill(0);
@@ -696,8 +716,16 @@ pub fn run_kernel_cfg(
             profile: profile.as_deref_mut(),
             sanitize: sanitize.as_deref_mut(),
         };
-        match uop_prog {
-            Some(prog) => crate::uop::run_block(
+        match (jit_prog, uop_prog) {
+            (Some(prog), _) => crate::jit::run_block(
+                &mut ctx,
+                prog,
+                global,
+                &mut global_chains,
+                &mut uop_warps,
+                &mut consts,
+            )?,
+            (None, Some(prog)) => crate::uop::run_block(
                 &mut ctx,
                 prog,
                 global,
@@ -706,7 +734,7 @@ pub fn run_kernel_cfg(
                 faults,
                 &mut consts,
             )?,
-            None => run_block(&mut ctx, global, &mut global_chains, &mut warps, faults)?,
+            (None, None) => run_block(&mut ctx, global, &mut global_chains, &mut warps, faults)?,
         }
         let block_chain = ctx.shared_chains.values().copied().max().unwrap_or(0);
         ctx.stats.shared_atomic_max_chain_per_block = block_chain;
@@ -1761,6 +1789,7 @@ mod tests {
             num_preds: 0,
             cfg_cache: Default::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         };
         let mut mem = LinearMemory::new(0, "global");
         let err = run_kernel(&k, &arch(), LaunchDims::new(1, 32), &[], &mut mem, BlockSelection::All)
@@ -1803,6 +1832,7 @@ mod tests {
             num_preds: 0,
             cfg_cache: Default::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         };
         let mut mem = LinearMemory::new(64, "global");
         let err = run_kernel(&k, &arch(), LaunchDims::new(1, 1), &[], &mut mem, BlockSelection::All)

@@ -257,6 +257,15 @@ impl FaultSession {
         self.instr
     }
 
+    /// Whether this session can still fire a fault. Disabled sessions
+    /// and exhausted campaigns (no remaining injections, trigger
+    /// parked at `u64::MAX`) return `false`; the compiled execution
+    /// tier uses this to skip per-issue polling entirely, falling back
+    /// to the µop engine whenever a fault could actually land.
+    pub fn is_live(&self) -> bool {
+        self.next_trigger != u64::MAX || self.remaining > 0
+    }
+
     /// Faults injected so far, in injection order.
     pub fn log(&self) -> &[InjectedFault] {
         &self.log

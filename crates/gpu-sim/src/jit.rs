@@ -1,0 +1,2069 @@
+//! Closure-threaded compilation tier on top of the predecoded µop
+//! stream.
+//!
+//! The µop engine ([`crate::uop`]) already removed per-issue operand
+//! resolution, but every issue still pays a Rust `match` over the µop
+//! enum plus the per-issue budget/fault/statistics bookkeeping. This
+//! module lowers a kernel's [`UopProgram`] once more — once per kernel,
+//! shared across clones via the same `OnceLock` seam as the µop cache —
+//! into a flat array of monomorphic `Fn(&mut JitCtx) -> Result<..>`
+//! closures:
+//!
+//! * **Pre-resolved operands.** Each closure captures its operands
+//!   (`Src` values with immediates already converted to raw register
+//!   images at decode time) by value; executing a µop is one indirect
+//!   call with no enum dispatch. Hot ALU µops go further: the operand
+//!   kinds and the `(op, ty)` pair are monomorphized into the closure
+//!   type, so the per-lane body is a branch-free arithmetic kernel the
+//!   compiler can unroll and vectorize.
+//! * **Register-major register file.** Within a compiled block the
+//!   register and predicate files are *reinterpreted* in register-major
+//!   layout (`regs[r * block_dim + t]` instead of the engine-shared
+//!   `regs[t * num_regs + r]`): a warp's view of one register is a
+//!   contiguous row, so fully-active lane loops stream over adjacent
+//!   memory and uniform broadcasts become a single `fill`. The layout
+//!   is private to the tier — the buffers are zero-filled per block and
+//!   never read across the engine boundary — so the reinterpretation is
+//!   invisible to every other tier.
+//! * **Superinstructions.** Straight-line runs of compute/memory µops
+//!   execute as one dispatch: entering a run at any pc walks the flat
+//!   closure array from that pc to the next boundary (one indirect
+//!   call per µop over contiguous `Arc`s — no nested call frames, no
+//!   per-node chain allocations), and the per-issue budget +
+//!   statistics bookkeeping for the run is batched into one update
+//!   (exact because the active mask cannot change inside a run). Runs
+//!   end at control µops (`Bar`/`Bra`/`BraIf`/`Exit`/`Trap`) *and* at
+//!   every branch reconvergence target, because the divergence-stack
+//!   pop loop must observe `pc == reconv` before the µop at the
+//!   reconvergence point issues.
+//! * **Uniformity-lattice specialization.** Compute µops whose sources
+//!   are statically uniform (immediates, constants, the warp id)
+//!   compile to scalar once-per-warp closures with no runtime check;
+//!   µops with statically lane-varying sources (`%tid`, `%laneid`)
+//!   compile to per-lane loops; only µops with register sources keep
+//!   the dynamic uniformity test. All variants maintain the dynamic
+//!   lattice exactly as the µop engine does.
+//!
+//! The compiled tier carries **no observability hooks**: profiling,
+//! race sanitizing and live fault-injection sessions fall back to the
+//! µop engine at launch granularity (see `run_kernel_cfg`), so every
+//! existing instrumentation layer keeps working unchanged. Results,
+//! statistics and modelled time are bit-identical to both other tiers
+//! by construction, enforced by the same differential suites.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use crate::error::{SimError, TrapKind};
+use crate::exec::{
+    eval_atom, eval_bin, eval_cmp, eval_cvt, from_f, record_mem, to_f, trap_at, truncate, BlockCtx,
+    StackEntry, WarpStop, MAX_LANES, RECONV_NONE,
+};
+use crate::hash::FxHashMap;
+use crate::isa::{BinOp, InstrClass, PredId, RegId, ShflMode, Space, Ty};
+use crate::kernel::Kernel;
+use crate::memory::{LinearMemory, SMEM_BANKS, TRANSACTION_BYTES};
+use crate::stats::ClassCounts;
+use crate::uop::{
+    pred_uniform, set_pred_uni, set_reg_uni, src_uniform, Src, StaticTrap, Uop, UopProgram, UopWarp,
+};
+
+/// Everything a compiled µop closure may touch, bundled so the closure
+/// signature stays a single-argument `Fn` (one indirect call).
+pub(crate) struct JitCtx<'c, 'a> {
+    pub(crate) ctx: &'c mut BlockCtx<'a>,
+    pub(crate) global: &'c mut LinearMemory,
+    pub(crate) global_chains: &'c mut FxHashMap<u64, u64>,
+    pub(crate) consts: &'c [u64],
+    pub(crate) warp: &'c mut UopWarp,
+    /// Active-lane mask for the current run (invariant within it).
+    pub(crate) active: u32,
+    /// First thread index of the warp (`warp_id * warp_size`).
+    pub(crate) base: u32,
+    /// Row stride of the register-major reinterpretation (`block_dim`).
+    pub(crate) stride: usize,
+}
+
+impl JitCtx<'_, '_> {
+    /// Read register `r` of thread `t` (register-major layout).
+    #[inline(always)]
+    fn reg(&self, t: u32, r: RegId) -> u64 {
+        self.ctx.regs[r as usize * self.stride + t as usize]
+    }
+
+    /// Write register `r` of thread `t` (register-major layout).
+    #[inline(always)]
+    fn set_reg(&mut self, t: u32, r: RegId, v: u64) {
+        self.ctx.regs[r as usize * self.stride + t as usize] = v;
+    }
+
+    /// Read predicate `p` of thread `t` (register-major layout).
+    #[inline(always)]
+    fn pred(&self, t: u32, p: PredId) -> bool {
+        self.ctx.preds[p as usize * self.stride + t as usize]
+    }
+
+    /// Write predicate `p` of thread `t` (register-major layout).
+    #[inline(always)]
+    fn set_pred(&mut self, t: u32, p: PredId, v: bool) {
+        self.ctx.preds[p as usize * self.stride + t as usize] = v;
+    }
+
+    /// Evaluate a [`Src`] for lane `l` of the current warp.
+    #[inline(always)]
+    fn src(&self, l: u32, s: Src) -> u64 {
+        match s {
+            Src::Reg(r) => self.reg(self.base + l, r),
+            Src::Imm(v) => v,
+            Src::Const(i) => self.consts[i as usize],
+            Src::Tid => u64::from(self.base + l),
+            Src::Lane => u64::from(l),
+            Src::WarpId => u64::from(self.warp.warp_id),
+        }
+    }
+
+    /// Broadcast a scalarized register result to every active lane and
+    /// update the uniformity bit, exactly like the µop engine's
+    /// `write_reg_all`; a fully-active warp writes one contiguous row
+    /// slice.
+    #[inline]
+    fn write_reg_all(&mut self, dst: RegId, v: u64) {
+        let full = self.active == self.warp.full;
+        if full {
+            let s = dst as usize * self.stride + self.base as usize;
+            let k = self.warp.full.count_ones() as usize;
+            self.ctx.regs[s..s + k].fill(v);
+        } else {
+            let mut m = self.active;
+            while m != 0 {
+                let l = m.trailing_zeros();
+                self.set_reg(self.base + l, dst, v);
+                m &= m - 1;
+            }
+        }
+        set_reg_uni(self.warp, dst, full);
+    }
+
+    /// Broadcast a scalarized predicate result to every active lane
+    /// (see [`JitCtx::write_reg_all`]).
+    #[inline]
+    fn write_pred_all(&mut self, dst: PredId, v: bool) {
+        let full = self.active == self.warp.full;
+        if full {
+            let s = dst as usize * self.stride + self.base as usize;
+            let k = self.warp.full.count_ones() as usize;
+            self.ctx.preds[s..s + k].fill(v);
+        } else {
+            let mut m = self.active;
+            while m != 0 {
+                let l = m.trailing_zeros();
+                self.set_pred(self.base + l, dst, v);
+                m &= m - 1;
+            }
+        }
+        set_pred_uni(self.warp, dst, full);
+    }
+}
+
+/// Sort-free twin of [`crate::memory::coalesced_transactions`] for
+/// accesses already in non-decreasing `(address, size)` order. The
+/// shared helper sorts its `(first, last)` segment ranges before the
+/// union scan; per-issue sizes are constant here and the lowering
+/// checked the addresses while filling the buffer, so the ranges are
+/// already sorted and the scan alone is bit-identical.
+fn coalesced_transactions_ascending(accesses: &[(u64, u64)]) -> u64 {
+    let mut count = 0u64;
+    let mut covered_to = u64::MAX; // highest segment counted so far
+    for &(addr, size) in accesses {
+        let first = addr / TRANSACTION_BYTES;
+        let last = (addr + size.max(1) - 1) / TRANSACTION_BYTES;
+        if covered_to != u64::MAX && first <= covered_to {
+            if last > covered_to {
+                count += last - covered_to;
+                covered_to = last;
+            }
+        } else {
+            count += last - first + 1;
+            covered_to = last;
+        }
+    }
+    count
+}
+
+/// Sort-free twin of [`crate::memory::bank_conflict_degree`] for
+/// addresses already in non-decreasing order: word indices are then
+/// non-decreasing too, so duplicates are adjacent and the sorted
+/// dedup-scan of the shared helper runs unchanged on the raw input.
+fn bank_conflict_degree_ascending(accesses: &[(u64, u64)]) -> u64 {
+    let mut per_bank = [0u64; SMEM_BANKS as usize];
+    let mut degree = 1u64;
+    let mut prev = u64::MAX;
+    for &(a, _) in accesses {
+        let word = a / 4;
+        if word == prev {
+            continue; // broadcast: same word, no extra conflict
+        }
+        prev = word;
+        let bank = (word % SMEM_BANKS) as usize;
+        per_bank[bank] += 1;
+        degree = degree.max(per_bank[bank]);
+    }
+    degree
+}
+
+/// Jit-side [`record_mem`]: when the lowering observed the per-lane
+/// addresses in non-decreasing order (every generated reduction — lanes
+/// index consecutive elements), the sorts inside the shared analyses
+/// are identities and are skipped. The per-site profile update is
+/// statically absent under this tier (hook-fallback rule), so only the
+/// launch-wide counters are touched; any non-monotone access pattern
+/// falls back to the shared helper unchanged.
+fn record_mem_jit(
+    ctx: &mut BlockCtx<'_>,
+    pc: usize,
+    space: Space,
+    is_load: bool,
+    accesses: &[(u64, u64)],
+    ascending: bool,
+) {
+    if !ascending {
+        record_mem(ctx, pc, space, is_load, accesses);
+        return;
+    }
+    match space {
+        Space::Global => {
+            let tx = coalesced_transactions_ascending(accesses);
+            let useful: u64 = accesses.iter().map(|&(_, s)| s).sum();
+            if is_load {
+                ctx.stats.global_load_transactions += tx;
+                ctx.stats.global_load_bytes_useful += useful;
+            } else {
+                ctx.stats.global_store_transactions += tx;
+                ctx.stats.global_store_bytes_useful += useful;
+            }
+        }
+        Space::Shared => {
+            ctx.stats.shared_accesses += 1;
+            let degree = bank_conflict_degree_ascending(accesses);
+            ctx.stats.shared_bank_conflict_cycles += degree.saturating_sub(1);
+        }
+    }
+}
+
+/// Closed-form memory statistics for a whole-warp unit-stride access
+/// (`k` lanes at `a0 + l*req`, `req ∈ {4, 8}`, `a0` `req`-aligned), as
+/// computed by the whole-warp fast paths below. Bit-identical to
+/// [`record_mem`] on the same access list:
+///
+/// * Coalescing: the accesses cover `[a0, a0 + k*req)` without gaps,
+///   so the segment union is one interval and the transaction count is
+///   its segment span.
+/// * Bank conflicts: the word indices `a0/4 + l*req/4` are distinct
+///   and consecutive (stride 1 or 2), so with at most 32 lanes each
+///   bank sees at most one word for 4-byte accesses and at most
+///   `ceil(k/16)` words for 8-byte accesses.
+#[allow(clippy::too_many_arguments)]
+fn strided_mem_stats(
+    ctx: &mut BlockCtx<'_>,
+    pc: usize,
+    space: Space,
+    is_load: bool,
+    a0: u64,
+    k: usize,
+    stride: u64,
+    req: u64,
+) {
+    if stride == req {
+        // Unit stride: the warp reads one contiguous range, so the
+        // transaction count is the range's segment span and the bank
+        // conflict degree has a closed form.
+        let bytes = k as u64 * req;
+        match space {
+            Space::Global => {
+                let tx = (a0 + bytes - 1) / TRANSACTION_BYTES - a0 / TRANSACTION_BYTES + 1;
+                if is_load {
+                    ctx.stats.global_load_transactions += tx;
+                    ctx.stats.global_load_bytes_useful += bytes;
+                } else {
+                    ctx.stats.global_store_transactions += tx;
+                    ctx.stats.global_store_bytes_useful += bytes;
+                }
+            }
+            Space::Shared => {
+                ctx.stats.shared_accesses += 1;
+                let degree = if req == 4 { 1 } else { (k as u64).div_ceil(16) };
+                ctx.stats.shared_bank_conflict_cycles += degree - 1;
+            }
+        }
+        return;
+    }
+    // Any other stride: replay the per-lane access list through the
+    // sort-free ascending scan (lane addresses are non-decreasing by
+    // construction of the fast path).
+    let mut buf = [(0u64, 0u64); MAX_LANES];
+    for (l, slot) in buf[..k].iter_mut().enumerate() {
+        *slot = (a0 + l as u64 * stride, req);
+    }
+    record_mem_jit(ctx, pc, space, is_load, &buf[..k], true);
+}
+
+/// Byte span of `k` lane accesses of `elem` bytes placed `stride`
+/// apart from `a0`, or `None` when the range wraps the address space
+/// (the per-lane path then reproduces the exact trap).
+fn strided_span(a0: u64, k: usize, stride: u64, elem: u64) -> Option<u64> {
+    let last = stride.checked_mul(k as u64 - 1).and_then(|d| a0.checked_add(d))?;
+    (last - a0).checked_add(elem)
+}
+
+/// Whole-warp strided load: `k` `elem`-byte values `stride` bytes
+/// apart starting at `a0` into `vals`, bit-extended exactly like
+/// [`LinearMemory::read`]. Returns `false` (leaving `vals` untouched)
+/// when the range is out of bounds — the caller then replays the
+/// engine's per-lane path for exact partial-effect and trap behavior.
+/// `stride == elem` is the coalesced unit-stride shape; larger strides
+/// cover thread-distributed (coarsened) access rows.
+fn load_row(mem: &LinearMemory, a0: u64, k: usize, stride: u64, elem: u64, vals: &mut [u64]) -> bool {
+    let Some(span) = strided_span(a0, k, stride, elem) else { return false };
+    let Some(bytes) = mem.slice_at(a0, span) else { return false };
+    if elem == 4 {
+        for (l, v) in vals[..k].iter_mut().enumerate() {
+            let o = l * stride as usize;
+            *v = u64::from(u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap()));
+        }
+    } else {
+        for (l, v) in vals[..k].iter_mut().enumerate() {
+            let o = l * stride as usize;
+            *v = u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        }
+    }
+    true
+}
+
+/// Whole-warp strided store (see [`load_row`]): the low `elem` bytes
+/// of each value in `vals`, matching [`LinearMemory::write`]. Lanes
+/// scatter in ascending order, so a zero stride (every lane hitting
+/// one address) resolves to the last lane exactly like the engine's
+/// lane-order writes.
+fn store_row(mem: &mut LinearMemory, a0: u64, k: usize, stride: u64, elem: u64, vals: &[u64]) -> bool {
+    let Some(span) = strided_span(a0, k, stride, elem) else { return false };
+    let Some(bytes) = mem.slice_at_mut(a0, span) else { return false };
+    if elem == 4 {
+        for (l, &v) in vals[..k].iter().enumerate() {
+            let o = l * stride as usize;
+            bytes[o..o + 4].copy_from_slice(&(v as u32).to_le_bytes());
+        }
+    } else {
+        for (l, &v) in vals[..k].iter().enumerate() {
+            let o = l * stride as usize;
+            bytes[o..o + 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+    true
+}
+
+/// A compiled µop (or fused run of µops): one monomorphic closure with
+/// pre-resolved operands.
+type OpFn = Arc<dyn Fn(&mut JitCtx<'_, '_>) -> Result<(), SimError> + Send + Sync>;
+
+/// A fused straight-line region entered at a specific pc. The region's
+/// body lives in [`JitProgram::ops`]`[pc..end]`; the executor walks
+/// that slice directly.
+pub(crate) struct RunStep {
+    /// Number of µops in the run (`end - pc`).
+    pub(crate) len: u64,
+    /// First pc past the run (a boundary: control µop, reconvergence
+    /// target, or the end of the program).
+    pub(crate) end: usize,
+    /// Per-class issue counts of the run, pre-summed for the batched
+    /// statistics update.
+    pub(crate) counts: ClassCounts,
+}
+
+/// One compiled execution step, indexed by pc. Control µops keep their
+/// data-driven form (the divergence stack needs their fields); every
+/// other pc is the entry point of a [`RunStep`].
+pub(crate) enum Step {
+    /// A fused straight-line region starting at this pc.
+    Run(RunStep),
+    /// Block-wide barrier.
+    Bar,
+    /// Unconditional branch.
+    Bra {
+        /// Branch target pc.
+        target: usize,
+    },
+    /// Conditional branch with pre-linked reconvergence.
+    BraIf {
+        /// Guarding predicate register.
+        pred: PredId,
+        /// Branch when the predicate equals this value.
+        when: bool,
+        /// Branch target pc.
+        target: usize,
+        /// Reconvergence pc (`RECONV_NONE` if none).
+        reconv: usize,
+    },
+    /// Thread exit.
+    Exit,
+    /// Statically-certain illegal combination.
+    Trap {
+        /// What made the µop statically illegal.
+        what: StaticTrap,
+    },
+}
+
+/// A kernel compiled to closure-threaded form.
+///
+/// Built once per kernel by [`Kernel::jit`] and shared by every clone
+/// (see [`JitCache`]). The program is architecture-independent: the
+/// warp size enters execution through the per-block constant table and
+/// runtime masks, so one compilation serves every [`crate::arch::ArchConfig`]
+/// and exec-config — the `(kernel, arch, exec-config)` cache key
+/// degenerates to the kernel alone.
+pub struct JitProgram {
+    pub(crate) steps: Vec<Step>,
+    /// The compiled closure per pc (`None` at control pcs, which
+    /// execute as [`Step`]s). Runs execute by walking `ops[pc..end]`.
+    pub(crate) ops: Vec<Option<OpFn>>,
+    /// Instruction class per pc (for per-µop statistics on the slow
+    /// path).
+    pub(crate) classes: Vec<InstrClass>,
+    /// Parameter count (constant-table layout, as in [`UopProgram`]).
+    pub(crate) n_params: u16,
+}
+
+impl JitProgram {
+    /// Number of compiled steps (equal to the kernel's instruction
+    /// count).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the program is empty (an invalid kernel; retained for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl fmt::Debug for JitProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let runs = self.steps.iter().filter(|s| matches!(s, Step::Run(_))).count();
+        write!(f, "JitProgram({} steps, {} run entries)", self.steps.len(), runs)
+    }
+}
+
+/// Lazily-initialized compiled program attached to a [`Kernel`].
+///
+/// Like [`UopCache`](crate::uop::UopCache), the compiled form depends
+/// only on the immutable instruction stream, so it is built at most
+/// once per kernel and shared by every clone.
+#[derive(Default)]
+pub struct JitCache(OnceLock<Arc<JitProgram>>);
+
+impl JitCache {
+    /// Whether the compiled program has been built yet.
+    pub fn is_built(&self) -> bool {
+        self.0.get().is_some()
+    }
+
+    pub(crate) fn get_or_compile(&self, kernel: &Kernel) -> &JitProgram {
+        self.0.get_or_init(|| Arc::new(compile(kernel.uops())))
+    }
+}
+
+impl Clone for JitCache {
+    fn clone(&self) -> Self {
+        let out = JitCache::default();
+        if let Some(prog) = self.0.get() {
+            let _ = out.0.set(Arc::clone(prog));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for JitCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_built() { "JitCache(built)" } else { "JitCache(empty)" })
+    }
+}
+
+/// Static uniformity of one operand reader, folded into the closure
+/// type so the always/never cases carry no runtime check.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StaticUni {
+    /// Uniform for every warp state (immediate, constant, warp id).
+    Always,
+    /// Lane-varying for every warp state (`%tid`, `%laneid`).
+    Never,
+    /// Depends on the dynamic lattice (register sources).
+    Dynamic,
+}
+
+/// Meet of two operand classifications: any lane-varying operand makes
+/// the µop lane-varying; all-uniform stays uniform; otherwise the
+/// dynamic lattice decides.
+const fn combine(a: StaticUni, b: StaticUni) -> StaticUni {
+    match (a, b) {
+        (StaticUni::Never, _) | (_, StaticUni::Never) => StaticUni::Never,
+        (StaticUni::Always, StaticUni::Always) => StaticUni::Always,
+        _ => StaticUni::Dynamic,
+    }
+}
+
+/// A monomorphic operand reader: one [`Src`] kind lifted to a type so
+/// the per-lane load compiles to a direct array index (or a constant)
+/// instead of an enum dispatch.
+trait Rd: Copy + Send + Sync + 'static {
+    /// Static uniformity classification of this operand kind.
+    const UNI: StaticUni;
+
+    /// The operand's raw image for lane `l`.
+    fn at(self, j: &JitCtx<'_, '_>, l: u32) -> u64;
+
+    /// Whether the operand is uniform under the current lattice.
+    fn uniform(self, warp: &UopWarp) -> bool;
+
+    /// Gather the operand's images for lanes `0..k` of a fully-active
+    /// warp into `buf` (contiguous fast path).
+    #[inline(always)]
+    fn load(self, j: &JitCtx<'_, '_>, k: u32, buf: &mut [u64; MAX_LANES]) {
+        for (l, slot) in buf.iter_mut().take(k as usize).enumerate() {
+            *slot = self.at(j, l as u32);
+        }
+    }
+
+    /// Gather the operand's images for all [`MAX_LANES`] lanes of a
+    /// full-width warp. Unlike [`Rd::load`] the array is built whole —
+    /// no zero-fill pass, and downstream loops get a constant trip
+    /// count the compiler can unroll and vectorize.
+    #[inline(always)]
+    fn arr(self, j: &JitCtx<'_, '_>) -> [u64; MAX_LANES] {
+        std::array::from_fn(|l| self.at(j, l as u32))
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RdReg(RegId);
+
+impl Rd for RdReg {
+    const UNI: StaticUni = StaticUni::Dynamic;
+
+    #[inline(always)]
+    fn at(self, j: &JitCtx<'_, '_>, l: u32) -> u64 {
+        j.reg(j.base + l, self.0)
+    }
+
+    #[inline(always)]
+    fn uniform(self, warp: &UopWarp) -> bool {
+        src_uniform(warp, Src::Reg(self.0))
+    }
+
+    #[inline(always)]
+    fn load(self, j: &JitCtx<'_, '_>, k: u32, buf: &mut [u64; MAX_LANES]) {
+        let s = self.0 as usize * j.stride + j.base as usize;
+        buf[..k as usize].copy_from_slice(&j.ctx.regs[s..s + k as usize]);
+    }
+
+    #[inline(always)]
+    fn arr(self, j: &JitCtx<'_, '_>) -> [u64; MAX_LANES] {
+        let s = self.0 as usize * j.stride + j.base as usize;
+        j.ctx.regs[s..s + MAX_LANES].try_into().expect("full-width register row")
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RdImm(u64);
+
+impl Rd for RdImm {
+    const UNI: StaticUni = StaticUni::Always;
+
+    #[inline(always)]
+    fn at(self, _j: &JitCtx<'_, '_>, _l: u32) -> u64 {
+        self.0
+    }
+
+    #[inline(always)]
+    fn uniform(self, _warp: &UopWarp) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn load(self, _j: &JitCtx<'_, '_>, k: u32, buf: &mut [u64; MAX_LANES]) {
+        buf[..k as usize].fill(self.0);
+    }
+
+    #[inline(always)]
+    fn arr(self, _j: &JitCtx<'_, '_>) -> [u64; MAX_LANES] {
+        [self.0; MAX_LANES]
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RdConst(u16);
+
+impl Rd for RdConst {
+    const UNI: StaticUni = StaticUni::Always;
+
+    #[inline(always)]
+    fn at(self, j: &JitCtx<'_, '_>, _l: u32) -> u64 {
+        j.consts[self.0 as usize]
+    }
+
+    #[inline(always)]
+    fn uniform(self, _warp: &UopWarp) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn load(self, j: &JitCtx<'_, '_>, k: u32, buf: &mut [u64; MAX_LANES]) {
+        buf[..k as usize].fill(j.consts[self.0 as usize]);
+    }
+
+    #[inline(always)]
+    fn arr(self, j: &JitCtx<'_, '_>) -> [u64; MAX_LANES] {
+        [j.consts[self.0 as usize]; MAX_LANES]
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RdTid;
+
+impl Rd for RdTid {
+    const UNI: StaticUni = StaticUni::Never;
+
+    #[inline(always)]
+    fn at(self, j: &JitCtx<'_, '_>, l: u32) -> u64 {
+        u64::from(j.base + l)
+    }
+
+    #[inline(always)]
+    fn uniform(self, _warp: &UopWarp) -> bool {
+        false
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RdLane;
+
+impl Rd for RdLane {
+    const UNI: StaticUni = StaticUni::Never;
+
+    #[inline(always)]
+    fn at(self, _j: &JitCtx<'_, '_>, l: u32) -> u64 {
+        u64::from(l)
+    }
+
+    #[inline(always)]
+    fn uniform(self, _warp: &UopWarp) -> bool {
+        false
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RdWid;
+
+impl Rd for RdWid {
+    const UNI: StaticUni = StaticUni::Always;
+
+    #[inline(always)]
+    fn at(self, j: &JitCtx<'_, '_>, _l: u32) -> u64 {
+        u64::from(j.warp.warp_id)
+    }
+
+    #[inline(always)]
+    fn uniform(self, _warp: &UopWarp) -> bool {
+        true
+    }
+}
+
+/// Fallback reader for operand-kind combinations not worth their own
+/// monomorphization; keeps the enum dispatch but still benefits from
+/// the contiguous row layout.
+#[derive(Clone, Copy)]
+struct RdAny(Src);
+
+impl Rd for RdAny {
+    const UNI: StaticUni = StaticUni::Dynamic;
+
+    #[inline(always)]
+    fn at(self, j: &JitCtx<'_, '_>, l: u32) -> u64 {
+        j.src(l, self.0)
+    }
+
+    #[inline(always)]
+    fn uniform(self, warp: &UopWarp) -> bool {
+        src_uniform(warp, self.0)
+    }
+}
+
+/// Dispatch one [`Src`] to its monomorphic reader.
+macro_rules! rd {
+    ($s:expr, |$a:ident| $body:expr) => {
+        match $s {
+            Src::Reg(r) => {
+                let $a = RdReg(r);
+                $body
+            }
+            Src::Imm(v) => {
+                let $a = RdImm(v);
+                $body
+            }
+            Src::Const(i) => {
+                let $a = RdConst(i);
+                $body
+            }
+            Src::Tid => {
+                let $a = RdTid;
+                $body
+            }
+            Src::Lane => {
+                let $a = RdLane;
+                $body
+            }
+            Src::WarpId => {
+                let $a = RdWid;
+                $body
+            }
+        }
+    };
+}
+
+/// Dispatch a source pair to monomorphic readers. Only the combinations
+/// that dominate generated reduction kernels get their own types; the
+/// rest fall back to [`RdAny`] (correct, just not branch-free).
+macro_rules! rd2 {
+    ($sa:expr, $sb:expr, |$a:ident, $b:ident| $body:expr) => {
+        match ($sa, $sb) {
+            (Src::Reg(ra), Src::Reg(rb)) => {
+                let $a = RdReg(ra);
+                let $b = RdReg(rb);
+                $body
+            }
+            (Src::Reg(ra), Src::Imm(ib)) => {
+                let $a = RdReg(ra);
+                let $b = RdImm(ib);
+                $body
+            }
+            (Src::Reg(ra), Src::Const(cb)) => {
+                let $a = RdReg(ra);
+                let $b = RdConst(cb);
+                $body
+            }
+            (Src::Const(ca), Src::Reg(rb)) => {
+                let $a = RdConst(ca);
+                let $b = RdReg(rb);
+                $body
+            }
+            (sa, sb) => {
+                let $a = RdAny(sa);
+                let $b = RdAny(sb);
+                $body
+            }
+        }
+    };
+}
+
+/// Dispatch a source triple (multiply-add) to monomorphic readers.
+macro_rules! rd3 {
+    ($sa:expr, $sb:expr, $sc:expr, |$a:ident, $b:ident, $c:ident| $body:expr) => {
+        match ($sa, $sb, $sc) {
+            (Src::Reg(ra), Src::Reg(rb), Src::Reg(rc)) => {
+                let $a = RdReg(ra);
+                let $b = RdReg(rb);
+                let $c = RdReg(rc);
+                $body
+            }
+            (Src::Reg(ra), Src::Const(cb), Src::Reg(rc)) => {
+                let $a = RdReg(ra);
+                let $b = RdConst(cb);
+                let $c = RdReg(rc);
+                $body
+            }
+            (Src::Reg(ra), Src::Imm(ib), Src::Reg(rc)) => {
+                let $a = RdReg(ra);
+                let $b = RdImm(ib);
+                let $c = RdReg(rc);
+                $body
+            }
+            (sa, sb, sc) => {
+                let $a = RdAny(sa);
+                let $b = RdAny(sb);
+                let $c = RdAny(sc);
+                $body
+            }
+        }
+    };
+}
+
+/// Infallible [`eval_bin`]: the only fallible combinations (bitwise or
+/// shift ops on float types) are value-independent and are lowered to
+/// [`Step::Trap`] at decode time, so a compiled ALU body can never
+/// observe an error. Division and remainder by zero are defined (zero).
+#[inline(always)]
+fn bin_inf(op: BinOp, ty: Ty, x: u64, y: u64) -> u64 {
+    match eval_bin(op, ty, x, y) {
+        Ok(v) => v,
+        Err(_) => unreachable!("float-bitwise µops decode to Step::Trap"),
+    }
+}
+
+/// Compile a register-writing µop with one source through the
+/// uniformity classifier; `f` maps a lane's source image to the value
+/// written (infallible, see [`bin_inf`]).
+fn unary_build<A, F>(a: A, dst: RegId, f: F) -> OpFn
+where
+    A: Rd,
+    F: Fn(u64) -> u64 + Send + Sync + 'static,
+{
+    let scalar = move |j: &mut JitCtx<'_, '_>, f: &F| {
+        let l0 = j.active.trailing_zeros();
+        let v = f(a.at(j, l0));
+        j.write_reg_all(dst, v);
+    };
+    let lanes = move |j: &mut JitCtx<'_, '_>, f: &F| {
+        if j.active == j.warp.full {
+            let k = j.warp.full.count_ones();
+            let s = dst as usize * j.stride + j.base as usize;
+            if k as usize == MAX_LANES {
+                let xa = a.arr(j);
+                let out: &mut [u64; MAX_LANES] =
+                    (&mut j.ctx.regs[s..s + MAX_LANES]).try_into().expect("full-width row");
+                for (o, &x) in out.iter_mut().zip(&xa) {
+                    *o = f(x);
+                }
+                set_reg_uni(j.warp, dst, false);
+                return;
+            }
+            let mut xa = [0u64; MAX_LANES];
+            a.load(j, k, &mut xa);
+            for (o, &x) in j.ctx.regs[s..s + k as usize].iter_mut().zip(&xa) {
+                *o = f(x);
+            }
+        } else {
+            let mut m = j.active;
+            while m != 0 {
+                let l = m.trailing_zeros();
+                let v = f(a.at(j, l));
+                j.set_reg(j.base + l, dst, v);
+                m &= m - 1;
+            }
+        }
+        set_reg_uni(j.warp, dst, false);
+    };
+    match A::UNI {
+        StaticUni::Always => Arc::new(move |j| {
+            scalar(j, &f);
+            Ok(())
+        }),
+        StaticUni::Never => Arc::new(move |j| {
+            lanes(j, &f);
+            Ok(())
+        }),
+        StaticUni::Dynamic => Arc::new(move |j| {
+            if a.uniform(j.warp) {
+                scalar(j, &f);
+            } else {
+                lanes(j, &f);
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Compile a register-writing µop with two sources (see
+/// [`unary_build`]). The fully-active path stages both operand rows
+/// into stack buffers and streams the result into the destination row,
+/// which vectorizes when `f` is branch-free.
+fn bin_build<A, B, F>(a: A, b: B, dst: RegId, f: F) -> OpFn
+where
+    A: Rd,
+    B: Rd,
+    F: Fn(u64, u64) -> u64 + Send + Sync + 'static,
+{
+    let scalar = move |j: &mut JitCtx<'_, '_>, f: &F| {
+        let l0 = j.active.trailing_zeros();
+        let v = f(a.at(j, l0), b.at(j, l0));
+        j.write_reg_all(dst, v);
+    };
+    let lanes = move |j: &mut JitCtx<'_, '_>, f: &F| {
+        if j.active == j.warp.full {
+            let k = j.warp.full.count_ones();
+            let s = dst as usize * j.stride + j.base as usize;
+            if k as usize == MAX_LANES {
+                let xa = a.arr(j);
+                let xb = b.arr(j);
+                let out: &mut [u64; MAX_LANES] =
+                    (&mut j.ctx.regs[s..s + MAX_LANES]).try_into().expect("full-width row");
+                for (o, (&x, &y)) in out.iter_mut().zip(xa.iter().zip(&xb)) {
+                    *o = f(x, y);
+                }
+                set_reg_uni(j.warp, dst, false);
+                return;
+            }
+            let mut xa = [0u64; MAX_LANES];
+            let mut xb = [0u64; MAX_LANES];
+            a.load(j, k, &mut xa);
+            b.load(j, k, &mut xb);
+            let out = &mut j.ctx.regs[s..s + k as usize];
+            for (o, (&x, &y)) in out.iter_mut().zip(xa.iter().zip(&xb)) {
+                *o = f(x, y);
+            }
+        } else {
+            let mut m = j.active;
+            while m != 0 {
+                let l = m.trailing_zeros();
+                let v = f(a.at(j, l), b.at(j, l));
+                j.set_reg(j.base + l, dst, v);
+                m &= m - 1;
+            }
+        }
+        set_reg_uni(j.warp, dst, false);
+    };
+    match combine(A::UNI, B::UNI) {
+        StaticUni::Always => Arc::new(move |j| {
+            scalar(j, &f);
+            Ok(())
+        }),
+        StaticUni::Never => Arc::new(move |j| {
+            lanes(j, &f);
+            Ok(())
+        }),
+        StaticUni::Dynamic => Arc::new(move |j| {
+            if a.uniform(j.warp) && b.uniform(j.warp) {
+                scalar(j, &f);
+            } else {
+                lanes(j, &f);
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Compile a multiply-add µop (see [`bin_build`]).
+fn mad_build<A, B, C, F>(a: A, b: B, c: C, dst: RegId, f: F) -> OpFn
+where
+    A: Rd,
+    B: Rd,
+    C: Rd,
+    F: Fn(u64, u64, u64) -> u64 + Send + Sync + 'static,
+{
+    let scalar = move |j: &mut JitCtx<'_, '_>, f: &F| {
+        let l0 = j.active.trailing_zeros();
+        let v = f(a.at(j, l0), b.at(j, l0), c.at(j, l0));
+        j.write_reg_all(dst, v);
+    };
+    let lanes = move |j: &mut JitCtx<'_, '_>, f: &F| {
+        if j.active == j.warp.full {
+            let k = j.warp.full.count_ones();
+            let s = dst as usize * j.stride + j.base as usize;
+            if k as usize == MAX_LANES {
+                let xa = a.arr(j);
+                let xb = b.arr(j);
+                let xc = c.arr(j);
+                let out: &mut [u64; MAX_LANES] =
+                    (&mut j.ctx.regs[s..s + MAX_LANES]).try_into().expect("full-width row");
+                for (o, ((&x, &y), &z)) in out.iter_mut().zip(xa.iter().zip(&xb).zip(&xc)) {
+                    *o = f(x, y, z);
+                }
+                set_reg_uni(j.warp, dst, false);
+                return;
+            }
+            let mut xa = [0u64; MAX_LANES];
+            let mut xb = [0u64; MAX_LANES];
+            let mut xc = [0u64; MAX_LANES];
+            a.load(j, k, &mut xa);
+            b.load(j, k, &mut xb);
+            c.load(j, k, &mut xc);
+            let out = &mut j.ctx.regs[s..s + k as usize];
+            for (o, ((&x, &y), &z)) in out.iter_mut().zip(xa.iter().zip(&xb).zip(&xc)) {
+                *o = f(x, y, z);
+            }
+        } else {
+            let mut m = j.active;
+            while m != 0 {
+                let l = m.trailing_zeros();
+                let v = f(a.at(j, l), b.at(j, l), c.at(j, l));
+                j.set_reg(j.base + l, dst, v);
+                m &= m - 1;
+            }
+        }
+        set_reg_uni(j.warp, dst, false);
+    };
+    match combine(combine(A::UNI, B::UNI), C::UNI) {
+        StaticUni::Always => Arc::new(move |j| {
+            scalar(j, &f);
+            Ok(())
+        }),
+        StaticUni::Never => Arc::new(move |j| {
+            lanes(j, &f);
+            Ok(())
+        }),
+        StaticUni::Dynamic => Arc::new(move |j| {
+            if a.uniform(j.warp) && b.uniform(j.warp) && c.uniform(j.warp) {
+                scalar(j, &f);
+            } else {
+                lanes(j, &f);
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Compile a predicate-writing comparison (see [`bin_build`]).
+fn setp_build<A, B, F>(a: A, b: B, dst: PredId, f: F) -> OpFn
+where
+    A: Rd,
+    B: Rd,
+    F: Fn(u64, u64) -> bool + Send + Sync + 'static,
+{
+    let scalar = move |j: &mut JitCtx<'_, '_>, f: &F| {
+        let l0 = j.active.trailing_zeros();
+        let v = f(a.at(j, l0), b.at(j, l0));
+        j.write_pred_all(dst, v);
+    };
+    let lanes = move |j: &mut JitCtx<'_, '_>, f: &F| {
+        if j.active == j.warp.full {
+            let k = j.warp.full.count_ones();
+            let s = dst as usize * j.stride + j.base as usize;
+            if k as usize == MAX_LANES {
+                let xa = a.arr(j);
+                let xb = b.arr(j);
+                let out: &mut [bool; MAX_LANES] =
+                    (&mut j.ctx.preds[s..s + MAX_LANES]).try_into().expect("full-width row");
+                for (o, (&x, &y)) in out.iter_mut().zip(xa.iter().zip(&xb)) {
+                    *o = f(x, y);
+                }
+                set_pred_uni(j.warp, dst, false);
+                return;
+            }
+            let mut xa = [0u64; MAX_LANES];
+            let mut xb = [0u64; MAX_LANES];
+            a.load(j, k, &mut xa);
+            b.load(j, k, &mut xb);
+            let out = &mut j.ctx.preds[s..s + k as usize];
+            for (o, (&x, &y)) in out.iter_mut().zip(xa.iter().zip(&xb)) {
+                *o = f(x, y);
+            }
+        } else {
+            let mut m = j.active;
+            while m != 0 {
+                let l = m.trailing_zeros();
+                let v = f(a.at(j, l), b.at(j, l));
+                j.set_pred(j.base + l, dst, v);
+                m &= m - 1;
+            }
+        }
+        set_pred_uni(j.warp, dst, false);
+    };
+    match combine(A::UNI, B::UNI) {
+        StaticUni::Always => Arc::new(move |j| {
+            scalar(j, &f);
+            Ok(())
+        }),
+        StaticUni::Never => Arc::new(move |j| {
+            lanes(j, &f);
+            Ok(())
+        }),
+        StaticUni::Dynamic => Arc::new(move |j| {
+            if a.uniform(j.warp) && b.uniform(j.warp) {
+                scalar(j, &f);
+            } else {
+                lanes(j, &f);
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// Lower a unary register µop through the operand dispatcher.
+fn lower_unary<F>(src: Src, dst: RegId, f: F) -> OpFn
+where
+    F: Fn(u64) -> u64 + Send + Sync + 'static,
+{
+    rd!(src, |a| unary_build(a, dst, f))
+}
+
+/// Lower a binary ALU µop. The `(op, ty)` pairs generated reduction
+/// kernels actually issue get fully monomorphic, branch-free per-lane
+/// bodies ([`eval_bin`] constant-folds under a known pair); everything
+/// else shares one generic body per operand-kind combination.
+fn lower_bin(op: BinOp, ty: Ty, a: Src, b: Src, dst: RegId) -> OpFn {
+    macro_rules! hot {
+        ($(($O:ident, $T:ident)),* $(,)?) => {
+            match (op, ty) {
+                $((BinOp::$O, Ty::$T) => rd2!(a, b, |x, y| {
+                    bin_build(x, y, dst, |p, q| bin_inf(BinOp::$O, Ty::$T, p, q))
+                }),)*
+                _ => rd2!(a, b, |x, y| bin_build(x, y, dst, move |p, q| bin_inf(op, ty, p, q))),
+            }
+        };
+    }
+    hot!(
+        (Add, I32),
+        (Add, U32),
+        (Add, I64),
+        (Add, U64),
+        (Add, F32),
+        (Add, F64),
+        (Sub, I32),
+        (Sub, U32),
+        (Sub, U64),
+        (Sub, F32),
+        (Mul, I32),
+        (Mul, U32),
+        (Mul, I64),
+        (Mul, U64),
+        (Mul, F32),
+        (Min, I32),
+        (Min, U32),
+        (Min, F32),
+        (Max, I32),
+        (Max, U32),
+        (Max, F32),
+        (Div, U32),
+        (Rem, U32),
+        (And, U32),
+        (And, U64),
+        (Or, U32),
+        (Xor, U32),
+        (Shl, U32),
+        (Shl, U64),
+        (Shr, I32),
+        (Shr, U32),
+        (Shr, U64),
+    )
+}
+
+/// Lower a multiply-add µop with a per-type monomorphic body.
+fn lower_mad(ty: Ty, a: Src, b: Src, c: Src, dst: RegId) -> OpFn {
+    macro_rules! per_ty {
+        ($($T:ident),*) => {
+            match ty {
+                $(Ty::$T => rd3!(a, b, c, |x, y, z| {
+                    mad_build(x, y, z, dst, |p, q, r| {
+                        bin_inf(BinOp::Add, Ty::$T, bin_inf(BinOp::Mul, Ty::$T, p, q), r)
+                    })
+                }),)*
+            }
+        };
+    }
+    per_ty!(I32, U32, I64, U64, F32, F64)
+}
+
+/// Lower one non-control µop at `pc` to its closure. Control µops
+/// (`Bar`/`Bra`/`BraIf`/`Exit`/`Trap`) are executed as [`Step`]s and
+/// never reach this function.
+#[allow(clippy::too_many_lines)]
+fn lower(uop: Uop, pc: usize) -> OpFn {
+    match uop {
+        Uop::Mov { ty, dst, src } => lower_unary(src, dst, move |v| truncate(ty, v)),
+        Uop::Neg { ty, dst, src } => {
+            if ty.is_float() {
+                lower_unary(src, dst, move |v| from_f(ty, -to_f(ty, v)))
+            } else {
+                lower_unary(src, dst, move |v| bin_inf(BinOp::Sub, ty, 0, v))
+            }
+        }
+        Uop::Not { ty, dst, src } => lower_unary(src, dst, move |v| truncate(ty, !v)),
+        Uop::Bin { op, ty, dst, a, b } => lower_bin(op, ty, a, b, dst),
+        Uop::Mad { ty, dst, a, b, c } => lower_mad(ty, a, b, c, dst),
+        Uop::Cvt { from, to, dst, src } => lower_unary(src, dst, move |v| eval_cvt(from, to, v)),
+        Uop::Setp { op, ty, dst, a, b } => {
+            rd2!(a, b, |x, y| setp_build(x, y, dst, move |p, q| eval_cmp(op, ty, p, q)))
+        }
+        Uop::Plop { op, dst, a, b } => Arc::new(move |j| {
+            let apply = |x: bool, y: bool| match op {
+                BinOp::And => x && y,
+                BinOp::Or => x || y,
+                // Decode validated op ∈ {And, Or, Xor}.
+                _ => x ^ y,
+            };
+            if pred_uniform(j.warp, a) && pred_uniform(j.warp, b) {
+                let l0 = j.active.trailing_zeros();
+                let v = apply(j.pred(j.base + l0, a), j.pred(j.base + l0, b));
+                j.write_pred_all(dst, v);
+            } else {
+                let mut m = j.active;
+                while m != 0 {
+                    let l = m.trailing_zeros();
+                    let v = apply(j.pred(j.base + l, a), j.pred(j.base + l, b));
+                    j.set_pred(j.base + l, dst, v);
+                    m &= m - 1;
+                }
+                set_pred_uni(j.warp, dst, false);
+            }
+            Ok(())
+        }),
+        Uop::Selp { ty, dst, a, b, pred } => Arc::new(move |j| {
+            // The predicate's uniformity is only known dynamically, so
+            // the select never gets a check-free scalar form.
+            if src_uniform(j.warp, a) && src_uniform(j.warp, b) && pred_uniform(j.warp, pred) {
+                let l0 = j.active.trailing_zeros();
+                let s = if j.pred(j.base + l0, pred) { a } else { b };
+                let v = truncate(ty, j.src(l0, s));
+                j.write_reg_all(dst, v);
+            } else {
+                let mut m = j.active;
+                while m != 0 {
+                    let l = m.trailing_zeros();
+                    let s = if j.pred(j.base + l, pred) { a } else { b };
+                    let v = truncate(ty, j.src(l, s));
+                    j.set_reg(j.base + l, dst, v);
+                    m &= m - 1;
+                }
+                set_reg_uni(j.warp, dst, false);
+            }
+            Ok(())
+        }),
+        Uop::Ld { space, ty, dst, base, offset, vlanes } => {
+            let elem = ty.size();
+            let req = elem * u64::from(vlanes);
+            // Register sizes are 4 or 8 bytes and vector widths powers
+            // of two, so the alignment test is a mask; the guard keeps
+            // the lowering correct should that ever change.
+            let pow2 = req.is_power_of_two();
+            let amask = req.wrapping_sub(1);
+            Arc::new(move |j| {
+                let wid = j.warp.warp_id;
+                let base_row = match base {
+                    Src::Reg(r) => Some(r as usize * j.stride + j.base as usize),
+                    _ => None,
+                };
+                // Whole-warp fast path: full warp, scalar element, and
+                // a constant-stride address row (lane `l` at `a0 +
+                // l*s` for aligned `s ≥ 0`) — unit stride is every
+                // coalesced reduction load, larger strides the
+                // thread-distributed (coarsened) rows. One bounds
+                // check covers the warp and lanes gather without
+                // per-lane checks; any other shape, or an
+                // out-of-bounds range, takes the per-lane path below,
+                // which preserves exact partial-effect trap behavior.
+                if vlanes == 1 && j.active == j.warp.full && pow2 && (elem == 4 || elem == 8) {
+                    if let Some(row) = base_row {
+                        let k = j.active.count_ones() as usize;
+                        let a0 = j.ctx.regs[row].wrapping_add(offset as u64);
+                        let s = if k > 1 {
+                            j.ctx.regs[row + 1].wrapping_add(offset as u64).wrapping_sub(a0)
+                        } else {
+                            0
+                        };
+                        let mut strided = a0 & amask == 0 && s & amask == 0;
+                        for l in 2..k {
+                            strided &= j.ctx.regs[row + l].wrapping_add(offset as u64)
+                                == a0.wrapping_add((l as u64).wrapping_mul(s));
+                        }
+                        if strided {
+                            let mut vals = [0u64; MAX_LANES];
+                            let loaded = match space {
+                                Space::Global => load_row(j.global, a0, k, s, elem, &mut vals),
+                                Space::Shared => load_row(j.ctx.smem, a0, k, s, elem, &mut vals),
+                            };
+                            if loaded {
+                                let d0 = dst as usize * j.stride + j.base as usize;
+                                j.ctx.regs[d0..d0 + k].copy_from_slice(&vals[..k]);
+                                set_reg_uni(j.warp, dst, false);
+                                strided_mem_stats(j.ctx, pc, space, true, a0, k, s, req);
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                let mut access_buf = [(0u64, 0u64); MAX_LANES];
+                let mut i = 0usize;
+                let mut ascending = true;
+                let mut prev = 0u64;
+                let mut m = j.active;
+                while m != 0 {
+                    let l = m.trailing_zeros();
+                    let t = j.base + l;
+                    let raw = match base_row {
+                        Some(row) => j.ctx.regs[row + l as usize],
+                        None => j.src(l, base),
+                    };
+                    let a = raw.wrapping_add(offset as u64);
+                    let misaligned =
+                        if pow2 { a & amask != 0 } else { !a.is_multiple_of(req) };
+                    if misaligned {
+                        return Err(trap_at(
+                            j.ctx.kernel,
+                            pc,
+                            wid,
+                            l,
+                            TrapKind::Misaligned { space: space.label(), addr: a, required: req },
+                        ));
+                    }
+                    ascending &= a >= prev;
+                    prev = a;
+                    access_buf[i] = (a, req);
+                    i += 1;
+                    for k in 0..vlanes {
+                        let v = match space {
+                            Space::Global => j.global.read(ty, a + u64::from(k) * elem)?,
+                            Space::Shared => j.ctx.smem.read(ty, a + u64::from(k) * elem)?,
+                        };
+                        j.set_reg(t, dst + k, v);
+                    }
+                    m &= m - 1;
+                }
+                for k in 0..vlanes {
+                    set_reg_uni(j.warp, dst + k, false);
+                }
+                let accesses = &access_buf[..i];
+                record_mem_jit(j.ctx, pc, space, true, accesses, ascending);
+                if space == Space::Global && vlanes > 1 {
+                    j.ctx.stats.global_vector_bytes +=
+                        accesses.iter().map(|&(_, s)| s).sum::<u64>();
+                }
+                Ok(())
+            })
+        }
+        Uop::St { space, ty, src, base, offset, vlanes } => {
+            let elem = ty.size();
+            let req = elem * u64::from(vlanes);
+            let pow2 = req.is_power_of_two();
+            let amask = req.wrapping_sub(1);
+            Arc::new(move |j| {
+                let wid = j.warp.warp_id;
+                let base_row = match base {
+                    Src::Reg(r) => Some(r as usize * j.stride + j.base as usize),
+                    _ => None,
+                };
+                // Whole-warp constant-stride fast path; see the load
+                // twin.
+                if vlanes == 1 && j.active == j.warp.full && pow2 && (elem == 4 || elem == 8) {
+                    if let Some(row) = base_row {
+                        let k = j.active.count_ones() as usize;
+                        let a0 = j.ctx.regs[row].wrapping_add(offset as u64);
+                        let s = if k > 1 {
+                            j.ctx.regs[row + 1].wrapping_add(offset as u64).wrapping_sub(a0)
+                        } else {
+                            0
+                        };
+                        let mut strided = a0 & amask == 0 && s & amask == 0;
+                        for l in 2..k {
+                            strided &= j.ctx.regs[row + l].wrapping_add(offset as u64)
+                                == a0.wrapping_add((l as u64).wrapping_mul(s));
+                        }
+                        if strided {
+                            let s0 = src as usize * j.stride + j.base as usize;
+                            let stored = match space {
+                                Space::Global => {
+                                    store_row(j.global, a0, k, s, elem, &j.ctx.regs[s0..s0 + k])
+                                }
+                                Space::Shared => {
+                                    let (mem, regs) = (&mut *j.ctx.smem, &*j.ctx.regs);
+                                    store_row(mem, a0, k, s, elem, &regs[s0..s0 + k])
+                                }
+                            };
+                            if stored {
+                                strided_mem_stats(j.ctx, pc, space, false, a0, k, s, req);
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                let mut access_buf = [(0u64, 0u64); MAX_LANES];
+                let mut i = 0usize;
+                let mut ascending = true;
+                let mut prev = 0u64;
+                let mut m = j.active;
+                while m != 0 {
+                    let l = m.trailing_zeros();
+                    let t = j.base + l;
+                    let raw = match base_row {
+                        Some(row) => j.ctx.regs[row + l as usize],
+                        None => j.src(l, base),
+                    };
+                    let a = raw.wrapping_add(offset as u64);
+                    let misaligned =
+                        if pow2 { a & amask != 0 } else { !a.is_multiple_of(req) };
+                    if misaligned {
+                        return Err(trap_at(
+                            j.ctx.kernel,
+                            pc,
+                            wid,
+                            l,
+                            TrapKind::Misaligned { space: space.label(), addr: a, required: req },
+                        ));
+                    }
+                    ascending &= a >= prev;
+                    prev = a;
+                    access_buf[i] = (a, req);
+                    i += 1;
+                    for k in 0..vlanes {
+                        let v = j.reg(t, src + k);
+                        match space {
+                            Space::Global => j.global.write(ty, a + u64::from(k) * elem, v)?,
+                            Space::Shared => j.ctx.smem.write(ty, a + u64::from(k) * elem, v)?,
+                        }
+                    }
+                    m &= m - 1;
+                }
+                record_mem_jit(j.ctx, pc, space, false, &access_buf[..i], ascending);
+                Ok(())
+            })
+        }
+        Uop::Atom { space, scope: _, op, ty, dst, base, offset, src, cmp } => {
+            let req = ty.size();
+            let pow2 = req.is_power_of_two();
+            let amask = req.wrapping_sub(1);
+            Arc::new(move |j| {
+            let wid = j.warp.warp_id;
+            let mut addr_buf = [0u64; MAX_LANES];
+            let mut i = 0usize;
+            let mut m = j.active;
+            while m != 0 {
+                let l = m.trailing_zeros();
+                let t = j.base + l;
+                let a = j.src(l, base).wrapping_add(offset as u64);
+                let misaligned = if pow2 { a & amask != 0 } else { !a.is_multiple_of(req) };
+                if misaligned {
+                    return Err(trap_at(
+                        j.ctx.kernel,
+                        pc,
+                        wid,
+                        l,
+                        TrapKind::Misaligned { space: space.label(), addr: a, required: req },
+                    ));
+                }
+                addr_buf[i] = a;
+                i += 1;
+                let s = j.src(l, src);
+                let c = cmp.map(|c| j.src(l, c));
+                let old = match space {
+                    Space::Global => {
+                        let old = j.global.read(ty, a)?;
+                        let new = eval_atom(op, ty, old, s, c)
+                            .map_err(|k| trap_at(j.ctx.kernel, pc, wid, l, k))?;
+                        j.global.write(ty, a, new)?;
+                        old
+                    }
+                    Space::Shared => {
+                        let old = j.ctx.smem.read(ty, a)?;
+                        let new = eval_atom(op, ty, old, s, c)
+                            .map_err(|k| trap_at(j.ctx.kernel, pc, wid, l, k))?;
+                        j.ctx.smem.write(ty, a, new)?;
+                        old
+                    }
+                };
+                if let Some(d) = dst {
+                    j.set_reg(t, d, old);
+                }
+                // Chain accounting feeds the timing model; the per-site
+                // profile is absent by the hook-fallback rule.
+                match space {
+                    Space::Global => *j.global_chains.entry(a).or_insert(0) += 1,
+                    Space::Shared => *j.ctx.shared_chains.entry(a).or_insert(0) += 1,
+                }
+                m &= m - 1;
+            }
+            if let Some(d) = dst {
+                set_reg_uni(j.warp, d, false);
+            }
+            match space {
+                Space::Global => {
+                    j.ctx.stats.global_atomics += i as u64;
+                }
+                Space::Shared => {
+                    // The worst per-address chain only feeds the shared
+                    // serialization counter, so it is skipped for
+                    // global atomics.
+                    let addrs = &addr_buf[..i];
+                    let mut worst = 0u64;
+                    for (idx, &a) in addrs.iter().enumerate() {
+                        if addrs[..idx].contains(&a) {
+                            continue;
+                        }
+                        let c = addrs[idx..].iter().filter(|&&b| b == a).count() as u64;
+                        worst = worst.max(c);
+                    }
+                    j.ctx.stats.shared_atomics += i as u64;
+                    j.ctx.stats.shared_atomic_serial += worst;
+                }
+            }
+            Ok(())
+        })
+        }
+        Uop::Shfl { mode, ty, dst, src, lane, width, pred_out } => Arc::new(move |j| {
+            let ws = j.ctx.arch.warp_size;
+            let w = width.clamp(1, ws);
+            let last = (ws - 1) as usize;
+            let kf = ws.min(j.ctx.block_dim - j.base) as usize;
+            let mut snapshot = [0u64; MAX_LANES];
+            if let Src::Reg(r) = src {
+                let s = r as usize * j.stride + j.base as usize;
+                snapshot[..kf].copy_from_slice(&j.ctx.regs[s..s + kf]);
+            } else {
+                for (l, slot) in snapshot.iter_mut().enumerate().take(kf) {
+                    *slot = j.src(l as u32, src);
+                }
+            }
+            // Fast path: full warp, uniform shift amount (an immediate
+            // in every generated reduction), power-of-two segment
+            // width, no in-range predicate — the per-lane source index
+            // reduces to mask arithmetic over a contiguous row write.
+            if j.active == j.warp.full
+                && pred_out.is_none()
+                && w.is_power_of_two()
+                && src_uniform(j.warp, lane)
+            {
+                let b = j.src(j.active.trailing_zeros(), lane) as u32;
+                let k = j.active.count_ones();
+                let pm = w - 1;
+                let d0 = dst as usize * j.stride + j.base as usize;
+                match mode {
+                    ShflMode::Up => {
+                        for l in 0..k {
+                            let sl = if (l & pm) >= b { l - b } else { l };
+                            j.ctx.regs[d0 + l as usize] =
+                                truncate(ty, snapshot[(sl as usize).min(last)]);
+                        }
+                    }
+                    ShflMode::Down => {
+                        for l in 0..k {
+                            let sl = if (l & pm) + b < w { l + b } else { l };
+                            j.ctx.regs[d0 + l as usize] =
+                                truncate(ty, snapshot[(sl as usize).min(last)]);
+                        }
+                    }
+                    ShflMode::Bfly => {
+                        for l in 0..k {
+                            let x = (l & pm) ^ b;
+                            let sl = if x < w { (l & !pm) + x } else { l };
+                            j.ctx.regs[d0 + l as usize] =
+                                truncate(ty, snapshot[(sl as usize).min(last)]);
+                        }
+                    }
+                    ShflMode::Idx => {
+                        for l in 0..k {
+                            let sl = (l & !pm) + (b & pm);
+                            j.ctx.regs[d0 + l as usize] =
+                                truncate(ty, snapshot[(sl as usize).min(last)]);
+                        }
+                    }
+                }
+                set_reg_uni(j.warp, dst, false);
+                return Ok(());
+            }
+            let mut m = j.active;
+            while m != 0 {
+                let l = m.trailing_zeros();
+                let t = j.base + l;
+                let b = j.src(l, lane) as u32;
+                let seg = l / w * w;
+                let pos = l % w;
+                let (src_lane, in_range) = match mode {
+                    ShflMode::Up => {
+                        if pos >= b {
+                            (seg + pos - b, true)
+                        } else {
+                            (l, false)
+                        }
+                    }
+                    ShflMode::Down => {
+                        if pos + b < w {
+                            (seg + pos + b, true)
+                        } else {
+                            (l, false)
+                        }
+                    }
+                    ShflMode::Bfly => {
+                        let x = pos ^ b;
+                        if x < w {
+                            (seg + x, true)
+                        } else {
+                            (l, false)
+                        }
+                    }
+                    ShflMode::Idx => (seg + b % w, true),
+                };
+                let v = snapshot[src_lane.min(ws - 1) as usize];
+                j.set_reg(t, dst, truncate(ty, v));
+                if let Some(p) = pred_out {
+                    j.set_pred(t, p, in_range);
+                }
+                m &= m - 1;
+            }
+            set_reg_uni(j.warp, dst, false);
+            if let Some(p) = pred_out {
+                set_pred_uni(j.warp, p, false);
+            }
+            Ok(())
+        }),
+        Uop::Bar | Uop::Bra { .. } | Uop::BraIf { .. } | Uop::Exit | Uop::Trap { .. } => {
+            unreachable!("control µops execute as Steps, not closures")
+        }
+    }
+}
+
+/// Whether the µop at a pc terminates straight-line fusion.
+fn is_control(u: &Uop) -> bool {
+    matches!(u, Uop::Bar | Uop::Bra { .. } | Uop::BraIf { .. } | Uop::Exit | Uop::Trap { .. })
+}
+
+/// Lower a predecoded program into its closure-threaded form.
+pub(crate) fn compile(prog: &UopProgram) -> JitProgram {
+    let n = prog.uops.len();
+
+    // A pc cannot sit in the middle of a run if (a) it is a control
+    // µop, or (b) it is a reconvergence target of any conditional
+    // branch: the divergence-stack pop loop tests `pc == reconv`
+    // before each issue, so execution must surface at such a pc.
+    let mut boundary = vec![false; n + 1];
+    boundary[n] = true;
+    for (p, u) in prog.uops.iter().enumerate() {
+        if is_control(u) {
+            boundary[p] = true;
+        }
+        if let Uop::BraIf { reconv, .. } = *u {
+            if reconv <= n {
+                boundary[reconv] = true;
+            }
+        }
+    }
+
+    let ops: Vec<Option<OpFn>> = prog
+        .uops
+        .iter()
+        .enumerate()
+        .map(|(pc, u)| if is_control(u) { None } else { Some(lower(*u, pc)) })
+        .collect();
+
+    // Pre-sum each run suffix in reverse: entering a run at any pc
+    // (straight-line successor or branch target alike) knows its end
+    // and batched class counts without walking forward first.
+    let mut end = vec![0usize; n];
+    let mut counts = vec![ClassCounts::default(); n];
+    for pc in (0..n).rev() {
+        if ops[pc].is_none() {
+            continue;
+        }
+        let mut c = ClassCounts::default();
+        c.add(prog.classes[pc], 1);
+        if boundary[pc + 1] {
+            end[pc] = pc + 1;
+        } else {
+            end[pc] = end[pc + 1];
+            c.merge(&counts[pc + 1]);
+        }
+        counts[pc] = c;
+    }
+
+    let steps = prog
+        .uops
+        .iter()
+        .enumerate()
+        .map(|(pc, u)| match *u {
+            Uop::Bar => Step::Bar,
+            Uop::Bra { target } => Step::Bra { target },
+            Uop::BraIf { pred, when, target, reconv } => Step::BraIf { pred, when, target, reconv },
+            Uop::Exit => Step::Exit,
+            Uop::Trap { what } => Step::Trap { what },
+            _ => Step::Run(RunStep {
+                len: (end[pc] - pc) as u64,
+                end: end[pc],
+                counts: counts[pc],
+            }),
+        })
+        .collect();
+
+    JitProgram { steps, ops, classes: prog.classes.clone(), n_params: prog.n_params }
+}
+
+/// Execute one block through the compiled path. Mirrors
+/// [`crate::uop::run_block`]'s scheduling exactly; the sanitizer
+/// release hook is absent because sanitized launches fall back to the
+/// µop engine.
+pub(crate) fn run_block(
+    ctx: &mut BlockCtx<'_>,
+    prog: &JitProgram,
+    global: &mut LinearMemory,
+    global_chains: &mut FxHashMap<u64, u64>,
+    warps: &mut Vec<UopWarp>,
+    consts: &mut Vec<u64>,
+) -> Result<(), SimError> {
+    crate::uop::build_consts(ctx, prog.n_params, consts);
+    crate::uop::reset_warps(warps, ctx.block_dim, ctx.arch.warp_size);
+
+    loop {
+        let mut waiting = 0usize;
+        let mut ran = 0usize;
+        for warp in warps.iter_mut() {
+            if warp.stack.is_empty() {
+                continue;
+            }
+            ran += 1;
+            if matches!(
+                run_warp(ctx, prog, consts, warp, global, global_chains)?,
+                WarpStop::Barrier
+            ) {
+                waiting += 1;
+            }
+        }
+        if waiting == 0 {
+            break;
+        }
+        if waiting < ran {
+            let waiting_warps: Vec<u32> =
+                warps.iter().filter(|w| !w.stack.is_empty()).map(|w| w.warp_id).collect();
+            let barrier_pc = warps
+                .iter()
+                .find(|w| !w.stack.is_empty())
+                .and_then(|w| w.stack.last())
+                .map_or(0, |top| top.pc.saturating_sub(1));
+            return Err(SimError::BarrierDeadlock {
+                kernel: ctx.kernel.name.clone(),
+                barrier_pc,
+                waiting_warps,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Execute one warp of compiled steps until it hits a barrier or
+/// finishes.
+fn run_warp(
+    ctx: &mut BlockCtx<'_>,
+    prog: &JitProgram,
+    consts: &[u64],
+    warp: &mut UopWarp,
+    global: &mut LinearMemory,
+    global_chains: &mut FxHashMap<u64, u64>,
+) -> Result<WarpStop, SimError> {
+    let warp_size = ctx.arch.warp_size;
+    let stride = ctx.block_dim as usize;
+    let base = warp.warp_id * warp_size;
+    let wid = warp.warp_id;
+    loop {
+        // Pop completed or emptied divergence entries.
+        loop {
+            let Some(top) = warp.stack.last() else {
+                return Ok(WarpStop::Done);
+            };
+            if top.mask & !warp.exited == 0 || top.pc == top.reconv {
+                warp.stack.pop();
+                continue;
+            }
+            break;
+        }
+        let top = *warp.stack.last().unwrap();
+        let active = top.mask & !warp.exited;
+        let pc = top.pc;
+        if pc >= prog.steps.len() {
+            warp.exited |= active;
+            warp.stack.pop();
+            continue;
+        }
+        let n_active = active.count_ones();
+
+        // Per-issue bookkeeping for a single control step: the same
+        // budget + statistics sequence the µop engine performs. Fault
+        // polls are absent by the hook-fallback rule (the session is
+        // not live when the compiled tier runs).
+        macro_rules! issue_one {
+            () => {
+                if ctx.budget == 0 {
+                    return Err(SimError::Timeout {
+                        kernel: ctx.kernel.name.clone(),
+                        budget: ctx.budget_total,
+                    });
+                }
+                ctx.budget -= 1;
+                ctx.stats.issue(prog.classes[pc], n_active, warp_size);
+            };
+        }
+
+        match &prog.steps[pc] {
+            Step::Run(run) => {
+                if ctx.budget >= run.len {
+                    // Fast path: the whole run is within budget, so the
+                    // per-µop budget checks cannot fire and the
+                    // statistics fold into one batched update (the
+                    // active mask is invariant across the run).
+                    ctx.budget -= run.len;
+                    ctx.stats.warp_instrs.merge(&run.counts);
+                    ctx.stats.thread_instrs += run.len * u64::from(n_active);
+                    if n_active < warp_size {
+                        ctx.stats.divergent_issues += run.len;
+                    }
+                    {
+                        let mut j = JitCtx {
+                            ctx: &mut *ctx,
+                            global,
+                            global_chains,
+                            consts,
+                            warp: &mut *warp,
+                            active,
+                            base,
+                            stride,
+                        };
+                        for op in &prog.ops[pc..run.end] {
+                            (op.as_ref().expect("run pcs have ops"))(&mut j)?;
+                        }
+                    }
+                    warp.stack.last_mut().unwrap().pc = run.end;
+                } else {
+                    // Budget-starved slow path: per-µop issue sequence
+                    // so a Timeout fires at exactly the µop (and with
+                    // exactly the partial memory state) the µop engine
+                    // would report.
+                    for p in pc..run.end {
+                        if ctx.budget == 0 {
+                            return Err(SimError::Timeout {
+                                kernel: ctx.kernel.name.clone(),
+                                budget: ctx.budget_total,
+                            });
+                        }
+                        ctx.budget -= 1;
+                        ctx.stats.issue(prog.classes[p], n_active, warp_size);
+                        let mut j = JitCtx {
+                            ctx: &mut *ctx,
+                            global,
+                            global_chains,
+                            consts,
+                            warp: &mut *warp,
+                            active,
+                            base,
+                            stride,
+                        };
+                        (prog.ops[p].as_ref().expect("run pcs have ops"))(&mut j)?;
+                    }
+                    warp.stack.last_mut().unwrap().pc = run.end;
+                }
+            }
+            Step::Bar => {
+                issue_one!();
+                ctx.stats.barriers += 1;
+                warp.stack.last_mut().unwrap().pc = pc + 1;
+                return Ok(WarpStop::Barrier);
+            }
+            Step::Bra { target } => {
+                issue_one!();
+                warp.stack.last_mut().unwrap().pc = *target;
+            }
+            Step::BraIf { pred, when, target, reconv } => {
+                issue_one!();
+                let (pred, when, target, reconv) = (*pred, *when, *target, *reconv);
+                // Predicate reads use the tier's register-major layout.
+                let row = pred as usize * stride + base as usize;
+                let taken = if pred_uniform(warp, pred) {
+                    let l0 = active.trailing_zeros();
+                    if ctx.preds[row + l0 as usize] == when {
+                        active
+                    } else {
+                        0
+                    }
+                } else {
+                    let mut taken = 0u32;
+                    let mut m = active;
+                    while m != 0 {
+                        let l = m.trailing_zeros();
+                        if ctx.preds[row + l as usize] == when {
+                            taken |= 1 << l;
+                        }
+                        m &= m - 1;
+                    }
+                    taken
+                };
+                if taken == active {
+                    warp.stack.last_mut().unwrap().pc = target;
+                } else if taken == 0 {
+                    warp.stack.last_mut().unwrap().pc = pc + 1;
+                } else {
+                    ctx.stats.divergent_branches += 1;
+                    let outer = warp.stack.pop().unwrap();
+                    if reconv != RECONV_NONE {
+                        warp.stack.push(StackEntry {
+                            reconv: outer.reconv,
+                            pc: reconv,
+                            mask: outer.mask,
+                        });
+                    }
+                    let not_taken = active & !taken;
+                    warp.stack.push(StackEntry { reconv, pc: pc + 1, mask: not_taken });
+                    warp.stack.push(StackEntry { reconv, pc: target, mask: taken });
+                }
+            }
+            Step::Exit => {
+                issue_one!();
+                warp.exited |= active;
+                warp.stack.last_mut().unwrap().pc = pc + 1;
+            }
+            Step::Trap { what } => {
+                issue_one!();
+                let l0 = active.trailing_zeros();
+                return Err(trap_at(ctx.kernel, pc, wid, l0, what.kind()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchConfig;
+    use crate::exec::{run_kernel_cfg, Arg, BlockSelection, ExecConfig, ExecMode, LaunchDims};
+    use crate::isa::{Address, BinOp, CmpOp, Operand, Sreg, Ty};
+    use crate::kernel::KernelBuilder;
+
+    fn arch() -> ArchConfig {
+        ArchConfig::maxwell_gtx980()
+    }
+
+    /// A kernel exercising fused runs, divergence, barriers, shared
+    /// memory and a reconvergence target in the middle of what would
+    /// otherwise be a straight-line region.
+    fn tree_kernel() -> Kernel {
+        let n: u32 = 64;
+        let mut b = KernelBuilder::new("jit-tree");
+        let inp = b.param_ptr();
+        let outp = b.param_ptr();
+        let smem_off = b.smem_alloc(u64::from(n) * 4);
+        let tid = b.reg();
+        let a = b.reg();
+        let v = b.reg();
+        let w = b.reg();
+        let sa = b.reg();
+        let sb = b.reg();
+        let stride = b.reg();
+        let p = b.pred();
+        let pw = b.pred();
+        b.mov(Ty::U32, tid, Operand::Sreg(Sreg::TidX));
+        b.cvt(Ty::U32, Ty::U64, a, Operand::Reg(tid));
+        b.bin(BinOp::Mul, Ty::U64, a, Operand::Reg(a), Operand::ImmI(4));
+        b.bin(BinOp::Add, Ty::U64, a, Operand::Reg(a), Operand::Param(inp));
+        b.ld(Space::Global, Ty::U32, v, Address::reg(a));
+        b.cvt(Ty::U32, Ty::U64, sa, Operand::Reg(tid));
+        b.bin(BinOp::Mul, Ty::U64, sa, Operand::Reg(sa), Operand::ImmI(4));
+        b.bin(BinOp::Add, Ty::U64, sa, Operand::Reg(sa), Operand::ImmI(smem_off as i64));
+        b.st(Space::Shared, Ty::U32, v, Address::reg(sa));
+        b.bar();
+        b.mov(Ty::U32, stride, Operand::ImmI(i64::from(n / 2)));
+        let top = b.label();
+        let body_end = b.label();
+        let done = b.label();
+        b.place(top);
+        b.setp(CmpOp::Eq, Ty::U32, p, Operand::Reg(stride), Operand::ImmI(0));
+        b.bra_if(p, true, done);
+        b.setp(CmpOp::Lt, Ty::U32, pw, Operand::Reg(tid), Operand::Reg(stride));
+        b.bra_if(pw, false, body_end);
+        b.bin(BinOp::Add, Ty::U32, w, Operand::Reg(tid), Operand::Reg(stride));
+        b.cvt(Ty::U32, Ty::U64, sb, Operand::Reg(w));
+        b.bin(BinOp::Mul, Ty::U64, sb, Operand::Reg(sb), Operand::ImmI(4));
+        b.bin(BinOp::Add, Ty::U64, sb, Operand::Reg(sb), Operand::ImmI(smem_off as i64));
+        b.ld(Space::Shared, Ty::U32, w, Address::reg(sb));
+        b.ld(Space::Shared, Ty::U32, v, Address::reg(sa));
+        b.bin(BinOp::Add, Ty::U32, v, Operand::Reg(v), Operand::Reg(w));
+        b.st(Space::Shared, Ty::U32, v, Address::reg(sa));
+        b.place(body_end);
+        b.bar();
+        b.bin(BinOp::Shr, Ty::U32, stride, Operand::Reg(stride), Operand::ImmI(1));
+        b.bra(top);
+        b.place(done);
+        b.setp(CmpOp::Eq, Ty::U32, p, Operand::Reg(tid), Operand::ImmI(0));
+        let skip = b.label();
+        b.bra_if(p, false, skip);
+        b.ld(Space::Shared, Ty::U32, v, Address::new(Operand::ImmI(smem_off as i64), 0));
+        b.st(Space::Global, Ty::U32, v, Address::new(Operand::Param(outp), 0));
+        b.place(skip);
+        b.exit();
+        b.finish().unwrap()
+    }
+
+    fn run(k: &Kernel, mode: ExecMode) -> (Vec<u8>, String) {
+        let n: u32 = 64;
+        let mut mem = LinearMemory::new(4 * u64::from(n) + 4, "global");
+        for i in 0..n {
+            mem.write(Ty::U32, u64::from(i) * 4, u64::from(i + 1)).unwrap();
+        }
+        let out = run_kernel_cfg(
+            k,
+            &arch(),
+            LaunchDims::new(2, n),
+            &[Arg::Ptr(0), Arg::Ptr(4 * u64::from(n))],
+            &mut mem,
+            BlockSelection::All,
+            ExecConfig::builder().exec_mode(mode).build(),
+        )
+        .unwrap();
+        (mem.read_bytes(0, 4 * u64::from(n) + 4).unwrap(), format!("{:?}", out.stats))
+    }
+
+    #[test]
+    fn compiled_matches_reference_and_uop_bitwise() {
+        let k = tree_kernel();
+        let (mem_ref, stats_ref) = run(&k, ExecMode::Reference);
+        let (mem_uop, stats_uop) = run(&k, ExecMode::Predecoded);
+        let (mem_jit, stats_jit) = run(&k, ExecMode::Compiled);
+        assert_eq!(mem_ref, mem_jit, "memory must be bit-identical to reference");
+        assert_eq!(stats_ref, stats_jit, "stats must be identical to reference");
+        assert_eq!(mem_uop, mem_jit);
+        assert_eq!(stats_uop, stats_jit);
+    }
+
+    #[test]
+    fn compilation_is_cached_and_shared_across_clones() {
+        let k = tree_kernel();
+        assert!(!k.jit_cache.is_built());
+        assert_eq!(k.jit().len(), k.instrs.len());
+        assert!(k.jit_cache.is_built());
+        let c = k.clone();
+        assert!(c.jit_cache.is_built(), "clones must share the compiled program");
+        assert!(std::ptr::eq(k.jit(), c.jit()), "same Arc, not a re-compile");
+    }
+
+    #[test]
+    fn runs_split_at_reconvergence_targets() {
+        let k = tree_kernel();
+        let prog = k.jit();
+        let uops = &k.uops().uops;
+        for (pc, step) in prog.steps.iter().enumerate() {
+            let Step::Run(run) = step else { continue };
+            assert!(run.len >= 1 && run.end > pc);
+            // No control µop or reconvergence target strictly inside.
+            for p in pc + 1..run.end {
+                assert!(!is_control(&uops[p]), "control µop inside run at {p}");
+                for u in uops.iter() {
+                    if let Uop::BraIf { reconv, .. } = *u {
+                        assert_ne!(reconv, p, "reconvergence target inside run at {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_fires_at_the_same_budget_as_the_uop_engine() {
+        let k = tree_kernel();
+        let n: u32 = 64;
+        let run_budget = |mode: ExecMode, budget: u64| {
+            let mut mem = LinearMemory::new(4 * u64::from(n) + 4, "global");
+            run_kernel_cfg(
+                &k,
+                &arch(),
+                LaunchDims::new(1, n),
+                &[Arg::Ptr(0), Arg::Ptr(4 * u64::from(n))],
+                &mut mem,
+                BlockSelection::All,
+                ExecConfig::builder().exec_mode(mode).instr_budget(budget).build(),
+            )
+            .map(|_| ())
+        };
+        for budget in [1u64, 2, 3, 5, 17, 100, 1000] {
+            let a = run_budget(ExecMode::Predecoded, budget);
+            let b = run_budget(ExecMode::Compiled, budget);
+            match (a, b) {
+                (Ok(()), Ok(())) => {}
+                (
+                    Err(SimError::Timeout { budget: ba, .. }),
+                    Err(SimError::Timeout { budget: bb, .. }),
+                ) => {
+                    assert_eq!(ba, bb);
+                }
+                (x, y) => panic!("budget {budget}: uop={x:?} jit={y:?}"),
+            }
+        }
+    }
+}

@@ -84,6 +84,10 @@ pub struct Kernel {
     /// of the kernel's serialized form.
     #[serde(skip)]
     pub uop_cache: crate::uop::UopCache,
+    /// Cached closure-threaded compiled program (see [`Kernel::jit`]).
+    /// Not part of the kernel's serialized form.
+    #[serde(skip)]
+    pub jit_cache: crate::jit::JitCache,
 }
 
 impl Kernel {
@@ -169,6 +173,15 @@ impl Kernel {
     /// launch.
     pub fn uops(&self) -> &crate::uop::UopProgram {
         self.uop_cache.get_or_decode(self)
+    }
+
+    /// The kernel's closure-threaded compiled program (see
+    /// [`crate::jit`]), built on first use and shared by every clone
+    /// of this kernel. The program is architecture-independent, so one
+    /// compilation serves every `(arch, exec-config)` the kernel runs
+    /// under.
+    pub fn jit(&self) -> &crate::jit::JitProgram {
+        self.jit_cache.get_or_compile(self)
     }
 }
 
@@ -551,6 +564,7 @@ impl KernelBuilder {
             num_preds: self.next_pred,
             cfg_cache: CfgCache::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         };
         kernel.validate()?;
         Ok(kernel)
@@ -601,6 +615,7 @@ mod tests {
             num_preds: 0,
             cfg_cache: CfgCache::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         };
         assert!(k.validate().is_err());
     }
@@ -620,6 +635,7 @@ mod tests {
             num_preds: 0,
             cfg_cache: CfgCache::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         };
         assert!(k.validate().is_err());
     }
@@ -636,6 +652,7 @@ mod tests {
             num_preds: 0,
             cfg_cache: CfgCache::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         };
         assert!(k.validate().is_err());
     }
@@ -677,6 +694,7 @@ mod tests {
             num_preds: 0,
             cfg_cache: CfgCache::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         };
         assert!(k.validate().is_err());
     }

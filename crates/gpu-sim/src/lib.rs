@@ -59,6 +59,7 @@ pub mod exec;
 pub mod fault;
 pub mod hash;
 pub mod isa;
+pub mod jit;
 pub mod kernel;
 pub mod memory;
 pub mod profile;

@@ -110,6 +110,19 @@ impl LinearMemory {
         Ok(self.bytes[addr as usize..(addr + len) as usize].to_vec())
     }
 
+    /// Borrow `len` raw bytes at `addr`, or `None` when out of bounds.
+    /// Used by the compiled tier's whole-warp contiguous transfers.
+    pub(crate) fn slice_at(&self, addr: u64, len: u64) -> Option<&[u8]> {
+        let end = addr.checked_add(len)?;
+        self.bytes.get(addr as usize..end as usize)
+    }
+
+    /// Mutable twin of [`LinearMemory::slice_at`].
+    pub(crate) fn slice_at_mut(&mut self, addr: u64, len: u64) -> Option<&mut [u8]> {
+        let end = addr.checked_add(len)?;
+        self.bytes.get_mut(addr as usize..end as usize)
+    }
+
     /// Zero the whole memory (shared memory reuse between blocks).
     pub fn clear(&mut self) {
         self.bytes.fill(0);

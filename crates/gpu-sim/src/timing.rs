@@ -200,6 +200,7 @@ mod tests {
             num_preds: 1,
             cfg_cache: Default::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         }
     }
 

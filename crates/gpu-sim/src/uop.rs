@@ -112,7 +112,7 @@ pub(crate) enum StaticTrap {
 }
 
 impl StaticTrap {
-    fn kind(self) -> TrapKind {
+    pub(crate) fn kind(self) -> TrapKind {
         match self {
             StaticTrap::FloatBitwise { op, ty } => TrapKind::IllegalOperandType {
                 detail: format!("bitwise op {op:?} on float type {ty:?}"),
@@ -394,15 +394,15 @@ pub(crate) struct UopWarp {
     pub(crate) stack: Vec<StackEntry>,
     pub(crate) exited: u32,
     /// Mask of the lanes that exist in this warp (partial last warp).
-    full: u32,
+    pub(crate) full: u32,
     /// Uniformity bit per general-purpose register (< [`UNI_REGS`]).
-    reg_uni: u128,
+    pub(crate) reg_uni: u128,
     /// Uniformity bit per predicate register (< [`UNI_PREDS`]).
-    pred_uni: u64,
+    pub(crate) pred_uni: u64,
 }
 
 #[inline]
-fn src_uniform(warp: &UopWarp, s: Src) -> bool {
+pub(crate) fn src_uniform(warp: &UopWarp, s: Src) -> bool {
     match s {
         Src::Reg(r) => (r as usize) < UNI_REGS && warp.reg_uni & (1u128 << r) != 0,
         Src::Tid | Src::Lane => false,
@@ -411,12 +411,12 @@ fn src_uniform(warp: &UopWarp, s: Src) -> bool {
 }
 
 #[inline]
-fn pred_uniform(warp: &UopWarp, p: PredId) -> bool {
+pub(crate) fn pred_uniform(warp: &UopWarp, p: PredId) -> bool {
     (p as usize) < UNI_PREDS && warp.pred_uni & (1u64 << p) != 0
 }
 
 #[inline]
-fn set_reg_uni(warp: &mut UopWarp, r: RegId, uniform: bool) {
+pub(crate) fn set_reg_uni(warp: &mut UopWarp, r: RegId, uniform: bool) {
     if (r as usize) < UNI_REGS {
         let bit = 1u128 << r;
         if uniform {
@@ -428,7 +428,7 @@ fn set_reg_uni(warp: &mut UopWarp, r: RegId, uniform: bool) {
 }
 
 #[inline]
-fn set_pred_uni(warp: &mut UopWarp, p: PredId, uniform: bool) {
+pub(crate) fn set_pred_uni(warp: &mut UopWarp, p: PredId, uniform: bool) {
     if (p as usize) < UNI_PREDS {
         let bit = 1u64 << p;
         if uniform {
@@ -441,7 +441,14 @@ fn set_pred_uni(warp: &mut UopWarp, p: PredId, uniform: bool) {
 
 /// Evaluate a [`Src`] for one lane.
 #[inline]
-fn eval_src(ctx: &BlockCtx<'_>, consts: &[u64], base: u32, warp_id: u32, lane: u32, s: Src) -> u64 {
+pub(crate) fn eval_src(
+    ctx: &BlockCtx<'_>,
+    consts: &[u64],
+    base: u32,
+    warp_id: u32,
+    lane: u32,
+    s: Src,
+) -> u64 {
     match s {
         Src::Reg(r) => ctx.reg(base + lane, r),
         Src::Imm(v) => v,
@@ -456,7 +463,14 @@ fn eval_src(ctx: &BlockCtx<'_>, consts: &[u64], base: u32, warp_id: u32, lane: u
 /// update the uniformity bit: the destination stays uniform only when
 /// the write covered every existing lane.
 #[inline]
-fn write_reg_all(ctx: &mut BlockCtx<'_>, warp: &mut UopWarp, base: u32, active: u32, dst: RegId, v: u64) {
+pub(crate) fn write_reg_all(
+    ctx: &mut BlockCtx<'_>,
+    warp: &mut UopWarp,
+    base: u32,
+    active: u32,
+    dst: RegId,
+    v: u64,
+) {
     let mut m = active;
     while m != 0 {
         let l = m.trailing_zeros();
@@ -468,7 +482,7 @@ fn write_reg_all(ctx: &mut BlockCtx<'_>, warp: &mut UopWarp, base: u32, active: 
 
 /// Broadcast a scalarized predicate result to every active lane.
 #[inline]
-fn write_pred_all(
+pub(crate) fn write_pred_all(
     ctx: &mut BlockCtx<'_>,
     warp: &mut UopWarp,
     base: u32,
@@ -485,6 +499,48 @@ fn write_pred_all(
     set_pred_uni(warp, dst, active == warp.full);
 }
 
+/// Fill the per-block constant table: parameters then launch
+/// geometry, in the index order [`resolve`] assigned. Shared with the
+/// compiled tier ([`crate::jit`]), whose programs use the same layout.
+pub(crate) fn build_consts(ctx: &BlockCtx<'_>, n_params: u16, consts: &mut Vec<u64>) {
+    consts.clear();
+    consts.extend_from_slice(ctx.params);
+    debug_assert_eq!(consts.len(), n_params as usize);
+    consts.push(u64::from(ctx.block_id));
+    consts.push(u64::from(ctx.block_dim));
+    consts.push(u64::from(ctx.grid_dim));
+    consts.push(u64::from(ctx.arch.warp_size));
+}
+
+/// Reset the caller-owned warp buffer in place for a new block.
+/// Register and predicate files are zero-filled at block start, so
+/// every tracked slot begins uniform. Shared with the compiled tier.
+pub(crate) fn reset_warps(warps: &mut Vec<UopWarp>, block_dim: u32, warp_size: u32) {
+    let n_warps = block_dim.div_ceil(warp_size) as usize;
+    warps.truncate(n_warps);
+    for (w, warp) in warps.iter_mut().enumerate() {
+        let lanes_in_warp = (block_dim - w as u32 * warp_size).min(warp_size);
+        warp.warp_id = w as u32;
+        warp.exited = 0;
+        warp.stack.clear();
+        warp.stack.push(StackEntry { reconv: RECONV_NONE, pc: 0, mask: full_mask(lanes_in_warp) });
+        warp.full = full_mask(lanes_in_warp);
+        warp.reg_uni = !0;
+        warp.pred_uni = !0;
+    }
+    for w in warps.len() as u32..n_warps as u32 {
+        let lanes_in_warp = (block_dim - w * warp_size).min(warp_size);
+        warps.push(UopWarp {
+            warp_id: w,
+            stack: vec![StackEntry { reconv: RECONV_NONE, pc: 0, mask: full_mask(lanes_in_warp) }],
+            exited: 0,
+            full: full_mask(lanes_in_warp),
+            reg_uni: !0,
+            pred_uni: !0,
+        });
+    }
+}
+
 /// Execute one block through the µop path. Mirrors
 /// [`crate::exec::run_block`]'s scheduling (rounds of warps stopping
 /// at barriers, barrier-divergence deadlock detection) exactly.
@@ -497,44 +553,8 @@ pub(crate) fn run_block(
     faults: &mut FaultSession,
     consts: &mut Vec<u64>,
 ) -> Result<(), SimError> {
-    let warp_size = ctx.arch.warp_size;
-    let n_warps = ctx.block_dim.div_ceil(warp_size) as usize;
-
-    // Per-block constant table: parameters then launch geometry, in
-    // the index order `resolve` assigned.
-    consts.clear();
-    consts.extend_from_slice(ctx.params);
-    debug_assert_eq!(consts.len(), prog.n_params as usize);
-    consts.push(u64::from(ctx.block_id));
-    consts.push(u64::from(ctx.block_dim));
-    consts.push(u64::from(ctx.grid_dim));
-    consts.push(u64::from(warp_size));
-
-    // Reset the caller-owned warp buffer in place. Register and
-    // predicate files are zero-filled at block start, so every tracked
-    // slot begins uniform.
-    warps.truncate(n_warps);
-    for (w, warp) in warps.iter_mut().enumerate() {
-        let lanes_in_warp = (ctx.block_dim - w as u32 * warp_size).min(warp_size);
-        warp.warp_id = w as u32;
-        warp.exited = 0;
-        warp.stack.clear();
-        warp.stack.push(StackEntry { reconv: RECONV_NONE, pc: 0, mask: full_mask(lanes_in_warp) });
-        warp.full = full_mask(lanes_in_warp);
-        warp.reg_uni = !0;
-        warp.pred_uni = !0;
-    }
-    for w in warps.len() as u32..n_warps as u32 {
-        let lanes_in_warp = (ctx.block_dim - w * warp_size).min(warp_size);
-        warps.push(UopWarp {
-            warp_id: w,
-            stack: vec![StackEntry { reconv: RECONV_NONE, pc: 0, mask: full_mask(lanes_in_warp) }],
-            exited: 0,
-            full: full_mask(lanes_in_warp),
-            reg_uni: !0,
-            pred_uni: !0,
-        });
-    }
+    build_consts(ctx, prog.n_params, consts);
+    reset_warps(warps, ctx.block_dim, ctx.arch.warp_size);
 
     loop {
         let mut waiting = 0usize;
@@ -1284,6 +1304,7 @@ mod tests {
             num_preds: 0,
             cfg_cache: Default::default(),
             uop_cache: Default::default(),
+            jit_cache: Default::default(),
         };
         let mut mem = LinearMemory::new(0, "global");
         let err = run_kernel_cfg(

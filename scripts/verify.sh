@@ -28,10 +28,11 @@ echo "== sweep smoke run (determinism at two thread counts, timing budget) =="
 raw1=$(./target/release/sweep --arch maxwell --n 65536 --threads 1)
 one=$(echo "$raw1" | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
 four=$(./target/release/sweep --arch maxwell --n 65536 --threads 4 | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
-# Performance-regression backstop: the default (halving, uop) sweep at
-# this size runs in ~2-2.5 s on the reference 1-core container; 15 s is
-# a generous ceiling that still catches an accidental return to
-# exhaustive-reference costs or a predecode-cache regression.
+# Performance-regression backstop: the default (halving, compiled)
+# sweep at this size runs well under a second on the reference 1-core
+# container; 15 s is a generous ceiling that still catches an
+# accidental return to exhaustive-reference costs or a compile-cache
+# regression.
 wall=$(echo "$raw1" | grep -o 'wall_ms=[0-9.]*' | cut -d= -f2)
 budget_ms=15000
 if ! awk -v w="$wall" -v b="$budget_ms" 'BEGIN { exit !(w + 0 < b) }'; then
@@ -43,6 +44,49 @@ if [ "$one" != "$four" ]; then
   echo "DETERMINISM MISMATCH between --threads 1 and --threads 4:" >&2
   echo "  $one" >&2
   echo "  $four" >&2
+  exit 1
+fi
+
+echo "== compiled-tier smoke (winner identity vs uop tier, all arches) =="
+# The compiled tier must reproduce the µop tier's winner line byte for
+# byte on every architecture — only the interp= token (and the wall
+# clock) may differ.
+for arch in kepler maxwell pascal; do
+  cmp_line=$(./target/release/sweep --arch "$arch" --n 65536 --threads 1 \
+    | sed 's/wall_ms=[0-9.]*//; s/interp=[a-z]*//')
+  uop_line=$(./target/release/sweep --arch "$arch" --n 65536 --threads 1 --interp uop \
+    | sed 's/wall_ms=[0-9.]*//; s/interp=[a-z]*//')
+  if [ "$cmp_line" != "$uop_line" ]; then
+    echo "COMPILED TIER DIVERGED FROM UOP TIER on $arch:" >&2
+    echo "  compiled: $cmp_line" >&2
+    echo "  uop:      $uop_line" >&2
+    exit 1
+  fi
+  echo "  $arch: winner identical across tiers"
+done
+
+echo "== compiled-tier speedup (>=3x over uop on the steady-state n=4M sweep) =="
+# Steady state = later repeats of one process (synthesis + jit caches
+# warm after the first); we compare minima over the steady repeats.
+# Container timing noise only inflates walls, so the paired run is
+# retried up to three times: a healthy ~3.1-3.3x ratio clears 3.0 in
+# some quiet window, a real regression never does.
+steady_min() { # args: extra sweep flags; echoes min wall_ms of the last 3 of 4 repeats
+  ./target/release/sweep --arch maxwell --n 4194304 --threads 1 --repeat 4 "$@" \
+    | grep -o 'wall_ms=[0-9.]*' | cut -d= -f2 | tail -3 | sort -n | head -1
+}
+ok=""
+for attempt in 1 2 3; do
+  uop_ms=$(steady_min --interp uop)
+  jit_ms=$(steady_min)
+  echo "  attempt $attempt: uop ${uop_ms} ms, compiled ${jit_ms} ms"
+  if awk -v u="$uop_ms" -v j="$jit_ms" 'BEGIN { exit !(u >= 3.0 * j) }'; then
+    ok=yes
+    break
+  fi
+done
+if [ -z "$ok" ]; then
+  echo "COMPILED TIER SPEEDUP BELOW 3x OVER THE UOP TIER" >&2
   exit 1
 fi
 

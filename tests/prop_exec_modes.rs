@@ -1,8 +1,9 @@
 //! Differential property test for the interpreter hot paths: for any
 //! pruned version, tuning, architecture and size, the predecoded µop
-//! engine (with warp-uniform scalarization) must be bit-identical to
-//! the lane-wise reference interpreter in results, every statistics
-//! counter, and modelled time.
+//! engine (with warp-uniform scalarization) and the closure-threaded
+//! compiled tier must both be bit-identical to the lane-wise
+//! reference interpreter in results, every statistics counter, and
+//! modelled time — a three-way reference ≡ uop ≡ compiled check.
 
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::{ArchConfig, Device, ExecMode};
@@ -50,10 +51,10 @@ fn run_mode(
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
 
-    /// µop-predecoded execution ≡ lane-wise reference execution,
-    /// bit for bit, on the pruned pass corpus.
+    /// µop-predecoded and compiled execution ≡ lane-wise reference
+    /// execution, bit for bit, on the pruned pass corpus.
     #[test]
-    fn uop_engine_is_bit_identical_to_reference(
+    fn uop_and_compiled_engines_are_bit_identical_to_reference(
         version in version_strategy(),
         arch in arch_strategy(),
         block_exp in 0u32..5,       // 32..512
@@ -82,9 +83,15 @@ proptest! {
             }
         }
         let r = run_mode(ExecMode::Reference, &arch, version, tuning, &values, selection);
-        let u = run_mode(ExecMode::Predecoded, &arch, version, tuning, &values, selection);
-        prop_assert_eq!(r.0, u.0, "result bits differ ({} n={})", sv.id(), n);
-        prop_assert_eq!(r.1.to_bits(), u.1.to_bits(), "elapsed_ns differs ({} n={})", sv.id(), n);
-        prop_assert_eq!(r.2, u.2, "launch stats differ ({} n={})", sv.id(), n);
+        for mode in [ExecMode::Predecoded, ExecMode::Compiled] {
+            let m = run_mode(mode, &arch, version, tuning, &values, selection);
+            let id = mode.id();
+            prop_assert_eq!(r.0, m.0, "result bits differ ({} vs {} n={})", sv.id(), id, n);
+            prop_assert_eq!(
+                r.1.to_bits(), m.1.to_bits(),
+                "elapsed_ns differs ({} vs {} n={})", sv.id(), id, n
+            );
+            prop_assert_eq!(&r.2, &m.2, "launch stats differ ({} vs {} n={})", sv.id(), id, n);
+        }
     }
 }

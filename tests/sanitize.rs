@@ -2,12 +2,12 @@
 //! down:
 //!
 //! 1. **Positive corpus** — every pruned §IV-B variant is race-free on
-//!    all three paper architectures under both interpreter hot paths.
+//!    all three paper architectures under all three interpreter tiers.
 //!    This is the synthesis pipeline's central safety property: the
 //!    atomic/shuffle rewrites preserve race freedom, and the sanitizer
 //!    proves it directly rather than via output equality.
 //! 2. **Negative corpus** — each deliberately-racy kernel yields its
-//!    expected typed finding at its expected `pc`, on both hot paths.
+//!    expected typed finding at its expected `pc`, on every tier.
 //!    Without this the positive result would be vacuous (a sanitizer
 //!    that never fires also reports a clean corpus).
 //! 3. **Transparency** — sanitizing is observationally free: results,
@@ -23,7 +23,10 @@ use tangram::{run_reduction, upload};
 
 mod support;
 
-const MODES: [ExecMode; 2] = [ExecMode::Predecoded, ExecMode::Reference];
+/// All three interpreter tiers. Sanitized launches on the compiled
+/// tier fall back to the µop engine at launch granularity, so running
+/// the corpus under `Compiled` pins exactly that fallback seam.
+const MODES: [ExecMode; 3] = [ExecMode::Predecoded, ExecMode::Reference, ExecMode::Compiled];
 
 /// Sanitize one synthesized variant at its first feasible tuning and
 /// return the race summaries of any dirty launches (empty = clean).
@@ -62,10 +65,10 @@ fn sanitize_first_feasible(
 }
 
 /// The entire pruned corpus is race-free on every paper architecture
-/// under both interpreter hot paths — the acceptance bar for the
+/// under every interpreter tier — the acceptance bar for the
 /// synthesized kernels themselves.
 #[test]
-fn pruned_corpus_is_race_free_on_all_arches_and_both_interpreters() {
+fn pruned_corpus_is_race_free_on_all_arches_and_all_interpreters() {
     let values: Vec<f32> = (0..4096).map(|i| ((i % 11) as f32) - 5.0).collect();
     for arch in ArchConfig::paper_archs() {
         for mode in MODES {
@@ -87,7 +90,7 @@ fn pruned_corpus_is_race_free_on_all_arches_and_both_interpreters() {
 }
 
 /// Every negative kernel produces its expected typed finding at its
-/// expected `pc`, under both hot paths. Racy kernels may emit
+/// expected `pc`, under every tier. Racy kernels may emit
 /// secondary findings too (e.g. the read half of a broken
 /// read-modify-write), so the assertion is membership, not equality.
 #[test]
@@ -116,16 +119,24 @@ fn negative_corpus_yields_expected_typed_findings() {
     }
 }
 
-/// The negative corpus is interpreter-invariant in full: both hot
-/// paths see the identical deduplicated finding list, not merely the
-/// one expected hazard — the hooks sit at the same places.
+/// The negative corpus is interpreter-invariant in full: every tier
+/// sees the identical deduplicated finding list, not merely the one
+/// expected hazard — the hooks sit at the same places (the compiled
+/// tier via its sanitize fallback to the µop engine).
 #[test]
 fn negative_findings_are_identical_across_interpreters() {
     let arch = ArchConfig::maxwell_gtx980();
     for nk in negative_corpus() {
         let uop = run_negative(&arch, ExecMode::Predecoded, &nk).unwrap();
-        let lane = run_negative(&arch, ExecMode::Reference, &nk).unwrap();
-        assert_eq!(uop, lane, "reports diverge between hot paths on {}", nk.label);
+        for mode in [ExecMode::Reference, ExecMode::Compiled] {
+            let other = run_negative(&arch, mode, &nk).unwrap();
+            assert_eq!(
+                uop, other,
+                "reports diverge between uop and {} on {}",
+                mode.id(),
+                nk.label
+            );
+        }
     }
 }
 
@@ -181,19 +192,21 @@ proptest! {
 
     /// Sanitize-on ≡ sanitize-off, bit for bit, in everything the
     /// unsanitized run reports — results, statistics, modelled time —
-    /// under both interpreter hot paths and both block selections.
+    /// under all three interpreter tiers and both block selections
+    /// (on the compiled tier this pins the sanitize fallback against
+    /// the tier's native hot path).
     #[test]
     fn sanitizing_is_observationally_free(
         version in version_strategy(),
         arch in arch_strategy(),
-        uop in any::<bool>(),
+        mode_idx in 0usize..MODES.len(),
         block_exp in 0u32..5,       // 32..512
         coarsen_exp in 0u32..5,     // 1..16
         n in 1usize..10_000,
         sampled in any::<bool>(),
         seed in any::<u32>(),
     ) {
-        let mode = if uop { ExecMode::Predecoded } else { ExecMode::Reference };
+        let mode = MODES[mode_idx];
         let tuning = Tuning { block_size: 32 << block_exp, coarsen: 1 << coarsen_exp };
         let values: Vec<f32> = (0..n)
             .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 7) % 9) as f32 - 4.0)

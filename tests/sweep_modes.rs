@@ -61,19 +61,26 @@ fn interpreter_hot_path_does_not_change_measurements() {
     let candidates = support::fig6_subset();
     let arch = ArchConfig::kepler_k40c();
     let uop = ContextPool::builder(&arch, 32_768).exec_mode(ExecMode::Predecoded).build();
-    let lane = ContextPool::builder(&arch, 32_768).exec_mode(ExecMode::Reference).build();
     let opts = EvalOptions::serial();
     let a = evaluate_all(&uop, candidates, &opts).unwrap();
-    let b = evaluate_all(&lane, candidates, &opts).unwrap();
-    assert_eq!(a.len(), b.len());
-    for (x, y) in a.iter().zip(&b) {
-        match (x, y) {
-            (None, None) => {}
-            (Some(p), Some(q)) => {
-                assert_eq!(p.tuning, q.tuning);
-                assert_eq!(p.time_ns.to_bits(), q.time_ns.to_bits());
+    for mode in [ExecMode::Reference, ExecMode::Compiled] {
+        let pool = ContextPool::builder(&arch, 32_768).exec_mode(mode).build();
+        let b = evaluate_all(&pool, candidates, &opts).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (None, None) => {}
+                (Some(p), Some(q)) => {
+                    assert_eq!(p.tuning, q.tuning, "tuning differs under {}", mode.id());
+                    assert_eq!(
+                        p.time_ns.to_bits(),
+                        q.time_ns.to_bits(),
+                        "time differs under {}",
+                        mode.id()
+                    );
+                }
+                _ => panic!("feasibility differs between uop and {}", mode.id()),
             }
-            _ => panic!("feasibility differs between interpreter hot paths"),
         }
     }
 }
