@@ -39,6 +39,12 @@
 //! and `--seed-racy` additionally sanitizes the deliberately-racy
 //! negative corpus. Both imply `--sanitize`; the process exits
 //! nonzero when any hazard was found.
+//!
+//! `--cache-dir PATH` attaches the persistent tuning store rooted at
+//! `PATH` (`--cache rw|ro|off` sets its usage, default `rw`): every
+//! per-size sweep warm-starts from a cached, re-confirmed winner when
+//! one exists, the figure output stays bit-identical to a cold run,
+//! and one aggregated `cache:` line is printed per architecture.
 
 use std::fmt::Write as _;
 
@@ -50,8 +56,8 @@ use tangram::Session;
 use tangram::api::CandidateRaces;
 use tangram_bench::cli::{Cli, CliOpts};
 use tangram_bench::{
-    arch_series_session, geomean_speedup, max_speedup, sanitize_json, sanitize_summary_line,
-    seeded_racy_reports, ArchSeries, BaselineCache,
+    arch_series_session, cache_series_line, geomean_speedup, max_speedup, sanitize_json,
+    sanitize_summary_line, seeded_racy_reports, ArchSeries, BaselineCache,
 };
 use tangram_passes::planner;
 
@@ -61,6 +67,7 @@ const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig1
                [--instr-budget I] [--fault-seed S] [--fault-rate PPM]
                [--profile] [--trace-out PATH] [--metrics-json PATH]
                [--sanitize] [--sanitize-json PATH] [--seed-racy]
+               [--cache-dir PATH] [--cache rw|ro|off]
 
   --max-size N      largest array size swept (default 268435456)
   --json PATH       write the swept series to PATH as JSON
@@ -79,7 +86,10 @@ const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig1
                     and exits nonzero when any hazard was found
   --sanitize-json PATH  write the per-architecture race reports to PATH
   --seed-racy       also sanitize the deliberately-racy negative corpus
-                    (--sanitize-json/--seed-racy imply --sanitize)";
+                    (--sanitize-json/--seed-racy imply --sanitize)
+  --cache-dir PATH  persistent tuning store; warm-starts repeat sweeps
+                    from re-confirmed cached winners (adds `cache:` lines)
+  --cache MODE      rw | ro | off store usage (default rw; needs --cache-dir)";
 
 const CLI: Cli = Cli {
     prog: "figures",
@@ -99,6 +109,8 @@ const CLI: Cli = Cli {
         "--sanitize",
         "--sanitize-json",
         "--seed-racy",
+        "--cache-dir",
+        "--cache",
     ],
     allow_bare: true,
 };
@@ -118,6 +130,9 @@ struct Observed {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = CLI.parse(&args);
+    if let Err(e) = o.cache() {
+        CLI.die(&e);
+    }
     let cmd = o.bare.first().map(String::as_str).unwrap_or("all");
     let max_size = o.max_size.unwrap_or(256 << 20);
     let json_path = o.json.clone();
@@ -186,6 +201,11 @@ fn run_one(
     if let Some(res) = campaign {
         session = session.resilience(res);
     }
+    // `main` validated the flag pairing up front; a well-formed pair
+    // configures the persistent tuning store on this session.
+    if let Ok(Some((dir, mode))) = o.cache() {
+        session = session.store(dir).cache_mode(mode);
+    }
     let rep = match arch_series_session(&session, sizes, baselines) {
         Ok(out) => out,
         Err(e) => CLI.die(&format!("figure sweep on {} failed: {e}", arch.id)),
@@ -196,6 +216,9 @@ fn run_one(
     if let Some(s) = rep.metrics.iter().rev().find_map(|m| m.sanitize.as_ref()) {
         println!("{} [{}]", sanitize_summary_line(s), arch.id);
         obs.hazards += s.findings as u64;
+    }
+    if let Some(line) = cache_series_line(&rep.metrics) {
+        println!("{line} [{}]", arch.id);
     }
     if let Some(races) = rep.races {
         let n = sizes.last().copied().unwrap_or(0);
@@ -247,7 +270,11 @@ fn write_observability(o: &CliOpts, obs: &Observed) {
         if obs.report.sweeps.is_empty() {
             CLI.die("no metrics captured (--metrics-json needs a sweeping command)");
         }
-        if let Err(e) = std::fs::write(path, obs.report.to_json()) {
+        let json = match obs.report.to_json() {
+            Ok(json) => json,
+            Err(e) => CLI.die(&format!("cannot serialize metrics: {e}")),
+        };
+        if let Err(e) = std::fs::write(path, json) {
             CLI.die(&format!("cannot write `{path}`: {e}"));
         }
         eprintln!("[figures] {}", obs.report.summary_line());
@@ -270,7 +297,11 @@ fn write_observability(o: &CliOpts, obs: &Observed) {
     }
     let seeded_hazards: u64 = seeded.iter().map(|(_, r)| r.findings.len() as u64).sum();
     if let Some(path) = &o.sanitize_json {
-        if let Err(e) = std::fs::write(path, sanitize_json(&obs.screens, &seeded)) {
+        let json = match sanitize_json(&obs.screens, &seeded) {
+            Ok(json) => json,
+            Err(e) => CLI.die(&format!("cannot serialize race reports: {e}")),
+        };
+        if let Err(e) = std::fs::write(path, json) {
             CLI.die(&format!("cannot write `{path}`: {e}"));
         }
         eprintln!("[figures] wrote {path}");

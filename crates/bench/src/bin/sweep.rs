@@ -49,6 +49,16 @@
 //! corpus through the sanitizer. Both imply `--sanitize`, and the
 //! process exits nonzero when any hazard was found — so CI can assert
 //! both directions: clean corpus ⇒ exit 0, seeded races ⇒ exit 1.
+//!
+//! `--cache-dir PATH` attaches the persistent tuning store rooted at
+//! `PATH` (`--cache rw|ro|off` sets its usage, default `rw`): sweeps
+//! then warm-start from cached winners — re-confirmed at full
+//! fidelity against the cpu-ref oracle, so the winner line is
+//! byte-identical to a cold sweep — and print one `cache:` summary
+//! line. Corrupt or stale records are quarantined aside as
+//! `.corrupt` files and the sweep falls back to a clean cold run;
+//! a broken cache never changes a winner and never fails the
+//! process.
 
 use std::time::Instant;
 
@@ -57,7 +67,10 @@ use tangram::evaluate::SweepMode;
 use tangram::metrics::{spotlight_profiles, ProfileReport};
 use tangram::Session;
 use tangram_bench::cli::Cli;
-use tangram_bench::{profile_summary_line, sanitize_json, sanitize_summary_line, seeded_racy_reports};
+use tangram_bench::{
+    cache_summary_line, profile_summary_line, sanitize_json, sanitize_summary_line,
+    seeded_racy_reports,
+};
 
 const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
              [--threads T] [--sweep-mode exhaustive|halving]
@@ -65,6 +78,7 @@ const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repe
              [--fault-seed S] [--fault-rate PPM]
              [--profile] [--trace-out PATH] [--metrics-json PATH]
              [--sanitize] [--sanitize-json PATH] [--seed-racy]
+             [--cache-dir PATH] [--cache rw|ro|off]
 
   --n N              array size in elements (default 4194304)
   --arch ID          architecture: kepler|maxwell|pascal (default maxwell)
@@ -86,7 +100,10 @@ const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repe
                      exits nonzero when any hazard was found
   --sanitize-json PATH  write the per-candidate race reports to PATH
   --seed-racy        also sanitize the deliberately-racy negative corpus
-                     (--sanitize-json/--seed-racy imply --sanitize)";
+                     (--sanitize-json/--seed-racy imply --sanitize)
+  --cache-dir PATH   persistent tuning store; warm-starts repeat sweeps
+                     from re-confirmed cached winners (adds a `cache:` line)
+  --cache MODE       rw | ro | off store usage (default rw; needs --cache-dir)";
 
 const CLI: Cli = Cli {
     prog: "sweep",
@@ -108,6 +125,8 @@ const CLI: Cli = Cli {
         "--sanitize",
         "--sanitize-json",
         "--seed-racy",
+        "--cache-dir",
+        "--cache",
     ],
     allow_bare: false,
 };
@@ -129,6 +148,11 @@ fn main() {
         .sanitized(o.sanitizing());
     if let Some(res) = o.resilience() {
         session = session.resilience(res);
+    }
+    match o.cache() {
+        Ok(Some((dir, mode))) => session = session.store(dir).cache_mode(mode),
+        Ok(None) => {}
+        Err(e) => CLI.die(&e),
     }
 
     let mut metrics = ProfileReport::new();
@@ -165,6 +189,9 @@ fn main() {
         if let Some(s) = &report.metrics.sanitize {
             println!("{}", sanitize_summary_line(s));
             hazards += s.findings as u64;
+        }
+        if let Some(s) = &report.metrics.store {
+            println!("{}", cache_summary_line(s));
         }
         if report.races.is_some() {
             last_races = report.races.clone();
@@ -213,7 +240,11 @@ fn main() {
             Ok(spots) => metrics.spotlights = spots,
             Err(e) => CLI.die(&format!("spotlight profiling failed: {e}")),
         }
-        if let Err(e) = std::fs::write(path, metrics.to_json()) {
+        let json = match metrics.to_json() {
+            Ok(json) => json,
+            Err(e) => CLI.die(&format!("cannot serialize metrics: {e}")),
+        };
+        if let Err(e) = std::fs::write(path, json) {
             CLI.die(&format!("cannot write `{path}`: {e}"));
         }
         eprintln!("[sweep] {}", metrics.summary_line());
@@ -234,7 +265,10 @@ fn main() {
     if let Some(path) = &o.sanitize_json {
         let screens: Vec<_> =
             last_races.into_iter().map(|races| (arch.id.clone(), n, races)).collect();
-        let json = sanitize_json(&screens, &seeded);
+        let json = match sanitize_json(&screens, &seeded) {
+            Ok(json) => json,
+            Err(e) => CLI.die(&format!("cannot serialize race reports: {e}")),
+        };
         if let Err(e) = std::fs::write(path, json) {
             CLI.die(&format!("cannot write `{path}`: {e}"));
         }

@@ -13,10 +13,11 @@
 use gpu_sim::ExecMode;
 use tangram::evaluate::{default_threads, EvalOptions, SweepMode};
 use tangram::resilience::ResilienceOptions;
+use tangram::store::CacheMode;
 
 /// Every flag either binary understands. `value` is true when the
-/// flag consumes the next argument (`--profile` is the one switch).
-const FLAGS: [(&str, bool); 17] = [
+/// flag consumes the next argument (the switches take none).
+const FLAGS: [(&str, bool); 19] = [
     ("--n", true),
     ("--max-size", true),
     ("--arch", true),
@@ -34,6 +35,8 @@ const FLAGS: [(&str, bool); 17] = [
     ("--sanitize", false),
     ("--sanitize-json", true),
     ("--seed-racy", false),
+    ("--cache-dir", true),
+    ("--cache", true),
 ];
 
 /// Typed result of parsing one command line. Fields are `None` when
@@ -78,6 +81,10 @@ pub struct CliOpts {
     /// through the sanitizer (smoke mode; exits nonzero on findings,
     /// which the negative corpus guarantees).
     pub seed_racy: bool,
+    /// `--cache-dir`: persistent tuning-store directory.
+    pub cache_dir: Option<String>,
+    /// `--cache`: tuning-store usage mode (`rw`/`ro`/`off`).
+    pub cache: Option<CacheMode>,
 }
 
 impl CliOpts {
@@ -112,6 +119,22 @@ impl CliOpts {
     pub fn resilience(&self) -> Option<ResilienceOptions> {
         self.fault_seed
             .map(|seed| ResilienceOptions::campaign(seed, self.fault_rate.unwrap_or(200)))
+    }
+
+    /// The tuning-store configuration these flags describe:
+    /// `Some((dir, mode))` when `--cache-dir` is present (mode
+    /// defaults to `rw`), `None` when the store is unused.
+    ///
+    /// # Errors
+    ///
+    /// `--cache` without `--cache-dir` (there is no store to apply
+    /// the mode to).
+    pub fn cache(&self) -> Result<Option<(String, CacheMode)>, String> {
+        match (&self.cache_dir, self.cache) {
+            (Some(dir), mode) => Ok(Some((dir.clone(), mode.unwrap_or_default()))),
+            (None, Some(_)) => Err("--cache needs --cache-dir".to_string()),
+            (None, None) => Ok(None),
+        }
     }
 }
 
@@ -189,14 +212,14 @@ impl Cli {
 
     fn apply(opts: &mut CliOpts, name: &'static str, raw: &str) -> Result<(), String> {
         match name {
-            "--n" => opts.n = Some(Self::value(name, raw)?),
-            "--max-size" => opts.max_size = Some(Self::value(name, raw)?),
+            "--n" => opts.n = Some(Self::positive(name, raw)?),
+            "--max-size" => opts.max_size = Some(Self::positive(name, raw)?),
             "--arch" => opts.arch = Some(raw.to_string()),
-            "--repeat" => opts.repeat = Some(Self::value(name, raw)?),
-            "--threads" => opts.threads = Some(Self::value(name, raw)?),
+            "--repeat" => opts.repeat = Some(Self::positive(name, raw)?),
+            "--threads" => opts.threads = Some(Self::positive(name, raw)?),
             "--sweep-mode" => opts.sweep_mode = Some(Self::value(name, raw)?),
             "--interp" => opts.interp = Some(Self::value(name, raw)?),
-            "--instr-budget" => opts.instr_budget = Some(Self::value(name, raw)?),
+            "--instr-budget" => opts.instr_budget = Some(Self::positive(name, raw)?),
             "--json" => opts.json = Some(raw.to_string()),
             "--fault-seed" => opts.fault_seed = Some(Self::value(name, raw)?),
             "--fault-rate" => opts.fault_rate = Some(Self::value(name, raw)?),
@@ -206,6 +229,8 @@ impl Cli {
             "--sanitize" => opts.sanitize = true,
             "--sanitize-json" => opts.sanitize_json = Some(raw.to_string()),
             "--seed-racy" => opts.seed_racy = true,
+            "--cache-dir" => opts.cache_dir = Some(raw.to_string()),
+            "--cache" => opts.cache = Some(Self::value(name, raw)?),
             other => unreachable!("flag `{other}` missing from Cli::apply"),
         }
         Ok(())
@@ -216,9 +241,27 @@ impl Cli {
         T::Err: std::fmt::Display,
     {
         // Carry the type's own parse message: for enum-like values
-        // (`--interp`, `--sweep-mode`) it names every accepted
-        // spelling, so a typo'd mode tells the user the full menu.
+        // (`--interp`, `--sweep-mode`, `--cache`) it names every
+        // accepted spelling, so a typo'd mode tells the user the full
+        // menu.
         raw.parse().map_err(|e| format!("invalid value `{raw}` for {name}: {e}"))
+    }
+
+    /// [`Cli::value`] for counts that make no sense at zero: an array
+    /// of 0 elements, 0 worker threads, 0 repeats, or a 0-instruction
+    /// budget would each turn the run into a silent no-op (or an
+    /// instant timeout), so they are parse errors that name the flag,
+    /// in the same style as the enum-valued flags.
+    fn positive<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        // All positive-only flags are unsigned integers, so `raw`
+        // also parses as u64 whenever it parses as T.
+        if Self::value::<u64>(name, raw)? == 0 {
+            return Err(format!("invalid value `{raw}` for {name}: must be at least 1"));
+        }
+        Self::value(name, raw)
     }
 }
 
@@ -232,6 +275,8 @@ mod tests {
         enabled: &[
             "--n",
             "--threads",
+            "--repeat",
+            "--instr-budget",
             "--sweep-mode",
             "--interp",
             "--profile",
@@ -239,6 +284,8 @@ mod tests {
             "--sanitize",
             "--sanitize-json",
             "--seed-racy",
+            "--cache-dir",
+            "--cache",
         ],
         allow_bare: true,
     };
@@ -327,6 +374,45 @@ mod tests {
         assert!(o.seed_racy && o.sanitizing(), "--seed-racy implies sanitized runs");
         let o = TEST_CLI.parse(&args(&["--sanitize"]));
         assert!(o.sanitize && o.sanitizing() && o.sanitize_json.is_none());
+    }
+
+    #[test]
+    fn zero_valued_counts_are_rejected_with_the_flag_named() {
+        for (flag, raw) in
+            [("--threads", "0"), ("--n", "0"), ("--repeat", "00"), ("--instr-budget", "0")]
+        {
+            let err = TEST_CLI.try_parse(&args(&[flag, raw])).unwrap_err();
+            assert!(
+                err.contains(&format!("invalid value `{raw}` for {flag}")),
+                "{flag}: {err}"
+            );
+            assert!(err.contains("must be at least 1"), "{flag}: {err}");
+        }
+        // Positive values still parse, through the same path.
+        let o = TEST_CLI.try_parse(&args(&["--threads", "1", "--n", "4096"])).unwrap();
+        assert_eq!((o.threads, o.n), (Some(1), Some(4096)));
+    }
+
+    #[test]
+    fn cache_flags_parse_validate_and_default() {
+        assert_eq!(TEST_CLI.try_parse(&args(&[])).unwrap().cache(), Ok(None));
+        let o = TEST_CLI.try_parse(&args(&["--cache-dir", "/tmp/ts"])).unwrap();
+        assert_eq!(
+            o.cache().unwrap(),
+            Some(("/tmp/ts".to_string(), CacheMode::ReadWrite)),
+            "--cache defaults to rw"
+        );
+        let o = TEST_CLI.try_parse(&args(&["--cache-dir", "/tmp/ts", "--cache", "ro"])).unwrap();
+        assert_eq!(o.cache().unwrap(), Some(("/tmp/ts".to_string(), CacheMode::ReadOnly)));
+        // --cache without --cache-dir names the missing flag.
+        let o = TEST_CLI.try_parse(&args(&["--cache", "rw"])).unwrap();
+        assert_eq!(o.cache().unwrap_err(), "--cache needs --cache-dir");
+        // A bad mode lists the accepted spellings, like --interp.
+        let err = TEST_CLI.try_parse(&args(&["--cache", "turbo"])).unwrap_err();
+        assert!(err.contains("invalid value `turbo` for --cache"), "got: {err}");
+        for mode in ["rw", "readwrite", "ro", "readonly", "off", "none"] {
+            assert!(err.contains(mode), "error must list `{mode}`, got: {err}");
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use gpu_sim::{
 use serde::{Deserialize, Serialize, Value};
 use tangram::api::CandidateRaces;
 use tangram::evaluate::EvalOptions;
-use tangram::metrics::{CacheMetrics, SanitizeSummary, SweepMetrics};
+use tangram::metrics::{CacheMetrics, SanitizeSummary, StoreSummary, SweepMetrics};
 use tangram::resilience::{ResilienceOptions, ResilienceReport};
 use tangram::select::{select_best_report, select_best_with, SelectionRow};
 use tangram::Session;
@@ -379,6 +379,41 @@ pub fn sanitize_summary_line(s: &SanitizeSummary) -> String {
     )
 }
 
+/// Human-readable one-liner of a sweep's tuning-store outcome, shared
+/// by the `sweep` and `figures` bins. The verify script greps
+/// `outcome=warm` off this line; keep the `key=`/`outcome=`/`saved=`
+/// tokens stable.
+pub fn cache_summary_line(s: &StoreSummary) -> String {
+    let mut line = format!(
+        "cache: mode={} key={} outcome={} warm={} saved={}",
+        s.mode, s.key, s.outcome, s.warm, s.saved
+    );
+    if let Some(detail) = &s.detail {
+        line.push_str(&format!(" detail=[{detail}]"));
+    }
+    line
+}
+
+/// Aggregated tuning-store one-liner for a multi-size series (the
+/// `figures` bin sweeps one session across many sizes): outcome
+/// counts over every sweep that consulted the store, or `None` when
+/// no store was configured.
+pub fn cache_series_line(metrics: &[SweepMetrics]) -> Option<String> {
+    let stores: Vec<&StoreSummary> = metrics.iter().filter_map(|m| m.store.as_ref()).collect();
+    let first = stores.first()?;
+    let warm = stores.iter().filter(|s| s.warm).count();
+    let saved = stores.iter().filter(|s| s.saved).count();
+    let invalid = stores.iter().filter(|s| s.outcome == "invalid").count();
+    Some(format!(
+        "cache: mode={} sweeps={} warm={} saved={} invalid={}",
+        first.mode,
+        stores.len(),
+        warm,
+        saved,
+        invalid
+    ))
+}
+
 /// Run the deliberately-racy negative corpus through the sanitizer on
 /// `arch` (default interpreter hot path) and return each kernel with
 /// its race report — the bins' `--seed-racy` smoke mode. Every kernel
@@ -404,10 +439,16 @@ pub fn seeded_racy_reports(
 /// screen (`(arch id, n, per-candidate reports)`), plus — under
 /// `--seed-racy` — the seeded negative-corpus reports with their
 /// expected findings.
+///
+/// # Errors
+///
+/// Propagates the serializer's error (instead of swallowing it into
+/// an `{"error": …}` payload) so the bins can die with a typed CLI
+/// message.
 pub fn sanitize_json(
     screens: &[(String, u64, Vec<CandidateRaces>)],
     seeded: &[(NegativeKernel, RaceReport)],
-) -> String {
+) -> Result<String, serde_json::Error> {
     let screen_entries: Vec<Value> = screens
         .iter()
         .map(|(arch, n, candidates)| {
@@ -434,7 +475,6 @@ pub fn sanitize_json(
         ("seeded".to_string(), Value::Seq(seeded_entries)),
     ];
     serde_json::to_string_pretty(&Value::Map(map))
-        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
 }
 
 /// Geometric mean of the Tangram-over-CUB speedups in a series

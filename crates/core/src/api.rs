@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use gpu_sim::exec::BlockSelection;
@@ -22,12 +23,13 @@ use crate::evaluate::{
     best_measurement, coarsen_options, evaluate_all_timed, ContextPool, EvalOptions, RungStats,
     SweepMode,
 };
-use crate::metrics::{SanitizeSummary, SweepMetrics};
+use crate::metrics::{SanitizeSummary, StoreSummary, SweepMetrics};
 use crate::resilience::{
-    evaluate_all_report, JobReport, QuarantineReason, ResilienceOptions, ResilienceReport,
+    evaluate_all_report, JobReport, Oracle, QuarantineReason, ResilienceOptions, ResilienceReport,
 };
 use crate::runner::{run_reduction, upload};
 use crate::select::{fig6_label_of, select_best, SelectionRow};
+use crate::store::{corpus_fingerprint, CacheMode, Lookup, StoreKey, StoreRecord, TuningStore};
 use crate::tuner::{TunedVersion, BLOCK_SIZES};
 
 /// Errors surfaced by the high-level API.
@@ -309,6 +311,25 @@ fn sanitize_candidate(
     Ok(None)
 }
 
+/// Quarantine bookkeeping for a tuning-store record that failed
+/// validation: the fallback sweep's [`ResilienceReport`] carries one
+/// [`QuarantineReason::CacheInvalid`] event naming the record and the
+/// reason. (`candidate` is 0 — a store record is not a sweep-space
+/// job, so there is no meaningful candidate index.)
+fn cache_invalid_job(key: &StoreKey, rec: Option<&StoreRecord>, reason: String) -> JobReport {
+    JobReport {
+        candidate: 0,
+        version: rec.map_or_else(|| key.label(), |r| r.version.clone()),
+        block_size: rec.map_or(0, |r| r.block_size),
+        coarsen: rec.map_or(0, |r| r.coarsen),
+        attempts: 1,
+        faults_injected: 0,
+        faults_detected: 0,
+        measured: false,
+        quarantined: Some(QuarantineReason::CacheInvalid(reason)),
+    }
+}
+
 /// The result of one [`Session`] sweep: the tuned winner, its
 /// selection row, job accounting, sweep metrics, and (when profiling
 /// was enabled) the winner's scheduler trace.
@@ -379,11 +400,13 @@ pub struct Session {
     res: Option<ResilienceOptions>,
     profile: bool,
     sanitize: bool,
+    cache_dir: Option<PathBuf>,
+    cache_mode: CacheMode,
 }
 
 impl Session {
     /// A session on `arch` with default engine options, no resilience
-    /// policy, and profiling and sanitizing off.
+    /// policy, profiling and sanitizing off, and no tuning store.
     pub fn new(arch: ArchConfig) -> Self {
         Session {
             arch,
@@ -391,6 +414,8 @@ impl Session {
             res: None,
             profile: false,
             sanitize: false,
+            cache_dir: None,
+            cache_mode: CacheMode::default(),
         }
     }
 
@@ -433,9 +458,46 @@ impl Session {
         self
     }
 
+    /// Attach a persistent tuning store rooted at `dir` (created on
+    /// first use). Sweeps then warm-start: a cached winner for the
+    /// session's `(arch, op, dtype, n-bucket)` key — written by a
+    /// previous sweep over the *same* candidate corpus — is
+    /// re-confirmed at full fidelity (modelled-time bits and the
+    /// cpu-ref oracle) and, when it holds up, returned without
+    /// re-sweeping, bit-identical to a clean sweep. Records that are
+    /// corrupt, stale, or unconfirmable are quarantined via
+    /// [`QuarantineReason::CacheInvalid`] and the sweep falls back to
+    /// a clean full run (which overwrites the record in
+    /// [`CacheMode::ReadWrite`]). A broken store can therefore slow a
+    /// sweep down, but never change its winner or make it fail.
+    #[must_use]
+    pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Set how the tuning store is used (default
+    /// [`CacheMode::ReadWrite`]); [`CacheMode::Off`] ignores a
+    /// configured store entirely.
+    #[must_use]
+    pub fn cache_mode(mut self, mode: CacheMode) -> Self {
+        self.cache_mode = mode;
+        self
+    }
+
     /// The session's architecture.
     pub fn arch(&self) -> &ArchConfig {
         &self.arch
+    }
+
+    /// The configured tuning-store directory, if any.
+    pub fn cache_dir(&self) -> Option<&PathBuf> {
+        self.cache_dir.as_ref()
+    }
+
+    /// The session's cache mode.
+    pub fn cache_usage(&self) -> CacheMode {
+        self.cache_mode
     }
 
     /// The session's evaluation-engine options.
@@ -474,6 +536,82 @@ impl Session {
         candidates: &[CodeVersion],
     ) -> Result<SweepReport, SimError> {
         let t0 = Instant::now();
+
+        // Persistent tuning store: try to answer the sweep from a
+        // cached, re-confirmed winner. Every failure mode of the
+        // store degrades to a clean cold sweep (plus a CacheInvalid
+        // quarantine entry when a record existed but could not be
+        // trusted) — the cache can never panic the sweep, change its
+        // winner, or make it fail.
+        let mut store_state: Option<(TuningStore, StoreKey)> = None;
+        let mut cache_summary: Option<StoreSummary> = None;
+        let mut cache_jobs: Vec<JobReport> = Vec::new();
+        if self.cache_mode != CacheMode::Off {
+            if let Some(dir) = &self.cache_dir {
+                let key = StoreKey::for_sweep(&self.arch.id, n);
+                let mut summary = StoreSummary {
+                    dir: dir.display().to_string(),
+                    mode: self.cache_mode.id().to_string(),
+                    key: key.label(),
+                    outcome: "miss".to_string(),
+                    detail: None,
+                    warm: false,
+                    saved: false,
+                };
+                match TuningStore::open(dir, corpus_fingerprint(candidates)) {
+                    Err(e) => {
+                        summary.outcome = "disabled".to_string();
+                        summary.detail = Some(e.to_string());
+                    }
+                    Ok(store) => {
+                        match store.load(&key) {
+                            Lookup::Hit(rec) if rec.n == n => {
+                                match self.confirm_cached(n, &rec, candidates, t0) {
+                                    Ok(mut report) => {
+                                        summary.outcome = "warm".to_string();
+                                        summary.warm = true;
+                                        report.metrics.store = Some(summary);
+                                        return Ok(report);
+                                    }
+                                    Err(reason) => {
+                                        summary.outcome = "invalid".to_string();
+                                        summary.detail = Some(reason.clone());
+                                        cache_jobs.push(cache_invalid_job(
+                                            &key,
+                                            Some(&rec),
+                                            reason,
+                                        ));
+                                    }
+                                }
+                            }
+                            Lookup::Hit(rec) => {
+                                // Same bucket, different exact size:
+                                // an honest miss (the fresh sweep
+                                // overwrites the record in rw mode).
+                                summary.detail = Some(format!(
+                                    "bucket record is for n={}, sweep is n={n}",
+                                    rec.n
+                                ));
+                            }
+                            Lookup::Miss => {}
+                            Lookup::Invalid { reason, quarantined } => {
+                                summary.outcome = "invalid".to_string();
+                                let detail = match &quarantined {
+                                    Some(q) => {
+                                        format!("{reason}; quarantined to {}", q.display())
+                                    }
+                                    None => reason,
+                                };
+                                summary.detail = Some(detail.clone());
+                                cache_jobs.push(cache_invalid_job(&key, None, detail));
+                            }
+                        }
+                        store_state = Some((store, key));
+                    }
+                }
+                cache_summary = Some(summary);
+            }
+        }
 
         // Sanitizer screen: run every candidate once under shadow-state
         // tracking on a scratch device; racy candidates are quarantined
@@ -546,6 +684,9 @@ impl Session {
         for job in racy_jobs {
             resilience.absorb(job);
         }
+        for job in cache_jobs {
+            resilience.absorb(job);
+        }
         let best = best_measurement(&results)
             .ok_or_else(|| SimError::InvalidLaunch("no feasible version".into()))?;
         let tuned = TunedVersion { synthesized: best.synthesized.clone(), time_ns: best.time_ns };
@@ -565,6 +706,30 @@ impl Session {
         } else {
             (None, None)
         };
+        // Write the fresh winner back. A write failure (disk full,
+        // lock held by a live writer, read-only store) is recorded in
+        // the summary, never surfaced as a sweep error.
+        if let (Some((store, key)), Some(summary)) = (&store_state, cache_summary.as_mut()) {
+            if self.cache_mode == CacheMode::ReadWrite {
+                let rec = StoreRecord {
+                    key: key.clone(),
+                    n,
+                    version: row.version.to_string(),
+                    block_size: row.block_size,
+                    coarsen: row.coarsen,
+                    time_ns_bits: row.time_ns.to_bits(),
+                };
+                match store.save(&rec) {
+                    Ok(()) => summary.saved = true,
+                    Err(e) => {
+                        summary.detail = Some(match summary.detail.take() {
+                            Some(d) => format!("{d}; save failed: {e}"),
+                            None => format!("save failed: {e}"),
+                        });
+                    }
+                }
+            }
+        }
         let metrics = SweepMetrics {
             arch: self.arch.id.clone(),
             n,
@@ -585,6 +750,159 @@ impl Session {
                 findings: rs.iter().map(CandidateRaces::findings).sum(),
                 occurrences: rs.iter().map(CandidateRaces::occurrences).sum(),
             }),
+            store: cache_summary,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok(SweepReport { tuned, row, resilience, metrics, trace, races })
+    }
+
+    /// Try to turn a loaded store record into a finished
+    /// [`SweepReport`] without sweeping: re-map the version into the
+    /// live candidate set, re-synthesize, (when the session
+    /// sanitizes) race-screen it, re-measure at full fidelity, and
+    /// validate against the cpu-ref oracle at the exact size. Any
+    /// failure — including hard simulator errors — returns the reason
+    /// instead, and the caller falls back to a clean cold sweep. An
+    /// accepted warm report is bit-identical to the cold sweep that
+    /// wrote the record, because the measurement is a pure function
+    /// of `(arch, n, version, tuning)` and the accepted time bits
+    /// must reproduce exactly.
+    fn confirm_cached(
+        &self,
+        n: u64,
+        rec: &StoreRecord,
+        candidates: &[CodeVersion],
+        t0: Instant,
+    ) -> Result<SweepReport, String> {
+        let tc = Instant::now();
+        let Some((ci, &version)) =
+            candidates.iter().enumerate().find(|(_, v)| v.to_string() == rec.version)
+        else {
+            return Err(format!(
+                "cached winner `{}` is not in the live candidate set",
+                rec.version
+            ));
+        };
+        if !BLOCK_SIZES.contains(&rec.block_size) {
+            return Err(format!("cached block size {} is outside the sweep space", rec.block_size));
+        }
+        if !coarsen_options(version).contains(&rec.coarsen) {
+            return Err(format!(
+                "cached coarsening factor {} is outside the sweep space",
+                rec.coarsen
+            ));
+        }
+        let tuning = Tuning { block_size: rec.block_size, coarsen: rec.coarsen };
+        let sv = synthesize_cached(version, tuning, ReduceOp::Sum)
+            .map_err(|e| format!("cached winner no longer synthesizes: {e}"))?;
+
+        // The cold path screens every candidate; a warm run only
+        // executes this one, so this one is what gets screened.
+        let races = if self.sanitize {
+            match sanitize_candidate(&self.arch, n.min(SANITIZE_N_CAP), ci, version) {
+                Ok(Some(cr)) if !cr.is_clean() => {
+                    return Err(format!(
+                        "cached winner failed the race sanitizer: {}",
+                        cr.summary()
+                    ));
+                }
+                Ok(cr) => Some(cr.into_iter().collect::<Vec<_>>()),
+                Err(e) => {
+                    return Err(format!("sanitizer screen of the cached winner errored: {e}"))
+                }
+            }
+        } else {
+            None
+        };
+
+        // Full-fidelity timing confirmation on the exact pool
+        // configuration of a cold sweep: the simulator is
+        // deterministic, so an accepted time must reproduce the
+        // stored bits exactly.
+        let pool = ContextPool::builder(&self.arch, n).opts(&self.opts).build();
+        let mut ctx =
+            pool.acquire().map_err(|e| format!("confirmation context failed: {e}"))?;
+        let time_ns =
+            ctx.measure(&sv).map_err(|e| format!("confirmation run failed: {e}"))?;
+        if time_ns.to_bits() != rec.time_ns_bits {
+            return Err(format!(
+                "cached time {} ns does not reproduce (measured {} ns)",
+                rec.time_ns(),
+                time_ns
+            ));
+        }
+
+        // Exact-oracle confirmation against cpu-ref: the cached code
+        // must still produce the right answer, not just the right
+        // timing. Like the sanitizer screen, the functional run is
+        // capped: a wrong kernel is wrong at any size, while at tens
+        // of millions of f32 elements the legitimate accumulation-
+        // order error exceeds the oracle tolerance and would poison
+        // every valid record (and a full-n all-blocks run would cost
+        // more than the sweep the cache is meant to skip).
+        let on = n.min(SANITIZE_N_CAP);
+        let oracle = Oracle::new(on);
+        let got = (|| -> Result<f32, SimError> {
+            let mut dev = Device::new(self.arch.clone());
+            dev.set_exec_mode(self.opts.interp);
+            let input = upload(&mut dev, &oracle.data)?;
+            run_reduction(&mut dev, &sv, input, on, BlockSelection::All)
+        })()
+        .map_err(|e| format!("oracle confirmation run failed: {e}"))?;
+        if !oracle.matches(got) {
+            return Err(format!(
+                "cached winner fails the cpu-ref oracle: got {got}, expected {}",
+                oracle.expect
+            ));
+        }
+
+        let tuned = TunedVersion { synthesized: sv, time_ns };
+        let row = SelectionRow {
+            n,
+            version,
+            fig6_label: fig6_label_of(version),
+            block_size: rec.block_size,
+            coarsen: rec.coarsen,
+            time_ns,
+        };
+        let (winner_profile, trace) = if self.profile {
+            let (_, profiles, trace) = ctx
+                .measure_profiled(&tuned.synthesized)
+                .map_err(|e| format!("winner profiling failed: {e}"))?;
+            (profiles.into_iter().next(), Some(trace))
+        } else {
+            (None, None)
+        };
+        pool.release(ctx);
+        let resilience =
+            ResilienceReport { total_jobs: 1, measured: 1, ..ResilienceReport::default() };
+        let rungs = vec![RungStats {
+            rung: "cache-confirm".to_string(),
+            jobs: 1,
+            measured: 1,
+            wall_ms: tc.elapsed().as_secs_f64() * 1e3,
+        }];
+        let metrics = SweepMetrics {
+            arch: self.arch.id.clone(),
+            n,
+            mode: if self.res.is_some() {
+                format!("resilient-{}", self.opts.sweep.id())
+            } else {
+                self.opts.sweep.id().to_string()
+            },
+            interp: self.opts.interp.id().to_string(),
+            threads: self.opts.threads,
+            rungs,
+            resilience: resilience.clone(),
+            winner: row.clone(),
+            winner_profile,
+            sanitize: races.as_ref().map(|rs| SanitizeSummary {
+                candidates: rs.len(),
+                racy: rs.iter().filter(|r| !r.is_clean()).count(),
+                findings: rs.iter().map(CandidateRaces::findings).sum(),
+                occurrences: rs.iter().map(CandidateRaces::occurrences).sum(),
+            }),
+            store: None, // filled by the caller, which owns the summary
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         };
         Ok(SweepReport { tuned, row, resilience, metrics, trace, races })

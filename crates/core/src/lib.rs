@@ -40,6 +40,7 @@
 //! | [`evaluate`] | the parallel variant-evaluation engine |
 //! | [`resilience`] | retry, quarantine, and fault-campaign layer |
 //! | [`metrics`] | sweep-level observability ([`ProfileReport`]) |
+//! | [`store`] | crash-safe persistent tuning cache ([`TuningStore`]) |
 //! | [`select`] | best-version selection across the pruned space |
 //! | [`dynsel`] | DySel-style runtime selection (micro-profiling) |
 //! | [`runner`] | executing synthesized versions on the device |
@@ -54,11 +55,14 @@ pub mod pipeline;
 pub mod resilience;
 pub mod runner;
 pub mod select;
+pub mod store;
 pub mod tuner;
 
 pub use api::{CandidateRaces, Reducer, Session, SumResult, SweepReport, TableReport, TangramError};
 pub use evaluate::{evaluate_all, evaluate_all_timed, ContextPool, EvalOptions, RungStats};
-pub use metrics::{CacheMetrics, KernelSpotlight, ProfileReport, SanitizeSummary, SweepMetrics};
+pub use metrics::{
+    CacheMetrics, KernelSpotlight, ProfileReport, SanitizeSummary, StoreSummary, SweepMetrics,
+};
 pub use resilience::{
     evaluate_all_report, FaultConfig, QuarantineReason, ResilienceOptions, ResilienceReport,
     ValidationPolicy,
@@ -70,6 +74,7 @@ pub use select::{
     paper_sizes, select_best, select_best_with, selection_table, selection_table_with,
     SelectionRow,
 };
+pub use store::{CacheMode, Lookup, StoreError, StoreKey, StoreRecord, TuningStore};
 pub use tuner::{measure, tune, TunedVersion};
 
 /// One-stop imports for library clients: the device and architecture
@@ -93,12 +98,13 @@ pub mod prelude {
     };
     pub use crate::evaluate::{ContextPool, EvalOptions, RungStats, SweepMode};
     pub use crate::metrics::{
-        CacheMetrics, KernelSpotlight, ProfileReport, SanitizeSummary, SweepMetrics,
+        CacheMetrics, KernelSpotlight, ProfileReport, SanitizeSummary, StoreSummary, SweepMetrics,
     };
     pub use crate::resilience::{
         FaultConfig, QuarantineReason, ResilienceOptions, ResilienceReport, ValidationPolicy,
     };
     pub use crate::select::SelectionRow;
+    pub use crate::store::{CacheMode, Lookup, StoreError, StoreKey, StoreRecord, TuningStore};
     pub use crate::tuner::{BenchContext, TunedVersion};
     pub use gpu_sim::profile::{LaunchProfile, SiteCounters, Trace};
     pub use gpu_sim::{ArchConfig, Device, ExecMode, SimError};

@@ -81,6 +81,31 @@ pub struct SanitizeSummary {
     pub occurrences: u64,
 }
 
+/// What the persistent tuning store did for one sweep (present only
+/// when the session ran with [`crate::api::Session::store`]
+/// configured).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StoreSummary {
+    /// Store directory.
+    pub dir: String,
+    /// Cache mode (`rw`/`ro`).
+    pub mode: String,
+    /// Record key (`arch/op/dtype/bucket`).
+    pub key: String,
+    /// Lookup outcome: `warm` (cached winner confirmed, sweep
+    /// skipped), `miss` (no usable record), `invalid` (record failed
+    /// integrity or confirmation — see `detail`), or `disabled`
+    /// (store could not be opened).
+    pub outcome: String,
+    /// Failure detail for `invalid`/`disabled` outcomes, and the
+    /// write-back error when saving failed.
+    pub detail: Option<String>,
+    /// Whether the sweep was answered from the cache.
+    pub warm: bool,
+    /// Whether a fresh record was written back.
+    pub saved: bool,
+}
+
 /// Everything observed about one `(arch, n)` selection sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepMetrics {
@@ -108,6 +133,9 @@ pub struct SweepMetrics {
     /// Race-sanitizer screen totals (present when the sweep ran
     /// sanitized).
     pub sanitize: Option<SanitizeSummary>,
+    /// Persistent tuning-store outcome (present when the session has
+    /// a store configured).
+    pub store: Option<StoreSummary>,
     /// Wall-clock of the whole sweep in milliseconds
     /// (nondeterministic; excluded from determinism checks).
     pub wall_ms: f64,
@@ -163,8 +191,14 @@ impl ProfileReport {
     }
 
     /// Pretty-printed JSON of the whole report.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error instead of swallowing it
+    /// into an `{"error": …}` payload — callers (the bins) surface it
+    /// as a typed CLI failure.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// One-line summary for logs: sweep count and total spotlight
@@ -279,8 +313,14 @@ mod tests {
         other.baselines = Some(CacheMetrics { hits: 3, misses: 1 });
         report.merge(other);
         assert_eq!(report.baselines.unwrap().hits, 3);
-        let json = report.to_json();
-        let v = serde_json::from_str(&json).expect("report JSON must parse");
+        let json = match report.to_json() {
+            Ok(json) => json,
+            Err(e) => panic!("report must serialize: {e}"),
+        };
+        let v = match serde_json::from_str(&json) {
+            Ok(v) => v,
+            Err(e) => panic!("report JSON must parse: {e}"),
+        };
         let spots = v.get("spotlights").and_then(|s| s.as_seq()).unwrap();
         assert_eq!(spots.len(), 2);
         assert!(report.summary_line().contains("spotlights=2"));

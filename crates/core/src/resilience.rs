@@ -127,6 +127,10 @@ pub enum QuarantineReason {
     /// The race sanitizer reported shared/global-memory hazards for
     /// the candidate (the payload is the first report's summary line).
     Race(String),
+    /// A persisted tuning-store record failed validation (corrupt,
+    /// truncated, stale, or no longer confirmable against the live
+    /// corpus and oracle); the sweep fell back to a clean full run.
+    CacheInvalid(String),
     /// Any other simulator error (memory fault, malformed kernel, …).
     Sim(String),
     /// Faults were injected on every attempt and the job never
@@ -266,20 +270,22 @@ impl ResilienceReport {
 
 /// Deterministic oracle input shared by every worker of a sweep: the
 /// same pattern the correctness tests use, plus its CPU reference sum.
+/// Also reused by the tuning store's warm-start confirmation
+/// (`crate::api`), which re-validates cached winners against it.
 #[derive(Debug)]
-struct Oracle {
-    data: Vec<f32>,
-    expect: f64,
+pub(crate) struct Oracle {
+    pub(crate) data: Vec<f32>,
+    pub(crate) expect: f64,
 }
 
 impl Oracle {
-    fn new(n: u64) -> Self {
+    pub(crate) fn new(n: u64) -> Self {
         let data: Vec<f32> = (0..n).map(|i| ((i % 17) as f32) - 3.0).collect();
         let expect = cpu_ref::parallel_sum(&data, 4);
         Oracle { data, expect }
     }
 
-    fn matches(&self, got: f32) -> bool {
+    pub(crate) fn matches(&self, got: f32) -> bool {
         let tol = (self.expect.abs() * 1e-5).max(1e-3);
         (f64::from(got) - self.expect).abs() <= tol
     }

@@ -1,0 +1,675 @@
+//! Durable, crash-safe persistence of sweep winners
+//! (`tangram::store`).
+//!
+//! ROADMAP item 2 ("Autotuning-as-a-service") needs a tuning cache a
+//! long-running server can trust after crashes, torn writes, and
+//! concurrent writers. This module provides it: a [`TuningStore`]
+//! directory holding one record per `(arch, kernel, n-bucket, dtype)`
+//! key, each record carrying a schema version, the corpus fingerprint
+//! it was swept against, and an Fx checksum of its payload.
+//!
+//! ## Write protocol (crash safety)
+//!
+//! 1. acquire `store.lock` with `O_CREAT|O_EXCL`, writing our PID —
+//!    a lock left by a dead process (the PID no longer exists) is
+//!    detected as stale and broken;
+//! 2. write the full record to a process-unique `*.tmp` sibling and
+//!    `fsync` it;
+//! 3. atomically `rename` over the destination and `fsync` the
+//!    directory.
+//!
+//! A crash at any point leaves either the old record, the new record,
+//! or a `*.tmp` orphan — never a half-written record under the live
+//! name. Orphans are swept out opportunistically by later writers.
+//!
+//! ## Read policy (defensive)
+//!
+//! [`TuningStore::load`] never panics and never returns an error: a
+//! record that is unreadable, unparseable, checksum-mismatched, or
+//! schema-mismatched is *quarantined* — renamed aside to `<file>.corrupt`
+//! — and reported as [`Lookup::Invalid`], which the session layer
+//! turns into a clean full sweep plus a
+//! [`QuarantineReason::CacheInvalid`](crate::resilience::QuarantineReason)
+//! entry. A record whose corpus fingerprint no longer matches the
+//! live candidate set is *stale* rather than corrupt: it is reported
+//! invalid but left in place for the fresh sweep to overwrite.
+//!
+//! The cached winner itself is never trusted blindly: the session
+//! re-confirms it at full fidelity (modelled time bits *and* cpu-ref
+//! oracle) before skipping a sweep — see
+//! [`Session::store`](crate::api::Session::store).
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+use gpu_sim::hash::{fx_hash_bytes, fx_hash_hex};
+use serde::{Serialize, Value};
+use tangram_passes::planner::CodeVersion;
+
+use crate::evaluate::coarsen_options;
+use crate::tuner::BLOCK_SIZES;
+
+/// On-disk record layout version. Bump on any incompatible change to
+/// the record shape; readers quarantine records from other schemas.
+pub const STORE_SCHEMA: u64 = 1;
+
+/// How a session uses its tuning store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Warm-start from cached winners and write fresh winners back.
+    #[default]
+    ReadWrite,
+    /// Warm-start only; never write (e.g. a read-only replica).
+    ReadOnly,
+    /// Ignore the store entirely.
+    Off,
+}
+
+impl CacheMode {
+    /// Stable identifier (the `--cache` flag spelling).
+    pub fn id(self) -> &'static str {
+        match self {
+            CacheMode::ReadWrite => "rw",
+            CacheMode::ReadOnly => "ro",
+            CacheMode::Off => "off",
+        }
+    }
+}
+
+impl FromStr for CacheMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rw" | "readwrite" => Ok(CacheMode::ReadWrite),
+            "ro" | "readonly" => Ok(CacheMode::ReadOnly),
+            "off" | "none" => Ok(CacheMode::Off),
+            other => Err(format!(
+                "unknown cache mode `{other}` (expected rw|readwrite, ro|readonly, or off|none)"
+            )),
+        }
+    }
+}
+
+/// The key a record is stored under: one winner per architecture,
+/// kernel (reduction operator), element dtype, and array-size bucket
+/// (winners change with order of magnitude, not per element — the
+/// same bucketing [`crate::Reducer`] uses).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// Architecture identifier (`kepler`/`maxwell`/`pascal`).
+    pub arch: String,
+    /// Kernel/operator identifier (`sum` today).
+    pub op: String,
+    /// Element dtype (`f32` today).
+    pub dtype: String,
+    /// Size bucket: `64 - leading_zeros(n)`.
+    pub bucket: u32,
+}
+
+impl StoreKey {
+    /// The key of a default (`sum` over `f32`) sweep on `arch` at
+    /// size `n`.
+    pub fn for_sweep(arch: &str, n: u64) -> Self {
+        StoreKey {
+            arch: arch.to_string(),
+            op: "sum".to_string(),
+            dtype: "f32".to_string(),
+            bucket: bucket_of(n),
+        }
+    }
+
+    /// The record's file name inside the store directory.
+    pub fn file_name(&self) -> String {
+        format!("{}-{}-{}-b{}.json", self.arch, self.op, self.dtype, self.bucket)
+    }
+
+    /// Compact display form for logs (`maxwell/sum/f32/b17`).
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}/b{}", self.arch, self.op, self.dtype, self.bucket)
+    }
+}
+
+/// Size bucket used by the store (and [`crate::Reducer`]'s selection
+/// cache): order-of-magnitude, not per-element.
+pub fn bucket_of(n: u64) -> u32 {
+    64 - n.max(1).leading_zeros()
+}
+
+/// One persisted sweep winner.
+///
+/// The modelled time is stored as raw `f64` bits (`time_ns_bits`) so
+/// the JSON round-trip is exact — warm-start confirmation compares
+/// bit-for-bit against a fresh full-fidelity measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreRecord {
+    /// The key this record answers.
+    pub key: StoreKey,
+    /// Exact array size the sweep ran at (a bucket hit with a
+    /// different `n` is a miss, not a warm start).
+    pub n: u64,
+    /// Winning code version (display string; mapped back to a live
+    /// [`CodeVersion`] at load time).
+    pub version: String,
+    /// Winning block size.
+    pub block_size: u32,
+    /// Winning coarsening factor.
+    pub coarsen: u32,
+    /// Raw bits of the winner's modelled time (ns).
+    pub time_ns_bits: u64,
+}
+
+impl StoreRecord {
+    /// The winner's modelled time in nanoseconds.
+    pub fn time_ns(&self) -> f64 {
+        f64::from_bits(self.time_ns_bits)
+    }
+
+    /// The payload map that gets checksummed and stored.
+    fn payload_value(&self) -> Value {
+        Value::Map(vec![
+            ("arch".to_string(), self.key.arch.to_value()),
+            ("op".to_string(), self.key.op.to_value()),
+            ("dtype".to_string(), self.key.dtype.to_value()),
+            ("bucket".to_string(), u64::from(self.key.bucket).to_value()),
+            ("n".to_string(), self.n.to_value()),
+            ("version".to_string(), self.version.to_value()),
+            ("block_size".to_string(), u64::from(self.block_size).to_value()),
+            ("coarsen".to_string(), u64::from(self.coarsen).to_value()),
+            ("time_ns_bits".to_string(), self.time_ns_bits.to_value()),
+        ])
+    }
+
+    fn from_payload(payload: &Value) -> Result<Self, String> {
+        let s = |k: &str| -> Result<String, String> {
+            payload
+                .get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("payload field `{k}` missing or not a string"))
+        };
+        let u = |k: &str| -> Result<u64, String> {
+            payload
+                .get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("payload field `{k}` missing or not an integer"))
+        };
+        let narrow = |k: &str, v: u64| -> Result<u32, String> {
+            u32::try_from(v).map_err(|_| format!("payload field `{k}` out of range"))
+        };
+        Ok(StoreRecord {
+            key: StoreKey {
+                arch: s("arch")?,
+                op: s("op")?,
+                dtype: s("dtype")?,
+                bucket: narrow("bucket", u("bucket")?)?,
+            },
+            n: u("n")?,
+            version: s("version")?,
+            block_size: narrow("block_size", u("block_size")?)?,
+            coarsen: narrow("coarsen", u("coarsen")?)?,
+            time_ns_bits: u("time_ns_bits")?,
+        })
+    }
+}
+
+/// Errors surfaced by store *writes*. (Reads are infallible by
+/// design — see [`TuningStore::load`].)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Filesystem failure (permissions, disk full, …).
+    Io(String),
+    /// The store lock is held by another live process.
+    Locked(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "tuning-store I/O error: {e}"),
+            StoreError::Locked(e) => write!(f, "tuning store is locked: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Outcome of one defensive [`TuningStore::load`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// No record under this key.
+    Miss,
+    /// A record that passed every integrity check.
+    Hit(StoreRecord),
+    /// A record that failed an integrity check. `quarantined` names
+    /// the `.corrupt` file the offender was moved to; stale-corpus
+    /// records are invalid but left in place (`None`) for the fresh
+    /// sweep to overwrite.
+    Invalid {
+        /// Human-readable reason (feeds `QuarantineReason::CacheInvalid`).
+        reason: String,
+        /// Path the corrupt file was renamed to, when it was.
+        quarantined: Option<PathBuf>,
+    },
+}
+
+/// Fingerprint of the candidate set a sweep ran over: the schema
+/// version, every candidate's display string (in order), and the
+/// tuning axes. A record swept against a different corpus must not
+/// warm-start a sweep over this one.
+pub fn corpus_fingerprint(candidates: &[CodeVersion]) -> u64 {
+    let mut desc = format!("schema={STORE_SCHEMA};blocks={BLOCK_SIZES:?};");
+    for &v in candidates {
+        desc.push_str(&v.to_string());
+        desc.push_str(&format!(";coarsen={:?}|", coarsen_options(v)));
+    }
+    fx_hash_bytes(desc.as_bytes())
+}
+
+/// Name of the writer lock file inside a store directory.
+const LOCK_FILE: &str = "store.lock";
+/// Attempts to acquire the lock before giving up with
+/// [`StoreError::Locked`]. Retries are spaced `LOCK_RETRY_MS` apart.
+const LOCK_RETRIES: u32 = 10;
+const LOCK_RETRY_MS: u64 = 20;
+/// Age (seconds) past which a lock whose owner cannot be probed is
+/// presumed dead (non-Linux fallback; on Linux `/proc/<pid>` decides).
+#[cfg(not(target_os = "linux"))]
+const LOCK_STALE_SECS: u64 = 300;
+
+/// A directory of persisted sweep winners for one corpus fingerprint.
+#[derive(Debug, Clone)]
+pub struct TuningStore {
+    dir: PathBuf,
+    corpus: u64,
+}
+
+impl TuningStore {
+    /// Open (creating if needed) the store rooted at `dir`, reading
+    /// and writing records for the corpus identified by `corpus`
+    /// (see [`corpus_fingerprint`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, corpus: u64) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::Io(format!("create {}: {e}", dir.display())))?;
+        Ok(TuningStore { dir, corpus })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The corpus fingerprint this store validates records against.
+    pub fn corpus(&self) -> u64 {
+        self.corpus
+    }
+
+    fn record_path(&self, key: &StoreKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Move a failed record aside as `<file>.corrupt` so it never
+    /// poisons another load; returns the quarantine path on success.
+    /// Best-effort: when even the rename fails the offender is left
+    /// behind, and the next load will fail (and retry the rename)
+    /// the same deterministic way.
+    fn quarantine_file(&self, path: &Path) -> Option<PathBuf> {
+        let mut target = path.as_os_str().to_owned();
+        target.push(".corrupt");
+        let target = PathBuf::from(target);
+        fs::rename(path, &target).ok().map(|()| target)
+    }
+
+    /// Look up the record for `key`, verifying integrity. Infallible:
+    /// any I/O or integrity failure degrades to [`Lookup::Miss`] /
+    /// [`Lookup::Invalid`], never a panic or an error — a bad cache
+    /// must not be able to break a sweep.
+    pub fn load(&self, key: &StoreKey) -> Lookup {
+        let path = self.record_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Lookup::Miss,
+            Err(e) => {
+                return Lookup::Invalid {
+                    reason: format!("unreadable record {}: {e}", path.display()),
+                    quarantined: self.quarantine_file(&path),
+                }
+            }
+        };
+        match self.decode(&text) {
+            Ok(rec) if rec.key == *key => Lookup::Hit(rec),
+            Ok(rec) => Lookup::Invalid {
+                reason: format!(
+                    "record key {} does not match file {}",
+                    rec.key.label(),
+                    path.display()
+                ),
+                quarantined: self.quarantine_file(&path),
+            },
+            Err(Corrupt::Quarantine(reason)) => Lookup::Invalid {
+                reason: format!("{reason} ({})", path.display()),
+                quarantined: self.quarantine_file(&path),
+            },
+            // Stale ≠ corrupt: the file is internally consistent, it
+            // just answers for a corpus we are no longer sweeping.
+            // Leave it for the fresh sweep to overwrite.
+            Err(Corrupt::Stale(reason)) => {
+                Lookup::Invalid { reason, quarantined: None }
+            }
+        }
+    }
+
+    fn decode(&self, text: &str) -> Result<StoreRecord, Corrupt> {
+        let root = serde_json::from_str(text)
+            .map_err(|e| Corrupt::Quarantine(format!("garbage or truncated record: {e}")))?;
+        let crc = root
+            .get("crc")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Corrupt::Quarantine("record has no `crc` field".to_string()))?
+            .to_string();
+        let payload = root
+            .get("payload")
+            .ok_or_else(|| Corrupt::Quarantine("record has no `payload` field".to_string()))?;
+        let got = checksum_of(payload).map_err(|e| Corrupt::Quarantine(e.to_string()))?;
+        if got != crc {
+            return Err(Corrupt::Quarantine(format!(
+                "checksum mismatch: expected {crc}, computed {got}"
+            )));
+        }
+        let schema = root
+            .get("schema")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Corrupt::Quarantine("record has no `schema` field".to_string()))?;
+        if schema != STORE_SCHEMA {
+            return Err(Corrupt::Quarantine(format!(
+                "schema version mismatch: record v{schema}, reader v{STORE_SCHEMA}"
+            )));
+        }
+        let corpus = root
+            .get("corpus")
+            .and_then(Value::as_str)
+            .ok_or_else(|| Corrupt::Quarantine("record has no `corpus` field".to_string()))?;
+        let want = format!("{:016x}", self.corpus);
+        if corpus != want {
+            return Err(Corrupt::Stale(format!(
+                "corpus fingerprint mismatch: record {corpus}, live corpus {want}"
+            )));
+        }
+        StoreRecord::from_payload(payload).map_err(Corrupt::Quarantine)
+    }
+
+    /// Persist `rec` under its key with the crash-safe write protocol
+    /// (lock, temp file, fsync, atomic rename, directory fsync).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when another live process holds the
+    /// writer lock; [`StoreError::Io`] on filesystem failures. Both
+    /// leave any existing record untouched.
+    pub fn save(&self, rec: &StoreRecord) -> Result<(), StoreError> {
+        let _lock = LockGuard::acquire(&self.dir)?;
+        self.sweep_orphans();
+        let path = self.record_path(&rec.key);
+        let tmp = self.dir.join(format!(
+            "{}.{}.tmp",
+            rec.key.file_name(),
+            std::process::id()
+        ));
+        let text = encode(rec, self.corpus).map_err(|e| StoreError::Io(e.to_string()))?;
+        let write = || -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            fs::rename(&tmp, &path)?;
+            // Persist the rename itself: fsync the directory entry.
+            if let Ok(d) = File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+            Ok(())
+        };
+        write().map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            StoreError::Io(format!("write {}: {e}", path.display()))
+        })
+    }
+
+    /// Remove `*.tmp` orphans left by writers that died mid-protocol.
+    /// Called under the lock, so no live writer's temp file is at
+    /// risk — any temp file we can see either belongs to a dead
+    /// writer or to a previous (completed or abandoned) write of our
+    /// own process.
+    fn sweep_orphans(&self) {
+        let Ok(entries) = fs::read_dir(&self.dir) else { return };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if name.to_string_lossy().ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Why a record failed to decode: quarantine-worthy corruption vs. a
+/// merely stale (different-corpus) record.
+enum Corrupt {
+    Quarantine(String),
+    Stale(String),
+}
+
+/// Checksum of a payload value: the Fx hash of its compact JSON
+/// serialization (deterministic — the shim serializer emits maps in
+/// insertion order with a fixed float format).
+fn checksum_of(payload: &Value) -> Result<String, serde_json::Error> {
+    Ok(fx_hash_hex(serde_json::to_string(payload)?.as_bytes()))
+}
+
+fn encode(rec: &StoreRecord, corpus: u64) -> Result<String, serde_json::Error> {
+    let payload = rec.payload_value();
+    let crc = checksum_of(&payload)?;
+    let root = Value::Map(vec![
+        ("schema".to_string(), STORE_SCHEMA.to_value()),
+        ("corpus".to_string(), format!("{corpus:016x}").to_value()),
+        ("crc".to_string(), crc.to_value()),
+        ("payload".to_string(), payload),
+    ]);
+    let mut text = serde_json::to_string_pretty(&root)?;
+    text.push('\n');
+    Ok(text)
+}
+
+/// Exclusive writer lock: a `store.lock` file created with
+/// `O_CREAT|O_EXCL` holding the owner's PID. Dropped (removed) when
+/// the guard goes out of scope; locks whose owner died are detected
+/// as stale and broken.
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl LockGuard {
+    fn acquire(dir: &Path) -> Result<Self, StoreError> {
+        let path = dir.join(LOCK_FILE);
+        for attempt in 0..LOCK_RETRIES {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    let _ = f.sync_all();
+                    return Ok(LockGuard { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if lock_is_stale(&path) {
+                        // Break the dead owner's lock and retry the
+                        // exclusive create (racing breakers are fine:
+                        // exactly one create_new wins).
+                        let _ = fs::remove_file(&path);
+                        continue;
+                    }
+                    if attempt + 1 < LOCK_RETRIES {
+                        std::thread::sleep(std::time::Duration::from_millis(LOCK_RETRY_MS));
+                    }
+                }
+                Err(e) => {
+                    return Err(StoreError::Io(format!("create {}: {e}", path.display())))
+                }
+            }
+        }
+        Err(StoreError::Locked(format!(
+            "{} held by a live process after {} attempts",
+            path.display(),
+            LOCK_RETRIES
+        )))
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Whether the lock at `path` belongs to a process that no longer
+/// exists. A lock without a readable PID is a torn write of the lock
+/// itself — stale by definition. On Linux the owner is probed via
+/// `/proc/<pid>`; elsewhere a conservative age threshold decides.
+fn lock_is_stale(path: &Path) -> bool {
+    let pid = fs::read_to_string(path).ok().and_then(|s| s.trim().parse::<u32>().ok());
+    let Some(pid) = pid else { return true };
+    if pid == std::process::id() {
+        // Our own PID: another thread of this process is writing.
+        return false;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        !Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        match fs::metadata(path).and_then(|m| m.modified()) {
+            Ok(mtime) => mtime
+                .elapsed()
+                .map(|age| age.as_secs() > LOCK_STALE_SECS)
+                .unwrap_or(false),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tangram_passes::planner;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("tangram-store-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record() -> StoreRecord {
+        StoreRecord {
+            key: StoreKey::for_sweep("maxwell", 65_536),
+            n: 65_536,
+            version: "gridStride+coopV".to_string(),
+            block_size: 256,
+            coarsen: 4,
+            time_ns_bits: 123_456.75f64.to_bits(),
+        }
+    }
+
+    #[test]
+    fn cache_mode_parses_every_spelling() {
+        for (s, want) in [
+            ("rw", CacheMode::ReadWrite),
+            ("readwrite", CacheMode::ReadWrite),
+            ("ro", CacheMode::ReadOnly),
+            ("readonly", CacheMode::ReadOnly),
+            ("off", CacheMode::Off),
+            ("none", CacheMode::Off),
+        ] {
+            assert_eq!(s.parse::<CacheMode>().unwrap(), want);
+        }
+        let err = "turbo".parse::<CacheMode>().unwrap_err();
+        for menu in ["rw", "readwrite", "ro", "readonly", "off", "none"] {
+            assert!(err.contains(menu), "error must list `{menu}`: {err}");
+        }
+    }
+
+    #[test]
+    fn key_buckets_by_order_of_magnitude() {
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(65_536), 17);
+        assert_eq!(bucket_of(65_537), 17);
+        assert_eq!(bucket_of(131_072), 18);
+        let key = StoreKey::for_sweep("pascal", 4 << 20);
+        assert_eq!(key.file_name(), "pascal-sum-f32-b23.json");
+        assert_eq!(key.label(), "pascal/sum/f32/b23");
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let dir = tmpdir("roundtrip");
+        let store = TuningStore::open(&dir, 7).unwrap();
+        let rec = record();
+        assert_eq!(store.load(&rec.key), Lookup::Miss);
+        store.save(&rec).unwrap();
+        match store.load(&rec.key) {
+            Lookup::Hit(got) => {
+                assert_eq!(got, rec);
+                assert_eq!(got.time_ns().to_bits(), rec.time_ns_bits);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // The lock is released after the save.
+        assert!(!dir.join(LOCK_FILE).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corpus_fingerprint_tracks_candidates() {
+        let pruned = planner::enumerate_pruned();
+        let a = corpus_fingerprint(&pruned);
+        assert_eq!(a, corpus_fingerprint(&pruned), "fingerprint must be deterministic");
+        assert_ne!(a, corpus_fingerprint(&pruned[1..]), "subset must fingerprint differently");
+    }
+
+    #[test]
+    fn stale_corpus_is_invalid_but_not_quarantined() {
+        let dir = tmpdir("stale");
+        let rec = record();
+        TuningStore::open(&dir, 1).unwrap().save(&rec).unwrap();
+        let newer = TuningStore::open(&dir, 2).unwrap();
+        match newer.load(&rec.key) {
+            Lookup::Invalid { reason, quarantined } => {
+                assert!(reason.contains("corpus fingerprint mismatch"), "{reason}");
+                assert!(quarantined.is_none(), "stale records stay in place");
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+        // The record file survives, and a rewrite under the new corpus
+        // makes it valid again.
+        assert!(dir.join(rec.key.file_name()).exists());
+        newer.save(&rec).unwrap();
+        assert!(matches!(newer.load(&rec.key), Lookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_cleans_up_orphaned_tmp_files() {
+        let dir = tmpdir("orphan");
+        let store = TuningStore::open(&dir, 7).unwrap();
+        let orphan = dir.join("dead-writer.json.12345.tmp");
+        fs::write(&orphan, b"half a record").unwrap();
+        store.save(&record()).unwrap();
+        assert!(!orphan.exists(), "writers sweep dead writers' temp files");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -68,6 +68,32 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hash a byte string with the fixed-seed Fx hasher.
+///
+/// This is the repo's content-hash primitive: because the seed is a
+/// compile-time constant, the digest of a given byte string is stable
+/// across processes, threads, and runs — suitable for on-disk record
+/// checksums and corpus fingerprints (`tangram::store`), unlike
+/// `std`'s randomly-keyed SipHash. It is *not* cryptographic; it
+/// detects corruption (torn writes, bit flips), not adversaries.
+#[must_use]
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    // Mix in the length so `"ab" + "c"` and `"a" + "bc"` style
+    // prefix/suffix rearrangements cannot collide trivially with the
+    // zero-padded tail chunk.
+    h.write_u64(bytes.len() as u64);
+    h.write(bytes);
+    h.finish()
+}
+
+/// [`fx_hash_bytes`] of a string, as a fixed-width lowercase hex
+/// digest (the on-disk spelling used by record checksums).
+#[must_use]
+pub fn fx_hash_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fx_hash_bytes(bytes))
+}
+
 /// [`BuildHasher`](std::hash::BuildHasher) for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
@@ -97,6 +123,19 @@ mod tests {
         let mut b = FxHasher::default();
         b.write_u64(42);
         assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_hash_is_stable_and_length_aware() {
+        // Stable across calls (fixed seed — this exact value is what
+        // on-disk checksums depend on being reproducible).
+        assert_eq!(fx_hash_bytes(b"tangram"), fx_hash_bytes(b"tangram"));
+        assert_ne!(fx_hash_bytes(b"tangram"), fx_hash_bytes(b"tangran"));
+        // Zero-padded tail chunks must not collide with explicit
+        // trailing zero bytes.
+        assert_ne!(fx_hash_bytes(b"abc"), fx_hash_bytes(b"abc\0"));
+        assert_eq!(fx_hash_hex(b""), format!("{:016x}", fx_hash_bytes(b"")));
+        assert_eq!(fx_hash_hex(b"x").len(), 16);
     }
 
     #[test]

@@ -169,6 +169,57 @@ print(f"  races JSON: {sum(len(x['candidates']) for x in r['screens'])} clean ca
       f"{len(seeded)} seeded racy kernels all detected")
 PY
 
+echo "== tuning-store cache smoke (cold write, warm hit, corruption fallback) =="
+# Two sweeps into a fresh store: the first is a cold miss that writes
+# the record, the second a warm hit whose winner line is byte-identical
+# (the cached winner is re-confirmed at full fidelity, so the cache can
+# accelerate but never change a selection).
+cache_dir=$(mktemp -d /tmp/verify_cache.XXXXXX)
+cold_raw=$(./target/release/sweep --arch maxwell --n 65536 --threads 1 --cache-dir "$cache_dir")
+cold=$(echo "$cold_raw" | grep '^sweep ' | sed 's/wall_ms=[0-9.]*//')
+echo "$cold_raw" | grep '^cache: ' | grep -q 'outcome=miss' \
+  || { echo "first cache run was not a miss: $cold_raw" >&2; exit 1; }
+echo "$cold_raw" | grep '^cache: ' | grep -q 'saved=true' \
+  || { echo "cold sweep did not write the record back" >&2; exit 1; }
+warm_raw=$(./target/release/sweep --arch maxwell --n 65536 --threads 1 --cache-dir "$cache_dir")
+warm=$(echo "$warm_raw" | grep '^sweep ' | sed 's/wall_ms=[0-9.]*//')
+echo "$warm_raw" | grep '^cache: ' | grep -q 'outcome=warm' \
+  || { echo "second cache run did not warm-start: $warm_raw" >&2; exit 1; }
+if [ "$cold" != "$warm" ]; then
+  echo "WARM-START CHANGED THE WINNER LINE:" >&2
+  echo "  cold: $cold" >&2
+  echo "  warm: $warm" >&2
+  exit 1
+fi
+echo "  warm hit: $(echo "$warm_raw" | grep '^cache: ')"
+# Corrupt the record in place: the sweep must quarantine it aside as
+# .corrupt, fall back to a clean cold run with the same winner line,
+# and still exit 0 — a bad cache must never break a sweep.
+record="$cache_dir/maxwell-sum-f32-b17.json"
+test -s "$record" || { echo "expected record $record missing" >&2; exit 1; }
+python3 - "$record" <<'PY'
+import sys
+p = sys.argv[1]
+data = bytearray(open(p, "rb").read())
+data[len(data) // 2] ^= 0x40
+open(p, "wb").write(data)
+PY
+corrupt_raw=$(./target/release/sweep --arch maxwell --n 65536 --threads 1 --cache-dir "$cache_dir") \
+  || { echo "corrupted cache made the sweep exit nonzero" >&2; exit 1; }
+corrupt=$(echo "$corrupt_raw" | grep '^sweep ' | sed 's/wall_ms=[0-9.]*//')
+if [ "$cold" != "$corrupt" ]; then
+  echo "CORRUPTED CACHE CHANGED THE WINNER LINE:" >&2
+  echo "  cold:    $cold" >&2
+  echo "  corrupt: $corrupt" >&2
+  exit 1
+fi
+echo "$corrupt_raw" | grep '^cache: ' | grep -q 'outcome=invalid' \
+  || { echo "corrupted record was not reported invalid: $corrupt_raw" >&2; exit 1; }
+test -e "$record.corrupt" \
+  || { echo "corrupted record was not quarantined to $record.corrupt" >&2; exit 1; }
+echo "  corruption fallback: $(echo "$corrupt_raw" | grep '^cache: ' | cut -c1-100)..."
+rm -rf "$cache_dir"
+
 echo "== test-target inventory (every tests/*.rs file must be a registered target) =="
 # A test file that exists on disk but is not picked up by cargo (e.g.
 # accidentally shadowed or excluded) would silently stop running; make
