@@ -1,0 +1,566 @@
+//! `tuned` — the autotuning daemon and its client, on one binary.
+//!
+//! ```text
+//! tuned serve    [--socket PATH] [--workers W] [--max-queue Q]
+//!                [--tenant-cap C] [--queue-wait D] [--threads T]
+//!                [--cache-dir PATH] [--cache rw|ro|off]
+//! tuned query    [--socket PATH] [--arch ID] [--n N] [--tenant ID]
+//!                [--count K] [--concurrent]
+//! tuned stats    [--socket PATH]
+//! tuned shutdown [--socket PATH]
+//! tuned bench    [--json PATH] [--threads T]
+//! ```
+//!
+//! `serve` runs the daemon from `tangram::serve` on a local unix
+//! socket until SIGINT/SIGTERM or a client `shutdown` request; it
+//! answers line-delimited JSON best-variant queries with in-flight
+//! deduplication, nearest-bucket warm starts (via `--cache-dir`), and
+//! an admission gate that sheds overload with typed busy responses.
+//!
+//! `query` asks a running daemon for the best variant and prints one
+//! line per answer in the `sweep` bin's winner style — the trailing
+//! `winner=… block=… coarsen=… time_ns=…` is byte-identical to what
+//! `sweep --arch A --n N` prints for the same shape. `--count K`
+//! repeats the query K times; with `--concurrent` the K queries are
+//! issued from K parallel connections (a dedup burst: the daemon runs
+//! one sweep and fans it out).
+//!
+//! `bench` runs the whole serving stack in-process — cold, warm,
+//! seeded, and dedup-burst phases on every paper architecture — and
+//! reports per-phase latency percentiles, daemon qps, and a byte-
+//! identity cross-check against direct storeless sweeps (`--json`
+//! writes the machine-readable report, e.g. `BENCH_serve.json`).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use gpu_sim::{ArchConfig, ExecMode};
+use serde::{Serialize, Value};
+use tangram::evaluate::{EvalOptions, SweepMode};
+use tangram::serve::{
+    install_signal_handlers, Client, Query, ServeConfig, Server, WireAnswer, WireReply,
+};
+use tangram::store::CacheMode;
+use tangram::Session;
+use tangram_bench::cli::Cli;
+
+const USAGE: &str = "usage: tuned <serve|query|stats|shutdown|bench> [flags]
+
+  tuned serve    [--socket PATH] [--workers W] [--max-queue Q]
+                 [--tenant-cap C] [--queue-wait D] [--threads T]
+                 [--cache-dir PATH] [--cache rw|ro|off]
+  tuned query    [--socket PATH] [--arch ID] [--n N] [--tenant ID]
+                 [--count K] [--concurrent]
+  tuned stats    [--socket PATH]
+  tuned shutdown [--socket PATH]
+  tuned bench    [--json PATH] [--threads T]
+
+  --socket PATH    daemon unix socket (default /tmp/tangram-tuned.sock)
+  --workers W      concurrent sweeps (default 2)
+  --max-queue Q    admission queue depth beyond the active sweeps (default 16)
+  --tenant-cap C   per-tenant concurrency cap (default 8)
+  --queue-wait D   longest queue wait before shedding, e.g. 500ms|30s|1m
+                   (default 500ms; 0ms sheds the moment workers are busy)
+  --threads T      worker threads inside each sweep (default 1)
+  --cache-dir PATH persistent tuning store: exact hits answer warm,
+                   near misses seed the sweep from the nearest n-bucket
+  --cache MODE     rw | ro | off store usage (default rw)
+  --arch ID        query architecture: kepler|maxwell|pascal (default maxwell)
+  --n N            query array size in elements (default 4194304)
+  --tenant ID      tenant the query is attributed to (default `default`)
+  --count K        issue the query K times (default 1)
+  --concurrent     issue the K queries from K parallel connections
+  --json PATH      write the bench report JSON to PATH";
+
+const CLI: Cli = Cli {
+    prog: "tuned",
+    usage: USAGE,
+    enabled: &[
+        "--socket",
+        "--workers",
+        "--max-queue",
+        "--tenant-cap",
+        "--queue-wait",
+        "--threads",
+        "--cache-dir",
+        "--cache",
+        "--arch",
+        "--n",
+        "--tenant",
+        "--count",
+        "--concurrent",
+        "--json",
+    ],
+    allow_bare: true,
+};
+
+fn socket_path(o: &tangram_bench::cli::CliOpts) -> PathBuf {
+    o.socket.clone().map_or_else(|| ServeConfig::default().socket, PathBuf::from)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = CLI.parse(&args);
+    let cmd = match o.bare.as_slice() {
+        [cmd] => cmd.clone(),
+        [] => CLI.die("missing subcommand (want serve|query|stats|shutdown|bench)"),
+        more => CLI.die(&format!(
+            "one subcommand expected, got `{}`",
+            more.join(" ")
+        )),
+    };
+    match cmd.as_str() {
+        "serve" => serve(&o),
+        "query" => query(&o),
+        "stats" => stats(&o),
+        "shutdown" => shutdown(&o),
+        "bench" => bench(&o),
+        other => CLI.die(&format!(
+            "unknown subcommand `{other}` (want serve|query|stats|shutdown|bench)"
+        )),
+    }
+}
+
+fn serve(o: &tangram_bench::cli::CliOpts) -> ! {
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        socket: socket_path(o),
+        workers: o.workers.unwrap_or(defaults.workers),
+        max_queue: o.max_queue.unwrap_or(defaults.max_queue),
+        tenant_cap: o.tenant_cap.unwrap_or(defaults.tenant_cap),
+        queue_wait: o.queue_wait.unwrap_or(defaults.queue_wait),
+        sweep_threads: o.threads.unwrap_or(1),
+        cache_dir: match o.cache() {
+            Ok(c) => c.as_ref().map(|(dir, _)| PathBuf::from(dir)),
+            Err(e) => CLI.die(&e),
+        },
+        cache_mode: match o.cache() {
+            Ok(c) => c.map(|(_, mode)| mode).unwrap_or_default(),
+            Err(e) => CLI.die(&e),
+        },
+    };
+    let socket = cfg.socket.clone();
+    let server = match Server::bind(cfg.clone(), ArchConfig::paper_archs()) {
+        Ok(s) => s,
+        Err(e) => CLI.die(&format!("cannot bind `{}`: {e}", socket.display())),
+    };
+    println!(
+        "tuned: serving on {} (workers={} max_queue={} tenant_cap={} queue_wait={}ms cache={})",
+        socket.display(),
+        cfg.workers,
+        cfg.max_queue,
+        cfg.tenant_cap,
+        cfg.queue_wait.as_millis(),
+        cfg.cache_dir.as_ref().map_or("off".to_string(), |d| d.display().to_string()),
+    );
+    let shutdown = install_signal_handlers();
+    match server.run(shutdown) {
+        Ok(m) => {
+            println!(
+                "tuned: served {} queries (ok={} busy={} errors={} cold={} seeded={} warm={} dedup={} sweeps={}) p50={:.1}ms p99={:.1}ms qps={:.2}",
+                m.queries, m.ok, m.busy, m.errors, m.cold, m.seeded, m.warm, m.dedup,
+                m.sweeps, m.p50_ms, m.p99_ms, m.qps
+            );
+            std::process::exit(0);
+        }
+        Err(e) => CLI.die(&format!("serve failed: {e}")),
+    }
+}
+
+fn build_query(o: &tangram_bench::cli::CliOpts) -> Query {
+    let arch = o.arch.clone().unwrap_or_else(|| "maxwell".to_string());
+    let mut q = Query::sweep(&arch, o.n.unwrap_or(1 << 22));
+    if let Some(tenant) = &o.tenant {
+        q = q.tenant(tenant);
+    }
+    q
+}
+
+fn answer_line(q: &Query, a: &WireAnswer, latency_ms: f64) -> String {
+    format!(
+        "query arch={} n={} served={} latency_ms={:.1} {}",
+        q.arch, q.n, a.served, latency_ms, a.line
+    )
+}
+
+fn query(o: &tangram_bench::cli::CliOpts) -> ! {
+    let socket = socket_path(o);
+    let q = build_query(o);
+    let count = o.count.unwrap_or(1);
+    let mut busy = 0u64;
+    let mut errors = 0u64;
+    let mut lines = Vec::new();
+    if o.concurrent {
+        let barrier = Arc::new(Barrier::new(count));
+        let handles: Vec<_> = (0..count)
+            .map(|_| {
+                let socket = socket.clone();
+                let q = q.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || -> Result<(String, bool), String> {
+                    let mut client = Client::connect(&socket)
+                        .map_err(|e| format!("cannot connect `{}`: {e}", socket.display()))?;
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    let reply = client.query(&q).map_err(|e| format!("query failed: {e}"))?;
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    match reply {
+                        WireReply::Ok(a) => Ok((answer_line(&q, &a, ms), false)),
+                        WireReply::Busy(reason) => {
+                            Ok((format!("query arch={} n={} busy reason=\"{reason}\"", q.arch, q.n), true))
+                        }
+                        WireReply::Error(e) => Err(format!("daemon error: {e}")),
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join().expect("query thread panicked") {
+                Ok((line, was_busy)) => {
+                    busy += u64::from(was_busy);
+                    lines.push(line);
+                }
+                Err(e) => {
+                    errors += 1;
+                    lines.push(format!("query error: {e}"));
+                }
+            }
+        }
+    } else {
+        let mut client = match Client::connect(&socket) {
+            Ok(c) => c,
+            Err(e) => CLI.die(&format!("cannot connect `{}`: {e}", socket.display())),
+        };
+        for _ in 0..count {
+            let t0 = Instant::now();
+            match client.query(&q) {
+                Ok(WireReply::Ok(a)) => {
+                    lines.push(answer_line(&q, &a, t0.elapsed().as_secs_f64() * 1e3));
+                }
+                Ok(WireReply::Busy(reason)) => {
+                    busy += 1;
+                    lines.push(format!("query arch={} n={} busy reason=\"{reason}\"", q.arch, q.n));
+                }
+                Ok(WireReply::Error(e)) => {
+                    errors += 1;
+                    lines.push(format!("query error: {e}"));
+                }
+                Err(e) => CLI.die(&format!("query failed: {e}")),
+            }
+        }
+    }
+    for line in &lines {
+        println!("{line}");
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+    if busy > 0 {
+        std::process::exit(2);
+    }
+    std::process::exit(0);
+}
+
+fn stats(o: &tangram_bench::cli::CliOpts) -> ! {
+    let socket = socket_path(o);
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => CLI.die(&format!("cannot connect `{}`: {e}", socket.display())),
+    };
+    match client.stats() {
+        Ok(v) => {
+            match serde_json::to_string_pretty(&v) {
+                Ok(json) => println!("{json}"),
+                Err(e) => CLI.die(&format!("stats serialization failed: {e}")),
+            }
+            std::process::exit(0);
+        }
+        Err(e) => CLI.die(&format!("stats failed: {e}")),
+    }
+}
+
+fn shutdown(o: &tangram_bench::cli::CliOpts) -> ! {
+    let socket = socket_path(o);
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => CLI.die(&format!("cannot connect `{}`: {e}", socket.display())),
+    };
+    match client.shutdown() {
+        Ok(()) => {
+            println!("tuned: server shut down");
+            std::process::exit(0);
+        }
+        Err(e) => CLI.die(&format!("shutdown failed: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench
+// ---------------------------------------------------------------------------
+
+/// Sizes of the bench phases: cold/warm at `COLD_N`, the seeded query
+/// one n-bucket up, and the dedup burst two buckets up (uncached).
+const COLD_N: u64 = 65_536;
+const SEEDED_N: u64 = 262_144;
+const BURST_N: u64 = 1_048_576;
+const WARM_REPEATS: usize = 5;
+const BURST_CLIENTS: usize = 6;
+
+fn pctl(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx.min(samples.len() - 1)]
+}
+
+/// The `sweep` bin's winner tail for a direct storeless sweep —
+/// ground truth for the byte-identity cross-check.
+fn direct_line(arch: &ArchConfig, n: u64, threads: usize) -> String {
+    let report = Session::new(arch.clone())
+        .eval(
+            EvalOptions::with_threads(threads)
+                .with_sweep(SweepMode::Halving)
+                .with_interp(ExecMode::Compiled),
+        )
+        .select_best(n)
+        .unwrap_or_else(|e| CLI.die(&format!("direct sweep failed ({} n={n}): {e}", arch.id)));
+    format!(
+        "winner={} block={} coarsen={} time_ns={}",
+        report.row.version, report.row.block_size, report.row.coarsen, report.row.time_ns
+    )
+}
+
+struct Phase {
+    latencies_ms: Vec<f64>,
+    served: Vec<String>,
+}
+
+impl Phase {
+    fn value(&mut self) -> Value {
+        let p50 = pctl(&mut self.latencies_ms, 0.50);
+        let p99 = pctl(&mut self.latencies_ms, 0.99);
+        let mut served: Vec<(String, u64)> = Vec::new();
+        for s in &self.served {
+            match served.iter_mut().find(|(k, _)| k == s) {
+                Some((_, c)) => *c += 1,
+                None => served.push((s.clone(), 1)),
+            }
+        }
+        Value::Map(vec![
+            ("queries".to_string(), (self.latencies_ms.len() as u64).to_value()),
+            ("p50_ms".to_string(), p50.to_value()),
+            ("p99_ms".to_string(), p99.to_value()),
+            (
+                "served".to_string(),
+                Value::Map(served.into_iter().map(|(k, c)| (k, c.to_value())).collect()),
+            ),
+        ])
+    }
+}
+
+fn expect_ok(reply: std::io::Result<WireReply>, what: &str) -> WireAnswer {
+    match reply {
+        Ok(WireReply::Ok(a)) => a,
+        Ok(WireReply::Busy(reason)) => CLI.die(&format!("{what}: unexpected busy: {reason}")),
+        Ok(WireReply::Error(e)) => CLI.die(&format!("{what}: daemon error: {e}")),
+        Err(e) => CLI.die(&format!("{what}: {e}")),
+    }
+}
+
+fn bench(o: &tangram_bench::cli::CliOpts) -> ! {
+    let threads = o.threads.unwrap_or(1);
+    let pid = std::process::id();
+    let socket = std::env::temp_dir().join(format!("tangram-bench-{pid}.sock"));
+    let cache = std::env::temp_dir().join(format!("tangram-bench-cache-{pid}"));
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_dir_all(&cache);
+    let cfg = ServeConfig {
+        socket: socket.clone(),
+        workers: 4,
+        max_queue: 16,
+        tenant_cap: 16,
+        queue_wait: Duration::from_secs(5),
+        sweep_threads: threads,
+        cache_dir: Some(cache.clone()),
+        cache_mode: CacheMode::ReadWrite,
+    };
+    let server = match Server::bind(cfg, ArchConfig::paper_archs()) {
+        Ok(s) => s,
+        Err(e) => CLI.die(&format!("cannot bind `{}`: {e}", socket.display())),
+    };
+    let service = server.service();
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || server.run(&stop))
+    };
+
+    let mut arch_values = Vec::new();
+    let mut identity_ok = true;
+    let mut warm_speedups = Vec::new();
+    for arch in ArchConfig::paper_archs() {
+        eprintln!("bench: {} cold/warm/seeded/burst ...", arch.id);
+        let mut client = match Client::connect(&socket) {
+            Ok(c) => c,
+            Err(e) => CLI.die(&format!("cannot connect `{}`: {e}", socket.display())),
+        };
+        // Ground truth before the daemon phases so a daemon bug
+        // cannot leak into the reference lines via the cache.
+        let truth_cold = direct_line(&arch, COLD_N, threads);
+        let truth_seeded = direct_line(&arch, SEEDED_N, threads);
+        let truth_burst = direct_line(&arch, BURST_N, threads);
+
+        let mut check = |line: &str, truth: &str, what: &str| {
+            if line != truth {
+                identity_ok = false;
+                eprintln!(
+                    "bench: IDENTITY MISMATCH ({} {what}):\n  daemon `{line}`\n  direct `{truth}`",
+                    arch.id
+                );
+            }
+        };
+
+        // Cold: first query at COLD_N on a fresh store.
+        let q = Query::sweep(&arch.id, COLD_N);
+        let t0 = Instant::now();
+        let a = expect_ok(client.query(&q), "cold query");
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        check(&a.line, &truth_cold, "cold");
+        if a.served != "cold" {
+            CLI.die(&format!("cold query served={} (want cold)", a.served));
+        }
+
+        // Warm: repeats of the same exact shape hit the store.
+        let mut warm = Phase { latencies_ms: Vec::new(), served: Vec::new() };
+        for _ in 0..WARM_REPEATS {
+            let t0 = Instant::now();
+            let a = expect_ok(client.query(&q), "warm query");
+            warm.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+            check(&a.line, &truth_cold, "warm");
+            if a.served != "warm" {
+                CLI.die(&format!("warm query served={} (want warm)", a.served));
+            }
+            warm.served.push(a.served);
+        }
+        let warm_p50 = pctl(&mut warm.latencies_ms.clone(), 0.50);
+        warm_speedups.push((arch.id.clone(), cold_ms / warm_p50.max(1e-9)));
+
+        // Seeded: one n-bucket up, warm-started from the cold record.
+        let q_seed = Query::sweep(&arch.id, SEEDED_N);
+        let t0 = Instant::now();
+        let a = expect_ok(client.query(&q_seed), "seeded query");
+        let seeded_ms = t0.elapsed().as_secs_f64() * 1e3;
+        check(&a.line, &truth_seeded, "seeded");
+        if a.served != "seeded" {
+            CLI.die(&format!("seeded query served={} (want seeded)", a.served));
+        }
+
+        // Dedup burst: concurrent identical queries at an uncached n.
+        let barrier = Arc::new(Barrier::new(BURST_CLIENTS));
+        let handles: Vec<_> = (0..BURST_CLIENTS)
+            .map(|_| {
+                let socket = socket.clone();
+                let q = Query::sweep(&arch.id, BURST_N);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&socket).expect("burst connect");
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    let reply = client.query(&q);
+                    (reply, t0.elapsed().as_secs_f64() * 1e3)
+                })
+            })
+            .collect();
+        let mut burst = Phase { latencies_ms: Vec::new(), served: Vec::new() };
+        for h in handles {
+            let (reply, ms) = h.join().expect("burst thread panicked");
+            let a = expect_ok(reply, "burst query");
+            check(&a.line, &truth_burst, "burst");
+            burst.latencies_ms.push(ms);
+            burst.served.push(a.served);
+        }
+        let deduped = burst.served.iter().filter(|s| s.as_str() == "dedup").count();
+
+        let mut warm_phase = warm;
+        let mut burst_phase = burst;
+        arch_values.push(Value::Map(vec![
+            ("arch".to_string(), arch.id.to_value()),
+            ("cold_ms".to_string(), cold_ms.to_value()),
+            ("warm".to_string(), warm_phase.value()),
+            ("seeded_ms".to_string(), seeded_ms.to_value()),
+            ("dedup_burst".to_string(), burst_phase.value()),
+            ("burst_deduped".to_string(), (deduped as u64).to_value()),
+            ("warm_speedup".to_string(), (cold_ms / warm_p50.max(1e-9)).to_value()),
+        ]));
+        eprintln!(
+            "bench: {} cold={cold_ms:.1}ms warm_p50={warm_p50:.2}ms seeded={seeded_ms:.1}ms burst_deduped={deduped}/{}",
+            arch.id,
+            BURST_CLIENTS - 1
+        );
+    }
+
+    // Final daemon-side metrics, then a clean client-driven shutdown.
+    let totals = service.metrics();
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| CLI.die(&format!("{e}")));
+    client.shutdown().unwrap_or_else(|e| CLI.die(&format!("shutdown failed: {e}")));
+    match server_thread.join() {
+        Ok(Ok(_)) => {}
+        Ok(Err(e)) => CLI.die(&format!("server failed: {e}")),
+        Err(_) => CLI.die("server thread panicked"),
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let min_speedup = warm_speedups
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::INFINITY, f64::min);
+    let report = Value::Map(vec![
+        ("bench".to_string(), "serve".to_value()),
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                ("workers".to_string(), 4u64.to_value()),
+                ("sweep_threads".to_string(), (threads as u64).to_value()),
+                ("warm_repeats".to_string(), (WARM_REPEATS as u64).to_value()),
+                ("burst_clients".to_string(), (BURST_CLIENTS as u64).to_value()),
+                ("cold_n".to_string(), COLD_N.to_value()),
+                ("seeded_n".to_string(), SEEDED_N.to_value()),
+                ("burst_n".to_string(), BURST_N.to_value()),
+            ]),
+        ),
+        ("archs".to_string(), Value::Seq(arch_values)),
+        ("totals".to_string(), totals.to_value()),
+        ("identity_ok".to_string(), identity_ok.to_value()),
+        ("warm_speedup_min".to_string(), min_speedup.to_value()),
+    ]);
+    let json = serde_json::to_string_pretty(&report)
+        .unwrap_or_else(|e| CLI.die(&format!("report serialization failed: {e}")));
+    if let Some(path) = &o.json {
+        let mut f = std::fs::File::create(path)
+            .unwrap_or_else(|e| CLI.die(&format!("cannot open `{path}`: {e}")));
+        f.write_all(json.as_bytes())
+            .and_then(|()| f.write_all(b"\n"))
+            .unwrap_or_else(|e| CLI.die(&format!("cannot write `{path}`: {e}")));
+        eprintln!("bench: wrote {path}");
+    } else {
+        println!("{json}");
+    }
+    if !identity_ok {
+        CLI.die("daemon answers are not byte-identical to direct sweeps");
+    }
+    if min_speedup < 5.0 {
+        CLI.die(&format!(
+            "warm p50 speedup {min_speedup:.1}x below the 5x floor"
+        ));
+    }
+    eprintln!(
+        "bench: ok — identity clean, warm speedup ≥ {min_speedup:.0}x, dedup {} of {} burst queries",
+        totals.dedup, totals.queries
+    );
+    std::process::exit(0);
+}

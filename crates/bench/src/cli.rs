@@ -10,14 +10,16 @@
 //! program's usage to stderr and exit(1), exactly like the previous
 //! per-bin parsers.
 
+use std::time::Duration;
+
 use gpu_sim::ExecMode;
 use tangram::evaluate::{default_threads, EvalOptions, SweepMode};
 use tangram::resilience::ResilienceOptions;
 use tangram::store::CacheMode;
 
-/// Every flag either binary understands. `value` is true when the
+/// Every flag any binary understands. `value` is true when the
 /// flag consumes the next argument (the switches take none).
-const FLAGS: [(&str, bool); 19] = [
+const FLAGS: [(&str, bool); 27] = [
     ("--n", true),
     ("--max-size", true),
     ("--arch", true),
@@ -37,6 +39,14 @@ const FLAGS: [(&str, bool); 19] = [
     ("--seed-racy", false),
     ("--cache-dir", true),
     ("--cache", true),
+    ("--socket", true),
+    ("--workers", true),
+    ("--max-queue", true),
+    ("--tenant-cap", true),
+    ("--queue-wait", true),
+    ("--tenant", true),
+    ("--count", true),
+    ("--concurrent", false),
 ];
 
 /// Typed result of parsing one command line. Fields are `None` when
@@ -85,6 +95,24 @@ pub struct CliOpts {
     pub cache_dir: Option<String>,
     /// `--cache`: tuning-store usage mode (`rw`/`ro`/`off`).
     pub cache: Option<CacheMode>,
+    /// `--socket`: tuning-daemon unix socket path.
+    pub socket: Option<String>,
+    /// `--workers`: daemon worker slots (concurrent sweeps).
+    pub workers: Option<usize>,
+    /// `--max-queue`: daemon admission-queue depth.
+    pub max_queue: Option<usize>,
+    /// `--tenant-cap`: daemon per-tenant concurrency cap.
+    pub tenant_cap: Option<usize>,
+    /// `--queue-wait`: longest a request waits for a worker slot
+    /// (`500ms`, `30s`, `1m`; `0ms` sheds immediately).
+    pub queue_wait: Option<Duration>,
+    /// `--tenant`: tenant identifier attached to daemon queries.
+    pub tenant: Option<String>,
+    /// `--count`: how many queries (or concurrent clients) to issue.
+    pub count: Option<usize>,
+    /// `--concurrent`: issue the `--count` queries from concurrent
+    /// connections (a dedup burst) instead of sequentially.
+    pub concurrent: bool,
 }
 
 impl CliOpts {
@@ -231,6 +259,14 @@ impl Cli {
             "--seed-racy" => opts.seed_racy = true,
             "--cache-dir" => opts.cache_dir = Some(raw.to_string()),
             "--cache" => opts.cache = Some(Self::value(name, raw)?),
+            "--socket" => opts.socket = Some(raw.to_string()),
+            "--workers" => opts.workers = Some(Self::positive(name, raw)?),
+            "--max-queue" => opts.max_queue = Some(Self::positive(name, raw)?),
+            "--tenant-cap" => opts.tenant_cap = Some(Self::positive(name, raw)?),
+            "--queue-wait" => opts.queue_wait = Some(Self::duration(name, raw)?),
+            "--tenant" => opts.tenant = Some(raw.to_string()),
+            "--count" => opts.count = Some(Self::positive(name, raw)?),
+            "--concurrent" => opts.concurrent = true,
             other => unreachable!("flag `{other}` missing from Cli::apply"),
         }
         Ok(())
@@ -263,6 +299,30 @@ impl Cli {
         }
         Self::value(name, raw)
     }
+
+    /// Parse a duration value: an unsigned integer with a required
+    /// unit suffix (`ms`, `s`, or `m`). Zero is allowed — for
+    /// `--queue-wait` it means "shed the moment all workers are
+    /// busy", which is a meaningful QoS policy, unlike a zero count.
+    fn duration(name: &str, raw: &str) -> Result<Duration, String> {
+        let bad = |why: &str| format!("invalid value `{raw}` for {name}: {why}");
+        let (digits, unit) = match raw.find(|c: char| !c.is_ascii_digit()) {
+            Some(split) => raw.split_at(split),
+            None if raw.is_empty() => ("", ""),
+            // A bare number is ambiguous (ms or s?); make the unit
+            // explicit rather than guessing.
+            None => return Err(bad("missing unit (want e.g. `500ms`, `30s`, `1m`)")),
+        };
+        let count: u64 = digits
+            .parse()
+            .map_err(|_| bad("want an unsigned integer with a unit, e.g. `500ms`"))?;
+        match unit {
+            "ms" => Ok(Duration::from_millis(count)),
+            "s" => Ok(Duration::from_secs(count)),
+            "m" => Ok(Duration::from_secs(count * 60)),
+            _ => Err(bad(&format!("unknown unit `{unit}` (want `ms`, `s`, or `m`)"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +346,14 @@ mod tests {
             "--seed-racy",
             "--cache-dir",
             "--cache",
+            "--socket",
+            "--workers",
+            "--max-queue",
+            "--tenant-cap",
+            "--queue-wait",
+            "--tenant",
+            "--count",
+            "--concurrent",
         ],
         allow_bare: true,
     };
@@ -412,6 +480,71 @@ mod tests {
         assert!(err.contains("invalid value `turbo` for --cache"), "got: {err}");
         for mode in ["rw", "readwrite", "ro", "readonly", "off", "none"] {
             assert!(err.contains(mode), "error must list `{mode}`, got: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_flags_parse_typed() {
+        let o = TEST_CLI
+            .try_parse(&args(&[
+                "--socket",
+                "/tmp/t.sock",
+                "--workers",
+                "4",
+                "--max-queue",
+                "8",
+                "--tenant-cap",
+                "2",
+                "--tenant",
+                "ci",
+                "--count",
+                "6",
+                "--concurrent",
+            ]))
+            .unwrap();
+        assert!(o.concurrent);
+        assert_eq!(o.socket.as_deref(), Some("/tmp/t.sock"));
+        assert_eq!(o.workers, Some(4));
+        assert_eq!(o.max_queue, Some(8));
+        assert_eq!(o.tenant_cap, Some(2));
+        assert_eq!(o.tenant.as_deref(), Some("ci"));
+        assert_eq!(o.count, Some(6));
+        // Counts that make no sense at zero stay positive-only.
+        for flag in ["--workers", "--max-queue", "--tenant-cap", "--count"] {
+            let err = TEST_CLI.try_parse(&args(&[flag, "0"])).unwrap_err();
+            assert!(err.contains(&format!("invalid value `0` for {flag}")), "{flag}: {err}");
+            assert!(err.contains("must be at least 1"), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn queue_wait_durations_parse_with_units() {
+        for (raw, want) in [
+            ("500ms", Duration::from_millis(500)),
+            ("30s", Duration::from_secs(30)),
+            ("2m", Duration::from_secs(120)),
+            ("0ms", Duration::ZERO),
+        ] {
+            let o = TEST_CLI.try_parse(&args(&["--queue-wait", raw])).unwrap();
+            assert_eq!(o.queue_wait, Some(want), "raw `{raw}`");
+        }
+    }
+
+    #[test]
+    fn bad_durations_name_the_flag_and_the_problem() {
+        for (raw, needle) in [
+            ("500", "missing unit"),
+            ("fast", "unsigned integer"),
+            ("", "unsigned integer"),
+            ("10h", "unknown unit `h`"),
+            ("10 s", "unknown unit"),
+        ] {
+            let err = TEST_CLI.try_parse(&args(&["--queue-wait", raw])).unwrap_err();
+            assert!(
+                err.contains(&format!("invalid value `{raw}` for --queue-wait")),
+                "raw `{raw}`: {err}"
+            );
+            assert!(err.contains(needle), "raw `{raw}`: {err}");
         }
     }
 

@@ -21,7 +21,7 @@ use tangram_passes::specialize::ReduceOp;
 
 use crate::evaluate::{
     best_measurement, coarsen_options, evaluate_all_timed, ContextPool, EvalOptions, RungStats,
-    SweepMode,
+    SeedHint, SweepMode,
 };
 use crate::metrics::{SanitizeSummary, StoreSummary, SweepMetrics};
 use crate::resilience::{
@@ -536,6 +536,7 @@ impl Session {
         candidates: &[CodeVersion],
     ) -> Result<SweepReport, SimError> {
         let t0 = Instant::now();
+        let mut opts = self.opts;
 
         // Persistent tuning store: try to answer the sweep from a
         // cached, re-confirmed winner. Every failure mode of the
@@ -556,6 +557,7 @@ impl Session {
                     outcome: "miss".to_string(),
                     detail: None,
                     warm: false,
+                    seeded: false,
                     saved: false,
                 };
                 match TuningStore::open(dir, corpus_fingerprint(candidates)) {
@@ -606,6 +608,42 @@ impl Session {
                                 cache_jobs.push(cache_invalid_job(&key, None, detail));
                             }
                         }
+                        // Nearest-bucket warm start: an exact miss (or
+                        // an unconfirmable exact record) can still
+                        // *seed* the halving sweep's survivor selection
+                        // from the nearest cached neighbor. The hint is
+                        // never trusted — a wrong seed falls back to
+                        // the full survivor rung (see
+                        // [`SeedHint`]) — so this narrows the sweep
+                        // without being able to change its winner.
+                        if opts.sweep == SweepMode::Halving {
+                            if let Some(near) = store.load_nearest(&key) {
+                                let live = candidates
+                                    .iter()
+                                    .find(|v| v.to_string() == near.version);
+                                if let Some(&version) = live {
+                                    if BLOCK_SIZES.contains(&near.block_size)
+                                        && coarsen_options(version).contains(&near.coarsen)
+                                    {
+                                        opts.seed = Some(SeedHint {
+                                            version,
+                                            tuning: Tuning {
+                                                block_size: near.block_size,
+                                                coarsen: near.coarsen,
+                                            },
+                                        });
+                                        summary.seeded = true;
+                                        let note =
+                                            format!("seeded from {}", near.key.label());
+                                        summary.detail =
+                                            Some(match summary.detail.take() {
+                                                Some(d) => format!("{d}; {note}"),
+                                                None => note,
+                                            });
+                                    }
+                                }
+                            }
+                        }
                         store_state = Some((store, key));
                     }
                 }
@@ -652,16 +690,16 @@ impl Session {
         };
         let candidates = &survivors[..];
 
-        let pool = ContextPool::builder(&self.arch, n).opts(&self.opts).build();
+        let pool = ContextPool::builder(&self.arch, n).opts(&opts).build();
         let (results, rungs, mut resilience) = match &self.res {
             None => {
-                let (results, rungs) = evaluate_all_timed(&pool, candidates, &self.opts)?;
+                let (results, rungs) = evaluate_all_timed(&pool, candidates, &opts)?;
                 let mut rep = ResilienceReport {
                     total_jobs: results.len(),
                     measured: results.iter().flatten().count(),
                     ..ResilienceReport::default()
                 };
-                match self.opts.sweep {
+                match opts.sweep {
                     SweepMode::Exhaustive => rep.infeasible = rep.total_jobs - rep.measured,
                     SweepMode::Halving => {
                         // The screen rung sees every feasible job;
@@ -676,7 +714,7 @@ impl Session {
             Some(res) => {
                 let t = Instant::now();
                 let (results, report) =
-                    evaluate_all_report(&pool, candidates, &self.opts, res)?;
+                    evaluate_all_report(&pool, candidates, &opts, res)?;
                 let rungs = vec![RungStats::tally("resilient", results.len(), &results, t)];
                 (results, rungs, report)
             }
@@ -720,7 +758,19 @@ impl Session {
                     time_ns_bits: row.time_ns.to_bits(),
                 };
                 match store.save(&rec) {
-                    Ok(()) => summary.saved = true,
+                    Ok(receipt) => {
+                        summary.saved = true;
+                        if receipt.lock_attempts > 1 {
+                            let note = format!(
+                                "lock acquired after {} attempts",
+                                receipt.lock_attempts
+                            );
+                            summary.detail = Some(match summary.detail.take() {
+                                Some(d) => format!("{d}; {note}"),
+                                None => note,
+                            });
+                        }
+                    }
                     Err(e) => {
                         summary.detail = Some(match summary.detail.take() {
                             Some(d) => format!("{d}; save failed: {e}"),
@@ -734,12 +784,12 @@ impl Session {
             arch: self.arch.id.clone(),
             n,
             mode: if self.res.is_some() {
-                format!("resilient-{}", self.opts.sweep.id())
+                format!("resilient-{}", opts.sweep.id())
             } else {
-                self.opts.sweep.id().to_string()
+                opts.sweep.id().to_string()
             },
-            interp: self.opts.interp.id().to_string(),
-            threads: self.opts.threads,
+            interp: opts.interp.id().to_string(),
+            threads: opts.threads,
             rungs,
             resilience: resilience.clone(),
             winner: row.clone(),

@@ -83,6 +83,26 @@ impl std::str::FromStr for SweepMode {
     }
 }
 
+/// A warm-start hint for a halving sweep: a `(version, tuning)` pair
+/// believed (not trusted) to be the winner — typically the nearest
+/// cached n-bucket's record from the tuning store.
+///
+/// A seeded halving sweep still screens every job, but its survivor
+/// rung starts from just each candidate's screen-best plus the seed
+/// job, skipping the global top-eighth tier. If the seed then fails
+/// to reproduce as the full-fidelity winner of that reduced set, the
+/// sweep falls back and measures the rest of the normal survivor set
+/// — so a stale or wrong seed costs one extra partial rung, never a
+/// different winner. See
+/// [`TuningStore::load_nearest`](crate::store::TuningStore::load_nearest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedHint {
+    /// The hinted winning code version.
+    pub version: CodeVersion,
+    /// The hinted winning tuning.
+    pub tuning: Tuning,
+}
+
 /// How a sweep distributes and scopes its measurements.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
@@ -98,6 +118,11 @@ pub struct EvalOptions {
     /// Per-block dynamic instruction budget override for the
     /// measurement devices; `None` keeps the device default.
     pub instr_budget: Option<u64>,
+    /// Warm-start hint for [`SweepMode::Halving`]: shrink the survivor
+    /// rung around this job (see [`SeedHint`]). Ignored by exhaustive
+    /// sweeps and by the resilient engine, and ignored when the hint
+    /// names a job outside the sweep space.
+    pub seed: Option<SeedHint>,
 }
 
 impl Default for EvalOptions {
@@ -107,6 +132,7 @@ impl Default for EvalOptions {
             sweep: SweepMode::default(),
             interp: ExecMode::default(),
             instr_budget: None,
+            seed: None,
         }
     }
 }
@@ -140,6 +166,13 @@ impl EvalOptions {
     #[must_use]
     pub fn with_instr_budget(mut self, budget: Option<u64>) -> Self {
         self.instr_budget = budget;
+        self
+    }
+
+    /// Warm-start a halving sweep from a [`SeedHint`].
+    #[must_use]
+    pub fn with_seed(mut self, seed: Option<SeedHint>) -> Self {
+        self.seed = seed;
         self
     }
 }
@@ -462,24 +495,11 @@ where
 /// (plus each candidate's screen-best).
 const HALVING_KEEP_DENOM: usize = 8;
 
-/// Canonical-order keep mask for the survivor rung: the global top
-/// eighth of screened times plus every candidate's own screen-best,
-/// so each candidate's tuning winner always reaches full fidelity.
-/// Ties break toward the earlier canonical index, matching
-/// [`best_measurement`].
-pub(crate) fn survivor_mask(jobs: &[Job], screen_times: &[Option<f64>]) -> Vec<bool> {
-    let mut scored: Vec<(f64, usize)> = screen_times
-        .iter()
-        .enumerate()
-        .filter_map(|(i, t)| t.map(|t| (t, i)))
-        .collect();
-    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-
+/// Keep mask of every candidate's own screen-best job, so each
+/// candidate's tuning winner reaches full fidelity. Ties break toward
+/// the earlier canonical index, matching [`best_measurement`].
+pub(crate) fn candidate_best_mask(jobs: &[Job], screen_times: &[Option<f64>]) -> Vec<bool> {
     let mut keep = vec![false; jobs.len()];
-    for &(_, i) in scored.iter().take(scored.len().div_ceil(HALVING_KEEP_DENOM)) {
-        keep[i] = true;
-    }
-
     let n_candidates = jobs.iter().map(|j| j.candidate + 1).max().unwrap_or(0);
     let mut best_per: Vec<Option<(f64, usize)>> = vec![None; n_candidates];
     for (i, t) in screen_times.iter().enumerate() {
@@ -496,34 +516,110 @@ pub(crate) fn survivor_mask(jobs: &[Job], screen_times: &[Option<f64>]) -> Vec<b
     keep
 }
 
+/// Canonical-order keep mask for the survivor rung: the global top
+/// eighth of screened times plus every candidate's own screen-best
+/// ([`candidate_best_mask`]).
+pub(crate) fn survivor_mask(jobs: &[Job], screen_times: &[Option<f64>]) -> Vec<bool> {
+    let mut scored: Vec<(f64, usize)> = screen_times
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| (t, i)))
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut keep = candidate_best_mask(jobs, screen_times);
+    for &(_, i) in scored.iter().take(scored.len().div_ceil(HALVING_KEEP_DENOM)) {
+        keep[i] = true;
+    }
+    keep
+}
+
+/// Measure `indices` into `jobs` at full fidelity, scattering the
+/// results back into a full-length slot vector.
+fn measure_subset(
+    pool: &ContextPool,
+    jobs: &[Job],
+    indices: &[usize],
+    threads: usize,
+    out: &mut [Option<Measurement>],
+) -> Result<usize, SimError> {
+    let subset: Vec<Job> = indices.iter().map(|&i| jobs[i]).collect();
+    let full = run_jobs_with(pool, &subset, threads, &|ctx, job| {
+        measure_job(ctx, job, Fidelity::Full)
+    })?;
+    let mut measured = 0;
+    for (&i, m) in indices.iter().zip(full) {
+        measured += usize::from(m.is_some());
+        out[i] = m;
+    }
+    Ok(measured)
+}
+
 /// The successive-halving sweep: screen every job cheaply, then
 /// re-measure only the survivors at full fidelity.
+///
+/// With a resolved `seed` (a job index), the survivor rung starts
+/// reduced — each candidate's screen-best plus the seed job — and the
+/// global top-eighth tier is measured only if the seed fails to
+/// reproduce as the winner of the reduced set. A correct seed thus
+/// pays confirmation cost; a wrong one degrades to the full survivor
+/// rung and the ordinary winner.
 fn evaluate_halving(
     pool: &ContextPool,
     jobs: &[Job],
     threads: usize,
+    seed: Option<usize>,
 ) -> Result<(Vec<Option<Measurement>>, Vec<RungStats>), SimError> {
     let t0 = Instant::now();
     let screen =
         run_jobs_with(pool, jobs, threads, &|ctx, job| measure_job(ctx, job, Fidelity::Screen))?;
     let screen_stats = RungStats::tally("screen", jobs.len(), &screen, t0);
     let times: Vec<Option<f64>> = screen.iter().map(|m| m.as_ref().map(|m| m.time_ns)).collect();
-    let keep = survivor_mask(jobs, &times);
-
-    let surviving: Vec<usize> = (0..jobs.len()).filter(|&i| keep[i]).collect();
-    let surviving_jobs: Vec<Job> = surviving.iter().map(|&i| jobs[i]).collect();
-    let t1 = Instant::now();
-    let full = run_jobs_with(pool, &surviving_jobs, threads, &|ctx, job| {
-        measure_job(ctx, job, Fidelity::Full)
-    })?;
-    let survivor_stats = RungStats::tally("survivor", surviving_jobs.len(), &full, t1);
 
     let mut out: Vec<Option<Measurement>> = Vec::new();
     out.resize_with(jobs.len(), || None);
-    for (i, m) in surviving.into_iter().zip(full) {
-        out[i] = m;
+    let mut rungs = vec![screen_stats];
+
+    let mut keep = match seed {
+        Some(si) => {
+            let mut keep = candidate_best_mask(jobs, &times);
+            keep[si] = true;
+            let seeded: Vec<usize> = (0..jobs.len()).filter(|&i| keep[i]).collect();
+            let t1 = Instant::now();
+            let measured = measure_subset(pool, jobs, &seeded, threads, &mut out)?;
+            rungs.push(RungStats {
+                rung: "seeded".to_string(),
+                jobs: seeded.len(),
+                measured,
+                wall_ms: t1.elapsed().as_secs_f64() * 1e3,
+            });
+            let confirmed = best_measurement(&out)
+                .is_some_and(|m| m.version == jobs[si].version && m.tuning == jobs[si].tuning);
+            if confirmed {
+                return Ok((out, rungs));
+            }
+            // The hint did not hold up: fall through and measure
+            // whatever the normal survivor rung would have that the
+            // seeded rung did not.
+            keep
+        }
+        None => vec![false; jobs.len()],
+    };
+
+    let full_keep = survivor_mask(jobs, &times);
+    for (k, full) in keep.iter_mut().zip(&full_keep) {
+        *k = *full && !*k;
     }
-    Ok((out, vec![screen_stats, survivor_stats]))
+    let surviving: Vec<usize> = (0..jobs.len()).filter(|&i| keep[i]).collect();
+    let t1 = Instant::now();
+    let measured = measure_subset(pool, jobs, &surviving, threads, &mut out)?;
+    rungs.push(RungStats {
+        rung: "survivor".to_string(),
+        jobs: surviving.len(),
+        measured,
+        wall_ms: t1.elapsed().as_secs_f64() * 1e3,
+    });
+    Ok((out, rungs))
 }
 
 /// Measure every candidate tuning of the sweep, fanning jobs over
@@ -571,7 +667,15 @@ pub fn evaluate_all_timed(
             let stats = RungStats::tally("full", jobs.len(), &results, t0);
             Ok((results, vec![stats]))
         }
-        SweepMode::Halving => evaluate_halving(pool, &jobs, opts.threads),
+        SweepMode::Halving => {
+            // Resolve the hint against the actual sweep space; a hint
+            // naming a job that does not exist (foreign corpus, wrong
+            // coarsen set) silently degrades to an unseeded sweep.
+            let seed = opts.seed.and_then(|s| {
+                jobs.iter().position(|j| j.version == s.version && j.tuning == s.tuning)
+            });
+            evaluate_halving(pool, &jobs, opts.threads, seed)
+        }
     }
 }
 
@@ -722,6 +826,112 @@ mod tests {
         assert_eq!(be.version, bh.version, "halving must keep the winner");
         assert_eq!(be.tuning, bh.tuning);
         assert_eq!(be.time_ns.to_bits(), bh.time_ns.to_bits());
+    }
+
+    #[test]
+    fn seeded_halving_with_true_winner_confirms_without_survivor_rung() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 65_536);
+        let opts = EvalOptions::serial().with_sweep(SweepMode::Halving);
+        let (plain, plain_rungs) = evaluate_all_timed(&pool, &cands, &opts).unwrap();
+        let winner = best_measurement(&plain).unwrap();
+        let hint = SeedHint { version: winner.version, tuning: winner.tuning };
+        let (seeded, rungs) =
+            evaluate_all_timed(&pool, &cands, &opts.with_seed(Some(hint))).unwrap();
+        let sw = best_measurement(&seeded).unwrap();
+        assert_eq!(sw.version, winner.version);
+        assert_eq!(sw.tuning, winner.tuning);
+        assert_eq!(sw.time_ns.to_bits(), winner.time_ns.to_bits());
+        assert_eq!(rungs.len(), 2, "a confirming seed skips the survivor rung");
+        assert_eq!(rungs[1].rung, "seeded");
+        assert!(
+            rungs[1].jobs < plain_rungs[1].jobs,
+            "seeded rung ({} jobs) must be smaller than the survivor rung ({} jobs)",
+            rungs[1].jobs,
+            plain_rungs[1].jobs
+        );
+    }
+
+    #[test]
+    fn seeded_halving_with_wrong_seed_falls_back_to_same_winner() {
+        let arch = ArchConfig::pascal_p100();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 32_768);
+        let opts = EvalOptions::serial().with_sweep(SweepMode::Halving);
+        let (plain, _) = evaluate_all_timed(&pool, &cands, &opts).unwrap();
+        let winner = best_measurement(&plain).unwrap();
+        // A deliberately wrong hint: a feasible non-winning job.
+        let wrong = plain
+            .iter()
+            .flatten()
+            .find(|m| m.version != winner.version || m.tuning != winner.tuning)
+            .expect("sweep has more than one measured job");
+        let hint = SeedHint { version: wrong.version, tuning: wrong.tuning };
+        let (seeded, rungs) =
+            evaluate_all_timed(&pool, &cands, &opts.with_seed(Some(hint))).unwrap();
+        let sw = best_measurement(&seeded).unwrap();
+        assert_eq!(sw.version, winner.version, "a wrong seed must not change the winner");
+        assert_eq!(sw.tuning, winner.tuning);
+        assert_eq!(sw.time_ns.to_bits(), winner.time_ns.to_bits());
+        assert_eq!(
+            rungs.iter().map(|r| r.rung.as_str()).collect::<Vec<_>>(),
+            ["screen", "seeded", "survivor"],
+            "a non-confirming seed falls back to the survivor rung"
+        );
+    }
+
+    #[test]
+    fn seed_outside_the_sweep_space_is_ignored() {
+        let arch = ArchConfig::kepler_k40c();
+        let cands = candidates();
+        let pool = ContextPool::new(&arch, 16_384);
+        let opts = EvalOptions::serial().with_sweep(SweepMode::Halving);
+        let (plain, plain_rungs) = evaluate_all_timed(&pool, &cands, &opts).unwrap();
+        // block_size 48 is not in BLOCK_SIZES: the hint cannot resolve.
+        let hint = SeedHint {
+            version: cands[0],
+            tuning: Tuning { block_size: 48, coarsen: 1 },
+        };
+        let (seeded, rungs) =
+            evaluate_all_timed(&pool, &cands, &opts.with_seed(Some(hint))).unwrap();
+        assert_eq!(plain.len(), seeded.len());
+        for (p, s) in plain.iter().zip(&seeded) {
+            match (p, s) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits()),
+                _ => panic!("unresolvable seed changed the survivor set"),
+            }
+        }
+        assert_eq!(rungs.len(), plain_rungs.len());
+        assert_eq!(rungs[1].rung, "survivor");
+    }
+
+    #[test]
+    fn seeded_halving_matches_unseeded_across_arches_and_sizes() {
+        for arch in
+            [ArchConfig::maxwell_gtx980(), ArchConfig::kepler_k40c(), ArchConfig::pascal_p100()]
+        {
+            for n in [16_384u64, 131_072] {
+                let cands = candidates();
+                let pool = ContextPool::new(&arch, n);
+                let opts = EvalOptions::serial().with_sweep(SweepMode::Halving);
+                let (plain, _) = evaluate_all_timed(&pool, &cands, &opts).unwrap();
+                let winner = best_measurement(&plain).unwrap();
+                let hint = SeedHint { version: winner.version, tuning: winner.tuning };
+                let (seeded, _) =
+                    evaluate_all_timed(&pool, &cands, &opts.with_seed(Some(hint))).unwrap();
+                let sw = best_measurement(&seeded).unwrap();
+                assert_eq!(sw.version, winner.version, "{} n={n}", arch.id);
+                assert_eq!(sw.tuning, winner.tuning, "{} n={n}", arch.id);
+                assert_eq!(
+                    sw.time_ns.to_bits(),
+                    winner.time_ns.to_bits(),
+                    "{} n={n}",
+                    arch.id
+                );
+            }
+        }
     }
 
     #[test]

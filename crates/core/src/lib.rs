@@ -41,6 +41,7 @@
 //! | [`resilience`] | retry, quarantine, and fault-campaign layer |
 //! | [`metrics`] | sweep-level observability ([`ProfileReport`]) |
 //! | [`store`] | crash-safe persistent tuning cache ([`TuningStore`]) |
+//! | [`serve`] | autotuning daemon: dedup, warm-start, QoS gate ([`serve::TuneService`]) |
 //! | [`select`] | best-version selection across the pruned space |
 //! | [`dynsel`] | DySel-style runtime selection (micro-profiling) |
 //! | [`runner`] | executing synthesized versions on the device |
@@ -55,6 +56,7 @@ pub mod pipeline;
 pub mod resilience;
 pub mod runner;
 pub mod select;
+pub mod serve;
 pub mod store;
 pub mod tuner;
 
@@ -74,7 +76,11 @@ pub use select::{
     paper_sizes, select_best, select_best_with, selection_table, selection_table_with,
     SelectionRow,
 };
-pub use store::{CacheMode, Lookup, StoreError, StoreKey, StoreRecord, TuningStore};
+pub use serve::{
+    install_signal_handlers, Answer, Busy, Client, Query, Reply, Served, ServeConfig,
+    ServeMetrics, Server, TuneService, WireAnswer, WireReply,
+};
+pub use store::{CacheMode, Lookup, SaveReceipt, StoreError, StoreKey, StoreRecord, TuningStore};
 pub use tuner::{measure, tune, TunedVersion};
 
 /// One-stop imports for library clients: the device and architecture
@@ -104,7 +110,13 @@ pub mod prelude {
         FaultConfig, QuarantineReason, ResilienceOptions, ResilienceReport, ValidationPolicy,
     };
     pub use crate::select::SelectionRow;
-    pub use crate::store::{CacheMode, Lookup, StoreError, StoreKey, StoreRecord, TuningStore};
+    pub use crate::serve::{
+        Answer, Busy, Client, Query, Reply, Served, ServeConfig, ServeMetrics, Server,
+        TuneService, WireAnswer, WireReply,
+    };
+    pub use crate::store::{
+        CacheMode, Lookup, SaveReceipt, StoreError, StoreKey, StoreRecord, TuningStore,
+    };
     pub use crate::tuner::{BenchContext, TunedVersion};
     pub use gpu_sim::profile::{LaunchProfile, SiteCounters, Trace};
     pub use gpu_sim::{ArchConfig, Device, ExecMode, SimError};

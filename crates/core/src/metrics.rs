@@ -102,6 +102,9 @@ pub struct StoreSummary {
     pub detail: Option<String>,
     /// Whether the sweep was answered from the cache.
     pub warm: bool,
+    /// Whether a cold sweep was warm-started (survivor rung seeded)
+    /// from the nearest cached n-bucket's winner.
+    pub seeded: bool,
     /// Whether a fresh record was written back.
     pub saved: bool,
 }

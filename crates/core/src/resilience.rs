@@ -131,6 +131,10 @@ pub enum QuarantineReason {
     /// truncated, stale, or no longer confirmable against the live
     /// corpus and oracle); the sweep fell back to a clean full run.
     CacheInvalid(String),
+    /// The serve daemon's admission gate shed the request (queue
+    /// full, per-tenant cap, or bounded queue wait exceeded); the
+    /// payload is the typed busy reason sent back to the client.
+    Overload(String),
     /// Any other simulator error (memory fault, malformed kernel, …).
     Sim(String),
     /// Faults were injected on every attempt and the job never

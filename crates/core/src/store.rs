@@ -272,9 +272,13 @@ pub fn corpus_fingerprint(candidates: &[CodeVersion]) -> u64 {
 /// Name of the writer lock file inside a store directory.
 const LOCK_FILE: &str = "store.lock";
 /// Attempts to acquire the lock before giving up with
-/// [`StoreError::Locked`]. Retries are spaced `LOCK_RETRY_MS` apart.
-const LOCK_RETRIES: u32 = 10;
-const LOCK_RETRY_MS: u64 = 20;
+/// [`StoreError::Locked`]. Retries back off exponentially from
+/// `LOCK_RETRY_BASE_MS` (capped at `LOCK_RETRY_CAP_MS`) with ±50%
+/// jitter, so a herd of daemon workers contending on one store
+/// directory decorrelates instead of retrying in lockstep.
+const LOCK_RETRIES: u32 = 12;
+const LOCK_RETRY_BASE_MS: u64 = 2;
+const LOCK_RETRY_CAP_MS: u64 = 50;
 /// Age (seconds) past which a lock whose owner cannot be probed is
 /// presumed dead (non-Linux fallback; on Linux `/proc/<pid>` decides).
 #[cfg(not(target_os = "linux"))]
@@ -408,14 +412,19 @@ impl TuningStore {
 
     /// Persist `rec` under its key with the crash-safe write protocol
     /// (lock, temp file, fsync, atomic rename, directory fsync).
+    /// Returns a [`SaveReceipt`] accounting for how hard the writer
+    /// lock was fought over, so callers (the session layer, the serve
+    /// daemon's metrics) can surface contention.
     ///
     /// # Errors
     ///
     /// [`StoreError::Locked`] when another live process holds the
-    /// writer lock; [`StoreError::Io`] on filesystem failures. Both
-    /// leave any existing record untouched.
-    pub fn save(&self, rec: &StoreRecord) -> Result<(), StoreError> {
-        let _lock = LockGuard::acquire(&self.dir)?;
+    /// writer lock through the whole bounded retry schedule;
+    /// [`StoreError::Io`] on filesystem failures. Both leave any
+    /// existing record untouched.
+    pub fn save(&self, rec: &StoreRecord) -> Result<SaveReceipt, StoreError> {
+        let lock = LockGuard::acquire(&self.dir)?;
+        let receipt = SaveReceipt { lock_attempts: lock.attempts };
         self.sweep_orphans();
         let path = self.record_path(&rec.key);
         let tmp = self.dir.join(format!(
@@ -439,7 +448,47 @@ impl TuningStore {
         write().map_err(|e| {
             let _ = fs::remove_file(&tmp);
             StoreError::Io(format!("write {}: {e}", path.display()))
-        })
+        })?;
+        drop(lock);
+        Ok(receipt)
+    }
+
+    /// The record *nearest* to `key` in bucket space: same
+    /// architecture, operator, and dtype, minimal `|bucket − key.bucket|`
+    /// (ties break toward the smaller bucket — a winner tuned on the
+    /// smaller size is the more conservative seed). Includes the exact
+    /// bucket itself, which matters when the bucket's record was swept
+    /// at a *different* exact `n` (an honest miss for the warm path,
+    /// but a distance-0 seed for a sweep).
+    ///
+    /// Used by the serve layer's warm-adjacent path: an exact-bucket
+    /// miss seeds the halving sweep's survivor selection from the
+    /// nearest cached winner (see
+    /// [`crate::evaluate::SeedHint`]), so queries adjacent to cached
+    /// shapes pay confirmation cost, not discovery cost. Defensive
+    /// like [`TuningStore::load`]: corrupt neighbors are quarantined
+    /// and skipped, never propagated.
+    pub fn load_nearest(&self, key: &StoreKey) -> Option<StoreRecord> {
+        let entries = fs::read_dir(&self.dir).ok()?;
+        let mut buckets: Vec<u32> = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(stem) = name.strip_suffix(".json") else { continue };
+            let prefix = format!("{}-{}-{}-b", key.arch, key.op, key.dtype);
+            let Some(tail) = stem.strip_prefix(prefix.as_str()) else { continue };
+            if let Ok(bucket) = tail.parse::<u32>() {
+                buckets.push(bucket);
+            }
+        }
+        buckets.sort_by_key(|&b| (b.abs_diff(key.bucket), b));
+        for bucket in buckets {
+            let candidate = StoreKey { bucket, ..key.clone() };
+            if let Lookup::Hit(rec) = self.load(&candidate) {
+                return Some(rec);
+            }
+        }
+        None
     }
 
     /// Remove `*.tmp` orphans left by writers that died mid-protocol.
@@ -486,12 +535,45 @@ fn encode(rec: &StoreRecord, corpus: u64) -> Result<String, serde_json::Error> {
     Ok(text)
 }
 
+/// What one successful [`TuningStore::save`] cost: how many exclusive-
+/// create attempts the writer lock took (1 = uncontended). Surfaced in
+/// [`crate::metrics::StoreSummary`] detail so sustained contention
+/// between daemon workers sharing a store directory is observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveReceipt {
+    /// Lock-acquisition attempts the save needed (≥ 1).
+    pub lock_attempts: u32,
+}
+
+/// Jitter for the lock retry backoff: a splitmix64-style scramble of
+/// (pid, attempt, monotonic nanos), mapped onto `[half, delay]` so two
+/// contending writers never sleep the same schedule. Pure function of
+/// its inputs apart from the clock — the *winner* of the lock is
+/// whoever's `create_new` lands first, so jitter never affects store
+/// contents, only wait time.
+fn jittered_ms(attempt: u32, delay: u64) -> u64 {
+    let now = std::time::SystemTime::UNIX_EPOCH
+        .elapsed()
+        .map_or(0, |d| d.subsec_nanos() as u64);
+    let mut z = (u64::from(std::process::id()) << 32)
+        ^ (u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        ^ now;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let half = (delay / 2).max(1);
+    half + z % (delay - half + 1)
+}
+
 /// Exclusive writer lock: a `store.lock` file created with
 /// `O_CREAT|O_EXCL` holding the owner's PID. Dropped (removed) when
 /// the guard goes out of scope; locks whose owner died are detected
-/// as stale and broken.
+/// as stale and broken. Contended acquisition retries on a bounded
+/// exponential backoff with jitter (`LOCK_RETRIES` attempts), and the
+/// guard records how many attempts it took.
 struct LockGuard {
     path: PathBuf,
+    attempts: u32,
 }
 
 impl LockGuard {
@@ -502,7 +584,7 @@ impl LockGuard {
                 Ok(mut f) => {
                     let _ = write!(f, "{}", std::process::id());
                     let _ = f.sync_all();
-                    return Ok(LockGuard { path });
+                    return Ok(LockGuard { path, attempts: attempt + 1 });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                     if lock_is_stale(&path) {
@@ -513,7 +595,11 @@ impl LockGuard {
                         continue;
                     }
                     if attempt + 1 < LOCK_RETRIES {
-                        std::thread::sleep(std::time::Duration::from_millis(LOCK_RETRY_MS));
+                        let delay = (LOCK_RETRY_BASE_MS << attempt.min(16))
+                            .min(LOCK_RETRY_CAP_MS);
+                        std::thread::sleep(std::time::Duration::from_millis(jittered_ms(
+                            attempt, delay,
+                        )));
                     }
                 }
                 Err(e) => {
@@ -659,6 +745,104 @@ mod tests {
         assert!(dir.join(rec.key.file_name()).exists());
         newer.save(&rec).unwrap();
         assert!(matches!(newer.load(&rec.key), Lookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncontended_save_takes_one_lock_attempt() {
+        let dir = tmpdir("receipt");
+        let store = TuningStore::open(&dir, 7).unwrap();
+        let receipt = store.save(&record()).unwrap();
+        assert_eq!(receipt.lock_attempts, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn jitter_stays_within_half_to_full_delay() {
+        for attempt in 0..LOCK_RETRIES {
+            let delay = (LOCK_RETRY_BASE_MS << attempt.min(16)).min(LOCK_RETRY_CAP_MS);
+            for _ in 0..64 {
+                let ms = jittered_ms(attempt, delay);
+                assert!(ms >= (delay / 2).max(1), "jitter below half: {ms} < {delay}/2");
+                assert!(ms <= delay, "jitter above cap: {ms} > {delay}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_delays_grow_to_the_cap() {
+        let delays: Vec<u64> = (0..LOCK_RETRIES)
+            .map(|a| (LOCK_RETRY_BASE_MS << a.min(16)).min(LOCK_RETRY_CAP_MS))
+            .collect();
+        assert_eq!(delays[0], LOCK_RETRY_BASE_MS);
+        assert!(delays.windows(2).all(|w| w[0] <= w[1]), "monotone: {delays:?}");
+        assert_eq!(*delays.last().unwrap(), LOCK_RETRY_CAP_MS);
+        // The whole schedule is bounded: even fully contended, a save
+        // gives up in well under a second of sleeping.
+        let worst: u64 = delays.iter().sum();
+        assert!(worst <= LOCK_RETRY_CAP_MS * u64::from(LOCK_RETRIES), "{worst}");
+    }
+
+    #[test]
+    fn nearest_bucket_prefers_smallest_distance_then_smaller_bucket() {
+        let dir = tmpdir("nearest");
+        let store = TuningStore::open(&dir, 7).unwrap();
+        let probe = StoreKey::for_sweep("maxwell", 1 << 19); // b20
+        assert!(store.load_nearest(&probe).is_none(), "empty store has no neighbor");
+
+        let mut far = record(); // b17
+        far.key = StoreKey::for_sweep("maxwell", 1 << 16);
+        far.n = 1 << 16;
+        store.save(&far).unwrap();
+        // Different arch at distance 0 must never be picked up.
+        let mut alien = record();
+        alien.key = StoreKey::for_sweep("pascal", 1 << 19);
+        alien.n = 1 << 19;
+        store.save(&alien).unwrap();
+        assert_eq!(store.load_nearest(&probe).unwrap().key.bucket, 17);
+
+        let mut near = record(); // b21, distance 1 vs b17's distance 3
+        near.key = StoreKey::for_sweep("maxwell", 1 << 20);
+        near.n = 1 << 20;
+        store.save(&near).unwrap();
+        assert_eq!(store.load_nearest(&probe).unwrap().key.bucket, 21);
+
+        // Distance tie (b19 vs b21 around b20): the smaller bucket wins.
+        let mut below = record();
+        below.key = StoreKey::for_sweep("maxwell", 1 << 18);
+        below.n = 1 << 18;
+        store.save(&below).unwrap();
+        assert_eq!(store.load_nearest(&probe).unwrap().key.bucket, 19);
+
+        // The exact bucket itself is a distance-0 neighbor.
+        let mut exact = record();
+        exact.key = probe.clone();
+        exact.n = 1 << 19;
+        store.save(&exact).unwrap();
+        assert_eq!(store.load_nearest(&probe).unwrap().key.bucket, 20);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nearest_bucket_skips_corrupt_neighbors() {
+        let dir = tmpdir("nearest-corrupt");
+        let store = TuningStore::open(&dir, 7).unwrap();
+        let mut near = record();
+        near.key = StoreKey::for_sweep("maxwell", 1 << 18);
+        near.n = 1 << 18;
+        store.save(&near).unwrap();
+        let mut far = record();
+        far.key = StoreKey::for_sweep("maxwell", 1 << 14);
+        far.n = 1 << 14;
+        store.save(&far).unwrap();
+        // Corrupt the near record; the scan must fall through to the
+        // intact far one (and quarantine the offender).
+        fs::write(dir.join(near.key.file_name()), b"{ torn").unwrap();
+        let probe = StoreKey::for_sweep("maxwell", 1 << 19);
+        assert_eq!(store.load_nearest(&probe).unwrap().key.bucket, 15);
+        assert!(dir
+            .join(format!("{}.corrupt", near.key.file_name()))
+            .exists());
         let _ = fs::remove_dir_all(&dir);
     }
 

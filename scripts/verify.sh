@@ -276,4 +276,64 @@ if [ "$clean_winner" != "$fault_winner" ]; then
   exit 1
 fi
 
+echo "== tuning daemon smoke (cold → warm → dedup burst, identity vs sweep, clean shutdown) =="
+serve_sock="/tmp/verify_tuned_$$.sock"
+serve_cache=$(mktemp -d /tmp/verify_tuned_cache.XXXXXX)
+rm -f "$serve_sock"
+./target/release/tuned serve --socket "$serve_sock" --workers 2 --cache-dir "$serve_cache" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+[ -S "$serve_sock" ] || { echo "daemon socket never appeared at $serve_sock" >&2; exit 1; }
+# Cold then warm per architecture: the daemon's winner tail must be
+# byte-identical to the batch sweep bin's, and the repeat must answer
+# from the cache.
+for arch in kepler maxwell pascal; do
+  truth=$(./target/release/sweep --arch "$arch" --n 65536 --threads 1 | grep -o 'winner=.*')
+  cold_q=$(./target/release/tuned query --socket "$serve_sock" --arch "$arch" --n 65536)
+  echo "$cold_q" | grep -q 'served=cold' \
+    || { echo "first daemon query on $arch was not cold: $cold_q" >&2; exit 1; }
+  if [ "$(echo "$cold_q" | grep -o 'winner=.*')" != "$truth" ]; then
+    echo "DAEMON COLD ANSWER DIVERGED FROM THE SWEEP BIN on $arch:" >&2
+    echo "  daemon: $cold_q" >&2
+    echo "  sweep:  $truth" >&2
+    exit 1
+  fi
+  warm_q=$(./target/release/tuned query --socket "$serve_sock" --arch "$arch" --n 65536)
+  echo "$warm_q" | grep -q 'served=warm' \
+    || { echo "repeat daemon query on $arch was not warm: $warm_q" >&2; exit 1; }
+  if [ "$(echo "$warm_q" | grep -o 'winner=.*')" != "$truth" ]; then
+    echo "DAEMON WARM ANSWER DIVERGED FROM THE SWEEP BIN on $arch:" >&2
+    echo "  daemon: $warm_q" >&2
+    echo "  sweep:  $truth" >&2
+    exit 1
+  fi
+  echo "  $arch: daemon cold and warm answers byte-identical to the sweep bin"
+done
+# Duplicate burst at an uncached size: every concurrent client gets
+# the same winner line and at least one answer is a dedup fan-out.
+burst=$(./target/release/tuned query --socket "$serve_sock" --arch maxwell --n 1048576 --count 6 --concurrent)
+[ "$(echo "$burst" | grep -c 'winner=')" -eq 6 ] \
+  || { echo "dedup burst lost answers: $burst" >&2; exit 1; }
+[ "$(echo "$burst" | grep -o 'winner=.*' | sort -u | wc -l)" -eq 1 ] \
+  || { echo "dedup burst answers diverged: $burst" >&2; exit 1; }
+echo "$burst" | grep -q 'served=dedup' \
+  || { echo "no query in the burst was deduplicated: $burst" >&2; exit 1; }
+./target/release/tuned stats --socket "$serve_sock" > /tmp/verify_serve_stats.json
+python3 - <<'PY'
+import json
+s = json.load(open("/tmp/verify_serve_stats.json"))
+assert s["dedup"] >= 1, f"daemon reports no dedup: {s}"
+assert s["errors"] == 0 and s["busy"] == 0, f"smoke queries were shed or errored: {s}"
+assert s["sweeps"] < s["ok"], f"dedup/warm saved no sweeps: {s}"
+assert s["warm"] >= 3 and s["cold"] >= 3, f"unexpected serve mix: {s}"
+print(f"  stats: ok={s['ok']} sweeps={s['sweeps']} cold={s['cold']} warm={s['warm']} "
+      f"dedup={s['dedup']} p50={s['p50_ms']:.1f}ms p99={s['p99_ms']:.1f}ms")
+PY
+kill -TERM "$serve_pid"
+if ! wait "$serve_pid"; then
+  echo "daemon did not exit cleanly on SIGTERM" >&2; exit 1
+fi
+[ ! -e "$serve_sock" ] || { echo "daemon left its socket behind at $serve_sock" >&2; exit 1; }
+rm -rf "$serve_cache" /tmp/verify_serve_stats.json
+
 echo "verify.sh: all checks passed"

@@ -1,0 +1,233 @@
+//! Integration suite for the autotuning daemon (`tangram::serve`):
+//! in-flight deduplication really coalesces concurrent identical
+//! queries into one sweep, the admission gate sheds overload with
+//! typed busy responses (absorbed as `Overload` quarantine events),
+//! and the socket front-end round-trips cold → warm → stats →
+//! shutdown with answers byte-identical to direct sweeps.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use gpu_sim::{ArchConfig, ExecMode};
+use tangram::evaluate::{EvalOptions, SweepMode};
+use tangram::resilience::QuarantineReason;
+use tangram::serve::{
+    Busy, Client, Query, Reply, Served, ServeConfig, Server, TuneService, WireReply,
+};
+use tangram::Session;
+
+fn service(workers: usize, max_queue: usize, queue_wait_ms: u64) -> TuneService {
+    let cfg = ServeConfig {
+        workers,
+        max_queue,
+        tenant_cap: 64,
+        queue_wait: Duration::from_millis(queue_wait_ms),
+        sweep_threads: 1,
+        cache_dir: None,
+        ..ServeConfig::default()
+    };
+    TuneService::new(cfg, ArchConfig::paper_archs())
+}
+
+/// The daemon's ground truth: a direct storeless halving sweep on the
+/// compiled tier, exactly what a leader runs.
+fn direct_line(arch: &ArchConfig, n: u64) -> String {
+    let report = Session::new(arch.clone())
+        .eval(
+            EvalOptions::with_threads(1)
+                .with_sweep(SweepMode::Halving)
+                .with_interp(ExecMode::Compiled),
+        )
+        .select_best(n)
+        .unwrap();
+    format!(
+        "winner={} block={} coarsen={} time_ns={}",
+        report.row.version, report.row.block_size, report.row.coarsen, report.row.time_ns
+    )
+}
+
+#[test]
+fn concurrent_identical_queries_coalesce_into_one_sweep() {
+    let m = 6;
+    let service = Arc::new(service(4, 8, 2_000));
+    let barrier = Arc::new(Barrier::new(m));
+    let handles: Vec<_> = (0..m)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // Distinct tenants: dedup must key on the query shape,
+                // not the requester.
+                let q = Query::sweep("maxwell", 65_536).tenant(&format!("t{i}"));
+                barrier.wait();
+                service.query(&q)
+            })
+        })
+        .collect();
+    let replies: Vec<Reply> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let truth = direct_line(&ArchConfig::maxwell_gtx980(), 65_536);
+    let mut dedup = 0;
+    for reply in &replies {
+        let Reply::Ok(answer) = reply else { panic!("expected ok, got {reply:?}") };
+        assert_eq!(answer.winner_line(), truth, "fan-out must be byte-identical");
+        if answer.served == Served::Dedup {
+            dedup += 1;
+        }
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.sweeps, 1, "M identical queries must run exactly one sweep");
+    assert_eq!(metrics.dedup as usize, dedup);
+    assert_eq!(metrics.dedup as usize, m - 1, "all followers must coalesce");
+    assert_eq!(metrics.ok as usize, m);
+    assert_eq!(metrics.cold, 1, "the one leader runs cold");
+}
+
+#[test]
+fn over_admission_bursts_shed_with_typed_busy_responses() {
+    // One worker, no queueing slack, no queue wait: any concurrency
+    // beyond the single leader (on *distinct* shapes, so dedup cannot
+    // absorb it) must shed.
+    let service = Arc::new(service(1, 0, 0));
+    let m = 5;
+    let barrier = Arc::new(Barrier::new(m));
+    let handles: Vec<_> = (0..m)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let q = Query::sweep("maxwell", 4_096 + i as u64 * 1_024);
+                barrier.wait();
+                service.query(&q)
+            })
+        })
+        .collect();
+    let replies: Vec<Reply> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let ok = replies.iter().filter(|r| matches!(r, Reply::Ok(_))).count();
+    let busy: Vec<&Busy> = replies
+        .iter()
+        .filter_map(|r| match r {
+            Reply::Busy(b) => Some(b),
+            _ => None,
+        })
+        .collect();
+    assert!(ok >= 1, "at least the first leader must be admitted");
+    assert!(!busy.is_empty(), "a burst past the gate must shed, got {replies:?}");
+    assert_eq!(ok + busy.len(), m, "every query is answered or shed, never dropped");
+    for b in &busy {
+        assert!(
+            b.reason.contains("queue full") || b.reason.contains("queue wait"),
+            "busy must carry a typed reason, got `{}`",
+            b.reason
+        );
+    }
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.busy as usize, busy.len());
+    let overloads = metrics
+        .resilience
+        .events
+        .iter()
+        .filter(|e| matches!(e.quarantined, Some(QuarantineReason::Overload(_))))
+        .count();
+    assert_eq!(
+        overloads,
+        busy.len(),
+        "every shed request must surface as an Overload quarantine event"
+    );
+}
+
+#[test]
+fn tenant_cap_sheds_the_greedy_tenant_only() {
+    // Two workers but a per-tenant cap of 1: a tenant's second
+    // concurrent distinct query is shed even though a worker is free.
+    let cfg = ServeConfig {
+        workers: 2,
+        max_queue: 8,
+        tenant_cap: 1,
+        queue_wait: Duration::from_millis(2_000),
+        sweep_threads: 1,
+        cache_dir: None,
+        ..ServeConfig::default()
+    };
+    let service = Arc::new(TuneService::new(cfg, ArchConfig::paper_archs()));
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = [8_192u64, 16_384]
+        .into_iter()
+        .map(|n| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let q = Query::sweep("maxwell", n).tenant("greedy");
+                barrier.wait();
+                service.query(&q)
+            })
+        })
+        .collect();
+    let replies: Vec<Reply> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let ok = replies.iter().filter(|r| matches!(r, Reply::Ok(_))).count();
+    let busy = replies
+        .iter()
+        .filter_map(|r| match r {
+            Reply::Busy(b) => Some(b.reason.clone()),
+            _ => None,
+        })
+        .collect::<Vec<_>>();
+    assert_eq!((ok, busy.len()), (1, 1), "cap=1 admits one, sheds one: {replies:?}");
+    assert!(busy[0].contains("tenant `greedy`"), "got `{}`", busy[0]);
+}
+
+#[test]
+fn socket_end_to_end_cold_warm_stats_shutdown() {
+    let pid = std::process::id();
+    let socket = std::env::temp_dir().join(format!("tangram-serve-it-{pid}.sock"));
+    let cache = std::env::temp_dir().join(format!("tangram-serve-it-cache-{pid}"));
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_dir_all(&cache);
+    let cfg = ServeConfig {
+        socket: socket.clone(),
+        workers: 2,
+        max_queue: 8,
+        tenant_cap: 8,
+        queue_wait: Duration::from_millis(500),
+        sweep_threads: 1,
+        cache_dir: Some(cache.clone()),
+        cache_mode: tangram::CacheMode::ReadWrite,
+    };
+    let server = Server::bind(cfg, ArchConfig::paper_archs()).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || server.run(&stop))
+    };
+
+    let mut client = Client::connect(&socket).unwrap();
+    let q = Query::sweep("kepler", 32_768);
+    let truth = direct_line(&ArchConfig::kepler_k40c(), 32_768);
+
+    let WireReply::Ok(cold) = client.query(&q).unwrap() else { panic!("cold query failed") };
+    assert_eq!(cold.served, "cold");
+    assert_eq!(cold.line, truth, "daemon cold answer must match the sweep bin");
+
+    let WireReply::Ok(warm) = client.query(&q).unwrap() else { panic!("warm query failed") };
+    assert_eq!(warm.served, "warm");
+    assert_eq!(warm.line, truth, "daemon warm answer must match the sweep bin");
+
+    // Unknown shapes come back as typed errors, not dead sockets.
+    let bad = Query::sweep("volta", 32_768);
+    let WireReply::Error(e) = client.query(&bad).unwrap() else { panic!("expected error") };
+    assert!(e.contains("unknown arch"), "got: {e}");
+
+    let stats = client.stats().unwrap();
+    let get = |k: &str| stats.get(k).and_then(|v| v.as_u64()).unwrap();
+    assert_eq!((get("ok"), get("cold"), get("warm"), get("errors")), (2, 1, 1, 1));
+    assert!(stats.get("p50_ms").and_then(|v| v.as_f64()).unwrap() > 0.0);
+
+    client.shutdown().unwrap();
+    let metrics = handle.join().unwrap().unwrap();
+    assert_eq!(metrics.ok, 2);
+    assert!(!socket.exists(), "a clean shutdown must remove the socket file");
+    let _ = std::fs::remove_dir_all(&cache);
+}

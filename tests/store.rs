@@ -316,6 +316,125 @@ fn bucket_hit_with_different_exact_size_is_an_honest_miss() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn concurrent_writers_never_tear_lose_or_leak() {
+    // Many threads hammer one store: half write distinct records
+    // (different arches and buckets), half pile onto one identical
+    // record. Afterwards every record must read back valid — no torn
+    // JSON, no lost update — and no `.tmp` or `store.lock` file may
+    // survive. The writer lock's bounded jittered retry (PR-8) is
+    // what absorbs the contention; receipts surface the attempts.
+    let dir = store_dir("concurrent");
+    fs::create_dir_all(&dir).unwrap();
+    let dir = std::sync::Arc::new(dir);
+    let make = |arch: &str, n: u64, block: u32| tangram::StoreRecord {
+        key: StoreKey::for_sweep(arch, n),
+        n,
+        version: "DT,A / DS+S+V".to_string(),
+        block_size: block,
+        coarsen: 4,
+        time_ns_bits: (n as f64).to_bits(),
+    };
+    let shapes: Vec<(String, u64)> = ["kepler", "maxwell", "pascal"]
+        .iter()
+        .flat_map(|a| [16_384u64, 65_536, 262_144].map(|n| (a.to_string(), n)))
+        .collect();
+    let mut handles = Vec::new();
+    for (arch, n) in shapes.clone() {
+        let dir = std::sync::Arc::clone(&dir);
+        handles.push(std::thread::spawn(move || {
+            let store = TuningStore::open(dir.as_ref(), 1).unwrap();
+            let receipt = store.save(&make(&arch, n, 128)).expect("distinct save");
+            assert!(receipt.lock_attempts >= 1);
+        }));
+    }
+    for _ in 0..6 {
+        let dir = std::sync::Arc::clone(&dir);
+        handles.push(std::thread::spawn(move || {
+            let store = TuningStore::open(dir.as_ref(), 1).unwrap();
+            let receipt = store.save(&make("maxwell", 4096, 256)).expect("identical save");
+            assert!(receipt.lock_attempts >= 1);
+        }));
+    }
+    for h in handles {
+        h.join().expect("writer thread panicked");
+    }
+
+    let store = TuningStore::open(dir.as_ref(), 1).unwrap();
+    for (arch, n) in shapes {
+        match store.load(&StoreKey::for_sweep(&arch, n)) {
+            tangram::Lookup::Hit(rec) => {
+                assert_eq!((rec.n, rec.block_size), (n, 128), "{arch} n={n}");
+            }
+            other => panic!("{arch} n={n}: lost or torn record: {other:?}"),
+        }
+    }
+    match store.load(&StoreKey::for_sweep("maxwell", 4096)) {
+        tangram::Lookup::Hit(rec) => assert_eq!(rec.block_size, 256),
+        other => panic!("contended record lost: {other:?}"),
+    }
+    for entry in fs::read_dir(dir.as_ref()).unwrap().flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        assert!(
+            name.ends_with(".json"),
+            "leaked non-record file after concurrent writes: {name}"
+        );
+    }
+    let _ = fs::remove_dir_all(dir.as_ref());
+}
+
+#[test]
+fn nearest_bucket_seeds_the_sweep_and_keeps_winners_bitwise() {
+    // An exact miss next to a cached neighbor must warm-start the
+    // halving sweep (summary.seeded) and still return the storeless
+    // winner bit for bit — the seed narrows the search, never steers
+    // it. 65_536 is bucket 17, 131_072 bucket 18, 1_048_576 bucket 21
+    // (two buckets out from 18): both directions of nearest-neighbor
+    // seeding are exercised.
+    use tangram::evaluate::SweepMode;
+    let halving =
+        |arch: &ArchConfig| Session::new(arch.clone()).eval(
+            EvalOptions::serial().with_sweep(SweepMode::Halving),
+        );
+    for arch in ArchConfig::paper_archs() {
+        let dir = store_dir(&format!("seeded-{}", arch.id));
+        let cached = halving(&arch).store(&dir);
+
+        // Empty store: a plain miss, nothing to seed from.
+        let first = cached.select_best(65_536).unwrap();
+        let s = first.metrics.store.as_ref().expect("store summary present");
+        assert!(!s.seeded, "{}: empty store cannot seed", arch.id);
+        assert_eq!(s.outcome, "miss", "{}", arch.id);
+
+        for n in [131_072u64, 1_048_576] {
+            let cold = halving(&arch).select_best(n).unwrap();
+            let report = cached.select_best(n).unwrap();
+            assert_same_winner(&cold, &report, &format!("seeded n={n} on {}", arch.id));
+            let s = report.metrics.store.as_ref().expect("store summary present");
+            assert!(s.seeded, "{} n={n}: neighbor present, sweep must seed", arch.id);
+            assert!(
+                s.detail.as_deref().is_some_and(|d| d.contains("seeded from")),
+                "{} n={n}: detail must name the seed record, got {:?}",
+                arch.id,
+                s.detail
+            );
+            assert_eq!(s.outcome, "miss", "{} n={n}: seeding is still a miss", arch.id);
+            assert!(s.saved, "{} n={n}: the seeded sweep writes its own bucket", arch.id);
+            // A seeded sweep that confirms its seed measures fewer
+            // full-fidelity jobs than the unseeded halving rung; it
+            // must at least never measure more.
+            assert!(
+                report.metrics.rungs.iter().any(|r| r.rung == "seeded"),
+                "{} n={n}: rung stats must show the seeded rung, got {:?}",
+                arch.id,
+                report.metrics.rungs
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
 
