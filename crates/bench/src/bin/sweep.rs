@@ -13,6 +13,13 @@
 //! bit-identical for any T; only the wall-clock changes. `--json`
 //! appends one record per repeat to `PATH` (JSON lines).
 //!
+//! `--workload W` tunes a typed workload (`argmax`, `hist256`, …)
+//! instead of the classic `sum-f32` sweep. Non-sum winner lines carry
+//! a `workload=` token after `n=`; `--workload sum` (and no flag at
+//! all) prints the byte-identical legacy line. The oracle-validated
+//! winner tail (`winner=… block=… coarsen=… time_ns=…`) matches the
+//! `tuned` daemon's answer for the same query byte for byte.
+//!
 //! `--sweep-mode` selects the search strategy (default: `halving`,
 //! the successive-halving sweep; `exhaustive` measures every job at
 //! full fidelity). `--interp` selects the interpreter hot path
@@ -65,15 +72,15 @@ use std::time::Instant;
 use gpu_sim::ArchConfig;
 use tangram::evaluate::SweepMode;
 use tangram::metrics::{spotlight_profiles, ProfileReport};
-use tangram::Session;
+use tangram::{Session, Workload, WorkloadKey};
 use tangram_bench::cli::Cli;
 use tangram_bench::{
     cache_summary_line, profile_summary_line, sanitize_json, sanitize_summary_line,
     seeded_racy_reports,
 };
 
-const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repeat R]
-             [--threads T] [--sweep-mode exhaustive|halving]
+const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--workload W]
+             [--repeat R] [--threads T] [--sweep-mode exhaustive|halving]
              [--interp uop|reference|compiled] [--instr-budget I] [--json PATH]
              [--fault-seed S] [--fault-rate PPM]
              [--profile] [--trace-out PATH] [--metrics-json PATH]
@@ -82,6 +89,8 @@ const USAGE: &str = "usage: sweep [--n N] [--arch kepler|maxwell|pascal] [--repe
 
   --n N              array size in elements (default 4194304)
   --arch ID          architecture: kepler|maxwell|pascal (default maxwell)
+  --workload W       sum | max | min | argmax | argmin | hist<bins>
+                     (default sum; non-sum lines carry a workload= token)
   --repeat R         repeat the sweep R times (default 1)
   --threads T        evaluation worker threads (default: available parallelism)
   --sweep-mode M     exhaustive | halving (default halving); winners are
@@ -111,6 +120,7 @@ const CLI: Cli = Cli {
     enabled: &[
         "--n",
         "--arch",
+        "--workload",
         "--repeat",
         "--threads",
         "--sweep-mode",
@@ -140,6 +150,16 @@ fn main() {
     let Some(arch) = ArchConfig::paper_archs().into_iter().find(|a| a.id == arch_id) else {
         CLI.die(&format!("unknown arch id `{arch_id}` (expected kepler|maxwell|pascal)"));
     };
+    let wkey = o.workload.unwrap_or_else(WorkloadKey::sum);
+    // The classic `sum-f32` path stays byte-identical: no workload
+    // token on its lines, and `--workload sum` is exactly no flag.
+    let legacy = wkey == WorkloadKey::sum();
+    if !legacy && (o.profiling() || o.fault_seed.is_some()) {
+        CLI.die(
+            "--profile/--trace-out/--metrics-json/--fault-seed only apply to the \
+             sum sweep (workload sweeps do not profile winners yet)",
+        );
+    }
     let opts = o.eval_options(SweepMode::Halving, gpu_sim::ExecMode::Compiled);
     let (threads, mode_id, interp_id) = (opts.threads, opts.sweep.id(), opts.interp.id());
     let mut session = Session::new(arch.clone())
@@ -160,6 +180,64 @@ fn main() {
     let mut last_races = None;
     let mut hazards = 0u64;
     for _ in 0..repeat {
+        if !legacy {
+            let start = Instant::now();
+            let report = match session.run(&Workload::new(wkey, n)) {
+                Ok(report) => report,
+                Err(e) => CLI.die(&format!("sweep failed: {e}")),
+            };
+            let wall = start.elapsed();
+            println!(
+                "sweep arch={} n={} workload={} threads={} mode={} interp={} wall_ms={:.1} winner={} block={} coarsen={} time_ns={}",
+                arch.id,
+                n,
+                wkey.id(),
+                threads,
+                mode_id,
+                interp_id,
+                wall.as_secs_f64() * 1e3,
+                report.winner_id(),
+                report.block_size(),
+                report.coarsen(),
+                report.time_ns()
+            );
+            let (san, store_line, races) = match &report {
+                tangram::RunReport::Reduce(rep) => {
+                    (rep.metrics.sanitize, rep.metrics.store.clone(), rep.races.clone())
+                }
+                tangram::RunReport::Workload(rep) => {
+                    (rep.metrics.sanitize, rep.metrics.store.clone(), rep.races.clone())
+                }
+            };
+            if let Some(s) = &san {
+                println!("{}", sanitize_summary_line(s));
+                hazards += s.findings as u64;
+            }
+            if let Some(s) = &store_line {
+                println!("{}", cache_summary_line(s));
+            }
+            if races.is_some() {
+                last_races = races;
+            }
+            if let Some(path) = &o.json {
+                let record = format!(
+                    "{{\"arch\":\"{}\",\"n\":{},\"workload\":\"{}\",\"threads\":{},\"mode\":\"{}\",\"interp\":\"{}\",\"wall_ms\":{:.3},\"winner\":\"{}\",\"block\":{},\"coarsen\":{},\"time_ns\":{}}}\n",
+                    arch.id,
+                    n,
+                    wkey.id(),
+                    threads,
+                    mode_id,
+                    interp_id,
+                    wall.as_secs_f64() * 1e3,
+                    report.winner_id(),
+                    report.block_size(),
+                    report.coarsen(),
+                    report.time_ns()
+                );
+                append_json(path, &record);
+            }
+            continue;
+        }
         let start = Instant::now();
         let report = match session.select_best(n) {
             Ok(report) => report,
@@ -210,15 +288,7 @@ fn main() {
                 row.coarsen,
                 row.time_ns
             );
-            use std::io::Write as _;
-            let open = std::fs::OpenOptions::new().create(true).append(true).open(path);
-            let mut f = match open {
-                Ok(f) => f,
-                Err(e) => CLI.die(&format!("cannot open json log `{path}`: {e}")),
-            };
-            if let Err(e) = f.write_all(record.as_bytes()) {
-                CLI.die(&format!("cannot write json log `{path}`: {e}"));
-            }
+            append_json(path, &record);
         }
         metrics.sweeps.push(report.metrics);
         if report.trace.is_some() {
@@ -277,5 +347,19 @@ fn main() {
     if hazards > 0 {
         eprintln!("[sweep] sanitizer found {hazards} hazard(s)");
         std::process::exit(1);
+    }
+}
+
+/// Append one JSON-lines record to `path` (both sweep flavors log
+/// through here so the open/write error handling stays identical).
+fn append_json(path: &str, record: &str) {
+    use std::io::Write as _;
+    let open = std::fs::OpenOptions::new().create(true).append(true).open(path);
+    let mut f = match open {
+        Ok(f) => f,
+        Err(e) => CLI.die(&format!("cannot open json log `{path}`: {e}")),
+    };
+    if let Err(e) = f.write_all(record.as_bytes()) {
+        CLI.die(&format!("cannot write json log `{path}`: {e}"));
     }
 }

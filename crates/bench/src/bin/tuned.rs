@@ -4,8 +4,8 @@
 //! tuned serve    [--socket PATH] [--workers W] [--max-queue Q]
 //!                [--tenant-cap C] [--queue-wait D] [--threads T]
 //!                [--cache-dir PATH] [--cache rw|ro|off]
-//! tuned query    [--socket PATH] [--arch ID] [--n N] [--tenant ID]
-//!                [--count K] [--concurrent]
+//! tuned query    [--socket PATH] [--arch ID] [--n N] [--workload W]
+//!                [--tenant ID] [--count K] [--concurrent]
 //! tuned stats    [--socket PATH]
 //! tuned shutdown [--socket PATH]
 //! tuned bench    [--json PATH] [--threads T]
@@ -20,7 +20,10 @@
 //! `query` asks a running daemon for the best variant and prints one
 //! line per answer in the `sweep` bin's winner style — the trailing
 //! `winner=… block=… coarsen=… time_ns=…` is byte-identical to what
-//! `sweep --arch A --n N` prints for the same shape. `--count K`
+//! `sweep --arch A --n N` prints for the same shape. `--workload W`
+//! queries a typed workload (`argmax`, `hist64`, …); non-sum answers
+//! carry a `workload=` token and their tails match
+//! `sweep --workload W` byte for byte. `--count K`
 //! repeats the query K times; with `--concurrent` the K queries are
 //! issued from K parallel connections (a dedup burst: the daemon runs
 //! one sweep and fans it out).
@@ -52,8 +55,8 @@ const USAGE: &str = "usage: tuned <serve|query|stats|shutdown|bench> [flags]
   tuned serve    [--socket PATH] [--workers W] [--max-queue Q]
                  [--tenant-cap C] [--queue-wait D] [--threads T]
                  [--cache-dir PATH] [--cache rw|ro|off]
-  tuned query    [--socket PATH] [--arch ID] [--n N] [--tenant ID]
-                 [--count K] [--concurrent]
+  tuned query    [--socket PATH] [--arch ID] [--n N] [--workload W]
+                 [--tenant ID] [--count K] [--concurrent]
   tuned stats    [--socket PATH]
   tuned shutdown [--socket PATH]
   tuned bench    [--json PATH] [--threads T]
@@ -70,6 +73,8 @@ const USAGE: &str = "usage: tuned <serve|query|stats|shutdown|bench> [flags]
   --cache MODE     rw | ro | off store usage (default rw)
   --arch ID        query architecture: kepler|maxwell|pascal (default maxwell)
   --n N            query array size in elements (default 4194304)
+  --workload W     sum | max | min | argmax | argmin | hist<bins>
+                   (default sum; non-sum answers carry a workload= token)
   --tenant ID      tenant the query is attributed to (default `default`)
   --count K        issue the query K times (default 1)
   --concurrent     issue the K queries from K parallel connections
@@ -89,6 +94,7 @@ const CLI: Cli = Cli {
         "--cache",
         "--arch",
         "--n",
+        "--workload",
         "--tenant",
         "--count",
         "--concurrent",
@@ -173,6 +179,9 @@ fn serve(o: &tangram_bench::cli::CliOpts) -> ! {
 fn build_query(o: &tangram_bench::cli::CliOpts) -> Query {
     let arch = o.arch.clone().unwrap_or_else(|| "maxwell".to_string());
     let mut q = Query::sweep(&arch, o.n.unwrap_or(1 << 22));
+    if let Some(w) = o.workload {
+        q = q.with_workload(w);
+    }
     if let Some(tenant) = &o.tenant {
         q = q.tenant(tenant);
     }
@@ -180,8 +189,11 @@ fn build_query(o: &tangram_bench::cli::CliOpts) -> Query {
 }
 
 fn answer_line(q: &Query, a: &WireAnswer, latency_ms: f64) -> String {
+    // Non-sum answers carry the echoed workload id; legacy `sum`
+    // lines stay byte-identical to the pre-workload format.
+    let workload = a.workload.as_ref().map(|w| format!(" workload={w}")).unwrap_or_default();
     format!(
-        "query arch={} n={} served={} latency_ms={:.1} {}",
+        "query arch={} n={}{workload} served={} latency_ms={:.1} {}",
         q.arch, q.n, a.served, latency_ms, a.line
     )
 }

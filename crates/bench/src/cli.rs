@@ -16,13 +16,15 @@ use gpu_sim::ExecMode;
 use tangram::evaluate::{default_threads, EvalOptions, SweepMode};
 use tangram::resilience::ResilienceOptions;
 use tangram::store::CacheMode;
+use tangram::WorkloadKey;
 
 /// Every flag any binary understands. `value` is true when the
 /// flag consumes the next argument (the switches take none).
-const FLAGS: [(&str, bool); 27] = [
+const FLAGS: [(&str, bool); 28] = [
     ("--n", true),
     ("--max-size", true),
     ("--arch", true),
+    ("--workload", true),
     ("--repeat", true),
     ("--threads", true),
     ("--sweep-mode", true),
@@ -61,6 +63,9 @@ pub struct CliOpts {
     pub max_size: Option<u64>,
     /// `--arch`: architecture identifier.
     pub arch: Option<String>,
+    /// `--workload`: the typed workload to tune (`sum`, `argmax`,
+    /// `hist64`, …); absent means the classic `sum-f32` sweep.
+    pub workload: Option<WorkloadKey>,
     /// `--repeat`: sweep repetitions.
     pub repeat: Option<u64>,
     /// `--threads`: evaluation worker threads.
@@ -243,6 +248,7 @@ impl Cli {
             "--n" => opts.n = Some(Self::positive(name, raw)?),
             "--max-size" => opts.max_size = Some(Self::positive(name, raw)?),
             "--arch" => opts.arch = Some(raw.to_string()),
+            "--workload" => opts.workload = Some(Self::value(name, raw)?),
             "--repeat" => opts.repeat = Some(Self::positive(name, raw)?),
             "--threads" => opts.threads = Some(Self::positive(name, raw)?),
             "--sweep-mode" => opts.sweep_mode = Some(Self::value(name, raw)?),
@@ -334,6 +340,7 @@ mod tests {
         usage: "usage: test",
         enabled: &[
             "--n",
+            "--workload",
             "--threads",
             "--repeat",
             "--instr-budget",
@@ -405,6 +412,41 @@ mod tests {
         for mode in ["uop", "predecoded", "reference", "lanewise", "compiled", "jit"] {
             assert!(err.contains(mode), "error must list `{mode}`, got: {err}");
         }
+    }
+
+    #[test]
+    fn workload_parses_every_kind_and_defaults_the_dtype() {
+        for (raw, id) in [
+            ("sum", "sum-f32"),
+            ("max", "max-f32"),
+            ("argmax", "argmax-f32"),
+            ("argmin-f32", "argmin-f32"),
+            ("hist", "hist64-f32"),
+            ("hist16", "hist16-f32"),
+        ] {
+            let o = TEST_CLI.try_parse(&args(&["--workload", raw])).unwrap();
+            assert_eq!(o.workload.map(|w| w.id()).as_deref(), Some(id), "raw `{raw}`");
+        }
+    }
+
+    #[test]
+    fn bad_workload_names_the_flag_and_lists_every_spelling() {
+        let err = TEST_CLI.try_parse(&args(&["--workload", "argbest"])).unwrap_err();
+        assert!(err.contains("invalid value `argbest` for --workload"), "got: {err}");
+        for spelling in ["sum", "max", "min", "argmax", "argmin", "hist"] {
+            assert!(err.contains(spelling), "error must list `{spelling}`, got: {err}");
+        }
+    }
+
+    #[test]
+    fn workload_histogram_bins_are_range_checked() {
+        let err = TEST_CLI.try_parse(&args(&["--workload", "hist1"])).unwrap_err();
+        assert!(err.contains("invalid value `hist1` for --workload"), "got: {err}");
+        assert!(err.contains("out of range"), "got: {err}");
+        let err = TEST_CLI.try_parse(&args(&["--workload", "hist9999"])).unwrap_err();
+        assert!(err.contains("out of range"), "got: {err}");
+        let o = TEST_CLI.try_parse(&args(&["--workload", "hist4096"])).unwrap();
+        assert_eq!(o.workload.map(|w| w.id()).as_deref(), Some("hist4096-f32"));
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //!     sweep --n 16384 --threads 1 --arch $a | grep '^sweep '
 //! done   # then strip the wall_ms= token
 //! ```
+//!
+//! The workload snapshot (`tests/golden/workload_winners.txt`) pins
+//! the `--workload` sweeps the same way, workload-major:
+//!
+//! ```text
+//! for w in max argmax argmin hist64; do for a in kepler maxwell pascal; do
+//!     sweep --n 16384 --threads 1 --arch $a --workload $w | grep '^sweep '
+//! done; done   # then strip the wall_ms= token
+//! ```
 
 use std::process::Command;
 
@@ -53,6 +62,17 @@ fn winner_lines(extra: &[&str]) -> String {
     got
 }
 
+/// The non-sum workloads pinned by the workload snapshot.
+const WORKLOADS: [&str; 4] = ["max", "argmax", "argmin", "hist64"];
+
+fn workload_winner_lines(extra: &[&str]) -> String {
+    let mut got = String::new();
+    for workload in WORKLOADS {
+        got.push_str(&winner_lines(&[&["--workload", workload], extra].concat()));
+    }
+    got
+}
+
 /// The winner lines match the checked-in snapshot byte for byte.
 #[test]
 fn sweep_winner_lines_match_golden_snapshot() {
@@ -78,6 +98,35 @@ fn uop_tier_matches_snapshot_modulo_interp_token() {
         got, want,
         "--interp uop must reproduce the compiled tier's winner lines \
          (the tiers are bit-identical by contract)"
+    );
+}
+
+/// Per-workload winner lines — a reduce workload (`max`), both
+/// arg-reductions, and a histogram — match their own snapshot byte
+/// for byte on every architecture. Unlike the sum snapshot these
+/// lines carry a `workload=` token; the sum lines above prove the
+/// legacy format never changed.
+#[test]
+fn workload_winner_lines_match_golden_snapshot() {
+    let want = include_str!("golden/workload_winners.txt");
+    let got = workload_winner_lines(&[]);
+    assert_eq!(
+        got, want,
+        "workload winner lines drifted from tests/golden/workload_winners.txt — \
+         if the change is intentional, regenerate the snapshot (see module docs)"
+    );
+}
+
+/// Workload sweeps are interpreter-independent too: the µop tier
+/// reproduces the workload snapshot modulo the `interp=` token.
+#[test]
+fn workload_uop_tier_matches_snapshot_modulo_interp_token() {
+    let want =
+        include_str!("golden/workload_winners.txt").replace("interp=compiled", "interp=uop");
+    let got = workload_winner_lines(&["--interp", "uop"]);
+    assert_eq!(
+        got, want,
+        "--interp uop must reproduce the compiled tier's workload winner lines"
     );
 }
 

@@ -12,7 +12,10 @@
 //!   per-thread-partial reducers, global/shared atomic accumulation,
 //!   and the second kernel of two-kernel versions;
 //! * [`cuda`] — CUDA C source text reproducing the paper's
-//!   Listings 1–4 (golden-tested).
+//!   Listings 1–4 (golden-tested);
+//! * [`workloads`] — direct VIR synthesis of the non-reduce workloads
+//!   (argmin/argmax with index payloads, histogram) under the same
+//!   three rewrite strategies.
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -20,8 +23,12 @@ pub mod cuda;
 pub mod error;
 pub mod lower;
 pub mod vir;
+pub mod workloads;
 
 pub use cache::{synthesis_cache_stats, synthesize_cached};
 pub use cuda::{coop_kernel_cuda, version_cuda};
 pub use error::CodegenError;
 pub use vir::{synthesize, LaunchPlan, SynthesizedVersion, Tuning};
+pub use workloads::{
+    synthesize_workload, synthesize_workload_cached, workload_cache_stats, SynthesizedWorkload,
+};

@@ -1,0 +1,591 @@
+//! Direct VIR synthesis for the non-reduce workloads (argmin/argmax
+//! with index payloads, histogram).
+//!
+//! Plain reductions flow through the paper's AST pass pipeline
+//! ([`crate::vir::synthesize_op`]); the workloads here exercise the
+//! *same three rewrite strategies* — atomic-global, atomic-shared
+//! privatization, warp shuffle — on payload shapes the corpus
+//! codelets cannot express: a packed 64-bit (value, index) pair
+//! exchanged across lanes and combined with `max.u64`/CAS, and a
+//! bin-indexed scatter of `u32` counters. Each [`WlVariant`] (pass
+//! family × grid distribution) synthesizes to one single-kernel code
+//! version with the reduce calling convention:
+//!
+//! | param | meaning |
+//! |-------|---------|
+//! | `%p0` | input pointer (`f32` array) |
+//! | `%p1` | output pointer (one `u64` for arg-reductions, `bins` × `u32` for histograms) |
+//! | `%p2` | `n` — total element count (`u32`) |
+//! | `%p3` | `tile` — elements per block (`u32`) |
+//!
+//! Bounds handling is branch-free where memory is touched by every
+//! lane (clamped loads, `selp` to the combine identity) and guarded
+//! by divergent branches where a lane must not write at all — the
+//! sanitizer holds this code to the same race-freedom bar as the
+//! pass-generated corpus.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use gpu_sim::isa::{
+    Address, AtomOp, BinOp as VOp, CmpOp, Instr, Operand, PredId, RegId, Scope, ShflMode, Space,
+    Sreg, Ty as VTy,
+};
+use gpu_sim::kernel::KernelBuilder;
+use gpu_sim::Kernel;
+use tangram_passes::planner::Dist;
+use tangram_passes::workload::{PassFamily, WlVariant, WorkloadKey, WorkloadKind};
+
+use crate::error::CodegenError;
+use crate::vir::{LaunchPlan, Tuning};
+
+/// A fully synthesized non-reduce workload variant: the analogue of
+/// [`crate::vir::SynthesizedVersion`] for [`WlVariant`]s. Always a
+/// single kernel — every family combines its result in place with
+/// atomics, so there is no second (partials) pass.
+#[derive(Debug, Clone)]
+pub struct SynthesizedWorkload {
+    /// The workload the kernel computes.
+    pub key: WorkloadKey,
+    /// The pass family × distribution this synthesis realizes.
+    pub variant: WlVariant,
+    /// The kernel.
+    pub kernel: Kernel,
+    /// The tuning this synthesis was specialized for.
+    pub tuning: Tuning,
+}
+
+impl SynthesizedWorkload {
+    /// Compute the launch plan for `n` elements. Workload kernels
+    /// always thread-coarsen, so the tile is `block × coarsen`.
+    pub fn plan(&self, n: u64) -> LaunchPlan {
+        let block = self.tuning.block_size;
+        let tile = u64::from(block) * u64::from(self.tuning.coarsen);
+        let grid = n.div_ceil(tile).max(1).min(u64::from(u32::MAX)) as u32;
+        LaunchPlan { grid, block, dynamic_smem: 0, tile: tile as u32 }
+    }
+
+    /// Output buffer size in bytes (`elems × width` of the workload's
+    /// output shape).
+    pub fn out_bytes(&self) -> u64 {
+        let (elems, width) = self.key.kind.output_shape();
+        elems * width
+    }
+
+    /// A short identifier: variant plus tuning, in the style of
+    /// [`crate::vir::SynthesizedVersion::id`].
+    pub fn id(&self) -> String {
+        format!("{} (B={},C={})", self.variant, self.tuning.block_size, self.tuning.coarsen)
+    }
+}
+
+/// Synthesize one variant of a non-reduce workload.
+///
+/// # Errors
+///
+/// [`CodegenError::Malformed`] when `key` is a plain reduction (those
+/// flow through [`crate::vir::synthesize_op`]) or the emitted kernel
+/// fails validation.
+pub fn synthesize_workload(
+    key: WorkloadKey,
+    variant: WlVariant,
+    tuning: Tuning,
+) -> Result<SynthesizedWorkload, CodegenError> {
+    let kernel = match key.kind {
+        WorkloadKind::Reduce(_) => {
+            return Err(CodegenError::Malformed(format!(
+                "workload `{key}` is a plain reduction; synthesize it via the pass pipeline"
+            )))
+        }
+        WorkloadKind::ArgMax => emit_arg_kernel(key, variant, tuning, true),
+        WorkloadKind::ArgMin => emit_arg_kernel(key, variant, tuning, false),
+        WorkloadKind::Histogram { bins } => emit_hist_kernel(key, variant, tuning, bins),
+    }
+    .map_err(|e| CodegenError::Malformed(e.to_string()))?;
+    Ok(SynthesizedWorkload { key, variant, kernel, tuning })
+}
+
+// ---- synthesis cache (mirrors crate::cache for reductions) ---------
+
+type WlCacheKey = (WorkloadKey, WlVariant, Tuning);
+
+static WL_CACHE: OnceLock<Mutex<HashMap<WlCacheKey, Arc<SynthesizedWorkload>>>> = OnceLock::new();
+static WL_HITS: AtomicU64 = AtomicU64::new(0);
+static WL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cached [`synthesize_workload`] — same contract as
+/// [`crate::cache::synthesize_cached`] for reductions: synthesis runs
+/// outside the lock and the first finisher wins.
+///
+/// # Errors
+///
+/// See [`synthesize_workload`].
+pub fn synthesize_workload_cached(
+    key: WorkloadKey,
+    variant: WlVariant,
+    tuning: Tuning,
+) -> Result<Arc<SynthesizedWorkload>, CodegenError> {
+    let cache = WL_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let ck = (key, variant, tuning);
+    if let Some(hit) = cache.lock().expect("workload cache poisoned").get(&ck) {
+        WL_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(hit));
+    }
+    WL_MISSES.fetch_add(1, Ordering::Relaxed);
+    let built = Arc::new(synthesize_workload(key, variant, tuning)?);
+    let mut map = cache.lock().expect("workload cache poisoned");
+    Ok(Arc::clone(map.entry(ck).or_insert(built)))
+}
+
+/// `(hits, misses)` of the workload synthesis cache.
+pub fn workload_cache_stats() -> (u64, u64) {
+    (WL_HITS.load(Ordering::Relaxed), WL_MISSES.load(Ordering::Relaxed))
+}
+
+// ---- shared emission helpers ---------------------------------------
+
+fn mangle(s: &str) -> String {
+    s.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+}
+
+struct Prologue {
+    p_in: u16,
+    p_out: u16,
+    n: RegId,
+    tile: RegId,
+}
+
+fn emit_prologue(b: &mut KernelBuilder) -> Prologue {
+    let p_in = b.param_ptr();
+    let p_out = b.param_ptr();
+    let p_n = b.param_scalar(VTy::U32);
+    let p_tile = b.param_scalar(VTy::U32);
+    let n = b.reg();
+    b.mov(VTy::U32, n, Operand::Param(p_n));
+    let tile = b.reg();
+    b.mov(VTy::U32, tile, Operand::Param(p_tile));
+    Prologue { p_in, p_out, n, tile }
+}
+
+/// Emit the per-thread element loop: `coarsen` iterations whose index
+/// pattern follows `dist` (tiled = contiguous block tile walked at
+/// block stride; strided = global-thread stride across the whole
+/// grid). The loop is warp-uniform — `body` receives the element
+/// index and its `idx < n` predicate and must stay branch-free or
+/// reconverge internally.
+fn emit_element_loop(
+    b: &mut KernelBuilder,
+    pro: &Prologue,
+    coarsen: u32,
+    dist: Dist,
+    mut body: impl FnMut(&mut KernelBuilder, RegId, PredId),
+) {
+    let base = b.reg();
+    let stride = b.reg();
+    match dist {
+        Dist::Tiled => {
+            // base = ctaid * tile; idx_k = base + k*ntid + tid
+            b.bin(VOp::Mul, VTy::U32, base, Operand::Sreg(Sreg::CtaIdX), Operand::Reg(pro.tile));
+            b.mov(VTy::U32, stride, Operand::Sreg(Sreg::NtidX));
+        }
+        Dist::Strided => {
+            // base = ctaid*ntid + tid; idx_k = base + k*(ntid*nctaid)
+            b.bin(VOp::Mul, VTy::U32, base, Operand::Sreg(Sreg::CtaIdX), Operand::Sreg(Sreg::NtidX));
+            b.bin(VOp::Add, VTy::U32, base, Operand::Reg(base), Operand::Sreg(Sreg::TidX));
+            b.bin(VOp::Mul, VTy::U32, stride, Operand::Sreg(Sreg::NtidX), Operand::Sreg(Sreg::NctaIdX));
+        }
+    }
+    let k = b.reg();
+    b.mov(VTy::U32, k, Operand::ImmI(0));
+    let top = b.label();
+    let done = b.label();
+    b.place(top);
+    let p_done = b.pred();
+    b.setp(CmpOp::Ge, VTy::U32, p_done, Operand::Reg(k), Operand::ImmI(i64::from(coarsen)));
+    b.bra_if(p_done, true, done);
+    let idx = b.reg();
+    b.mad(VTy::U32, idx, Operand::Reg(k), Operand::Reg(stride), Operand::Reg(base));
+    if dist == Dist::Tiled {
+        b.bin(VOp::Add, VTy::U32, idx, Operand::Reg(idx), Operand::Sreg(Sreg::TidX));
+    }
+    let valid = b.pred();
+    b.setp(CmpOp::Lt, VTy::U32, valid, Operand::Reg(idx), Operand::Reg(pro.n));
+    body(b, idx, valid);
+    b.bin(VOp::Add, VTy::U32, k, Operand::Reg(k), Operand::ImmI(1));
+    b.bra(top);
+    b.place(done);
+}
+
+/// Branch-free bounds-safe load: out-of-range lanes read element 0
+/// (always present — the launch never runs with `n == 0` data) and
+/// the caller neutralizes the value through `valid`.
+fn emit_clamped_load(b: &mut KernelBuilder, p_in: u16, idx: RegId, valid: PredId) -> RegId {
+    let idx_c = b.reg();
+    b.selp(VTy::U32, idx_c, Operand::Reg(idx), Operand::ImmI(0), valid);
+    let addr = b.reg();
+    b.cvt(VTy::U32, VTy::U64, addr, Operand::Reg(idx_c));
+    b.bin(VOp::Mul, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(4));
+    b.bin(VOp::Add, VTy::U64, addr, Operand::Reg(addr), Operand::Param(p_in));
+    let v = b.reg();
+    b.ld(Space::Global, VTy::F32, v, Address::reg(addr));
+    v
+}
+
+/// Predicate true on thread 0 of the block.
+fn emit_is_thread0(b: &mut KernelBuilder) -> PredId {
+    let p = b.pred();
+    b.setp(CmpOp::Eq, VTy::U32, p, Operand::Sreg(Sreg::TidX), Operand::ImmI(0));
+    p
+}
+
+// ---- argmin/argmax ------------------------------------------------
+
+/// Packed-candidate construction: a monotone `u32` key of the `f32`
+/// bits in the high half (order flipped for argmin), the complemented
+/// index in the low half, `selp`-ed to the packed identity `0` for
+/// out-of-range lanes. `max.u64` over these is exactly
+/// `cpu_ref::pack_arg_candidate`'s order.
+fn emit_packed_candidate(
+    b: &mut KernelBuilder,
+    v: RegId,
+    idx: RegId,
+    valid: PredId,
+    for_max: bool,
+) -> RegId {
+    let p_neg = b.pred();
+    b.setp(CmpOp::Lt, VTy::I32, p_neg, Operand::Reg(v), Operand::ImmI(0));
+    let (m_neg, m_nonneg): (u32, u32) =
+        if for_max { (0xFFFF_FFFF, 0x8000_0000) } else { (0x0000_0000, 0x7FFF_FFFF) };
+    let mask = b.reg();
+    b.selp(VTy::U32, mask, Operand::ImmI(i64::from(m_neg)), Operand::ImmI(i64::from(m_nonneg)), p_neg);
+    let key = b.reg();
+    b.bin(VOp::Xor, VTy::U32, key, Operand::Reg(v), Operand::Reg(mask));
+    let hi = b.reg();
+    b.cvt(VTy::U32, VTy::U64, hi, Operand::Reg(key));
+    b.bin(VOp::Shl, VTy::U64, hi, Operand::Reg(hi), Operand::ImmI(32));
+    let lo = b.reg();
+    b.bin(VOp::Xor, VTy::U32, lo, Operand::Reg(idx), Operand::ImmI(0xFFFF_FFFF));
+    let lo64 = b.reg();
+    b.cvt(VTy::U32, VTy::U64, lo64, Operand::Reg(lo));
+    let packed = b.reg();
+    b.bin(VOp::Or, VTy::U64, packed, Operand::Reg(hi), Operand::Reg(lo64));
+    let cand = b.reg();
+    b.selp(VTy::U64, cand, Operand::Reg(packed), Operand::ImmI(0), valid);
+    cand
+}
+
+/// Thread-0-only `max.u64` combine into `*%p1` emulated with a CAS
+/// loop — the "CAS-based atomic combine" axis of the argmin/argmax
+/// workload (how CUDA realizes 64-bit extremum atomics pre-`sm_35`).
+/// Divergent (the caller guards entry); contains no barrier.
+fn emit_cas_max_u64(b: &mut KernelBuilder, p_out: u16, mine: RegId) {
+    let old = b.reg();
+    // Seed the loop with a read: CAS(expected=0, value=0) never
+    // changes memory and returns the current value.
+    b.push(Instr::Atom {
+        space: Space::Global,
+        scope: Scope::Gpu,
+        op: AtomOp::Cas,
+        ty: VTy::U64,
+        dst: Some(old),
+        addr: Address::new(Operand::Param(p_out), 0),
+        src: Operand::ImmI(0),
+        cmp: Some(Operand::ImmI(0)),
+    });
+    let top = b.label();
+    let done = b.label();
+    b.place(top);
+    let p_le = b.pred();
+    b.setp(CmpOp::Le, VTy::U64, p_le, Operand::Reg(mine), Operand::Reg(old));
+    b.bra_if(p_le, true, done);
+    let prev = b.reg();
+    b.push(Instr::Atom {
+        space: Space::Global,
+        scope: Scope::Gpu,
+        op: AtomOp::Cas,
+        ty: VTy::U64,
+        dst: Some(prev),
+        addr: Address::new(Operand::Param(p_out), 0),
+        src: Operand::Reg(mine),
+        cmp: Some(Operand::Reg(old)),
+    });
+    let p_won = b.pred();
+    b.setp(CmpOp::Eq, VTy::U64, p_won, Operand::Reg(prev), Operand::Reg(old));
+    b.bra_if(p_won, true, done);
+    b.mov(VTy::U64, old, Operand::Reg(prev));
+    b.bra(top);
+    b.place(done);
+}
+
+fn emit_arg_kernel(
+    key: WorkloadKey,
+    variant: WlVariant,
+    tuning: Tuning,
+    for_max: bool,
+) -> Result<Kernel, gpu_sim::SimError> {
+    let mut b = KernelBuilder::new(format!("tangram_wl_{}_{}", mangle(&key.id()), mangle(&variant.to_string())));
+    let pro = emit_prologue(&mut b);
+
+    // Thread-local packed maximum over this thread's elements.
+    let local = b.reg();
+    b.mov(VTy::U64, local, Operand::ImmI(0));
+    let p_in = pro.p_in;
+    emit_element_loop(&mut b, &pro, tuning.coarsen, variant.dist, |b, idx, valid| {
+        let v = emit_clamped_load(b, p_in, idx, valid);
+        let cand = emit_packed_candidate(b, v, idx, valid, for_max);
+        b.bin(VOp::Max, VTy::U64, local, Operand::Reg(local), Operand::Reg(cand));
+    });
+
+    match variant.family {
+        PassFamily::AtomicGlobal => {
+            // Every thread combines straight into the device-scope
+            // accumulator — maximal contention, zero staging.
+            b.red(
+                Space::Global,
+                Scope::Gpu,
+                AtomOp::Max,
+                VTy::U64,
+                Address::new(Operand::Param(pro.p_out), 0),
+                Operand::Reg(local),
+            );
+        }
+        PassFamily::AtomicShared => {
+            // Privatize in one shared slot with block-scope max
+            // atomics, then one CAS combine per block.
+            let slot = b.smem_alloc(8) as i64;
+            let p0 = emit_is_thread0(&mut b);
+            let skip_init = b.label();
+            b.bra_if(p0, false, skip_init);
+            let zero = b.reg();
+            b.mov(VTy::U64, zero, Operand::ImmI(0));
+            b.st(Space::Shared, VTy::U64, zero, Address::new(Operand::ImmI(slot), 0));
+            b.place(skip_init);
+            b.bar();
+            b.red(
+                Space::Shared,
+                Scope::Cta,
+                AtomOp::Max,
+                VTy::U64,
+                Address::new(Operand::ImmI(slot), 0),
+                Operand::Reg(local),
+            );
+            b.bar();
+            let skip_flush = b.label();
+            b.bra_if(p0, false, skip_flush);
+            let best = b.reg();
+            b.ld(Space::Shared, VTy::U64, best, Address::new(Operand::ImmI(slot), 0));
+            emit_cas_max_u64(&mut b, pro.p_out, best);
+            b.place(skip_flush);
+        }
+        PassFamily::Shuffle => {
+            // Butterfly allreduce of the packed pair across the warp —
+            // the 64-bit lane-exchange stress the workload exists for.
+            for m in [1i64, 2, 4, 8, 16] {
+                let o = b.reg();
+                b.shfl(ShflMode::Bfly, VTy::U64, o, Operand::Reg(local), Operand::ImmI(m), 32);
+                b.bin(VOp::Max, VTy::U64, local, Operand::Reg(local), Operand::Reg(o));
+            }
+            let warps = tuning.block_size.div_ceil(32);
+            if warps <= 1 {
+                let p0 = emit_is_thread0(&mut b);
+                let skip = b.label();
+                b.bra_if(p0, false, skip);
+                emit_cas_max_u64(&mut b, pro.p_out, local);
+                b.place(skip);
+            } else {
+                let stage = b.smem_alloc(8 * u64::from(warps)) as i64;
+                let p_lane0 = b.pred();
+                b.setp(CmpOp::Eq, VTy::U32, p_lane0, Operand::Sreg(Sreg::LaneId), Operand::ImmI(0));
+                let skip_st = b.label();
+                b.bra_if(p_lane0, false, skip_st);
+                let waddr = b.reg();
+                b.cvt(VTy::U32, VTy::U64, waddr, Operand::Sreg(Sreg::WarpId));
+                b.bin(VOp::Mul, VTy::U64, waddr, Operand::Reg(waddr), Operand::ImmI(8));
+                b.bin(VOp::Add, VTy::U64, waddr, Operand::Reg(waddr), Operand::ImmI(stage));
+                b.st(Space::Shared, VTy::U64, local, Address::reg(waddr));
+                b.place(skip_st);
+                b.bar();
+                let p0 = emit_is_thread0(&mut b);
+                let skip_fold = b.label();
+                b.bra_if(p0, false, skip_fold);
+                let best = b.reg();
+                b.ld(Space::Shared, VTy::U64, best, Address::new(Operand::ImmI(stage), 0));
+                for w in 1..warps {
+                    let t = b.reg();
+                    b.ld(
+                        Space::Shared,
+                        VTy::U64,
+                        t,
+                        Address::new(Operand::ImmI(stage + i64::from(w) * 8), 0),
+                    );
+                    b.bin(VOp::Max, VTy::U64, best, Operand::Reg(best), Operand::Reg(t));
+                }
+                emit_cas_max_u64(&mut b, pro.p_out, best);
+                b.place(skip_fold);
+            }
+        }
+    }
+    b.exit();
+    b.finish()
+}
+
+// ---- histogram ----------------------------------------------------
+
+/// Bin an element exactly as `cpu_ref::histogram_bin`: truncate with
+/// `cvt.s32.f32`, wrap `+3` in `u32`, fold `% bins`.
+fn emit_bin_of(b: &mut KernelBuilder, v: RegId, bins: u32) -> RegId {
+    let bin = b.reg();
+    b.cvt(VTy::F32, VTy::I32, bin, Operand::Reg(v));
+    b.bin(VOp::Add, VTy::U32, bin, Operand::Reg(bin), Operand::ImmI(3));
+    b.bin(VOp::Rem, VTy::U32, bin, Operand::Reg(bin), Operand::ImmI(i64::from(bins)));
+    bin
+}
+
+fn emit_hist_kernel(
+    key: WorkloadKey,
+    variant: WlVariant,
+    tuning: Tuning,
+    bins: u32,
+) -> Result<Kernel, gpu_sim::SimError> {
+    let mut b = KernelBuilder::new(format!("tangram_wl_{}_{}", mangle(&key.id()), mangle(&variant.to_string())));
+    let pro = emit_prologue(&mut b);
+    let p_in = pro.p_in;
+    let p_out = pro.p_out;
+
+    match variant.family {
+        PassFamily::AtomicGlobal => {
+            // One device-scope counter bump per element; invalid lanes
+            // add 0 to a real bin (atomics race-free by construction).
+            emit_element_loop(&mut b, &pro, tuning.coarsen, variant.dist, |b, idx, valid| {
+                let v = emit_clamped_load(b, p_in, idx, valid);
+                let bin = emit_bin_of(b, v, bins);
+                let one = b.reg();
+                b.selp(VTy::U32, one, Operand::ImmI(1), Operand::ImmI(0), valid);
+                let addr = b.reg();
+                b.cvt(VTy::U32, VTy::U64, addr, Operand::Reg(bin));
+                b.bin(VOp::Mul, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(4));
+                b.bin(VOp::Add, VTy::U64, addr, Operand::Reg(addr), Operand::Param(p_out));
+                b.red(Space::Global, Scope::Gpu, AtomOp::Add, VTy::U32, Address::reg(addr), Operand::Reg(one));
+            });
+        }
+        PassFamily::AtomicShared => {
+            // Privatized shared-memory bins: clear, accumulate with
+            // block-scope atomics, flush once per block.
+            let base = b.smem_alloc(4 * u64::from(bins)) as i64;
+            let iters = bins.div_ceil(tuning.block_size);
+            let zero = b.reg();
+            b.mov(VTy::U32, zero, Operand::ImmI(0));
+            emit_bin_stride_loop(&mut b, bins, iters, |b, j, p_j| {
+                // Guarded store: lanes past the last bin must not
+                // write anywhere (a clamped store would WW-race on
+                // bin 0).
+                let skip = b.label();
+                b.bra_if(p_j, false, skip);
+                let addr = b.reg();
+                b.cvt(VTy::U32, VTy::U64, addr, Operand::Reg(j));
+                b.bin(VOp::Mul, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(4));
+                b.bin(VOp::Add, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(base));
+                b.st(Space::Shared, VTy::U32, zero, Address::reg(addr));
+                b.place(skip);
+            });
+            b.bar();
+            emit_element_loop(&mut b, &pro, tuning.coarsen, variant.dist, |b, idx, valid| {
+                let v = emit_clamped_load(b, p_in, idx, valid);
+                let bin = emit_bin_of(b, v, bins);
+                let one = b.reg();
+                b.selp(VTy::U32, one, Operand::ImmI(1), Operand::ImmI(0), valid);
+                let addr = b.reg();
+                b.cvt(VTy::U32, VTy::U64, addr, Operand::Reg(bin));
+                b.bin(VOp::Mul, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(4));
+                b.bin(VOp::Add, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(base));
+                b.red(Space::Shared, Scope::Cta, AtomOp::Add, VTy::U32, Address::reg(addr), Operand::Reg(one));
+            });
+            b.bar();
+            emit_bin_stride_loop(&mut b, bins, iters, |b, j, p_j| {
+                let skip = b.label();
+                b.bra_if(p_j, false, skip);
+                let saddr = b.reg();
+                b.cvt(VTy::U32, VTy::U64, saddr, Operand::Reg(j));
+                b.bin(VOp::Mul, VTy::U64, saddr, Operand::Reg(saddr), Operand::ImmI(4));
+                let gaddr = b.reg();
+                b.bin(VOp::Add, VTy::U64, gaddr, Operand::Reg(saddr), Operand::Param(p_out));
+                b.bin(VOp::Add, VTy::U64, saddr, Operand::Reg(saddr), Operand::ImmI(base));
+                let count = b.reg();
+                b.ld(Space::Shared, VTy::U32, count, Address::reg(saddr));
+                b.red(Space::Global, Scope::Gpu, AtomOp::Add, VTy::U32, Address::reg(gaddr), Operand::Reg(count));
+                b.place(skip);
+            });
+        }
+        PassFamily::Shuffle => {
+            // Warp-aggregated scatter: emulate `match.any` with 32
+            // `shfl.idx` probes, elect the lowest matching lane as
+            // leader, and issue one aggregated atomic per bin-group.
+            emit_element_loop(&mut b, &pro, tuning.coarsen, variant.dist, |b, idx, valid| {
+                let v = emit_clamped_load(b, p_in, idx, valid);
+                let bin = emit_bin_of(b, v, bins);
+                // Invalid lanes get a sentinel bin no real bin equals,
+                // so they form their own (never-written) group.
+                let bin_eff = b.reg();
+                b.selp(VTy::U32, bin_eff, Operand::Reg(bin), Operand::ImmI(0xFFFF_FFFF), valid);
+                let count = b.reg();
+                b.mov(VTy::U32, count, Operand::ImmI(0));
+                let leader = b.reg();
+                b.mov(VTy::U32, leader, Operand::ImmI(0xFFFF_FFFF));
+                for l in 0..32i64 {
+                    let probe = b.reg();
+                    b.shfl(ShflMode::Idx, VTy::U32, probe, Operand::Reg(bin_eff), Operand::ImmI(l), 32);
+                    let p_eq = b.pred();
+                    b.setp(CmpOp::Eq, VTy::U32, p_eq, Operand::Reg(probe), Operand::Reg(bin_eff));
+                    let inc = b.reg();
+                    b.selp(VTy::U32, inc, Operand::ImmI(1), Operand::ImmI(0), p_eq);
+                    b.bin(VOp::Add, VTy::U32, count, Operand::Reg(count), Operand::Reg(inc));
+                    let cand = b.reg();
+                    b.selp(VTy::U32, cand, Operand::ImmI(l), Operand::ImmI(0xFFFF_FFFF), p_eq);
+                    b.bin(VOp::Min, VTy::U32, leader, Operand::Reg(leader), Operand::Reg(cand));
+                }
+                let p_lead = b.pred();
+                b.setp(CmpOp::Eq, VTy::U32, p_lead, Operand::Sreg(Sreg::LaneId), Operand::Reg(leader));
+                let p_go = b.pred();
+                b.push(Instr::Plop { op: VOp::And, dst: p_go, a: p_lead, b: valid });
+                let skip = b.label();
+                b.bra_if(p_go, false, skip);
+                let addr = b.reg();
+                b.cvt(VTy::U32, VTy::U64, addr, Operand::Reg(bin));
+                b.bin(VOp::Mul, VTy::U64, addr, Operand::Reg(addr), Operand::ImmI(4));
+                b.bin(VOp::Add, VTy::U64, addr, Operand::Reg(addr), Operand::Param(p_out));
+                b.red(Space::Global, Scope::Gpu, AtomOp::Add, VTy::U32, Address::reg(addr), Operand::Reg(count));
+                b.place(skip);
+            });
+        }
+    }
+    b.exit();
+    b.finish()
+}
+
+/// Warp-uniform loop over bin indices `tid, tid+ntid, …` for `iters`
+/// iterations (a compile-time constant); `body` gets the bin index
+/// and its `j < bins` predicate.
+fn emit_bin_stride_loop(
+    b: &mut KernelBuilder,
+    bins: u32,
+    iters: u32,
+    mut body: impl FnMut(&mut KernelBuilder, RegId, PredId),
+) {
+    let it = b.reg();
+    b.mov(VTy::U32, it, Operand::ImmI(0));
+    let top = b.label();
+    let done = b.label();
+    b.place(top);
+    let p_done = b.pred();
+    b.setp(CmpOp::Ge, VTy::U32, p_done, Operand::Reg(it), Operand::ImmI(i64::from(iters)));
+    b.bra_if(p_done, true, done);
+    let j = b.reg();
+    b.mad(VTy::U32, j, Operand::Reg(it), Operand::Sreg(Sreg::NtidX), Operand::Sreg(Sreg::TidX));
+    let p_j = b.pred();
+    b.setp(CmpOp::Lt, VTy::U32, p_j, Operand::Reg(j), Operand::ImmI(i64::from(bins)));
+    body(b, j, p_j);
+    b.bin(VOp::Add, VTy::U32, it, Operand::Reg(it), Operand::ImmI(1));
+    b.bra(top);
+    b.place(done);
+}

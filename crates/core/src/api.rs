@@ -1,9 +1,14 @@
-//! The user-facing reduction API.
+//! The user-facing workload API.
 //!
 //! `Reducer` is what a library client of the extended Tangram would
 //! use: it owns an architecture, lazily selects and tunes the best
-//! synthesized code version for each array-size bucket (the paper's
-//! per-size winners, §IV-C), and runs reductions exactly.
+//! synthesized code for each workload and array-size bucket (the
+//! paper's per-size winners, §IV-C), and runs workloads exactly via
+//! [`Reducer::run`]. [`Session::run`] is the tuning entry point: it
+//! takes a [`Workload`] (plain reductions, argmin/argmax, histograms)
+//! and returns the swept winner. The reduce-specific
+//! `Reducer::sum`/`max`/`min`/`reduce` methods remain as deprecated
+//! shims over [`Reducer::run`].
 
 use std::collections::HashMap;
 use std::fmt;
@@ -16,8 +21,11 @@ use gpu_sim::{ArchConfig, Device, RaceReport, SimError};
 use tangram_codegen::CodegenError;
 use tangram_passes::planner::{self, CodeVersion};
 
-use tangram_codegen::{synthesize_cached, Tuning};
+use tangram_codegen::{synthesize_cached, synthesize_workload_cached, Tuning};
 use tangram_passes::specialize::ReduceOp;
+use tangram_passes::workload::{
+    enumerate_workload_variants, WlVariant, WorkloadKey, WorkloadKind,
+};
 
 use crate::evaluate::{
     best_measurement, coarsen_options, evaluate_all_timed, ContextPool, EvalOptions, RungStats,
@@ -27,10 +35,15 @@ use crate::metrics::{SanitizeSummary, StoreSummary, SweepMetrics};
 use crate::resilience::{
     evaluate_all_report, JobReport, Oracle, QuarantineReason, ResilienceOptions, ResilienceReport,
 };
-use crate::runner::{run_reduction, upload};
+use crate::runner::{run_reduction, run_workload, upload};
 use crate::select::{fig6_label_of, select_best, SelectionRow};
 use crate::store::{corpus_fingerprint, CacheMode, Lookup, StoreKey, StoreRecord, TuningStore};
-use crate::tuner::{TunedVersion, BLOCK_SIZES};
+use crate::tuner::{TunedVersion, BLOCK_SIZES, COARSEN};
+use crate::workload::{
+    best_wl_measurement, evaluate_workload, expected_value, sanitize_workload_variant,
+    validate_workload_winner, workload_corpus_fingerprint, workload_input, Workload,
+    WorkloadMetrics, WorkloadReport, WorkloadRow, WorkloadValue, WORKLOAD_INPUT_TAG,
+};
 
 /// Errors surfaced by the high-level API.
 #[derive(Debug)]
@@ -86,19 +99,41 @@ pub struct SumResult {
     pub time_ns: f64,
 }
 
-/// A performance-portable reducer for one GPU architecture.
+/// Result of running one workload over caller data: the computed
+/// [`WorkloadValue`] plus what code ran.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// The workload that was computed.
+    pub workload: WorkloadKey,
+    /// The computed value (scalar, packed arg-pair, or bins).
+    pub value: WorkloadValue,
+    /// Display id of the code that ran: a `CodeVersion` string for
+    /// reductions, a [`WlVariant::id`] for the other workloads.
+    pub version: String,
+    /// Tuned block size.
+    pub block_size: u32,
+    /// Tuned coarsening factor.
+    pub coarsen: u32,
+    /// Modelled execution time (ns) of this run.
+    pub time_ns: f64,
+}
+
+/// A performance-portable workload runner for one GPU architecture.
 ///
 /// # Examples
 ///
 /// ```
 /// use gpu_sim::ArchConfig;
+/// use tangram::workload::WorkloadKey;
 /// use tangram::Reducer;
 ///
 /// # fn main() -> Result<(), tangram::TangramError> {
 /// let mut reducer = Reducer::new(ArchConfig::maxwell_gtx980());
 /// let data: Vec<f32> = (1..=1000).map(|i| i as f32).collect();
-/// let result = reducer.sum(&data)?;
-/// assert_eq!(result.value, 500_500.0);
+/// let result = reducer.run(WorkloadKey::sum(), &data)?;
+/// assert_eq!(result.value, tangram::workload::WorkloadValue::Scalar(500_500.0));
+/// let top = reducer.run(WorkloadKey::argmax(), &data)?;
+/// assert_eq!(top.value.arg_index(), Some(999));
 /// # Ok(())
 /// # }
 /// ```
@@ -106,12 +141,13 @@ pub struct SumResult {
 pub struct Reducer {
     arch: ArchConfig,
     cache: HashMap<u32, TunedVersion>,
+    wl_cache: HashMap<(WorkloadKey, u32), (WlVariant, Tuning)>,
 }
 
 impl Reducer {
     /// Create a reducer targeting `arch`.
     pub fn new(arch: ArchConfig) -> Self {
-        Reducer { arch, cache: HashMap::new() }
+        Reducer { arch, cache: HashMap::new(), wl_cache: HashMap::new() }
     }
 
     /// The target architecture.
@@ -125,6 +161,80 @@ impl Reducer {
         64 - n.max(1).leading_zeros()
     }
 
+    /// Run any workload over `data`: plain reductions, argmin/argmax
+    /// (the winning index is [`WorkloadValue::arg_index`]), and
+    /// histograms. Selection and tuning are cached per workload and
+    /// size bucket, exactly like the classic reduction path.
+    ///
+    /// # Errors
+    ///
+    /// [`TangramError`] on simulator failures or inputs above 2³¹
+    /// elements.
+    pub fn run(
+        &mut self,
+        workload: WorkloadKey,
+        data: &[f32],
+    ) -> Result<WorkloadResult, TangramError> {
+        let n = data.len() as u64;
+        if n >= (1 << 31) {
+            return Err(TangramError::TooLarge(n));
+        }
+        if let WorkloadKind::Reduce(op) = workload.kind {
+            let r = self.reduce_inner(data, op)?;
+            return Ok(WorkloadResult {
+                workload,
+                value: WorkloadValue::Scalar(r.value),
+                version: r.version.to_string(),
+                block_size: r.block_size,
+                coarsen: r.coarsen,
+                time_ns: r.time_ns,
+            });
+        }
+        if n == 0 {
+            // Degenerate but well-defined: exactly what the CPU
+            // reference computes over an empty array.
+            return Ok(WorkloadResult {
+                workload,
+                value: expected_value(workload, data),
+                version: "-".to_string(),
+                block_size: 0,
+                coarsen: 0,
+                time_ns: 0.0,
+            });
+        }
+        let bucket = Self::bucket(n);
+        if !self.wl_cache.contains_key(&(workload, bucket)) {
+            let report = match Session::new(self.arch.clone())
+                .run(&Workload::new(workload, n))?
+            {
+                RunReport::Workload(report) => report,
+                RunReport::Reduce(_) => unreachable!("non-reduce kind swept as reduction"),
+            };
+            let variant: WlVariant = report
+                .row
+                .variant
+                .parse()
+                .map_err(|e: String| TangramError::Sim(SimError::InvalidLaunch(e)))?;
+            let tuning =
+                Tuning { block_size: report.row.block_size, coarsen: report.row.coarsen };
+            self.wl_cache.insert((workload, bucket), (variant, tuning));
+        }
+        let (variant, tuning) = self.wl_cache[&(workload, bucket)];
+        let sw = synthesize_workload_cached(workload, variant, tuning)?;
+        let mut dev = Device::new(self.arch.clone());
+        let input = upload(&mut dev, data)?;
+        dev.reset_clock();
+        let value = run_workload(&mut dev, &sw, input, n, BlockSelection::All)?;
+        Ok(WorkloadResult {
+            workload,
+            value,
+            version: variant.id(),
+            block_size: tuning.block_size,
+            coarsen: tuning.coarsen,
+            time_ns: dev.elapsed_ns(),
+        })
+    }
+
     /// Reduce `data` to its sum with the best synthesized version for
     /// this architecture and size.
     ///
@@ -132,8 +242,9 @@ impl Reducer {
     ///
     /// [`TangramError`] on simulator failures or inputs above 2³¹
     /// elements.
+    #[deprecated(since = "0.2.0", note = "use `Reducer::run(WorkloadKey::sum(), data)`")]
     pub fn sum(&mut self, data: &[f32]) -> Result<SumResult, TangramError> {
-        self.reduce(data, ReduceOp::Sum)
+        self.reduce_inner(data, ReduceOp::Sum)
     }
 
     /// Reduce `data` to its maximum (the `atomicMax` API family,
@@ -141,9 +252,13 @@ impl Reducer {
     ///
     /// # Errors
     ///
-    /// See [`Reducer::sum`].
+    /// See [`Reducer::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Reducer::run(WorkloadKey::reduce(ReduceOp::Max), data)`"
+    )]
     pub fn max(&mut self, data: &[f32]) -> Result<SumResult, TangramError> {
-        self.reduce(data, ReduceOp::Max)
+        self.reduce_inner(data, ReduceOp::Max)
     }
 
     /// Reduce `data` to its minimum (the `atomicMin` API family,
@@ -151,21 +266,34 @@ impl Reducer {
     ///
     /// # Errors
     ///
-    /// See [`Reducer::sum`].
+    /// See [`Reducer::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Reducer::run(WorkloadKey::reduce(ReduceOp::Min), data)`"
+    )]
     pub fn min(&mut self, data: &[f32]) -> Result<SumResult, TangramError> {
-        self.reduce(data, ReduceOp::Min)
+        self.reduce_inner(data, ReduceOp::Min)
     }
 
-    /// Reduce `data` under an arbitrary operator. Version selection is
-    /// shared across operators (the fold changes, not the schedule);
-    /// the kernels are re-synthesized with the operator's folds,
-    /// atomics and identity element.
+    /// Reduce `data` under an arbitrary operator.
     ///
     /// # Errors
     ///
-    /// [`TangramError`] on simulator failures or inputs above 2³¹
-    /// elements.
+    /// See [`Reducer::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Reducer::run(WorkloadKey::reduce(op), data)`"
+    )]
     pub fn reduce(&mut self, data: &[f32], op: ReduceOp) -> Result<SumResult, TangramError> {
+        self.reduce_inner(data, op)
+    }
+
+    /// The classic reduction path behind both [`Reducer::run`] and the
+    /// deprecated shims. Version selection is shared across operators
+    /// (the fold changes, not the schedule); the kernels are
+    /// re-synthesized with the operator's folds, atomics and identity
+    /// element.
+    fn reduce_inner(&mut self, data: &[f32], op: ReduceOp) -> Result<SumResult, TangramError> {
         let n = data.len() as u64;
         if n >= (1 << 31) {
             return Err(TangramError::TooLarge(n));
@@ -272,7 +400,7 @@ impl serde::Serialize for CandidateRaces {
 /// enough that every block executes functionally (`exact` shadow
 /// state, no sampled-block blind spots), large enough that multi-pass
 /// grid combines and partial tail blocks still occur.
-const SANITIZE_N_CAP: u64 = 65_536;
+pub(crate) const SANITIZE_N_CAP: u64 = 65_536;
 
 /// Run one candidate under the race sanitizer at its first feasible
 /// tuning. Returns `None` when the candidate has no feasible tuning or
@@ -352,6 +480,69 @@ pub struct SweepReport {
     /// Per-candidate race reports of the sanitizer screen, in
     /// candidate order; `None` when the session does not sanitize.
     pub races: Option<Vec<CandidateRaces>>,
+}
+
+/// What [`Session::run`] returns: a classic reduction sweep report or
+/// a workload-variant sweep report, depending on the workload's kind.
+#[derive(Debug, Clone)]
+pub enum RunReport {
+    /// A plain reduction was tuned over the planner's pruned
+    /// `CodeVersion` corpus.
+    Reduce(Box<SweepReport>),
+    /// A non-reduce workload was tuned over the six workload
+    /// variants.
+    Workload(Box<WorkloadReport>),
+}
+
+impl RunReport {
+    /// The winning block size.
+    pub fn block_size(&self) -> u32 {
+        match self {
+            RunReport::Reduce(r) => r.row.block_size,
+            RunReport::Workload(r) => r.row.block_size,
+        }
+    }
+
+    /// The winning coarsening factor.
+    pub fn coarsen(&self) -> u32 {
+        match self {
+            RunReport::Reduce(r) => r.row.coarsen,
+            RunReport::Workload(r) => r.row.coarsen,
+        }
+    }
+
+    /// The winner's modelled time (ns).
+    pub fn time_ns(&self) -> f64 {
+        match self {
+            RunReport::Reduce(r) => r.row.time_ns,
+            RunReport::Workload(r) => r.row.time_ns,
+        }
+    }
+
+    /// Display id of the winning code: a `CodeVersion` string for
+    /// reductions, a [`WlVariant::id`] for the other workloads.
+    pub fn winner_id(&self) -> String {
+        match self {
+            RunReport::Reduce(r) => r.row.version.to_string(),
+            RunReport::Workload(r) => r.row.variant.clone(),
+        }
+    }
+
+    /// The workload sweep report, when this was a non-reduce run.
+    pub fn as_workload(&self) -> Option<&WorkloadReport> {
+        match self {
+            RunReport::Reduce(_) => None,
+            RunReport::Workload(r) => Some(r),
+        }
+    }
+
+    /// The reduction sweep report, when this was a reduce run.
+    pub fn as_reduce(&self) -> Option<&SweepReport> {
+        match self {
+            RunReport::Reduce(r) => Some(r),
+            RunReport::Workload(_) => None,
+        }
+    }
 }
 
 /// The result of a [`Session`] selection-table sweep over several
@@ -515,6 +706,28 @@ impl Session {
         self.sanitize
     }
 
+    /// Tune any [`Workload`] — the single workload-generic entry
+    /// point. Plain reductions sweep the planner's pruned
+    /// `CodeVersion` corpus (exactly [`Session::select_best`], with
+    /// the store keyed by the workload); argmin/argmax and histograms
+    /// sweep the six workload variants and validate the winner
+    /// against the CPU reference exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; fails when no candidate is
+    /// feasible or (for non-reduce workloads) when the winner fails
+    /// the cpu-ref oracle.
+    pub fn run(&self, workload: &Workload) -> Result<RunReport, SimError> {
+        if workload.key.kind.is_reduce() {
+            let report =
+                self.select_best_keyed(workload.n, &planner::enumerate_pruned(), workload.key)?;
+            Ok(RunReport::Reduce(Box::new(report)))
+        } else {
+            Ok(RunReport::Workload(Box::new(self.sweep_workload(workload)?)))
+        }
+    }
+
     /// Select the fastest pruned version for `n` elements.
     ///
     /// # Errors
@@ -535,6 +748,20 @@ impl Session {
         n: u64,
         candidates: &[CodeVersion],
     ) -> Result<SweepReport, SimError> {
+        self.select_best_keyed(n, candidates, WorkloadKey::sum())
+    }
+
+    /// The reduction sweep with an explicit workload key: `wkey` names
+    /// the store record and the metrics entry (the schedule search is
+    /// shared across reduction operators, so a `max-f32` sweep runs
+    /// the same sum-synthesized timing corpus but files its winner
+    /// under its own key).
+    fn select_best_keyed(
+        &self,
+        n: u64,
+        candidates: &[CodeVersion],
+        wkey: WorkloadKey,
+    ) -> Result<SweepReport, SimError> {
         let t0 = Instant::now();
         let mut opts = self.opts;
 
@@ -549,7 +776,7 @@ impl Session {
         let mut cache_jobs: Vec<JobReport> = Vec::new();
         if self.cache_mode != CacheMode::Off {
             if let Some(dir) = &self.cache_dir {
-                let key = StoreKey::for_sweep(&self.arch.id, n);
+                let key = StoreKey::for_workload(&self.arch.id, wkey, n);
                 let mut summary = StoreSummary {
                     dir: dir.display().to_string(),
                     mode: self.cache_mode.id().to_string(),
@@ -568,7 +795,7 @@ impl Session {
                     Ok(store) => {
                         match store.load(&key) {
                             Lookup::Hit(rec) if rec.n == n => {
-                                match self.confirm_cached(n, &rec, candidates, t0) {
+                                match self.confirm_cached(n, &rec, candidates, wkey, t0) {
                                     Ok(mut report) => {
                                         summary.outcome = "warm".to_string();
                                         summary.warm = true;
@@ -783,6 +1010,7 @@ impl Session {
         let metrics = SweepMetrics {
             arch: self.arch.id.clone(),
             n,
+            workload: wkey,
             mode: if self.res.is_some() {
                 format!("resilient-{}", opts.sweep.id())
             } else {
@@ -822,6 +1050,7 @@ impl Session {
         n: u64,
         rec: &StoreRecord,
         candidates: &[CodeVersion],
+        wkey: WorkloadKey,
         t0: Instant,
     ) -> Result<SweepReport, String> {
         let tc = Instant::now();
@@ -935,6 +1164,7 @@ impl Session {
         let metrics = SweepMetrics {
             arch: self.arch.id.clone(),
             n,
+            workload: wkey,
             mode: if self.res.is_some() {
                 format!("resilient-{}", self.opts.sweep.id())
             } else {
@@ -956,6 +1186,309 @@ impl Session {
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         };
         Ok(SweepReport { tuned, row, resilience, metrics, trace, races })
+    }
+
+    /// The non-reduce workload sweep behind [`Session::run`]: sweep
+    /// the six variants over the tuning axes, validate the winner
+    /// against the CPU reference exactly, and (with a store
+    /// configured) warm-start from / write back the persisted winner.
+    fn sweep_workload(&self, w: &Workload) -> Result<WorkloadReport, SimError> {
+        let t0 = Instant::now();
+        let key = w.key;
+        let n = w.n;
+        if n == 0 || n >= (1 << 31) {
+            return Err(SimError::InvalidLaunch(format!(
+                "workload sweeps take 1..2^31 elements, got {n}"
+            )));
+        }
+        let opts = self.opts;
+
+        // Persistent tuning store: same degradation contract as the
+        // reduction path — every failure mode falls back to a clean
+        // cold sweep, recorded in the summary.
+        let mut store_state: Option<(TuningStore, StoreKey)> = None;
+        let mut cache_summary: Option<StoreSummary> = None;
+        if self.cache_mode != CacheMode::Off {
+            if let Some(dir) = &self.cache_dir {
+                let skey = StoreKey::for_workload(&self.arch.id, key, n);
+                let mut summary = StoreSummary {
+                    dir: dir.display().to_string(),
+                    mode: self.cache_mode.id().to_string(),
+                    key: skey.label(),
+                    outcome: "miss".to_string(),
+                    detail: None,
+                    warm: false,
+                    seeded: false,
+                    saved: false,
+                };
+                match TuningStore::open(dir, workload_corpus_fingerprint()) {
+                    Err(e) => {
+                        summary.outcome = "disabled".to_string();
+                        summary.detail = Some(e.to_string());
+                    }
+                    Ok(store) => {
+                        match store.load(&skey) {
+                            Lookup::Hit(rec) if rec.n == n => {
+                                match self.confirm_cached_workload(w, &rec, t0) {
+                                    Ok(mut report) => {
+                                        summary.outcome = "warm".to_string();
+                                        summary.warm = true;
+                                        report.metrics.store = Some(summary);
+                                        return Ok(report);
+                                    }
+                                    Err(reason) => {
+                                        summary.outcome = "invalid".to_string();
+                                        summary.detail = Some(reason);
+                                    }
+                                }
+                            }
+                            Lookup::Hit(rec) => {
+                                summary.detail = Some(format!(
+                                    "bucket record is for n={}, sweep is n={n}",
+                                    rec.n
+                                ));
+                            }
+                            Lookup::Miss => {}
+                            Lookup::Invalid { reason, quarantined } => {
+                                summary.outcome = "invalid".to_string();
+                                summary.detail = Some(match &quarantined {
+                                    Some(q) => {
+                                        format!("{reason}; quarantined to {}", q.display())
+                                    }
+                                    None => reason,
+                                });
+                            }
+                        }
+                        store_state = Some((store, skey));
+                    }
+                }
+                cache_summary = Some(summary);
+            }
+        }
+
+        // Sanitizer screen over the variant corpus (on the oracle
+        // input — histogram hazards are data-dependent). Racy
+        // variants never reach the timing engine.
+        let all_variants = enumerate_workload_variants();
+        let (variants, races) = if self.sanitize {
+            let sn = n.min(SANITIZE_N_CAP);
+            let mut survivors = Vec::with_capacity(all_variants.len());
+            let mut screened = Vec::with_capacity(all_variants.len());
+            for (i, &variant) in all_variants.iter().enumerate() {
+                match sanitize_workload_variant(&self.arch, sn, key, i, variant)? {
+                    Some(cr) if !cr.is_clean() => screened.push(cr),
+                    Some(cr) => {
+                        survivors.push(variant);
+                        screened.push(cr);
+                    }
+                    None => survivors.push(variant),
+                }
+            }
+            (survivors, Some(screened))
+        } else {
+            (all_variants, None)
+        };
+
+        let pool = ContextPool::builder(&self.arch, n).opts(&opts).build();
+        let (results, rungs) = evaluate_workload(&pool, key, &variants, &opts)?;
+        let total_jobs = results.len();
+        let measured = results.iter().flatten().count();
+        let (infeasible, pruned) = match opts.sweep {
+            SweepMode::Exhaustive => (total_jobs - measured, 0),
+            SweepMode::Halving => {
+                let screened = rungs.first().map_or(0, |r| r.measured);
+                (total_jobs - screened, screened.saturating_sub(measured))
+            }
+        };
+        let best = best_wl_measurement(&results)
+            .ok_or_else(|| SimError::InvalidLaunch("no feasible variant".into()))?;
+
+        // Exact oracle validation of the winner: the variant must
+        // compute the right answer bit-for-bit (packed u64 / per-bin
+        // u32) before it is reported or persisted.
+        let on = n.min(SANITIZE_N_CAP);
+        let check =
+            validate_workload_winner(&self.arch, opts.interp, key, best.variant, best.tuning, on)?;
+        if !check.ok() {
+            return Err(SimError::InvalidLaunch(format!(
+                "workload winner {} fails the cpu-ref oracle at n={on}: device {}, cpu-ref {}",
+                best.variant.id(),
+                check.got.summary(),
+                check.want.summary()
+            )));
+        }
+
+        let row = WorkloadRow {
+            workload: key,
+            n,
+            variant: best.variant.id(),
+            block_size: best.tuning.block_size,
+            coarsen: best.tuning.coarsen,
+            time_ns: best.time_ns,
+        };
+        if let (Some((store, skey)), Some(summary)) = (&store_state, cache_summary.as_mut()) {
+            if self.cache_mode == CacheMode::ReadWrite {
+                let rec = StoreRecord {
+                    key: skey.clone(),
+                    n,
+                    version: row.variant.clone(),
+                    block_size: row.block_size,
+                    coarsen: row.coarsen,
+                    time_ns_bits: row.time_ns.to_bits(),
+                };
+                match store.save(&rec) {
+                    Ok(_) => summary.saved = true,
+                    Err(e) => {
+                        summary.detail = Some(match summary.detail.take() {
+                            Some(d) => format!("{d}; save failed: {e}"),
+                            None => format!("save failed: {e}"),
+                        });
+                    }
+                }
+            }
+        }
+        let metrics = WorkloadMetrics {
+            arch: self.arch.id.clone(),
+            n,
+            workload: key,
+            mode: opts.sweep.id().to_string(),
+            interp: opts.interp.id().to_string(),
+            threads: opts.threads,
+            rungs,
+            total_jobs,
+            measured,
+            pruned,
+            infeasible,
+            sanitize: races.as_ref().map(|rs| SanitizeSummary {
+                candidates: rs.len(),
+                racy: rs.iter().filter(|r| !r.is_clean()).count(),
+                findings: rs.iter().map(CandidateRaces::findings).sum(),
+                occurrences: rs.iter().map(CandidateRaces::occurrences).sum(),
+            }),
+            store: cache_summary,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok(WorkloadReport { row, value: check.got, oracle_n: on, races, metrics })
+    }
+
+    /// Try to turn a persisted workload record into a finished
+    /// [`WorkloadReport`] without sweeping — the workload analogue of
+    /// [`Session::confirm_cached`], with the same contract: the
+    /// variant must still exist, the tuning must be in the sweep
+    /// space, the modelled time must reproduce bit-for-bit, and the
+    /// cpu-ref oracle must match exactly. Any failure returns the
+    /// reason and the caller falls back to a clean cold sweep.
+    fn confirm_cached_workload(
+        &self,
+        w: &Workload,
+        rec: &StoreRecord,
+        t0: Instant,
+    ) -> Result<WorkloadReport, String> {
+        let tc = Instant::now();
+        let key = w.key;
+        let n = w.n;
+        let variant: WlVariant = rec
+            .version
+            .parse()
+            .map_err(|e| format!("cached winner is not a live variant: {e}"))?;
+        let Some(ci) = enumerate_workload_variants().iter().position(|v| *v == variant) else {
+            return Err(format!("cached variant `{}` is not in the live corpus", rec.version));
+        };
+        if !BLOCK_SIZES.contains(&rec.block_size) {
+            return Err(format!("cached block size {} is outside the sweep space", rec.block_size));
+        }
+        if !COARSEN.contains(&rec.coarsen) {
+            return Err(format!(
+                "cached coarsening factor {} is outside the sweep space",
+                rec.coarsen
+            ));
+        }
+        let tuning = Tuning { block_size: rec.block_size, coarsen: rec.coarsen };
+        let sw = synthesize_workload_cached(key, variant, tuning)
+            .map_err(|e| format!("cached winner no longer synthesizes: {e}"))?;
+
+        let races = if self.sanitize {
+            match sanitize_workload_variant(&self.arch, n.min(SANITIZE_N_CAP), key, ci, variant) {
+                Ok(Some(cr)) if !cr.is_clean() => {
+                    return Err(format!(
+                        "cached winner failed the race sanitizer: {}",
+                        cr.summary()
+                    ));
+                }
+                Ok(cr) => Some(cr.into_iter().collect::<Vec<_>>()),
+                Err(e) => {
+                    return Err(format!("sanitizer screen of the cached winner errored: {e}"))
+                }
+            }
+        } else {
+            None
+        };
+
+        // Full-fidelity timing confirmation over the same corpus the
+        // cold sweep times (histogram timing is data-dependent).
+        let pool = ContextPool::builder(&self.arch, n).opts(&self.opts).build();
+        let mut ctx =
+            pool.acquire().map_err(|e| format!("confirmation context failed: {e}"))?;
+        ctx.ensure_input(WORKLOAD_INPUT_TAG, workload_input)
+            .map_err(|e| format!("corpus upload failed: {e}"))?;
+        let time_ns = ctx
+            .measure_workload(&sw)
+            .map_err(|e| format!("confirmation run failed: {e}"))?;
+        pool.release(ctx);
+        if time_ns.to_bits() != rec.time_ns_bits {
+            return Err(format!(
+                "cached time {} ns does not reproduce (measured {time_ns} ns)",
+                rec.time_ns()
+            ));
+        }
+
+        let on = n.min(SANITIZE_N_CAP);
+        let check = validate_workload_winner(&self.arch, self.opts.interp, key, variant, tuning, on)
+            .map_err(|e| format!("oracle confirmation run failed: {e}"))?;
+        if !check.ok() {
+            return Err(format!(
+                "cached winner fails the cpu-ref oracle: device {}, cpu-ref {}",
+                check.got.summary(),
+                check.want.summary()
+            ));
+        }
+
+        let row = WorkloadRow {
+            workload: key,
+            n,
+            variant: variant.id(),
+            block_size: rec.block_size,
+            coarsen: rec.coarsen,
+            time_ns,
+        };
+        let rungs = vec![RungStats {
+            rung: "cache-confirm".to_string(),
+            jobs: 1,
+            measured: 1,
+            wall_ms: tc.elapsed().as_secs_f64() * 1e3,
+        }];
+        let metrics = WorkloadMetrics {
+            arch: self.arch.id.clone(),
+            n,
+            workload: key,
+            mode: self.opts.sweep.id().to_string(),
+            interp: self.opts.interp.id().to_string(),
+            threads: self.opts.threads,
+            rungs,
+            total_jobs: 1,
+            measured: 1,
+            pruned: 0,
+            infeasible: 0,
+            sanitize: races.as_ref().map(|rs| SanitizeSummary {
+                candidates: rs.len(),
+                racy: rs.iter().filter(|r| !r.is_clean()).count(),
+                findings: rs.iter().map(CandidateRaces::findings).sum(),
+                occurrences: rs.iter().map(CandidateRaces::occurrences).sum(),
+            }),
+            store: None, // filled by the caller, which owns the summary
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok(WorkloadReport { row, value: check.got, oracle_n: on, races, metrics })
     }
 
     /// Sweep the selection over several sizes, merging per-size job
@@ -988,10 +1521,10 @@ mod tests {
         let mut r = Reducer::new(ArchConfig::pascal_p100());
         let data: Vec<f32> = (0..5000).map(|i| ((i % 10) as f32) - 2.0).collect();
         let expect: f32 = data.iter().sum();
-        let first = r.sum(&data).unwrap();
-        assert_eq!(first.value, expect);
+        let first = r.run(WorkloadKey::sum(), &data).unwrap();
+        assert_eq!(first.value, WorkloadValue::Scalar(expect));
         // Second call in the same bucket reuses the cached selection.
-        let second = r.sum(&data).unwrap();
+        let second = r.run(WorkloadKey::sum(), &data).unwrap();
         assert_eq!(second.version, first.version);
         assert_eq!(r.cache.len(), 1);
     }
@@ -999,7 +1532,57 @@ mod tests {
     #[test]
     fn empty_input_sums_to_zero() {
         let mut r = Reducer::new(ArchConfig::kepler_k40c());
-        assert_eq!(r.sum(&[]).unwrap().value, 0.0);
+        let res = r.run(WorkloadKey::sum(), &[]).unwrap();
+        assert_eq!(res.value, WorkloadValue::Scalar(0.0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        // The 0.1 entry points stay callable (and correct) until
+        // removal; everything else in the tree goes through `run`.
+        let mut r = Reducer::new(ArchConfig::kepler_k40c());
+        let data: Vec<f32> = (0..4096).map(|i| (i % 9) as f32).collect();
+        assert_eq!(r.sum(&data).unwrap().value, data.iter().sum::<f32>());
+        assert_eq!(r.max(&data).unwrap().value, 8.0);
+        assert_eq!(r.min(&data).unwrap().value, 0.0);
+        assert_eq!(r.reduce(&data, ReduceOp::Max).unwrap().value, 8.0);
+    }
+
+    #[test]
+    fn reducer_runs_argmax_and_argmin_against_cpu_ref() {
+        let mut r = Reducer::new(ArchConfig::maxwell_gtx980());
+        let mut data: Vec<f32> = (0..6000).map(|i| ((i % 13) as f32) - 6.0).collect();
+        data[1234] = 5.0e9;
+        data[4321] = -5.0e9;
+        let top = r.run(WorkloadKey::argmax(), &data).unwrap();
+        assert_eq!(top.value.arg_index(), Some(1234));
+        let bottom = r.run(WorkloadKey::argmin(), &data).unwrap();
+        assert_eq!(bottom.value.arg_index(), Some(4321));
+        // Same bucket, same key: the swept (variant, tuning) is reused.
+        assert!(r.wl_cache.len() >= 2);
+        let again = r.run(WorkloadKey::argmax(), &data).unwrap();
+        assert_eq!(again.version, top.version);
+    }
+
+    #[test]
+    fn reducer_runs_histogram_against_cpu_ref() {
+        let mut r = Reducer::new(ArchConfig::pascal_p100());
+        let data: Vec<f32> = (0..5000).map(|i| ((i % 23) as f32) - 11.0).collect();
+        let key = WorkloadKey::histogram(16);
+        let res = r.run(key, &data).unwrap();
+        let want = cpu_ref::histogram_ref(&data, 16);
+        assert_eq!(res.value, WorkloadValue::Bins(want));
+    }
+
+    #[test]
+    fn empty_workloads_answer_from_the_oracle() {
+        let mut r = Reducer::new(ArchConfig::kepler_k40c());
+        let top = r.run(WorkloadKey::argmax(), &[]).unwrap();
+        assert_eq!(top.value.arg_index(), None, "empty argmax has no index");
+        assert_eq!(top.version, "-");
+        let hist = r.run(WorkloadKey::histogram(8), &[]).unwrap();
+        assert_eq!(hist.value, WorkloadValue::Bins(vec![0; 8]));
     }
 
     #[test]
@@ -1075,6 +1658,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn winner_is_reported_with_label() {
         let mut r = Reducer::new(ArchConfig::maxwell_gtx980());
         let data = vec![1.0f32; 4096];
@@ -1082,5 +1666,77 @@ mod tests {
         assert_eq!(res.value, 4096.0);
         assert!(res.fig6_label.is_some(), "winners come from the Fig. 6 set");
         assert!(res.time_ns > 0.0);
+    }
+
+    #[test]
+    fn session_run_dispatches_reduce_and_workload_paths() {
+        let arch = ArchConfig::maxwell_gtx980();
+        let session = Session::new(arch.clone()).eval(EvalOptions::serial());
+        // Reduce workloads route through the classic selection sweep.
+        let reduce = session.run(&Workload::sum(16_384)).unwrap();
+        let classic = Session::new(arch)
+            .eval(EvalOptions::serial())
+            .select_best(16_384)
+            .unwrap();
+        let rep = reduce.as_reduce().expect("sum is a reduce workload");
+        assert_eq!(rep.row.version, classic.row.version);
+        assert_eq!(rep.row.time_ns.to_bits(), classic.row.time_ns.to_bits());
+        // Non-reduce workloads route through the workload sweep and
+        // report an oracle-validated winner.
+        let session = Session::new(ArchConfig::maxwell_gtx980()).eval(EvalOptions::serial());
+        let arg = session.run(&Workload::argmax(16_384)).unwrap();
+        let wrep = arg.as_workload().expect("argmax is a workload sweep");
+        assert!(wrep.row.time_ns > 0.0);
+        let w = Workload::argmax(16_384);
+        assert_eq!(wrep.value, expected_value(w.key, &w.oracle_input()));
+        assert_eq!(arg.winner_id(), wrep.row.variant);
+    }
+
+    #[test]
+    fn workload_sweep_warm_start_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!(
+            "tangram-wl-store-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::new(ArchConfig::pascal_p100())
+            .eval(EvalOptions::serial())
+            .store(&dir);
+        let cold = session.run(&Workload::argmax(8_192)).unwrap();
+        let cold = cold.as_workload().unwrap();
+        assert_eq!(
+            cold.metrics.store.as_ref().map(|s| s.saved),
+            Some(true),
+            "cold sweep persists its winner"
+        );
+        let warm = session.run(&Workload::argmax(8_192)).unwrap();
+        let warm = warm.as_workload().unwrap();
+        let answered_warm = warm.metrics.store.as_ref().map(|s| s.warm);
+        assert_eq!(answered_warm, Some(true), "second sweep answers from the store");
+        assert_eq!(warm.row.variant, cold.row.variant);
+        assert_eq!(warm.row.block_size, cold.row.block_size);
+        assert_eq!(warm.row.coarsen, cold.row.coarsen);
+        assert_eq!(warm.row.time_ns.to_bits(), cold.row.time_ns.to_bits());
+        assert_eq!(warm.value, cold.value);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sanitized_workload_sweep_is_transparent_on_clean_corpus() {
+        let session = Session::new(ArchConfig::kepler_k40c()).eval(EvalOptions::serial());
+        let plain = session.run(&Workload::histogram(32, 8_192)).unwrap();
+        let plain = plain.as_workload().unwrap();
+        let session = Session::new(ArchConfig::kepler_k40c())
+            .eval(EvalOptions::serial())
+            .sanitized(true);
+        let sane = session.run(&Workload::histogram(32, 8_192)).unwrap();
+        let sane = sane.as_workload().unwrap();
+        let races = sane.races.as_ref().expect("sanitized sweeps record reports");
+        assert!(races.iter().all(CandidateRaces::is_clean), "corpus must be race-free");
+        assert_eq!(sane.row.variant, plain.row.variant);
+        assert_eq!(sane.row.block_size, plain.row.block_size);
+        assert_eq!(sane.row.time_ns.to_bits(), plain.row.time_ns.to_bits());
+        assert_eq!(sane.value, plain.value);
     }
 }

@@ -416,19 +416,21 @@ impl ContextPoolBuilder {
 
 /// Fan `jobs` over `threads` workers, applying `f` to each with a
 /// pooled context. This is the one scheduling core every sweep flavor
-/// (exhaustive, screening rung, survivor rung, resilient) shares:
+/// (exhaustive, screening rung, survivor rung, resilient, and the
+/// non-reduce workload sweeps — hence the generic job type) shares:
 /// a shared atomic index hands jobs out in canonical order, results
 /// land in per-job slots, and the first hard error (by canonical
 /// index) aborts — exactly what the serial loop would have reported.
-pub(crate) fn run_jobs_with<T, F>(
+pub(crate) fn run_jobs_with<J, T, F>(
     pool: &ContextPool,
-    jobs: &[Job],
+    jobs: &[J],
     threads: usize,
     f: &F,
 ) -> Result<Vec<T>, SimError>
 where
+    J: Copy + Sync,
     T: Send,
-    F: Fn(&mut BenchContext, Job) -> Result<T, SimError> + Sync,
+    F: Fn(&mut BenchContext, J) -> Result<T, SimError> + Sync,
 {
     let threads = threads.max(1).min(jobs.len().max(1));
 
@@ -496,15 +498,20 @@ where
 const HALVING_KEEP_DENOM: usize = 8;
 
 /// Keep mask of every candidate's own screen-best job, so each
-/// candidate's tuning winner reaches full fidelity. Ties break toward
-/// the earlier canonical index, matching [`best_measurement`].
-pub(crate) fn candidate_best_mask(jobs: &[Job], screen_times: &[Option<f64>]) -> Vec<bool> {
-    let mut keep = vec![false; jobs.len()];
-    let n_candidates = jobs.iter().map(|j| j.candidate + 1).max().unwrap_or(0);
+/// candidate's tuning winner reaches full fidelity. `candidates[i]`
+/// is job `i`'s candidate index — indices instead of [`Job`]s so the
+/// non-reduce workload sweeps share the mask. Ties break toward the
+/// earlier canonical index, matching [`best_measurement`].
+pub(crate) fn candidate_best_mask(
+    candidates: &[usize],
+    screen_times: &[Option<f64>],
+) -> Vec<bool> {
+    let mut keep = vec![false; candidates.len()];
+    let n_candidates = candidates.iter().map(|&c| c + 1).max().unwrap_or(0);
     let mut best_per: Vec<Option<(f64, usize)>> = vec![None; n_candidates];
     for (i, t) in screen_times.iter().enumerate() {
         if let Some(t) = *t {
-            let slot = &mut best_per[jobs[i].candidate];
+            let slot = &mut best_per[candidates[i]];
             if slot.is_none_or(|(bt, _)| t < bt) {
                 *slot = Some((t, i));
             }
@@ -519,7 +526,7 @@ pub(crate) fn candidate_best_mask(jobs: &[Job], screen_times: &[Option<f64>]) ->
 /// Canonical-order keep mask for the survivor rung: the global top
 /// eighth of screened times plus every candidate's own screen-best
 /// ([`candidate_best_mask`]).
-pub(crate) fn survivor_mask(jobs: &[Job], screen_times: &[Option<f64>]) -> Vec<bool> {
+pub(crate) fn survivor_mask(candidates: &[usize], screen_times: &[Option<f64>]) -> Vec<bool> {
     let mut scored: Vec<(f64, usize)> = screen_times
         .iter()
         .enumerate()
@@ -527,7 +534,7 @@ pub(crate) fn survivor_mask(jobs: &[Job], screen_times: &[Option<f64>]) -> Vec<b
         .collect();
     scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
-    let mut keep = candidate_best_mask(jobs, screen_times);
+    let mut keep = candidate_best_mask(candidates, screen_times);
     for &(_, i) in scored.iter().take(scored.len().div_ceil(HALVING_KEEP_DENOM)) {
         keep[i] = true;
     }
@@ -575,6 +582,7 @@ fn evaluate_halving(
         run_jobs_with(pool, jobs, threads, &|ctx, job| measure_job(ctx, job, Fidelity::Screen))?;
     let screen_stats = RungStats::tally("screen", jobs.len(), &screen, t0);
     let times: Vec<Option<f64>> = screen.iter().map(|m| m.as_ref().map(|m| m.time_ns)).collect();
+    let cand_of: Vec<usize> = jobs.iter().map(|j| j.candidate).collect();
 
     let mut out: Vec<Option<Measurement>> = Vec::new();
     out.resize_with(jobs.len(), || None);
@@ -582,7 +590,7 @@ fn evaluate_halving(
 
     let mut keep = match seed {
         Some(si) => {
-            let mut keep = candidate_best_mask(jobs, &times);
+            let mut keep = candidate_best_mask(&cand_of, &times);
             keep[si] = true;
             let seeded: Vec<usize> = (0..jobs.len()).filter(|&i| keep[i]).collect();
             let t1 = Instant::now();
@@ -606,7 +614,7 @@ fn evaluate_halving(
         None => vec![false; jobs.len()],
     };
 
-    let full_keep = survivor_mask(jobs, &times);
+    let full_keep = survivor_mask(&cand_of, &times);
     for (k, full) in keep.iter_mut().zip(&full_keep) {
         *k = *full && !*k;
     }
@@ -776,7 +784,8 @@ mod tests {
         // top eighth is a prefix — later candidates survive only via
         // their per-candidate best.
         let times: Vec<Option<f64>> = (0..jobs.len()).map(|i| Some(i as f64)).collect();
-        let keep = survivor_mask(&jobs, &times);
+        let cand_of: Vec<usize> = jobs.iter().map(|j| j.candidate).collect();
+        let keep = survivor_mask(&cand_of, &times);
         for c in 0..cands.len() {
             let best = jobs
                 .iter()

@@ -18,14 +18,16 @@
 //!
 //! ```
 //! use gpu_sim::ArchConfig;
+//! use tangram::workload::WorkloadKey;
 //! use tangram::Reducer;
 //!
 //! # fn main() -> Result<(), tangram::TangramError> {
 //! let mut reducer = Reducer::new(ArchConfig::pascal_p100());
 //! let data: Vec<f32> = (1..=4096).map(|i| (i % 7) as f32).collect();
-//! let result = reducer.sum(&data)?;
-//! println!("sum = {} via version {} (Fig.6 {:?})",
-//!          result.value, result.version, result.fig6_label);
+//! let result = reducer.run(WorkloadKey::sum(), &data)?;
+//! println!("sum = {:?} via {}", result.value, result.version);
+//! let top = reducer.run(WorkloadKey::argmax(), &data)?;
+//! println!("argmax index = {:?}", top.value.arg_index());
 //! # Ok(())
 //! # }
 //! ```
@@ -35,6 +37,7 @@
 //! | module | role |
 //! |--------|------|
 //! | [`api`] | user-facing [`Reducer`] and the [`Session`] sweep entry point |
+//! | [`workload`] | first-class workloads: argmin/argmax, histograms, oracles |
 //! | [`pipeline`] | the Fig. 5 pre-processing pipeline, inspectable |
 //! | [`tuner`] | `__tunable` parameter sweeps (§IV-C) |
 //! | [`evaluate`] | the parallel variant-evaluation engine |
@@ -59,8 +62,12 @@ pub mod select;
 pub mod serve;
 pub mod store;
 pub mod tuner;
+pub mod workload;
 
-pub use api::{CandidateRaces, Reducer, Session, SumResult, SweepReport, TableReport, TangramError};
+pub use api::{
+    CandidateRaces, Reducer, RunReport, Session, SumResult, SweepReport, TableReport,
+    TangramError, WorkloadResult,
+};
 pub use evaluate::{evaluate_all, evaluate_all_timed, ContextPool, EvalOptions, RungStats};
 pub use metrics::{
     CacheMetrics, KernelSpotlight, ProfileReport, SanitizeSummary, StoreSummary, SweepMetrics,
@@ -82,6 +89,11 @@ pub use serve::{
 };
 pub use store::{CacheMode, Lookup, SaveReceipt, StoreError, StoreKey, StoreRecord, TuningStore};
 pub use tuner::{measure, tune, TunedVersion};
+pub use workload::{
+    expected_value, workload_corpus_fingerprint, workload_input, Workload, WorkloadMetrics,
+    WorkloadReport, WorkloadRow, WorkloadValue,
+};
+pub use tangram_passes::workload::{WlVariant, WorkloadKey, WorkloadKind};
 
 /// One-stop imports for library clients: the device and architecture
 /// types, the engine knobs, the [`Session`] entry point, and every
@@ -100,7 +112,8 @@ pub use tuner::{measure, tune, TunedVersion};
 /// ```
 pub mod prelude {
     pub use crate::api::{
-        CandidateRaces, Reducer, Session, SumResult, SweepReport, TableReport, TangramError,
+        CandidateRaces, Reducer, RunReport, Session, SumResult, SweepReport, TableReport,
+        TangramError, WorkloadResult,
     };
     pub use crate::evaluate::{ContextPool, EvalOptions, RungStats, SweepMode};
     pub use crate::metrics::{
@@ -118,6 +131,10 @@ pub mod prelude {
         CacheMode, Lookup, SaveReceipt, StoreError, StoreKey, StoreRecord, TuningStore,
     };
     pub use crate::tuner::{BenchContext, TunedVersion};
+    pub use crate::workload::{
+        Workload, WorkloadMetrics, WorkloadReport, WorkloadRow, WorkloadValue,
+    };
+    pub use tangram_passes::workload::{WlVariant, WorkloadKey, WorkloadKind};
     pub use gpu_sim::profile::{LaunchProfile, SiteCounters, Trace};
     pub use gpu_sim::{ArchConfig, Device, ExecMode, SimError};
     pub use tangram_passes::specialize::ReduceOp;

@@ -116,6 +116,9 @@ pub struct SweepMetrics {
     pub arch: String,
     /// Array size (elements).
     pub n: u64,
+    /// The typed workload the sweep was keyed by (`sum-f32` for the
+    /// classic selection sweeps).
+    pub workload: tangram_passes::workload::WorkloadKey,
     /// Sweep strategy (`exhaustive`/`halving`/`resilient`).
     pub mode: String,
     /// Interpreter hot path (`uop`/`reference`).

@@ -508,7 +508,8 @@ pub fn evaluate_all_report(
                     _ => None,
                 })
                 .collect();
-            let mut keep = survivor_mask(&jobs, &times);
+            let cand_of: Vec<usize> = jobs.iter().map(|j| j.candidate).collect();
+            let mut keep = survivor_mask(&cand_of, &times);
             for (i, s) in screen.iter().enumerate() {
                 match s {
                     Screened::Errored => keep[i] = true,

@@ -3,7 +3,10 @@
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::isa::Ty;
 use gpu_sim::{Arg, Device, DevicePtr, LaunchDims, SimError, TimingOptions};
-use tangram_codegen::SynthesizedVersion;
+use tangram_codegen::{SynthesizedVersion, SynthesizedWorkload};
+use tangram_passes::workload::WorkloadKind;
+
+use crate::workload::WorkloadValue;
 
 /// Run a synthesized reduction over `n` `f32` elements at `input`.
 ///
@@ -61,6 +64,55 @@ pub fn run_reduction(
             TimingOptions::default(),
         )?;
         Ok(f32::from_bits(dev.read_scalar(Ty::F32, out)? as u32))
+    }
+}
+
+/// Run a synthesized non-reduce workload over `n` `f32` elements at
+/// `input`.
+///
+/// Allocates and initializes the output (a packed `u64` accumulator
+/// for arg-reductions, a zeroed counter array for histograms),
+/// launches the single workload kernel, and reads the result back as
+/// a [`WorkloadValue`]. As with [`run_reduction`], a sampling
+/// [`BlockSelection`] makes the returned *value* meaningless but
+/// keeps the device clock meaningful.
+///
+/// # Errors
+///
+/// Propagates simulator errors; plain-reduction keys are rejected
+/// (they run through [`run_reduction`]).
+pub fn run_workload(
+    dev: &mut Device,
+    sw: &SynthesizedWorkload,
+    input: DevicePtr,
+    n: u64,
+    selection: BlockSelection,
+) -> Result<WorkloadValue, SimError> {
+    let plan = sw.plan(n);
+    let dims = LaunchDims::new(plan.grid, plan.block).with_dynamic_smem(plan.dynamic_smem);
+    let out = dev.alloc(sw.out_bytes())?;
+    let args = [input.arg(), out.arg(), Arg::U32(n as u32), Arg::U32(plan.tile)];
+    match sw.key.kind {
+        WorkloadKind::Reduce(_) => Err(SimError::InvalidLaunch(
+            "plain reductions run through run_reduction, not run_workload".into(),
+        )),
+        WorkloadKind::ArgMax | WorkloadKind::ArgMin => {
+            // The packed-pair identity is 0: any valid candidate has a
+            // complemented index, so even the worst key beats it.
+            dev.write_scalar(Ty::U64, out, 0)?;
+            dev.launch(&sw.kernel, dims, &args, selection, TimingOptions::default())?;
+            Ok(WorkloadValue::Packed(dev.read_scalar(Ty::U64, out)?))
+        }
+        WorkloadKind::Histogram { .. } => {
+            dev.memset_zero(out, sw.out_bytes())?;
+            dev.launch(&sw.kernel, dims, &args, selection, TimingOptions::default())?;
+            let bytes = dev.download_bytes(out, sw.out_bytes())?;
+            let counts = bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok(WorkloadValue::Bins(counts))
+        }
     }
 }
 

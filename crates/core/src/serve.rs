@@ -55,11 +55,13 @@ use std::time::{Duration, Instant};
 
 use gpu_sim::{ArchConfig, ExecMode};
 use serde::{Serialize, Value};
+use tangram_passes::workload::WorkloadKey;
 
-use crate::api::Session;
+use crate::api::{RunReport, Session};
 use crate::evaluate::{EvalOptions, SweepMode};
 use crate::resilience::{JobReport, QuarantineReason, ResilienceReport};
 use crate::store::CacheMode;
+use crate::workload::Workload;
 
 /// Configuration of one serve daemon.
 #[derive(Debug, Clone)]
@@ -115,6 +117,11 @@ pub struct Query {
     pub n: u64,
     /// Tenant identifier for the admission gate's per-tenant cap.
     pub tenant: String,
+    /// Typed workload (schema v2 wire field). `None` — or
+    /// `Some(sum-f32)` — takes the byte-identical legacy `sum` path;
+    /// any other key routes through the workload sweep
+    /// ([`crate::Session::run`]).
+    pub workload: Option<WorkloadKey>,
 }
 
 impl Query {
@@ -126,7 +133,15 @@ impl Query {
             dtype: "f32".to_string(),
             n,
             tenant: "default".to_string(),
+            workload: None,
         }
+    }
+
+    /// The same query retargeted at a typed workload.
+    #[must_use]
+    pub fn with_workload(mut self, key: WorkloadKey) -> Self {
+        self.workload = Some(key);
+        self
     }
 
     /// The same query attributed to `tenant`.
@@ -136,9 +151,19 @@ impl Query {
         self
     }
 
+    /// Whether this query takes the legacy `sum-f32` selection path
+    /// (no workload field, or one that spells exactly `sum-f32`).
+    fn is_legacy(&self) -> bool {
+        match self.workload {
+            None => true,
+            Some(w) => w == WorkloadKey::sum(),
+        }
+    }
+
     /// In-flight dedup key: the exact shape, excluding the tenant.
     fn key(&self) -> FlightKey {
-        (self.arch.clone(), self.op.clone(), self.dtype.clone(), self.n)
+        let workload = self.workload.map(|w| w.id()).unwrap_or_default();
+        (self.arch.clone(), self.op.clone(), self.dtype.clone(), workload, self.n)
     }
 }
 
@@ -188,6 +213,10 @@ pub struct Answer {
     pub served: Served,
     /// Wall-clock the requester waited, in milliseconds.
     pub wall_ms: f64,
+    /// The typed workload id (`argmax-f32`, `hist64-f32`, …) when the
+    /// query routed through the workload sweep; `None` on the legacy
+    /// `sum` path, keeping those wire answers byte-identical.
+    pub workload: Option<String>,
 }
 
 impl Answer {
@@ -300,8 +329,10 @@ fn relock<'a, T>(
     r.unwrap_or_else(PoisonError::into_inner)
 }
 
-/// In-flight dedup key: the exact query shape `(arch, op, dtype, n)`.
-type FlightKey = (String, String, String, u64);
+/// In-flight dedup key: the exact query shape
+/// `(arch, op, dtype, workload-id, n)`; the workload id is empty for
+/// legacy queries that never set the field.
+type FlightKey = (String, String, String, String, u64);
 
 /// One coalesced in-flight computation: the leader publishes, the
 /// followers wait.
@@ -475,11 +506,15 @@ impl TuneService {
     }
 
     fn validate(&self, q: &Query) -> Result<(), String> {
-        if q.op != "sum" {
-            return Err(format!("unknown op `{}` (the daemon serves `sum`)", q.op));
-        }
-        if q.dtype != "f32" {
-            return Err(format!("unknown dtype `{}` (the daemon serves `f32`)", q.dtype));
+        // Typed workloads carry their own validated shape; the legacy
+        // string fields only gate queries that never set the field.
+        if q.workload.is_none() {
+            if q.op != "sum" {
+                return Err(format!("unknown op `{}` (the daemon serves `sum`)", q.op));
+            }
+            if q.dtype != "f32" {
+                return Err(format!("unknown dtype `{}` (the daemon serves `f32`)", q.dtype));
+            }
         }
         if q.n == 0 || q.n >= (1 << 31) {
             return Err(format!("n={} out of range (want 1..2^31)", q.n));
@@ -580,7 +615,13 @@ impl TuneService {
         if let Some(dir) = &self.cfg.cache_dir {
             session = session.store(dir).cache_mode(self.cfg.cache_mode);
         }
-        let report = match session.select_best(q.n) {
+        let run = if q.is_legacy() {
+            session.select_best(q.n).map(|rep| RunReport::Reduce(Box::new(rep)))
+        } else {
+            let key = q.workload.expect("non-legacy queries carry a workload");
+            session.run(&Workload::new(key, q.n))
+        };
+        let report = match run {
             Ok(report) => report,
             Err(e) => {
                 self.release_tenant(&q.tenant);
@@ -590,27 +631,50 @@ impl TuneService {
         };
         self.release_tenant(&q.tenant);
 
-        let served = match &report.metrics.store {
-            Some(s) if s.warm => Served::Warm,
-            Some(s) if s.seeded => Served::Seeded,
-            _ => Served::Cold,
-        };
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let answer = Answer {
-            arch: q.arch.clone(),
-            n: q.n,
-            version: report.row.version.to_string(),
-            block_size: report.row.block_size,
-            coarsen: report.row.coarsen,
-            time_ns: report.row.time_ns,
-            served,
-            wall_ms,
+        let answer = match &report {
+            RunReport::Reduce(rep) => {
+                let served = match &rep.metrics.store {
+                    Some(s) if s.warm => Served::Warm,
+                    Some(s) if s.seeded => Served::Seeded,
+                    _ => Served::Cold,
+                };
+                Answer {
+                    arch: q.arch.clone(),
+                    n: q.n,
+                    version: rep.row.version.to_string(),
+                    block_size: rep.row.block_size,
+                    coarsen: rep.row.coarsen,
+                    time_ns: rep.row.time_ns,
+                    served,
+                    wall_ms,
+                    workload: q.workload.filter(|_| !q.is_legacy()).map(|w| w.id()),
+                }
+            }
+            RunReport::Workload(rep) => {
+                let served = match &rep.metrics.store {
+                    Some(s) if s.warm => Served::Warm,
+                    Some(s) if s.seeded => Served::Seeded,
+                    _ => Served::Cold,
+                };
+                Answer {
+                    arch: q.arch.clone(),
+                    n: q.n,
+                    version: rep.row.variant.clone(),
+                    block_size: rep.row.block_size,
+                    coarsen: rep.row.coarsen,
+                    time_ns: rep.row.time_ns,
+                    served,
+                    wall_ms,
+                    workload: Some(rep.row.workload.id()),
+                }
+            }
         };
         {
             let mut m = relock(self.metrics.lock());
             m.ok += 1;
             m.sweeps += 1;
-            match served {
+            match answer.served {
                 Served::Cold => m.cold += 1,
                 Served::Seeded => m.seeded += 1,
                 Served::Warm => m.warm += 1,
@@ -620,7 +684,9 @@ impl TuneService {
                 m.latencies_ms.push(wall_ms);
             }
         }
-        relock(self.resilience.lock()).merge(report.resilience);
+        if let RunReport::Reduce(rep) = report {
+            relock(self.resilience.lock()).merge(rep.resilience);
+        }
         Reply::Ok(answer)
     }
 
@@ -680,9 +746,16 @@ impl TuneService {
 // ---------------------------------------------------------------------------
 
 fn answer_value(a: &Answer) -> Value {
-    Value::Map(vec![
+    let mut fields = vec![
         ("arch".to_string(), a.arch.to_value()),
         ("n".to_string(), a.n.to_value()),
+    ];
+    // Only typed-workload answers carry the field: legacy `sum`
+    // responses stay byte-identical to the schema-1 wire format.
+    if let Some(w) = &a.workload {
+        fields.push(("workload".to_string(), w.to_value()));
+    }
+    fields.extend(vec![
         ("winner".to_string(), a.version.to_value()),
         ("block".to_string(), u64::from(a.block_size).to_value()),
         ("coarsen".to_string(), u64::from(a.coarsen).to_value()),
@@ -690,7 +763,8 @@ fn answer_value(a: &Answer) -> Value {
         ("served".to_string(), a.served.id().to_value()),
         ("wall_ms".to_string(), a.wall_ms.to_value()),
         ("line".to_string(), a.winner_line().to_value()),
-    ])
+    ]);
+    Value::Map(fields)
 }
 
 fn wrap(tag: &str, value: Value) -> String {
@@ -732,6 +806,10 @@ fn parse_query(v: &Value) -> Result<Query, String> {
     }
     if let Some(tenant) = v.get("tenant").and_then(Value::as_str) {
         q.tenant = tenant.to_string();
+    }
+    if let Some(w) = v.get("workload") {
+        let s = w.as_str().ok_or("query.workload must be a string workload id")?;
+        q.workload = Some(s.parse().map_err(|e| format!("query.workload: {e}"))?);
     }
     Ok(q)
 }
@@ -961,6 +1039,9 @@ pub struct WireAnswer {
     /// The preformatted `winner=… block=… coarsen=… time_ns=…` line
     /// for byte-identity checks.
     pub line: String,
+    /// Typed workload id echoed by the daemon (absent on the legacy
+    /// `sum` path).
+    pub workload: Option<String>,
 }
 
 /// A parsed wire response.
@@ -1018,16 +1099,17 @@ impl Client {
     /// daemon-side rejections come back as [`WireReply::Busy`] /
     /// [`WireReply::Error`], not `Err`.
     pub fn query(&mut self, query: &Query) -> std::io::Result<WireReply> {
-        let req = wrap(
-            "query",
-            Value::Map(vec![
-                ("arch".to_string(), query.arch.to_value()),
-                ("op".to_string(), query.op.to_value()),
-                ("dtype".to_string(), query.dtype.to_value()),
-                ("n".to_string(), query.n.to_value()),
-                ("tenant".to_string(), query.tenant.to_value()),
-            ]),
-        );
+        let mut fields = vec![
+            ("arch".to_string(), query.arch.to_value()),
+            ("op".to_string(), query.op.to_value()),
+            ("dtype".to_string(), query.dtype.to_value()),
+            ("n".to_string(), query.n.to_value()),
+            ("tenant".to_string(), query.tenant.to_value()),
+        ];
+        if let Some(w) = &query.workload {
+            fields.push(("workload".to_string(), w.id().to_value()));
+        }
+        let req = wrap("query", Value::Map(fields));
         let v = self.roundtrip(&req)?;
         if let Some(ok) = v.get("ok") {
             let field_u32 = |k: &str| {
@@ -1054,6 +1136,10 @@ impl Client {
                 served: served.to_string(),
                 wall_ms: ok.get("wall_ms").and_then(Value::as_f64).unwrap_or(0.0),
                 line: line.to_string(),
+                workload: ok
+                    .get("workload")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
             }));
         }
         if let Some(busy) = v.get("busy") {
@@ -1164,6 +1250,59 @@ mod tests {
                 direct.row.version, direct.row.block_size, direct.row.coarsen, direct.row.time_ns
             )
         );
+    }
+
+    #[test]
+    fn workload_answers_match_a_direct_session_bitwise() {
+        let s = service(2, 0);
+        let q = Query::sweep("maxwell", 16_384).with_workload(WorkloadKey::argmax());
+        let reply = s.query(&q);
+        let Reply::Ok(answer) = reply else { panic!("expected ok, got {reply:?}") };
+        assert_eq!(answer.workload.as_deref(), Some("argmax-f32"));
+        let direct = Session::new(ArchConfig::maxwell_gtx980())
+            .eval(
+                EvalOptions::with_threads(1)
+                    .with_sweep(SweepMode::Halving)
+                    .with_interp(ExecMode::Compiled),
+            )
+            .run(&Workload::argmax(16_384))
+            .unwrap();
+        let direct = direct.as_workload().unwrap();
+        assert_eq!(answer.version, direct.row.variant);
+        assert_eq!(answer.block_size, direct.row.block_size);
+        assert_eq!(answer.coarsen, direct.row.coarsen);
+        assert_eq!(answer.time_ns.to_bits(), direct.row.time_ns.to_bits());
+        assert_eq!(answer.winner_line(), direct.winner_line());
+    }
+
+    #[test]
+    fn explicit_sum_workload_takes_the_legacy_path_bitwise() {
+        let s = service(2, 0);
+        let legacy = s.query(&Query::sweep("kepler", 8_192));
+        let typed = s.query(&Query::sweep("kepler", 8_192).with_workload(WorkloadKey::sum()));
+        let (Reply::Ok(a), Reply::Ok(b)) = (legacy, typed) else { panic!("expected ok") };
+        assert_eq!(a.version, b.version);
+        assert_eq!(a.block_size, b.block_size);
+        assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits());
+        // The explicit-but-legacy answer also omits the wire field.
+        assert_eq!(b.workload, None);
+    }
+
+    #[test]
+    fn wire_parses_and_rejects_workload_spellings() {
+        let s = service(1, 0);
+        let (resp, _) = handle_line(
+            &s,
+            "{\"query\":{\"arch\":\"maxwell\",\"n\":4096,\"workload\":\"hist8-f32\"}}",
+        );
+        assert!(resp.contains("\"workload\":\"hist8-f32\""), "{resp}");
+        assert!(resp.contains("\"winner\":"), "{resp}");
+        let (resp, _) = handle_line(
+            &s,
+            "{\"query\":{\"arch\":\"maxwell\",\"n\":4096,\"workload\":\"argbest\"}}",
+        );
+        assert!(resp.contains("query.workload"), "{resp}");
+        assert!(resp.contains("argbest"), "{resp}");
     }
 
     #[test]

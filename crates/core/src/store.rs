@@ -4,9 +4,10 @@
 //! ROADMAP item 2 ("Autotuning-as-a-service") needs a tuning cache a
 //! long-running server can trust after crashes, torn writes, and
 //! concurrent writers. This module provides it: a [`TuningStore`]
-//! directory holding one record per `(arch, kernel, n-bucket, dtype)`
-//! key, each record carrying a schema version, the corpus fingerprint
-//! it was swept against, and an Fx checksum of its payload.
+//! directory holding one record per `(arch, workload, n-bucket)` key
+//! (the workload is a typed [`WorkloadKey`] — kind + element dtype),
+//! each record carrying a schema version, the corpus fingerprint it
+//! was swept against, and an Fx checksum of its payload.
 //!
 //! ## Write protocol (crash safety)
 //!
@@ -46,15 +47,20 @@ use std::path::{Path, PathBuf};
 use std::str::FromStr;
 
 use gpu_sim::hash::{fx_hash_bytes, fx_hash_hex};
-use serde::{Serialize, Value};
+use serde::{Deserialize as _, Serialize, Value};
 use tangram_passes::planner::CodeVersion;
+use tangram_passes::workload::WorkloadKey;
 
 use crate::evaluate::coarsen_options;
 use crate::tuner::BLOCK_SIZES;
 
 /// On-disk record layout version. Bump on any incompatible change to
 /// the record shape; readers quarantine records from other schemas.
-pub const STORE_SCHEMA: u64 = 1;
+///
+/// v2 replaced the stringly `op`/`dtype` payload fields with one
+/// typed `workload` field ([`WorkloadKey`] id string); v1 records are
+/// quarantined on sight — an honest miss, never a misread.
+pub const STORE_SCHEMA: u64 = 2;
 
 /// How a session uses its tuning store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,17 +101,15 @@ impl FromStr for CacheMode {
 }
 
 /// The key a record is stored under: one winner per architecture,
-/// kernel (reduction operator), element dtype, and array-size bucket
-/// (winners change with order of magnitude, not per element — the
-/// same bucketing [`crate::Reducer`] uses).
+/// typed workload, and array-size bucket (winners change with order
+/// of magnitude, not per element — the same bucketing
+/// [`crate::Reducer`] uses).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StoreKey {
     /// Architecture identifier (`kepler`/`maxwell`/`pascal`).
     pub arch: String,
-    /// Kernel/operator identifier (`sum` today).
-    pub op: String,
-    /// Element dtype (`f32` today).
-    pub dtype: String,
+    /// What the record tunes: kind + element dtype.
+    pub workload: WorkloadKey,
     /// Size bucket: `64 - leading_zeros(n)`.
     pub bucket: u32,
 }
@@ -114,22 +118,24 @@ impl StoreKey {
     /// The key of a default (`sum` over `f32`) sweep on `arch` at
     /// size `n`.
     pub fn for_sweep(arch: &str, n: u64) -> Self {
-        StoreKey {
-            arch: arch.to_string(),
-            op: "sum".to_string(),
-            dtype: "f32".to_string(),
-            bucket: bucket_of(n),
-        }
+        Self::for_workload(arch, WorkloadKey::sum(), n)
     }
 
-    /// The record's file name inside the store directory.
+    /// The key of a sweep of `workload` on `arch` at size `n`.
+    pub fn for_workload(arch: &str, workload: WorkloadKey, n: u64) -> Self {
+        StoreKey { arch: arch.to_string(), workload, bucket: bucket_of(n) }
+    }
+
+    /// The record's file name inside the store directory
+    /// (`maxwell-sum-f32-b17.json` — the workload id embeds the
+    /// dtype, so v1 file names are unchanged for reductions).
     pub fn file_name(&self) -> String {
-        format!("{}-{}-{}-b{}.json", self.arch, self.op, self.dtype, self.bucket)
+        format!("{}-{}-b{}.json", self.arch, self.workload.id(), self.bucket)
     }
 
     /// Compact display form for logs (`maxwell/sum/f32/b17`).
     pub fn label(&self) -> String {
-        format!("{}/{}/{}/b{}", self.arch, self.op, self.dtype, self.bucket)
+        format!("{}/{}/b{}", self.arch, self.workload.label(), self.bucket)
     }
 }
 
@@ -172,8 +178,7 @@ impl StoreRecord {
     fn payload_value(&self) -> Value {
         Value::Map(vec![
             ("arch".to_string(), self.key.arch.to_value()),
-            ("op".to_string(), self.key.op.to_value()),
-            ("dtype".to_string(), self.key.dtype.to_value()),
+            ("workload".to_string(), self.key.workload.to_value()),
             ("bucket".to_string(), u64::from(self.key.bucket).to_value()),
             ("n".to_string(), self.n.to_value()),
             ("version".to_string(), self.version.to_value()),
@@ -200,11 +205,16 @@ impl StoreRecord {
         let narrow = |k: &str, v: u64| -> Result<u32, String> {
             u32::try_from(v).map_err(|_| format!("payload field `{k}` out of range"))
         };
+        let workload = payload
+            .get("workload")
+            .ok_or_else(|| "payload field `workload` missing".to_string())
+            .and_then(|v| {
+                WorkloadKey::deserialize(v).map_err(|e| format!("unknown workload: {e}"))
+            })?;
         Ok(StoreRecord {
             key: StoreKey {
                 arch: s("arch")?,
-                op: s("op")?,
-                dtype: s("dtype")?,
+                workload,
                 bucket: narrow("bucket", u("bucket")?)?,
             },
             n: u("n")?,
@@ -454,7 +464,7 @@ impl TuningStore {
     }
 
     /// The record *nearest* to `key` in bucket space: same
-    /// architecture, operator, and dtype, minimal `|bucket − key.bucket|`
+    /// architecture and workload, minimal `|bucket − key.bucket|`
     /// (ties break toward the smaller bucket — a winner tuned on the
     /// smaller size is the more conservative seed). Includes the exact
     /// bucket itself, which matters when the bucket's record was swept
@@ -475,7 +485,7 @@ impl TuningStore {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             let Some(stem) = name.strip_suffix(".json") else { continue };
-            let prefix = format!("{}-{}-{}-b", key.arch, key.op, key.dtype);
+            let prefix = format!("{}-{}-b", key.arch, key.workload.id());
             let Some(tail) = stem.strip_prefix(prefix.as_str()) else { continue };
             if let Ok(bucket) = tail.parse::<u32>() {
                 buckets.push(bucket);
@@ -698,6 +708,74 @@ mod tests {
         let key = StoreKey::for_sweep("pascal", 4 << 20);
         assert_eq!(key.file_name(), "pascal-sum-f32-b23.json");
         assert_eq!(key.label(), "pascal/sum/f32/b23");
+    }
+
+    #[test]
+    fn typed_keys_name_files_per_workload() {
+        let am = StoreKey::for_workload("maxwell", WorkloadKey::argmax(), 1 << 16);
+        assert_eq!(am.file_name(), "maxwell-argmax-f32-b17.json");
+        assert_eq!(am.label(), "maxwell/argmax/f32/b17");
+        let h = StoreKey::for_workload("kepler", WorkloadKey::histogram(64), 1 << 16);
+        assert_eq!(h.file_name(), "kepler-hist64-f32-b17.json");
+    }
+
+    #[test]
+    fn workload_records_round_trip_exactly() {
+        let dir = tmpdir("wl-roundtrip");
+        let store = TuningStore::open(&dir, 7).unwrap();
+        for workload in [WorkloadKey::argmax(), WorkloadKey::argmin(), WorkloadKey::histogram(16)]
+        {
+            let mut rec = record();
+            rec.key = StoreKey::for_workload("maxwell", workload, 65_536);
+            rec.version = "DT / SH".to_string();
+            assert_eq!(store.load(&rec.key), Lookup::Miss);
+            store.save(&rec).unwrap();
+            match store.load(&rec.key) {
+                Lookup::Hit(got) => assert_eq!(got, rec),
+                other => panic!("expected hit for {}, got {other:?}", workload.id()),
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_workload_record_is_quarantined_not_a_panic() {
+        let dir = tmpdir("wl-unknown");
+        let store = TuningStore::open(&dir, 7).unwrap();
+        // Forge an internally consistent v2 record (valid crc, schema,
+        // corpus) whose workload id no reader version understands.
+        let payload = Value::Map(vec![
+            ("arch".to_string(), "maxwell".to_value()),
+            ("workload".to_string(), Value::Str("warp9-f32".to_string())),
+            ("bucket".to_string(), 17u64.to_value()),
+            ("n".to_string(), 65_536u64.to_value()),
+            ("version".to_string(), "DT / AG".to_value()),
+            ("block_size".to_string(), 256u64.to_value()),
+            ("coarsen".to_string(), 4u64.to_value()),
+            ("time_ns_bits".to_string(), 1u64.to_value()),
+        ]);
+        let crc = checksum_of(&payload).unwrap();
+        let root = Value::Map(vec![
+            ("schema".to_string(), STORE_SCHEMA.to_value()),
+            ("corpus".to_string(), format!("{:016x}", 7u64).to_value()),
+            ("crc".to_string(), crc.to_value()),
+            ("payload".to_string(), payload),
+        ]);
+        let path = dir.join("maxwell-warp9-f32-b17.json");
+        fs::write(&path, serde_json::to_string(&root).unwrap()).unwrap();
+        let probe =
+            StoreKey { arch: "maxwell".to_string(), workload: WorkloadKey::sum(), bucket: 17 };
+        // Probing any key never trips over the alien file; probing the
+        // alien file's own name quarantines it.
+        assert_eq!(store.load(&probe), Lookup::Miss);
+        let text = fs::read_to_string(&path).unwrap();
+        match store.decode(&text) {
+            Err(Corrupt::Quarantine(reason)) => {
+                assert!(reason.contains("unknown workload"), "{reason}");
+            }
+            _ => panic!("unknown workload must decode as quarantine-worthy"),
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -15,12 +15,13 @@ use std::sync::Arc;
 use gpu_sim::exec::BlockSelection;
 use gpu_sim::profile::{LaunchProfile, Trace};
 use gpu_sim::{ArchConfig, Device, DevicePtr, SimError};
-use tangram_codegen::{synthesize_cached, SynthesizedVersion, Tuning};
+use tangram_codegen::{synthesize_cached, SynthesizedVersion, SynthesizedWorkload, Tuning};
 use tangram_passes::planner::CodeVersion;
 use tangram_passes::specialize::ReduceOp;
 
 use crate::evaluate::coarsen_options;
-use crate::runner::{run_reduction, upload};
+use crate::runner::{run_reduction, run_workload, upload};
+use crate::workload::WorkloadValue;
 
 /// Block sizes the tuner sweeps.
 pub const BLOCK_SIZES: [u32; 5] = [32, 64, 128, 256, 512];
@@ -54,6 +55,12 @@ pub struct BenchContext {
     /// (partials, outputs) reuses one arena region instead of growing
     /// the arena by the whole partials footprint per measured job.
     mark: u64,
+    /// Tag of the input corpus currently uploaded into `input` (0 =
+    /// uninitialized). Reduction timing is data-independent so the
+    /// sweep never uploads; workload sweeps whose timing depends on
+    /// the data (histogram atomic contention) upload a deterministic
+    /// corpus once per context via [`BenchContext::ensure_input`].
+    input_tag: u64,
 }
 
 impl BenchContext {
@@ -66,7 +73,28 @@ impl BenchContext {
         let mut dev = Device::new(arch.clone());
         let input = dev.alloc_f32(n)?;
         let mark = dev.alloc_mark();
-        Ok(BenchContext { dev, input, n, mark })
+        Ok(BenchContext { dev, input, n, mark, input_tag: 0 })
+    }
+
+    /// Upload the corpus `make(n)` into the context's input buffer if
+    /// the buffer does not already hold the corpus tagged `tag`
+    /// (`tag` must be non-zero). Cheap to call before every
+    /// measurement: after the first upload it is a single compare.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn ensure_input(
+        &mut self,
+        tag: u64,
+        make: impl FnOnce(u64) -> Vec<f32>,
+    ) -> Result<(), SimError> {
+        debug_assert_ne!(tag, 0, "tag 0 means uninitialized");
+        if self.input_tag != tag {
+            self.dev.upload_f32(self.input, &make(self.n))?;
+            self.input_tag = tag;
+        }
+        Ok(())
     }
 
     /// The block-selection mode used for a launch plan of `grid`
@@ -172,6 +200,66 @@ impl BenchContext {
         self.dev.free_to(self.mark);
         run_reduction(&mut self.dev, sv, self.input, self.n, selection)?;
         Ok(self.dev.elapsed_ns())
+    }
+
+    /// Measure one synthesized non-reduce workload (modelled ns).
+    /// Callers whose workload timing is data-dependent (histograms)
+    /// must [`BenchContext::ensure_input`] the corpus first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure_workload(&mut self, sw: &SynthesizedWorkload) -> Result<f64, SimError> {
+        let plan = sw.plan(self.n);
+        self.measure_workload_with(sw, Self::selection_for(plan.grid))
+    }
+
+    /// Measure one synthesized workload at screening fidelity
+    /// (modelled ns) — the workload analogue of
+    /// [`BenchContext::measure_screen`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure_workload_screen(&mut self, sw: &SynthesizedWorkload) -> Result<f64, SimError> {
+        let plan = sw.plan(self.n);
+        self.measure_workload_with(sw, Self::screen_selection_for(plan.grid))
+    }
+
+    /// Measure one synthesized workload under an explicit block
+    /// selection (modelled ns).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn measure_workload_with(
+        &mut self,
+        sw: &SynthesizedWorkload,
+        selection: BlockSelection,
+    ) -> Result<f64, SimError> {
+        self.dev.reset_clock();
+        self.dev.clear_launches();
+        self.dev.free_to(self.mark);
+        run_workload(&mut self.dev, sw, self.input, self.n, selection)?;
+        Ok(self.dev.elapsed_ns())
+    }
+
+    /// Run one synthesized workload exactly (every block executes) and
+    /// return its output value along with the modelled time. Used for
+    /// oracle validation of sweep winners.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_workload_exact(
+        &mut self,
+        sw: &SynthesizedWorkload,
+    ) -> Result<(WorkloadValue, f64), SimError> {
+        self.dev.reset_clock();
+        self.dev.clear_launches();
+        self.dev.free_to(self.mark);
+        let value = run_workload(&mut self.dev, sw, self.input, self.n, BlockSelection::All)?;
+        Ok((value, self.dev.elapsed_ns()))
     }
 }
 

@@ -1,0 +1,595 @@
+//! First-class workloads for the tuning API (`tangram::workload`).
+//!
+//! The original public surface was reduction-shaped: `Reducer::sum`
+//! and friends, a `Session` that swept `CodeVersion`s, a store keyed
+//! by `(op, dtype)` strings. This module makes the *workload* the
+//! unit the tuner speaks: a [`Workload`] names what is computed
+//! ([`WorkloadKey`]: plain reductions, argmin/argmax with index
+//! payloads, bin-indexed histograms) over how many elements, supplies
+//! the deterministic oracle corpus ([`Workload::oracle_input`]) and
+//! the CPU-reference expected value ([`Workload::expected`]), and
+//! [`crate::Session::run`] tunes it end to end.
+//!
+//! Non-reduce workloads are swept over the six [`WlVariant`]s (three
+//! pass families × two grid distributions) crossed with the same
+//! block-size/coarsening axes as reductions, reusing the evaluation
+//! engine's fan-out, halving masks, and context pool. Winners are
+//! validated against the CPU reference *exactly* (`u64` equality for
+//! packed arg-pairs, per-bin equality for histograms) before they are
+//! reported or persisted.
+
+use std::str::FromStr;
+use std::time::Instant;
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::hash::fx_hash_bytes;
+use gpu_sim::{ArchConfig, Device, ExecMode, RaceReport, SimError};
+use serde::Serialize;
+use tangram_codegen::{synthesize_workload_cached, Tuning};
+use tangram_passes::specialize::ReduceOp;
+use tangram_passes::workload::enumerate_workload_variants;
+pub use tangram_passes::workload::{WlVariant, WorkloadKey, WorkloadKind};
+
+use crate::api::CandidateRaces;
+use crate::evaluate::{
+    run_jobs_with, survivor_mask, ContextPool, EvalOptions, RungStats, SweepMode,
+};
+use crate::metrics::{SanitizeSummary, StoreSummary};
+use crate::runner::{run_workload, upload};
+use crate::store::STORE_SCHEMA;
+use crate::tuner::{BenchContext, BLOCK_SIZES, COARSEN};
+
+/// A tuning problem: what to compute ([`WorkloadKey`]) over how many
+/// elements. The single argument of [`crate::Session::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Workload {
+    /// What the workload computes (kind + element dtype).
+    pub key: WorkloadKey,
+    /// Array size in elements.
+    pub n: u64,
+}
+
+impl Workload {
+    /// A workload for `key` over `n` elements.
+    pub fn new(key: WorkloadKey, n: u64) -> Self {
+        Workload { key, n }
+    }
+
+    /// A `sum-f32` reduction over `n` elements (the classic sweep).
+    pub fn sum(n: u64) -> Self {
+        Workload::new(WorkloadKey::sum(), n)
+    }
+
+    /// A `max-f32` reduction over `n` elements.
+    pub fn max(n: u64) -> Self {
+        Workload::new(WorkloadKey::reduce(ReduceOp::Max), n)
+    }
+
+    /// A `min-f32` reduction over `n` elements.
+    pub fn min(n: u64) -> Self {
+        Workload::new(WorkloadKey::reduce(ReduceOp::Min), n)
+    }
+
+    /// An `argmax-f32` workload over `n` elements.
+    pub fn argmax(n: u64) -> Self {
+        Workload::new(WorkloadKey::argmax(), n)
+    }
+
+    /// An `argmin-f32` workload over `n` elements.
+    pub fn argmin(n: u64) -> Self {
+        Workload::new(WorkloadKey::argmin(), n)
+    }
+
+    /// A `hist<bins>-f32` workload over `n` elements.
+    pub fn histogram(bins: u32, n: u64) -> Self {
+        Workload::new(WorkloadKey::histogram(bins), n)
+    }
+
+    /// The deterministic oracle corpus for this workload's size:
+    /// [`workload_input`].
+    pub fn oracle_input(&self) -> Vec<f32> {
+        workload_input(self.n)
+    }
+
+    /// The CPU-reference expected value of this workload over `data`:
+    /// [`expected_value`].
+    pub fn expected(&self, data: &[f32]) -> WorkloadValue {
+        expected_value(self.key, data)
+    }
+}
+
+impl FromStr for Workload {
+    type Err = String;
+
+    /// Parse `"<workload>@<n>"` (e.g. `argmax@65536`); a bare key
+    /// parses with `n = 0` (callers supply the size).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('@') {
+            Some((key, n)) => Ok(Workload {
+                key: key.parse()?,
+                n: n.parse().map_err(|_| format!("bad element count `{n}`"))?,
+            }),
+            None => Ok(Workload { key: s.parse()?, n: 0 }),
+        }
+    }
+}
+
+/// The deterministic workload corpus at size `n`: the resilience
+/// oracle's `(i % 17) - 3` ramp with planted extremes for `n >= 8` —
+/// a duplicated `+1e30` pair starting at `n/3` (so argmax exercises
+/// the smallest-index tie-break) and a duplicated `-1e30` pair
+/// starting at `2n/3` (likewise for argmin). NaN-free by
+/// construction, and safely binnable: the simulator's `cvt` f32→i32
+/// matches [`cpu_ref::histogram_bin`] bit-for-bit even at `±1e30`.
+pub fn workload_input(n: u64) -> Vec<f32> {
+    let mut data: Vec<f32> = (0..n).map(|i| ((i % 17) as f32) - 3.0).collect();
+    if n >= 8 {
+        let hi = (n / 3) as usize;
+        data[hi] = 1e30;
+        data[hi + 1] = 1e30;
+        let lo = (2 * n / 3) as usize;
+        data[lo] = -1e30;
+        data[lo + 1] = -1e30;
+    }
+    data
+}
+
+/// Tag of [`workload_input`] in a [`BenchContext`]'s input buffer
+/// (see [`BenchContext::ensure_input`]). Histogram timing depends on
+/// atomic contention, which depends on the data — every measurement
+/// of a workload sweep runs over this one corpus so modelled times
+/// are deterministic for any thread count.
+pub(crate) const WORKLOAD_INPUT_TAG: u64 = 0x774c_434f_5250_5553;
+
+/// The output of one workload run, in the exact representation the
+/// oracle compares: reductions produce a scalar, arg-reductions the
+/// packed `(key, complemented index)` pair, histograms one `u32`
+/// counter per bin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadValue {
+    /// A plain reduction's scalar result.
+    Scalar(f32),
+    /// An arg-reduction's packed result (monotone key in the high 32
+    /// bits, complemented index in the low 32).
+    Packed(u64),
+    /// A histogram's per-bin counters.
+    Bins(Vec<u32>),
+}
+
+impl WorkloadValue {
+    /// The winning index of a packed arg-reduction result. `None` for
+    /// the other shapes, and for the empty-input identity (which
+    /// unpacks to the `u32::MAX` sentinel: no element won).
+    pub fn arg_index(&self) -> Option<u32> {
+        match self {
+            WorkloadValue::Packed(p) => {
+                Some(cpu_ref::unpack_arg_index(*p)).filter(|&i| i != u32::MAX)
+            }
+            _ => None,
+        }
+    }
+
+    /// One-line display for logs.
+    pub fn summary(&self) -> String {
+        match self {
+            WorkloadValue::Scalar(v) => format!("scalar={v}"),
+            WorkloadValue::Packed(p) => {
+                format!("index={} packed={p:#018x}", cpu_ref::unpack_arg_index(*p))
+            }
+            WorkloadValue::Bins(b) => {
+                format!("bins={} total={}", b.len(), b.iter().map(|&c| u64::from(c)).sum::<u64>())
+            }
+        }
+    }
+}
+
+impl Serialize for WorkloadValue {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            WorkloadValue::Scalar(v) => serde::Value::Map(vec![(
+                "scalar".to_string(),
+                serde::Value::Float(f64::from(*v)),
+            )]),
+            WorkloadValue::Packed(p) => serde::Value::Map(vec![
+                ("packed".to_string(), p.to_value()),
+                ("index".to_string(), cpu_ref::unpack_arg_index(*p).to_value()),
+            ]),
+            WorkloadValue::Bins(b) => {
+                serde::Value::Map(vec![("bins".to_string(), b.to_value())])
+            }
+        }
+    }
+}
+
+/// The CPU-reference expected value of `key` over `data` — the oracle
+/// every sweep winner is validated against. Arg-reductions and
+/// histograms are exact (integer results); `sum` folds in `f64` and
+/// rounds once at the end, so callers comparing it must use a
+/// tolerance (the resilience oracle does), while `max`/`min` are
+/// exact folds.
+pub fn expected_value(key: WorkloadKey, data: &[f32]) -> WorkloadValue {
+    match key.kind {
+        WorkloadKind::Reduce(ReduceOp::Sum) => {
+            WorkloadValue::Scalar(cpu_ref::parallel_sum(data, 1) as f32)
+        }
+        WorkloadKind::Reduce(ReduceOp::Max) => {
+            WorkloadValue::Scalar(data.iter().copied().fold(f32::NEG_INFINITY, f32::max))
+        }
+        WorkloadKind::Reduce(ReduceOp::Min) => {
+            WorkloadValue::Scalar(data.iter().copied().fold(f32::INFINITY, f32::min))
+        }
+        WorkloadKind::ArgMax => WorkloadValue::Packed(cpu_ref::argmax_packed(data)),
+        WorkloadKind::ArgMin => WorkloadValue::Packed(cpu_ref::argmin_packed(data)),
+        WorkloadKind::Histogram { bins } => {
+            WorkloadValue::Bins(cpu_ref::histogram_ref(data, bins))
+        }
+    }
+}
+
+/// Fingerprint of the non-reduce variant corpus (the workload
+/// analogue of [`crate::store::corpus_fingerprint`]): the store
+/// schema, the tuning axes, and every variant id in canonical order.
+/// A persisted workload winner swept against a different variant
+/// corpus must not warm-start a sweep over this one.
+pub fn workload_corpus_fingerprint() -> u64 {
+    let mut desc = format!("schema={STORE_SCHEMA};blocks={BLOCK_SIZES:?};coarsen={COARSEN:?};");
+    for v in enumerate_workload_variants() {
+        desc.push_str(&v.id());
+        desc.push('|');
+    }
+    fx_hash_bytes(desc.as_bytes())
+}
+
+/// One completed workload measurement (the [`crate::evaluate::Measurement`]
+/// analogue for variant sweeps). Winners re-synthesize from
+/// `(key, variant, tuning)` through the process-wide cache, so the
+/// measurement does not carry the kernel.
+#[derive(Debug, Clone)]
+pub(crate) struct WlMeasurement {
+    pub(crate) variant: WlVariant,
+    pub(crate) tuning: Tuning,
+    pub(crate) time_ns: f64,
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct WlJob {
+    pub(crate) candidate: usize,
+    pub(crate) variant: WlVariant,
+    pub(crate) tuning: Tuning,
+}
+
+/// The canonical job enumeration of a workload sweep: every variant
+/// (family-major) crossed with every block size and coarsening
+/// factor. Variant index is the "candidate" the halving masks group
+/// by.
+pub(crate) fn wl_jobs_for(variants: &[WlVariant]) -> Vec<WlJob> {
+    let mut jobs = Vec::new();
+    for (candidate, &variant) in variants.iter().enumerate() {
+        for &block_size in &BLOCK_SIZES {
+            for &coarsen in &COARSEN {
+                jobs.push(WlJob { candidate, variant, tuning: Tuning { block_size, coarsen } });
+            }
+        }
+    }
+    jobs
+}
+
+/// Measure one workload job; `Ok(None)` marks an infeasible
+/// combination (synthesis failure or a launch exceeding hardware
+/// limits), mirroring [`crate::evaluate::measure_job`].
+fn measure_wl_job(
+    ctx: &mut BenchContext,
+    key: WorkloadKey,
+    job: WlJob,
+    screen: bool,
+) -> Result<Option<WlMeasurement>, SimError> {
+    let Ok(sw) = synthesize_workload_cached(key, job.variant, job.tuning) else {
+        return Ok(None);
+    };
+    ctx.ensure_input(WORKLOAD_INPUT_TAG, workload_input)?;
+    let measured =
+        if screen { ctx.measure_workload_screen(&sw) } else { ctx.measure_workload(&sw) };
+    match measured {
+        Ok(time_ns) => {
+            Ok(Some(WlMeasurement { variant: job.variant, tuning: job.tuning, time_ns }))
+        }
+        Err(SimError::InvalidLaunch(_)) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Sweep every tuning of `variants` for `key` over the pool,
+/// exhaustively or with the same screen/survivor halving the
+/// reduction sweep uses. The returned vector has one slot per job in
+/// canonical order; `None` marks infeasible (and, under halving,
+/// pruned) jobs. Slot layout and values are identical for any thread
+/// count.
+pub(crate) fn evaluate_workload(
+    pool: &ContextPool,
+    key: WorkloadKey,
+    variants: &[WlVariant],
+    opts: &EvalOptions,
+) -> Result<(Vec<Option<WlMeasurement>>, Vec<RungStats>), SimError> {
+    let jobs = wl_jobs_for(variants);
+    let threads = opts.threads;
+    match opts.sweep {
+        SweepMode::Exhaustive => {
+            let t0 = Instant::now();
+            let results = run_jobs_with(pool, &jobs, threads, &|ctx, job| {
+                measure_wl_job(ctx, key, job, false)
+            })?;
+            let stats = RungStats::tally("full", jobs.len(), &results, t0);
+            Ok((results, vec![stats]))
+        }
+        SweepMode::Halving => {
+            let t0 = Instant::now();
+            let screen = run_jobs_with(pool, &jobs, threads, &|ctx, job| {
+                measure_wl_job(ctx, key, job, true)
+            })?;
+            let screen_stats = RungStats::tally("screen", jobs.len(), &screen, t0);
+            let times: Vec<Option<f64>> =
+                screen.iter().map(|m| m.as_ref().map(|m| m.time_ns)).collect();
+            let cand_of: Vec<usize> = jobs.iter().map(|j| j.candidate).collect();
+            let keep = survivor_mask(&cand_of, &times);
+            let surviving: Vec<usize> = (0..jobs.len()).filter(|&i| keep[i]).collect();
+
+            let t1 = Instant::now();
+            let subset: Vec<WlJob> = surviving.iter().map(|&i| jobs[i]).collect();
+            let full = run_jobs_with(pool, &subset, threads, &|ctx, job| {
+                measure_wl_job(ctx, key, job, false)
+            })?;
+            let mut out: Vec<Option<WlMeasurement>> = Vec::new();
+            out.resize_with(jobs.len(), || None);
+            let mut measured = 0;
+            for (&i, m) in surviving.iter().zip(full) {
+                measured += usize::from(m.is_some());
+                out[i] = m;
+            }
+            let survivor_stats = RungStats {
+                rung: "survivor".to_string(),
+                jobs: surviving.len(),
+                measured,
+                wall_ms: t1.elapsed().as_secs_f64() * 1e3,
+            };
+            Ok((out, vec![screen_stats, survivor_stats]))
+        }
+    }
+}
+
+/// The fastest full-fidelity workload measurement (strictly `<`, ties
+/// to the earlier canonical slot — same rule as
+/// [`crate::evaluate::best_measurement`]).
+pub(crate) fn best_wl_measurement(results: &[Option<WlMeasurement>]) -> Option<&WlMeasurement> {
+    let mut best: Option<&WlMeasurement> = None;
+    for m in results.iter().flatten() {
+        if best.is_none_or(|b| m.time_ns < b.time_ns) {
+            best = Some(m);
+        }
+    }
+    best
+}
+
+/// Run one variant of `key` under the race sanitizer at its first
+/// feasible tuning over the oracle corpus (histogram hazards are
+/// data-dependent, so the screen runs the same corpus the sweep
+/// times). Mirrors the reduction sweep's candidate screen.
+pub(crate) fn sanitize_workload_variant(
+    arch: &ArchConfig,
+    n: u64,
+    key: WorkloadKey,
+    candidate: usize,
+    variant: WlVariant,
+) -> Result<Option<CandidateRaces>, SimError> {
+    for &block_size in &BLOCK_SIZES {
+        for &coarsen in &COARSEN {
+            let tuning = Tuning { block_size, coarsen };
+            let Ok(sw) = synthesize_workload_cached(key, variant, tuning) else { continue };
+            let mut dev = Device::new(arch.clone());
+            dev.set_sanitizing(true);
+            let input = upload(&mut dev, &workload_input(n))?;
+            match run_workload(&mut dev, &sw, input, n, BlockSelection::All) {
+                Ok(_) => {
+                    let reports: Vec<RaceReport> =
+                        dev.launches().iter().filter_map(|l| l.races.clone()).collect();
+                    return Ok(Some(CandidateRaces {
+                        candidate,
+                        version: variant.id(),
+                        block_size,
+                        coarsen,
+                        reports,
+                    }));
+                }
+                Err(SimError::InvalidLaunch(_)) => continue,
+                Err(_) => return Ok(None),
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Outcome of validating one variant tuning against the CPU
+/// reference.
+#[derive(Debug, Clone)]
+pub(crate) struct OracleCheck {
+    /// The device's output.
+    pub(crate) got: WorkloadValue,
+    /// The CPU reference's output.
+    pub(crate) want: WorkloadValue,
+}
+
+impl OracleCheck {
+    pub(crate) fn ok(&self) -> bool {
+        self.got == self.want
+    }
+}
+
+/// Run `(variant, tuning)` of `key` exactly over the oracle corpus at
+/// `on` elements under `interp`, and compare to the CPU reference.
+/// The comparison is exact: packed `u64` equality for arg-reductions,
+/// per-bin `u32` equality for histograms.
+pub(crate) fn validate_workload_winner(
+    arch: &ArchConfig,
+    interp: ExecMode,
+    key: WorkloadKey,
+    variant: WlVariant,
+    tuning: Tuning,
+    on: u64,
+) -> Result<OracleCheck, SimError> {
+    let sw = synthesize_workload_cached(key, variant, tuning)
+        .map_err(|e| SimError::InvalidLaunch(format!("winner failed to re-synthesize: {e}")))?;
+    let data = workload_input(on);
+    let mut dev = Device::new(arch.clone());
+    dev.set_exec_mode(interp);
+    let input = upload(&mut dev, &data)?;
+    let got = run_workload(&mut dev, &sw, input, on, BlockSelection::All)?;
+    Ok(OracleCheck { got, want: expected_value(key, &data) })
+}
+
+/// The winning row of a workload sweep — the [`crate::SelectionRow`]
+/// analogue, keyed by the typed workload and naming the winning
+/// variant by its compact id (`DT-AG`).
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadRow {
+    /// The workload that was tuned.
+    pub workload: WorkloadKey,
+    /// Array size (elements).
+    pub n: u64,
+    /// Winning variant id (see [`WlVariant::id`]).
+    pub variant: String,
+    /// Winning block size.
+    pub block_size: u32,
+    /// Winning coarsening factor.
+    pub coarsen: u32,
+    /// Modelled time of the winner (ns).
+    pub time_ns: f64,
+}
+
+/// Sweep-level observability for one workload sweep (the
+/// [`crate::SweepMetrics`] analogue). Every counter is bit-identical
+/// for any thread count; only `wall_ms` is host wall-clock.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadMetrics {
+    /// Architecture identifier.
+    pub arch: String,
+    /// Array size (elements).
+    pub n: u64,
+    /// The workload that was tuned.
+    pub workload: WorkloadKey,
+    /// Sweep strategy (`exhaustive`/`halving`).
+    pub mode: String,
+    /// Interpreter hot path (`reference`/`uop`/`compiled`).
+    pub interp: String,
+    /// Evaluation worker threads.
+    pub threads: usize,
+    /// Per-rung job counts and wall-clock timings.
+    pub rungs: Vec<RungStats>,
+    /// Jobs in the canonical enumeration.
+    pub total_jobs: usize,
+    /// Jobs measured at full fidelity.
+    pub measured: usize,
+    /// Jobs pruned by the halving screen (0 for exhaustive sweeps).
+    pub pruned: usize,
+    /// Infeasible jobs (synthesis failures and launches over limits).
+    pub infeasible: usize,
+    /// Race-sanitizer screen totals (present when the sweep ran
+    /// sanitized).
+    pub sanitize: Option<SanitizeSummary>,
+    /// Persistent tuning-store outcome (present when the session has
+    /// a store configured).
+    pub store: Option<StoreSummary>,
+    /// Wall-clock of the whole sweep in milliseconds
+    /// (nondeterministic; excluded from determinism checks).
+    pub wall_ms: f64,
+}
+
+/// Everything [`crate::Session::run`] reports for a non-reduce
+/// workload sweep.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// The winning row.
+    pub row: WorkloadRow,
+    /// The winner's output over the oracle corpus at
+    /// [`WorkloadReport::oracle_n`] elements, exactly equal to the
+    /// CPU reference (the sweep fails otherwise).
+    pub value: WorkloadValue,
+    /// Size the oracle validation ran at (the sweep size capped so
+    /// every block executes functionally).
+    pub oracle_n: u64,
+    /// Per-variant race-sanitizer outcomes (present when the sweep
+    /// ran sanitized).
+    pub races: Option<Vec<CandidateRaces>>,
+    /// Sweep-level counters.
+    pub metrics: WorkloadMetrics,
+}
+
+impl WorkloadReport {
+    /// The canonical winner tokens shared by the `sweep` bin and the
+    /// tuning daemon: `winner=<variant> block=<b> coarsen=<c>
+    /// time_ns=<t>`. Byte-identical between both by construction.
+    pub fn winner_line(&self) -> String {
+        format!(
+            "winner={} block={} coarsen={} time_ns={}",
+            self.row.variant, self.row.block_size, self.row.coarsen, self.row.time_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_plants_both_extremes() {
+        for n in [8u64, 64, 1000, 65_536] {
+            let data = workload_input(n);
+            let hi = (n / 3) as usize;
+            let lo = (2 * n / 3) as usize;
+            assert_eq!(data[hi], 1e30);
+            assert_eq!(data[hi + 1], 1e30);
+            assert_eq!(data[lo], -1e30);
+            assert_eq!(data[lo + 1], -1e30);
+            // The tie-break: argmax must report the *first* of the
+            // duplicated maxima, argmin the first of the minima.
+            let argmax = expected_value(WorkloadKey::argmax(), &data);
+            assert_eq!(argmax.arg_index(), Some(hi as u32), "n={n}");
+            let argmin = expected_value(WorkloadKey::argmin(), &data);
+            assert_eq!(argmin.arg_index(), Some(lo as u32), "n={n}");
+        }
+        // Tiny corpora have no planted extremes but still an oracle.
+        let tiny = workload_input(4);
+        assert_eq!(expected_value(WorkloadKey::argmax(), &tiny).arg_index(), Some(3));
+    }
+
+    #[test]
+    fn histogram_oracle_counts_every_element() {
+        let data = workload_input(4096);
+        let WorkloadValue::Bins(bins) = expected_value(WorkloadKey::histogram(64), &data) else {
+            panic!("histogram oracle must produce bins");
+        };
+        assert_eq!(bins.len(), 64);
+        assert_eq!(bins.iter().map(|&c| u64::from(c)).sum::<u64>(), 4096);
+    }
+
+    #[test]
+    fn job_enumeration_is_variant_major() {
+        let variants = enumerate_workload_variants();
+        let jobs = wl_jobs_for(&variants);
+        assert_eq!(jobs.len(), variants.len() * BLOCK_SIZES.len() * COARSEN.len());
+        assert!(jobs.windows(2).all(|w| w[0].candidate <= w[1].candidate));
+    }
+
+    #[test]
+    fn workload_parses_with_and_without_size() {
+        let w: Workload = "argmax@65536".parse().unwrap();
+        assert_eq!(w, Workload::argmax(65_536));
+        let w: Workload = "hist128".parse().unwrap();
+        assert_eq!(w.key, WorkloadKey::histogram(128));
+        assert!("warp9@12".parse::<Workload>().is_err());
+        assert!("argmax@lots".parse::<Workload>().is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic() {
+        assert_eq!(workload_corpus_fingerprint(), workload_corpus_fingerprint());
+    }
+}

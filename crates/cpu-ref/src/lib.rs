@@ -62,6 +62,74 @@ pub fn kahan_sum(data: &[f32]) -> f64 {
     sum
 }
 
+/// Pack an argmin/argmax candidate the way the GPU kernels do: a
+/// monotone `u32` key of the `f32` value in the high half, the
+/// bit-complemented index in the low half.
+///
+/// Taking the `u64`-maximum of packed candidates is then exactly
+/// "larger key wins; on equal keys the *smaller* index wins" — the
+/// tie-break contract of the argmin/argmax workloads. `for_max`
+/// selects the argmax key order; `false` flips it for argmin.
+pub fn pack_arg_candidate(value: f32, index: u32, for_max: bool) -> u64 {
+    let bits = value.to_bits();
+    // Monotone total-order key: flip all bits of negatives, flip only
+    // the sign of non-negatives (the classic IEEE-754 sortable map).
+    let key = if bits >> 31 == 1 { bits ^ 0xFFFF_FFFF } else { bits ^ 0x8000_0000 };
+    // Argmin wants the smallest value to carry the largest key.
+    let key = if for_max { key } else { !key };
+    (u64::from(key) << 32) | u64::from(index ^ 0xFFFF_FFFF)
+}
+
+/// Decode the index from a packed argmin/argmax result (the low-half
+/// complement of [`pack_arg_candidate`]).
+pub fn unpack_arg_index(packed: u64) -> u32 {
+    (packed as u32) ^ 0xFFFF_FFFF
+}
+
+/// Reference argmax-with-index oracle: the packed candidate the GPU
+/// kernels must produce for `data` (ties resolve to the smallest
+/// index, NaN-free corpus assumed). Returns 0 — the packed identity —
+/// for empty input.
+pub fn argmax_packed(data: &[f32]) -> u64 {
+    arg_extreme_packed(data, true)
+}
+
+/// Reference argmin-with-index oracle (see [`argmax_packed`]).
+pub fn argmin_packed(data: &[f32]) -> u64 {
+    arg_extreme_packed(data, false)
+}
+
+fn arg_extreme_packed(data: &[f32], for_max: bool) -> u64 {
+    data.iter()
+        .enumerate()
+        .map(|(i, &x)| pack_arg_candidate(x, i as u32, for_max))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Map an element to its histogram bin exactly as the GPU kernels do:
+/// truncate toward zero with `cvt.s32.f32` semantics (`f32 as i64`,
+/// saturating at the `i64` range like the simulator), wrap into `u32`,
+/// add 3, and fold modulo `bins`.
+///
+/// The +3 offset keeps the all-zeros bench input out of bin 0 without
+/// changing the distribution shape.
+pub fn histogram_bin(value: f32, bins: u32) -> u32 {
+    let truncated = value as i64; // saturating cast, matches the simulator's cvt
+    (truncated as u32).wrapping_add(3) % bins.max(1)
+}
+
+/// Reference histogram oracle: per-bin `u32` counts of `data` under
+/// [`histogram_bin`].
+pub fn histogram_ref(data: &[f32], bins: u32) -> Vec<u32> {
+    let mut counts = vec![0u32; bins.max(1) as usize];
+    for &x in data {
+        let bin = histogram_bin(x, bins) as usize;
+        counts[bin] = counts[bin].wrapping_add(1);
+    }
+    counts
+}
+
 /// Analytic model of the paper's OpenMP 4.0 baseline on the POWER8+
 /// system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -152,6 +220,56 @@ mod tests {
         data.extend(std::iter::repeat_n(0.01f32, 10_000));
         let k = kahan_sum(&data);
         assert!((k - (1e8 + 100.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn packed_arg_orders_values_then_breaks_ties_low() {
+        // Packed comparison must agree with value comparison across
+        // sign boundaries...
+        let samples = [-1e30f32, -2.5, -0.0, 0.0, 1e-20, 2.5, 1e30];
+        for (i, &a) in samples.iter().enumerate() {
+            for &b in &samples[i + 1..] {
+                assert!(
+                    pack_arg_candidate(a, 0, true) <= pack_arg_candidate(b, 0, true),
+                    "argmax order broken for {a} vs {b}"
+                );
+                assert!(
+                    pack_arg_candidate(a, 0, false) >= pack_arg_candidate(b, 0, false),
+                    "argmin order broken for {a} vs {b}"
+                );
+            }
+        }
+        // ...and on equal values the smaller index must pack larger.
+        for for_max in [true, false] {
+            assert!(
+                pack_arg_candidate(7.0, 3, for_max) > pack_arg_candidate(7.0, 9, for_max)
+            );
+        }
+        assert_eq!(unpack_arg_index(pack_arg_candidate(-3.25, 1234, true)), 1234);
+    }
+
+    #[test]
+    fn arg_oracles_pick_extremes_and_first_ties() {
+        let data = [3.0f32, -7.5, 9.0, 9.0, -7.5, 0.25];
+        assert_eq!(unpack_arg_index(argmax_packed(&data)), 2);
+        assert_eq!(unpack_arg_index(argmin_packed(&data)), 1);
+        assert_eq!(argmax_packed(&[]), 0);
+        assert_eq!(argmin_packed(&[]), 0);
+    }
+
+    #[test]
+    fn histogram_counts_every_element_once() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32) * 0.75 - 200.0).collect();
+        for bins in [2u32, 16, 64] {
+            let counts = histogram_ref(&data, bins);
+            assert_eq!(counts.len(), bins as usize);
+            assert_eq!(counts.iter().map(|&c| u64::from(c)).sum::<u64>(), 1000);
+        }
+        // Negative values truncate toward zero then wrap mod bins —
+        // spot-check the exact bin of a few elements.
+        assert_eq!(histogram_bin(0.0, 64), 3);
+        assert_eq!(histogram_bin(-1.9, 64), 2); // trunc -1 → wrap+3
+        assert_eq!(histogram_bin(61.0, 64), 0);
     }
 
     #[test]

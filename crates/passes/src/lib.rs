@@ -21,7 +21,9 @@
 //! * [`corpus`] — the paper's five canonical `sum` codelets as
 //!   parseable sources;
 //! * [`specialize`] — retargeting the corpus to the other reduction
-//!   operators of the atomic API family (`max`/`min`).
+//!   operators of the atomic API family (`max`/`min`);
+//! * [`workload`] — the typed workload vocabulary (reduce, argmin/
+//!   argmax with index payloads, histogram) the tuner keys on.
 
 #![warn(missing_docs)]
 
@@ -34,6 +36,7 @@ pub mod planner;
 pub mod semck;
 pub mod shuffle;
 pub mod specialize;
+pub mod workload;
 
 pub use atomic_global::AtomicGlobalPass;
 pub use atomic_shared::lower_shared_atomics;
@@ -42,3 +45,6 @@ pub use planner::{CodeVersion, SearchSpaceReport};
 pub use semck::{check_codelet, check_spectrum, Diagnostic, Severity};
 pub use shuffle::ShufflePass;
 pub use specialize::{specialize_codelet, ReduceOp};
+pub use workload::{
+    enumerate_workload_variants, Dtype, PassFamily, WlVariant, WorkloadKey, WorkloadKind,
+};

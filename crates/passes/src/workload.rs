@@ -1,0 +1,443 @@
+//! First-class workload descriptions (ROADMAP item 3).
+//!
+//! The pass pipeline was written against the single-reduction corpus;
+//! this module names the *workloads* the tuner keys on instead of a
+//! bare [`ReduceOp`]: plain reductions, argmin/argmax with index
+//! payloads (a pair-payload reduction exchanged as packed 64-bit lane
+//! values) and bin-indexed histograms (an atomic scatter). Every layer
+//! above — the synthesis cache, the tuning store, the serve wire
+//! protocol, the CLI — identifies a sweep by a [`WorkloadKey`], whose
+//! [`WorkloadKey::id`] string is the one canonical spelling.
+//!
+//! The non-reduce workloads do not go through the AST pass driver;
+//! they are synthesized directly per *pass family*
+//! ([`PassFamily`]) — atomic-global, atomic-shared privatization, and
+//! warp-shuffle — crossed with the planner's two grid distributions,
+//! which is exactly the axis the paper's rewrites explore.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::planner::Dist;
+use crate::specialize::ReduceOp;
+
+/// Element dtype of a workload's input array. The corpus is `f32`
+/// today; the dtype is part of the key so wider elements can land
+/// without another key-schema migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dtype {
+    /// IEEE-754 binary32 elements.
+    #[default]
+    F32,
+}
+
+impl Dtype {
+    /// Canonical identifier (`f32`), the inverse of [`FromStr`].
+    pub fn id(self) -> &'static str {
+        match self {
+            Dtype::F32 => "f32",
+        }
+    }
+
+    /// Element size in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            Dtype::F32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for Dtype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+impl FromStr for Dtype {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" => Ok(Dtype::F32),
+            other => Err(format!("unknown dtype `{other}` (want f32)")),
+        }
+    }
+}
+
+/// Bin-count bounds for histogram workloads: at least 2 bins (1 would
+/// be a plain count) and at most 4096 (16 KiB of `u32` counters, the
+/// smallest modelled shared memory).
+pub const HISTOGRAM_MIN_BINS: u32 = 2;
+/// Upper bin-count bound (see [`HISTOGRAM_MIN_BINS`]).
+pub const HISTOGRAM_MAX_BINS: u32 = 4096;
+/// Bin count of the shorthand `hist` spelling.
+pub const HISTOGRAM_DEFAULT_BINS: u32 = 64;
+
+/// What a workload computes over its input array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// A scalar reduction under one of the paper's operators.
+    Reduce(ReduceOp),
+    /// Index of the maximum element (pair-payload reduction: the
+    /// value and its index travel together as one packed 64-bit
+    /// quantity; ties resolve to the smallest index).
+    ArgMax,
+    /// Index of the minimum element (same payload shape as
+    /// [`WorkloadKind::ArgMax`]).
+    ArgMin,
+    /// Bin-indexed histogram: each element increments one of `bins`
+    /// `u32` counters (an atomic scatter rather than an atomic
+    /// funnel).
+    Histogram {
+        /// Number of bins (within
+        /// [`HISTOGRAM_MIN_BINS`]..=[`HISTOGRAM_MAX_BINS`]).
+        bins: u32,
+    },
+}
+
+impl WorkloadKind {
+    /// Canonical identifier: `sum` / `max` / `min` / `argmax` /
+    /// `argmin` / `hist<bins>`. The inverse of [`FromStr`].
+    pub fn id(self) -> String {
+        match self {
+            WorkloadKind::Reduce(ReduceOp::Sum) => "sum".to_string(),
+            WorkloadKind::Reduce(ReduceOp::Max) => "max".to_string(),
+            WorkloadKind::Reduce(ReduceOp::Min) => "min".to_string(),
+            WorkloadKind::ArgMax => "argmax".to_string(),
+            WorkloadKind::ArgMin => "argmin".to_string(),
+            WorkloadKind::Histogram { bins } => format!("hist{bins}"),
+        }
+    }
+
+    /// Whether this kind reuses the reduction corpus and its planner
+    /// search space (the original `CodeVersion` sweep).
+    pub fn is_reduce(self) -> bool {
+        matches!(self, WorkloadKind::Reduce(_))
+    }
+
+    /// Number of output elements and their width in bytes:
+    /// reductions and arg-reductions produce one scalar, histograms
+    /// one counter per bin.
+    pub fn output_shape(self) -> (u64, u64) {
+        match self {
+            WorkloadKind::Reduce(_) => (1, 4),
+            WorkloadKind::ArgMax | WorkloadKind::ArgMin => (1, 8),
+            WorkloadKind::Histogram { bins } => (u64::from(bins), 4),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+/// The accepted spellings, quoted in every parse error so a typo on
+/// the CLI or the wire names its own fix.
+const KIND_MENU: &str = "sum, max, min, argmax, argmin, hist (64 bins), or hist<bins> \
+     (e.g. hist16, bins 2..=4096)";
+
+impl FromStr for WorkloadKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sum" => return Ok(WorkloadKind::Reduce(ReduceOp::Sum)),
+            "max" => return Ok(WorkloadKind::Reduce(ReduceOp::Max)),
+            "min" => return Ok(WorkloadKind::Reduce(ReduceOp::Min)),
+            "argmax" => return Ok(WorkloadKind::ArgMax),
+            "argmin" => return Ok(WorkloadKind::ArgMin),
+            "hist" | "histogram" => {
+                return Ok(WorkloadKind::Histogram { bins: HISTOGRAM_DEFAULT_BINS })
+            }
+            _ => {}
+        }
+        if let Some(tail) = s.strip_prefix("hist") {
+            let bins: u32 = tail
+                .parse()
+                .map_err(|_| format!("unknown workload `{s}` (want {KIND_MENU})"))?;
+            if !(HISTOGRAM_MIN_BINS..=HISTOGRAM_MAX_BINS).contains(&bins) {
+                return Err(format!(
+                    "histogram bin count {bins} out of range \
+                     {HISTOGRAM_MIN_BINS}..={HISTOGRAM_MAX_BINS}"
+                ));
+            }
+            return Ok(WorkloadKind::Histogram { bins });
+        }
+        Err(format!("unknown workload `{s}` (want {KIND_MENU})"))
+    }
+}
+
+/// The typed key a tuning result is filed under: what is computed
+/// ([`WorkloadKind`]) over which element dtype. Replaces the stringly
+/// `(op, dtype)` pairs the store and the serve protocol used to carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadKey {
+    /// What the workload computes.
+    pub kind: WorkloadKind,
+    /// Element dtype of the input array.
+    pub dtype: Dtype,
+}
+
+impl WorkloadKey {
+    /// The default sweep key: `sum` over `f32`.
+    pub fn sum() -> Self {
+        WorkloadKey { kind: WorkloadKind::Reduce(ReduceOp::Sum), dtype: Dtype::F32 }
+    }
+
+    /// A plain-reduction key over `f32` for `op`.
+    pub fn reduce(op: ReduceOp) -> Self {
+        WorkloadKey { kind: WorkloadKind::Reduce(op), dtype: Dtype::F32 }
+    }
+
+    /// An `argmax` key over `f32`.
+    pub fn argmax() -> Self {
+        WorkloadKey { kind: WorkloadKind::ArgMax, dtype: Dtype::F32 }
+    }
+
+    /// An `argmin` key over `f32`.
+    pub fn argmin() -> Self {
+        WorkloadKey { kind: WorkloadKind::ArgMin, dtype: Dtype::F32 }
+    }
+
+    /// A histogram key over `f32` with `bins` counters.
+    pub fn histogram(bins: u32) -> Self {
+        WorkloadKey { kind: WorkloadKind::Histogram { bins }, dtype: Dtype::F32 }
+    }
+
+    /// Canonical identifier, e.g. `sum-f32` or `hist64-f32` — used in
+    /// store file names and on the serve wire. The inverse of
+    /// [`FromStr`].
+    pub fn id(&self) -> String {
+        format!("{}-{}", self.kind.id(), self.dtype.id())
+    }
+
+    /// Slash-separated display form for log labels (`sum/f32`).
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.kind.id(), self.dtype.id())
+    }
+}
+
+impl Default for WorkloadKey {
+    fn default() -> Self {
+        WorkloadKey::sum()
+    }
+}
+
+impl fmt::Display for WorkloadKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+impl FromStr for WorkloadKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // A bare kind defaults the dtype, so `argmax` and
+        // `argmax-f32` are the same key.
+        let (kind, dtype) = match s.rsplit_once('-') {
+            Some((kind, dtype)) => (kind.parse::<WorkloadKind>()?, dtype.parse::<Dtype>()?),
+            None => (s.parse::<WorkloadKind>()?, Dtype::default()),
+        };
+        Ok(WorkloadKey { kind, dtype })
+    }
+}
+
+impl Serialize for WorkloadKey {
+    fn to_value(&self) -> Value {
+        Value::Str(self.id())
+    }
+}
+
+impl Deserialize for WorkloadKey {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError("workload key must be a string".to_string()))?;
+        s.parse().map_err(DeError)
+    }
+}
+
+/// The pass family a non-reduce workload variant was generated by —
+/// the same three rewrite strategies the paper's pipeline applies to
+/// reduction codelets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassFamily {
+    /// Combine directly in global memory with device-scope atomics.
+    AtomicGlobal,
+    /// Privatize the combine state in shared memory with block-scope
+    /// atomics, then flush once per block.
+    AtomicShared,
+    /// Exchange partial state across warp lanes with shuffles before
+    /// touching memory.
+    Shuffle,
+}
+
+impl PassFamily {
+    /// Display tag (`AG`/`AS`/`SH`), the same style the planner uses
+    /// for code-version components.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PassFamily::AtomicGlobal => "AG",
+            PassFamily::AtomicShared => "AS",
+            PassFamily::Shuffle => "SH",
+        }
+    }
+}
+
+impl fmt::Display for PassFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One synthesizable variant of a non-reduce workload: a pass family
+/// crossed with a grid distribution. Plays the role [`crate::planner::CodeVersion`]
+/// plays for reductions — the unit the tuner enumerates, measures,
+/// and names in winner lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WlVariant {
+    /// The rewrite strategy.
+    pub family: PassFamily,
+    /// How elements are distributed over threads (the planner's
+    /// tiled/strided axis).
+    pub dist: Dist,
+}
+
+impl fmt::Display for WlVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Mirrors CodeVersion's "DT,A / DS+S+V" style: distribution
+        // first, then the combine strategy.
+        write!(f, "{} / {}", self.dist, self.family)
+    }
+}
+
+impl WlVariant {
+    /// Compact identifier without spaces (`DT-AG`), used in winner-line
+    /// tokens and tuning-store records. The inverse of [`FromStr`].
+    pub fn id(&self) -> String {
+        format!("{}-{}", self.dist, self.family)
+    }
+}
+
+impl FromStr for WlVariant {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("unknown workload variant `{s}` (want e.g. DT-AG, DS-SH)");
+        let (dist, family) = s.split_once('-').ok_or_else(err)?;
+        let dist = match dist {
+            "DT" => Dist::Tiled,
+            "DS" => Dist::Strided,
+            _ => return Err(err()),
+        };
+        let family = match family {
+            "AG" => PassFamily::AtomicGlobal,
+            "AS" => PassFamily::AtomicShared,
+            "SH" => PassFamily::Shuffle,
+            _ => return Err(err()),
+        };
+        Ok(WlVariant { family, dist })
+    }
+}
+
+/// The canonical variant corpus for any non-reduce workload: all
+/// three pass families crossed with both grid distributions, in
+/// deterministic (family-major) order.
+pub fn enumerate_workload_variants() -> Vec<WlVariant> {
+    let mut out = Vec::with_capacity(6);
+    for family in [PassFamily::AtomicGlobal, PassFamily::AtomicShared, PassFamily::Shuffle] {
+        for dist in [Dist::Tiled, Dist::Strided] {
+            out.push(WlVariant { family, dist });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_fromstr() {
+        let keys = [
+            WorkloadKey::sum(),
+            WorkloadKey { kind: WorkloadKind::Reduce(ReduceOp::Max), dtype: Dtype::F32 },
+            WorkloadKey { kind: WorkloadKind::Reduce(ReduceOp::Min), dtype: Dtype::F32 },
+            WorkloadKey::argmax(),
+            WorkloadKey::argmin(),
+            WorkloadKey::histogram(16),
+            WorkloadKey::histogram(4096),
+        ];
+        for key in keys {
+            assert_eq!(key.id().parse::<WorkloadKey>().unwrap(), key, "{}", key.id());
+            // The bare kind spelling (no dtype suffix) also parses.
+            assert_eq!(key.kind.id().parse::<WorkloadKey>().unwrap(), key);
+        }
+    }
+
+    #[test]
+    fn serde_round_trips_typed_keys() {
+        for key in [WorkloadKey::sum(), WorkloadKey::argmin(), WorkloadKey::histogram(128)] {
+            let v = key.to_value();
+            assert_eq!(WorkloadKey::deserialize(&v).unwrap(), key);
+        }
+        assert!(WorkloadKey::deserialize(&Value::Str("warp9".into())).is_err());
+        assert!(WorkloadKey::deserialize(&Value::UInt(3)).is_err());
+    }
+
+    #[test]
+    fn unknown_spellings_list_the_menu() {
+        let err = "hostogram".parse::<WorkloadKind>().unwrap_err();
+        for accepted in ["sum", "max", "min", "argmax", "argmin", "hist"] {
+            assert!(err.contains(accepted), "error must list `{accepted}`: {err}");
+        }
+        assert!(err.contains("hostogram"), "error must quote the offender: {err}");
+    }
+
+    #[test]
+    fn histogram_bins_are_bounded() {
+        assert_eq!(
+            "hist".parse::<WorkloadKind>().unwrap(),
+            WorkloadKind::Histogram { bins: HISTOGRAM_DEFAULT_BINS }
+        );
+        assert_eq!("hist2".parse::<WorkloadKind>().unwrap(), WorkloadKind::Histogram { bins: 2 });
+        assert!("hist1".parse::<WorkloadKind>().unwrap_err().contains("out of range"));
+        assert!("hist4097".parse::<WorkloadKind>().unwrap_err().contains("out of range"));
+        assert!("histx".parse::<WorkloadKind>().is_err());
+    }
+
+    #[test]
+    fn variant_corpus_is_the_full_cross_product() {
+        let all = enumerate_workload_variants();
+        assert_eq!(all.len(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for v in &all {
+            assert!(seen.insert(v.to_string()), "duplicate variant {v}");
+        }
+        assert_eq!(all[0].to_string(), "DT / AG");
+        assert_eq!(all[5].to_string(), "DS / SH");
+    }
+
+    #[test]
+    fn variant_ids_round_trip_and_stay_token_safe() {
+        for v in enumerate_workload_variants() {
+            let id = v.id();
+            assert!(!id.contains(' '), "variant id must be token-safe: {id}");
+            assert_eq!(id.parse::<WlVariant>().unwrap(), v);
+        }
+        assert!("DT/AG".parse::<WlVariant>().is_err());
+        assert!("DT-XX".parse::<WlVariant>().is_err());
+    }
+
+    #[test]
+    fn output_shapes() {
+        assert_eq!(WorkloadKind::Reduce(ReduceOp::Sum).output_shape(), (1, 4));
+        assert_eq!(WorkloadKind::ArgMax.output_shape(), (1, 8));
+        assert_eq!(WorkloadKind::Histogram { bins: 20 }.output_shape(), (20, 4));
+    }
+}

@@ -1,15 +1,17 @@
-//! Quickstart: reduce an array with the extended-Tangram reducer.
+//! Quickstart: run workloads with the extended-Tangram reducer.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 //!
-//! The reducer synthesizes the paper's 30 single-kernel code versions
+//! The reducer synthesizes the paper's single-kernel code versions
 //! (§IV-B), tunes their `__tunable` parameters, picks the fastest for
 //! the target architecture and size, and runs it on the simulated GPU.
+//! `Reducer::run` takes a typed [`WorkloadKey`], so the same entry
+//! point serves plain reductions, arg-reductions, and histograms.
 
 use gpu_sim::ArchConfig;
-use tangram::Reducer;
+use tangram::{Reducer, WorkloadKey, WorkloadValue};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The data: 100k elements with a pattern we can check by hand.
@@ -19,23 +21,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for arch in ArchConfig::paper_archs() {
         let name = arch.name.clone();
         let mut reducer = Reducer::new(arch);
-        let result = reducer.sum(&data)?;
+
+        let result = reducer.run(WorkloadKey::sum(), &data)?;
+        let WorkloadValue::Scalar(sum) = result.value else {
+            unreachable!("sum returns a scalar");
+        };
         println!("{name}:");
-        println!("  sum          = {}", result.value);
-        println!(
-            "  code version = {}  (Fig. 6 label: {})",
-            result.version,
-            result.fig6_label.map(|c| format!("({c})")).unwrap_or_else(|| "-".into())
-        );
+        println!("  sum          = {sum}");
+        println!("  code version = {}", result.version);
         println!(
             "  tunables     = blockDim {} / coarsening {}",
             result.block_size, result.coarsen
         );
         println!("  modelled time = {:.1} µs", result.time_ns / 1000.0);
         assert!(
-            (f64::from(result.value) - oracle).abs() < 1e-3,
+            (f64::from(sum) - oracle).abs() < 1e-3,
             "GPU result must match the CPU oracle"
         );
+
+        // The same entry point serves every workload: ask for the
+        // index of the maximum instead of the sum.
+        let top = reducer.run(WorkloadKey::argmax(), &data)?;
+        println!(
+            "  argmax       = index {:?} via {}",
+            top.value.arg_index(),
+            top.version
+        );
+        assert_eq!(top.value.arg_index(), Some(18), "first occurrence of the max (14.0)");
     }
     println!("\nall results match the CPU oracle ({oracle})");
     Ok(())

@@ -237,6 +237,22 @@ for f in crates/bench/tests/*.rs; do
   }
 done
 
+echo "== deprecation check (shimmed sum/max/min entry points stay dead) =="
+# The classic Reducer::sum/max/min/reduce shims exist only for source
+# compatibility; the sole permitted call sites are the regression
+# tests next to the shims in crates/core/src/api.rs. Any other
+# #[allow(deprecated)] means a shimmed call site crept back in (the
+# workspace builds with -D warnings, so a shimmed call *requires* the
+# allow — this grep is therefore exhaustive).
+stray=$(grep -rln 'allow(deprecated)' crates tests examples benches src 2>/dev/null \
+  | grep -v '^crates/core/src/api.rs$' || true)
+if [ -n "$stray" ]; then
+  echo "DEPRECATED SHIM CALL SITES OUTSIDE crates/core/src/api.rs:" >&2
+  echo "$stray" >&2
+  exit 1
+fi
+echo "  allow(deprecated) confined to crates/core/src/api.rs"
+
 echo "== fault-injection smoke campaign (seed 7, 400 ppm) =="
 # A seeded campaign must (a) still produce a winner, (b) report that
 # every injected fault was detected-and-recovered or quarantined (no
@@ -308,6 +324,22 @@ for arch in kepler maxwell pascal; do
     exit 1
   fi
   echo "  $arch: daemon cold and warm answers byte-identical to the sweep bin"
+done
+# Typed workloads: the daemon's argmax and histogram winner tails must
+# be byte-identical to the sweep bin's for the same workload key.
+for workload in argmax hist64; do
+  truth=$(./target/release/sweep --arch maxwell --n 65536 --threads 1 --workload "$workload" \
+    | grep '^sweep ' | grep -o 'winner=.*')
+  wq=$(./target/release/tuned query --socket "$serve_sock" --arch maxwell --n 65536 --workload "$workload")
+  echo "$wq" | grep -q " workload=${workload}-f32 " \
+    || { echo "daemon answer carries no workload token: $wq" >&2; exit 1; }
+  if [ "$(echo "$wq" | grep -o 'winner=.*')" != "$truth" ]; then
+    echo "DAEMON $workload ANSWER DIVERGED FROM THE SWEEP BIN:" >&2
+    echo "  daemon: $wq" >&2
+    echo "  sweep:  $truth" >&2
+    exit 1
+  fi
+  echo "  $workload: daemon answer byte-identical to the sweep bin"
 done
 # Duplicate burst at an uncached size: every concurrent client gets
 # the same winner line and at least one answer is a dedup fan-out.

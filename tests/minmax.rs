@@ -8,7 +8,7 @@ use gpu_sim::{ArchConfig, Device};
 use tangram::tangram_codegen::vir::synthesize_op;
 use tangram::tangram_codegen::Tuning;
 use tangram::tangram_passes::planner;
-use tangram::{run_reduction, upload, ReduceOp, Reducer};
+use tangram::{run_reduction, upload, ReduceOp, Reducer, WorkloadKey, WorkloadValue};
 
 fn data(n: usize, seed: u64, offset: f32) -> Vec<f32> {
     let mut state = seed | 1;
@@ -85,15 +85,19 @@ fn minmax_boundary_sizes() {
 fn reducer_api_max_min() {
     let mut r = Reducer::new(ArchConfig::maxwell_gtx980());
     let values = data(4_000, 99, -80.0);
-    let max = r.max(&values).unwrap();
-    let min = r.min(&values).unwrap();
-    assert_eq!(max.value, values.iter().copied().fold(f32::MIN, f32::max));
-    assert_eq!(min.value, values.iter().copied().fold(f32::MAX, f32::min));
-    assert_eq!(max.op, ReduceOp::Max);
-    assert_eq!(min.op, ReduceOp::Min);
+    let max = r.run(WorkloadKey::reduce(ReduceOp::Max), &values).unwrap();
+    let min = r.run(WorkloadKey::reduce(ReduceOp::Min), &values).unwrap();
+    let emax = values.iter().copied().fold(f32::MIN, f32::max);
+    let emin = values.iter().copied().fold(f32::MAX, f32::min);
+    assert_eq!(max.value, WorkloadValue::Scalar(emax));
+    assert_eq!(min.value, WorkloadValue::Scalar(emin));
+    assert_eq!(max.workload, WorkloadKey::reduce(ReduceOp::Max));
+    assert_eq!(min.workload, WorkloadKey::reduce(ReduceOp::Min));
     // Empty input returns the identity.
-    assert_eq!(r.max(&[]).unwrap().value, f32::MIN);
-    assert_eq!(r.min(&[]).unwrap().value, f32::MAX);
+    let empty = r.run(WorkloadKey::reduce(ReduceOp::Max), &[]).unwrap();
+    assert_eq!(empty.value, WorkloadValue::Scalar(f32::MIN));
+    let empty = r.run(WorkloadKey::reduce(ReduceOp::Min), &[]).unwrap();
+    assert_eq!(empty.value, WorkloadValue::Scalar(f32::MAX));
 }
 
 #[test]

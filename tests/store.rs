@@ -118,8 +118,8 @@ fn corrupted_records_quarantine_fall_back_and_self_heal() {
         ("empty", |p| fs::write(p, b"").unwrap(), true),
         ("wrong schema version", |p| {
             let text = fs::read_to_string(p).unwrap();
-            assert!(text.contains("\"schema\": 1,"), "fixture drifted: {text}");
-            fs::write(p, text.replace("\"schema\": 1,", "\"schema\": 999,")).unwrap();
+            assert!(text.contains("\"schema\": 2,"), "fixture drifted: {text}");
+            fs::write(p, text.replace("\"schema\": 2,", "\"schema\": 999,")).unwrap();
         }, true),
         ("wrong corpus hash", |p| {
             let text = fs::read_to_string(p).unwrap();

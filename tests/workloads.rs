@@ -1,0 +1,200 @@
+//! End-to-end and differential coverage for the first-class workloads
+//! (argmax/argmin with index payloads, bin-indexed histograms).
+//!
+//! Three layers of guarantees:
+//!
+//! 1. **Differential oracle (proptest)** — for any workload variant,
+//!    tuning, size, and random data, the kernel's result under the
+//!    lane-wise reference interpreter, the predecoded µop engine, and
+//!    the compiled tier are bit-identical to each other *and* exactly
+//!    equal to the CPU reference (`u64` equality for packed
+//!    arg-pairs, per-bin equality for histograms — no tolerance).
+//! 2. **Sweep determinism** — `Session::run` picks the same winner
+//!    (variant, tuning, and modelled-time bits) under all three
+//!    interpreter tiers on every paper architecture, and the winner's
+//!    reported value matches the CPU oracle.
+//! 3. **Serving** — an in-process `TuneService` answers typed
+//!    workload queries with winner lines byte-identical to a direct
+//!    `Session::run`, and the synthesized corpus is race-free under
+//!    the happens-before sanitizer.
+
+use gpu_sim::exec::BlockSelection;
+use gpu_sim::{ArchConfig, Device, ExecMode};
+use proptest::prelude::*;
+use tangram::evaluate::EvalOptions;
+use tangram::serve::{Query, Reply, ServeConfig, TuneService};
+use tangram::tangram_codegen::{synthesize_workload_cached, Tuning};
+use tangram::tangram_passes::workload::enumerate_workload_variants;
+use tangram::{
+    expected_value, runner::run_workload, upload, Session, Workload, WorkloadKey, WorkloadValue,
+};
+
+const MODES: [ExecMode; 3] = [ExecMode::Reference, ExecMode::Predecoded, ExecMode::Compiled];
+
+fn arch_strategy() -> impl Strategy<Value = ArchConfig> {
+    prop_oneof![
+        Just(ArchConfig::kepler_k40c()),
+        Just(ArchConfig::maxwell_gtx980()),
+        Just(ArchConfig::pascal_p100()),
+    ]
+}
+
+fn key_strategy() -> impl Strategy<Value = WorkloadKey> {
+    prop_oneof![
+        Just(WorkloadKey::argmax()),
+        Just(WorkloadKey::argmin()),
+        Just(WorkloadKey::histogram(16)),
+        Just(WorkloadKey::histogram(64)),
+    ]
+}
+
+/// Run one synthesized workload end to end under `mode`.
+fn run_mode(
+    arch: &ArchConfig,
+    mode: ExecMode,
+    key: WorkloadKey,
+    variant: tangram::WlVariant,
+    tuning: Tuning,
+    values: &[f32],
+) -> Option<WorkloadValue> {
+    let sw = synthesize_workload_cached(key, variant, tuning).expect("synthesis");
+    let mut dev = Device::new(arch.clone());
+    dev.set_exec_mode(mode);
+    let input = upload(&mut dev, values).unwrap();
+    run_workload(&mut dev, &sw, input, values.len() as u64, BlockSelection::All).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// reference ≡ uop ≡ compiled ≡ cpu-ref, exactly, for every
+    /// workload kind × variant on random data.
+    #[test]
+    fn workload_results_are_bit_identical_across_tiers_and_match_cpu_ref(
+        arch in arch_strategy(),
+        key in key_strategy(),
+        variant_idx in 0usize..6,
+        block_exp in 0u32..4,       // 32..256
+        coarsen_exp in 0u32..4,     // 1..8
+        n in 1usize..3_000,
+        seed in any::<u32>(),
+    ) {
+        let variants = enumerate_workload_variants();
+        let variant = variants[variant_idx % variants.len()];
+        let tuning = Tuning { block_size: 32 << block_exp, coarsen: 1 << coarsen_exp };
+        let values: Vec<f32> = (0..n)
+            .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 5) % 1000) as f32 - 500.0)
+            .collect();
+        let want = expected_value(key, &values);
+        let mut results = Vec::new();
+        for mode in MODES {
+            results.push(run_mode(&arch, mode, key, variant, tuning, &values));
+        }
+        // Infeasible launches (e.g. smem over budget) must be
+        // infeasible under every tier; feasible ones must agree.
+        prop_assert!(
+            results.iter().all(|r| r.is_some()) || results.iter().all(|r| r.is_none()),
+            "feasibility must not depend on the interpreter tier: {results:?}"
+        );
+        if let Some(got) = &results[0] {
+            for (mode, r) in MODES.iter().zip(&results) {
+                prop_assert_eq!(
+                    r.as_ref(),
+                    Some(got),
+                    "tier {:?} diverged on {} {}", mode, key, variant
+                );
+            }
+            prop_assert_eq!(got, &want, "{} {} vs cpu-ref", key, variant);
+        }
+    }
+}
+
+/// `Session::run` winners — variant, tuning, and modelled-time bits —
+/// are interpreter-independent on every paper architecture, and the
+/// reported value is the CPU oracle's, exactly.
+#[test]
+fn workload_sweep_winners_are_interpreter_independent() {
+    for w in [Workload::argmax(8_192), Workload::histogram(64, 8_192)] {
+        for arch in ArchConfig::paper_archs() {
+            let mut rows = Vec::new();
+            for mode in MODES {
+                let report = Session::new(arch.clone())
+                    .eval(EvalOptions::serial().with_interp(mode))
+                    .run(&w)
+                    .unwrap();
+                let rep = report.as_workload().expect("non-reduce workload");
+                assert_eq!(
+                    rep.value,
+                    expected_value(w.key, &w.oracle_input()),
+                    "{} {:?} winner value vs cpu-ref",
+                    arch.id,
+                    mode
+                );
+                rows.push((
+                    rep.row.variant.clone(),
+                    rep.row.block_size,
+                    rep.row.coarsen,
+                    rep.row.time_ns.to_bits(),
+                ));
+            }
+            assert_eq!(rows[0], rows[1], "{}: reference vs uop winner", arch.id);
+            assert_eq!(rows[1], rows[2], "{}: uop vs compiled winner", arch.id);
+        }
+    }
+}
+
+/// The synthesized workload corpus is race-free: a sanitized sweep
+/// quarantines nothing and is bitwise transparent.
+#[test]
+fn workload_corpus_is_race_free_under_the_sanitizer() {
+    for w in [Workload::argmin(8_192), Workload::histogram(16, 8_192)] {
+        for arch in ArchConfig::paper_archs() {
+            let sane = Session::new(arch.clone())
+                .eval(EvalOptions::serial())
+                .sanitized(true)
+                .run(&w)
+                .unwrap();
+            let rep = sane.as_workload().unwrap();
+            let races = rep.races.as_ref().expect("sanitized run records reports");
+            assert!(
+                races.iter().all(tangram::CandidateRaces::is_clean),
+                "{}: corpus must be race-free, got {:?}",
+                arch.id,
+                races.iter().filter(|r| !r.is_clean()).count()
+            );
+            let plain = Session::new(arch.clone()).eval(EvalOptions::serial()).run(&w).unwrap();
+            let plain = plain.as_workload().unwrap();
+            assert_eq!(rep.row.variant, plain.row.variant, "{}", arch.id);
+            assert_eq!(rep.row.time_ns.to_bits(), plain.row.time_ns.to_bits(), "{}", arch.id);
+        }
+    }
+}
+
+/// The daemon answers typed workload queries byte-identical to a
+/// direct session sweep (the same guarantee the legacy `sum` path
+/// has always had).
+#[test]
+fn daemon_workload_answers_match_direct_sweeps_byte_for_byte() {
+    let service = TuneService::new(
+        ServeConfig { workers: 2, ..ServeConfig::default() },
+        ArchConfig::paper_archs(),
+    );
+    for (arch, key, n) in [
+        (ArchConfig::kepler_k40c(), WorkloadKey::argmax(), 16_384),
+        (ArchConfig::pascal_p100(), WorkloadKey::histogram(64), 16_384),
+    ] {
+        let q = Query::sweep(&arch.id, n).with_workload(key);
+        let Reply::Ok(answer) = service.query(&q) else { panic!("expected ok") };
+        let direct = Session::new(arch.clone())
+            .eval(
+                EvalOptions::with_threads(1)
+                    .with_sweep(tangram::evaluate::SweepMode::Halving)
+                    .with_interp(ExecMode::Compiled),
+            )
+            .run(&Workload::new(key, n))
+            .unwrap();
+        let direct = direct.as_workload().unwrap();
+        assert_eq!(answer.winner_line(), direct.winner_line(), "{}", arch.id);
+        assert_eq!(answer.workload.as_deref(), Some(key.id().as_str()), "{}", arch.id);
+    }
+}
