@@ -5,8 +5,16 @@
 //! figures fig6                    # the 16 versions and their composition
 //! figures fig7 [--max-size N]     # best-version speedups, 3 architectures
 //! figures fig8|fig9|fig10 [...]   # per-architecture detail
+//! figures workloads [--max-size N]  # per-workload winner table
 //! figures all [--max-size N] [--json PATH] [--threads N]
 //! ```
+//!
+//! `workloads` sweeps the typed workload menu — both arg-reductions,
+//! a 64-bin histogram, inclusive/exclusive scans (`f32` and `u32`),
+//! and the segmented sum — on every paper architecture and prints the
+//! winning schedule per (workload, arch, n). Every winner is
+//! validated against the exact CPU oracle inside the sweep, so a row
+//! in this table is also a correctness witness.
 //!
 //! `--threads N` sets the evaluation engine's worker count (default:
 //! available parallelism). The output is bit-identical for any N.
@@ -49,11 +57,13 @@
 use std::fmt::Write as _;
 
 use gpu_sim::ArchConfig;
+use serde::Serialize;
 use tangram::evaluate::SweepMode;
 use tangram::metrics::{spotlight_profiles, ProfileReport};
 use tangram::paper_sizes;
 use tangram::Session;
 use tangram::api::CandidateRaces;
+use tangram::{Dtype, Workload, WorkloadKey};
 use tangram_bench::cli::{Cli, CliOpts};
 use tangram_bench::{
     arch_series_session, cache_series_line, geomean_speedup, max_speedup, sanitize_json,
@@ -61,7 +71,7 @@ use tangram_bench::{
 };
 use tangram_passes::planner;
 
-const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|all]
+const USAGE: &str = "usage: figures [table-search-space|fig6|fig7|fig8|fig9|fig10|workloads|all]
                [--max-size N] [--json PATH] [--threads T]
                [--sweep-mode exhaustive|halving] [--interp uop|reference|compiled]
                [--instr-budget I] [--fault-seed S] [--fault-rate PPM]
@@ -159,6 +169,20 @@ fn main() {
             obs.report.baselines = Some(baselines.metrics());
             print_detail(cmd, &arch, &series);
             maybe_write_json(std::slice::from_ref(&series), json_path.as_deref());
+        }
+        "workloads" => {
+            let rows = run_workload_table(&o, max_size);
+            print_workload_table(&rows);
+            if let Some(path) = json_path.as_deref() {
+                let json = match serde_json::to_string_pretty(&rows) {
+                    Ok(json) => json,
+                    Err(e) => CLI.die(&format!("cannot serialize workload table: {e}")),
+                };
+                if let Err(e) = std::fs::write(path, &json) {
+                    CLI.die(&format!("cannot write `{path}`: {e}"));
+                }
+                eprintln!("[figures] wrote {path}");
+            }
         }
         "all" => {
             print_search_space();
@@ -323,6 +347,88 @@ fn maybe_write_json(series: &[ArchSeries], path: Option<&str>) {
             CLI.die(&format!("cannot write `{path}`: {e}"));
         }
         eprintln!("[figures] wrote {path}");
+    }
+}
+
+// ---- per-workload selection table ------------------------------------------
+
+/// Sizes of the per-workload table: one mid-size sweep where shared
+/// privatization shines and one large enough for grid-level effects.
+/// Both stay small relative to the reduce figures — every workload
+/// winner is re-validated against the CPU oracle, which runs the full
+/// grid functionally.
+const WORKLOAD_TABLE_SIZES: [u64; 2] = [16_384, 262_144];
+
+/// The typed workloads of the selection table.
+fn table_workloads() -> Vec<WorkloadKey> {
+    vec![
+        WorkloadKey::argmax(),
+        WorkloadKey::argmin(),
+        WorkloadKey::histogram(64),
+        WorkloadKey::scan(Dtype::F32),
+        WorkloadKey::scan(Dtype::U32),
+        WorkloadKey::exscan(Dtype::F32),
+        WorkloadKey::segsum(Dtype::F32),
+    ]
+}
+
+/// One row of the per-workload table, as printed and as `--json`.
+#[derive(Serialize)]
+struct WorkloadFigRow {
+    arch: String,
+    row: tangram::WorkloadRow,
+}
+
+fn run_workload_table(o: &CliOpts, max_size: u64) -> Vec<WorkloadFigRow> {
+    let sizes: Vec<u64> =
+        WORKLOAD_TABLE_SIZES.iter().copied().filter(|&n| n <= max_size).collect();
+    if sizes.is_empty() {
+        CLI.die("--max-size below the smallest workload-table size (16384)");
+    }
+    let mut rows = Vec::new();
+    for arch in ArchConfig::paper_archs() {
+        eprintln!("[figures] workload table on {} ...", arch.name);
+        let mut session = Session::new(arch.clone())
+            .eval(o.eval_options(SweepMode::Halving, gpu_sim::ExecMode::default()))
+            .sanitized(o.sanitizing());
+        if let Ok(Some((dir, mode))) = o.cache() {
+            session = session.store(dir).cache_mode(mode);
+        }
+        for key in table_workloads() {
+            for &n in &sizes {
+                let report = match session.run(&Workload::new(key, n)) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        CLI.die(&format!("workload sweep {key} on {} failed: {e}", arch.id))
+                    }
+                };
+                let Some(rep) = report.as_workload() else {
+                    CLI.die(&format!("{key} did not produce a workload report"));
+                };
+                rows.push(WorkloadFigRow { arch: arch.id.clone(), row: rep.row.clone() });
+            }
+        }
+    }
+    rows
+}
+
+fn print_workload_table(rows: &[WorkloadFigRow]) {
+    println!("== per-workload selection (winning schedule per architecture) ==");
+    println!(
+        "{:>12} {:>8} {:>10} {:>8} {:>6} {:>8} {:>16}",
+        "workload", "arch", "n", "variant", "block", "coarsen", "time_ns"
+    );
+    for r in rows {
+        println!(
+            "{:>12} {:>8} {:>10} {:>8} {:>6} {:>8} {:>16.2}",
+            r.row.workload.id(),
+            r.arch,
+            r.row.n,
+            r.row.variant,
+            r.row.block_size,
+            r.row.coarsen,
+            r.row.time_ns
+        );
     }
 }
 

@@ -423,6 +423,12 @@ mod tests {
             ("argmin-f32", "argmin-f32"),
             ("hist", "hist64-f32"),
             ("hist16", "hist16-f32"),
+            ("scan", "scan-f32"),
+            ("scan-u32", "scan-u32"),
+            ("exscan", "exscan-f32"),
+            ("exscan-u32", "exscan-u32"),
+            ("segsum", "segsum-f32"),
+            ("segsum-u32", "segsum-u32"),
         ] {
             let o = TEST_CLI.try_parse(&args(&["--workload", raw])).unwrap();
             assert_eq!(o.workload.map(|w| w.id()).as_deref(), Some(id), "raw `{raw}`");
@@ -433,7 +439,8 @@ mod tests {
     fn bad_workload_names_the_flag_and_lists_every_spelling() {
         let err = TEST_CLI.try_parse(&args(&["--workload", "argbest"])).unwrap_err();
         assert!(err.contains("invalid value `argbest` for --workload"), "got: {err}");
-        for spelling in ["sum", "max", "min", "argmax", "argmin", "hist"] {
+        for spelling in ["sum", "max", "min", "argmax", "argmin", "hist", "scan", "exscan", "segsum"]
+        {
             assert!(err.contains(spelling), "error must list `{spelling}`, got: {err}");
         }
     }

@@ -21,7 +21,8 @@
 //! the `--workload` sweeps the same way, workload-major:
 //!
 //! ```text
-//! for w in max argmax argmin hist64; do for a in kepler maxwell pascal; do
+//! for w in max argmax argmin hist64 scan scan-u32 exscan segsum; do
+//! for a in kepler maxwell pascal; do
 //!     sweep --n 16384 --threads 1 --arch $a --workload $w | grep '^sweep '
 //! done; done   # then strip the wall_ms= token
 //! ```
@@ -62,8 +63,11 @@ fn winner_lines(extra: &[&str]) -> String {
     got
 }
 
-/// The non-sum workloads pinned by the workload snapshot.
-const WORKLOADS: [&str; 4] = ["max", "argmax", "argmin", "hist64"];
+/// The non-sum workloads pinned by the workload snapshot: the
+/// original four, then the scan and segmented-sum kinds (appended so
+/// the legacy lines stay byte-identical).
+const WORKLOADS: [&str; 8] =
+    ["max", "argmax", "argmin", "hist64", "scan", "scan-u32", "exscan", "segsum"];
 
 fn workload_winner_lines(extra: &[&str]) -> String {
     let mut got = String::new();

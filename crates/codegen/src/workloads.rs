@@ -14,9 +14,17 @@
 //! | param | meaning |
 //! |-------|---------|
 //! | `%p0` | input pointer (`f32` array) |
-//! | `%p1` | output pointer (one `u64` for arg-reductions, `bins` × `u32` for histograms) |
+//! | `%p1` | output pointer (one `u64` for arg-reductions, `bins` × `u32` for histograms, `n` words for scans, one word per segment for segmented sums) |
 //! | `%p2` | `n` — total element count (`u32`) |
 //! | `%p3` | `tile` — elements per block (`u32`) |
+//!
+//! Scans append `%p4` (per-block sums, one word per block); their
+//! spine kernel takes `(%p0 sums, %p1 nblocks)` and runs as a single
+//! warp. Segmented sums append `%p4` (segment-id array, `u32` per
+//! element, sorted ascending) and `%p5` (`nsegs`, `u32`). `u32`-dtype
+//! scans/segsums derive each element from the `f32` corpus with the
+//! simulator's exact `cvt.s32.f32` (the `cpu_ref::histogram_bin`
+//! truncation) and use wrapping `u32` arithmetic throughout.
 //!
 //! Bounds handling is branch-free where memory is touched by every
 //! lane (clamped loads, `selp` to the combine identity) and guarded
@@ -35,23 +43,27 @@ use gpu_sim::isa::{
 use gpu_sim::kernel::KernelBuilder;
 use gpu_sim::Kernel;
 use tangram_passes::planner::Dist;
-use tangram_passes::workload::{PassFamily, WlVariant, WorkloadKey, WorkloadKind};
+use tangram_passes::workload::{Dtype, PassFamily, WlVariant, WorkloadKey, WorkloadKind};
 
 use crate::error::CodegenError;
 use crate::vir::{LaunchPlan, Tuning};
 
 /// A fully synthesized non-reduce workload variant: the analogue of
-/// [`crate::vir::SynthesizedVersion`] for [`WlVariant`]s. Always a
-/// single kernel — every family combines its result in place with
-/// atomics, so there is no second (partials) pass.
+/// [`crate::vir::SynthesizedVersion`] for [`WlVariant`]s. The scalar
+/// scatter kinds are a single kernel — every family combines its
+/// result in place with atomics — while scans carry two auxiliary
+/// kernels (the block-sum spine scan and the offset-apply pass).
 #[derive(Debug, Clone)]
 pub struct SynthesizedWorkload {
     /// The workload the kernel computes.
     pub key: WorkloadKey,
     /// The pass family × distribution this synthesis realizes.
     pub variant: WlVariant,
-    /// The kernel.
+    /// The (first) kernel.
     pub kernel: Kernel,
+    /// Follow-on kernels, launched in order after `kernel` (scans:
+    /// `[spine, apply]`; empty for every other kind).
+    pub aux: Vec<Kernel>,
     /// The tuning this synthesis was specialized for.
     pub tuning: Tuning,
 }
@@ -67,9 +79,10 @@ impl SynthesizedWorkload {
     }
 
     /// Output buffer size in bytes (`elems × width` of the workload's
-    /// output shape).
-    pub fn out_bytes(&self) -> u64 {
-        let (elems, width) = self.key.kind.output_shape();
+    /// output shape at `n` input elements — scans return `n` words,
+    /// segmented sums one word per segment).
+    pub fn out_bytes(&self, n: u64) -> u64 {
+        let (elems, width) = self.key.kind.output_shape(n);
         elems * width
     }
 
@@ -92,18 +105,29 @@ pub fn synthesize_workload(
     variant: WlVariant,
     tuning: Tuning,
 ) -> Result<SynthesizedWorkload, CodegenError> {
-    let kernel = match key.kind {
+    if key.dtype != Dtype::F32 && !matches!(key.kind, WorkloadKind::Scan { .. } | WorkloadKind::SegSum)
+    {
+        return Err(CodegenError::Malformed(format!(
+            "workload `{key}`: dtype {} is only synthesized for scan/segsum kinds",
+            key.dtype
+        )));
+    }
+    let (kernel, aux) = match key.kind {
         WorkloadKind::Reduce(_) => {
             return Err(CodegenError::Malformed(format!(
                 "workload `{key}` is a plain reduction; synthesize it via the pass pipeline"
             )))
         }
-        WorkloadKind::ArgMax => emit_arg_kernel(key, variant, tuning, true),
-        WorkloadKind::ArgMin => emit_arg_kernel(key, variant, tuning, false),
-        WorkloadKind::Histogram { bins } => emit_hist_kernel(key, variant, tuning, bins),
+        WorkloadKind::ArgMax => emit_arg_kernel(key, variant, tuning, true).map(|k| (k, vec![])),
+        WorkloadKind::ArgMin => emit_arg_kernel(key, variant, tuning, false).map(|k| (k, vec![])),
+        WorkloadKind::Histogram { bins } => {
+            emit_hist_kernel(key, variant, tuning, bins).map(|k| (k, vec![]))
+        }
+        WorkloadKind::Scan { exclusive } => emit_scan_kernels(key, variant, tuning, exclusive),
+        WorkloadKind::SegSum => emit_segsum_kernel(key, variant, tuning).map(|k| (k, vec![])),
     }
     .map_err(|e| CodegenError::Malformed(e.to_string()))?;
-    Ok(SynthesizedWorkload { key, variant, kernel, tuning })
+    Ok(SynthesizedWorkload { key, variant, kernel, aux, tuning })
 }
 
 // ---- synthesis cache (mirrors crate::cache for reductions) ---------
@@ -425,6 +449,12 @@ fn emit_arg_kernel(
                 b.place(skip_fold);
             }
         }
+        PassFamily::HillisSteele | PassFamily::Blelloch => {
+            return Err(gpu_sim::SimError::InvalidLaunch(format!(
+                "arg-reductions have no {} schedule",
+                variant.family.tag()
+            )))
+        }
     }
     b.exit();
     b.finish()
@@ -557,6 +587,744 @@ fn emit_hist_kernel(
                 b.red(Space::Global, Scope::Gpu, AtomOp::Add, VTy::U32, Address::reg(addr), Operand::Reg(count));
                 b.place(skip);
             });
+        }
+        PassFamily::HillisSteele | PassFamily::Blelloch => {
+            return Err(gpu_sim::SimError::InvalidLaunch(format!(
+                "histograms have no {} schedule",
+                variant.family.tag()
+            )))
+        }
+    }
+    b.exit();
+    b.finish()
+}
+
+// ---- scan / segmented reduction -----------------------------------
+
+/// Shared-memory window (in segments) of the sorted-run privatized
+/// segmented sum. Segments whose offset from the block's first
+/// segment exceeds the window fall back to a global atomic.
+const SEG_WIN: u32 = 128;
+
+fn elem_vty(dtype: Dtype) -> VTy {
+    match dtype {
+        Dtype::F32 => VTy::F32,
+        Dtype::U32 => VTy::U32,
+    }
+}
+
+/// Load element `idx` as the workload's arithmetic type, neutralized
+/// to the additive identity for invalid lanes. `u32` workloads derive
+/// their elements from the `f32` corpus with the simulator's exact
+/// `cvt.s32.f32` truncation (bit-for-bit `(x as i64) as u32` — the
+/// same mapping `cpu_ref` uses).
+fn emit_elem_value(b: &mut KernelBuilder, p_in: u16, idx: RegId, valid: PredId, ty: VTy) -> RegId {
+    let raw = emit_clamped_load(b, p_in, idx, valid);
+    let v = if ty == VTy::U32 {
+        let c = b.reg();
+        b.cvt(VTy::F32, VTy::I32, c, Operand::Reg(raw));
+        c
+    } else {
+        raw
+    };
+    let vz = b.reg();
+    b.selp(ty, vz, Operand::Reg(v), Operand::ImmI(0), valid);
+    vz
+}
+
+/// Global address of 4-byte element `idx` of the array at param `p`.
+fn emit_gaddr(b: &mut KernelBuilder, p: u16, idx: RegId) -> RegId {
+    let a = b.reg();
+    b.cvt(VTy::U32, VTy::U64, a, Operand::Reg(idx));
+    b.bin(VOp::Mul, VTy::U64, a, Operand::Reg(a), Operand::ImmI(4));
+    b.bin(VOp::Add, VTy::U64, a, Operand::Reg(a), Operand::Param(p));
+    a
+}
+
+/// Shared-memory address of 4-byte slot `j` of the array at `base`.
+fn emit_smem_addr(b: &mut KernelBuilder, base: i64, j: RegId) -> RegId {
+    let a = b.reg();
+    b.cvt(VTy::U32, VTy::U64, a, Operand::Reg(j));
+    b.bin(VOp::Mul, VTy::U64, a, Operand::Reg(a), Operand::ImmI(4));
+    b.bin(VOp::Add, VTy::U64, a, Operand::Reg(a), Operand::ImmI(base));
+    a
+}
+
+/// Bounds-safe segment-id load (clamped like [`emit_clamped_load`]):
+/// invalid lanes read `segs[0]`, and the caller's value is already
+/// the additive identity so their combines are exact no-ops.
+fn emit_seg_of(b: &mut KernelBuilder, p_segs: u16, idx: RegId, valid: PredId) -> RegId {
+    let jc = b.reg();
+    b.selp(VTy::U32, jc, Operand::Reg(idx), Operand::ImmI(0), valid);
+    let addr = emit_gaddr(b, p_segs, jc);
+    let s = b.reg();
+    b.ld(Space::Global, VTy::U32, s, Address::reg(addr));
+    s
+}
+
+/// Tile-local element loop for the scan/segmented kernels. Unlike
+/// [`emit_element_loop`]'s grid-strided form, *both* distributions
+/// here keep every block on its own contiguous range
+/// `[ctaid·tile, ctaid·tile + tile)` — per-block scan offsets and
+/// sorted-run locality depend on it. `Tiled` gives each thread one
+/// contiguous run of `coarsen` elements; `Strided` interleaves the
+/// tile round by round at block stride (warp-contiguous windows, as
+/// the head-flag shuffle requires). Unrolled at compile time.
+fn emit_tile_loop(
+    b: &mut KernelBuilder,
+    pro: &Prologue,
+    tuning: Tuning,
+    dist: Dist,
+    mut body: impl FnMut(&mut KernelBuilder, RegId, PredId),
+) {
+    let base = b.reg();
+    b.bin(VOp::Mul, VTy::U32, base, Operand::Sreg(Sreg::CtaIdX), Operand::Reg(pro.tile));
+    for k in 0..tuning.coarsen {
+        let idx = b.reg();
+        match dist {
+            Dist::Tiled => {
+                // idx = base + tid*coarsen + k
+                b.mad(
+                    VTy::U32,
+                    idx,
+                    Operand::Sreg(Sreg::TidX),
+                    Operand::ImmI(i64::from(tuning.coarsen)),
+                    Operand::Reg(base),
+                );
+                b.bin(VOp::Add, VTy::U32, idx, Operand::Reg(idx), Operand::ImmI(i64::from(k)));
+            }
+            Dist::Strided => {
+                // idx = base + k*block + tid
+                b.bin(
+                    VOp::Add,
+                    VTy::U32,
+                    idx,
+                    Operand::Reg(base),
+                    Operand::ImmI(i64::from(k) * i64::from(tuning.block_size)),
+                );
+                b.bin(VOp::Add, VTy::U32, idx, Operand::Reg(idx), Operand::Sreg(Sreg::TidX));
+            }
+        }
+        let valid = b.pred();
+        b.setp(CmpOp::Lt, VTy::U32, valid, Operand::Reg(idx), Operand::Reg(pro.n));
+        body(b, idx, valid);
+    }
+}
+
+/// Emit one block-wide scan of `v` (one value per thread) under the
+/// variant's schedule, returning `(exclusive_prefix, block_total)` —
+/// both live in every thread. Every barrier is reached by the whole
+/// block, and schedules that touch shared memory re-barrier before
+/// their first store so callers may invoke the primitive repeatedly
+/// over the same allocation (the strided kernels do, once per round).
+fn emit_block_scan(
+    b: &mut KernelBuilder,
+    family: PassFamily,
+    block: u32,
+    ty: VTy,
+    v: RegId,
+    sbase: i64,
+) -> Result<(RegId, RegId), gpu_sim::SimError> {
+    let tid = b.reg();
+    b.mov(VTy::U32, tid, Operand::Sreg(Sreg::TidX));
+    match family {
+        PassFamily::HillisSteele => {
+            // Inclusive Hillis–Steele ladder over shared memory:
+            // log2(block) doubling steps, read-barrier-write per step.
+            let maddr = emit_smem_addr(b, sbase, tid);
+            b.bar();
+            b.st(Space::Shared, ty, v, Address::reg(maddr));
+            let x = b.reg();
+            b.mov(ty, x, Operand::Reg(v));
+            let mut d = 1u32;
+            while d < block {
+                b.bar();
+                let p_ok = b.pred();
+                b.setp(CmpOp::Ge, VTy::U32, p_ok, Operand::Reg(tid), Operand::ImmI(i64::from(d)));
+                let tmd = b.reg();
+                b.bin(VOp::Sub, VTy::U32, tmd, Operand::Reg(tid), Operand::ImmI(i64::from(d)));
+                let jc = b.reg();
+                b.selp(VTy::U32, jc, Operand::Reg(tmd), Operand::ImmI(0), p_ok);
+                let paddr = emit_smem_addr(b, sbase, jc);
+                let t = b.reg();
+                b.ld(Space::Shared, ty, t, Address::reg(paddr));
+                let tz = b.reg();
+                b.selp(ty, tz, Operand::Reg(t), Operand::ImmI(0), p_ok);
+                b.bar();
+                b.bin(VOp::Add, ty, x, Operand::Reg(x), Operand::Reg(tz));
+                b.st(Space::Shared, ty, x, Address::reg(maddr));
+                d *= 2;
+            }
+            b.bar();
+            let total = b.reg();
+            b.ld(
+                Space::Shared,
+                ty,
+                total,
+                Address::new(Operand::ImmI(sbase + i64::from(block - 1) * 4), 0),
+            );
+            let excl = b.reg();
+            b.bin(VOp::Sub, ty, excl, Operand::Reg(x), Operand::Reg(v));
+            Ok((excl, total))
+        }
+        PassFamily::Blelloch => {
+            // Work-efficient Blelloch tree: up-sweep to a root total,
+            // zero the root, down-sweep to exclusive prefixes. Needs a
+            // power-of-two block (every tuned block size is one).
+            if !block.is_power_of_two() {
+                return Err(gpu_sim::SimError::InvalidLaunch(format!(
+                    "blelloch scan needs a power-of-two block, got {block}"
+                )));
+            }
+            let maddr = emit_smem_addr(b, sbase, tid);
+            b.bar();
+            b.st(Space::Shared, ty, v, Address::reg(maddr));
+            let mut d = 1u32;
+            while d < block {
+                b.bar();
+                let mask = i64::from(2 * d - 1);
+                let low = b.reg();
+                b.bin(VOp::And, VTy::U32, low, Operand::Reg(tid), Operand::ImmI(mask));
+                let p = b.pred();
+                b.setp(CmpOp::Eq, VTy::U32, p, Operand::Reg(low), Operand::ImmI(mask));
+                let skip = b.label();
+                b.bra_if(p, false, skip);
+                let tmd = b.reg();
+                b.bin(VOp::Sub, VTy::U32, tmd, Operand::Reg(tid), Operand::ImmI(i64::from(d)));
+                let paddr = emit_smem_addr(b, sbase, tmd);
+                let t = b.reg();
+                b.ld(Space::Shared, ty, t, Address::reg(paddr));
+                let m = b.reg();
+                b.ld(Space::Shared, ty, m, Address::reg(maddr));
+                b.bin(VOp::Add, ty, m, Operand::Reg(m), Operand::Reg(t));
+                b.st(Space::Shared, ty, m, Address::reg(maddr));
+                b.place(skip);
+                d *= 2;
+            }
+            b.bar();
+            let total = b.reg();
+            b.ld(
+                Space::Shared,
+                ty,
+                total,
+                Address::new(Operand::ImmI(sbase + i64::from(block - 1) * 4), 0),
+            );
+            b.bar();
+            let p_last = b.pred();
+            b.setp(
+                CmpOp::Eq,
+                VTy::U32,
+                p_last,
+                Operand::Reg(tid),
+                Operand::ImmI(i64::from(block - 1)),
+            );
+            let skip_z = b.label();
+            b.bra_if(p_last, false, skip_z);
+            let z = b.reg();
+            b.mov(ty, z, Operand::ImmI(0));
+            b.st(Space::Shared, ty, z, Address::reg(maddr));
+            b.place(skip_z);
+            let mut d = block / 2;
+            while d >= 1 {
+                b.bar();
+                let mask = i64::from(2 * d - 1);
+                let low = b.reg();
+                b.bin(VOp::And, VTy::U32, low, Operand::Reg(tid), Operand::ImmI(mask));
+                let p = b.pred();
+                b.setp(CmpOp::Eq, VTy::U32, p, Operand::Reg(low), Operand::ImmI(mask));
+                let skip = b.label();
+                b.bra_if(p, false, skip);
+                let tmd = b.reg();
+                b.bin(VOp::Sub, VTy::U32, tmd, Operand::Reg(tid), Operand::ImmI(i64::from(d)));
+                let paddr = emit_smem_addr(b, sbase, tmd);
+                let t = b.reg();
+                b.ld(Space::Shared, ty, t, Address::reg(paddr));
+                let m = b.reg();
+                b.ld(Space::Shared, ty, m, Address::reg(maddr));
+                b.st(Space::Shared, ty, m, Address::reg(paddr));
+                let nm = b.reg();
+                b.bin(VOp::Add, ty, nm, Operand::Reg(m), Operand::Reg(t));
+                b.st(Space::Shared, ty, nm, Address::reg(maddr));
+                b.place(skip);
+                d /= 2;
+            }
+            b.bar();
+            let excl = b.reg();
+            b.ld(Space::Shared, ty, excl, Address::reg(maddr));
+            Ok((excl, total))
+        }
+        PassFamily::Shuffle => {
+            // Intra-warp inclusive shuffle scan, then a cross-warp
+            // combine through one shared word per warp.
+            let lane = b.reg();
+            b.mov(VTy::U32, lane, Operand::Sreg(Sreg::LaneId));
+            let x = b.reg();
+            b.mov(ty, x, Operand::Reg(v));
+            for d in [1i64, 2, 4, 8, 16] {
+                let t = b.reg();
+                b.shfl(ShflMode::Up, ty, t, Operand::Reg(x), Operand::ImmI(d), 32);
+                let p = b.pred();
+                b.setp(CmpOp::Ge, VTy::U32, p, Operand::Reg(lane), Operand::ImmI(d));
+                let tz = b.reg();
+                b.selp(ty, tz, Operand::Reg(t), Operand::ImmI(0), p);
+                b.bin(VOp::Add, ty, x, Operand::Reg(x), Operand::Reg(tz));
+            }
+            if block <= 32 {
+                let total = b.reg();
+                b.shfl(ShflMode::Idx, ty, total, Operand::Reg(x), Operand::ImmI(31), 32);
+                let excl = b.reg();
+                b.bin(VOp::Sub, ty, excl, Operand::Reg(x), Operand::Reg(v));
+                Ok((excl, total))
+            } else {
+                let nw = block / 32;
+                b.bar();
+                let p31 = b.pred();
+                b.setp(CmpOp::Eq, VTy::U32, p31, Operand::Reg(lane), Operand::ImmI(31));
+                let skip = b.label();
+                b.bra_if(p31, false, skip);
+                let wid = b.reg();
+                b.mov(VTy::U32, wid, Operand::Sreg(Sreg::WarpId));
+                let waddr = emit_smem_addr(b, sbase, wid);
+                b.st(Space::Shared, ty, x, Address::reg(waddr));
+                b.place(skip);
+                b.bar();
+                let wid = b.reg();
+                b.mov(VTy::U32, wid, Operand::Sreg(Sreg::WarpId));
+                let off = b.reg();
+                b.mov(ty, off, Operand::ImmI(0));
+                let total = b.reg();
+                b.mov(ty, total, Operand::ImmI(0));
+                for w in 0..nw {
+                    let t = b.reg();
+                    b.ld(
+                        Space::Shared,
+                        ty,
+                        t,
+                        Address::new(Operand::ImmI(sbase + i64::from(w) * 4), 0),
+                    );
+                    let p_lt = b.pred();
+                    b.setp(CmpOp::Gt, VTy::U32, p_lt, Operand::Reg(wid), Operand::ImmI(i64::from(w)));
+                    let tz = b.reg();
+                    b.selp(ty, tz, Operand::Reg(t), Operand::ImmI(0), p_lt);
+                    b.bin(VOp::Add, ty, off, Operand::Reg(off), Operand::Reg(tz));
+                    b.bin(VOp::Add, ty, total, Operand::Reg(total), Operand::Reg(t));
+                }
+                let excl = b.reg();
+                b.bin(VOp::Sub, ty, excl, Operand::Reg(x), Operand::Reg(v));
+                b.bin(VOp::Add, ty, excl, Operand::Reg(excl), Operand::Reg(off));
+                Ok((excl, total))
+            }
+        }
+        PassFamily::AtomicGlobal | PassFamily::AtomicShared => {
+            Err(gpu_sim::SimError::InvalidLaunch(format!(
+                "scan has no {} schedule",
+                family.tag()
+            )))
+        }
+    }
+}
+
+/// Shared-memory bytes the block-scan schedule of `family` needs.
+fn scan_smem_bytes(family: PassFamily, block: u32) -> u64 {
+    match family {
+        PassFamily::Shuffle => {
+            if block > 32 {
+                4 * u64::from(block / 32)
+            } else {
+                0
+            }
+        }
+        _ => 4 * u64::from(block),
+    }
+}
+
+/// The three kernels of a scan variant: the per-tile scan (writes
+/// tile-local inclusive prefixes and one block sum), the single-warp
+/// spine (exclusive scan of the block sums in place), and the apply
+/// pass (adds each block's offset, and for exclusive scans subtracts
+/// the element back out — exact, because the oracle corpus keeps
+/// every prefix in the integer-exact range).
+fn emit_scan_kernels(
+    key: WorkloadKey,
+    variant: WlVariant,
+    tuning: Tuning,
+    exclusive: bool,
+) -> Result<(Kernel, Vec<Kernel>), gpu_sim::SimError> {
+    let k1 = emit_scan_tile_kernel(key, variant, tuning)?;
+    let spine = emit_scan_spine_kernel(key, variant)?;
+    let apply = emit_scan_apply_kernel(key, variant, tuning, exclusive)?;
+    Ok((k1, vec![spine, apply]))
+}
+
+fn emit_scan_tile_kernel(
+    key: WorkloadKey,
+    variant: WlVariant,
+    tuning: Tuning,
+) -> Result<Kernel, gpu_sim::SimError> {
+    let ty = elem_vty(key.dtype);
+    let block = tuning.block_size;
+    let c = tuning.coarsen;
+    let mut b = KernelBuilder::new(format!(
+        "tangram_wl_{}_{}",
+        mangle(&key.id()),
+        mangle(&variant.to_string())
+    ));
+    let pro = emit_prologue(&mut b);
+    let p_sums = b.param_ptr();
+    let p_in = pro.p_in;
+    let p_out = pro.p_out;
+    let sbase = b.smem_alloc(scan_smem_bytes(variant.family, block)) as i64;
+    let base = b.reg();
+    b.bin(VOp::Mul, VTy::U32, base, Operand::Sreg(Sreg::CtaIdX), Operand::Reg(pro.tile));
+
+    // Every thread ends holding the block total in `carry`.
+    let carry = match variant.dist {
+        Dist::Tiled => {
+            // Pass 1: thread-local sum over this thread's contiguous
+            // run; block-scan it; pass 2: re-walk the run emitting
+            // running prefixes seeded by the exclusive offset.
+            let off0 = b.reg();
+            b.mad(
+                VTy::U32,
+                off0,
+                Operand::Sreg(Sreg::TidX),
+                Operand::ImmI(i64::from(c)),
+                Operand::Reg(base),
+            );
+            let s = b.reg();
+            b.mov(ty, s, Operand::ImmI(0));
+            for j in 0..c {
+                let idx = b.reg();
+                b.bin(VOp::Add, VTy::U32, idx, Operand::Reg(off0), Operand::ImmI(i64::from(j)));
+                let valid = b.pred();
+                b.setp(CmpOp::Lt, VTy::U32, valid, Operand::Reg(idx), Operand::Reg(pro.n));
+                let v = emit_elem_value(&mut b, p_in, idx, valid, ty);
+                b.bin(VOp::Add, ty, s, Operand::Reg(s), Operand::Reg(v));
+            }
+            let (excl, total) = emit_block_scan(&mut b, variant.family, block, ty, s, sbase)?;
+            let acc = b.reg();
+            b.mov(ty, acc, Operand::Reg(excl));
+            for j in 0..c {
+                let idx = b.reg();
+                b.bin(VOp::Add, VTy::U32, idx, Operand::Reg(off0), Operand::ImmI(i64::from(j)));
+                let valid = b.pred();
+                b.setp(CmpOp::Lt, VTy::U32, valid, Operand::Reg(idx), Operand::Reg(pro.n));
+                let v = emit_elem_value(&mut b, p_in, idx, valid, ty);
+                b.bin(VOp::Add, ty, acc, Operand::Reg(acc), Operand::Reg(v));
+                let skip = b.label();
+                b.bra_if(valid, false, skip);
+                let oaddr = emit_gaddr(&mut b, p_out, idx);
+                b.st(Space::Global, ty, acc, Address::reg(oaddr));
+                b.place(skip);
+            }
+            total
+        }
+        Dist::Strided => {
+            // One block-scan per round; `carry` accumulates the tile
+            // prefix across rounds.
+            let carry = b.reg();
+            b.mov(ty, carry, Operand::ImmI(0));
+            for k in 0..c {
+                let idx = b.reg();
+                b.bin(
+                    VOp::Add,
+                    VTy::U32,
+                    idx,
+                    Operand::Reg(base),
+                    Operand::ImmI(i64::from(k) * i64::from(block)),
+                );
+                b.bin(VOp::Add, VTy::U32, idx, Operand::Reg(idx), Operand::Sreg(Sreg::TidX));
+                let valid = b.pred();
+                b.setp(CmpOp::Lt, VTy::U32, valid, Operand::Reg(idx), Operand::Reg(pro.n));
+                let v = emit_elem_value(&mut b, p_in, idx, valid, ty);
+                let (excl, total) = emit_block_scan(&mut b, variant.family, block, ty, v, sbase)?;
+                let incl = b.reg();
+                b.bin(VOp::Add, ty, incl, Operand::Reg(excl), Operand::Reg(v));
+                b.bin(VOp::Add, ty, incl, Operand::Reg(incl), Operand::Reg(carry));
+                let skip = b.label();
+                b.bra_if(valid, false, skip);
+                let oaddr = emit_gaddr(&mut b, p_out, idx);
+                b.st(Space::Global, ty, incl, Address::reg(oaddr));
+                b.place(skip);
+                b.bin(VOp::Add, ty, carry, Operand::Reg(carry), Operand::Reg(total));
+            }
+            carry
+        }
+    };
+
+    let p0 = emit_is_thread0(&mut b);
+    let skip = b.label();
+    b.bra_if(p0, false, skip);
+    let cta = b.reg();
+    b.mov(VTy::U32, cta, Operand::Sreg(Sreg::CtaIdX));
+    let saddr = emit_gaddr(&mut b, p_sums, cta);
+    b.st(Space::Global, ty, carry, Address::reg(saddr));
+    b.place(skip);
+    b.exit();
+    b.finish()
+}
+
+/// The spine: one warp, thread 0 exclusively scans the block sums in
+/// place (`sums[i] ← Σ_{j<i} sums[j]`). Family-independent; the grid
+/// is small enough that a sequential spine never dominates.
+fn emit_scan_spine_kernel(key: WorkloadKey, variant: WlVariant) -> Result<Kernel, gpu_sim::SimError> {
+    let ty = elem_vty(key.dtype);
+    let mut b = KernelBuilder::new(format!(
+        "tangram_wl_{}_{}_spine",
+        mangle(&key.id()),
+        mangle(&variant.to_string())
+    ));
+    let p_sums = b.param_ptr();
+    let p_nb = b.param_scalar(VTy::U32);
+    let nb = b.reg();
+    b.mov(VTy::U32, nb, Operand::Param(p_nb));
+    let p0 = emit_is_thread0(&mut b);
+    let done = b.label();
+    b.bra_if(p0, false, done);
+    let acc = b.reg();
+    b.mov(ty, acc, Operand::ImmI(0));
+    let i = b.reg();
+    b.mov(VTy::U32, i, Operand::ImmI(0));
+    let top = b.label();
+    b.place(top);
+    let p_done = b.pred();
+    b.setp(CmpOp::Ge, VTy::U32, p_done, Operand::Reg(i), Operand::Reg(nb));
+    b.bra_if(p_done, true, done);
+    let addr = emit_gaddr(&mut b, p_sums, i);
+    let t = b.reg();
+    b.ld(Space::Global, ty, t, Address::reg(addr));
+    b.st(Space::Global, ty, acc, Address::reg(addr));
+    b.bin(VOp::Add, ty, acc, Operand::Reg(acc), Operand::Reg(t));
+    b.bin(VOp::Add, VTy::U32, i, Operand::Reg(i), Operand::ImmI(1));
+    b.bra(top);
+    b.place(done);
+    b.exit();
+    b.finish()
+}
+
+/// The apply pass: add the block's spine offset to every tile
+/// prefix; exclusive scans also subtract the element itself, turning
+/// the inclusive prefix into the exclusive one in place.
+fn emit_scan_apply_kernel(
+    key: WorkloadKey,
+    variant: WlVariant,
+    tuning: Tuning,
+    exclusive: bool,
+) -> Result<Kernel, gpu_sim::SimError> {
+    let ty = elem_vty(key.dtype);
+    let mut b = KernelBuilder::new(format!(
+        "tangram_wl_{}_{}_apply",
+        mangle(&key.id()),
+        mangle(&variant.to_string())
+    ));
+    let pro = emit_prologue(&mut b);
+    let p_sums = b.param_ptr();
+    let p_in = pro.p_in;
+    let p_out = pro.p_out;
+    let cta = b.reg();
+    b.mov(VTy::U32, cta, Operand::Sreg(Sreg::CtaIdX));
+    let caddr = emit_gaddr(&mut b, p_sums, cta);
+    let off = b.reg();
+    b.ld(Space::Global, ty, off, Address::reg(caddr));
+    emit_tile_loop(&mut b, &pro, tuning, Dist::Strided, |b, idx, valid| {
+        // Fully guarded: invalid lanes must not even read `out` (a
+        // clamped read of out[0] would race the owner's store).
+        let skip = b.label();
+        b.bra_if(valid, false, skip);
+        let oaddr = emit_gaddr(b, p_out, idx);
+        let y = b.reg();
+        b.ld(Space::Global, ty, y, Address::reg(oaddr));
+        b.bin(VOp::Add, ty, y, Operand::Reg(y), Operand::Reg(off));
+        if exclusive {
+            let iaddr = emit_gaddr(b, p_in, idx);
+            let raw = b.reg();
+            b.ld(Space::Global, VTy::F32, raw, Address::reg(iaddr));
+            let x = if ty == VTy::U32 {
+                let cvt = b.reg();
+                b.cvt(VTy::F32, VTy::I32, cvt, Operand::Reg(raw));
+                cvt
+            } else {
+                raw
+            };
+            b.bin(VOp::Sub, ty, y, Operand::Reg(y), Operand::Reg(x));
+        }
+        b.st(Space::Global, ty, y, Address::reg(oaddr));
+        b.place(skip);
+    });
+    b.exit();
+    b.finish()
+}
+
+/// One segmented-sum kernel per variant. `AG` scatters per-element
+/// global atomics; `AS` privatizes a [`SEG_WIN`]-segment shared
+/// window anchored at the block's first segment (sorted-run
+/// locality), falling back to global atomics past the window; `SH`
+/// (strided only) runs the warp-shuffle head-flag segmented scan and
+/// issues one atomic per run per warp.
+fn emit_segsum_kernel(
+    key: WorkloadKey,
+    variant: WlVariant,
+    tuning: Tuning,
+) -> Result<Kernel, gpu_sim::SimError> {
+    let ty = elem_vty(key.dtype);
+    let mut b = KernelBuilder::new(format!(
+        "tangram_wl_{}_{}",
+        mangle(&key.id()),
+        mangle(&variant.to_string())
+    ));
+    let pro = emit_prologue(&mut b);
+    let p_segs = b.param_ptr();
+    let p_nsegs = b.param_scalar(VTy::U32);
+    let p_in = pro.p_in;
+    let p_out = pro.p_out;
+
+    match variant.family {
+        PassFamily::AtomicGlobal => {
+            // Pure per-element scatter; the classic grid distributions
+            // apply unchanged (no block-local state).
+            emit_element_loop(&mut b, &pro, tuning.coarsen, variant.dist, |b, idx, valid| {
+                let v = emit_elem_value(b, p_in, idx, valid, ty);
+                let seg = emit_seg_of(b, p_segs, idx, valid);
+                let addr = emit_gaddr(b, p_out, seg);
+                b.red(Space::Global, Scope::Gpu, AtomOp::Add, ty, Address::reg(addr), Operand::Reg(v));
+            });
+        }
+        PassFamily::AtomicShared => {
+            let nsegs = b.reg();
+            b.mov(VTy::U32, nsegs, Operand::Param(p_nsegs));
+            let sbase = b.smem_alloc(4 * u64::from(SEG_WIN)) as i64;
+            let base = b.reg();
+            b.bin(VOp::Mul, VTy::U32, base, Operand::Sreg(Sreg::CtaIdX), Operand::Reg(pro.tile));
+            // The block's anchor segment: segs[base] (base < n for
+            // every launched block).
+            let s0addr = emit_gaddr(&mut b, p_segs, base);
+            let seg0 = b.reg();
+            b.ld(Space::Global, VTy::U32, seg0, Address::reg(s0addr));
+            let iters = SEG_WIN.div_ceil(tuning.block_size);
+            let zero = b.reg();
+            b.mov(ty, zero, Operand::ImmI(0));
+            emit_bin_stride_loop(&mut b, SEG_WIN, iters, |b, j, p_j| {
+                let skip = b.label();
+                b.bra_if(p_j, false, skip);
+                let a = emit_smem_addr(b, sbase, j);
+                b.st(Space::Shared, ty, zero, Address::reg(a));
+                b.place(skip);
+            });
+            b.bar();
+            emit_tile_loop(&mut b, &pro, tuning, variant.dist, |b, idx, valid| {
+                let v = emit_elem_value(b, p_in, idx, valid, ty);
+                let seg = emit_seg_of(b, p_segs, idx, valid);
+                let rel = b.reg();
+                b.bin(VOp::Sub, VTy::U32, rel, Operand::Reg(seg), Operand::Reg(seg0));
+                let p_win = b.pred();
+                b.setp(CmpOp::Lt, VTy::U32, p_win, Operand::Reg(rel), Operand::ImmI(i64::from(SEG_WIN)));
+                let lbl_else = b.label();
+                let lbl_end = b.label();
+                b.bra_if(p_win, false, lbl_else);
+                let sa = emit_smem_addr(b, sbase, rel);
+                b.red(Space::Shared, Scope::Cta, AtomOp::Add, ty, Address::reg(sa), Operand::Reg(v));
+                b.bra(lbl_end);
+                b.place(lbl_else);
+                let ga = emit_gaddr(b, p_out, seg);
+                b.red(Space::Global, Scope::Gpu, AtomOp::Add, ty, Address::reg(ga), Operand::Reg(v));
+                b.place(lbl_end);
+            });
+            b.bar();
+            emit_bin_stride_loop(&mut b, SEG_WIN, iters, |b, j, p_j| {
+                let seg = b.reg();
+                b.bin(VOp::Add, VTy::U32, seg, Operand::Reg(seg0), Operand::Reg(j));
+                let p_lt = b.pred();
+                b.setp(CmpOp::Lt, VTy::U32, p_lt, Operand::Reg(seg), Operand::Reg(nsegs));
+                let p_go = b.pred();
+                b.push(Instr::Plop { op: VOp::And, dst: p_go, a: p_j, b: p_lt });
+                let skip = b.label();
+                b.bra_if(p_go, false, skip);
+                let sa = emit_smem_addr(b, sbase, j);
+                let cv = b.reg();
+                b.ld(Space::Shared, ty, cv, Address::reg(sa));
+                let ga = emit_gaddr(b, p_out, seg);
+                b.red(Space::Global, Scope::Gpu, AtomOp::Add, ty, Address::reg(ga), Operand::Reg(cv));
+                b.place(skip);
+            });
+        }
+        PassFamily::Shuffle => {
+            if variant.dist != Dist::Strided {
+                return Err(gpu_sim::SimError::InvalidLaunch(
+                    "head-flag segmented shuffle needs warp-contiguous (strided) windows".into(),
+                ));
+            }
+            emit_tile_loop(&mut b, &pro, tuning, Dist::Strided, |b, idx, valid| {
+                let v = emit_elem_value(b, p_in, idx, valid, ty);
+                let seg = emit_seg_of(b, p_segs, idx, valid);
+                let lane = b.reg();
+                b.mov(VTy::U32, lane, Operand::Sreg(Sreg::LaneId));
+                // Head flags: lane 0, or a segment boundary.
+                let pseg = b.reg();
+                b.shfl(ShflMode::Up, VTy::U32, pseg, Operand::Reg(seg), Operand::ImmI(1), 32);
+                let p_lane0 = b.pred();
+                b.setp(CmpOp::Eq, VTy::U32, p_lane0, Operand::Reg(lane), Operand::ImmI(0));
+                let p_diff = b.pred();
+                b.setp(CmpOp::Ne, VTy::U32, p_diff, Operand::Reg(seg), Operand::Reg(pseg));
+                let p_head = b.pred();
+                b.push(Instr::Plop { op: VOp::Or, dst: p_head, a: p_lane0, b: p_diff });
+                let f = b.reg();
+                b.selp(VTy::U32, f, Operand::ImmI(1), Operand::ImmI(0), p_head);
+                // hd = lane index of my run's head: max-scan of
+                // (head ? lane : 0) — lane 0 is always a head.
+                let hd = b.reg();
+                b.selp(VTy::U32, hd, Operand::Reg(lane), Operand::ImmI(0), p_head);
+                // s = inclusive sum-scan of v across the warp.
+                let s = b.reg();
+                b.mov(ty, s, Operand::Reg(v));
+                for d in [1i64, 2, 4, 8, 16] {
+                    let th = b.reg();
+                    b.shfl(ShflMode::Up, VTy::U32, th, Operand::Reg(hd), Operand::ImmI(d), 32);
+                    let ts = b.reg();
+                    b.shfl(ShflMode::Up, ty, ts, Operand::Reg(s), Operand::ImmI(d), 32);
+                    let p_ge = b.pred();
+                    b.setp(CmpOp::Ge, VTy::U32, p_ge, Operand::Reg(lane), Operand::ImmI(d));
+                    let thz = b.reg();
+                    b.selp(VTy::U32, thz, Operand::Reg(th), Operand::ImmI(0), p_ge);
+                    b.bin(VOp::Max, VTy::U32, hd, Operand::Reg(hd), Operand::Reg(thz));
+                    let tsz = b.reg();
+                    b.selp(ty, tsz, Operand::Reg(ts), Operand::ImmI(0), p_ge);
+                    b.bin(VOp::Add, ty, s, Operand::Reg(s), Operand::Reg(tsz));
+                }
+                // prev = warp prefix before my run = s at lane hd-1
+                // (0 when the run starts at lane 0).
+                let p_hd0 = b.pred();
+                b.setp(CmpOp::Eq, VTy::U32, p_hd0, Operand::Reg(hd), Operand::ImmI(0));
+                let hm1 = b.reg();
+                b.bin(VOp::Sub, VTy::U32, hm1, Operand::Reg(hd), Operand::ImmI(1));
+                let lanem1 = b.reg();
+                b.selp(VTy::U32, lanem1, Operand::ImmI(0), Operand::Reg(hm1), p_hd0);
+                let pv = b.reg();
+                b.shfl(ShflMode::Idx, ty, pv, Operand::Reg(s), Operand::Reg(lanem1), 32);
+                let prev = b.reg();
+                b.selp(ty, prev, Operand::ImmI(0), Operand::Reg(pv), p_hd0);
+                let runsum = b.reg();
+                b.bin(VOp::Sub, ty, runsum, Operand::Reg(s), Operand::Reg(prev));
+                // The last lane of each run flushes one atomic.
+                let fnext = b.reg();
+                b.shfl(ShflMode::Down, VTy::U32, fnext, Operand::Reg(f), Operand::ImmI(1), 32);
+                let p_l31 = b.pred();
+                b.setp(CmpOp::Eq, VTy::U32, p_l31, Operand::Reg(lane), Operand::ImmI(31));
+                let p_fn = b.pred();
+                b.setp(CmpOp::Eq, VTy::U32, p_fn, Operand::Reg(fnext), Operand::ImmI(1));
+                let p_last = b.pred();
+                b.push(Instr::Plop { op: VOp::Or, dst: p_last, a: p_l31, b: p_fn });
+                let skip = b.label();
+                b.bra_if(p_last, false, skip);
+                let ga = emit_gaddr(b, p_out, seg);
+                b.red(Space::Global, Scope::Gpu, AtomOp::Add, ty, Address::reg(ga), Operand::Reg(runsum));
+                b.place(skip);
+            });
+        }
+        PassFamily::HillisSteele | PassFamily::Blelloch => {
+            return Err(gpu_sim::SimError::InvalidLaunch(format!(
+                "segsum has no {} schedule",
+                variant.family.tag()
+            )));
         }
     }
     b.exit();

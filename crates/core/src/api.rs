@@ -23,9 +23,7 @@ use tangram_passes::planner::{self, CodeVersion};
 
 use tangram_codegen::{synthesize_cached, synthesize_workload_cached, Tuning};
 use tangram_passes::specialize::ReduceOp;
-use tangram_passes::workload::{
-    enumerate_workload_variants, WlVariant, WorkloadKey, WorkloadKind,
-};
+use tangram_passes::workload::{enumerate_variants_for, WlVariant, WorkloadKey, WorkloadKind};
 
 use crate::evaluate::{
     best_measurement, coarsen_options, evaluate_all_timed, ContextPool, EvalOptions, RungStats,
@@ -41,8 +39,8 @@ use crate::store::{corpus_fingerprint, CacheMode, Lookup, StoreKey, StoreRecord,
 use crate::tuner::{TunedVersion, BLOCK_SIZES, COARSEN};
 use crate::workload::{
     best_wl_measurement, evaluate_workload, expected_value, sanitize_workload_variant,
-    validate_workload_winner, workload_corpus_fingerprint, workload_input, Workload,
-    WorkloadMetrics, WorkloadReport, WorkloadRow, WorkloadValue, WORKLOAD_INPUT_TAG,
+    validate_workload_winner, workload_corpus, workload_corpus_fingerprint, Workload,
+    WorkloadMetrics, WorkloadReport, WorkloadRow, WorkloadValue,
 };
 
 /// Errors surfaced by the high-level API.
@@ -1269,7 +1267,7 @@ impl Session {
         // Sanitizer screen over the variant corpus (on the oracle
         // input — histogram hazards are data-dependent). Racy
         // variants never reach the timing engine.
-        let all_variants = enumerate_workload_variants();
+        let all_variants = enumerate_variants_for(key.kind);
         let (variants, races) = if self.sanitize {
             let sn = n.min(SANITIZE_N_CAP);
             let mut survivors = Vec::with_capacity(all_variants.len());
@@ -1391,7 +1389,7 @@ impl Session {
             .version
             .parse()
             .map_err(|e| format!("cached winner is not a live variant: {e}"))?;
-        let Some(ci) = enumerate_workload_variants().iter().position(|v| *v == variant) else {
+        let Some(ci) = enumerate_variants_for(key.kind).iter().position(|v| *v == variant) else {
             return Err(format!("cached variant `{}` is not in the live corpus", rec.version));
         };
         if !BLOCK_SIZES.contains(&rec.block_size) {
@@ -1429,8 +1427,8 @@ impl Session {
         let pool = ContextPool::builder(&self.arch, n).opts(&self.opts).build();
         let mut ctx =
             pool.acquire().map_err(|e| format!("confirmation context failed: {e}"))?;
-        ctx.ensure_input(WORKLOAD_INPUT_TAG, workload_input)
-            .map_err(|e| format!("corpus upload failed: {e}"))?;
+        let (tag, make) = workload_corpus(key);
+        ctx.ensure_input(tag, make).map_err(|e| format!("corpus upload failed: {e}"))?;
         let time_ns = ctx
             .measure_workload(&sw)
             .map_err(|e| format!("confirmation run failed: {e}"))?;

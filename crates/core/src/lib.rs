@@ -78,7 +78,7 @@ pub use resilience::{
 };
 pub use tangram_passes::specialize::ReduceOp;
 pub use pipeline::{run_pipeline, PipelineReport};
-pub use runner::{run_reduction, upload};
+pub use runner::{run_reduction, run_segsum, run_workload, upload};
 pub use select::{
     paper_sizes, select_best, select_best_with, selection_table, selection_table_with,
     SelectionRow,
@@ -90,10 +90,12 @@ pub use serve::{
 pub use store::{CacheMode, Lookup, SaveReceipt, StoreError, StoreKey, StoreRecord, TuningStore};
 pub use tuner::{measure, tune, TunedVersion};
 pub use workload::{
-    expected_value, workload_corpus_fingerprint, workload_input, Workload, WorkloadMetrics,
-    WorkloadReport, WorkloadRow, WorkloadValue,
+    expected_value, scan_input, segment_map, workload_corpus_fingerprint, workload_input,
+    workload_input_for, Workload, WorkloadMetrics, WorkloadReport, WorkloadRow, WorkloadValue,
 };
-pub use tangram_passes::workload::{WlVariant, WorkloadKey, WorkloadKind};
+pub use tangram_passes::workload::{
+    enumerate_variants_for, segments_for, Dtype, WlVariant, WorkloadKey, WorkloadKind,
+};
 
 /// One-stop imports for library clients: the device and architecture
 /// types, the engine knobs, the [`Session`] entry point, and every
@@ -134,7 +136,7 @@ pub mod prelude {
     pub use crate::workload::{
         Workload, WorkloadMetrics, WorkloadReport, WorkloadRow, WorkloadValue,
     };
-    pub use tangram_passes::workload::{WlVariant, WorkloadKey, WorkloadKind};
+    pub use tangram_passes::workload::{Dtype, WlVariant, WorkloadKey, WorkloadKind};
     pub use gpu_sim::profile::{LaunchProfile, SiteCounters, Trace};
     pub use gpu_sim::{ArchConfig, Device, ExecMode, SimError};
     pub use tangram_passes::specialize::ReduceOp;

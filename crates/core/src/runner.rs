@@ -6,7 +6,7 @@ use gpu_sim::{Arg, Device, DevicePtr, LaunchDims, SimError, TimingOptions};
 use tangram_codegen::{SynthesizedVersion, SynthesizedWorkload};
 use tangram_passes::workload::WorkloadKind;
 
-use crate::workload::WorkloadValue;
+use crate::workload::{segment_map, WorkloadValue};
 
 /// Run a synthesized reduction over `n` `f32` elements at `input`.
 ///
@@ -90,13 +90,13 @@ pub fn run_workload(
 ) -> Result<WorkloadValue, SimError> {
     let plan = sw.plan(n);
     let dims = LaunchDims::new(plan.grid, plan.block).with_dynamic_smem(plan.dynamic_smem);
-    let out = dev.alloc(sw.out_bytes())?;
-    let args = [input.arg(), out.arg(), Arg::U32(n as u32), Arg::U32(plan.tile)];
     match sw.key.kind {
         WorkloadKind::Reduce(_) => Err(SimError::InvalidLaunch(
             "plain reductions run through run_reduction, not run_workload".into(),
         )),
         WorkloadKind::ArgMax | WorkloadKind::ArgMin => {
+            let out = dev.alloc(sw.out_bytes(n))?;
+            let args = [input.arg(), out.arg(), Arg::U32(n as u32), Arg::U32(plan.tile)];
             // The packed-pair identity is 0: any valid candidate has a
             // complemented index, so even the worst key beats it.
             dev.write_scalar(Ty::U64, out, 0)?;
@@ -104,16 +104,97 @@ pub fn run_workload(
             Ok(WorkloadValue::Packed(dev.read_scalar(Ty::U64, out)?))
         }
         WorkloadKind::Histogram { .. } => {
-            dev.memset_zero(out, sw.out_bytes())?;
+            let out = dev.alloc(sw.out_bytes(n))?;
+            let args = [input.arg(), out.arg(), Arg::U32(n as u32), Arg::U32(plan.tile)];
+            dev.memset_zero(out, sw.out_bytes(n))?;
             dev.launch(&sw.kernel, dims, &args, selection, TimingOptions::default())?;
-            let bytes = dev.download_bytes(out, sw.out_bytes())?;
-            let counts = bytes
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect();
-            Ok(WorkloadValue::Bins(counts))
+            let bytes = dev.download_bytes(out, sw.out_bytes(n))?;
+            Ok(WorkloadValue::Bins(words_of(&bytes)))
+        }
+        WorkloadKind::Scan { .. } => {
+            // Three launches: per-tile scan, single-warp spine over
+            // the block sums, offset apply.
+            let out_bytes = sw.out_bytes(n);
+            let out = dev.alloc(out_bytes)?;
+            let sums = dev.alloc(4 * u64::from(plan.grid))?;
+            dev.memset_zero(sums, 4 * u64::from(plan.grid))?;
+            let args =
+                [input.arg(), out.arg(), Arg::U32(n as u32), Arg::U32(plan.tile), sums.arg()];
+            dev.launch(&sw.kernel, dims, &args, selection, TimingOptions::default())?;
+            dev.launch(
+                &sw.aux[0],
+                LaunchDims::new(1, 32),
+                &[sums.arg(), Arg::U32(plan.grid)],
+                BlockSelection::All,
+                TimingOptions::default(),
+            )?;
+            dev.launch(&sw.aux[1], dims, &args, selection, TimingOptions::default())?;
+            let bytes = dev.download_bytes(out, out_bytes)?;
+            Ok(WorkloadValue::Buffer(words_of(&bytes)))
+        }
+        WorkloadKind::SegSum => {
+            let ids = segment_map(n);
+            run_segsum(dev, sw, input, n, &ids, selection)
         }
     }
+}
+
+/// Run a synthesized segmented sum with explicit segment ids
+/// (`ids[i]` = segment of element `i`, sorted ascending; segment
+/// count = `ids.last() + 1`). [`run_workload`] calls this with the
+/// canonical descriptor expansion ([`segment_map`]); the conformance
+/// suite drives it with custom descriptors (one segment,
+/// all-segments-length-1, …).
+///
+/// # Errors
+///
+/// Propagates simulator errors; rejects non-segsum keys and
+/// descriptors shorter than `n`.
+pub fn run_segsum(
+    dev: &mut Device,
+    sw: &SynthesizedWorkload,
+    input: DevicePtr,
+    n: u64,
+    ids: &[u32],
+    selection: BlockSelection,
+) -> Result<WorkloadValue, SimError> {
+    if sw.key.kind != WorkloadKind::SegSum {
+        return Err(SimError::InvalidLaunch("run_segsum needs a segsum workload".into()));
+    }
+    if (ids.len() as u64) < n {
+        return Err(SimError::InvalidLaunch(format!(
+            "segment descriptor covers {} of {n} elements",
+            ids.len()
+        )));
+    }
+    let plan = sw.plan(n);
+    let dims = LaunchDims::new(plan.grid, plan.block).with_dynamic_smem(plan.dynamic_smem);
+    let nsegs = ids.last().map_or(0, |&s| u64::from(s) + 1);
+    let out_bytes = nsegs.max(1) * 4;
+    let out = dev.alloc(out_bytes)?;
+    dev.memset_zero(out, out_bytes)?;
+    let segs = dev.alloc(4 * ids.len().max(1) as u64)?;
+    let mut seg_bytes = Vec::with_capacity(ids.len() * 4);
+    for &s in ids {
+        seg_bytes.extend_from_slice(&s.to_le_bytes());
+    }
+    dev.upload_bytes(segs, &seg_bytes)?;
+    let args = [
+        input.arg(),
+        out.arg(),
+        Arg::U32(n as u32),
+        Arg::U32(plan.tile),
+        segs.arg(),
+        Arg::U32(nsegs as u32),
+    ];
+    dev.launch(&sw.kernel, dims, &args, selection, TimingOptions::default())?;
+    let bytes = dev.download_bytes(out, nsegs * 4)?;
+    Ok(WorkloadValue::Buffer(words_of(&bytes)))
+}
+
+/// Reinterpret little-endian bytes as 32-bit words.
+fn words_of(bytes: &[u8]) -> Vec<u32> {
+    bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
 }
 
 /// Upload `data` to a fresh allocation on `dev`.

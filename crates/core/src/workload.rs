@@ -27,8 +27,10 @@ use gpu_sim::{ArchConfig, Device, ExecMode, RaceReport, SimError};
 use serde::Serialize;
 use tangram_codegen::{synthesize_workload_cached, Tuning};
 use tangram_passes::specialize::ReduceOp;
-use tangram_passes::workload::enumerate_workload_variants;
-pub use tangram_passes::workload::{WlVariant, WorkloadKey, WorkloadKind};
+use tangram_passes::workload::{enumerate_workload_variants, SEGMENT_PATTERN};
+pub use tangram_passes::workload::{
+    enumerate_variants_for, segments_for, Dtype, WlVariant, WorkloadKey, WorkloadKind,
+};
 
 use crate::api::CandidateRaces;
 use crate::evaluate::{
@@ -85,10 +87,26 @@ impl Workload {
         Workload::new(WorkloadKey::histogram(bins), n)
     }
 
-    /// The deterministic oracle corpus for this workload's size:
-    /// [`workload_input`].
+    /// An inclusive `scan-f32` workload over `n` elements.
+    pub fn scan(n: u64) -> Self {
+        Workload::new(WorkloadKey::scan(Dtype::F32), n)
+    }
+
+    /// An exclusive `exscan-f32` workload over `n` elements.
+    pub fn exscan(n: u64) -> Self {
+        Workload::new(WorkloadKey::exscan(Dtype::F32), n)
+    }
+
+    /// A `segsum-f32` workload over `n` elements (canonical segment
+    /// descriptor: [`segment_map`]).
+    pub fn segsum(n: u64) -> Self {
+        Workload::new(WorkloadKey::segsum(Dtype::F32), n)
+    }
+
+    /// The deterministic oracle corpus for this workload's size
+    /// ([`workload_input_for`]).
     pub fn oracle_input(&self) -> Vec<f32> {
-        workload_input(self.n)
+        workload_input_for(self.key, self.n)
     }
 
     /// The CPU-reference expected value of this workload over `data`:
@@ -134,6 +152,50 @@ pub fn workload_input(n: u64) -> Vec<f32> {
     data
 }
 
+/// The deterministic scan/segsum corpus at size `n`: the same
+/// `(i % 17) - 3` ramp *without* the planted `±1e30` extremes. Every
+/// element is an integer in `[-3, 13]`, so every prefix and segment
+/// partial at oracle sizes (≤ 2¹⁶ elements ⇒ |sum| < 2²⁰ ≪ 2²⁴) is
+/// exactly representable in `f32` — any association or atomic order
+/// on the device produces bit-identical results, which is what lets
+/// the vector-valued oracles compare with zero tolerance.
+pub fn scan_input(n: u64) -> Vec<f32> {
+    (0..n).map(|i| ((i % 17) as f32) - 3.0).collect()
+}
+
+/// The oracle corpus for `key` at size `n`: scans and segmented sums
+/// use the exactness-preserving [`scan_input`] ramp, every other kind
+/// the classic [`workload_input`] with planted extremes.
+pub fn workload_input_for(key: WorkloadKey, n: u64) -> Vec<f32> {
+    match key.kind {
+        WorkloadKind::Scan { .. } | WorkloadKind::SegSum => scan_input(n),
+        _ => workload_input(n),
+    }
+}
+
+/// Expand the canonical segment descriptor at size `n`: element `i`'s
+/// segment id, following [`SEGMENT_PATTERN`] cyclically (Fibonacci
+/// run lengths 1,1,2,3,5,8,13,21 — short head segments stress
+/// head-flag handling, the 21-run stresses sorted-run privatization).
+/// Sorted ascending from 0; `segments_for(n)` ids total.
+pub fn segment_map(n: u64) -> Vec<u32> {
+    let mut ids = Vec::with_capacity(n as usize);
+    let mut seg: u32 = 0;
+    'fill: loop {
+        for &len in &SEGMENT_PATTERN {
+            if ids.len() as u64 >= n {
+                break 'fill;
+            }
+            let take = len.min(n - ids.len() as u64);
+            for _ in 0..take {
+                ids.push(seg);
+            }
+            seg += 1;
+        }
+    }
+    ids
+}
+
 /// Tag of [`workload_input`] in a [`BenchContext`]'s input buffer
 /// (see [`BenchContext::ensure_input`]). Histogram timing depends on
 /// atomic contention, which depends on the data — every measurement
@@ -141,10 +203,24 @@ pub fn workload_input(n: u64) -> Vec<f32> {
 /// are deterministic for any thread count.
 pub(crate) const WORKLOAD_INPUT_TAG: u64 = 0x774c_434f_5250_5553;
 
+/// Tag of [`scan_input`] in a [`BenchContext`]'s input buffer — the
+/// scan/segsum corpus is distinct (no planted extremes), so it hashes
+/// under its own tag.
+pub(crate) const SCAN_INPUT_TAG: u64 = 0x5343_414e_434f_5250;
+
+/// `(tag, generator)` of the corpus `key` sweeps over.
+pub(crate) fn workload_corpus(key: WorkloadKey) -> (u64, fn(u64) -> Vec<f32>) {
+    match key.kind {
+        WorkloadKind::Scan { .. } | WorkloadKind::SegSum => (SCAN_INPUT_TAG, scan_input),
+        _ => (WORKLOAD_INPUT_TAG, workload_input),
+    }
+}
+
 /// The output of one workload run, in the exact representation the
 /// oracle compares: reductions produce a scalar, arg-reductions the
 /// packed `(key, complemented index)` pair, histograms one `u32`
-/// counter per bin.
+/// counter per bin, scans and segmented sums a full output vector of
+/// raw 32-bit words.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadValue {
     /// A plain reduction's scalar result.
@@ -154,6 +230,12 @@ pub enum WorkloadValue {
     Packed(u64),
     /// A histogram's per-bin counters.
     Bins(Vec<u32>),
+    /// A vector-valued result (scan prefixes, per-segment sums): one
+    /// raw little-endian 32-bit word per output element — `f32` bit
+    /// patterns for `f32` workloads, plain `u32` otherwise. Equality
+    /// is bitwise, so oracle comparison is zero-tolerance by
+    /// construction.
+    Buffer(Vec<u32>),
 }
 
 impl WorkloadValue {
@@ -169,6 +251,31 @@ impl WorkloadValue {
         }
     }
 
+    /// The raw words of a vector-valued result (`None` for the scalar
+    /// shapes).
+    pub fn buffer(&self) -> Option<&[u32]> {
+        match self {
+            WorkloadValue::Buffer(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// FNV-style fingerprint of a vector-valued result — what the
+    /// wire and logs carry instead of megabytes of prefixes. `0` for
+    /// scalar shapes.
+    pub fn checksum(&self) -> u64 {
+        match self {
+            WorkloadValue::Buffer(w) => {
+                let mut bytes = Vec::with_capacity(w.len() * 4);
+                for v in w {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                fx_hash_bytes(&bytes)
+            }
+            _ => 0,
+        }
+    }
+
     /// One-line display for logs.
     pub fn summary(&self) -> String {
         match self {
@@ -178,6 +285,9 @@ impl WorkloadValue {
             }
             WorkloadValue::Bins(b) => {
                 format!("bins={} total={}", b.len(), b.iter().map(|&c| u64::from(c)).sum::<u64>())
+            }
+            WorkloadValue::Buffer(w) => {
+                format!("len={} checksum={:#018x}", w.len(), self.checksum())
             }
         }
     }
@@ -197,6 +307,13 @@ impl Serialize for WorkloadValue {
             WorkloadValue::Bins(b) => {
                 serde::Value::Map(vec![("bins".to_string(), b.to_value())])
             }
+            // The wire/store form is the length + fingerprint, never
+            // the full vector (scan outputs are as large as their
+            // inputs).
+            WorkloadValue::Buffer(w) => serde::Value::Map(vec![
+                ("len".to_string(), (w.len() as u64).to_value()),
+                ("checksum".to_string(), self.checksum().to_value()),
+            ]),
         }
     }
 }
@@ -223,6 +340,32 @@ pub fn expected_value(key: WorkloadKey, data: &[f32]) -> WorkloadValue {
         WorkloadKind::Histogram { bins } => {
             WorkloadValue::Bins(cpu_ref::histogram_ref(data, bins))
         }
+        WorkloadKind::Scan { exclusive } => WorkloadValue::Buffer(match key.dtype {
+            Dtype::F32 => {
+                let out = if exclusive {
+                    cpu_ref::exclusive_scan_f32(data)
+                } else {
+                    cpu_ref::inclusive_scan_f32(data)
+                };
+                out.iter().map(|v| v.to_bits()).collect()
+            }
+            Dtype::U32 => {
+                if exclusive {
+                    cpu_ref::exclusive_scan_u32(data)
+                } else {
+                    cpu_ref::inclusive_scan_u32(data)
+                }
+            }
+        }),
+        WorkloadKind::SegSum => {
+            let ids = segment_map(data.len() as u64);
+            WorkloadValue::Buffer(match key.dtype {
+                Dtype::F32 => {
+                    cpu_ref::segsum_f32(data, &ids).iter().map(|v| v.to_bits()).collect()
+                }
+                Dtype::U32 => cpu_ref::segsum_u32(data, &ids),
+            })
+        }
     }
 }
 
@@ -236,6 +379,20 @@ pub fn workload_corpus_fingerprint() -> u64 {
     for v in enumerate_workload_variants() {
         desc.push_str(&v.id());
         desc.push('|');
+    }
+    // The per-kind menus: a persisted scan/segsum winner swept
+    // against a different schedule corpus must not warm-start this
+    // one.
+    for (label, kind) in [
+        ("scan", WorkloadKind::Scan { exclusive: false }),
+        ("segsum", WorkloadKind::SegSum),
+    ] {
+        desc.push_str(label);
+        desc.push(':');
+        for v in enumerate_variants_for(kind) {
+            desc.push_str(&v.id());
+            desc.push('|');
+        }
     }
     fx_hash_bytes(desc.as_bytes())
 }
@@ -286,7 +443,8 @@ fn measure_wl_job(
     let Ok(sw) = synthesize_workload_cached(key, job.variant, job.tuning) else {
         return Ok(None);
     };
-    ctx.ensure_input(WORKLOAD_INPUT_TAG, workload_input)?;
+    let (tag, make) = workload_corpus(key);
+    ctx.ensure_input(tag, make)?;
     let measured =
         if screen { ctx.measure_workload_screen(&sw) } else { ctx.measure_workload(&sw) };
     match measured {
@@ -386,7 +544,7 @@ pub(crate) fn sanitize_workload_variant(
             let Ok(sw) = synthesize_workload_cached(key, variant, tuning) else { continue };
             let mut dev = Device::new(arch.clone());
             dev.set_sanitizing(true);
-            let input = upload(&mut dev, &workload_input(n))?;
+            let input = upload(&mut dev, &workload_input_for(key, n))?;
             match run_workload(&mut dev, &sw, input, n, BlockSelection::All) {
                 Ok(_) => {
                     let reports: Vec<RaceReport> =
@@ -437,7 +595,7 @@ pub(crate) fn validate_workload_winner(
 ) -> Result<OracleCheck, SimError> {
     let sw = synthesize_workload_cached(key, variant, tuning)
         .map_err(|e| SimError::InvalidLaunch(format!("winner failed to re-synthesize: {e}")))?;
-    let data = workload_input(on);
+    let data = workload_input_for(key, on);
     let mut dev = Device::new(arch.clone());
     dev.set_exec_mode(interp);
     let input = upload(&mut dev, &data)?;
@@ -591,5 +749,59 @@ mod tests {
     #[test]
     fn fingerprint_is_deterministic() {
         assert_eq!(workload_corpus_fingerprint(), workload_corpus_fingerprint());
+    }
+
+    #[test]
+    fn segment_map_agrees_with_segments_for() {
+        for n in [0u64, 1, 2, 53, 54, 55, 1000, 65_536] {
+            let ids = segment_map(n);
+            assert_eq!(ids.len() as u64, n);
+            assert!(ids.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] + 1), "sorted, gapless");
+            let nsegs = ids.last().map_or(0, |&s| u64::from(s) + 1);
+            assert_eq!(nsegs, segments_for(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_corpus_stays_in_the_exact_envelope() {
+        let data = scan_input(65_536);
+        let mut acc = 0.0f64;
+        for &x in &data {
+            assert_eq!(x, x.trunc(), "integer-valued");
+            acc += f64::from(x);
+            assert!(acc.abs() < (1u64 << 24) as f64, "prefix must stay exactly representable");
+        }
+        // The f32 fold therefore equals the f64 fold, bit for bit.
+        assert_eq!(data.iter().sum::<f32>() as f64, acc);
+    }
+
+    #[test]
+    fn buffer_values_checksum_and_summarize_without_the_payload() {
+        let v = WorkloadValue::Buffer(vec![1, 2, 3]);
+        assert_ne!(v.checksum(), WorkloadValue::Buffer(vec![1, 2, 4]).checksum());
+        let s = v.summary();
+        assert!(s.contains("len=3"), "got: {s}");
+        assert!(s.contains("checksum="), "got: {s}");
+        // The serialized form carries length + checksum, not 3 words.
+        let json = serde_json::to_string(&serde::Serialize::to_value(&v)).unwrap();
+        assert!(json.contains("\"len\""), "got: {json}");
+        assert!(!json.contains('['), "must not serialize the payload: {json}");
+    }
+
+    #[test]
+    fn scan_oracle_shapes_track_output_shape() {
+        let data = scan_input(100);
+        for key in [WorkloadKey::scan(Dtype::F32), WorkloadKey::exscan(Dtype::U32)] {
+            let WorkloadValue::Buffer(words) = expected_value(key, &data) else {
+                panic!("scan oracle must produce a buffer");
+            };
+            assert_eq!(words.len() as u64, key.kind.output_shape(100).0);
+        }
+        let WorkloadValue::Buffer(words) =
+            expected_value(WorkloadKey::segsum(Dtype::F32), &data)
+        else {
+            panic!("segsum oracle must produce a buffer");
+        };
+        assert_eq!(words.len() as u64, segments_for(100));
     }
 }

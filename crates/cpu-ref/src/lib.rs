@@ -130,6 +130,91 @@ pub fn histogram_ref(data: &[f32], bins: u32) -> Vec<u32> {
     counts
 }
 
+/// The `u32` element an `f32` corpus value maps to in the
+/// `u32`-dtype scan/segsum workloads — the simulator's exact
+/// `cvt.s32.f32` truncation (`f32 as i64`, saturating, then the low
+/// 32 bits), the same cast [`histogram_bin`] folds over.
+pub fn u32_elem(value: f32) -> u32 {
+    (value as i64) as u32
+}
+
+/// Reference inclusive prefix-sum oracle over `f32`: a strict
+/// left-to-right sequential fold. The workload corpus keeps every
+/// prefix an integer inside the `f32`-exact range, so any device
+/// association produces bit-identical results.
+pub fn inclusive_scan_f32(data: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut acc = 0.0f32;
+    for &x in data {
+        acc += x;
+        out.push(acc);
+    }
+    out
+}
+
+/// Reference exclusive prefix-sum oracle over `f32` (see
+/// [`inclusive_scan_f32`]): `out[i] = Σ_{j<i} data[j]`, `out[0] = 0`.
+pub fn exclusive_scan_f32(data: &[f32]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut acc = 0.0f32;
+    for &x in data {
+        out.push(acc);
+        acc += x;
+    }
+    out
+}
+
+/// Reference inclusive prefix-sum oracle over the `u32` elements of
+/// an `f32` corpus ([`u32_elem`], wrapping addition — exact under any
+/// association).
+pub fn inclusive_scan_u32(data: &[f32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut acc = 0u32;
+    for &x in data {
+        acc = acc.wrapping_add(u32_elem(x));
+        out.push(acc);
+    }
+    out
+}
+
+/// Reference exclusive prefix-sum oracle over `u32` elements (see
+/// [`inclusive_scan_u32`]).
+pub fn exclusive_scan_u32(data: &[f32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut acc = 0u32;
+    for &x in data {
+        out.push(acc);
+        acc = acc.wrapping_add(u32_elem(x));
+    }
+    out
+}
+
+/// Reference segmented-sum oracle over `f32`: `out[s] = Σ data[i]`
+/// over elements with `ids[i] == s`. `ids` must cover `data` and be
+/// sorted ascending starting at 0; the output has `ids.last() + 1`
+/// slots (empty for empty input).
+pub fn segsum_f32(data: &[f32], ids: &[u32]) -> Vec<f32> {
+    assert!(ids.len() >= data.len(), "segment descriptor shorter than data");
+    let nsegs = if data.is_empty() { 0 } else { ids[data.len() - 1] as usize + 1 };
+    let mut out = vec![0.0f32; nsegs];
+    for (&x, &s) in data.iter().zip(ids) {
+        out[s as usize] += x;
+    }
+    out
+}
+
+/// Reference segmented-sum oracle over `u32` elements of an `f32`
+/// corpus (see [`segsum_f32`] and [`u32_elem`]).
+pub fn segsum_u32(data: &[f32], ids: &[u32]) -> Vec<u32> {
+    assert!(ids.len() >= data.len(), "segment descriptor shorter than data");
+    let nsegs = if data.is_empty() { 0 } else { ids[data.len() - 1] as usize + 1 };
+    let mut out = vec![0u32; nsegs];
+    for (&x, &s) in data.iter().zip(ids) {
+        out[s as usize] = out[s as usize].wrapping_add(u32_elem(x));
+    }
+    out
+}
+
 /// Analytic model of the paper's OpenMP 4.0 baseline on the POWER8+
 /// system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -270,6 +355,37 @@ mod tests {
         assert_eq!(histogram_bin(0.0, 64), 3);
         assert_eq!(histogram_bin(-1.9, 64), 2); // trunc -1 → wrap+3
         assert_eq!(histogram_bin(61.0, 64), 0);
+    }
+
+    #[test]
+    fn scan_oracles_agree_and_shift() {
+        let data = [3.0f32, -7.5, 9.0, 0.25, -2.0];
+        let incl = inclusive_scan_f32(&data);
+        let excl = exclusive_scan_f32(&data);
+        assert_eq!(incl.len(), 5);
+        assert_eq!(excl[0], 0.0);
+        // excl is incl shifted right by one element.
+        assert_eq!(&excl[1..], &incl[..4]);
+        assert_eq!(inclusive_scan_f32(&[]), Vec::<f32>::new());
+        // u32 oracle wraps: truncation of -7.5 is huge as u32.
+        let u = inclusive_scan_u32(&data);
+        assert_eq!(u[0], 3);
+        assert_eq!(u[1], 3u32.wrapping_add((-7i64) as u32));
+        let ue = exclusive_scan_u32(&data);
+        assert_eq!(ue[0], 0);
+        assert_eq!(&ue[1..], &u[..4]);
+    }
+
+    #[test]
+    fn segsum_oracles_split_by_descriptor() {
+        let data = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let ids = [0u32, 0, 1, 2, 2];
+        assert_eq!(segsum_f32(&data, &ids), vec![3.0, 3.0, 9.0]);
+        assert_eq!(segsum_u32(&data, &ids), vec![3, 3, 9]);
+        // One segment and all-length-1 edges.
+        assert_eq!(segsum_f32(&data, &[0; 5]), vec![15.0]);
+        assert_eq!(segsum_f32(&data, &[0, 1, 2, 3, 4]), data.to_vec());
+        assert_eq!(segsum_f32(&[], &[]), Vec::<f32>::new());
     }
 
     #[test]

@@ -737,6 +737,88 @@ pub fn negative_corpus() -> Vec<NegativeKernel> {
         });
     }
 
+    // 7. One Hillis-Steele scan step with the inter-step barrier
+    //    missing: each thread reads its left neighbour's slot in the
+    //    same epoch the neighbour rewrites it. This is the classic
+    //    scan bug the generated HS schedules avoid by re-barriering
+    //    between the neighbour read and the slot update.
+    {
+        let mut b = KernelBuilder::new("neg_scan_missing_bar");
+        let smem = b.smem_alloc(64 * 4) as i64;
+        let tid = b.reg();
+        let a = b.reg();
+        let v = b.reg();
+        let jm = b.reg();
+        let jc = b.reg();
+        let a2 = b.reg();
+        let t = b.reg();
+        let tz = b.reg();
+        let p = b.pred();
+        b.mov(Ty::U32, tid, Operand::Sreg(Sreg::TidX));
+        b.cvt(Ty::U32, Ty::U64, a, Operand::Reg(tid));
+        b.bin(BinOp::Mul, Ty::U64, a, Operand::Reg(a), Operand::ImmI(4));
+        b.mov(Ty::U32, v, Operand::Reg(tid));
+        b.st(Space::Shared, Ty::U32, v, Address::new(Operand::Reg(a), smem));
+        b.bar();
+        b.setp(CmpOp::Ge, Ty::U32, p, Operand::Reg(tid), Operand::ImmI(1));
+        b.bin(BinOp::Sub, Ty::U32, jm, Operand::Reg(tid), Operand::ImmI(1));
+        b.selp(Ty::U32, jc, Operand::Reg(jm), Operand::ImmI(0), p);
+        b.cvt(Ty::U32, Ty::U64, a2, Operand::Reg(jc));
+        b.bin(BinOp::Mul, Ty::U64, a2, Operand::Reg(a2), Operand::ImmI(4));
+        b.ld(Space::Shared, Ty::U32, t, Address::new(Operand::Reg(a2), smem));
+        b.selp(Ty::U32, tz, Operand::Reg(t), Operand::ImmI(0), p);
+        b.bin(BinOp::Add, Ty::U32, v, Operand::Reg(v), Operand::Reg(tz));
+        // BUG: the step needs a `bar` between the neighbour read and
+        // this rewrite of the slot it read from.
+        b.st(Space::Shared, Ty::U32, v, Address::new(Operand::Reg(a), smem));
+        b.exit();
+        let kernel = b.finish().expect("neg_scan_missing_bar is well-formed");
+        let expect_pc = pc_of(&kernel, |i| matches!(i, Instr::Ld { space: Space::Shared, .. }));
+        out.push(NegativeKernel {
+            label: "scan-missing-bar",
+            kernel,
+            dims: LaunchDims::new(1, 64),
+            global_words: 0,
+            expect: HazardKind::ReadWrite,
+            expect_pc,
+        });
+    }
+
+    // 8. Segmented combine without atomics: threads sharing a segment
+    //    (and the second block, re-walking the same segments)
+    //    load-add-store the per-segment cell directly. This is the
+    //    cross-segment combine the generated segsum schedules perform
+    //    with `red.global`/`red.shared`.
+    {
+        let mut b = KernelBuilder::new("neg_segsum_plain_combine");
+        let out_ptr = b.param_ptr();
+        let tid = b.reg();
+        let seg = b.reg();
+        let addr = b.reg();
+        let v = b.reg();
+        b.mov(Ty::U32, tid, Operand::Sreg(Sreg::TidX));
+        // Four threads per segment: seg = tid >> 2.
+        b.bin(BinOp::Shr, Ty::U32, seg, Operand::Reg(tid), Operand::ImmI(2));
+        b.cvt(Ty::U32, Ty::U64, addr, Operand::Reg(seg));
+        b.bin(BinOp::Mul, Ty::U64, addr, Operand::Reg(addr), Operand::ImmI(4));
+        b.bin(BinOp::Add, Ty::U64, addr, Operand::Reg(addr), Operand::Param(out_ptr));
+        b.ld(Space::Global, Ty::U32, v, Address::new(Operand::Reg(addr), 0));
+        b.bin(BinOp::Add, Ty::U32, v, Operand::Reg(v), Operand::ImmI(1));
+        // BUG: the per-segment combine must be an atomic.
+        b.st(Space::Global, Ty::U32, v, Address::new(Operand::Reg(addr), 0));
+        b.exit();
+        let kernel = b.finish().expect("neg_segsum_plain_combine is well-formed");
+        let expect_pc = pc_of(&kernel, |i| matches!(i, Instr::St { space: Space::Global, .. }));
+        out.push(NegativeKernel {
+            label: "segsum-plain-combine",
+            kernel,
+            dims: LaunchDims::new(2, 32),
+            global_words: 8,
+            expect: HazardKind::WriteWrite,
+            expect_pc,
+        });
+    }
+
     out
 }
 
@@ -878,7 +960,7 @@ mod tests {
     #[test]
     fn negative_corpus_is_buildable_and_labeled() {
         let corpus = negative_corpus();
-        assert_eq!(corpus.len(), 6);
+        assert_eq!(corpus.len(), 8);
         for neg in &corpus {
             assert!(neg.expect_pc < neg.kernel.instrs.len());
             assert!(!neg.label.is_empty());

@@ -23,28 +23,34 @@ use serde::{DeError, Deserialize, Serialize, Value};
 use crate::planner::Dist;
 use crate::specialize::ReduceOp;
 
-/// Element dtype of a workload's input array. The corpus is `f32`
-/// today; the dtype is part of the key so wider elements can land
-/// without another key-schema migration.
+/// Element dtype of a workload's input array. The uploaded corpus is
+/// `f32` storage for every dtype; a `u32` workload maps each element
+/// through the same saturating `f32 → i64 → u32` conversion the
+/// histogram binning uses, so integer workloads (where addition is
+/// exact and order-independent mod 2³²) share one input pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Dtype {
     /// IEEE-754 binary32 elements.
     #[default]
     F32,
+    /// 32-bit unsigned integers (wrapping arithmetic), derived from
+    /// the `f32` corpus by the histogram conversion.
+    U32,
 }
 
 impl Dtype {
-    /// Canonical identifier (`f32`), the inverse of [`FromStr`].
+    /// Canonical identifier (`f32`/`u32`), the inverse of [`FromStr`].
     pub fn id(self) -> &'static str {
         match self {
             Dtype::F32 => "f32",
+            Dtype::U32 => "u32",
         }
     }
 
     /// Element size in bytes.
     pub fn size(self) -> u64 {
         match self {
-            Dtype::F32 => 4,
+            Dtype::F32 | Dtype::U32 => 4,
         }
     }
 }
@@ -61,7 +67,8 @@ impl FromStr for Dtype {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "f32" => Ok(Dtype::F32),
-            other => Err(format!("unknown dtype `{other}` (want f32)")),
+            "u32" => Ok(Dtype::U32),
+            other => Err(format!("unknown dtype `{other}` (want f32 or u32)")),
         }
     }
 }
@@ -74,6 +81,31 @@ pub const HISTOGRAM_MIN_BINS: u32 = 2;
 pub const HISTOGRAM_MAX_BINS: u32 = 4096;
 /// Bin count of the shorthand `hist` spelling.
 pub const HISTOGRAM_DEFAULT_BINS: u32 = 64;
+
+/// Deterministic segment-length cycle of the segmented-reduction
+/// corpus: Fibonacci-flavoured run lengths (including two length-1
+/// runs per cycle) so every descriptor set mixes tiny and long
+/// segments. The pattern is shared by [`segments_for`] (which only
+/// needs the count) and the descriptor expansion in `tangram::workload`.
+pub const SEGMENT_PATTERN: [u64; 8] = [1, 1, 2, 3, 5, 8, 13, 21];
+
+/// Number of segments the deterministic descriptor generator carves an
+/// `n`-element array into: whole [`SEGMENT_PATTERN`] cycles plus the
+/// partial cycle covering the tail (a short tail still closes its
+/// in-progress segment). `segments_for(0) == 0`.
+pub fn segments_for(n: u64) -> u64 {
+    let cycle: u64 = SEGMENT_PATTERN.iter().sum();
+    let mut segs = (n / cycle) * SEGMENT_PATTERN.len() as u64;
+    let mut rem = n % cycle;
+    for &len in &SEGMENT_PATTERN {
+        if rem == 0 {
+            break;
+        }
+        segs += 1;
+        rem = rem.saturating_sub(len);
+    }
+    segs
+}
 
 /// What a workload computes over its input array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,11 +127,25 @@ pub enum WorkloadKind {
         /// [`HISTOGRAM_MIN_BINS`]..=[`HISTOGRAM_MAX_BINS`]).
         bins: u32,
     },
+    /// Prefix sum: the output carries one running total per input
+    /// element (`n` outputs, not a scalar — the first vector-valued
+    /// workload shape).
+    Scan {
+        /// `false` → inclusive (`out[i] = Σ x[0..=i]`), `true` →
+        /// exclusive (`out[i] = Σ x[0..i]`, `out[0] = 0`).
+        exclusive: bool,
+    },
+    /// Segmented sum: the input rides with a second buffer of sorted
+    /// per-element segment ids (the deterministic
+    /// [`SEGMENT_PATTERN`] descriptors), and the output carries one
+    /// total per segment.
+    SegSum,
 }
 
 impl WorkloadKind {
     /// Canonical identifier: `sum` / `max` / `min` / `argmax` /
-    /// `argmin` / `hist<bins>`. The inverse of [`FromStr`].
+    /// `argmin` / `hist<bins>` / `scan` / `exscan` / `segsum`. The
+    /// inverse of [`FromStr`].
     pub fn id(self) -> String {
         match self {
             WorkloadKind::Reduce(ReduceOp::Sum) => "sum".to_string(),
@@ -108,6 +154,9 @@ impl WorkloadKind {
             WorkloadKind::ArgMax => "argmax".to_string(),
             WorkloadKind::ArgMin => "argmin".to_string(),
             WorkloadKind::Histogram { bins } => format!("hist{bins}"),
+            WorkloadKind::Scan { exclusive: false } => "scan".to_string(),
+            WorkloadKind::Scan { exclusive: true } => "exscan".to_string(),
+            WorkloadKind::SegSum => "segsum".to_string(),
         }
     }
 
@@ -117,14 +166,17 @@ impl WorkloadKind {
         matches!(self, WorkloadKind::Reduce(_))
     }
 
-    /// Number of output elements and their width in bytes:
-    /// reductions and arg-reductions produce one scalar, histograms
-    /// one counter per bin.
-    pub fn output_shape(self) -> (u64, u64) {
+    /// Number of output elements and their width in bytes for an
+    /// `n`-element input: reductions and arg-reductions produce one
+    /// scalar, histograms one counter per bin, scans one element per
+    /// input element, and segmented sums one total per segment.
+    pub fn output_shape(self, n: u64) -> (u64, u64) {
         match self {
             WorkloadKind::Reduce(_) => (1, 4),
             WorkloadKind::ArgMax | WorkloadKind::ArgMin => (1, 8),
             WorkloadKind::Histogram { bins } => (u64::from(bins), 4),
+            WorkloadKind::Scan { .. } => (n, 4),
+            WorkloadKind::SegSum => (segments_for(n), 4),
         }
     }
 }
@@ -137,8 +189,8 @@ impl fmt::Display for WorkloadKind {
 
 /// The accepted spellings, quoted in every parse error so a typo on
 /// the CLI or the wire names its own fix.
-const KIND_MENU: &str = "sum, max, min, argmax, argmin, hist (64 bins), or hist<bins> \
-     (e.g. hist16, bins 2..=4096)";
+const KIND_MENU: &str = "sum, max, min, argmax, argmin, hist (64 bins), hist<bins> \
+     (e.g. hist16, bins 2..=4096), scan, exscan, or segsum";
 
 impl FromStr for WorkloadKind {
     type Err = String;
@@ -153,6 +205,9 @@ impl FromStr for WorkloadKind {
             "hist" | "histogram" => {
                 return Ok(WorkloadKind::Histogram { bins: HISTOGRAM_DEFAULT_BINS })
             }
+            "scan" => return Ok(WorkloadKind::Scan { exclusive: false }),
+            "exscan" => return Ok(WorkloadKind::Scan { exclusive: true }),
+            "segsum" => return Ok(WorkloadKind::SegSum),
             _ => {}
         }
         if let Some(tail) = s.strip_prefix("hist") {
@@ -206,6 +261,21 @@ impl WorkloadKey {
     /// A histogram key over `f32` with `bins` counters.
     pub fn histogram(bins: u32) -> Self {
         WorkloadKey { kind: WorkloadKind::Histogram { bins }, dtype: Dtype::F32 }
+    }
+
+    /// An inclusive prefix-sum key over `dtype` elements.
+    pub fn scan(dtype: Dtype) -> Self {
+        WorkloadKey { kind: WorkloadKind::Scan { exclusive: false }, dtype }
+    }
+
+    /// An exclusive prefix-sum key over `dtype` elements.
+    pub fn exscan(dtype: Dtype) -> Self {
+        WorkloadKey { kind: WorkloadKind::Scan { exclusive: true }, dtype }
+    }
+
+    /// A segmented-sum key over `dtype` elements.
+    pub fn segsum(dtype: Dtype) -> Self {
+        WorkloadKey { kind: WorkloadKind::SegSum, dtype }
     }
 
     /// Canonical identifier, e.g. `sum-f32` or `hist64-f32` — used in
@@ -262,9 +332,10 @@ impl Deserialize for WorkloadKey {
     }
 }
 
-/// The pass family a non-reduce workload variant was generated by —
-/// the same three rewrite strategies the paper's pipeline applies to
-/// reduction codelets.
+/// The pass family a non-reduce workload variant was generated by.
+/// The first three are the paper's rewrite strategies for reduction
+/// codelets; the scan-specific families name the block-scan schedule
+/// the kernel runs between its loads and stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PassFamily {
     /// Combine directly in global memory with device-scope atomics.
@@ -275,16 +346,25 @@ pub enum PassFamily {
     /// Exchange partial state across warp lanes with shuffles before
     /// touching memory.
     Shuffle,
+    /// Shared-memory Hillis–Steele block scan: log₂(block) doubling
+    /// steps, each reading and rewriting the whole array (step-
+    /// efficient, not work-efficient).
+    HillisSteele,
+    /// Shared-memory Blelloch block scan: balanced up-sweep /
+    /// down-sweep tree (work-efficient, twice the steps).
+    Blelloch,
 }
 
 impl PassFamily {
-    /// Display tag (`AG`/`AS`/`SH`), the same style the planner uses
-    /// for code-version components.
+    /// Display tag (`AG`/`AS`/`SH`/`HS`/`BL`), the same style the
+    /// planner uses for code-version components.
     pub fn tag(self) -> &'static str {
         match self {
             PassFamily::AtomicGlobal => "AG",
             PassFamily::AtomicShared => "AS",
             PassFamily::Shuffle => "SH",
+            PassFamily::HillisSteele => "HS",
+            PassFamily::Blelloch => "BL",
         }
     }
 }
@@ -328,7 +408,7 @@ impl FromStr for WlVariant {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || format!("unknown workload variant `{s}` (want e.g. DT-AG, DS-SH)");
+        let err = || format!("unknown workload variant `{s}` (want e.g. DT-AG, DS-SH, DT-HS)");
         let (dist, family) = s.split_once('-').ok_or_else(err)?;
         let dist = match dist {
             "DT" => Dist::Tiled,
@@ -339,23 +419,62 @@ impl FromStr for WlVariant {
             "AG" => PassFamily::AtomicGlobal,
             "AS" => PassFamily::AtomicShared,
             "SH" => PassFamily::Shuffle,
+            "HS" => PassFamily::HillisSteele,
+            "BL" => PassFamily::Blelloch,
             _ => return Err(err()),
         };
         Ok(WlVariant { family, dist })
     }
 }
 
-/// The canonical variant corpus for any non-reduce workload: all
-/// three pass families crossed with both grid distributions, in
-/// deterministic (family-major) order.
-pub fn enumerate_workload_variants() -> Vec<WlVariant> {
-    let mut out = Vec::with_capacity(6);
-    for family in [PassFamily::AtomicGlobal, PassFamily::AtomicShared, PassFamily::Shuffle] {
+fn cross(families: &[PassFamily]) -> Vec<WlVariant> {
+    let mut out = Vec::with_capacity(families.len() * 2);
+    for &family in families {
         for dist in [Dist::Tiled, Dist::Strided] {
             out.push(WlVariant { family, dist });
         }
     }
     out
+}
+
+/// The canonical variant corpus of the scalar (argmin/argmax/
+/// histogram) workloads: all three atomic/shuffle pass families
+/// crossed with both grid distributions, in deterministic
+/// (family-major) order.
+pub fn enumerate_workload_variants() -> Vec<WlVariant> {
+    cross(&[PassFamily::AtomicGlobal, PassFamily::AtomicShared, PassFamily::Shuffle])
+}
+
+/// The variant corpus of `kind`, in deterministic family-major order —
+/// the unit the tuner enumerates, measures, and names in winner lines.
+///
+/// * Scalar scatter/funnel kinds sweep the classic
+///   {AG, AS, SH} × {DT, DS} space ([`enumerate_workload_variants`]).
+/// * Scans sweep three *block-scan schedules* —
+///   shared-memory Hillis–Steele (`HS`), shared-memory Blelloch (`BL`),
+///   and warp-shuffle scan with a cross-warp combine (`SH`) — crossed
+///   with both distributions (here tile-local: `DT` gives each thread a
+///   contiguous run, `DS` interleaves the tile round by round).
+/// * Segmented sums sweep per-segment global atomics (`AG`, both
+///   distributions), sorted-run shared privatization (`AS`, both), and
+///   the warp-shuffle head-flag segmented scan (`SH`, strided only —
+///   the head-flag exchange needs warp-contiguous element windows).
+pub fn enumerate_variants_for(kind: WorkloadKind) -> Vec<WlVariant> {
+    match kind {
+        WorkloadKind::Scan { .. } => cross(&[
+            PassFamily::HillisSteele,
+            PassFamily::Blelloch,
+            PassFamily::Shuffle,
+        ]),
+        WorkloadKind::SegSum => vec![
+            WlVariant { family: PassFamily::AtomicGlobal, dist: Dist::Tiled },
+            WlVariant { family: PassFamily::AtomicGlobal, dist: Dist::Strided },
+            WlVariant { family: PassFamily::AtomicShared, dist: Dist::Tiled },
+            WlVariant { family: PassFamily::AtomicShared, dist: Dist::Strided },
+            WlVariant { family: PassFamily::Shuffle, dist: Dist::Strided },
+        ],
+        _ => enumerate_workload_variants(),
+    }
 }
 
 #[cfg(test)]
@@ -372,12 +491,25 @@ mod tests {
             WorkloadKey::argmin(),
             WorkloadKey::histogram(16),
             WorkloadKey::histogram(4096),
+            WorkloadKey::scan(Dtype::F32),
+            WorkloadKey::exscan(Dtype::F32),
+            WorkloadKey::segsum(Dtype::F32),
         ];
         for key in keys {
             assert_eq!(key.id().parse::<WorkloadKey>().unwrap(), key, "{}", key.id());
             // The bare kind spelling (no dtype suffix) also parses.
             assert_eq!(key.kind.id().parse::<WorkloadKey>().unwrap(), key);
         }
+        // u32 keys round-trip but never default (the bare spelling is f32).
+        for key in [
+            WorkloadKey::scan(Dtype::U32),
+            WorkloadKey::exscan(Dtype::U32),
+            WorkloadKey::segsum(Dtype::U32),
+        ] {
+            assert_eq!(key.id().parse::<WorkloadKey>().unwrap(), key, "{}", key.id());
+            assert_ne!(key.kind.id().parse::<WorkloadKey>().unwrap(), key);
+        }
+        assert_eq!("scan-u32".parse::<WorkloadKey>().unwrap(), WorkloadKey::scan(Dtype::U32));
     }
 
     #[test]
@@ -393,7 +525,9 @@ mod tests {
     #[test]
     fn unknown_spellings_list_the_menu() {
         let err = "hostogram".parse::<WorkloadKind>().unwrap_err();
-        for accepted in ["sum", "max", "min", "argmax", "argmin", "hist"] {
+        for accepted in
+            ["sum", "max", "min", "argmax", "argmin", "hist", "scan", "exscan", "segsum"]
+        {
             assert!(err.contains(accepted), "error must list `{accepted}`: {err}");
         }
         assert!(err.contains("hostogram"), "error must quote the offender: {err}");
@@ -424,8 +558,30 @@ mod tests {
     }
 
     #[test]
+    fn per_kind_corpora_are_deterministic_and_distinct() {
+        // Scalar kinds keep the classic six-variant corpus.
+        for kind in [WorkloadKind::ArgMax, WorkloadKind::Histogram { bins: 64 }] {
+            assert_eq!(enumerate_variants_for(kind), enumerate_workload_variants());
+        }
+        let scan = enumerate_variants_for(WorkloadKind::Scan { exclusive: false });
+        assert_eq!(
+            scan.iter().map(WlVariant::id).collect::<Vec<_>>(),
+            ["DT-HS", "DS-HS", "DT-BL", "DS-BL", "DT-SH", "DS-SH"]
+        );
+        assert_eq!(scan, enumerate_variants_for(WorkloadKind::Scan { exclusive: true }));
+        let seg = enumerate_variants_for(WorkloadKind::SegSum);
+        assert_eq!(
+            seg.iter().map(WlVariant::id).collect::<Vec<_>>(),
+            ["DT-AG", "DS-AG", "DT-AS", "DS-AS", "DS-SH"]
+        );
+    }
+
+    #[test]
     fn variant_ids_round_trip_and_stay_token_safe() {
-        for v in enumerate_workload_variants() {
+        let mut all = enumerate_workload_variants();
+        all.extend(enumerate_variants_for(WorkloadKind::Scan { exclusive: false }));
+        all.extend(enumerate_variants_for(WorkloadKind::SegSum));
+        for v in all {
             let id = v.id();
             assert!(!id.contains(' '), "variant id must be token-safe: {id}");
             assert_eq!(id.parse::<WlVariant>().unwrap(), v);
@@ -436,8 +592,28 @@ mod tests {
 
     #[test]
     fn output_shapes() {
-        assert_eq!(WorkloadKind::Reduce(ReduceOp::Sum).output_shape(), (1, 4));
-        assert_eq!(WorkloadKind::ArgMax.output_shape(), (1, 8));
-        assert_eq!(WorkloadKind::Histogram { bins: 20 }.output_shape(), (20, 4));
+        assert_eq!(WorkloadKind::Reduce(ReduceOp::Sum).output_shape(4096), (1, 4));
+        assert_eq!(WorkloadKind::ArgMax.output_shape(4096), (1, 8));
+        assert_eq!(WorkloadKind::Histogram { bins: 20 }.output_shape(4096), (20, 4));
+        assert_eq!(WorkloadKind::Scan { exclusive: false }.output_shape(4096), (4096, 4));
+        assert_eq!(WorkloadKind::Scan { exclusive: true }.output_shape(0), (0, 4));
+        assert_eq!(WorkloadKind::SegSum.output_shape(4096), (segments_for(4096), 4));
+    }
+
+    #[test]
+    fn segment_counts_track_the_pattern() {
+        assert_eq!(segments_for(0), 0);
+        assert_eq!(segments_for(1), 1, "a single element is a single segment");
+        assert_eq!(segments_for(2), 2, "the pattern opens with two length-1 runs");
+        let cycle: u64 = SEGMENT_PATTERN.iter().sum();
+        assert_eq!(segments_for(cycle), SEGMENT_PATTERN.len() as u64);
+        assert_eq!(segments_for(cycle + 1), SEGMENT_PATTERN.len() as u64 + 1);
+        // Monotone in n, and a partial tail closes its open segment.
+        let mut prev = 0;
+        for n in 0..4 * cycle {
+            let s = segments_for(n);
+            assert!(s >= prev, "segments_for must be monotone at n={n}");
+            prev = s;
+        }
     }
 }

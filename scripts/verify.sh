@@ -24,6 +24,22 @@ echo "== figures smoke run (small n, all arches, 4 workers) =="
 ./target/release/figures all --max-size 16384 --threads 4 --json /tmp/verify_figures.json
 test -s /tmp/verify_figures.json
 
+echo "== per-workload selection table (figures workloads, all arches) =="
+# Every row of this table is a winner validated against the exact CPU
+# oracle inside the sweep; the assertion pins that the scan and
+# segmented-sum kinds actually appear for every architecture.
+wl_table=$(./target/release/figures workloads --max-size 16384 --threads 4)
+for arch in kepler maxwell pascal; do
+  for wl in scan-f32 scan-u32 exscan-f32 segsum-f32 argmax-f32 hist64-f32; do
+    echo "$wl_table" | grep -q "^ *${wl} *${arch} " || {
+      echo "figures workloads table is missing the ${wl}/${arch} row:" >&2
+      echo "$wl_table" >&2
+      exit 1
+    }
+  done
+done
+echo "  all workload × arch rows present (scan/exscan/segsum included)"
+
 echo "== sweep smoke run (determinism at two thread counts, timing budget) =="
 raw1=$(./target/release/sweep --arch maxwell --n 65536 --threads 1)
 one=$(echo "$raw1" | sed 's/wall_ms=[0-9.]*//; s/threads=[0-9]*//')
@@ -158,7 +174,7 @@ for screen in r["screens"]:
     for c in screen["candidates"]:
         assert c["clean"], f"corpus candidate {c['version']} screened dirty"
 seeded = {s["label"]: s for s in r["seeded"]}
-assert len(seeded) == 6, f"expected 6 negative kernels, got {sorted(seeded)}"
+assert len(seeded) == 8, f"expected 8 negative kernels, got {sorted(seeded)}"
 for label, s in seeded.items():
     findings = s["report"]["findings"]
     assert any(
@@ -325,9 +341,11 @@ for arch in kepler maxwell pascal; do
   fi
   echo "  $arch: daemon cold and warm answers byte-identical to the sweep bin"
 done
-# Typed workloads: the daemon's argmax and histogram winner tails must
-# be byte-identical to the sweep bin's for the same workload key.
-for workload in argmax hist64; do
+# Typed workloads: the daemon's argmax, histogram, scan, and
+# segmented-sum winner tails must be byte-identical to the sweep
+# bin's for the same workload key (the scan/segsum answers prove the
+# vector-valued value model round-trips the serve wire).
+for workload in argmax hist64 scan segsum; do
   truth=$(./target/release/sweep --arch maxwell --n 65536 --threads 1 --workload "$workload" \
     | grep '^sweep ' | grep -o 'winner=.*')
   wq=$(./target/release/tuned query --socket "$serve_sock" --arch maxwell --n 65536 --workload "$workload")

@@ -1,5 +1,6 @@
 //! End-to-end and differential coverage for the first-class workloads
-//! (argmax/argmin with index payloads, bin-indexed histograms).
+//! (argmax/argmin with index payloads, bin-indexed histograms,
+//! inclusive/exclusive scans, segmented sums).
 //!
 //! Three layers of guarantees:
 //!
@@ -8,7 +9,12 @@
 //!    lane-wise reference interpreter, the predecoded µop engine, and
 //!    the compiled tier are bit-identical to each other *and* exactly
 //!    equal to the CPU reference (`u64` equality for packed
-//!    arg-pairs, per-bin equality for histograms — no tolerance).
+//!    arg-pairs, per-bin equality for histograms, per-word bitwise
+//!    equality for scan prefixes and segment sums — no tolerance).
+//!    Scan/segsum exactness is by construction: the generator emits
+//!    integer-valued `f32` in `[-500, 500)` and sizes stay under
+//!    3 000, so every partial sum has magnitude `< 2^24` and `f32`
+//!    addition is associative over the reachable values.
 //! 2. **Sweep determinism** — `Session::run` picks the same winner
 //!    (variant, tuning, and modelled-time bits) under all three
 //!    interpreter tiers on every paper architecture, and the winner's
@@ -24,9 +30,10 @@ use proptest::prelude::*;
 use tangram::evaluate::EvalOptions;
 use tangram::serve::{Query, Reply, ServeConfig, TuneService};
 use tangram::tangram_codegen::{synthesize_workload_cached, Tuning};
-use tangram::tangram_passes::workload::enumerate_workload_variants;
 use tangram::{
-    expected_value, runner::run_workload, upload, Session, Workload, WorkloadKey, WorkloadValue,
+    enumerate_variants_for, expected_value,
+    runner::{run_segsum, run_workload},
+    upload, Dtype, Reducer, Session, Workload, WorkloadKey, WorkloadValue,
 };
 
 const MODES: [ExecMode; 3] = [ExecMode::Reference, ExecMode::Predecoded, ExecMode::Compiled];
@@ -45,6 +52,12 @@ fn key_strategy() -> impl Strategy<Value = WorkloadKey> {
         Just(WorkloadKey::argmin()),
         Just(WorkloadKey::histogram(16)),
         Just(WorkloadKey::histogram(64)),
+        Just(WorkloadKey::scan(Dtype::F32)),
+        Just(WorkloadKey::scan(Dtype::U32)),
+        Just(WorkloadKey::exscan(Dtype::F32)),
+        Just(WorkloadKey::exscan(Dtype::U32)),
+        Just(WorkloadKey::segsum(Dtype::F32)),
+        Just(WorkloadKey::segsum(Dtype::U32)),
     ]
 }
 
@@ -79,7 +92,7 @@ proptest! {
         n in 1usize..3_000,
         seed in any::<u32>(),
     ) {
-        let variants = enumerate_workload_variants();
+        let variants = enumerate_variants_for(key.kind);
         let variant = variants[variant_idx % variants.len()];
         let tuning = Tuning { block_size: 32 << block_exp, coarsen: 1 << coarsen_exp };
         let values: Vec<f32> = (0..n)
@@ -114,7 +127,12 @@ proptest! {
 /// reported value is the CPU oracle's, exactly.
 #[test]
 fn workload_sweep_winners_are_interpreter_independent() {
-    for w in [Workload::argmax(8_192), Workload::histogram(64, 8_192)] {
+    for w in [
+        Workload::argmax(8_192),
+        Workload::histogram(64, 8_192),
+        Workload::scan(8_192),
+        Workload::segsum(8_192),
+    ] {
         for arch in ArchConfig::paper_archs() {
             let mut rows = Vec::new();
             for mode in MODES {
@@ -147,7 +165,12 @@ fn workload_sweep_winners_are_interpreter_independent() {
 /// quarantines nothing and is bitwise transparent.
 #[test]
 fn workload_corpus_is_race_free_under_the_sanitizer() {
-    for w in [Workload::argmin(8_192), Workload::histogram(16, 8_192)] {
+    for w in [
+        Workload::argmin(8_192),
+        Workload::histogram(16, 8_192),
+        Workload::exscan(8_192),
+        Workload::segsum(8_192),
+    ] {
         for arch in ArchConfig::paper_archs() {
             let sane = Session::new(arch.clone())
                 .eval(EvalOptions::serial())
@@ -182,6 +205,8 @@ fn daemon_workload_answers_match_direct_sweeps_byte_for_byte() {
     for (arch, key, n) in [
         (ArchConfig::kepler_k40c(), WorkloadKey::argmax(), 16_384),
         (ArchConfig::pascal_p100(), WorkloadKey::histogram(64), 16_384),
+        (ArchConfig::maxwell_gtx980(), WorkloadKey::scan(Dtype::F32), 16_384),
+        (ArchConfig::kepler_k40c(), WorkloadKey::segsum(Dtype::F32), 16_384),
     ] {
         let q = Query::sweep(&arch.id, n).with_workload(key);
         let Reply::Ok(answer) = service.query(&q) else { panic!("expected ok") };
@@ -196,5 +221,82 @@ fn daemon_workload_answers_match_direct_sweeps_byte_for_byte() {
         let direct = direct.as_workload().unwrap();
         assert_eq!(answer.winner_line(), direct.winner_line(), "{}", arch.id);
         assert_eq!(answer.workload.as_deref(), Some(key.id().as_str()), "{}", arch.id);
+    }
+}
+
+/// Boundary shapes the sweep never visits: empty input (the device
+/// path is skipped entirely — the `Reducer` answers from the oracle),
+/// a single element, one all-covering segment, and a descriptor where
+/// every segment has length 1. Each runs under every interpreter tier
+/// and every schedule in the kind's menu.
+#[test]
+fn scan_and_segsum_edge_shapes_match_the_oracle() {
+    // n == 0: no kernel can launch; the API must still answer, and
+    // the answer must be the (empty) oracle value.
+    for key in [
+        WorkloadKey::scan(Dtype::F32),
+        WorkloadKey::exscan(Dtype::U32),
+        WorkloadKey::segsum(Dtype::F32),
+    ] {
+        let mut reducer = Reducer::new(ArchConfig::pascal_p100());
+        let res = reducer.run(key, &[]).unwrap();
+        assert_eq!(res.value, expected_value(key, &[]), "{key} on empty input");
+        assert_eq!(res.version, "-", "{key}: empty input must not launch a kernel");
+    }
+
+    // n == 1 through the full device path, every variant and tier.
+    for key in [
+        WorkloadKey::scan(Dtype::F32),
+        WorkloadKey::scan(Dtype::U32),
+        WorkloadKey::exscan(Dtype::F32),
+        WorkloadKey::segsum(Dtype::F32),
+    ] {
+        let data = [7.0f32];
+        let want = expected_value(key, &data);
+        for variant in enumerate_variants_for(key.kind) {
+            for mode in MODES {
+                let got = run_mode(
+                    &ArchConfig::pascal_p100(),
+                    mode,
+                    key,
+                    variant,
+                    Tuning::default(),
+                    &data,
+                )
+                .expect("single-element launches are always feasible");
+                assert_eq!(got, want, "{key} {variant} {mode:?} on one element");
+            }
+        }
+    }
+
+    // Custom segment descriptors around the canonical one: a single
+    // segment covering everything (stresses the privatization window
+    // and cross-block combines into one cell) and one segment per
+    // element (stresses head-flag handling — every lane is a head).
+    let n = 1_000u64;
+    let data: Vec<f32> = (0..n).map(|i| ((i % 23) as f32) - 4.0).collect();
+    let one_segment = vec![0u32; n as usize];
+    let singletons: Vec<u32> = (0..n as u32).collect();
+    for (label, ids) in [("one-segment", &one_segment), ("singletons", &singletons)] {
+        let want: Vec<u32> = {
+            let sums = cpu_ref::segsum_f32(&data, ids);
+            sums.iter().map(|v| v.to_bits()).collect()
+        };
+        let key = WorkloadKey::segsum(Dtype::F32);
+        for variant in enumerate_variants_for(key.kind) {
+            for mode in MODES {
+                let sw = synthesize_workload_cached(key, variant, Tuning::default()).unwrap();
+                let mut dev = Device::new(ArchConfig::pascal_p100());
+                dev.set_exec_mode(mode);
+                let input = upload(&mut dev, &data).unwrap();
+                let got = run_segsum(&mut dev, &sw, input, n, ids, BlockSelection::All)
+                    .expect("segsum launch");
+                assert_eq!(
+                    got,
+                    WorkloadValue::Buffer(want.clone()),
+                    "{label} {variant} {mode:?}"
+                );
+            }
+        }
     }
 }
